@@ -1,0 +1,106 @@
+// Experiment C1 (Sec. 2.1): blob sizing for the turbulence interpolation
+// service. "Accessing the whole blob (6 MB) for an 8-point 3D interpolation
+// is obviously overkill. By using much smaller blobs, especially if they fit
+// onto a single 8 kB page, we could have a much lower overhead on disk IOs."
+//
+// Two access modes are measured cold-cache per particle:
+//   whole-blob — the original service's pattern: fetch the particle's entire
+//                blob row, then interpolate in memory;
+//   streamed   — the max-array fix: read only the 8^3 stencil's byte ranges
+//                through the blob stream.
+// The paper's argument is the whole-blob column: I/O per particle IS the
+// blob size, so small (ideally page-sized) z-curve blobs win. Streaming
+// makes I/O nearly independent of blob size, which is the deeper payoff of
+// the out-of-page array design.
+#include "bench/bench_util.h"
+#include "sci/turbulence/service.h"
+
+namespace sqlarray::bench {
+namespace {
+
+int64_t benchmark_sink = 0;
+
+void Run() {
+  Banner("C1", "turbulence: blob size vs interpolation I/O");
+  const int64_t n = 64;  // field resolution (paper: 1024)
+  const int particles = 100;
+  turbulence::SyntheticField field(n, 20, 11);
+
+  Rng rng(5);
+  std::vector<std::array<double, 3>> positions(particles);
+  for (auto& p : positions) {
+    p = {rng.Uniform(0, n), rng.Uniform(0, n), rng.Uniform(0, n)};
+  }
+
+  std::printf("field: %lld^3, %d random particles, 8-point Lagrangian, "
+              "cold cache per particle\n",
+              static_cast<long long>(n), particles);
+  std::printf("\n%6s | %10s | %24s | %24s\n", "core", "blob size",
+              "whole-blob (KB/part, us)", "streamed (KB/part, us)");
+  std::printf("%s\n", std::string(76, '-').c_str());
+
+  for (int64_t core : {4, 8, 16, 32, 64}) {
+    turbulence::PartitionConfig config;
+    config.core = core;
+    config.overlap = 4;
+    storage::Database db;
+    storage::Table* table = CheckResult(
+        turbulence::LoadIntoTable(field, config, &db, "blobs"), "load");
+    turbulence::InterpolationService service(&db, table, config, n);
+
+    // Whole-blob mode: the original service's access pattern.
+    int64_t full_bytes = 0;
+    double full_io_s = 0;
+    for (const auto& p : positions) {
+      db.ClearCache();
+      db.disk()->ResetStats();
+      uint64_t id = turbulence::CubeIdOf(config, n, p[0], p[1], p[2]);
+      storage::Row row = CheckResult(table->Lookup(static_cast<int64_t>(id)),
+                                     "lookup")
+                             .value();
+      if (auto* blob_id = std::get_if<storage::BlobId>(&row[1])) {
+        std::vector<uint8_t> blob =
+            CheckResult(table->ReadBlob(*blob_id), "read blob");
+        benchmark_sink += blob[blob.size() / 2];
+      } else {
+        benchmark_sink += std::get<std::vector<uint8_t>>(row[1])[0];
+      }
+      full_bytes += db.disk()->stats().bytes_read;
+      full_io_s += db.disk()->stats().virtual_read_seconds;
+    }
+
+    // Streamed mode: only the stencil ranges.
+    int64_t stream_bytes = 0;
+    double stream_io_s = 0;
+    for (const auto& p : positions) {
+      db.ClearCache();
+      db.disk()->ResetStats();
+      Check(service.Sample(p[0], p[1], p[2], math::InterpScheme::kLagrange8)
+                .status(),
+            "sample");
+      stream_bytes += db.disk()->stats().bytes_read;
+      stream_io_s += db.disk()->stats().virtual_read_seconds;
+    }
+
+    std::printf("%6lld | %8.0f K | %12.1f %11.1f | %12.1f %11.1f\n",
+                static_cast<long long>(core), config.BlobBytes() / 1e3,
+                static_cast<double>(full_bytes) / particles / 1e3,
+                full_io_s * 1e6 / particles,
+                static_cast<double>(stream_bytes) / particles / 1e3,
+                stream_io_s * 1e6 / particles);
+  }
+  std::printf(
+      "\nexpected shape: whole-blob I/O per particle tracks the blob size "
+      "(%.0fx spread), reproducing the paper's \"6 MB for an 8-point stencil "
+      "is overkill\"; streamed stencil reads stay nearly flat across blob "
+      "sizes.\n",
+      5972.0 / 28.0);
+}
+
+}  // namespace
+}  // namespace sqlarray::bench
+
+int main() {
+  sqlarray::bench::Run();
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Experiment A1 (Sec. 3.3): on-page (short) arrays vs out-of-page (max)
+// arrays. Short blobs arrive as plain in-memory buffers ("a simple memory
+// copy operation"); max blobs go through the blob B-tree and its stream
+// wrapper. Measures Item and Subarray on both classes, both as native wall
+// time and modeled page I/O.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/ops.h"
+#include "core/stream_ops.h"
+
+namespace sqlarray::bench {
+namespace {
+
+/// A short 5-vector blob (the Tvector payload).
+std::vector<uint8_t> ShortBlob() {
+  OwnedArray a = CheckResult(
+      OwnedArray::Zeros(DType::kFloat64, {5}, StorageClass::kShort), "short");
+  return std::vector<uint8_t>(a.blob().begin(), a.blob().end());
+}
+
+/// A database holding one max-array blob of n doubles; returns its id.
+struct MaxFixture {
+  storage::Database db;
+  storage::BlobId id;
+
+  explicit MaxFixture(int64_t n) {
+    OwnedArray a = CheckResult(
+        OwnedArray::Zeros(DType::kFloat64, {n}, StorageClass::kMax), "max");
+    id = CheckResult(
+        db.blob_store()->Write(a.blob()), "blob write");
+  }
+};
+
+void BM_ShortItem(benchmark::State& state) {
+  std::vector<uint8_t> blob = ShortBlob();
+  Dims idx{3};
+  for (auto _ : state) {
+    ArrayRef ref = ArrayRef::Parse(blob).value();
+    benchmark::DoNotOptimize(Item(ref, idx).value());
+  }
+}
+BENCHMARK(BM_ShortItem);
+
+void BM_MaxItemStreamedColdCache(benchmark::State& state) {
+  MaxFixture fixture(100000);  // 800 kB blob
+  Dims idx{54321};
+  int64_t pages = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    fixture.db.ClearCache();
+    fixture.db.disk()->ResetStats();
+    state.ResumeTiming();
+    storage::BlobStream stream =
+        storage::BlobStream::Open(fixture.db.buffer_pool(), fixture.id)
+            .value();
+    benchmark::DoNotOptimize(StreamItem(&stream, idx).value());
+    pages += fixture.db.disk()->stats().pages_read;
+  }
+  state.counters["pages_per_item"] =
+      static_cast<double>(pages) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_MaxItemStreamedColdCache);
+
+void BM_MaxItemFullReadColdCache(benchmark::State& state) {
+  // The naive alternative: materialize the whole blob to read one element.
+  MaxFixture fixture(100000);
+  Dims idx{54321};
+  int64_t pages = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    fixture.db.ClearCache();
+    fixture.db.disk()->ResetStats();
+    state.ResumeTiming();
+    std::vector<uint8_t> blob =
+        fixture.db.blob_store()->ReadAll(fixture.id).value();
+    ArrayRef ref = ArrayRef::Parse(blob).value();
+    benchmark::DoNotOptimize(Item(ref, idx).value());
+    pages += fixture.db.disk()->stats().pages_read;
+  }
+  state.counters["pages_per_item"] =
+      static_cast<double>(pages) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_MaxItemFullReadColdCache);
+
+void BM_ShortSubarray(benchmark::State& state) {
+  // 30 x 30 doubles = 7224-byte blob: the biggest short class allows.
+  OwnedArray a = CheckResult(
+      OwnedArray::Zeros(DType::kFloat64, {30, 30}, StorageClass::kShort),
+      "matrix");
+  Dims offset{5, 5}, sizes{8, 8};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Subarray(a.ref(), offset, sizes, false).value());
+  }
+}
+BENCHMARK(BM_ShortSubarray);
+
+void BM_MaxSubarrayStreamed(benchmark::State& state) {
+  storage::Database db;
+  OwnedArray a = CheckResult(
+      OwnedArray::Zeros(DType::kFloat64, {512, 512}, StorageClass::kMax),
+      "big matrix");
+  storage::BlobId id =
+      CheckResult(db.blob_store()->Write(a.blob()), "blob write");
+  Dims offset{100, 100}, sizes{8, 8};
+  for (auto _ : state) {
+    storage::BlobStream stream =
+        storage::BlobStream::Open(db.buffer_pool(), id).value();
+    benchmark::DoNotOptimize(
+        StreamSubarray(&stream, offset, sizes, false).value());
+  }
+}
+BENCHMARK(BM_MaxSubarrayStreamed);
+
+}  // namespace
+}  // namespace sqlarray::bench
+
+int main(int argc, char** argv) {
+  sqlarray::bench::Banner("A1", "short (on-page) vs max (out-of-page) access");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

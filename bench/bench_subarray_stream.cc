@@ -1,0 +1,81 @@
+// Experiment A2 (Sec. 3.3): streamed partial reads make max-array
+// subsetting cheap — "it supports reading only parts of the binary data if
+// the whole array is not required. The latter can significantly speed up
+// certain array subsetting operations."
+//
+// Sweeps subset edges k of an N^3 max array and compares the streamed path
+// (read only the runs the subarray covers) with the materialize-then-subset
+// path, in bytes, pages, and modeled I/O time.
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "core/ops.h"
+#include "core/stream_ops.h"
+
+namespace sqlarray::bench {
+namespace {
+
+void Run() {
+  Banner("A2", "streamed partial reads for max-array subsetting");
+  const int64_t n = 128;  // 128^3 doubles = 16 MB blob
+  storage::Database db;
+  OwnedArray cube = CheckResult(
+      OwnedArray::Zeros(DType::kFloat64, {n, n, n}, StorageClass::kMax),
+      "cube");
+  storage::BlobId id =
+      CheckResult(db.blob_store()->Write(cube.blob()), "write blob");
+  std::printf("array: %lld^3 float64 max array = %.1f MB out-of-page blob\n",
+              static_cast<long long>(n), cube.blob().size() / 1e6);
+
+  std::printf("\n%8s | %28s | %28s | %8s\n", "subset",
+              "streamed (KB, pages, ms)", "full read (KB, pages, ms)",
+              "speedup");
+  std::printf("%s\n", std::string(84, '-').c_str());
+
+  for (int64_t k : {2, 4, 8, 16, 32, 64, 128}) {
+    Dims offset{n / 2 - k / 2, n / 2 - k / 2, n / 2 - k / 2};
+    Dims sizes{k, k, k};
+
+    db.ClearCache();
+    db.disk()->ResetStats();
+    storage::BlobStream stream =
+        CheckResult(storage::BlobStream::Open(db.buffer_pool(), id),
+                    "open stream");
+    OwnedArray streamed = CheckResult(
+        StreamSubarray(&stream, offset, sizes, false), "stream subarray");
+    storage::IoStats s_io = db.disk()->stats();
+
+    db.ClearCache();
+    db.disk()->ResetStats();
+    std::vector<uint8_t> blob =
+        CheckResult(db.blob_store()->ReadAll(id), "full read");
+    ArrayRef ref = CheckResult(ArrayRef::Parse(blob), "parse");
+    OwnedArray full =
+        CheckResult(Subarray(ref, offset, sizes, false), "subarray");
+    storage::IoStats f_io = db.disk()->stats();
+
+    double speedup =
+        f_io.virtual_read_seconds / std::max(1e-12, s_io.virtual_read_seconds);
+    std::printf("%5lld^3 | %10.1f %8lld %7.2f | %10.1f %8lld %7.2f | %7.1fx\n",
+                static_cast<long long>(k), s_io.bytes_read / 1e3,
+                static_cast<long long>(s_io.pages_read),
+                s_io.virtual_read_seconds * 1e3, f_io.bytes_read / 1e3,
+                static_cast<long long>(f_io.pages_read),
+                f_io.virtual_read_seconds * 1e3, speedup);
+    (void)streamed;
+    (void)full;
+  }
+  std::printf(
+      "\nexpected shape: streamed I/O grows with the subset while full-read "
+      "I/O is flat at the blob size, so small subsets win big. Note the "
+      "crossover near k ~ N/4: a large scattered subset pays the random-read "
+      "latency per run and a single sequential sweep becomes cheaper — the "
+      "same economics that make SQL Server prefer scans over many seeks.\n");
+}
+
+}  // namespace
+}  // namespace sqlarray::bench
+
+int main() {
+  sqlarray::bench::Run();
+  return 0;
+}

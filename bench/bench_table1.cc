@@ -1,0 +1,101 @@
+// Experiment T1: reproduces Table 1 of the paper.
+//
+// Five queries over Tscalar / Tvector, executed for real at a reduced scale
+// (BENCH_ROWS, default 357 k = 1/1000) with a cold cache, then projected to
+// the paper's 357 M rows through the calibrated cost model. The paper's
+// measurements are printed beside the modeled ones; the shape to verify is
+// (a) Q1/Q2/Q3 are I/O-bound at ~1150 MB/s, (b) Q4/Q5 are CPU-bound with the
+// CLR call overhead dominating, (c) Q4 > Q5 > Q3 in elapsed time.
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+
+namespace sqlarray::bench {
+namespace {
+
+struct PaperRow {
+  const char* sql;
+  double time_s;
+  double cpu_pct;
+  double io_mbps;
+};
+
+// Table 1 of the paper.
+const PaperRow kPaper[5] = {
+    {"SELECT COUNT(*) FROM Tscalar WITH (NOLOCK)", 18, 45, 1150},
+    {"SELECT COUNT(*) FROM Tvector WITH (NOLOCK)", 25, 38, 1150},
+    {"SELECT SUM(v1) FROM Tscalar WITH (NOLOCK)", 18, 90, 1150},
+    {"SELECT SUM(floatarray.Item_1(v, 0)) FROM Tvector WITH (NOLOCK)", 133,
+     98, 215},
+    {"SELECT SUM(dbo.EmptyFunction(v, 0)) FROM Tvector WITH (NOLOCK)", 109,
+     99, 265},
+};
+
+void Run() {
+  const int64_t rows = BenchRows();
+  const double scale =
+      static_cast<double>(kPaperRows) / static_cast<double>(rows);
+
+  Banner("T1", "Table 1: query performance (paper vs modeled)");
+  std::printf("rows: %lld (paper: %lld, projection factor %.0fx)\n",
+              static_cast<long long>(rows),
+              static_cast<long long>(kPaperRows), scale);
+
+  BenchServer server;
+  Stopwatch load_watch;
+  BuildTable1Tables(&server.db, rows);
+  std::printf("table load: %.1f s wall\n", load_watch.ElapsedSeconds());
+
+  const engine::CostModel& cost = server.executor.cost_model();
+  // Execute with the modeled host's parallelism for honest wall times.
+  server.executor.set_scan_workers(cost.num_cores);
+  std::printf("scan workers: %d\n", cost.num_cores);
+  std::printf(
+      "\n%-66s | %22s | %28s | %10s\n", "query",
+      "paper (s, cpu%, MB/s)", "modeled@357M (s, cpu%, MB/s)", "wall (s)");
+  std::printf("%s\n", std::string(136, '-').c_str());
+
+  for (int q = 0; q < 5; ++q) {
+    // Cold cache before every run, as in the paper.
+    server.db.ClearCache();
+    server.db.disk()->ResetStats();
+
+    auto results = server.session.Execute(kPaper[q].sql);
+    Check(results.status(), kPaper[q].sql);
+    engine::QueryStats stats = (*results)[0].stats;
+
+    // Project to full scale: the scan is linear in rows.
+    engine::QueryStats full = stats;
+    full.cpu_core_seconds *= scale;
+    full.io.virtual_read_seconds *= scale;
+    full.io.bytes_read = static_cast<int64_t>(stats.io.bytes_read * scale);
+
+    std::printf("Q%d %-63s | %6.0f %6.0f %8.0f | %8.1f %8.0f %10.0f | %10.2f\n",
+                q + 1, kPaper[q].sql, kPaper[q].time_s, kPaper[q].cpu_pct,
+                kPaper[q].io_mbps, full.ModeledSeconds(cost),
+                full.ModeledCpuPct(cost), full.ModeledIoMBps(cost),
+                stats.wall_seconds);
+  }
+
+  // Derived Sec. 7.1 quantities from the modeled numbers.
+  std::printf("\nderived (modeled):\n");
+  std::printf("  per-CLR-call cost: %.2f us (paper: ~2 us)\n",
+              cost.clr_call_ns / 1000.0);
+  std::printf(
+      "  Q5 empty-UDF share of CPU: %.0f%% of per-row work "
+      "(paper: >= 38%% of total CPU)\n",
+      100.0 * cost.clr_call_ns /
+          (cost.clr_call_ns + cost.row_scan_ns + cost.native_agg_step_ns));
+  std::printf(
+      "  Q4 item-extraction surcharge over Q5: %.0f%% (paper: +22%%)\n",
+      100.0 * cost.clr_item_work_ns /
+          (cost.clr_call_ns + cost.row_scan_ns + cost.native_agg_step_ns +
+           0.5 * 80));
+}
+
+}  // namespace
+}  // namespace sqlarray::bench
+
+int main() {
+  sqlarray::bench::Run();
+  return 0;
+}

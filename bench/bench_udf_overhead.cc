@@ -1,0 +1,109 @@
+// Experiment U1 (Sec. 7.1): the CLR UDF boundary costs ~2 us per call; an
+// empty UDF burns >= 38 % of the CPU of its query; real item extraction adds
+// ~22 % on top. This bench measures the REAL (native) per-call wall cost of
+// the hosted functions and prints the modeled decomposition next to it.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace sqlarray::bench {
+namespace {
+
+engine::FunctionRegistry* Registry() {
+  static engine::FunctionRegistry* registry = [] {
+    auto* r = new engine::FunctionRegistry();
+    Check(udfs::RegisterAllUdfs(r), "udf registration");
+    return r;
+  }();
+  return registry;
+}
+
+engine::Value VectorArg() {
+  OwnedArray vec = CheckResult(
+      OwnedArray::Zeros(DType::kFloat64, {5}, StorageClass::kShort), "vec");
+  return engine::Value::Bytes(
+      std::vector<uint8_t>(vec.blob().begin(), vec.blob().end()));
+}
+
+void BM_EmptyFunctionCall(benchmark::State& state) {
+  const engine::ScalarFunction* fn =
+      Registry()->Resolve("dbo", "EmptyFunction", 2).value();
+  engine::QueryStats stats;
+  engine::CostModel cost;
+  engine::UdfContext ctx;
+  ctx.stats = &stats;
+  ctx.cost = &cost;
+  std::vector<engine::Value> args{VectorArg(), engine::Value::Int(0)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine::FunctionRegistry::Invoke(*fn, args, ctx));
+  }
+  state.counters["modeled_ns_per_call"] =
+      stats.cpu_core_seconds * 1e9 / static_cast<double>(stats.udf_calls);
+}
+BENCHMARK(BM_EmptyFunctionCall);
+
+void BM_ItemExtractionCall(benchmark::State& state) {
+  const engine::ScalarFunction* fn =
+      Registry()->Resolve("FloatArray", "Item_1", 2).value();
+  engine::QueryStats stats;
+  engine::CostModel cost;
+  engine::UdfContext ctx;
+  ctx.stats = &stats;
+  ctx.cost = &cost;
+  std::vector<engine::Value> args{VectorArg(), engine::Value::Int(0)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine::FunctionRegistry::Invoke(*fn, args, ctx));
+  }
+  state.counters["modeled_ns_per_call"] =
+      stats.cpu_core_seconds * 1e9 / static_cast<double>(stats.udf_calls);
+}
+BENCHMARK(BM_ItemExtractionCall);
+
+void BM_NativeSumStep(benchmark::State& state) {
+  // The comparison point: a native aggregate step over a decoded double.
+  double sum = 0, v = 1.5;
+  for (auto _ : state) {
+    sum += v;
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_NativeSumStep);
+
+void PrintDecomposition() {
+  Banner("U1", "CLR UDF call overhead decomposition");
+  engine::CostModel cost;
+  double q5_row = cost.row_scan_ns + cost.clr_call_ns +
+                  cost.clr_byte_ns * (64 + 8 + 8) + cost.native_agg_step_ns;
+  double q4_row = q5_row + cost.clr_item_work_ns;
+  std::printf("modeled per-row CPU (Tvector scans):\n");
+  std::printf("  row scan            %6.0f ns\n", cost.row_scan_ns);
+  std::printf("  CLR call boundary   %6.0f ns   (paper: ~2000 ns/call)\n",
+              cost.clr_call_ns);
+  std::printf("  arg/result marshal  %6.0f ns   (80 bytes x %.1f ns/B)\n",
+              cost.clr_byte_ns * 80, cost.clr_byte_ns);
+  std::printf("  SUM aggregate step  %6.0f ns\n", cost.native_agg_step_ns);
+  std::printf("  managed Item work   %6.0f ns   (Q4 only)\n",
+              cost.clr_item_work_ns);
+  std::printf("Q5 per-row total %.0f ns; boundary share %.0f%% "
+              "(paper: \"at least 38%% of the CPU time went for the UDF "
+              "calls even when the UDF was empty\")\n",
+              q5_row, 100.0 * (cost.clr_call_ns + cost.clr_byte_ns * 80) /
+                          q5_row);
+  std::printf("Q4 vs Q5 surcharge %.0f%% (paper: +22%%)\n",
+              100.0 * (q4_row - q5_row) / q5_row);
+  std::printf("full-scale CLR call cost: %.0f s of CPU over 357M rows "
+              "(paper: 734 s)\n",
+              (cost.clr_call_ns + cost.clr_byte_ns * 80) * 357e6 * 1e-9);
+}
+
+}  // namespace
+}  // namespace sqlarray::bench
+
+int main(int argc, char** argv) {
+  sqlarray::bench::PrintDecomposition();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

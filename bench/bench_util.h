@@ -1,0 +1,122 @@
+// Shared helpers for the experiment benches.
+//
+// Builds the Table 1 workload tables and prints paper-vs-measured tables.
+// Scale: the paper uses 357 M rows on a Dell PowerVault testbed; benches
+// default to a 1/1000 scale (357 k rows) and project modeled full-scale
+// numbers by linear scaling (the scan workload is embarrassingly linear).
+// Override with the BENCH_ROWS environment variable.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/array.h"
+#include "engine/exec.h"
+#include "sql/session.h"
+#include "storage/table.h"
+#include "udfs/register.h"
+
+namespace sqlarray::bench {
+
+/// Row count of the paper's test tables (Sec. 6.2).
+inline constexpr int64_t kPaperRows = 357000000;
+
+/// Default bench scale (1/1000 of the paper).
+inline int64_t BenchRows() {
+  if (const char* env = std::getenv("BENCH_ROWS")) {
+    return std::atoll(env);
+  }
+  return 357000;
+}
+
+/// Aborts with a message when a Status is not OK (bench-only convenience).
+inline void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what, status.ToString().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+T CheckResult(Result<T> result, const char* what) {
+  Check(result.status(), what);
+  return std::move(result).value();
+}
+
+/// Builds Tscalar (five FLOAT columns) and Tvector (one packed 5-vector in a
+/// fixed binary column), both keyed by BIGINT id, with identical values
+/// (Sec. 6.2). Uses the bulk loader so loading stays linear.
+inline void BuildTable1Tables(storage::Database* db, int64_t rows) {
+  using storage::ColumnType;
+
+  storage::Schema scalar_schema = CheckResult(
+      storage::Schema::Create({{"id", ColumnType::kInt64, 0},
+                               {"v1", ColumnType::kFloat64, 0},
+                               {"v2", ColumnType::kFloat64, 0},
+                               {"v3", ColumnType::kFloat64, 0},
+                               {"v4", ColumnType::kFloat64, 0},
+                               {"v5", ColumnType::kFloat64, 0}}),
+      "scalar schema");
+  // A 5-double short array blob is 24 + 40 = 64 bytes.
+  storage::Schema vector_schema = CheckResult(
+      storage::Schema::Create(
+          {{"id", ColumnType::kInt64, 0}, {"v", ColumnType::kBinary, 64}}),
+      "vector schema");
+
+  storage::Table* tscalar = CheckResult(
+      db->CreateTable("Tscalar", std::move(scalar_schema)), "Tscalar");
+  storage::Table* tvector = CheckResult(
+      db->CreateTable("Tvector", std::move(vector_schema)), "Tvector");
+
+  // Load one table at a time so each table's leaf chain occupies contiguous
+  // pages (the disk model distinguishes sequential from random reads). The
+  // same seed makes the two tables hold identical values.
+  {
+    auto load = CheckResult(tscalar->StartBulkLoad(), "scalar bulk loader");
+    Rng rng(20110324);
+    for (int64_t id = 0; id < rows; ++id) {
+      double v[5];
+      for (int k = 0; k < 5; ++k) v[k] = rng.Uniform(-1, 1);
+      Check(load.Add({id, v[0], v[1], v[2], v[3], v[4]}), "scalar insert");
+    }
+    Check(load.Finish(), "scalar finish");
+  }
+  {
+    auto load = CheckResult(tvector->StartBulkLoad(), "vector bulk loader");
+    Rng rng(20110324);
+    OwnedArray vec = CheckResult(
+        OwnedArray::Zeros(DType::kFloat64, {5}, StorageClass::kShort),
+        "vector template");
+    for (int64_t id = 0; id < rows; ++id) {
+      auto data = vec.MutableData<double>().value();
+      for (int k = 0; k < 5; ++k) data[k] = rng.Uniform(-1, 1);
+      Check(load.Add({id, std::vector<uint8_t>(vec.blob().begin(),
+                                               vec.blob().end())}),
+            "vector insert");
+    }
+    Check(load.Finish(), "vector finish");
+  }
+}
+
+/// An engine + registry + session bundle with all UDFs registered.
+struct BenchServer {
+  storage::Database db;
+  engine::FunctionRegistry registry;
+  engine::Executor executor;
+  sql::Session session;
+
+  BenchServer() : executor(&db, &registry), session(&executor) {
+    Check(udfs::RegisterAllUdfs(&registry), "udf registration");
+  }
+};
+
+/// Prints a standard experiment banner.
+inline void Banner(const char* id, const char* title) {
+  std::printf("\n=== %s — %s ===\n", id, title);
+}
+
+}  // namespace sqlarray::bench

@@ -1,0 +1,92 @@
+// Quickstart: stand up an in-process "server", run the paper's T-SQL
+// examples (Sec. 5.1), and use the Sec. 8 subscript sugar.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "engine/exec.h"
+#include "sql/session.h"
+#include "udfs/register.h"
+
+using sqlarray::engine::ResultSet;
+using sqlarray::engine::Value;
+
+namespace {
+
+/// Runs a batch and prints every result set.
+void Run(sqlarray::sql::Session* session, const char* sql) {
+  std::printf("\nSQL> %s\n", sql);
+  auto results = session->Execute(sql);
+  if (!results.ok()) {
+    std::printf("  error: %s\n", results.status().ToString().c_str());
+    return;
+  }
+  for (const ResultSet& rs : *results) {
+    for (const auto& row : rs.rows) {
+      std::printf("  ");
+      for (size_t c = 0; c < row.size(); ++c) {
+        std::printf("%s%s", c ? " | " : "",
+                    row[c].ToDisplayString().c_str());
+      }
+      std::printf("\n");
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  // The "server": simulated disk + buffer pool + catalog + UDF registry.
+  sqlarray::storage::Database db;
+  sqlarray::engine::FunctionRegistry registry;
+  if (!sqlarray::udfs::RegisterAllUdfs(&registry).ok()) return 1;
+  sqlarray::engine::Executor executor(&db, &registry);
+  sqlarray::sql::Session session(&executor);
+
+  std::printf("== arrays as T-SQL values (Sec. 5.1 examples) ==\n");
+  Run(&session,
+      "DECLARE @a VARBINARY(100) = "
+      "FloatArray.Vector_5(1.0, 2.0, 3.0, 4.0, 5.0)");
+  Run(&session, "SELECT FloatArray.Item_1(@a, 3)");
+  Run(&session,
+      "DECLARE @m VARBINARY(100) = FloatArray.Matrix_2(0.1, 0.2, 0.3, 0.4)");
+  Run(&session, "SELECT FloatArray.Item_2(@m, 1, 0)");
+  Run(&session, "SET @a = FloatArray.UpdateItem_1(@a, 3, 4.5)");
+  Run(&session, "SELECT Array.ToString(@a)");
+
+  std::printf("\n== subsetting a max (out-of-page) array ==\n");
+  Run(&session, "DECLARE @cube VARBINARY(MAX) = "
+                "FloatArrayMax.Create(12, 12, 12)");
+  Run(&session, "SET @cube = FloatArrayMax.UpdateItem_3(@cube, 2, 5, 7, 42.0)");
+  Run(&session,
+      "DECLARE @b VARBINARY(MAX) = FloatArrayMax.Subarray(@cube, "
+      "IntArray.Vector_3(1, 4, 6), IntArray.Vector_3(5, 5, 5), 0)");
+  Run(&session, "SELECT FloatArrayMax.Item_3(@b, 1, 1, 1)");
+
+  std::printf("\n== the Sec. 8 subscript sugar, implemented ==\n");
+  Run(&session, "SELECT @a[3]");
+  Run(&session, "SET @a[0] = -1");
+  Run(&session, "SELECT Array.SumAll(@a[0:3])");
+
+  std::printf("\n== arrays in tables, assembled with Concat ==\n");
+  Run(&session, "CREATE TABLE samples (id BIGINT, ix BIGINT, v FLOAT)");
+  Run(&session, "INSERT INTO samples VALUES (1, 0, 10.0), (2, 1, 20.0), "
+                "(3, 2, 30.0), (4, 3, 40.0)");
+  Run(&session, "DECLARE @dims VARBINARY(100) = IntArray.Vector_1(4)");
+  Run(&session, "DECLARE @packed VARBINARY(MAX)");
+  Run(&session, "SELECT @packed = FloatArrayMax.Concat(@dims, ix, v) "
+                "FROM samples");
+  Run(&session, "SELECT Array.ToString(@packed)");
+
+  std::printf("\n== math bindings: FFT and SVD from SQL ==\n");
+  Run(&session, "DECLARE @sig VARBINARY(MAX) = "
+                "FloatArrayMax.From(FloatArray.Vector_8("
+                "1, 0, -1, 0, 1, 0, -1, 0))");
+  Run(&session, "DECLARE @ft VARBINARY(MAX)");
+  Run(&session, "SET @ft = FloatArrayMax.FFTForward(@sig)");
+  Run(&session, "SELECT DoubleComplexArrayMax.ItemRe_1(@ft, 2), "
+                "DoubleComplexArrayMax.ItemRe_1(@ft, 0)");
+  return 0;
+}

@@ -1,0 +1,18 @@
+#include "client/sql_array.h"
+
+namespace sqlarray::client {
+
+Result<std::vector<double>> ReadDoubleVector(
+    std::span<const uint8_t> buffer) {
+  SQLARRAY_ASSIGN_OR_RETURN(ArrayRef ref, ArrayRef::Parse(buffer));
+  if (ref.rank() != 1) {
+    return Status::InvalidArgument("expected a one-dimensional array");
+  }
+  std::vector<double> out(static_cast<size_t>(ref.num_elements()));
+  for (int64_t i = 0; i < ref.num_elements(); ++i) {
+    SQLARRAY_ASSIGN_OR_RETURN(out[i], ref.GetDouble(i));
+  }
+  return out;
+}
+
+}  // namespace sqlarray::client

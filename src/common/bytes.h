@@ -1,0 +1,49 @@
+// Little-endian byte encoding helpers for the on-disk / blob formats.
+//
+// Array blobs and row images are defined as little-endian byte sequences (the
+// paper's format targets x86 SQL Server hosts); these helpers make the codecs
+// explicit and alignment-safe.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace sqlarray {
+
+/// Encodes `v` (a trivially copyable scalar) into little-endian bytes at
+/// `dst`. The caller guarantees `dst` has sizeof(T) writable bytes.
+template <typename T>
+inline void EncodeLE(uint8_t* dst, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  // Host is little-endian on all supported platforms; memcpy keeps the
+  // access alignment-safe and optimizes to a plain store.
+  std::memcpy(dst, &v, sizeof(T));
+}
+
+/// Decodes a little-endian scalar from `src` (sizeof(T) readable bytes).
+template <typename T>
+inline T DecodeLE(const uint8_t* src) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T v;
+  std::memcpy(&v, src, sizeof(T));
+  return v;
+}
+
+/// Appends the little-endian encoding of `v` to `out`.
+template <typename T>
+inline void AppendLE(std::vector<uint8_t>* out, T v) {
+  size_t off = out->size();
+  out->resize(off + sizeof(T));
+  EncodeLE(out->data() + off, v);
+}
+
+/// Appends raw bytes to `out`.
+inline void AppendBytes(std::vector<uint8_t>* out,
+                        std::span<const uint8_t> bytes) {
+  out->insert(out->end(), bytes.begin(), bytes.end());
+}
+
+}  // namespace sqlarray

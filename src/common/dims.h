@@ -1,0 +1,47 @@
+// Dimension lists and index arithmetic shared by the array core.
+//
+// Arrays are stored in COLUMN-MAJOR (FORTRAN / LAPACK) element order, the
+// layout the paper adopts so that LAPACK marshaling is zero-copy. The helpers
+// here implement linearization and stride math in that order: the FIRST index
+// varies fastest.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sqlarray {
+
+/// Dimension sizes of an array. Short (on-page) arrays are limited to
+/// kMaxShortRank dims with int16 sizes; max arrays allow arbitrary rank with
+/// int32 sizes. Both are represented uniformly as int64 here and validated at
+/// the codec boundary.
+using Dims = std::vector<int64_t>;
+
+/// Maximum rank of a short (on-page) array, per the paper's format.
+inline constexpr int kMaxShortRank = 6;
+
+/// Returns the total element count (product of sizes); 0-rank arrays have one
+/// element (a scalar) by convention, but builders never produce rank 0.
+int64_t ElementCount(std::span<const int64_t> dims);
+
+/// Computes column-major strides (in elements): stride[0] = 1,
+/// stride[k] = stride[k-1] * dims[k-1].
+Dims ColumnMajorStrides(std::span<const int64_t> dims);
+
+/// Linearizes a multi-index into a column-major offset. Returns OutOfRange if
+/// any index is outside [0, dims[k]).
+Result<int64_t> LinearIndex(std::span<const int64_t> dims,
+                            std::span<const int64_t> index);
+
+/// Inverse of LinearIndex: decomposes a column-major offset into a
+/// multi-index.
+Dims Unlinearize(std::span<const int64_t> dims, int64_t linear);
+
+/// Validates that dims is a legal shape: rank >= 1 and every size >= 0, with
+/// the product not overflowing int64.
+Status ValidateDims(std::span<const int64_t> dims);
+
+}  // namespace sqlarray

@@ -1,0 +1,47 @@
+// Deterministic pseudo-random number generation for synthetic workloads.
+//
+// All synthetic data generators (turbulence fields, spectra, N-body
+// snapshots, benchmark tables) take an explicit seed so tests and benches are
+// reproducible run-to-run.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace sqlarray {
+
+/// A seeded PRNG wrapper with the handful of draw shapes the generators need.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : gen_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(gen_);
+  }
+
+  /// Standard normal (mean 0, sigma 1) scaled to (mean, sigma).
+  double Normal(double mean = 0.0, double sigma = 1.0) {
+    return std::normal_distribution<double>(mean, sigma)(gen_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(gen_);
+  }
+
+  /// Uniform 64-bit word.
+  uint64_t NextU64() { return gen_(); }
+
+  /// Bernoulli draw with probability p of true.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(gen_);
+  }
+
+  std::mt19937_64& generator() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace sqlarray

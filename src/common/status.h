@@ -1,0 +1,155 @@
+// Status / Result error-handling primitives used across the library.
+//
+// Library code does not throw exceptions across module boundaries; fallible
+// operations return Status (or Result<T> when they also produce a value),
+// following the conventions of production storage engines.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace sqlarray {
+
+/// Broad classification of an error. Mirrors the failure classes a database
+/// extension has to distinguish: caller bugs (InvalidArgument), data
+/// corruption (Corruption), resource exhaustion, and unsupported requests.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kTypeMismatch,
+  kCorruption,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a StatusCode.
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap, copyable success-or-error value. The OK status carries no
+/// allocation; error statuses carry a code and a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : rep_(code == StatusCode::kOk
+                 ? nullptr
+                 : std::make_shared<Rep>(Rep{code, std::move(message)})) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status TypeMismatch(std::string msg) {
+    return Status(StatusCode::kTypeMismatch, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  /// Error message; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+  /// "CODE: message" rendering for logs and test failure output.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const Rep> rep_;  // null == OK
+};
+
+/// A value-or-error, analogous to absl::StatusOr<T>.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : var_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : var_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(var_).ok() && "OK status requires a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(var_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(var_));
+  }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+// Propagates a non-OK Status out of the enclosing function.
+#define SQLARRAY_RETURN_IF_ERROR(expr)            \
+  do {                                            \
+    ::sqlarray::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+// Evaluates a Result<T> expression, assigning the value to `lhs` or
+// propagating its error status.
+#define SQLARRAY_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+#define SQLARRAY_ASSIGN_OR_RETURN(lhs, rexpr)                               \
+  SQLARRAY_ASSIGN_OR_RETURN_IMPL(                                           \
+      SQLARRAY_STATUS_CONCAT(_result_, __LINE__), lhs, rexpr)
+
+#define SQLARRAY_STATUS_CONCAT_INNER(a, b) a##b
+#define SQLARRAY_STATUS_CONCAT(a, b) SQLARRAY_STATUS_CONCAT_INNER(a, b)
+
+}  // namespace sqlarray

@@ -1,0 +1,27 @@
+// Wall-clock stopwatch for benchmarks and query statistics.
+#pragma once
+
+#include <chrono>
+
+namespace sqlarray {
+
+/// Monotonic stopwatch. Started on construction; ElapsedSeconds() may be read
+/// repeatedly.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sqlarray

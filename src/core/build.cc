@@ -1,0 +1,25 @@
+#include "core/build.h"
+
+namespace sqlarray {
+
+Result<OwnedArray> MakeFull(DType dtype, Dims dims, double fill) {
+  SQLARRAY_ASSIGN_OR_RETURN(OwnedArray out,
+                            OwnedArray::Zeros(dtype, std::move(dims)));
+  const int64_t n = out.num_elements();
+  for (int64_t i = 0; i < n; ++i) {
+    SQLARRAY_RETURN_IF_ERROR(out.SetDouble(i, fill));
+  }
+  return out;
+}
+
+Result<OwnedArray> MakeRamp(DType dtype, int64_t n, double start,
+                            double step) {
+  SQLARRAY_ASSIGN_OR_RETURN(OwnedArray out, OwnedArray::Zeros(dtype, {n}));
+  for (int64_t i = 0; i < n; ++i) {
+    SQLARRAY_RETURN_IF_ERROR(
+        out.SetDouble(i, start + step * static_cast<double>(i)));
+  }
+  return out;
+}
+
+}  // namespace sqlarray

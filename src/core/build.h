@@ -1,0 +1,38 @@
+// Convenience builders mirroring the paper's Vector_N / Matrix_N functions.
+#pragma once
+
+#include <initializer_list>
+
+#include "common/status.h"
+#include "core/array.h"
+
+namespace sqlarray {
+
+/// Builds a rank-1 array from listed values (Vector_N in T-SQL).
+template <typename T>
+Result<OwnedArray> MakeVector(std::initializer_list<T> values) {
+  std::vector<T> v(values);
+  return OwnedArray::FromVector<T>(std::span<const T>(v));
+}
+
+/// Builds a square rank-2 array from n*n listed values in column-major order
+/// (Matrix_N in T-SQL builds an n-by-n matrix from n^2 values).
+template <typename T>
+Result<OwnedArray> MakeSquareMatrix(std::initializer_list<T> values) {
+  std::vector<T> v(values);
+  int64_t n = 0;
+  while (n * n < static_cast<int64_t>(v.size())) ++n;
+  if (n * n != static_cast<int64_t>(v.size())) {
+    return Status::InvalidArgument(
+        "square matrix builder requires a perfect-square value count");
+  }
+  return OwnedArray::FromValues<T>({n, n}, std::span<const T>(v));
+}
+
+/// Builds an array of the given shape filled with a constant.
+Result<OwnedArray> MakeFull(DType dtype, Dims dims, double fill);
+
+/// Builds a rank-1 arithmetic ramp: start, start+step, ... (n elements).
+Result<OwnedArray> MakeRamp(DType dtype, int64_t n, double start, double step);
+
+}  // namespace sqlarray

@@ -1,0 +1,55 @@
+// Abstract random-access byte source for streamed (out-of-page) blobs.
+//
+// Max arrays live out-of-page as B-trees; reading them goes through a stream
+// wrapper that supports partial range reads (Sec. 3.3). The array core only
+// depends on this interface; src/storage provides the B-tree-backed
+// implementation and accounts I/O against it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sqlarray {
+
+/// Random-access read interface over a blob's bytes.
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+
+  /// Total size of the blob in bytes.
+  virtual int64_t size() const = 0;
+
+  /// Reads out.size() bytes starting at `offset`. Fails with OutOfRange when
+  /// the range extends past the end.
+  virtual Status ReadAt(int64_t offset, std::span<uint8_t> out) = 0;
+};
+
+/// A ByteSource over an in-memory buffer (used for tests and for blobs that
+/// are already materialized).
+class MemoryByteSource : public ByteSource {
+ public:
+  explicit MemoryByteSource(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  int64_t size() const override {
+    return static_cast<int64_t>(bytes_.size());
+  }
+
+  Status ReadAt(int64_t offset, std::span<uint8_t> out) override {
+    if (offset < 0 ||
+        offset + static_cast<int64_t>(out.size()) > size()) {
+      return Status::OutOfRange("read past end of byte source");
+    }
+    std::copy(bytes_.begin() + offset,
+              bytes_.begin() + offset + static_cast<int64_t>(out.size()),
+              out.begin());
+    return Status::OK();
+  }
+
+ private:
+  std::span<const uint8_t> bytes_;
+};
+
+}  // namespace sqlarray

@@ -1,0 +1,68 @@
+#include "core/concat.h"
+
+#include <cstring>
+
+#include "common/bytes.h"
+
+namespace sqlarray {
+
+Result<ConcatBuilder> ConcatBuilder::Create(DType dtype, Dims dims) {
+  SQLARRAY_ASSIGN_OR_RETURN(OwnedArray a,
+                            OwnedArray::Zeros(dtype, std::move(dims)));
+  return ConcatBuilder(std::move(a));
+}
+
+Status ConcatBuilder::Add(std::span<const int64_t> index, double value) {
+  SQLARRAY_RETURN_IF_ERROR(array_.SetDoubleAt(index, value));
+  ++rows_;
+  return Status::OK();
+}
+
+Status ConcatBuilder::AddLinear(int64_t linear, double value) {
+  SQLARRAY_RETURN_IF_ERROR(array_.SetDouble(linear, value));
+  ++rows_;
+  return Status::OK();
+}
+
+std::vector<uint8_t> ConcatBuilder::SerializeState() const {
+  std::vector<uint8_t> out;
+  AppendLE<int64_t>(&out, rows_);
+  auto blob = array_.blob();
+  out.insert(out.end(), blob.begin(), blob.end());
+  return out;
+}
+
+Result<ConcatBuilder> ConcatBuilder::DeserializeState(
+    std::span<const uint8_t> state) {
+  if (state.size() < 8) {
+    return Status::Corruption("concat state truncated");
+  }
+  int64_t rows = DecodeLE<int64_t>(state.data());
+  SQLARRAY_ASSIGN_OR_RETURN(
+      OwnedArray a,
+      OwnedArray::FromBlob(std::vector<uint8_t>(state.begin() + 8,
+                                                state.end())));
+  ConcatBuilder b(std::move(a));
+  b.rows_ = rows;
+  return b;
+}
+
+Result<OwnedArray> ConcatBuilder::Finish() && {
+  return std::move(array_);
+}
+
+Result<std::vector<ArrayTableRow>> ToTable(const ArrayRef& a) {
+  if (IsComplexDType(a.dtype())) {
+    return Status::TypeMismatch(
+        "ToTable explodes real-valued arrays; convert complex arrays first");
+  }
+  std::vector<ArrayTableRow> rows;
+  const int64_t n = a.num_elements();
+  rows.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    rows.push_back({Unlinearize(a.dims(), i), a.GetDouble(i).value()});
+  }
+  return rows;
+}
+
+}  // namespace sqlarray

@@ -1,0 +1,69 @@
+// Table <-> array bridging (Sec. 4.2 and 5.1 of the paper).
+//
+// ConcatBuilder assembles an array from row-by-row (index, value) data — the
+// functionality the paper exposes both as the Concat user-defined aggregate
+// and as a reader-style UDF. The builder itself is shared; the two SQL
+// surfaces differ only in how the engine drives it (the UDA serializes the
+// builder state between rows, which is what made the UDA slow).
+//
+// ToTable is the inverse: it explodes an array into (index..., value) rows.
+#pragma once
+
+#include <vector>
+
+#include "common/dims.h"
+#include "common/status.h"
+#include "core/array.h"
+
+namespace sqlarray {
+
+/// Incrementally assembles an array of a declared shape from
+/// (multi-index, value) rows.
+class ConcatBuilder {
+ public:
+  /// Declares the target dtype and shape. Elements not covered by any row
+  /// remain zero.
+  static Result<ConcatBuilder> Create(DType dtype, Dims dims);
+
+  /// Adds one row. Duplicate indices overwrite.
+  Status Add(std::span<const int64_t> index, double value);
+
+  /// Adds one row by linear (column-major) element offset.
+  Status AddLinear(int64_t linear, double value);
+
+  /// Number of rows consumed so far.
+  int64_t rows_consumed() const { return rows_; }
+
+  /// Header (dtype + shape) of the array being assembled.
+  const ArrayHeader& header() const { return array_.header(); }
+
+  /// Serializes the builder state (header + payload + row count). This is
+  /// what a UDA must do between every pair of rows; its cost is the subject
+  /// of the A3 experiment.
+  std::vector<uint8_t> SerializeState() const;
+
+  /// Restores a builder from serialized state.
+  static Result<ConcatBuilder> DeserializeState(
+      std::span<const uint8_t> state);
+
+  /// Finishes and returns the assembled array.
+  Result<OwnedArray> Finish() &&;
+
+ private:
+  explicit ConcatBuilder(OwnedArray array) : array_(std::move(array)) {}
+
+  OwnedArray array_;
+  int64_t rows_ = 0;
+};
+
+/// One exploded row of an array: the multi-index and the element value.
+struct ArrayTableRow {
+  Dims index;
+  double value;
+};
+
+/// Explodes a (real-valued) array into rows in column-major order
+/// (ToTable / MatrixToTable in T-SQL).
+Result<std::vector<ArrayTableRow>> ToTable(const ArrayRef& a);
+
+}  // namespace sqlarray

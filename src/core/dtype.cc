@@ -1,0 +1,111 @@
+#include "core/dtype.h"
+
+namespace sqlarray {
+
+int DTypeSize(DType t) {
+  switch (t) {
+    case DType::kInt8:
+      return 1;
+    case DType::kInt16:
+      return 2;
+    case DType::kInt32:
+    case DType::kFloat32:
+      return 4;
+    case DType::kInt64:
+    case DType::kFloat64:
+    case DType::kComplex64:
+    case DType::kDateTime:
+      return 8;
+    case DType::kComplex128:
+      return 16;
+  }
+  return 0;
+}
+
+std::string_view DTypeName(DType t) {
+  switch (t) {
+    case DType::kInt8:
+      return "int8";
+    case DType::kInt16:
+      return "int16";
+    case DType::kInt32:
+      return "int32";
+    case DType::kInt64:
+      return "int64";
+    case DType::kFloat32:
+      return "float32";
+    case DType::kFloat64:
+      return "float64";
+    case DType::kComplex64:
+      return "complex64";
+    case DType::kComplex128:
+      return "complex128";
+    case DType::kDateTime:
+      return "datetime";
+  }
+  return "unknown";
+}
+
+std::string_view DTypeSchemaPrefix(DType t) {
+  // T-SQL base-type naming: TINYINT/SMALLINT/INT/BIGINT/REAL/FLOAT, plus the
+  // complex UDT names and datetime.
+  switch (t) {
+    case DType::kInt8:
+      return "TinyInt";
+    case DType::kInt16:
+      return "SmallInt";
+    case DType::kInt32:
+      return "Int";
+    case DType::kInt64:
+      return "BigInt";
+    case DType::kFloat32:
+      return "Real";
+    case DType::kFloat64:
+      return "Float";
+    case DType::kComplex64:
+      return "Complex";
+    case DType::kComplex128:
+      return "DoubleComplex";
+    case DType::kDateTime:
+      return "DateTime";
+  }
+  return "Unknown";
+}
+
+Result<DType> DTypeFromName(std::string_view name) {
+  for (int i = 0; i < kNumDTypes; ++i) {
+    DType t = static_cast<DType>(i);
+    if (DTypeName(t) == name) return t;
+  }
+  return Status::InvalidArgument("unknown dtype name: " + std::string(name));
+}
+
+bool IsIntegerDType(DType t) {
+  switch (t) {
+    case DType::kInt8:
+    case DType::kInt16:
+    case DType::kInt32:
+    case DType::kInt64:
+    case DType::kDateTime:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsRealDType(DType t) {
+  return t == DType::kFloat32 || t == DType::kFloat64;
+}
+
+bool IsComplexDType(DType t) {
+  return t == DType::kComplex64 || t == DType::kComplex128;
+}
+
+Result<DType> DTypeFromByte(uint8_t b) {
+  if (b >= kNumDTypes) {
+    return Status::Corruption("invalid dtype byte: " + std::to_string(b));
+  }
+  return static_cast<DType>(b);
+}
+
+}  // namespace sqlarray

@@ -1,0 +1,114 @@
+// Element types supported by the array library.
+//
+// Mirrors Sec. 3.4 of the paper: signed integers (8/16/32/64 bits), IEEE
+// float and double, single- and double-precision complex, and datetime.
+// Fixed-precision decimals are deliberately unsupported (scientific data).
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace sqlarray {
+
+/// Underlying element type of an array blob. The numeric values are part of
+/// the serialized header format and must not be reordered.
+enum class DType : uint8_t {
+  kInt8 = 0,
+  kInt16 = 1,
+  kInt32 = 2,
+  kInt64 = 3,
+  kFloat32 = 4,
+  kFloat64 = 5,
+  kComplex64 = 6,    // pair of float32 (re, im)
+  kComplex128 = 7,   // pair of float64 (re, im)
+  kDateTime = 8,     // int64 microseconds since the Unix epoch
+};
+
+inline constexpr int kNumDTypes = 9;
+
+/// Element width in bytes.
+int DTypeSize(DType t);
+
+/// Lower-case type name ("int32", "float64", "complex128", ...).
+std::string_view DTypeName(DType t);
+
+/// SQL schema prefix used for UDF schemas ("TinyInt", "SmallInt", "Int",
+/// "BigInt", "Real", "Float", "Complex", "DoubleComplex", "DateTime"),
+/// following the paper's IntArray / FloatArray / ... naming.
+std::string_view DTypeSchemaPrefix(DType t);
+
+/// Parses a lower-case type name back to a DType.
+Result<DType> DTypeFromName(std::string_view name);
+
+/// True for int8/16/32/64 and datetime (integer-backed) types.
+bool IsIntegerDType(DType t);
+
+/// True for float32/float64.
+bool IsRealDType(DType t);
+
+/// True for complex64/complex128.
+bool IsComplexDType(DType t);
+
+/// Validates that the byte is a known DType value.
+Result<DType> DTypeFromByte(uint8_t b);
+
+/// Compile-time tag carrying a C++ element type through dispatch.
+template <typename T>
+struct TypeTag {
+  using type = T;
+};
+
+/// Maps a C++ element type to its DType at compile time.
+template <typename T>
+constexpr DType DTypeOf();
+
+template <>
+constexpr DType DTypeOf<int8_t>() { return DType::kInt8; }
+template <>
+constexpr DType DTypeOf<int16_t>() { return DType::kInt16; }
+template <>
+constexpr DType DTypeOf<int32_t>() { return DType::kInt32; }
+template <>
+constexpr DType DTypeOf<int64_t>() { return DType::kInt64; }
+template <>
+constexpr DType DTypeOf<float>() { return DType::kFloat32; }
+template <>
+constexpr DType DTypeOf<double>() { return DType::kFloat64; }
+template <>
+constexpr DType DTypeOf<std::complex<float>>() { return DType::kComplex64; }
+template <>
+constexpr DType DTypeOf<std::complex<double>>() { return DType::kComplex128; }
+
+/// Invokes `f(TypeTag<T>{})` with the C++ type matching `t`. DateTime
+/// dispatches as int64 (it is integer-backed).
+template <typename F>
+auto DispatchDType(DType t, F&& f) {
+  switch (t) {
+    case DType::kInt8:
+      return f(TypeTag<int8_t>{});
+    case DType::kInt16:
+      return f(TypeTag<int16_t>{});
+    case DType::kInt32:
+      return f(TypeTag<int32_t>{});
+    case DType::kInt64:
+    case DType::kDateTime:
+      return f(TypeTag<int64_t>{});
+    case DType::kFloat32:
+      return f(TypeTag<float>{});
+    case DType::kFloat64:
+      return f(TypeTag<double>{});
+    case DType::kComplex64:
+      return f(TypeTag<std::complex<float>>{});
+    case DType::kComplex128:
+      return f(TypeTag<std::complex<double>>{});
+  }
+  // Unreachable for valid DType values; dispatch as double to satisfy the
+  // compiler without UB.
+  return f(TypeTag<double>{});
+}
+
+}  // namespace sqlarray

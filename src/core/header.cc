@@ -1,0 +1,183 @@
+#include "core/header.h"
+
+#include <string>
+
+#include "common/bytes.h"
+
+namespace sqlarray {
+
+Status ValidateHeader(DType dtype, std::span<const int64_t> dims,
+                      StorageClass storage) {
+  SQLARRAY_RETURN_IF_ERROR(ValidateDims(dims));
+  if (storage == StorageClass::kShort) {
+    if (dims.size() > kMaxShortRank) {
+      return Status::InvalidArgument(
+          "short arrays support at most 6 dimensions, got " +
+          std::to_string(dims.size()));
+    }
+    for (int64_t d : dims) {
+      if (d > kMaxShortDimSize) {
+        return Status::InvalidArgument(
+            "short array dimension size " + std::to_string(d) +
+            " exceeds int16 limit");
+      }
+    }
+    int64_t blob =
+        kShortHeaderSize + ElementCount(dims) * DTypeSize(dtype);
+    if (blob > kMaxShortBlobBytes) {
+      return Status::InvalidArgument(
+          "short array blob of " + std::to_string(blob) +
+          " bytes exceeds the VARBINARY(8000) on-page limit");
+    }
+  } else {
+    for (int64_t d : dims) {
+      if (d > kMaxMaxDimSize) {
+        return Status::InvalidArgument(
+            "max array dimension size " + std::to_string(d) +
+            " exceeds int32 limit");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+StorageClass ChooseStorageClass(DType dtype, std::span<const int64_t> dims) {
+  if (ValidateHeader(dtype, dims, StorageClass::kShort).ok()) {
+    return StorageClass::kShort;
+  }
+  return StorageClass::kMax;
+}
+
+Status AppendHeader(const ArrayHeader& header, std::vector<uint8_t>* out) {
+  SQLARRAY_RETURN_IF_ERROR(
+      ValidateHeader(header.dtype, header.dims, header.storage));
+  if (header.storage == StorageClass::kShort) {
+    size_t base = out->size();
+    out->resize(base + kShortHeaderSize, 0);
+    uint8_t* p = out->data() + base;
+    p[0] = kArrayMagic;
+    p[1] = 0;  // flags: short
+    p[2] = static_cast<uint8_t>(header.dtype);
+    p[3] = static_cast<uint8_t>(header.rank());
+    EncodeLE<uint32_t>(p + 4, static_cast<uint32_t>(header.num_elements()));
+    for (int k = 0; k < header.rank(); ++k) {
+      EncodeLE<int16_t>(p + 8 + 2 * k, static_cast<int16_t>(header.dims[k]));
+    }
+    // bytes 20..23 reserved (already zero)
+  } else {
+    size_t base = out->size();
+    out->resize(base + kMaxHeaderPrefixSize + 4 * header.dims.size(), 0);
+    uint8_t* p = out->data() + base;
+    p[0] = kArrayMagic;
+    p[1] = 1;  // flags: max
+    p[2] = static_cast<uint8_t>(header.dtype);
+    p[3] = 0;
+    EncodeLE<uint32_t>(p + 4, static_cast<uint32_t>(header.rank()));
+    EncodeLE<int64_t>(p + 8, header.num_elements());
+    for (int k = 0; k < header.rank(); ++k) {
+      EncodeLE<int32_t>(p + kMaxHeaderPrefixSize + 4 * k,
+                        static_cast<int32_t>(header.dims[k]));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> EncodeHeader(const ArrayHeader& header) {
+  std::vector<uint8_t> out;
+  SQLARRAY_RETURN_IF_ERROR(AppendHeader(header, &out));
+  return out;
+}
+
+Result<ArrayHeader> DecodeHeader(std::span<const uint8_t> blob) {
+  if (blob.size() < 4) {
+    return Status::Corruption("array blob shorter than minimal header");
+  }
+  if (blob[0] != kArrayMagic) {
+    return Status::Corruption("array blob has bad magic byte " +
+                              std::to_string(blob[0]));
+  }
+  uint8_t flags = blob[1];
+  if (flags > 1) {
+    return Status::Corruption("array blob has unknown flags " +
+                              std::to_string(flags));
+  }
+  SQLARRAY_ASSIGN_OR_RETURN(DType dtype, DTypeFromByte(blob[2]));
+
+  ArrayHeader h;
+  h.dtype = dtype;
+  if (flags == 0) {
+    h.storage = StorageClass::kShort;
+    if (blob.size() < kShortHeaderSize) {
+      return Status::Corruption("short array blob truncated in header");
+    }
+    int rank = blob[3];
+    if (rank < 1 || rank > kMaxShortRank) {
+      return Status::Corruption("short array has invalid rank " +
+                                std::to_string(rank));
+    }
+    uint32_t count = DecodeLE<uint32_t>(blob.data() + 4);
+    h.dims.resize(rank);
+    for (int k = 0; k < rank; ++k) {
+      int16_t d = DecodeLE<int16_t>(blob.data() + 8 + 2 * k);
+      if (d < 0) {
+        return Status::Corruption("short array has negative dimension size");
+      }
+      h.dims[k] = d;
+    }
+    if (h.num_elements() != static_cast<int64_t>(count)) {
+      return Status::Corruption(
+          "short array element count does not match dimension sizes");
+    }
+  } else {
+    h.storage = StorageClass::kMax;
+    if (blob.size() < kMaxHeaderPrefixSize) {
+      return Status::Corruption("max array blob truncated in header prefix");
+    }
+    uint32_t rank = DecodeLE<uint32_t>(blob.data() + 4);
+    if (rank < 1 || rank > (1u << 20)) {
+      return Status::Corruption("max array has implausible rank " +
+                                std::to_string(rank));
+    }
+    int64_t count = DecodeLE<int64_t>(blob.data() + 8);
+    if (blob.size() <
+        static_cast<size_t>(kMaxHeaderPrefixSize) + 4 * rank) {
+      return Status::Corruption("max array blob truncated in dim sizes");
+    }
+    h.dims.resize(rank);
+    for (uint32_t k = 0; k < rank; ++k) {
+      int32_t d = DecodeLE<int32_t>(blob.data() + kMaxHeaderPrefixSize + 4 * k);
+      if (d < 0) {
+        return Status::Corruption("max array has negative dimension size");
+      }
+      h.dims[k] = d;
+    }
+    if (h.num_elements() != count) {
+      return Status::Corruption(
+          "max array element count does not match dimension sizes");
+    }
+  }
+
+  // When the payload is present, make sure it is not truncated. (Longer is
+  // allowed: fixed-width binary columns pad short-array blobs.)
+  if (blob.size() > static_cast<size_t>(h.header_size()) &&
+      blob.size() < static_cast<size_t>(h.blob_size())) {
+    return Status::Corruption("array blob payload truncated: have " +
+                              std::to_string(blob.size()) + " bytes, need " +
+                              std::to_string(h.blob_size()));
+  }
+  return h;
+}
+
+Result<int64_t> PeekHeaderSize(std::span<const uint8_t> prefix) {
+  if (prefix.size() < 8) {
+    return Status::InvalidArgument("need at least 8 bytes to peek a header");
+  }
+  if (prefix[0] != kArrayMagic) {
+    return Status::Corruption("array blob has bad magic byte");
+  }
+  if (prefix[1] == 0) return static_cast<int64_t>(kShortHeaderSize);
+  uint32_t rank = DecodeLE<uint32_t>(prefix.data() + 4);
+  return static_cast<int64_t>(kMaxHeaderPrefixSize) + 4 * rank;
+}
+
+}  // namespace sqlarray

@@ -1,0 +1,60 @@
+#include "core/ops.h"
+
+#include <cstring>
+
+namespace sqlarray {
+
+Result<OwnedArray> CastFromRaw(DType dtype, Dims dims,
+                               std::span<const uint8_t> raw) {
+  SQLARRAY_RETURN_IF_ERROR(ValidateDims(dims));
+  int64_t expected = ElementCount(dims) * DTypeSize(dtype);
+  if (static_cast<int64_t>(raw.size()) != expected) {
+    return Status::InvalidArgument(
+        "raw byte count " + std::to_string(raw.size()) +
+        " does not match " + std::to_string(expected) +
+        " bytes implied by the shape and element type");
+  }
+  SQLARRAY_ASSIGN_OR_RETURN(OwnedArray out,
+                            OwnedArray::Zeros(dtype, std::move(dims)));
+  std::memcpy(out.mutable_payload().data(), raw.data(), raw.size());
+  return out;
+}
+
+Result<std::vector<uint8_t>> Raw(const ArrayRef& a) {
+  auto pl = a.payload();
+  return std::vector<uint8_t>(pl.begin(), pl.end());
+}
+
+Result<OwnedArray> ConvertDType(const ArrayRef& a, DType target) {
+  if (target == a.dtype()) return OwnedArray::CopyOf(a);
+  SQLARRAY_ASSIGN_OR_RETURN(OwnedArray out,
+                            OwnedArray::Zeros(target, a.dims()));
+  const int64_t n = a.num_elements();
+  uint8_t* dst = out.mutable_payload().data();
+  const int dsize = DTypeSize(target);
+  if (IsComplexDType(a.dtype())) {
+    for (int64_t i = 0; i < n; ++i) {
+      SQLARRAY_ASSIGN_OR_RETURN(std::complex<double> v, a.GetComplex(i));
+      SQLARRAY_RETURN_IF_ERROR(
+          WriteScalarFromComplex(target, dst + i * dsize, v));
+    }
+  } else {
+    for (int64_t i = 0; i < n; ++i) {
+      SQLARRAY_ASSIGN_OR_RETURN(double v, a.GetDouble(i));
+      SQLARRAY_RETURN_IF_ERROR(
+          WriteScalarFromDouble(target, dst + i * dsize, v));
+    }
+  }
+  return out;
+}
+
+Result<OwnedArray> ConvertStorage(const ArrayRef& a, StorageClass target) {
+  SQLARRAY_RETURN_IF_ERROR(ValidateHeader(a.dtype(), a.dims(), target));
+  SQLARRAY_ASSIGN_OR_RETURN(OwnedArray out,
+                            OwnedArray::Zeros(a.dtype(), a.dims(), target));
+  auto src = a.payload();
+  std::memcpy(out.mutable_payload().data(), src.data(), src.size());
+  return out;
+}
+
+}  // namespace sqlarray

@@ -1,0 +1,147 @@
+#include "core/ops.h"
+
+#include <cmath>
+
+namespace sqlarray {
+
+namespace {
+
+/// Rank of a dtype in the promotion lattice.
+int PromoRank(DType t) {
+  switch (t) {
+    case DType::kInt8:
+      return 0;
+    case DType::kInt16:
+      return 1;
+    case DType::kInt32:
+      return 2;
+    case DType::kInt64:
+    case DType::kDateTime:
+      return 3;
+    case DType::kFloat32:
+      return 4;
+    case DType::kFloat64:
+      return 5;
+    case DType::kComplex64:
+      return 6;
+    case DType::kComplex128:
+      return 7;
+  }
+  return 7;
+}
+
+Result<std::complex<double>> ApplyOp(std::complex<double> x,
+                                     std::complex<double> y, BinOp op) {
+  switch (op) {
+    case BinOp::kAdd:
+      return x + y;
+    case BinOp::kSub:
+      return x - y;
+    case BinOp::kMul:
+      return x * y;
+    case BinOp::kDiv:
+      if (y == std::complex<double>(0, 0)) {
+        return Status::InvalidArgument("element-wise division by zero");
+      }
+      return x / y;
+  }
+  return Status::Internal("unreachable binop");
+}
+
+}  // namespace
+
+DType PromoteDType(DType a, DType b) {
+  DType wider = PromoRank(a) >= PromoRank(b) ? a : b;
+  // Complex64 paired with float64/int64 must widen to complex128 to avoid
+  // losing precision of the real partner.
+  if (wider == DType::kComplex64 &&
+      (PromoRank(a) == 5 || PromoRank(b) == 5 || PromoRank(a) == 3 ||
+       PromoRank(b) == 3)) {
+    return DType::kComplex128;
+  }
+  // Integer arithmetic promotes to the wider integer; datetime arithmetic
+  // degrades to int64 semantics.
+  if (wider == DType::kDateTime) return DType::kInt64;
+  return wider;
+}
+
+Result<OwnedArray> ElementwiseBinary(const ArrayRef& lhs, const ArrayRef& rhs,
+                                     BinOp op) {
+  if (lhs.dims() != rhs.dims()) {
+    return Status::InvalidArgument(
+        "element-wise operation requires identical shapes");
+  }
+  DType out_dtype = PromoteDType(lhs.dtype(), rhs.dtype());
+  // Integer division would truncate surprisingly; match SQL float semantics.
+  if (op == BinOp::kDiv && IsIntegerDType(out_dtype)) {
+    out_dtype = DType::kFloat64;
+  }
+  SQLARRAY_ASSIGN_OR_RETURN(OwnedArray out,
+                            OwnedArray::Zeros(out_dtype, lhs.dims()));
+  const int64_t n = lhs.num_elements();
+  uint8_t* dst = out.mutable_payload().data();
+  const int dsize = DTypeSize(out_dtype);
+  for (int64_t i = 0; i < n; ++i) {
+    SQLARRAY_ASSIGN_OR_RETURN(std::complex<double> x, lhs.GetComplex(i));
+    SQLARRAY_ASSIGN_OR_RETURN(std::complex<double> y, rhs.GetComplex(i));
+    SQLARRAY_ASSIGN_OR_RETURN(std::complex<double> v, ApplyOp(x, y, op));
+    SQLARRAY_RETURN_IF_ERROR(
+        WriteScalarFromComplex(out_dtype, dst + i * dsize, v));
+  }
+  return out;
+}
+
+Result<OwnedArray> ElementwiseScalar(const ArrayRef& a, double scalar,
+                                     BinOp op) {
+  DType out_dtype = PromoteDType(a.dtype(), DType::kFloat64);
+  SQLARRAY_ASSIGN_OR_RETURN(OwnedArray out,
+                            OwnedArray::Zeros(out_dtype, a.dims()));
+  const int64_t n = a.num_elements();
+  uint8_t* dst = out.mutable_payload().data();
+  const int dsize = DTypeSize(out_dtype);
+  for (int64_t i = 0; i < n; ++i) {
+    SQLARRAY_ASSIGN_OR_RETURN(std::complex<double> x, a.GetComplex(i));
+    SQLARRAY_ASSIGN_OR_RETURN(std::complex<double> v,
+                              ApplyOp(x, {scalar, 0.0}, op));
+    SQLARRAY_RETURN_IF_ERROR(
+        WriteScalarFromComplex(out_dtype, dst + i * dsize, v));
+  }
+  return out;
+}
+
+Result<std::complex<double>> Dot(const ArrayRef& a, const ArrayRef& b) {
+  if (a.rank() != 1 || b.rank() != 1) {
+    return Status::InvalidArgument("dot product requires rank-1 arrays");
+  }
+  if (a.num_elements() != b.num_elements()) {
+    return Status::InvalidArgument("dot product requires equal lengths");
+  }
+  // Fast path for the dominant float64 case.
+  if (a.dtype() == DType::kFloat64 && b.dtype() == DType::kFloat64) {
+    auto xs = a.Data<double>().value();
+    auto ys = b.Data<double>().value();
+    double sum = 0;
+    for (size_t i = 0; i < xs.size(); ++i) sum += xs[i] * ys[i];
+    return std::complex<double>(sum, 0);
+  }
+  std::complex<double> sum = 0;
+  const int64_t n = a.num_elements();
+  for (int64_t i = 0; i < n; ++i) {
+    SQLARRAY_ASSIGN_OR_RETURN(std::complex<double> x, a.GetComplex(i));
+    SQLARRAY_ASSIGN_OR_RETURN(std::complex<double> y, b.GetComplex(i));
+    sum += x * y;
+  }
+  return sum;
+}
+
+Result<double> Norm2(const ArrayRef& a) {
+  double sum = 0;
+  const int64_t n = a.num_elements();
+  for (int64_t i = 0; i < n; ++i) {
+    SQLARRAY_ASSIGN_OR_RETURN(std::complex<double> x, a.GetComplex(i));
+    sum += std::norm(x);
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace sqlarray

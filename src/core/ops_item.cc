@@ -1,0 +1,30 @@
+#include "core/ops.h"
+
+namespace sqlarray {
+
+Result<double> Item(const ArrayRef& a, std::span<const int64_t> index) {
+  return a.GetDoubleAt(index);
+}
+
+Result<std::complex<double>> ItemComplex(const ArrayRef& a,
+                                         std::span<const int64_t> index) {
+  return a.GetComplexAt(index);
+}
+
+Result<OwnedArray> UpdateItem(const ArrayRef& a,
+                              std::span<const int64_t> index, double v) {
+  SQLARRAY_ASSIGN_OR_RETURN(OwnedArray out, OwnedArray::CopyOf(a));
+  SQLARRAY_RETURN_IF_ERROR(out.SetDoubleAt(index, v));
+  return out;
+}
+
+Result<OwnedArray> UpdateItemComplex(const ArrayRef& a,
+                                     std::span<const int64_t> index,
+                                     std::complex<double> v) {
+  SQLARRAY_ASSIGN_OR_RETURN(OwnedArray out, OwnedArray::CopyOf(a));
+  SQLARRAY_ASSIGN_OR_RETURN(int64_t linear, LinearIndex(out.dims(), index));
+  SQLARRAY_RETURN_IF_ERROR(out.SetComplex(linear, v));
+  return out;
+}
+
+}  // namespace sqlarray

@@ -1,0 +1,134 @@
+#include "core/ops.h"
+
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+
+namespace sqlarray {
+
+namespace {
+
+void AppendDouble(std::string* out, double v) {
+  char buf[40];
+  // %.17g round-trips IEEE doubles exactly.
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+/// Skips ASCII whitespace.
+void SkipSpace(std::string_view* s) {
+  while (!s->empty() && (s->front() == ' ' || s->front() == '\t')) {
+    s->remove_prefix(1);
+  }
+}
+
+Result<double> ParseDouble(std::string_view* s) {
+  SkipSpace(s);
+  // std::from_chars(double) is available with GCC >= 11.
+  double v = 0;
+  const char* begin = s->data();
+  const char* end = s->data() + s->size();
+  auto [ptr, ec] = std::from_chars(begin, end, v);
+  if (ec != std::errc()) {
+    return Status::InvalidArgument("malformed number in array string");
+  }
+  s->remove_prefix(ptr - begin);
+  return v;
+}
+
+}  // namespace
+
+std::string ToArrayString(const ArrayRef& a) {
+  std::string out(DTypeName(a.dtype()));
+  out += '[';
+  for (int k = 0; k < a.rank(); ++k) {
+    if (k) out += ',';
+    out += std::to_string(a.dims()[k]);
+  }
+  out += "]{";
+  const int64_t n = a.num_elements();
+  const bool cpx = IsComplexDType(a.dtype());
+  for (int64_t i = 0; i < n; ++i) {
+    if (i) out += ' ';
+    if (cpx) {
+      std::complex<double> v = a.GetComplex(i).value();
+      AppendDouble(&out, v.real());
+      if (v.imag() >= 0 || std::isnan(v.imag())) out += '+';
+      AppendDouble(&out, v.imag());
+      out += 'i';
+    } else {
+      AppendDouble(&out, a.GetDouble(i).value());
+    }
+  }
+  out += '}';
+  return out;
+}
+
+Result<OwnedArray> FromArrayString(std::string_view text) {
+  // Grammar: dtype '[' dim (',' dim)* ']' '{' value (' ' value)* '}'
+  size_t lb = text.find('[');
+  if (lb == std::string_view::npos) {
+    return Status::InvalidArgument("array string missing '['");
+  }
+  SQLARRAY_ASSIGN_OR_RETURN(DType dtype, DTypeFromName(text.substr(0, lb)));
+
+  size_t rb = text.find(']', lb);
+  if (rb == std::string_view::npos) {
+    return Status::InvalidArgument("array string missing ']'");
+  }
+  Dims dims;
+  {
+    std::string_view ds = text.substr(lb + 1, rb - lb - 1);
+    while (!ds.empty()) {
+      size_t comma = ds.find(',');
+      std::string_view tok = ds.substr(0, comma);
+      int64_t d = 0;
+      auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+      if (ec != std::errc() || ptr != tok.data() + tok.size()) {
+        return Status::InvalidArgument("malformed dimension in array string");
+      }
+      dims.push_back(d);
+      if (comma == std::string_view::npos) break;
+      ds.remove_prefix(comma + 1);
+    }
+  }
+
+  size_t lc = text.find('{', rb);
+  size_t rc = text.rfind('}');
+  if (lc == std::string_view::npos || rc == std::string_view::npos ||
+      rc < lc) {
+    return Status::InvalidArgument("array string missing value braces");
+  }
+  std::string_view vs = text.substr(lc + 1, rc - lc - 1);
+
+  SQLARRAY_ASSIGN_OR_RETURN(OwnedArray out, OwnedArray::Zeros(dtype, dims));
+  const int64_t n = out.num_elements();
+  const bool cpx = IsComplexDType(dtype);
+  for (int64_t i = 0; i < n; ++i) {
+    if (cpx) {
+      SQLARRAY_ASSIGN_OR_RETURN(double re, ParseDouble(&vs));
+      SkipSpace(&vs);
+      // std::from_chars rejects a leading '+', so consume the sign of the
+      // imaginary part explicitly.
+      if (!vs.empty() && vs.front() == '+') vs.remove_prefix(1);
+      SQLARRAY_ASSIGN_OR_RETURN(double im, ParseDouble(&vs));
+      SkipSpace(&vs);
+      if (vs.empty() || vs.front() != 'i') {
+        return Status::InvalidArgument(
+            "complex element missing 'i' suffix in array string");
+      }
+      vs.remove_prefix(1);
+      SQLARRAY_RETURN_IF_ERROR(out.SetComplex(i, {re, im}));
+    } else {
+      SQLARRAY_ASSIGN_OR_RETURN(double v, ParseDouble(&vs));
+      SQLARRAY_RETURN_IF_ERROR(out.SetDouble(i, v));
+    }
+  }
+  SkipSpace(&vs);
+  if (!vs.empty()) {
+    return Status::InvalidArgument("trailing values in array string");
+  }
+  return out;
+}
+
+}  // namespace sqlarray

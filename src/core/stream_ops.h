@@ -1,0 +1,33 @@
+// Streamed array operations over a ByteSource.
+//
+// These read only the byte ranges an operation touches, which is the key
+// optimization for out-of-page (max) arrays: extracting a small subarray of a
+// multi-megabyte blob reads a few kilobytes instead of the whole B-tree
+// (Sec. 3.3 and the Sec. 2.1 interpolation use case).
+#pragma once
+
+#include "common/dims.h"
+#include "common/status.h"
+#include "core/array.h"
+#include "core/byte_source.h"
+
+namespace sqlarray {
+
+/// Reads and validates only the header of a streamed array blob.
+Result<ArrayHeader> ReadHeaderFromSource(ByteSource* source);
+
+/// Reads one element at `index`, touching exactly one element's bytes plus
+/// the header.
+Result<double> StreamItem(ByteSource* source, std::span<const int64_t> index);
+
+/// Extracts a contiguous subarray, reading only the runs the subarray
+/// covers. Semantics match Subarray() in ops.h (including `collapse`).
+Result<OwnedArray> StreamSubarray(ByteSource* source,
+                                  std::span<const int64_t> offset,
+                                  std::span<const int64_t> sizes,
+                                  bool collapse);
+
+/// Reads the whole array (header + payload) from the source.
+Result<OwnedArray> StreamReadAll(ByteSource* source);
+
+}  // namespace sqlarray

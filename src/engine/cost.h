@@ -1,0 +1,77 @@
+// Execution cost model and per-query statistics.
+//
+// Substitute for the paper's SQL Server + .NET CLR host: queries execute for
+// real (all results are computed natively), while a calibrated virtual-time
+// model accounts what the same work costs on the paper's testbed. The CLR
+// constants are taken from the paper's own measurements (Sec. 7.1): ~2 us
+// per CLR UDF call, with marshaling proportional to argument bytes, and UDA
+// state (de)serialization on every row (Sec. 4.2). The scan/aggregate
+// constants are back-solved from Table 1's Q1/Q3 CPU utilizations.
+#pragma once
+
+#include <cstdint>
+
+#include "storage/disk.h"
+
+namespace sqlarray::engine {
+
+/// Virtual CPU cost constants (nanoseconds) and machine shape.
+struct CostModel {
+  /// Per-row tuple processing during a clustered index scan
+  /// (Q1: 45% CPU x 8 cores x 18 s / 357M rows ~ 181 ns).
+  double row_scan_ns = 180.0;
+  /// Per-row native aggregate update (Q3 minus Q1: ~182 ns).
+  double native_agg_step_ns = 180.0;
+  /// Flat cost of crossing into a CLR UDF (Sec. 7.1: ~2 us/call).
+  double clr_call_ns = 2000.0;
+  /// Marshaling cost per argument/result byte crossing the CLR boundary.
+  double clr_byte_ns = 0.5;
+  /// Managed-code work inside a real (non-empty) UDF body, per call
+  /// (Q4 minus Q5: the paper's "+22% above the empty function call").
+  double clr_item_work_ns = 500.0;
+  /// Per-row cost of streaming a table-valued function's output across the
+  /// hosting boundary (IEnumerable iteration in SQL CLR).
+  double tvf_row_ns = 300.0;
+  /// UDA state serialize + deserialize cost per byte, charged every row
+  /// (Sec. 4.2: "the state of aggregation had to be serialized via a binary
+  /// stream interface for each row").
+  double uda_state_byte_ns = 1.0;
+  /// Worker parallelism of the modeled host (two quad-core Xeons).
+  int num_cores = 8;
+};
+
+/// Statistics for one executed query.
+struct QueryStats {
+  int64_t rows_scanned = 0;
+  int64_t udf_calls = 0;
+  int64_t udf_bytes_marshaled = 0;
+  int64_t uda_state_bytes = 0;
+  /// Modeled CPU work in core-seconds (sum across all workers).
+  double cpu_core_seconds = 0;
+  /// I/O deltas attributed to this query.
+  storage::IoStats io;
+  /// Real (measured) wall-clock seconds of the native execution.
+  double wall_seconds = 0;
+
+  void ChargeCpuNs(double ns) { cpu_core_seconds += ns * 1e-9; }
+
+  /// Modeled elapsed time: the query is either I/O-bound or CPU-bound
+  /// (perfect overlap of the scan pipeline, as in Table 1's analysis).
+  double ModeledSeconds(const CostModel& cost) const {
+    double cpu_elapsed = cpu_core_seconds / cost.num_cores;
+    return cpu_elapsed > io.virtual_read_seconds ? cpu_elapsed
+                                                 : io.virtual_read_seconds;
+  }
+  /// Modeled CPU utilization percentage across all cores.
+  double ModeledCpuPct(const CostModel& cost) const {
+    double t = ModeledSeconds(cost);
+    return t > 0 ? 100.0 * cpu_core_seconds / (t * cost.num_cores) : 0;
+  }
+  /// Modeled I/O rate in MB/s.
+  double ModeledIoMBps(const CostModel& cost) const {
+    double t = ModeledSeconds(cost);
+    return t > 0 ? static_cast<double>(io.bytes_read) / 1e6 / t : 0;
+  }
+};
+
+}  // namespace sqlarray::engine

@@ -1,0 +1,651 @@
+#include "engine/exec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <thread>
+
+#include "common/bytes.h"
+#include "common/stopwatch.h"
+
+namespace sqlarray::engine {
+
+Result<Value> ResultSet::ScalarResult() const {
+  if (rows.size() != 1 || rows[0].size() != 1) {
+    return Status::InvalidArgument("result is not a single scalar");
+  }
+  return rows[0][0];
+}
+
+Result<Value> Executor::EvalStandalone(const Expr& expr,
+                                       std::map<std::string, Value>* variables,
+                                       QueryStats* stats) {
+  EvalContext ctx;
+  ctx.variables = variables;
+  ctx.udf.pool = db_->buffer_pool();
+  ctx.udf.subquery = subquery_fn_;
+  ctx.udf.stats = stats;
+  ctx.udf.cost = &cost_;
+  return Eval(expr, ctx);
+}
+
+Status Executor::Bind(Query* q) const {
+  if (q->table != nullptr && q->tvf != nullptr) {
+    return Status::InvalidArgument("query cannot have two row sources");
+  }
+  // TVF arguments are standalone expressions (no row context).
+  for (ExprPtr& a : q->tvf_args) {
+    SQLARRAY_RETURN_IF_ERROR(BindExpr(a.get(), nullptr, registry_));
+  }
+
+  auto bind = [&](Expr* e) -> Status {
+    if (q->tvf != nullptr) {
+      return BindExprToColumns(e, q->tvf->columns, registry_);
+    }
+    const storage::Schema* schema =
+        q->table != nullptr ? &q->table->schema() : nullptr;
+    return BindExpr(e, schema, registry_);
+  };
+  for (SelectItem& item : q->items) {
+    if (item.expr != nullptr) {
+      SQLARRAY_RETURN_IF_ERROR(bind(item.expr.get()));
+    }
+    for (ExprPtr& a : item.uda_args) {
+      SQLARRAY_RETURN_IF_ERROR(bind(a.get()));
+    }
+  }
+  if (q->where != nullptr) {
+    SQLARRAY_RETURN_IF_ERROR(bind(q->where.get()));
+  }
+  for (ExprPtr& g : q->group_by) {
+    SQLARRAY_RETURN_IF_ERROR(bind(g.get()));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<Value>>> Executor::MaterializeTvf(
+    const Query& q, std::map<std::string, Value>* variables,
+    QueryStats* stats) {
+  std::vector<Value> args;
+  for (const ExprPtr& a : q.tvf_args) {
+    SQLARRAY_ASSIGN_OR_RETURN(Value v, EvalStandalone(*a, variables, stats));
+    args.push_back(std::move(v));
+  }
+  UdfContext ctx;
+  ctx.pool = db_->buffer_pool();
+  ctx.stats = stats;
+  ctx.cost = &cost_;
+  ctx.subquery = subquery_fn_;
+  SQLARRAY_ASSIGN_OR_RETURN(std::vector<std::vector<Value>> rows,
+                            q.tvf->fn(args, ctx));
+  if (stats != nullptr) {
+    // The hosted TVF streams every produced row across the CLR boundary.
+    stats->udf_calls++;
+    stats->ChargeCpuNs(cost_.clr_call_ns +
+                       cost_.tvf_row_ns * static_cast<double>(rows.size()));
+  }
+  return rows;
+}
+
+namespace {
+
+bool HasAggregates(const Query& q) {
+  for (const SelectItem& item : q.items) {
+    if (item.agg != SelectItem::AggKind::kNone) return true;
+  }
+  return false;
+}
+
+/// Accumulator for one aggregate within one group.
+struct AggState {
+  int64_t count = 0;
+  double sum = 0;
+  double mn = std::numeric_limits<double>::infinity();
+  double mx = -std::numeric_limits<double>::infinity();
+  bool int_only = true;
+  int64_t isum = 0;
+  // UDA state
+  std::unique_ptr<Uda> uda;
+  std::vector<uint8_t> uda_state;
+
+  /// Combines a partial accumulator from another scan worker (native
+  /// aggregate kinds only; UDAs never take the parallel path).
+  void Merge(const AggState& other) {
+    count += other.count;
+    sum += other.sum;
+    isum += other.isum;
+    mn = std::min(mn, other.mn);
+    mx = std::max(mx, other.mx);
+    int_only = int_only && other.int_only;
+  }
+};
+
+/// Serializes a grouping key value into a byte string for hashing.
+void AppendGroupKey(const Value& v, std::string* out) {
+  out->push_back(static_cast<char>(v.kind()));
+  switch (v.kind()) {
+    case Value::Kind::kInt64: {
+      int64_t x = v.AsInt().value();
+      out->append(reinterpret_cast<const char*>(&x), 8);
+      break;
+    }
+    case Value::Kind::kFloat64: {
+      double x = v.AsDouble().value();
+      out->append(reinterpret_cast<const char*>(&x), 8);
+      break;
+    }
+    case Value::Kind::kString:
+      out->append(v.AsString().value());
+      break;
+    case Value::Kind::kBytes: {
+      const auto* b = v.AsBytes().value();
+      out->append(reinterpret_cast<const char*>(b->data()), b->size());
+      break;
+    }
+    default:
+      break;  // NULL and blobs group as one bucket per kind
+  }
+  out->push_back('\x1f');
+}
+
+}  // namespace
+
+Result<ResultSet> Executor::Execute(const Query& q,
+                                    std::map<std::string, Value>* variables) {
+  if (q.table == nullptr && q.tvf == nullptr) {
+    // FROM-less SELECT: evaluate each item once.
+    ResultSet rs;
+    std::vector<Value> row;
+    for (const SelectItem& item : q.items) {
+      if (item.agg != SelectItem::AggKind::kNone) {
+        return Status::InvalidArgument("aggregate without a FROM clause");
+      }
+      SQLARRAY_ASSIGN_OR_RETURN(Value v,
+                                EvalStandalone(*item.expr, variables));
+      row.push_back(std::move(v));
+      rs.columns.push_back(item.label);
+    }
+    rs.rows.push_back(std::move(row));
+    return rs;
+  }
+  if (HasAggregates(q) || !q.group_by.empty()) {
+    bool parallel_ok = scan_workers_ > 1 && q.table != nullptr &&
+                       q.group_by.empty();
+    for (const SelectItem& item : q.items) {
+      parallel_ok = parallel_ok && item.agg != SelectItem::AggKind::kUda &&
+                    item.agg != SelectItem::AggKind::kNone;
+    }
+    if (parallel_ok) return ExecuteAggregateParallel(q, variables);
+    return ExecuteAggregate(q, variables);
+  }
+  return ExecuteRows(q, variables);
+}
+
+Result<ResultSet> Executor::ExecuteAggregate(
+    const Query& q, std::map<std::string, Value>* variables) {
+  ResultSet rs;
+  Stopwatch watch;
+  storage::IoStats io_before = db_->disk()->stats();
+
+  // Validate: plain items must appear in GROUP BY position-wise (we accept
+  // any plain expression and evaluate it per group via the first row seen).
+  for (const SelectItem& item : q.items) {
+    rs.columns.push_back(item.label);
+  }
+
+  EvalContext ctx;
+  ctx.schema = q.table != nullptr ? &q.table->schema() : nullptr;
+  ctx.variables = variables;
+  ctx.udf.pool = db_->buffer_pool();
+  ctx.udf.subquery = subquery_fn_;
+  ctx.udf.stats = &rs.stats;
+  ctx.udf.cost = &cost_;
+
+  struct Group {
+    std::vector<Value> keys;         // evaluated group_by exprs
+    std::vector<Value> plain_items;  // first-row values of non-agg items
+    std::vector<AggState> aggs;
+    bool plain_filled = false;
+  };
+  std::map<std::string, Group> groups;
+  // Aggregate-free GROUP BY still needs agg slots sized to items.
+  const size_t n_items = q.items.size();
+
+  // Row source: clustered index scan or materialized TVF output.
+  std::vector<std::vector<Value>> tvf_rows;
+  std::optional<storage::BTree::Cursor> cursor;
+  size_t tvf_pos = 0;
+  bool first_row = true;
+  if (q.tvf != nullptr) {
+    SQLARRAY_ASSIGN_OR_RETURN(tvf_rows,
+                              MaterializeTvf(q, variables, &rs.stats));
+  } else {
+    SQLARRAY_ASSIGN_OR_RETURN(storage::BTree::Cursor c, q.table->Scan());
+    cursor = std::move(c);
+  }
+  auto next_row = [&](EvalContext* c) -> Result<bool> {
+    if (q.tvf != nullptr) {
+      if (tvf_pos >= tvf_rows.size()) return false;
+      c->value_row = &tvf_rows[tvf_pos++];
+      return true;
+    }
+    if (!first_row) SQLARRAY_RETURN_IF_ERROR(cursor->Next());
+    first_row = false;
+    if (!cursor->valid()) return false;
+    c->row = cursor->row().data();
+    return true;
+  };
+
+  while (true) {
+    SQLARRAY_ASSIGN_OR_RETURN(bool has_row, next_row(&ctx));
+    if (!has_row) break;
+    rs.stats.rows_scanned++;
+    rs.stats.ChargeCpuNs(cost_.row_scan_ns);
+
+    if (q.where != nullptr) {
+      SQLARRAY_ASSIGN_OR_RETURN(Value keep, Eval(*q.where, ctx));
+      SQLARRAY_ASSIGN_OR_RETURN(int64_t truthy,
+                                keep.is_null() ? Result<int64_t>(int64_t{0})
+                                               : keep.AsInt());
+      if (truthy == 0) {
+        continue;
+      }
+    }
+
+    // Group key.
+    std::string key;
+    std::vector<Value> key_vals;
+    for (const ExprPtr& g : q.group_by) {
+      SQLARRAY_ASSIGN_OR_RETURN(Value v, Eval(*g, ctx));
+      AppendGroupKey(v, &key);
+      key_vals.push_back(std::move(v));
+    }
+    Group& group = groups[key];
+    if (group.aggs.empty()) {
+      group.keys = std::move(key_vals);
+      group.aggs.resize(n_items);
+    }
+
+    for (size_t i = 0; i < n_items; ++i) {
+      const SelectItem& item = q.items[i];
+      AggState& st = group.aggs[i];
+      switch (item.agg) {
+        case SelectItem::AggKind::kNone: {
+          if (!group.plain_filled) {
+            SQLARRAY_ASSIGN_OR_RETURN(Value v, Eval(*item.expr, ctx));
+            group.plain_items.resize(n_items);
+            group.plain_items[i] = std::move(v);
+          }
+          break;
+        }
+        case SelectItem::AggKind::kCount: {
+          // COUNT(*) is a bare increment folded into the row-scan cost;
+          // COUNT(expr) pays the evaluation step.
+          if (item.expr != nullptr &&
+              item.expr->kind != Expr::Kind::kStar) {
+            rs.stats.ChargeCpuNs(cost_.native_agg_step_ns);
+            SQLARRAY_ASSIGN_OR_RETURN(Value v, Eval(*item.expr, ctx));
+            if (v.is_null()) break;
+          }
+          st.count++;
+          break;
+        }
+        case SelectItem::AggKind::kSum:
+        case SelectItem::AggKind::kMin:
+        case SelectItem::AggKind::kMax:
+        case SelectItem::AggKind::kAvg: {
+          rs.stats.ChargeCpuNs(cost_.native_agg_step_ns);
+          SQLARRAY_ASSIGN_OR_RETURN(Value v, Eval(*item.expr, ctx));
+          if (v.is_null()) break;
+          SQLARRAY_ASSIGN_OR_RETURN(double d, v.AsDouble());
+          if (v.kind() == Value::Kind::kInt64) {
+            st.isum += v.AsInt().value();
+          } else {
+            st.int_only = false;
+          }
+          st.count++;
+          st.sum += d;
+          st.mn = std::min(st.mn, d);
+          st.mx = std::max(st.mx, d);
+          break;
+        }
+        case SelectItem::AggKind::kUda: {
+          if (st.uda == nullptr) {
+            SQLARRAY_ASSIGN_OR_RETURN(
+                const UdaFactory* factory,
+                registry_->ResolveUda(item.uda_schema, item.uda_name));
+            st.uda = (*factory)();
+            std::vector<Value> init_args;
+            for (const ExprPtr& a : item.uda_args) {
+              SQLARRAY_ASSIGN_OR_RETURN(Value v, Eval(*a, ctx));
+              init_args.push_back(std::move(v));
+            }
+            SQLARRAY_ASSIGN_OR_RETURN(st.uda_state,
+                                      st.uda->Init(init_args, ctx.udf));
+          }
+          std::vector<Value> row_args;
+          for (const ExprPtr& a : item.uda_args) {
+            SQLARRAY_ASSIGN_OR_RETURN(Value v, Eval(*a, ctx));
+            row_args.push_back(std::move(v));
+          }
+          // SQL Server's hosting contract: the state crosses the CLR
+          // boundary (deserialize + serialize) on EVERY row (Sec. 4.2).
+          int64_t state_bytes = static_cast<int64_t>(st.uda_state.size());
+          rs.stats.uda_state_bytes += 2 * state_bytes;
+          rs.stats.udf_calls++;
+          rs.stats.ChargeCpuNs(cost_.clr_call_ns +
+                               2.0 * cost_.uda_state_byte_ns *
+                                   static_cast<double>(state_bytes));
+          SQLARRAY_ASSIGN_OR_RETURN(
+              st.uda_state,
+              st.uda->Accumulate(st.uda_state, row_args, ctx.udf));
+          break;
+        }
+      }
+    }
+    group.plain_filled = true;
+  }
+
+  // Aggregate-only queries over empty inputs still yield one row.
+  if (groups.empty() && q.group_by.empty()) {
+    Group g;
+    g.aggs.resize(n_items);
+    groups.emplace("", std::move(g));
+  }
+
+  for (auto& [key, group] : groups) {
+    (void)key;
+    std::vector<Value> row;
+    for (size_t i = 0; i < n_items; ++i) {
+      const SelectItem& item = q.items[i];
+      AggState& st = group.aggs[i];
+      switch (item.agg) {
+        case SelectItem::AggKind::kNone:
+          row.push_back(i < group.plain_items.size() ? group.plain_items[i]
+                                                     : Value::Null());
+          break;
+        case SelectItem::AggKind::kCount:
+          row.push_back(Value::Int(st.count));
+          break;
+        case SelectItem::AggKind::kSum:
+          if (st.count == 0) {
+            row.push_back(Value::Null());
+          } else if (st.int_only) {
+            row.push_back(Value::Int(st.isum));
+          } else {
+            row.push_back(Value::Double(st.sum));
+          }
+          break;
+        case SelectItem::AggKind::kMin:
+          row.push_back(st.count == 0 ? Value::Null() : Value::Double(st.mn));
+          break;
+        case SelectItem::AggKind::kMax:
+          row.push_back(st.count == 0 ? Value::Null() : Value::Double(st.mx));
+          break;
+        case SelectItem::AggKind::kAvg:
+          row.push_back(st.count == 0
+                            ? Value::Null()
+                            : Value::Double(st.sum /
+                                            static_cast<double>(st.count)));
+          break;
+        case SelectItem::AggKind::kUda: {
+          if (st.uda == nullptr) {
+            row.push_back(Value::Null());
+            break;
+          }
+          SQLARRAY_ASSIGN_OR_RETURN(Value v,
+                                    st.uda->Terminate(st.uda_state, ctx.udf));
+          row.push_back(std::move(v));
+          break;
+        }
+      }
+    }
+    rs.rows.push_back(std::move(row));
+  }
+
+  rs.stats.io = db_->disk()->stats() - io_before;
+  rs.stats.wall_seconds = watch.ElapsedSeconds();
+  return rs;
+}
+
+
+Result<ResultSet> Executor::ExecuteAggregateParallel(
+    const Query& q, std::map<std::string, Value>* variables) {
+  ResultSet rs;
+  Stopwatch watch;
+  storage::IoStats io_before = db_->disk()->stats();
+  for (const SelectItem& item : q.items) rs.columns.push_back(item.label);
+  const size_t n_items = q.items.size();
+
+  SQLARRAY_ASSIGN_OR_RETURN(std::vector<storage::PageId> pages,
+                            q.table->CollectLeafPages());
+  const int workers = std::max(
+      1, std::min<int>(scan_workers_, static_cast<int>(pages.size())));
+
+  struct WorkerResult {
+    std::vector<AggState> states;
+    QueryStats stats;
+    Status status;
+  };
+  std::vector<WorkerResult> results(workers);
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+
+  for (int w = 0; w < workers; ++w) {
+    // Contiguous chunk of the leaf chain for this worker.
+    size_t begin = pages.size() * w / workers;
+    size_t end = pages.size() * (w + 1) / workers;
+    std::vector<storage::PageId> chunk(pages.begin() + begin,
+                                       pages.begin() + end);
+    threads.emplace_back([this, &q, variables, &results, w,
+                          chunk = std::move(chunk), n_items]() mutable {
+      WorkerResult& out = results[w];
+      out.states.resize(n_items);
+      // One read-ahead stream per worker: a private buffer pool over the
+      // shared (thread-safe) disk.
+      storage::BufferPool pool(db_->disk(), 1024);
+
+      EvalContext ctx;
+      ctx.schema = &q.table->schema();
+      ctx.variables = variables;
+      ctx.udf.pool = &pool;
+      ctx.udf.stats = &out.stats;
+      ctx.udf.cost = &cost_;
+      ctx.udf.subquery = nullptr;  // reader UDFs are not parallel-eligible
+
+      auto cursor_or = q.table->ScanChunk(&pool, std::move(chunk));
+      if (!cursor_or.ok()) {
+        out.status = cursor_or.status();
+        return;
+      }
+      storage::BTree::ChunkCursor cursor = std::move(cursor_or).value();
+      while (cursor.valid()) {
+        ctx.row = cursor.row().data();
+        out.stats.rows_scanned++;
+        out.stats.ChargeCpuNs(cost_.row_scan_ns);
+
+        bool keep_row = true;
+        if (q.where != nullptr) {
+          auto keep = Eval(*q.where, ctx);
+          if (!keep.ok()) {
+            out.status = keep.status();
+            return;
+          }
+          auto truthy = keep->is_null() ? Result<int64_t>(int64_t{0})
+                                        : keep->AsInt();
+          if (!truthy.ok()) {
+            out.status = truthy.status();
+            return;
+          }
+          keep_row = *truthy != 0;
+        }
+        if (keep_row) {
+          for (size_t i = 0; i < n_items; ++i) {
+            const SelectItem& item = q.items[i];
+            AggState& st = out.states[i];
+            if (item.agg == SelectItem::AggKind::kCount &&
+                (item.expr == nullptr ||
+                 item.expr->kind == Expr::Kind::kStar)) {
+              st.count++;
+              continue;
+            }
+            out.stats.ChargeCpuNs(cost_.native_agg_step_ns);
+            auto v = Eval(*item.expr, ctx);
+            if (!v.ok()) {
+              out.status = v.status();
+              return;
+            }
+            if (v->is_null()) continue;
+            if (item.agg == SelectItem::AggKind::kCount) {
+              st.count++;
+              continue;
+            }
+            auto d = v->AsDouble();
+            if (!d.ok()) {
+              out.status = d.status();
+              return;
+            }
+            if (v->kind() == Value::Kind::kInt64) {
+              st.isum += v->AsInt().value();
+            } else {
+              st.int_only = false;
+            }
+            st.count++;
+            st.sum += *d;
+            st.mn = std::min(st.mn, *d);
+            st.mx = std::max(st.mx, *d);
+          }
+        }
+        Status st = cursor.Next();
+        if (!st.ok()) {
+          out.status = st;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Merge partials (and surface the first worker error).
+  std::vector<AggState> merged(n_items);
+  for (WorkerResult& wr : results) {
+    SQLARRAY_RETURN_IF_ERROR(wr.status);
+    for (size_t i = 0; i < n_items; ++i) merged[i].Merge(wr.states[i]);
+    rs.stats.rows_scanned += wr.stats.rows_scanned;
+    rs.stats.udf_calls += wr.stats.udf_calls;
+    rs.stats.udf_bytes_marshaled += wr.stats.udf_bytes_marshaled;
+    rs.stats.cpu_core_seconds += wr.stats.cpu_core_seconds;
+  }
+
+  std::vector<Value> row;
+  for (size_t i = 0; i < n_items; ++i) {
+    const SelectItem& item = q.items[i];
+    AggState& st = merged[i];
+    switch (item.agg) {
+      case SelectItem::AggKind::kCount:
+        row.push_back(Value::Int(st.count));
+        break;
+      case SelectItem::AggKind::kSum:
+        if (st.count == 0) {
+          row.push_back(Value::Null());
+        } else if (st.int_only) {
+          row.push_back(Value::Int(st.isum));
+        } else {
+          row.push_back(Value::Double(st.sum));
+        }
+        break;
+      case SelectItem::AggKind::kMin:
+        row.push_back(st.count == 0 ? Value::Null() : Value::Double(st.mn));
+        break;
+      case SelectItem::AggKind::kMax:
+        row.push_back(st.count == 0 ? Value::Null() : Value::Double(st.mx));
+        break;
+      case SelectItem::AggKind::kAvg:
+        row.push_back(st.count == 0
+                          ? Value::Null()
+                          : Value::Double(st.sum /
+                                          static_cast<double>(st.count)));
+        break;
+      default:
+        return Status::Internal("non-native aggregate on the parallel path");
+    }
+  }
+  rs.rows.push_back(std::move(row));
+
+  rs.stats.io = db_->disk()->stats() - io_before;
+  rs.stats.wall_seconds = watch.ElapsedSeconds();
+  return rs;
+}
+
+Result<ResultSet> Executor::ExecuteRows(
+    const Query& q, std::map<std::string, Value>* variables) {
+  ResultSet rs;
+  Stopwatch watch;
+  storage::IoStats io_before = db_->disk()->stats();
+
+  for (const SelectItem& item : q.items) rs.columns.push_back(item.label);
+
+  EvalContext ctx;
+  ctx.schema = q.table != nullptr ? &q.table->schema() : nullptr;
+  ctx.variables = variables;
+  ctx.udf.pool = db_->buffer_pool();
+  ctx.udf.subquery = subquery_fn_;
+  ctx.udf.stats = &rs.stats;
+  ctx.udf.cost = &cost_;
+
+  std::vector<std::vector<Value>> tvf_rows;
+  std::optional<storage::BTree::Cursor> cursor;
+  size_t tvf_pos = 0;
+  bool first_row = true;
+  if (q.tvf != nullptr) {
+    SQLARRAY_ASSIGN_OR_RETURN(tvf_rows,
+                              MaterializeTvf(q, variables, &rs.stats));
+  } else {
+    SQLARRAY_ASSIGN_OR_RETURN(storage::BTree::Cursor c, q.table->Scan());
+    cursor = std::move(c);
+  }
+  auto next_row = [&](EvalContext* c) -> Result<bool> {
+    if (q.tvf != nullptr) {
+      if (tvf_pos >= tvf_rows.size()) return false;
+      c->value_row = &tvf_rows[tvf_pos++];
+      return true;
+    }
+    if (!first_row) SQLARRAY_RETURN_IF_ERROR(cursor->Next());
+    first_row = false;
+    if (!cursor->valid()) return false;
+    c->row = cursor->row().data();
+    return true;
+  };
+
+  while (true) {
+    if (q.top >= 0 && static_cast<int64_t>(rs.rows.size()) >= q.top) break;
+    SQLARRAY_ASSIGN_OR_RETURN(bool has_row, next_row(&ctx));
+    if (!has_row) break;
+    rs.stats.rows_scanned++;
+    rs.stats.ChargeCpuNs(cost_.row_scan_ns);
+
+    if (q.where != nullptr) {
+      SQLARRAY_ASSIGN_OR_RETURN(Value keep, Eval(*q.where, ctx));
+      SQLARRAY_ASSIGN_OR_RETURN(int64_t truthy,
+                                keep.is_null() ? Result<int64_t>(int64_t{0})
+                                               : keep.AsInt());
+      if (truthy == 0) {
+        continue;
+      }
+    }
+
+    std::vector<Value> row;
+    row.reserve(q.items.size());
+    for (const SelectItem& item : q.items) {
+      SQLARRAY_ASSIGN_OR_RETURN(Value v, Eval(*item.expr, ctx));
+      row.push_back(std::move(v));
+    }
+    rs.rows.push_back(std::move(row));
+  }
+
+  rs.stats.io = db_->disk()->stats() - io_before;
+  rs.stats.wall_seconds = watch.ElapsedSeconds();
+  return rs;
+}
+
+}  // namespace sqlarray::engine

@@ -1,0 +1,117 @@
+// Query executor: clustered index scans with filters, projections,
+// aggregates (native and user-defined), and GROUP BY.
+//
+// Execution is single-threaded and real (results are actually computed);
+// virtual time is accounted against the CostModel so benches can report the
+// modeled testbed numbers next to measured wall time.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/cost.h"
+#include "engine/expr.h"
+#include "storage/table.h"
+
+namespace sqlarray::engine {
+
+/// One SELECT-list item: either a plain expression (a group key or a
+/// row-mode projection) or a single aggregate over an argument expression.
+struct SelectItem {
+  enum class AggKind { kNone, kCount, kSum, kMin, kMax, kAvg, kUda };
+
+  AggKind agg = AggKind::kNone;
+  /// Projection / aggregate argument (null for COUNT(*)).
+  ExprPtr expr;
+  /// UDA identification and arguments (agg == kUda).
+  std::string uda_schema;
+  std::string uda_name;
+  std::vector<ExprPtr> uda_args;
+  /// Output column label.
+  std::string label;
+};
+
+/// A bound single-source query. The source is a table, a table-valued
+/// function, or nothing (FROM-less SELECT).
+struct Query {
+  storage::Table* table = nullptr;  ///< null unless selecting from a table
+  /// Table-valued function source (e.g. FloatArray.ToTable(@a)).
+  const TableValuedFunction* tvf = nullptr;
+  std::vector<ExprPtr> tvf_args;
+  std::vector<SelectItem> items;
+  ExprPtr where;                    ///< optional filter
+  std::vector<ExprPtr> group_by;    ///< optional grouping keys
+  int64_t top = -1;                 ///< row limit, -1 = unlimited
+};
+
+/// Materialized query result plus its statistics.
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<std::vector<Value>> rows;
+  QueryStats stats;
+
+  /// Convenience for single-cell results.
+  Result<Value> ScalarResult() const;
+};
+
+/// Executes bound queries against a Database.
+class Executor {
+ public:
+  Executor(storage::Database* db, FunctionRegistry* registry,
+           CostModel cost = {})
+      : db_(db), registry_(registry), cost_(cost) {}
+
+  storage::Database* db() { return db_; }
+  FunctionRegistry* registry() { return registry_; }
+  const CostModel& cost_model() const { return cost_; }
+  CostModel* mutable_cost_model() { return &cost_; }
+
+  /// Installs the session's subquery runner so reader-style UDFs can pull
+  /// rows (null to clear).
+  void set_subquery_runner(const SubqueryFn* fn) { subquery_fn_ = fn; }
+
+  /// Degree of parallelism for eligible aggregate scans (ungrouped, no
+  /// UDAs). 1 = serial. Workers each scan a disjoint leaf-page range with
+  /// their own buffer pool and merge partial aggregates, like the host
+  /// engine's parallel query plans.
+  void set_scan_workers(int workers) { scan_workers_ = workers; }
+  int scan_workers() const { return scan_workers_; }
+
+  /// Evaluates a standalone (FROM-less) expression. When `stats` is given,
+  /// UDF boundary costs (and any nested-subquery work merged by reader-style
+  /// UDFs) are accounted there.
+  Result<Value> EvalStandalone(const Expr& expr,
+                               std::map<std::string, Value>* variables,
+                               QueryStats* stats = nullptr);
+
+  /// Binds the query's expressions against the table schema + registry.
+  Status Bind(Query* q) const;
+
+  /// Runs a bound query.
+  Result<ResultSet> Execute(const Query& q,
+                            std::map<std::string, Value>* variables);
+
+ private:
+  Result<ResultSet> ExecuteAggregate(const Query& q,
+                                     std::map<std::string, Value>* variables);
+  Result<ResultSet> ExecuteRows(const Query& q,
+                                std::map<std::string, Value>* variables);
+  /// Evaluates a TVF source's arguments and materializes its rows, charging
+  /// the boundary costs.
+  Result<std::vector<std::vector<Value>>> MaterializeTvf(
+      const Query& q, std::map<std::string, Value>* variables,
+      QueryStats* stats);
+  /// Multithreaded ungrouped aggregation over disjoint leaf-page chunks.
+  Result<ResultSet> ExecuteAggregateParallel(
+      const Query& q, std::map<std::string, Value>* variables);
+
+  storage::Database* db_;
+  FunctionRegistry* registry_;
+  CostModel cost_;
+  const SubqueryFn* subquery_fn_ = nullptr;
+  int scan_workers_ = 1;
+};
+
+}  // namespace sqlarray::engine

@@ -1,0 +1,120 @@
+#include "engine/udf.h"
+
+#include <algorithm>
+
+namespace sqlarray::engine {
+
+namespace {
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+std::string FunctionRegistry::Key(const std::string& schema,
+                                  const std::string& name, int arity) {
+  return Lower(schema) + "." + Lower(name) + "/" + std::to_string(arity);
+}
+
+Status FunctionRegistry::RegisterScalar(ScalarFunction fn) {
+  std::string key = Key(fn.schema, fn.name, fn.arity);
+  if (scalars_.count(key) != 0) {
+    return Status::AlreadyExists("function already registered: " + key);
+  }
+  scalars_.emplace(std::move(key), std::move(fn));
+  return Status::OK();
+}
+
+Status FunctionRegistry::RegisterUda(const std::string& schema,
+                                     const std::string& name,
+                                     UdaFactory factory) {
+  std::string key = Lower(schema) + "." + Lower(name);
+  if (udas_.count(key) != 0) {
+    return Status::AlreadyExists("aggregate already registered: " + key);
+  }
+  udas_.emplace(std::move(key), std::move(factory));
+  return Status::OK();
+}
+
+Result<const ScalarFunction*> FunctionRegistry::Resolve(
+    const std::string& schema, const std::string& name, int arity) const {
+  auto it = scalars_.find(Key(schema, name, arity));
+  if (it == scalars_.end()) {
+    it = scalars_.find(Key(schema, name, -1));  // variadic fallback
+  }
+  if (it == scalars_.end()) {
+    return Status::NotFound("no function " + schema + "." + name + " with " +
+                            std::to_string(arity) + " arguments");
+  }
+  return &it->second;
+}
+
+Status FunctionRegistry::RegisterTvf(TableValuedFunction tvf) {
+  std::string key = Lower(tvf.schema) + "." + Lower(tvf.name);
+  if (tvfs_.count(key) != 0) {
+    return Status::AlreadyExists("table-valued function already registered: " +
+                                 key);
+  }
+  tvfs_.emplace(std::move(key), std::move(tvf));
+  return Status::OK();
+}
+
+Result<const TableValuedFunction*> FunctionRegistry::ResolveTvf(
+    const std::string& schema, const std::string& name) const {
+  auto it = tvfs_.find(Lower(schema) + "." + Lower(name));
+  if (it == tvfs_.end()) {
+    return Status::NotFound("no table-valued function " + schema + "." +
+                            name);
+  }
+  return &it->second;
+}
+
+Result<const UdaFactory*> FunctionRegistry::ResolveUda(
+    const std::string& schema, const std::string& name) const {
+  auto it = udas_.find(Lower(schema) + "." + Lower(name));
+  if (it == udas_.end()) {
+    return Status::NotFound("no aggregate " + schema + "." + name);
+  }
+  return &it->second;
+}
+
+bool FunctionRegistry::HasScalar(const std::string& schema,
+                                 const std::string& name) const {
+  // Arity-insensitive probe used by the binder to classify identifiers.
+  std::string prefix = Lower(schema) + "." + Lower(name) + "/";
+  auto it = scalars_.lower_bound(prefix);
+  return it != scalars_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+}
+
+Result<Value> FunctionRegistry::Invoke(const ScalarFunction& fn,
+                                       std::span<const Value> args,
+                                       UdfContext& ctx) {
+  if (fn.boundary == Boundary::kClr && ctx.stats != nullptr &&
+      ctx.cost != nullptr) {
+    // Charge the CLR boundary: flat call cost, per-byte argument
+    // marshaling, and the function's declared managed work.
+    int64_t arg_bytes = 0;
+    for (const Value& v : args) arg_bytes += v.ByteSize();
+    ctx.stats->udf_calls++;
+    ctx.stats->udf_bytes_marshaled += arg_bytes;
+    ctx.stats->ChargeCpuNs(ctx.cost->clr_call_ns +
+                           ctx.cost->clr_byte_ns *
+                               static_cast<double>(arg_bytes) +
+                           fn.managed_work_ns);
+  }
+  SQLARRAY_ASSIGN_OR_RETURN(Value out, fn.fn(args, ctx));
+  if (fn.boundary == Boundary::kClr && ctx.stats != nullptr &&
+      ctx.cost != nullptr) {
+    // Result marshaling back across the boundary.
+    int64_t out_bytes = out.ByteSize();
+    ctx.stats->udf_bytes_marshaled += out_bytes;
+    ctx.stats->ChargeCpuNs(ctx.cost->clr_byte_ns *
+                           static_cast<double>(out_bytes));
+  }
+  return out;
+}
+
+}  // namespace sqlarray::engine

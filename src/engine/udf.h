@@ -1,0 +1,129 @@
+// User-defined function registry and the CLR boundary.
+//
+// The paper's library surfaces as schema-qualified scalar UDFs
+// (FloatArray.Item_1, FloatArrayMax.Subarray, ...) plus user-defined
+// aggregates. Each registered function carries a boundary kind: kNative
+// (built into the server, e.g. SUM) or kClr (hosted — every invocation pays
+// the flat call overhead and per-byte marshaling the paper measures in
+// Sec. 7.1, plus any declared managed-work cost).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/cost.h"
+#include "engine/value.h"
+
+namespace sqlarray::engine {
+
+/// Where a function executes; determines boundary-cost accounting.
+enum class Boundary { kNative, kClr };
+
+/// Rows plus execution statistics of a nested query.
+struct SubqueryResult {
+  std::vector<std::vector<Value>> rows;
+  QueryStats stats;
+};
+
+/// Runs a SQL text subquery and returns its rows — how reader-style UDFs
+/// (the paper's Concat-from-query replacement for slow UDAs, Sec. 4.2)
+/// pull data without being aggregates themselves. Wired up by the session.
+using SubqueryFn = std::function<Result<SubqueryResult>(const std::string&)>;
+
+/// Per-invocation execution context handed to UDF bodies.
+struct UdfContext {
+  storage::BufferPool* pool = nullptr;  ///< for opening blob streams
+  QueryStats* stats = nullptr;          ///< may be null outside queries
+  const CostModel* cost = nullptr;
+  const SubqueryFn* subquery = nullptr;  ///< null outside a session
+};
+
+/// A scalar function implementation.
+using ScalarFn =
+    std::function<Result<Value>(std::span<const Value>, UdfContext&)>;
+
+/// A registered scalar function.
+struct ScalarFunction {
+  std::string schema;
+  std::string name;
+  int arity = 0;  ///< -1 for variadic
+  Boundary boundary = Boundary::kClr;
+  /// Modeled managed-work nanoseconds per call (0 for the empty function).
+  double managed_work_ns = 0;
+  ScalarFn fn;
+};
+
+/// A user-defined aggregate. The engine emulates SQL Server's hosting
+/// contract: the accumulator state is serialized and deserialized across
+/// every row (the Sec. 4.2 bottleneck), which the cost model charges.
+class Uda {
+ public:
+  virtual ~Uda() = default;
+  /// Fresh serialized state.
+  virtual Result<std::vector<uint8_t>> Init(std::span<const Value> args,
+                                            UdfContext& ctx) = 0;
+  /// Consumes one row, returning the new serialized state.
+  virtual Result<std::vector<uint8_t>> Accumulate(
+      std::span<const uint8_t> state, std::span<const Value> row_args,
+      UdfContext& ctx) = 0;
+  /// Produces the final value from the last state.
+  virtual Result<Value> Terminate(std::span<const uint8_t> state,
+                                  UdfContext& ctx) = 0;
+};
+
+/// Factory so each query gets a fresh aggregate instance.
+using UdaFactory = std::function<std::unique_ptr<Uda>()>;
+
+/// A table-valued function: called with scalar arguments, produces rows
+/// (the paper's ToTable / MatrixToTable surface, Sec. 5.1). Hosted like any
+/// CLR function; each produced row streams across the boundary.
+struct TableValuedFunction {
+  std::string schema;
+  std::string name;
+  int arity = 0;
+  std::vector<std::string> columns;  ///< output column names
+  std::function<Result<std::vector<std::vector<Value>>>(
+      std::span<const Value>, UdfContext&)>
+      fn;
+};
+
+/// Registry of schema-qualified functions.
+class FunctionRegistry {
+ public:
+  Status RegisterScalar(ScalarFunction fn);
+  Status RegisterUda(const std::string& schema, const std::string& name,
+                     UdaFactory factory);
+  Status RegisterTvf(TableValuedFunction tvf);
+
+  /// Resolves "Schema.Name" with the given argument count (exact-arity
+  /// match first, then a variadic registration).
+  Result<const ScalarFunction*> Resolve(const std::string& schema,
+                                        const std::string& name,
+                                        int arity) const;
+  Result<const UdaFactory*> ResolveUda(const std::string& schema,
+                                       const std::string& name) const;
+  Result<const TableValuedFunction*> ResolveTvf(const std::string& schema,
+                                                const std::string& name) const;
+
+  bool HasScalar(const std::string& schema, const std::string& name) const;
+
+  /// Number of registered scalar functions (catalog introspection).
+  int64_t scalar_count() const { return static_cast<int64_t>(scalars_.size()); }
+
+  /// Invokes a resolved function, charging boundary costs to ctx.stats.
+  static Result<Value> Invoke(const ScalarFunction& fn,
+                              std::span<const Value> args, UdfContext& ctx);
+
+ private:
+  static std::string Key(const std::string& schema, const std::string& name,
+                         int arity);
+  std::map<std::string, ScalarFunction> scalars_;
+  std::map<std::string, UdaFactory> udas_;
+  std::map<std::string, TableValuedFunction> tvfs_;
+};
+
+}  // namespace sqlarray::engine

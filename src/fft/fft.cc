@@ -1,0 +1,201 @@
+#include "fft/fft.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <numbers>
+
+namespace sqlarray::fft {
+
+namespace {
+
+bool IsPowerOfTwo(int64_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+/// Iterative radix-2 Cooley–Tukey, unnormalized. `sign` is -1 for forward,
+/// +1 for inverse.
+void Radix2(Complex* a, int64_t n, int sign) {
+  // Bit-reversal permutation.
+  for (int64_t i = 1, j = 0; i < n; ++i) {
+    int64_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (int64_t len = 2; len <= n; len <<= 1) {
+    double ang = sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+    Complex wlen(std::cos(ang), std::sin(ang));
+    for (int64_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (int64_t k = 0; k < len / 2; ++k) {
+        Complex u = a[i + k];
+        Complex v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+/// Bluestein chirp-z transform for arbitrary n, unnormalized.
+void Bluestein(Complex* a, int64_t n, int sign) {
+  int64_t m = 1;
+  while (m < 2 * n - 1) m <<= 1;
+
+  // Chirp w_k = exp(sign * i * pi * k^2 / n); computing k^2 mod 2n keeps the
+  // angle argument small for large k.
+  std::vector<Complex> chirp(n);
+  for (int64_t k = 0; k < n; ++k) {
+    int64_t k2 = (k * k) % (2 * n);
+    double ang =
+        sign * std::numbers::pi * static_cast<double>(k2) / static_cast<double>(n);
+    chirp[k] = Complex(std::cos(ang), std::sin(ang));
+  }
+
+  std::vector<Complex> fa(m, Complex(0, 0)), fb(m, Complex(0, 0));
+  for (int64_t k = 0; k < n; ++k) fa[k] = a[k] * chirp[k];
+  fb[0] = std::conj(chirp[0]);
+  for (int64_t k = 1; k < n; ++k) {
+    fb[k] = fb[m - k] = std::conj(chirp[k]);
+  }
+
+  Radix2(fa.data(), m, -1);
+  Radix2(fb.data(), m, -1);
+  for (int64_t k = 0; k < m; ++k) fa[k] *= fb[k];
+  Radix2(fa.data(), m, +1);
+  double inv_m = 1.0 / static_cast<double>(m);
+  for (int64_t k = 0; k < n; ++k) {
+    a[k] = fa[k] * inv_m * chirp[k];
+  }
+}
+
+/// Unnormalized transform of any length.
+void RawTransform(Complex* a, int64_t n, int sign) {
+  if (n <= 1) return;
+  if (IsPowerOfTwo(n)) {
+    Radix2(a, n, sign);
+  } else {
+    Bluestein(a, n, sign);
+  }
+}
+
+}  // namespace
+
+Status Transform(std::span<Complex> data, Direction dir) {
+  const int64_t n = static_cast<int64_t>(data.size());
+  if (n == 0) return Status::InvalidArgument("empty FFT input");
+  RawTransform(data.data(), n, dir == Direction::kForward ? -1 : +1);
+  if (dir == Direction::kInverse) {
+    double inv = 1.0 / static_cast<double>(n);
+    for (Complex& c : data) c *= inv;
+  }
+  return Status::OK();
+}
+
+std::vector<Complex> NaiveDft(std::span<const Complex> data, Direction dir) {
+  const int64_t n = static_cast<int64_t>(data.size());
+  const double sign = dir == Direction::kForward ? -1.0 : 1.0;
+  std::vector<Complex> out(n, Complex(0, 0));
+  for (int64_t k = 0; k < n; ++k) {
+    for (int64_t j = 0; j < n; ++j) {
+      double ang = sign * 2.0 * std::numbers::pi * static_cast<double>(k) *
+                   static_cast<double>(j) / static_cast<double>(n);
+      out[k] += data[j] * Complex(std::cos(ang), std::sin(ang));
+    }
+  }
+  if (dir == Direction::kInverse) {
+    double inv = 1.0 / static_cast<double>(n);
+    for (Complex& c : out) c *= inv;
+  }
+  return out;
+}
+
+Plan::Plan(Dims dims) : dims_(std::move(dims)) {
+  n_total_ = ElementCount(dims_);
+  int64_t max_axis = 0;
+  for (int64_t d : dims_) max_axis = std::max(max_axis, d);
+  axis_scratch_.resize(static_cast<size_t>(max_axis));
+  void* p = nullptr;
+  // FFTW-style 64-byte alignment for the scratch buffer.
+  if (posix_memalign(&p, 64, sizeof(Complex) * static_cast<size_t>(n_total_)) != 0) {
+    p = nullptr;
+  }
+  aligned_ = static_cast<Complex*>(p);
+}
+
+Plan::~Plan() { std::free(aligned_); }
+
+Result<std::unique_ptr<Plan>> Plan::Create(Dims dims) {
+  SQLARRAY_RETURN_IF_ERROR(ValidateDims(dims));
+  if (ElementCount(dims) == 0) {
+    return Status::InvalidArgument("FFT plan requires a non-empty shape");
+  }
+  auto plan = std::unique_ptr<Plan>(new Plan(std::move(dims)));
+  if (plan->aligned_ == nullptr) {
+    return Status::ResourceExhausted("failed to allocate aligned FFT buffer");
+  }
+  return plan;
+}
+
+Status Plan::TransformAxes(Complex* data, Direction dir) {
+  const int sign = dir == Direction::kForward ? -1 : +1;
+  const int rank = static_cast<int>(dims_.size());
+  const Dims strides = ColumnMajorStrides(dims_);
+
+  for (int axis = 0; axis < rank; ++axis) {
+    const int64_t len = dims_[axis];
+    const int64_t stride = strides[axis];
+    const int64_t lines = n_total_ / len;
+    if (len <= 1) continue;
+
+    // Enumerate all 1-D lines along `axis`: iterate the other dims.
+    Dims cursor(rank, 0);
+    for (int64_t line = 0; line < lines; ++line) {
+      int64_t base = 0;
+      for (int k = 0; k < rank; ++k) {
+        if (k != axis) base += cursor[k] * strides[k];
+      }
+      if (stride == 1) {
+        RawTransform(data + base, len, sign);
+      } else {
+        Complex* scratch = axis_scratch_.data();
+        for (int64_t i = 0; i < len; ++i) scratch[i] = data[base + i * stride];
+        RawTransform(scratch, len, sign);
+        for (int64_t i = 0; i < len; ++i) data[base + i * stride] = scratch[i];
+      }
+      for (int k = 0; k < rank; ++k) {
+        if (k == axis) continue;
+        if (++cursor[k] < dims_[k]) break;
+        cursor[k] = 0;
+      }
+    }
+  }
+  if (dir == Direction::kInverse) {
+    double inv = 1.0 / static_cast<double>(n_total_);
+    for (int64_t i = 0; i < n_total_; ++i) data[i] *= inv;
+  }
+  return Status::OK();
+}
+
+Status Plan::Execute(std::span<const Complex> in, std::span<Complex> out,
+                     Direction dir) {
+  if (static_cast<int64_t>(in.size()) != n_total_ ||
+      static_cast<int64_t>(out.size()) != n_total_) {
+    return Status::InvalidArgument("buffer sizes do not match the plan shape");
+  }
+  std::copy(in.begin(), in.end(), aligned_);
+  SQLARRAY_RETURN_IF_ERROR(TransformAxes(aligned_, dir));
+  std::copy(aligned_, aligned_ + n_total_, out.begin());
+  return Status::OK();
+}
+
+Status Plan::ExecuteUnaligned(std::span<const Complex> in,
+                              std::span<Complex> out, Direction dir) {
+  if (static_cast<int64_t>(in.size()) != n_total_ ||
+      static_cast<int64_t>(out.size()) != n_total_) {
+    return Status::InvalidArgument("buffer sizes do not match the plan shape");
+  }
+  if (out.data() != in.data()) std::copy(in.begin(), in.end(), out.begin());
+  return TransformAxes(out.data(), dir);
+}
+
+}  // namespace sqlarray::fft

@@ -1,0 +1,72 @@
+// Discrete Fourier transforms — the FFTW substitute (Sec. 3.6 / 5.3).
+//
+// Supports complex transforms of any length (iterative radix-2 for powers of
+// two, Bluestein's chirp-z for the rest) and multi-dimensional transforms
+// over column-major arrays. Mirrors FFTW's plan model: a Plan owns aligned
+// scratch buffers, and execution copies data into them — the paper notes this
+// copy is required by FFTW and "usually worth the otherwise expensive
+// operation"; the M1 bench measures exactly that trade.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/dims.h"
+#include "common/status.h"
+
+namespace sqlarray::fft {
+
+using Complex = std::complex<double>;
+
+/// Transform direction. Inverse applies the 1/N normalization.
+enum class Direction { kForward, kInverse };
+
+/// In-place complex FFT of arbitrary length (no plan reuse; convenience
+/// entry point for one-shot transforms).
+Status Transform(std::span<Complex> data, Direction dir);
+
+/// Reference O(n^2) DFT used by tests to validate the fast paths.
+std::vector<Complex> NaiveDft(std::span<const Complex> data, Direction dir);
+
+/// A reusable transform plan for a fixed shape, in the spirit of
+/// fftw_plan_dft. Owns 64-byte-aligned scratch buffers plus precomputed
+/// twiddle tables for each axis length.
+class Plan {
+ public:
+  /// Creates a plan for an N-dimensional transform over column-major data of
+  /// the given shape.
+  static Result<std::unique_ptr<Plan>> Create(Dims dims);
+
+  ~Plan();
+  Plan(const Plan&) = delete;
+  Plan& operator=(const Plan&) = delete;
+
+  const Dims& dims() const { return dims_; }
+  int64_t size() const { return n_total_; }
+
+  /// Executes out <- FFT(in). `in` and `out` may alias. Data is copied into
+  /// the plan's aligned buffer, transformed along every axis, and copied out
+  /// (the FFTW calling convention the paper describes).
+  Status Execute(std::span<const Complex> in, std::span<Complex> out,
+                 Direction dir);
+
+  /// Executes without using the aligned scratch buffer (operates directly on
+  /// a caller buffer copy) — the ablation arm of the M1 bench.
+  Status ExecuteUnaligned(std::span<const Complex> in, std::span<Complex> out,
+                          Direction dir);
+
+ private:
+  explicit Plan(Dims dims);
+
+  Status TransformAxes(Complex* data, Direction dir);
+
+  Dims dims_;
+  int64_t n_total_ = 0;
+  Complex* aligned_ = nullptr;  ///< 64-byte aligned scratch, n_total_ long
+  std::vector<Complex> axis_scratch_;
+};
+
+}  // namespace sqlarray::fft

@@ -1,0 +1,100 @@
+#include "math/dense.h"
+
+#include <cmath>
+
+namespace sqlarray::math {
+
+void Gemv(bool transpose, double alpha, ConstMatrixView a,
+          std::span<const double> x, double beta, std::span<double> y) {
+  if (!transpose) {
+    // y_i = alpha * sum_j A(i,j) x_j + beta * y_i — march down columns so the
+    // inner loop is stride-1.
+    for (int64_t i = 0; i < a.rows; ++i) y[i] *= beta;
+    for (int64_t j = 0; j < a.cols; ++j) {
+      const double xj = alpha * x[j];
+      const double* col = a.data + j * a.ld;
+      for (int64_t i = 0; i < a.rows; ++i) y[i] += col[i] * xj;
+    }
+  } else {
+    for (int64_t j = 0; j < a.cols; ++j) {
+      const double* col = a.data + j * a.ld;
+      double sum = 0;
+      for (int64_t i = 0; i < a.rows; ++i) sum += col[i] * x[i];
+      y[j] = alpha * sum + beta * y[j];
+    }
+  }
+}
+
+void Gemm(bool trans_a, bool trans_b, double alpha, ConstMatrixView a,
+          ConstMatrixView b, double beta, MatrixView c) {
+  const int64_t m = c.rows;
+  const int64_t n = c.cols;
+  const int64_t kk = trans_a ? a.rows : a.cols;
+
+  for (int64_t j = 0; j < n; ++j) {
+    double* cj = c.data + j * c.ld;
+    for (int64_t i = 0; i < m; ++i) cj[i] *= beta;
+  }
+  // Loop order j-k-i keeps the innermost loop stride-1 over C and A columns.
+  for (int64_t j = 0; j < n; ++j) {
+    double* cj = c.data + j * c.ld;
+    for (int64_t k = 0; k < kk; ++k) {
+      const double bkj = trans_b ? b.at(j, k) : b.at(k, j);
+      if (bkj == 0.0) continue;
+      const double f = alpha * bkj;
+      if (!trans_a) {
+        const double* ak = a.data + k * a.ld;
+        for (int64_t i = 0; i < m; ++i) cj[i] += ak[i] * f;
+      } else {
+        for (int64_t i = 0; i < m; ++i) cj[i] += a.at(k, i) * f;
+      }
+    }
+  }
+}
+
+double Dot(std::span<const double> x, std::span<const double> y) {
+  double sum = 0;
+  for (size_t i = 0; i < x.size(); ++i) sum += x[i] * y[i];
+  return sum;
+}
+
+double Nrm2(std::span<const double> x) {
+  // Two-pass scaled norm: robust against overflow for large magnitudes.
+  double maxabs = 0;
+  for (double v : x) maxabs = std::max(maxabs, std::fabs(v));
+  if (maxabs == 0.0) return 0.0;
+  double sum = 0;
+  for (double v : x) {
+    double s = v / maxabs;
+    sum += s * s;
+  }
+  return maxabs * std::sqrt(sum);
+}
+
+void Axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void Scal(double alpha, std::span<double> x) {
+  for (double& v : x) v *= alpha;
+}
+
+Matrix Transpose(ConstMatrixView a) {
+  Matrix t(a.cols, a.rows);
+  for (int64_t j = 0; j < a.cols; ++j) {
+    for (int64_t i = 0; i < a.rows; ++i) t.at(j, i) = a.at(i, j);
+  }
+  return t;
+}
+
+double MaxAbsDiff(ConstMatrixView a, ConstMatrixView b) {
+  double mx = 0;
+  for (int64_t j = 0; j < a.cols; ++j) {
+    for (int64_t i = 0; i < a.rows; ++i) {
+      mx = std::max(mx, std::fabs(a.at(i, j) - b.at(i, j)));
+    }
+  }
+  return mx;
+}
+
+}  // namespace sqlarray::math

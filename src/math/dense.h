@@ -1,0 +1,102 @@
+// Dense column-major matrix kernels (the BLAS-level substrate).
+//
+// All matrices are COLUMN-MAJOR with an explicit leading dimension, matching
+// LAPACK conventions and the array library's element order, so array blobs
+// marshal into these routines without any transposition (Sec. 5.3).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sqlarray::math {
+
+/// A mutable view of a column-major matrix: element (i, j) lives at
+/// data[i + j * ld].
+struct MatrixView {
+  double* data = nullptr;
+  int64_t rows = 0;
+  int64_t cols = 0;
+  int64_t ld = 0;  ///< leading dimension (>= rows)
+
+  double& at(int64_t i, int64_t j) const { return data[i + j * ld]; }
+};
+
+/// A read-only column-major matrix view.
+struct ConstMatrixView {
+  const double* data = nullptr;
+  int64_t rows = 0;
+  int64_t cols = 0;
+  int64_t ld = 0;
+
+  ConstMatrixView() = default;
+  ConstMatrixView(const double* d, int64_t r, int64_t c, int64_t l)
+      : data(d), rows(r), cols(c), ld(l) {}
+  /*implicit*/ ConstMatrixView(const MatrixView& m)  // NOLINT
+      : data(m.data), rows(m.rows), cols(m.cols), ld(m.ld) {}
+
+  double at(int64_t i, int64_t j) const { return data[i + j * ld]; }
+};
+
+/// An owning column-major matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  static Matrix Identity(int64_t n) {
+    Matrix m(n, n);
+    for (int64_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+    return m;
+  }
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  double& at(int64_t i, int64_t j) { return data_[i + j * rows_]; }
+  double at(int64_t i, int64_t j) const { return data_[i + j * rows_]; }
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::span<double> span() { return data_; }
+  std::span<const double> span() const { return data_; }
+
+  MatrixView view() { return {data_.data(), rows_, cols_, rows_}; }
+  ConstMatrixView view() const {
+    return {data_.data(), rows_, cols_, rows_};
+  }
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// y = alpha * op(A) * x + beta * y; op is A or A^T.
+void Gemv(bool transpose, double alpha, ConstMatrixView a,
+          std::span<const double> x, double beta, std::span<double> y);
+
+/// C = alpha * op(A) * op(B) + beta * C.
+void Gemm(bool trans_a, bool trans_b, double alpha, ConstMatrixView a,
+          ConstMatrixView b, double beta, MatrixView c);
+
+/// Dot product of two equal-length vectors.
+double Dot(std::span<const double> x, std::span<const double> y);
+
+/// Euclidean norm, computed with scaling to avoid overflow.
+double Nrm2(std::span<const double> x);
+
+/// y += alpha * x.
+void Axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// x *= alpha.
+void Scal(double alpha, std::span<double> x);
+
+/// Returns B = A^T as a new owning matrix.
+Matrix Transpose(ConstMatrixView a);
+
+/// Max-abs element difference between two matrices (test helper).
+double MaxAbsDiff(ConstMatrixView a, ConstMatrixView b);
+
+}  // namespace sqlarray::math

@@ -1,0 +1,225 @@
+#include "math/interp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sqlarray::math {
+
+int StencilWidth(InterpScheme scheme) {
+  switch (scheme) {
+    case InterpScheme::kNearest:
+      return 1;
+    case InterpScheme::kLinear:
+      return 2;
+    case InterpScheme::kLagrange4:
+      return 4;
+    case InterpScheme::kLagrange6:
+      return 6;
+    case InterpScheme::kLagrange8:
+      return 8;
+    case InterpScheme::kPchip:
+      return 4;  // local cubic; four points influence a cell
+  }
+  return 1;
+}
+
+Status LagrangeWeights(int n, double t, std::span<double> w) {
+  if (n < 2 || n % 2 != 0) {
+    return Status::InvalidArgument(
+        "Lagrange stencil width must be an even number >= 2");
+  }
+  if (static_cast<int>(w.size()) < n) {
+    return Status::InvalidArgument("weight buffer too small");
+  }
+  // Nodes at integer offsets lo .. lo + n - 1 with lo = -(n/2 - 1); the
+  // evaluation point is at offset t in [0, 1).
+  const int lo = -(n / 2 - 1);
+  for (int i = 0; i < n; ++i) {
+    double xi = lo + i;
+    double num = 1.0, den = 1.0;
+    for (int j = 0; j < n; ++j) {
+      if (j == i) continue;
+      double xj = lo + j;
+      num *= (t - xj);
+      den *= (xi - xj);
+    }
+    w[i] = num / den;
+  }
+  return Status::OK();
+}
+
+namespace {
+
+int64_t WrapIndex(int64_t i, int64_t n) {
+  int64_t m = i % n;
+  return m < 0 ? m + n : m;
+}
+
+}  // namespace
+
+Result<double> Interp1DPeriodic(InterpScheme scheme,
+                                std::span<const double> y, double x) {
+  const int64_t n = static_cast<int64_t>(y.size());
+  if (n == 0) return Status::InvalidArgument("empty signal");
+
+  switch (scheme) {
+    case InterpScheme::kNearest: {
+      int64_t i = WrapIndex(static_cast<int64_t>(std::llround(x)), n);
+      return y[i];
+    }
+    case InterpScheme::kLinear: {
+      double f = std::floor(x);
+      double t = x - f;
+      int64_t i0 = WrapIndex(static_cast<int64_t>(f), n);
+      int64_t i1 = WrapIndex(i0 + 1, n);
+      return y[i0] * (1 - t) + y[i1] * t;
+    }
+    case InterpScheme::kLagrange4:
+    case InterpScheme::kLagrange6:
+    case InterpScheme::kLagrange8: {
+      int width = StencilWidth(scheme);
+      double f = std::floor(x);
+      double t = x - f;
+      double w[8];
+      SQLARRAY_RETURN_IF_ERROR(
+          LagrangeWeights(width, t, std::span<double>(w, 8)));
+      const int lo = -(width / 2 - 1);
+      double sum = 0;
+      for (int i = 0; i < width; ++i) {
+        int64_t idx = WrapIndex(static_cast<int64_t>(f) + lo + i, n);
+        sum += w[i] * y[idx];
+      }
+      return sum;
+    }
+    case InterpScheme::kPchip: {
+      // PCHIP on a periodic uniform grid: build over one period with a
+      // wrap-around pad. For the common database path use PchipInterpolator
+      // directly; this branch exists for interface completeness.
+      std::vector<double> xs(n + 1), ys(n + 1);
+      for (int64_t i = 0; i <= n; ++i) {
+        xs[i] = static_cast<double>(i);
+        ys[i] = y[WrapIndex(i, n)];
+      }
+      SQLARRAY_ASSIGN_OR_RETURN(
+          PchipInterpolator p,
+          PchipInterpolator::Create(std::move(xs), std::move(ys)));
+      double xp = x - std::floor(x / static_cast<double>(n)) *
+                          static_cast<double>(n);
+      return p.Eval(xp);
+    }
+  }
+  return Status::Internal("unreachable scheme");
+}
+
+Result<double> Interp3DPeriodic(
+    InterpScheme scheme, int64_t n,
+    const std::function<double(int64_t, int64_t, int64_t)>& fetch, double x,
+    double y, double z) {
+  if (scheme == InterpScheme::kPchip) {
+    return Status::InvalidArgument(
+        "PCHIP is not separable; use per-axis PchipInterpolator");
+  }
+  if (scheme == InterpScheme::kNearest) {
+    return fetch(WrapIndex(static_cast<int64_t>(std::llround(x)), n),
+                 WrapIndex(static_cast<int64_t>(std::llround(y)), n),
+                 WrapIndex(static_cast<int64_t>(std::llround(z)), n));
+  }
+
+  int width = StencilWidth(scheme);
+  double wx[8], wy[8], wz[8];
+  const double fx = std::floor(x), fy = std::floor(y), fz = std::floor(z);
+  if (scheme == InterpScheme::kLinear) {
+    wx[0] = 1 - (x - fx);
+    wx[1] = x - fx;
+    wy[0] = 1 - (y - fy);
+    wy[1] = y - fy;
+    wz[0] = 1 - (z - fz);
+    wz[1] = z - fz;
+  } else {
+    SQLARRAY_RETURN_IF_ERROR(
+        LagrangeWeights(width, x - fx, std::span<double>(wx, 8)));
+    SQLARRAY_RETURN_IF_ERROR(
+        LagrangeWeights(width, y - fy, std::span<double>(wy, 8)));
+    SQLARRAY_RETURN_IF_ERROR(
+        LagrangeWeights(width, z - fz, std::span<double>(wz, 8)));
+  }
+  const int lo = scheme == InterpScheme::kLinear ? 0 : -(width / 2 - 1);
+
+  double sum = 0;
+  for (int k = 0; k < width; ++k) {
+    int64_t zk = WrapIndex(static_cast<int64_t>(fz) + lo + k, n);
+    for (int j = 0; j < width; ++j) {
+      int64_t yj = WrapIndex(static_cast<int64_t>(fy) + lo + j, n);
+      double wyz = wy[j] * wz[k];
+      for (int i = 0; i < width; ++i) {
+        int64_t xi = WrapIndex(static_cast<int64_t>(fx) + lo + i, n);
+        sum += wx[i] * wyz * fetch(xi, yj, zk);
+      }
+    }
+  }
+  return sum;
+}
+
+Result<PchipInterpolator> PchipInterpolator::Create(std::vector<double> x,
+                                                    std::vector<double> y) {
+  const size_t n = x.size();
+  if (n < 2 || y.size() != n) {
+    return Status::InvalidArgument(
+        "PCHIP needs >= 2 knots with matching x/y lengths");
+  }
+  for (size_t i = 1; i < n; ++i) {
+    if (!(x[i] > x[i - 1])) {
+      return Status::InvalidArgument(
+          "PCHIP knot abscissae must be strictly increasing");
+    }
+  }
+
+  // Fritsch–Carlson monotone derivative estimates.
+  std::vector<double> h(n - 1), delta(n - 1), d(n);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    h[i] = x[i + 1] - x[i];
+    delta[i] = (y[i + 1] - y[i]) / h[i];
+  }
+  if (n == 2) {
+    d[0] = d[1] = delta[0];
+  } else {
+    for (size_t i = 1; i + 1 < n; ++i) {
+      if (delta[i - 1] * delta[i] <= 0) {
+        d[i] = 0;
+      } else {
+        // Weighted harmonic mean preserving monotonicity.
+        double w1 = 2 * h[i] + h[i - 1];
+        double w2 = h[i] + 2 * h[i - 1];
+        d[i] = (w1 + w2) / (w1 / delta[i - 1] + w2 / delta[i]);
+      }
+    }
+    // One-sided boundary derivative with monotonicity limiting.
+    auto edge = [](double h0, double h1, double d0, double d1) {
+      double der = ((2 * h0 + h1) * d0 - h0 * d1) / (h0 + h1);
+      if (der * d0 <= 0) return 0.0;
+      if (d0 * d1 <= 0 && std::fabs(der) > 3 * std::fabs(d0)) return 3 * d0;
+      return der;
+    };
+    d[0] = edge(h[0], h[1], delta[0], delta[1]);
+    d[n - 1] = edge(h[n - 2], h[n - 3], delta[n - 2], delta[n - 3]);
+  }
+  return PchipInterpolator(std::move(x), std::move(y), std::move(d));
+}
+
+double PchipInterpolator::Eval(double x) const {
+  if (x <= x_.front()) return y_.front();
+  if (x >= x_.back()) return y_.back();
+  // Binary search for the containing interval.
+  size_t hi = std::upper_bound(x_.begin(), x_.end(), x) - x_.begin();
+  size_t i = hi - 1;
+  double h = x_[i + 1] - x_[i];
+  double t = (x - x_[i]) / h;
+  double t2 = t * t, t3 = t2 * t;
+  double h00 = 2 * t3 - 3 * t2 + 1;
+  double h10 = t3 - 2 * t2 + t;
+  double h01 = -2 * t3 + 3 * t2;
+  double h11 = t3 - t2;
+  return h00 * y_[i] + h10 * h * d_[i] + h01 * y_[i + 1] + h11 * h * d_[i + 1];
+}
+
+}  // namespace sqlarray::math

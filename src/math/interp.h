@@ -1,0 +1,70 @@
+// Interpolation kernels for the turbulence service (Sec. 2.1).
+//
+// The paper's public service offers nearest-point, PCHIP, and 4/6/8-point
+// Lagrangian interpolation of velocity fields sampled on regular grids.
+// These kernels are the in-database equivalents: 1-D building blocks plus a
+// separable 3-D tensor-product evaluator.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sqlarray::math {
+
+/// Interpolation scheme identifiers matching the turbulence service menu.
+enum class InterpScheme {
+  kNearest,
+  kLinear,
+  kLagrange4,
+  kLagrange6,
+  kLagrange8,
+  kPchip,
+};
+
+/// Number of grid points a scheme's stencil touches along one axis.
+int StencilWidth(InterpScheme scheme);
+
+/// Computes the N Lagrange basis weights for a uniform grid. The stencil
+/// covers integer offsets [-(n/2 - 1), n/2] around the cell containing the
+/// evaluation point; `t` in [0, 1) is the fractional position within that
+/// cell. `w` must have room for n weights, which sum to 1.
+Status LagrangeWeights(int n, double t, std::span<double> w);
+
+/// Interpolates a 1-D periodic uniformly sampled signal at position `x`
+/// (in sample units; may be any real, wrapped periodically).
+Result<double> Interp1DPeriodic(InterpScheme scheme,
+                                std::span<const double> y, double x);
+
+/// Separable 3-D interpolation over a periodic field accessed through
+/// `fetch(i, j, k)`. `n` is the per-axis grid size; `x/y/z` are positions in
+/// voxel units. PCHIP is not separable and is rejected here.
+Result<double> Interp3DPeriodic(
+    InterpScheme scheme, int64_t n,
+    const std::function<double(int64_t, int64_t, int64_t)>& fetch, double x,
+    double y, double z);
+
+/// Monotone cubic (Fritsch–Carlson) interpolator over a non-uniform grid —
+/// the PCHIP scheme. Knot abscissae must be strictly increasing.
+class PchipInterpolator {
+ public:
+  static Result<PchipInterpolator> Create(std::vector<double> x,
+                                          std::vector<double> y);
+
+  /// Evaluates at `x`, clamping outside the knot range.
+  double Eval(double x) const;
+
+  /// Derivatives at the knots (test access; monotonicity-limited).
+  std::span<const double> derivatives() const { return d_; }
+
+ private:
+  PchipInterpolator(std::vector<double> x, std::vector<double> y,
+                    std::vector<double> d)
+      : x_(std::move(x)), y_(std::move(y)), d_(std::move(d)) {}
+
+  std::vector<double> x_, y_, d_;
+};
+
+}  // namespace sqlarray::math

@@ -1,0 +1,108 @@
+#include "math/nnls.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "math/qr.h"
+
+namespace sqlarray::math {
+
+namespace {
+
+/// Solves unconstrained least squares restricted to the passive column set.
+Result<std::vector<double>> SolvePassive(ConstMatrixView a,
+                                         std::span<const double> b,
+                                         const std::vector<bool>& passive) {
+  int64_t np = 0;
+  for (bool p : passive) np += p;
+  Matrix ap(a.rows, np);
+  std::vector<int64_t> cols;
+  cols.reserve(np);
+  for (int64_t j = 0; j < a.cols; ++j) {
+    if (!passive[j]) continue;
+    for (int64_t i = 0; i < a.rows; ++i) ap.at(i, cols.size()) = a.at(i, j);
+    cols.push_back(j);
+  }
+  SQLARRAY_ASSIGN_OR_RETURN(std::vector<double> zp,
+                            LeastSquares(ap.view(), b));
+  std::vector<double> z(a.cols, 0.0);
+  for (size_t k = 0; k < cols.size(); ++k) z[cols[k]] = zp[k];
+  return z;
+}
+
+}  // namespace
+
+Result<std::vector<double>> Nnls(ConstMatrixView a, std::span<const double> b,
+                                 int max_iter) {
+  if (static_cast<int64_t>(b.size()) != a.rows) {
+    return Status::InvalidArgument("rhs length must equal the row count");
+  }
+  const int64_t n = a.cols;
+  if (max_iter <= 0) max_iter = static_cast<int>(3 * n) + 10;
+
+  std::vector<double> x(n, 0.0);
+  std::vector<bool> passive(n, false);
+  std::vector<double> resid(b.begin(), b.end());  // b - A x (x = 0 initially)
+  const double tol = 1e-10 * Nrm2(b) + 1e-300;
+
+  for (int iter = 0; iter < max_iter; ++iter) {
+    // Gradient of 1/2 ||Ax-b||^2 is -A^T resid; pick the most promising
+    // active (zero) coordinate.
+    std::vector<double> grad(n, 0.0);
+    Gemv(true, 1.0, a, resid, 0.0, grad);
+
+    int64_t best = -1;
+    double best_val = tol;
+    for (int64_t j = 0; j < n; ++j) {
+      if (!passive[j] && grad[j] > best_val) {
+        best_val = grad[j];
+        best = j;
+      }
+    }
+    if (best < 0) break;  // KKT conditions satisfied
+    passive[best] = true;
+
+    // Inner loop: solve on the passive set; walk back along the segment to
+    // keep feasibility, demoting variables that hit zero.
+    while (true) {
+      auto z_or = SolvePassive(a, b, passive);
+      if (!z_or.ok()) {
+        // Singular passive set; demote the variable we just added.
+        passive[best] = false;
+        break;
+      }
+      std::vector<double> z = std::move(z_or).value();
+
+      bool feasible = true;
+      double alpha = 1.0;
+      for (int64_t j = 0; j < n; ++j) {
+        if (passive[j] && z[j] <= 0) {
+          feasible = false;
+          double step = x[j] / (x[j] - z[j]);
+          alpha = std::min(alpha, step);
+        }
+      }
+      if (feasible) {
+        x = std::move(z);
+        break;
+      }
+      for (int64_t j = 0; j < n; ++j) {
+        if (passive[j]) {
+          x[j] += alpha * (z[j] - x[j]);
+          if (x[j] <= 1e-14) {
+            x[j] = 0.0;
+            passive[j] = false;
+          }
+        }
+      }
+    }
+
+    // Refresh the residual.
+    resid.assign(b.begin(), b.end());
+    Gemv(false, -1.0, a, x, 1.0, resid);
+  }
+  return x;
+}
+
+}  // namespace sqlarray::math

@@ -1,0 +1,22 @@
+// Non-negative least squares (Lawson–Hanson active set method).
+//
+// Sec. 2.2: "Certain spectrum processing operations also require non-negative
+// least squares fitting."
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "math/dense.h"
+
+namespace sqlarray::math {
+
+/// Solves min ||A x - b||_2 subject to x >= 0.
+///
+/// Returns the solution vector (length n). `max_iter` bounds the active-set
+/// iterations (default 3 * n, the customary Lawson–Hanson bound).
+Result<std::vector<double>> Nnls(ConstMatrixView a, std::span<const double> b,
+                                 int max_iter = 0);
+
+}  // namespace sqlarray::math

@@ -1,0 +1,85 @@
+#include "math/pca.h"
+
+#include <cmath>
+
+#include "math/qr.h"
+#include "math/svd.h"
+
+namespace sqlarray::math {
+
+Result<PcaModel> PcaFit(ConstMatrixView samples, int64_t k) {
+  const int64_t n = samples.rows;
+  const int64_t d = samples.cols;
+  if (n < 2) {
+    return Status::InvalidArgument("PCA needs at least two samples");
+  }
+  if (k < 1 || k > std::min(n, d)) {
+    return Status::InvalidArgument("component count out of range");
+  }
+
+  PcaModel model;
+  model.mean.assign(d, 0.0);
+  for (int64_t j = 0; j < d; ++j) {
+    double sum = 0;
+    for (int64_t i = 0; i < n; ++i) sum += samples.at(i, j);
+    model.mean[j] = sum / static_cast<double>(n);
+  }
+
+  // SVD of the centered data matrix: X = U S V^T; principal axes are V's
+  // columns and explained variances are s^2 / (n - 1). This avoids forming
+  // the d x d covariance explicitly (better conditioned, same result).
+  Matrix centered(n, d);
+  for (int64_t j = 0; j < d; ++j) {
+    for (int64_t i = 0; i < n; ++i) {
+      centered.at(i, j) = samples.at(i, j) - model.mean[j];
+    }
+  }
+  SQLARRAY_ASSIGN_OR_RETURN(SvdResult svd, Gesvd(centered.view()));
+
+  model.components = Matrix(d, k);
+  model.explained_variance.assign(k, 0.0);
+  for (int64_t c = 0; c < k; ++c) {
+    for (int64_t j = 0; j < d; ++j) {
+      model.components.at(j, c) = svd.vt.at(c, j);
+    }
+    model.explained_variance[c] =
+        svd.s[c] * svd.s[c] / static_cast<double>(n - 1);
+  }
+  return model;
+}
+
+std::vector<double> PcaProject(const PcaModel& model,
+                               std::span<const double> sample) {
+  const int64_t d = model.components.rows();
+  const int64_t k = model.components.cols();
+  std::vector<double> centered(d);
+  for (int64_t j = 0; j < d; ++j) centered[j] = sample[j] - model.mean[j];
+  std::vector<double> coeffs(k, 0.0);
+  Gemv(true, 1.0, model.components.view(), centered, 0.0, coeffs);
+  return coeffs;
+}
+
+Result<std::vector<double>> PcaProjectMasked(const PcaModel& model,
+                                             std::span<const double> sample,
+                                             std::span<const double> weights) {
+  const int64_t d = model.components.rows();
+  if (static_cast<int64_t>(sample.size()) != d ||
+      static_cast<int64_t>(weights.size()) != d) {
+    return Status::InvalidArgument(
+        "sample and weight lengths must match the feature count");
+  }
+  std::vector<double> centered(d);
+  for (int64_t j = 0; j < d; ++j) centered[j] = sample[j] - model.mean[j];
+  return WeightedLeastSquares(model.components.view(), centered, weights);
+}
+
+std::vector<double> PcaReconstruct(const PcaModel& model,
+                                   std::span<const double> coeffs) {
+  const int64_t d = model.components.rows();
+  std::vector<double> out(model.mean.begin(), model.mean.end());
+  Gemv(false, 1.0, model.components.view(), coeffs, 1.0, out);
+  (void)d;
+  return out;
+}
+
+}  // namespace sqlarray::math

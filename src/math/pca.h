@@ -1,0 +1,43 @@
+// Principal component analysis over sample sets (Sec. 2.2).
+//
+// The spectrum pipeline resamples and normalizes data vectors, computes the
+// correlation matrix, runs SVD over it, and expands samples on the derived
+// basis. PcaFit implements exactly that; expansion with masked bins is done
+// via WeightedLeastSquares.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "math/dense.h"
+
+namespace sqlarray::math {
+
+/// A fitted PCA basis.
+struct PcaModel {
+  std::vector<double> mean;     ///< per-feature mean (length d)
+  Matrix components;            ///< d x k basis, columns are components
+  std::vector<double> explained_variance;  ///< length k, descending
+};
+
+/// Fits a PCA basis with `k` components from `samples` (each row of the
+/// n x d column-major matrix is one sample). k <= min(n, d).
+Result<PcaModel> PcaFit(ConstMatrixView samples, int64_t k);
+
+/// Projects one sample (length d) onto the basis: coefficients of length k.
+std::vector<double> PcaProject(const PcaModel& model,
+                               std::span<const double> sample);
+
+/// Projects a sample with a per-feature weight/mask vector via weighted
+/// least squares: flagged-out features get weight 0 (Sec. 2.2's "dot product
+/// cannot be used ... least squares fitting is necessary").
+Result<std::vector<double>> PcaProjectMasked(const PcaModel& model,
+                                             std::span<const double> sample,
+                                             std::span<const double> weights);
+
+/// Reconstructs a sample (length d) from coefficients (length k).
+std::vector<double> PcaReconstruct(const PcaModel& model,
+                                   std::span<const double> coeffs);
+
+}  // namespace sqlarray::math

@@ -1,0 +1,119 @@
+#include "math/qr.h"
+
+#include <cmath>
+
+namespace sqlarray::math {
+
+Result<QrFactorization> QrFactor(ConstMatrixView a) {
+  if (a.rows < a.cols || a.cols == 0) {
+    return Status::InvalidArgument(
+        "QR requires a tall (m >= n), non-empty matrix");
+  }
+  const int64_t m = a.rows;
+  const int64_t n = a.cols;
+  QrFactorization f;
+  f.qr = Matrix(m, n);
+  for (int64_t j = 0; j < n; ++j) {
+    for (int64_t i = 0; i < m; ++i) f.qr.at(i, j) = a.at(i, j);
+  }
+  f.tau.assign(n, 0.0);
+
+  for (int64_t k = 0; k < n; ++k) {
+    // Build the Householder reflector for column k below the diagonal.
+    double* col = f.qr.data() + k * m;
+    double norm = Nrm2(std::span<const double>(col + k,
+                                               static_cast<size_t>(m - k)));
+    if (norm == 0.0) {
+      f.tau[k] = 0.0;
+      continue;
+    }
+    double alpha = col[k];
+    double beta = -std::copysign(norm, alpha);
+    double v0 = alpha - beta;
+    // v = [1, col[k+1..m)/v0]; tau = (beta - alpha) / beta.
+    f.tau[k] = (beta - alpha) / beta;
+    for (int64_t i = k + 1; i < m; ++i) col[i] /= v0;
+    col[k] = beta;
+
+    // Apply (I - tau v v^T) to the trailing columns.
+    for (int64_t j = k + 1; j < n; ++j) {
+      double* cj = f.qr.data() + j * m;
+      double dot = cj[k];
+      for (int64_t i = k + 1; i < m; ++i) dot += col[i] * cj[i];
+      double t = f.tau[k] * dot;
+      cj[k] -= t;
+      for (int64_t i = k + 1; i < m; ++i) cj[i] -= t * col[i];
+    }
+  }
+  return f;
+}
+
+void ApplyQTranspose(const QrFactorization& f, std::span<double> x) {
+  const int64_t m = f.rows();
+  const int64_t n = f.cols();
+  for (int64_t k = 0; k < n; ++k) {
+    if (f.tau[k] == 0.0) continue;
+    const double* col = f.qr.data() + k * m;
+    double dot = x[k];
+    for (int64_t i = k + 1; i < m; ++i) dot += col[i] * x[i];
+    double t = f.tau[k] * dot;
+    x[k] -= t;
+    for (int64_t i = k + 1; i < m; ++i) x[i] -= t * col[i];
+  }
+}
+
+Result<std::vector<double>> SolveUpper(const QrFactorization& f,
+                                       std::span<const double> x) {
+  const int64_t m = f.rows();
+  const int64_t n = f.cols();
+  std::vector<double> y(x.begin(), x.begin() + n);
+  for (int64_t i = n - 1; i >= 0; --i) {
+    double diag = f.qr.at(i, i);
+    if (std::fabs(diag) < 1e-300) {
+      return Status::InvalidArgument(
+          "matrix is singular to working precision");
+    }
+    double sum = y[i];
+    for (int64_t j = i + 1; j < n; ++j) sum -= f.qr.at(i, j) * y[j];
+    y[i] = sum / diag;
+  }
+  (void)m;
+  return y;
+}
+
+Result<std::vector<double>> LeastSquares(ConstMatrixView a,
+                                         std::span<const double> b) {
+  if (static_cast<int64_t>(b.size()) != a.rows) {
+    return Status::InvalidArgument("rhs length must equal the row count");
+  }
+  SQLARRAY_ASSIGN_OR_RETURN(QrFactorization f, QrFactor(a));
+  std::vector<double> x(b.begin(), b.end());
+  ApplyQTranspose(f, x);
+  return SolveUpper(f, x);
+}
+
+Result<std::vector<double>> WeightedLeastSquares(ConstMatrixView a,
+                                                 std::span<const double> b,
+                                                 std::span<const double> w) {
+  if (static_cast<int64_t>(b.size()) != a.rows ||
+      static_cast<int64_t>(w.size()) != a.rows) {
+    return Status::InvalidArgument(
+        "rhs and weight lengths must equal the row count");
+  }
+  for (double wi : w) {
+    if (wi < 0) {
+      return Status::InvalidArgument("weights must be non-negative");
+    }
+  }
+  // Scale rows by the weights (zero weight rows contribute nothing but are
+  // kept to preserve the shape; QR handles them as zero rows).
+  Matrix wa(a.rows, a.cols);
+  std::vector<double> wb(a.rows);
+  for (int64_t i = 0; i < a.rows; ++i) {
+    for (int64_t j = 0; j < a.cols; ++j) wa.at(i, j) = a.at(i, j) * w[i];
+    wb[i] = b[i] * w[i];
+  }
+  return LeastSquares(wa.view(), wb);
+}
+
+}  // namespace sqlarray::math

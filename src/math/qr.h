@@ -1,0 +1,47 @@
+// Householder QR factorization and least-squares solvers.
+//
+// The spectrum use case (Sec. 2.2) fits masked spectra on an orthogonal
+// basis with (weighted) least squares instead of plain dot products; these
+// are the kernels behind that UDF surface.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "math/dense.h"
+
+namespace sqlarray::math {
+
+/// Compact QR factorization state: R in the upper triangle, Householder
+/// vectors below the diagonal, scalar factors in tau.
+struct QrFactorization {
+  Matrix qr;                ///< m x n packed factors
+  std::vector<double> tau;  ///< n Householder scalars
+
+  int64_t rows() const { return qr.rows(); }
+  int64_t cols() const { return qr.cols(); }
+};
+
+/// Factorizes `a` (m x n, m >= n) as Q * R.
+Result<QrFactorization> QrFactor(ConstMatrixView a);
+
+/// Applies Q^T (from the factorization) to `x` in place (length m).
+void ApplyQTranspose(const QrFactorization& f, std::span<double> x);
+
+/// Solves R y = x[0..n) by back substitution; fails on a (numerically)
+/// singular R.
+Result<std::vector<double>> SolveUpper(const QrFactorization& f,
+                                       std::span<const double> x);
+
+/// Solves min ||A x - b||_2 for full-column-rank A (m >= n).
+Result<std::vector<double>> LeastSquares(ConstMatrixView a,
+                                         std::span<const double> b);
+
+/// Weighted least squares: min || diag(w) (A x - b) ||_2. Weights of zero
+/// drop rows entirely (the spectrum-mask use: flagged bins get weight 0).
+Result<std::vector<double>> WeightedLeastSquares(ConstMatrixView a,
+                                                 std::span<const double> b,
+                                                 std::span<const double> w);
+
+}  // namespace sqlarray::math

@@ -1,0 +1,135 @@
+#include "math/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace sqlarray::math {
+
+namespace {
+
+/// One-sided Jacobi on the columns of `w` (m x n, m >= n is not required but
+/// convergence is fastest for tall matrices). Rotations are accumulated into
+/// `v` (n x n, starts as identity).
+void JacobiSweeps(Matrix* w, Matrix* v) {
+  const int64_t m = w->rows();
+  const int64_t n = w->cols();
+  const double eps = 1e-15;
+  const int max_sweeps = 60;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool rotated = false;
+    for (int64_t p = 0; p < n - 1; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) {
+        double* cp = w->data() + p * m;
+        double* cq = w->data() + q * m;
+        double alpha = 0, beta = 0, gamma = 0;
+        for (int64_t i = 0; i < m; ++i) {
+          alpha += cp[i] * cp[i];
+          beta += cq[i] * cq[i];
+          gamma += cp[i] * cq[i];
+        }
+        if (std::fabs(gamma) <= eps * std::sqrt(alpha * beta)) continue;
+        rotated = true;
+
+        // Jacobi rotation zeroing the off-diagonal of the 2x2 Gram block.
+        double zeta = (beta - alpha) / (2.0 * gamma);
+        double t = std::copysign(
+            1.0 / (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta)), zeta);
+        double c = 1.0 / std::sqrt(1.0 + t * t);
+        double s = c * t;
+
+        for (int64_t i = 0; i < m; ++i) {
+          double wp = cp[i];
+          double wq = cq[i];
+          cp[i] = c * wp - s * wq;
+          cq[i] = s * wp + c * wq;
+        }
+        double* vp = v->data() + p * n;
+        double* vq = v->data() + q * n;
+        for (int64_t i = 0; i < n; ++i) {
+          double xp = vp[i];
+          double xq = vq[i];
+          vp[i] = c * xp - s * xq;
+          vq[i] = s * xp + c * xq;
+        }
+      }
+    }
+    if (!rotated) break;
+  }
+}
+
+}  // namespace
+
+Result<SvdResult> Gesvd(ConstMatrixView a) {
+  if (a.rows <= 0 || a.cols <= 0) {
+    return Status::InvalidArgument("SVD input must be non-empty");
+  }
+
+  // Work on A when m >= n, on A^T otherwise; swap U/V at the end.
+  const bool transposed = a.rows < a.cols;
+  Matrix w = transposed ? Transpose(a) : Matrix(a.rows, a.cols);
+  if (!transposed) {
+    for (int64_t j = 0; j < a.cols; ++j) {
+      for (int64_t i = 0; i < a.rows; ++i) w.at(i, j) = a.at(i, j);
+    }
+  }
+  const int64_t m = w.rows();
+  const int64_t n = w.cols();
+
+  Matrix v = Matrix::Identity(n);
+  JacobiSweeps(&w, &v);
+
+  // Column norms are the singular values; normalized columns are U.
+  std::vector<double> s(n);
+  for (int64_t j = 0; j < n; ++j) {
+    s[j] = Nrm2(std::span<const double>(w.data() + j * m,
+                                        static_cast<size_t>(m)));
+  }
+
+  // Sort singular values descending, permuting U and V columns alongside.
+  std::vector<int64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int64_t x, int64_t y) { return s[x] > s[y]; });
+
+  Matrix u_sorted(m, n);
+  Matrix v_sorted(n, n);
+  std::vector<double> s_sorted(n);
+  for (int64_t j = 0; j < n; ++j) {
+    int64_t src = order[j];
+    s_sorted[j] = s[src];
+    double inv = s[src] > 0 ? 1.0 / s[src] : 0.0;
+    for (int64_t i = 0; i < m; ++i) u_sorted.at(i, j) = w.at(i, src) * inv;
+    for (int64_t i = 0; i < n; ++i) v_sorted.at(i, j) = v.at(i, src);
+  }
+  // Zero singular values leave zero U columns; orthogonality of U is only
+  // guaranteed on the numerical range, which matches *gesvd's thin output.
+
+  SvdResult out;
+  if (!transposed) {
+    out.u = std::move(u_sorted);
+    out.vt = Transpose(v_sorted.view());
+  } else {
+    // A^T = W = U' S V'^T  =>  A = V' S U'^T.
+    out.u = std::move(v_sorted);
+    out.vt = Transpose(u_sorted.view());
+  }
+  out.s = std::move(s_sorted);
+  return out;
+}
+
+Matrix SvdReconstruct(const SvdResult& svd) {
+  const int64_t m = svd.u.rows();
+  const int64_t k = svd.u.cols();
+  const int64_t n = svd.vt.cols();
+  Matrix us(m, k);
+  for (int64_t j = 0; j < k; ++j) {
+    for (int64_t i = 0; i < m; ++i) us.at(i, j) = svd.u.at(i, j) * svd.s[j];
+  }
+  Matrix out(m, n);
+  Gemm(false, false, 1.0, us.view(), svd.vt.view(), 0.0, out.view());
+  return out;
+}
+
+}  // namespace sqlarray::math

@@ -1,0 +1,32 @@
+// Singular value decomposition — the *gesvd substitute (Sec. 3.6).
+//
+// One-sided Jacobi SVD: numerically robust, needs no bidiagonalization, and
+// computes small singular values to high relative accuracy. Complexity is
+// O(m n^2) per sweep with a handful of sweeps in practice; fine for the
+// matrix sizes a database UDF sees.
+#pragma once
+
+#include <span>
+
+#include "common/status.h"
+#include "math/dense.h"
+
+namespace sqlarray::math {
+
+/// Result of a thin SVD: A (m x n) = U (m x k) * diag(s) (k) * VT (k x n)
+/// with k = min(m, n) and singular values sorted descending.
+struct SvdResult {
+  Matrix u;
+  std::vector<double> s;
+  Matrix vt;
+};
+
+/// Computes the thin SVD of `a` (m x n, column-major). Mirrors LAPACK
+/// *gesvd's contract apart from taking a const input (an internal copy is
+/// made; LAPACK destroys A).
+Result<SvdResult> Gesvd(ConstMatrixView a);
+
+/// Reconstructs U * diag(s) * VT (test helper).
+Matrix SvdReconstruct(const SvdResult& svd);
+
+}  // namespace sqlarray::math

@@ -1,0 +1,47 @@
+// Bucketed array storage of particle snapshots (Sec. 2.3).
+//
+// Storing every particle of every snapshot as its own row "does not seem
+// feasible ... 1.6 trillion rows"; instead particles are grouped into
+// spatial buckets along a space-filling curve and each bucket is one row
+// holding array blobs. LoadBucketed and LoadPerPoint build both layouts so
+// the C3 experiment can compare row counts, bytes, and load times, and
+// bucketed rows support array-based retrieval of individual particles.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "sci/nbody/snapshot.h"
+#include "storage/table.h"
+
+namespace sqlarray::nbody {
+
+/// Bucketed layout:
+///   key BIGINT       — (step << 40) | zcell, ascending
+///   n INT            — particles in the bucket
+///   ids VARBINARY(MAX)  int64 [n]
+///   pos VARBINARY(MAX)  float64 [3, n] column-major
+///   vel VARBINARY(MAX)  float64 [3, n] column-major
+/// `grid` sets the z-curve cell count per axis (buckets hold everything that
+/// falls in one cell).
+Result<storage::Table*> LoadBucketed(const Snapshot& snap,
+                                     storage::Database* db,
+                                     const std::string& table_name,
+                                     uint32_t grid);
+
+/// Point-per-row layout (the infeasible baseline):
+///   key BIGINT — (step << 40) | particle id
+///   x, y, z, vx, vy, vz FLOAT
+Result<storage::Table*> LoadPerPoint(const Snapshot& snap,
+                                     storage::Database* db,
+                                     const std::string& table_name);
+
+/// Retrieves one particle's position from the bucketed table by searching
+/// its bucket's id array (the "array-based data access" the paper predicts).
+Result<spatial::Vec3> LookupBucketedParticle(storage::Table* table,
+                                             const Snapshot& snap,
+                                             uint32_t grid,
+                                             int64_t particle_id,
+                                             const spatial::Vec3& hint);
+
+}  // namespace sqlarray::nbody

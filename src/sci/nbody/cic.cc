@@ -1,0 +1,99 @@
+#include "sci/nbody/cic.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "fft/fft.h"
+
+namespace sqlarray::nbody {
+
+Result<std::vector<double>> CicDensity(const Snapshot& snap, int64_t m) {
+  if (m < 2) return Status::InvalidArgument("grid must be at least 2^3");
+  std::vector<double> rho(m * m * m, 0.0);
+  const double scale = static_cast<double>(m) / snap.box;
+
+  for (const Particle& p : snap.particles) {
+    // Cell-centered CIC: the particle's mass is split over the 8 nearest
+    // cell centers with trilinear weights.
+    double gx = p.position.x * scale - 0.5;
+    double gy = p.position.y * scale - 0.5;
+    double gz = p.position.z * scale - 0.5;
+    int64_t ix = static_cast<int64_t>(std::floor(gx));
+    int64_t iy = static_cast<int64_t>(std::floor(gy));
+    int64_t iz = static_cast<int64_t>(std::floor(gz));
+    double fx = gx - ix, fy = gy - iy, fz = gz - iz;
+
+    for (int dz = 0; dz < 2; ++dz) {
+      double wz = dz ? fz : 1 - fz;
+      int64_t z = ((iz + dz) % m + m) % m;
+      for (int dy = 0; dy < 2; ++dy) {
+        double wy = dy ? fy : 1 - fy;
+        int64_t y = ((iy + dy) % m + m) % m;
+        for (int dx = 0; dx < 2; ++dx) {
+          double wx = dx ? fx : 1 - fx;
+          int64_t x = ((ix + dx) % m + m) % m;
+          rho[x + m * (y + m * z)] += wx * wy * wz;
+        }
+      }
+    }
+  }
+
+  const double mean =
+      static_cast<double>(snap.particles.size()) / static_cast<double>(m * m * m);
+  for (double& r : rho) r = r / mean - 1.0;
+  return rho;
+}
+
+Result<std::vector<PowerBin>> PowerSpectrum(const std::vector<double>& delta,
+                                            int64_t m, double box,
+                                            int num_bins) {
+  if (static_cast<int64_t>(delta.size()) != m * m * m) {
+    return Status::InvalidArgument("delta size does not match the grid");
+  }
+  if (num_bins < 1) {
+    return Status::InvalidArgument("need at least one k bin");
+  }
+
+  std::vector<fft::Complex> field(delta.size());
+  for (size_t i = 0; i < delta.size(); ++i) field[i] = {delta[i], 0.0};
+  SQLARRAY_ASSIGN_OR_RETURN(std::unique_ptr<fft::Plan> plan,
+                            fft::Plan::Create({m, m, m}));
+  SQLARRAY_RETURN_IF_ERROR(
+      plan->Execute(field, field, fft::Direction::kForward));
+
+  const double kf = 2.0 * std::numbers::pi / box;  // fundamental mode
+  const double k_max = kf * static_cast<double>(m) / 2.0;
+  std::vector<PowerBin> bins(num_bins);
+  std::vector<double> k_sum(num_bins, 0.0);
+
+  const double norm =
+      1.0 / (static_cast<double>(m * m * m) * static_cast<double>(m * m * m));
+  for (int64_t kz = 0; kz < m; ++kz) {
+    int64_t wz = kz <= m / 2 ? kz : kz - m;
+    for (int64_t ky = 0; ky < m; ++ky) {
+      int64_t wy = ky <= m / 2 ? ky : ky - m;
+      for (int64_t kx = 0; kx < m; ++kx) {
+        int64_t wx = kx <= m / 2 ? kx : kx - m;
+        if (wx == 0 && wy == 0 && wz == 0) continue;
+        double k = kf * std::sqrt(static_cast<double>(wx * wx + wy * wy +
+                                                      wz * wz));
+        if (k >= k_max) continue;
+        int b = static_cast<int>(k / k_max * num_bins);
+        if (b >= num_bins) b = num_bins - 1;
+        double p = std::norm(field[kx + m * (ky + m * kz)]) * norm;
+        bins[b].power += p;
+        bins[b].modes++;
+        k_sum[b] += k;
+      }
+    }
+  }
+  for (int b = 0; b < num_bins; ++b) {
+    if (bins[b].modes > 0) {
+      bins[b].power /= static_cast<double>(bins[b].modes);
+      bins[b].k = k_sum[b] / static_cast<double>(bins[b].modes);
+    }
+  }
+  return bins;
+}
+
+}  // namespace sqlarray::nbody

@@ -1,0 +1,33 @@
+// Cloud-in-cell density assignment and the matter power spectrum (Sec. 2.3).
+//
+// "compute the density over a ... grid, interpolating over the particle
+// positions, using a cloud-in-cell (CIC) algorithm, then Fourier transform
+// it and compute its power spectrum."
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "sci/nbody/snapshot.h"
+
+namespace sqlarray::nbody {
+
+/// CIC mass assignment onto an m^3 periodic grid. Returns the density
+/// CONTRAST field delta = rho / <rho> - 1, column-major [x, y, z].
+Result<std::vector<double>> CicDensity(const Snapshot& snap, int64_t m);
+
+/// One bin of the isotropic power spectrum.
+struct PowerBin {
+  double k = 0;       ///< bin-mean wavenumber (2*pi/box units)
+  double power = 0;   ///< <|delta_k|^2> over the shell
+  int64_t modes = 0;  ///< modes in the shell
+};
+
+/// FFTs the density contrast and averages |delta_k|^2 over spherical shells.
+Result<std::vector<PowerBin>> PowerSpectrum(const std::vector<double>& delta,
+                                            int64_t m, double box,
+                                            int num_bins);
+
+}  // namespace sqlarray::nbody

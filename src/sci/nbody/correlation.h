@@ -1,0 +1,45 @@
+// Two-point correlation functions over point sets (Sec. 2.3).
+//
+// "we need to be able to compute various statistical functions like two and
+// three point correlations over these point sets". The estimator is the
+// natural one, xi(r) = DD(r) / RR(r) - 1, with the random-pair expectation
+// computed analytically for a periodic box (exact shell volumes), so no
+// random catalog is needed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "sci/nbody/snapshot.h"
+
+namespace sqlarray::nbody {
+
+/// One radial bin of the two-point correlation function.
+struct XiBin {
+  double r_lo = 0, r_hi = 0;
+  int64_t pairs = 0;   ///< DD pair count in the shell
+  double xi = 0;       ///< DD / RR_expected - 1
+};
+
+/// Computes xi(r) in `num_bins` linear bins over [0, r_max] with periodic
+/// distances and grid-hashed pair counting.
+Result<std::vector<XiBin>> TwoPointCorrelation(const Snapshot& snap,
+                                               double r_max, int num_bins);
+
+/// One scale of the equilateral three-point correlation function.
+struct ZetaBin {
+  double r_lo = 0, r_hi = 0;
+  int64_t triplets = 0;  ///< DDD triangles with all three sides in the bin
+  double zeta = 0;       ///< DDD / RRR_expected - 1
+};
+
+/// Equilateral-configuration three-point correlation: counts triangles whose
+/// three side lengths all fall in [r_lo, r_hi), normalized by the analytic
+/// random expectation for a periodic box. `r_max` must be at most box/4 so
+/// shells fit the neighbor grid.
+Result<std::vector<ZetaBin>> ThreePointEquilateral(const Snapshot& snap,
+                                                   double r_max,
+                                                   int num_bins);
+
+}  // namespace sqlarray::nbody

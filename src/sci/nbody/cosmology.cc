@@ -1,0 +1,90 @@
+#include "sci/nbody/cosmology.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace sqlarray::nbody {
+
+double Cosmology::E(double z) const {
+  double a3 = (1 + z) * (1 + z) * (1 + z);
+  return std::sqrt(omega_m * a3 + omega_l);
+}
+
+namespace {
+
+/// Adaptive Simpson quadrature of 1/E over [a, b].
+double SimpsonInvE(const Cosmology& cosmo, double a, double b, double fa,
+                   double fm, double fb, double eps, int depth) {
+  double m = 0.5 * (a + b);
+  double lm = 0.5 * (a + m), rm = 0.5 * (m + b);
+  double flm = 1.0 / cosmo.E(lm), frm = 1.0 / cosmo.E(rm);
+  double whole = (b - a) / 6.0 * (fa + 4 * fm + fb);
+  double left = (m - a) / 6.0 * (fa + 4 * flm + fm);
+  double right = (b - m) / 6.0 * (fm + 4 * frm + fb);
+  if (depth <= 0 || std::fabs(left + right - whole) < 15 * eps) {
+    return left + right + (left + right - whole) / 15.0;
+  }
+  return SimpsonInvE(cosmo, a, m, fa, flm, fm, eps / 2, depth - 1) +
+         SimpsonInvE(cosmo, m, b, fm, frm, fb, eps / 2, depth - 1);
+}
+
+}  // namespace
+
+Result<double> ComovingDistance(const Cosmology& cosmo, double z) {
+  if (z < 0) {
+    return Status::InvalidArgument("redshift must be non-negative");
+  }
+  if (cosmo.omega_m < 0 || cosmo.omega_l < 0 || cosmo.hubble0 <= 0) {
+    return Status::InvalidArgument("invalid cosmological parameters");
+  }
+  if (z == 0) return 0.0;
+  double fa = 1.0 / cosmo.E(0);
+  double fb = 1.0 / cosmo.E(z);
+  double fm = 1.0 / cosmo.E(z / 2);
+  double integral = SimpsonInvE(cosmo, 0, z, fa, fm, fb, 1e-12, 40);
+  return cosmo.HubbleDistance() * integral;
+}
+
+Result<double> RedshiftAtComovingDistance(const Cosmology& cosmo,
+                                          double d_mpc) {
+  if (d_mpc < 0) {
+    return Status::InvalidArgument("distance must be non-negative");
+  }
+  if (d_mpc == 0) return 0.0;
+  // Bracket: comoving distance grows without bound in Lambda-CDM only up to
+  // the horizon; cap the search at z = 1100 (last scattering).
+  double lo = 0, hi = 1100;
+  SQLARRAY_ASSIGN_OR_RETURN(double d_hi, ComovingDistance(cosmo, hi));
+  if (d_mpc > d_hi) {
+    return Status::OutOfRange("distance beyond z = 1100 horizon");
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    SQLARRAY_ASSIGN_OR_RETURN(double d_mid, ComovingDistance(cosmo, mid));
+    if (d_mid < d_mpc) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-10 * (1 + hi)) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double ObservedRedshift(double z_cosmological, double v_radial_km_s) {
+  return (1 + z_cosmological) *
+             (1 + v_radial_km_s / Cosmology::kSpeedOfLight) -
+         1;
+}
+
+Result<double> ComovingShellVolume(const Cosmology& cosmo, double z1,
+                                   double z2) {
+  if (z2 < z1) {
+    return Status::InvalidArgument("shell needs z1 <= z2");
+  }
+  SQLARRAY_ASSIGN_OR_RETURN(double d1, ComovingDistance(cosmo, z1));
+  SQLARRAY_ASSIGN_OR_RETURN(double d2, ComovingDistance(cosmo, z2));
+  return 4.0 / 3.0 * std::numbers::pi * (d2 * d2 * d2 - d1 * d1 * d1);
+}
+
+}  // namespace sqlarray::nbody

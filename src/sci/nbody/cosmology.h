@@ -1,0 +1,45 @@
+// FLRW background cosmology (Sec. 2.3's "distances calculated in the curved
+// geometry of the universe").
+//
+// Light-cone construction maps look-back epochs to comoving distances and
+// converts peculiar velocities to observed redshifts; these helpers compute
+// those mappings for a flat Lambda-CDM background by numerical quadrature.
+#pragma once
+
+#include "common/status.h"
+
+namespace sqlarray::nbody {
+
+/// Flat Lambda-CDM parameters (curvature is neglected: Om + Ol = 1).
+struct Cosmology {
+  double hubble0 = 70.0;     ///< H0, km/s/Mpc
+  double omega_m = 0.3;      ///< matter density
+  double omega_l = 0.7;      ///< dark energy density
+  static constexpr double kSpeedOfLight = 299792.458;  ///< km/s
+
+  /// Dimensionless expansion rate E(z) = H(z)/H0.
+  double E(double z) const;
+
+  /// Hubble distance c / H0 in Mpc.
+  double HubbleDistance() const { return kSpeedOfLight / hubble0; }
+};
+
+/// Comoving distance to redshift z (Mpc): D_C = (c/H0) * int_0^z dz'/E(z').
+/// Adaptive Simpson quadrature; |z| error well below 1e-8 relative.
+Result<double> ComovingDistance(const Cosmology& cosmo, double z);
+
+/// Inverse of ComovingDistance (bisection on the monotone mapping):
+/// the redshift whose comoving distance is `d_mpc`.
+Result<double> RedshiftAtComovingDistance(const Cosmology& cosmo,
+                                          double d_mpc);
+
+/// Observed redshift combining the cosmological expansion and a radial
+/// peculiar velocity v_r (km/s): 1 + z_obs = (1 + z_cos)(1 + v_r/c).
+double ObservedRedshift(double z_cosmological, double v_radial_km_s);
+
+/// Comoving volume of a shell [z1, z2] over the full sky (Mpc^3) — the
+/// normalization light-cone number counts need.
+Result<double> ComovingShellVolume(const Cosmology& cosmo, double z1,
+                                   double z2);
+
+}  // namespace sqlarray::nbody

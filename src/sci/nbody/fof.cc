@@ -1,0 +1,146 @@
+#include "sci/nbody/fof.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <unordered_map>
+
+namespace sqlarray::nbody {
+
+namespace {
+
+/// Union-find with path compression.
+class DisjointSet {
+ public:
+  explicit DisjointSet(int64_t n) : parent_(n) {
+    for (int64_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  int64_t Find(int64_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(int64_t a, int64_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a != b) parent_[a] = b;
+  }
+
+ private:
+  std::vector<int64_t> parent_;
+};
+
+double PeriodicDistSq(const spatial::Vec3& a, const spatial::Vec3& b,
+                      double box) {
+  auto d1 = [&](double x, double y) {
+    double d = std::fabs(x - y);
+    return std::min(d, box - d);
+  };
+  double dx = d1(a.x, b.x), dy = d1(a.y, b.y), dz = d1(a.z, b.z);
+  return dx * dx + dy * dy + dz * dz;
+}
+
+/// Groups a union-find labelling into the FofResult shape.
+FofResult Collect(const Snapshot& snap, DisjointSet* ds, int min_members) {
+  const int64_t n = static_cast<int64_t>(snap.particles.size());
+  std::unordered_map<int64_t, std::vector<int64_t>> groups;
+  for (int64_t i = 0; i < n; ++i) groups[ds->Find(i)].push_back(i);
+
+  FofResult out;
+  out.halo_of.assign(n, -1);
+  for (auto& [root, members] : groups) {
+    (void)root;
+    if (static_cast<int>(members.size()) < min_members) continue;
+    out.halos.push_back(std::move(members));
+  }
+  std::sort(out.halos.begin(), out.halos.end(),
+            [](const auto& a, const auto& b) { return a.size() > b.size(); });
+  for (size_t h = 0; h < out.halos.size(); ++h) {
+    for (int64_t i : out.halos[h]) {
+      out.halo_of[i] = static_cast<int64_t>(h);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<FofResult> FriendsOfFriends(const Snapshot& snap,
+                                   double linking_length, int min_members) {
+  if (linking_length <= 0) {
+    return Status::InvalidArgument("linking length must be positive");
+  }
+  const int64_t n = static_cast<int64_t>(snap.particles.size());
+  DisjointSet ds(n);
+
+  // Hash particles into cells of edge = linking length; only the 27
+  // neighboring cells can hold friends.
+  const int64_t cells = std::max<int64_t>(
+      1, static_cast<int64_t>(std::floor(snap.box / linking_length)));
+  const double cell_size = snap.box / static_cast<double>(cells);
+  auto cell_of = [&](const spatial::Vec3& p) {
+    auto c = [&](double x) {
+      int64_t i = static_cast<int64_t>(x / cell_size);
+      return std::min(i, cells - 1);
+    };
+    return std::array<int64_t, 3>{c(p.x), c(p.y), c(p.z)};
+  };
+  auto key_of = [&](int64_t cx, int64_t cy, int64_t cz) {
+    return (cx * cells + cy) * cells + cz;
+  };
+
+  std::unordered_map<int64_t, std::vector<int64_t>> grid;
+  for (int64_t i = 0; i < n; ++i) {
+    auto c = cell_of(snap.particles[i].position);
+    grid[key_of(c[0], c[1], c[2])].push_back(i);
+  }
+
+  const double link_sq = linking_length * linking_length;
+  for (int64_t i = 0; i < n; ++i) {
+    auto c = cell_of(snap.particles[i].position);
+    for (int64_t dx = -1; dx <= 1; ++dx) {
+      for (int64_t dy = -1; dy <= 1; ++dy) {
+        for (int64_t dz = -1; dz <= 1; ++dz) {
+          int64_t cx = (c[0] + dx + cells) % cells;
+          int64_t cy = (c[1] + dy + cells) % cells;
+          int64_t cz = (c[2] + dz + cells) % cells;
+          auto it = grid.find(key_of(cx, cy, cz));
+          if (it == grid.end()) continue;
+          for (int64_t j : it->second) {
+            if (j <= i) continue;
+            if (PeriodicDistSq(snap.particles[i].position,
+                               snap.particles[j].position,
+                               snap.box) <= link_sq) {
+              ds.Union(i, j);
+            }
+          }
+        }
+      }
+    }
+  }
+  return Collect(snap, &ds, min_members);
+}
+
+Result<FofResult> FriendsOfFriendsBrute(const Snapshot& snap,
+                                        double linking_length,
+                                        int min_members) {
+  if (linking_length <= 0) {
+    return Status::InvalidArgument("linking length must be positive");
+  }
+  const int64_t n = static_cast<int64_t>(snap.particles.size());
+  DisjointSet ds(n);
+  const double link_sq = linking_length * linking_length;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      if (PeriodicDistSq(snap.particles[i].position,
+                         snap.particles[j].position, snap.box) <= link_sq) {
+        ds.Union(i, j);
+      }
+    }
+  }
+  return Collect(snap, &ds, min_members);
+}
+
+}  // namespace sqlarray::nbody

@@ -1,0 +1,36 @@
+// Friends-of-friends halo finding (Sec. 2.3).
+//
+// "At each snapshot we need to compute the so-called halos, clusters of
+// particles identified by friends of friends (FOF) algorithms within a
+// certain distance." Particles closer than the linking length belong to the
+// same group; groups below a minimum size are discarded (field particles).
+// Neighbor search is grid-hashed (cells of one linking length), giving the
+// expected O(N) behavior at fixed density. A brute-force reference is
+// provided for tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "sci/nbody/snapshot.h"
+
+namespace sqlarray::nbody {
+
+/// FOF output: halo id per particle (-1 for field particles) and per-halo
+/// member lists, largest halo first.
+struct FofResult {
+  std::vector<int64_t> halo_of;             ///< particle index -> halo id
+  std::vector<std::vector<int64_t>> halos;  ///< halo id -> particle indices
+};
+
+/// Grid-hashed FOF with periodic boundaries.
+Result<FofResult> FriendsOfFriends(const Snapshot& snap, double linking_length,
+                                   int min_members = 20);
+
+/// O(N^2) reference implementation (tests only).
+Result<FofResult> FriendsOfFriendsBrute(const Snapshot& snap,
+                                        double linking_length,
+                                        int min_members = 20);
+
+}  // namespace sqlarray::nbody

@@ -1,0 +1,55 @@
+#include "sci/nbody/lightcone.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace sqlarray::nbody {
+
+Result<std::vector<LightconePoint>> BuildLightcone(
+    std::span<const Snapshot> snapshots, const LightconeConfig& config) {
+  if (snapshots.empty()) {
+    return Status::InvalidArgument("light cone needs at least one snapshot");
+  }
+  std::vector<LightconePoint> out;
+  const spatial::Vec3 axis = config.direction.Normalized();
+  const double cos_half =
+      std::cos(config.half_angle_deg * std::numbers::pi / 180.0);
+
+  for (size_t i = 0; i < snapshots.size(); ++i) {
+    const Snapshot& snap = snapshots[i];
+    // Later snapshots are closer to the observer: look-back order means the
+    // most recent epoch fills the nearest shell.
+    size_t shell_index = snapshots.size() - 1 - i;
+    spatial::Cone cone;
+    cone.apex = config.observer;
+    cone.axis = axis;
+    cone.cos_half_angle = cos_half;
+    cone.r_min = config.r0 + shell_index * config.shell_depth;
+    cone.r_max = config.r0 + (shell_index + 1) * config.shell_depth;
+
+    // Octree over this snapshot's particles.
+    std::vector<spatial::Vec3> points;
+    points.reserve(snap.particles.size());
+    for (const Particle& p : snap.particles) points.push_back(p.position);
+    spatial::Aabb bounds{{0, 0, 0},
+                         {snap.box * 1.0001, snap.box * 1.0001,
+                          snap.box * 1.0001}};
+    SQLARRAY_ASSIGN_OR_RETURN(
+        spatial::Octree tree,
+        spatial::Octree::Build(std::move(points), bounds,
+                               config.octree_bucket));
+
+    for (int64_t idx : tree.Query(cone)) {
+      const Particle& p = snap.particles[idx];
+      spatial::Vec3 d = p.position - config.observer;
+      double r = d.Norm();
+      spatial::Vec3 los = d * (1.0 / r);
+      double vr = p.velocity.Dot(los);
+      out.push_back({p.id, snap.step, p.position, r, vr,
+                     vr / config.speed_of_light});
+    }
+  }
+  return out;
+}
+
+}  // namespace sqlarray::nbody

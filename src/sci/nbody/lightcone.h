@@ -1,0 +1,48 @@
+// Light-cone extraction across snapshots (Sec. 2.3).
+//
+// "we look at the cube from a distant viewpoint and follow light rays back
+// into the simulation ... as we look farther, the simulation box needs to be
+// taken from an earlier time step". Each snapshot owns a comoving-distance
+// shell; points inside both the observer's cone and the shell are selected
+// with an octree cone query, and a radial Doppler shift is computed from the
+// peculiar velocity.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "sci/nbody/snapshot.h"
+#include "spatial/octree.h"
+
+namespace sqlarray::nbody {
+
+/// One light-cone entry.
+struct LightconePoint {
+  int64_t particle_id = 0;
+  int snapshot_step = 0;
+  spatial::Vec3 position;
+  double distance = 0;        ///< comoving distance from the observer
+  double radial_velocity = 0; ///< line-of-sight peculiar velocity
+  double doppler_z = 0;       ///< v_r / c contribution to the redshift
+};
+
+/// Light-cone geometry.
+struct LightconeConfig {
+  spatial::Vec3 observer{-50, 50, 50};  ///< outside the box
+  spatial::Vec3 direction{1, 0, 0};     ///< cone axis (normalized inside)
+  double half_angle_deg = 20.0;
+  /// Comoving shell depth per snapshot: snapshot i covers
+  /// [r0 + i * shell, r0 + (i + 1) * shell).
+  double r0 = 0.0;
+  double shell_depth = 25.0;
+  double speed_of_light = 3.0e5;        ///< same units as velocities
+  int64_t octree_bucket = 256;
+};
+
+/// Builds the light cone from a time-ordered snapshot list (latest epoch
+/// nearest the observer, matching look-back order).
+Result<std::vector<LightconePoint>> BuildLightcone(
+    std::span<const Snapshot> snapshots, const LightconeConfig& config);
+
+}  // namespace sqlarray::nbody

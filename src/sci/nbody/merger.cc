@@ -1,0 +1,44 @@
+#include "sci/nbody/merger.h"
+
+#include <unordered_map>
+
+namespace sqlarray::nbody {
+
+Result<std::vector<MergerLink>> LinkHalos(const Snapshot& snap_prev,
+                                          const FofResult& fof_prev,
+                                          const Snapshot& snap_next,
+                                          const FofResult& fof_next,
+                                          double min_fraction) {
+  // Particle label -> halo at the later step.
+  std::unordered_map<int64_t, int64_t> next_halo_of_label;
+  for (size_t i = 0; i < snap_next.particles.size(); ++i) {
+    int64_t halo = fof_next.halo_of[i];
+    if (halo >= 0) next_halo_of_label[snap_next.particles[i].id] = halo;
+  }
+
+  std::vector<MergerLink> links;
+  for (size_t h = 0; h < fof_prev.halos.size(); ++h) {
+    // Count the earlier halo's labels per later halo.
+    std::unordered_map<int64_t, int64_t> shared;
+    for (int64_t idx : fof_prev.halos[h]) {
+      auto it = next_halo_of_label.find(snap_prev.particles[idx].id);
+      if (it != next_halo_of_label.end()) shared[it->second]++;
+    }
+    int64_t best_halo = -1, best_count = 0;
+    for (auto& [halo, count] : shared) {
+      if (count > best_count) {
+        best_count = count;
+        best_halo = halo;
+      }
+    }
+    double fraction = static_cast<double>(best_count) /
+                      static_cast<double>(fof_prev.halos[h].size());
+    if (best_halo >= 0 && fraction >= min_fraction) {
+      links.push_back({static_cast<int64_t>(h), best_halo, best_count,
+                       fraction});
+    }
+  }
+  return links;
+}
+
+}  // namespace sqlarray::nbody

@@ -1,0 +1,34 @@
+// Merger-tree linking between snapshots (Sec. 2.3).
+//
+// "These FOF halos need to be linked up between the different time steps to
+// determine the so called merger history. This can be best done by comparing
+// the particle labels in the halos at different time steps."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "sci/nbody/fof.h"
+
+namespace sqlarray::nbody {
+
+/// One progenitor -> descendant edge.
+struct MergerLink {
+  int64_t halo_prev = -1;       ///< halo id at the earlier step
+  int64_t halo_next = -1;       ///< halo id at the later step
+  int64_t shared_particles = 0;
+  double fraction = 0;          ///< shared / size of the earlier halo
+};
+
+/// Links halos by shared particle IDs: each earlier halo points to the later
+/// halo holding the largest share of its members (if the share is at least
+/// `min_fraction`). Multiple earlier halos pointing at one later halo is a
+/// merger.
+Result<std::vector<MergerLink>> LinkHalos(const Snapshot& snap_prev,
+                                          const FofResult& fof_prev,
+                                          const Snapshot& snap_next,
+                                          const FofResult& fof_next,
+                                          double min_fraction = 0.25);
+
+}  // namespace sqlarray::nbody

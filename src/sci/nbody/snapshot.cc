@@ -1,0 +1,94 @@
+#include "sci/nbody/snapshot.h"
+
+#include <cmath>
+
+namespace sqlarray::nbody {
+
+namespace {
+
+double Wrap(double x, double box) {
+  double w = std::fmod(x, box);
+  return w < 0 ? w + box : w;
+}
+
+}  // namespace
+
+Snapshot MakeInitialSnapshot(const SnapshotConfig& config, uint64_t seed) {
+  Rng rng(seed);
+  Snapshot snap;
+  snap.step = 0;
+  snap.box = config.box;
+
+  int64_t next_id = 0;
+  std::vector<spatial::Vec3> centers(config.num_halos);
+  std::vector<spatial::Vec3> bulk(config.num_halos);
+  for (int h = 0; h < config.num_halos; ++h) {
+    centers[h] = {rng.Uniform(0, config.box), rng.Uniform(0, config.box),
+                  rng.Uniform(0, config.box)};
+    bulk[h] = {rng.Normal(0, config.velocity_sigma),
+               rng.Normal(0, config.velocity_sigma),
+               rng.Normal(0, config.velocity_sigma)};
+  }
+  // Engineer a merger: put halo 0 and halo 1 near each other with
+  // approaching bulk velocities so later snapshots see them merge.
+  if (config.num_halos >= 2) {
+    centers[1] = {Wrap(centers[0].x + 6.0 * config.halo_sigma, config.box),
+                  centers[0].y, centers[0].z};
+    double v = 2.0 * config.velocity_sigma;
+    bulk[0] = {v, 0, 0};
+    bulk[1] = {-v, 0, 0};
+  }
+
+  for (int h = 0; h < config.num_halos; ++h) {
+    for (int p = 0; p < config.particles_per_halo; ++p) {
+      Particle part;
+      part.id = next_id++;
+      part.position = {
+          Wrap(centers[h].x + rng.Normal(0, config.halo_sigma), config.box),
+          Wrap(centers[h].y + rng.Normal(0, config.halo_sigma), config.box),
+          Wrap(centers[h].z + rng.Normal(0, config.halo_sigma), config.box)};
+      part.velocity = {
+          bulk[h].x + rng.Normal(0, 0.1 * config.velocity_sigma),
+          bulk[h].y + rng.Normal(0, 0.1 * config.velocity_sigma),
+          bulk[h].z + rng.Normal(0, 0.1 * config.velocity_sigma)};
+      snap.particles.push_back(part);
+    }
+  }
+  for (int p = 0; p < config.background_particles; ++p) {
+    Particle part;
+    part.id = next_id++;
+    part.position = {rng.Uniform(0, config.box), rng.Uniform(0, config.box),
+                     rng.Uniform(0, config.box)};
+    part.velocity = {rng.Normal(0, config.velocity_sigma),
+                     rng.Normal(0, config.velocity_sigma),
+                     rng.Normal(0, config.velocity_sigma)};
+    snap.particles.push_back(part);
+  }
+  return snap;
+}
+
+Snapshot EvolveSnapshot(const Snapshot& prev, const SnapshotConfig& config,
+                        uint64_t seed) {
+  Rng rng(seed);
+  const double dt = 0.01;
+  Snapshot next;
+  next.step = prev.step + 1;
+  next.box = prev.box;
+  next.particles.reserve(prev.particles.size());
+  for (const Particle& p : prev.particles) {
+    Particle q = p;
+    q.position.x = Wrap(p.position.x + p.velocity.x * dt +
+                            rng.Normal(0, 0.02 * config.halo_sigma),
+                        prev.box);
+    q.position.y = Wrap(p.position.y + p.velocity.y * dt +
+                            rng.Normal(0, 0.02 * config.halo_sigma),
+                        prev.box);
+    q.position.z = Wrap(p.position.z + p.velocity.z * dt +
+                            rng.Normal(0, 0.02 * config.halo_sigma),
+                        prev.box);
+    next.particles.push_back(q);
+  }
+  return next;
+}
+
+}  // namespace sqlarray::nbody

@@ -1,0 +1,51 @@
+// Synthetic cosmological N-body snapshots (the Sec. 2.3 substitute).
+//
+// Real runs dump (ID, position, velocity) per particle per snapshot. The
+// generator places halos (clustered Gaussian blobs) plus a uniform
+// background in a periodic box, and can evolve the same particle set across
+// snapshots (halo drift + two halo mergers) so friends-of-friends halos and
+// merger-tree linking behave like the real pipeline's inputs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "spatial/geometry.h"
+
+namespace sqlarray::nbody {
+
+/// One particle.
+struct Particle {
+  int64_t id = 0;
+  spatial::Vec3 position;
+  spatial::Vec3 velocity;
+};
+
+/// One snapshot: all particles at a time step.
+struct Snapshot {
+  int step = 0;
+  double box = 1.0;  ///< box edge, periodic
+  std::vector<Particle> particles;
+};
+
+/// Generator parameters.
+struct SnapshotConfig {
+  double box = 100.0;
+  int num_halos = 12;
+  int particles_per_halo = 400;
+  double halo_sigma = 1.2;        ///< halo radius (Gaussian sigma)
+  int background_particles = 2000;
+  double velocity_sigma = 50.0;
+};
+
+/// Generates snapshot 0.
+Snapshot MakeInitialSnapshot(const SnapshotConfig& config, uint64_t seed);
+
+/// Evolves a snapshot by one step: halos drift coherently, particles jitter,
+/// and (on even steps) the two nearest halos move toward each other so
+/// mergers appear in the tree. Particle IDs are preserved.
+Snapshot EvolveSnapshot(const Snapshot& prev, const SnapshotConfig& config,
+                        uint64_t seed);
+
+}  // namespace sqlarray::nbody

@@ -1,0 +1,44 @@
+// Two- and three-dimensional spectra (Sec. 2.2).
+//
+// "Two dimensional spectra are measured by using a slit ... Three
+// dimensional spectra are measured using so called integral field
+// spectrographs ... Higher dimensional spectrum processing would require
+// subsetting arrays and summation over certain axes to get, for example,
+// the overall spectrum of an object."
+//
+// A slit spectrum is a [wavelength, position] array; an IFU cube is a
+// [wavelength, x, y] array. Both are plain library arrays, so subsetting is
+// Subarray and collapsing is AggregateAxis — exactly the generic machinery
+// the paper argues for.
+#pragma once
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/array.h"
+#include "sci/spectrum/spectrum.h"
+
+namespace sqlarray::spectrum {
+
+/// An integral-field data cube: flux[wavelength, x, y] plus a shared
+/// wavelength axis (each spatial pixel sees the same grid).
+struct Datacube {
+  std::vector<double> wavelength;  ///< length nw
+  OwnedArray flux;                 ///< float64 [nw, nx, ny], max class
+};
+
+/// Synthesizes an IFU observation of a galaxy: continuum + emission lines
+/// whose strength falls off with radius from the cube center, plus noise.
+Result<Datacube> MakeSyntheticCube(int nw, int nx, int ny, uint64_t seed);
+
+/// Collapses the cube over both spatial axes — the "overall spectrum of an
+/// object that was originally observed with an integral field spectrograph".
+Result<Spectrum> CollapseToSpectrum(const Datacube& cube);
+
+/// Extracts a single spatial pixel's spectrum (a Subarray + collapse).
+Result<Spectrum> ExtractSpaxel(const Datacube& cube, int64_t x, int64_t y);
+
+/// Extracts a pseudo-slit: sums over y only, giving a [wavelength, x] slit
+/// spectrum as a rank-2 array.
+Result<OwnedArray> ExtractSlit(const Datacube& cube);
+
+}  // namespace sqlarray::spectrum

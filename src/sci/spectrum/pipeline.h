@@ -1,0 +1,84 @@
+// Server-side spectrum processing pipeline (Sec. 2.2).
+//
+// Spectra live in a database table as array blobs (one row per spectrum,
+// separate wavelength/flux/error/flag vectors). Processing runs inside the
+// query loop: resampling and integration are UDFs, composite spectra come
+// from a GROUP BY with the vector-averaging aggregate, and similar-spectrum
+// search goes through a PCA basis + kd-tree over expansion coefficients.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "math/pca.h"
+#include "sci/spectrum/resample.h"
+#include "spatial/kdtree.h"
+#include "sql/session.h"
+
+namespace sqlarray::spectrum {
+
+/// Registers the Spectrum.* UDF schema: Resample, Integrate, Normalize —
+/// the "generic resampling and integration functions ... that could run in
+/// the query processing loop".
+Status RegisterSpectrumUdfs(engine::FunctionRegistry* registry);
+
+/// Loads spectra into a table:
+///   id BIGINT, z FLOAT, zbin BIGINT,
+///   wl / flux / err VARBINARY(MAX) float64 arrays, flags VARBINARY(MAX)
+///   int8 array.
+/// `z_bins` controls the redshift binning used for composites.
+Result<storage::Table*> LoadSpectraTable(storage::Database* db,
+                                         const std::string& table_name,
+                                         std::span<const Spectrum> spectra,
+                                         int z_bins, double max_z);
+
+/// Composite spectra by redshift bin, computed WITH SQL: resample each
+/// spectrum onto a common grid in the select list and average per group
+/// with the AvgVector aggregate. Returns zbin -> mean flux vector.
+Result<std::map<int64_t, std::vector<double>>> CompositeByRedshift(
+    sql::Session* session, const std::string& table_name, double grid_lo,
+    double grid_hi, int grid_bins);
+
+/// PCA similarity index over a spectrum set (Sec. 2.2's search recipe:
+/// expand on a common basis, kd-tree over the coefficients).
+class SimilarityIndex {
+ public:
+  /// Builds the index: resample + normalize every spectrum onto the grid,
+  /// fit a k-component PCA basis, expand each spectrum with MASKED least
+  /// squares, and index the coefficients.
+  static Result<SimilarityIndex> Build(std::span<const Spectrum> spectra,
+                                       const std::vector<double>& grid,
+                                       int components);
+
+  /// Expands a query spectrum on the fly and returns the ids of the k most
+  /// similar archive spectra.
+  Result<std::vector<int64_t>> QuerySimilar(const Spectrum& query,
+                                            int k) const;
+
+  /// Expansion coefficients of archive spectrum `id` (test access).
+  std::span<const double> coefficients(int64_t id) const {
+    return std::span<const double>(coeffs_.data() + id * k_,
+                                   static_cast<size_t>(k_));
+  }
+  const math::PcaModel& model() const { return model_; }
+
+ private:
+  SimilarityIndex(math::PcaModel model, std::vector<double> coeffs, int k,
+                  std::vector<double> grid, spatial::KdTree tree)
+      : model_(std::move(model)), coeffs_(std::move(coeffs)), k_(k),
+        grid_(std::move(grid)), tree_(std::move(tree)) {}
+
+  /// Resample + normalize + masked-expand one spectrum.
+  Result<std::vector<double>> Expand(const Spectrum& s) const;
+
+  math::PcaModel model_;
+  std::vector<double> coeffs_;  ///< n x k row-major
+  int k_;
+  std::vector<double> grid_;
+  spatial::KdTree tree_;
+};
+
+}  // namespace sqlarray::spectrum

@@ -1,0 +1,92 @@
+#include "sci/spectrum/resample.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sqlarray::spectrum {
+
+namespace {
+
+/// Bin edges midway between centers, end bins extended symmetrically.
+std::vector<double> EdgesOf(const std::vector<double>& centers) {
+  const size_t n = centers.size();
+  std::vector<double> edges(n + 1);
+  for (size_t i = 1; i < n; ++i) {
+    edges[i] = 0.5 * (centers[i - 1] + centers[i]);
+  }
+  edges[0] = centers[0] - (edges[1] - centers[0]);
+  edges[n] = centers[n - 1] + (centers[n - 1] - edges[n - 1]);
+  return edges;
+}
+
+}  // namespace
+
+std::vector<double> MakeLogGrid(double lo, double hi, int bins) {
+  std::vector<double> grid(bins);
+  double llo = std::log(lo), lhi = std::log(hi);
+  for (int i = 0; i < bins; ++i) {
+    grid[i] = std::exp(llo + (lhi - llo) * (i + 0.5) / bins);
+  }
+  return grid;
+}
+
+Result<Spectrum> ResampleFluxConserving(const Spectrum& s,
+                                        const std::vector<double>& grid) {
+  if (s.size() < 2) {
+    return Status::InvalidArgument("source spectrum too short to resample");
+  }
+  if (grid.size() < 2) {
+    return Status::InvalidArgument("target grid too short");
+  }
+  const std::vector<double> src_edges = EdgesOf(s.wavelength);
+  const std::vector<double> dst_edges = EdgesOf(grid);
+
+  Spectrum out;
+  out.redshift = s.redshift;
+  out.wavelength = grid;
+  out.flux.assign(grid.size(), 0.0);
+  out.error.assign(grid.size(), 0.0);
+  out.flags.assign(grid.size(), 0);
+
+  // Sweep source bins once (both edge lists are sorted).
+  size_t j = 0;
+  std::vector<double> covered(grid.size(), 0.0);
+  std::vector<double> var(grid.size(), 0.0);
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s.flags[i]) continue;
+    double a = src_edges[i], b = src_edges[i + 1];
+    if (b <= dst_edges.front() || a >= dst_edges.back()) continue;
+    while (j > 0 && dst_edges[j] > a) --j;
+    while (j + 1 < dst_edges.size() && dst_edges[j + 1] <= a) ++j;
+    for (size_t k = j; k < grid.size(); ++k) {
+      double lo = std::max(a, dst_edges[k]);
+      double hi = std::min(b, dst_edges[k + 1]);
+      if (hi <= lo) {
+        if (dst_edges[k] >= b) break;
+        continue;
+      }
+      double overlap = hi - lo;
+      out.flux[k] += s.flux[i] * overlap;    // integral contribution
+      var[k] += s.error[i] * s.error[i] * overlap * overlap;
+      covered[k] += overlap;
+    }
+  }
+
+  for (size_t k = 0; k < grid.size(); ++k) {
+    double width = dst_edges[k + 1] - dst_edges[k];
+    // Require most of the bin to be covered by unmasked source data.
+    if (covered[k] < 0.5 * width) {
+      out.flags[k] = 1;
+      out.flux[k] = 0;
+      out.error[k] = 0;
+      continue;
+    }
+    // Convert the accumulated integral back to mean flux density over the
+    // covered interval — flux is conserved over covered ranges.
+    out.flux[k] /= covered[k];
+    out.error[k] = std::sqrt(var[k]) / covered[k];
+  }
+  return out;
+}
+
+}  // namespace sqlarray::spectrum

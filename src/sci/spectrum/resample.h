@@ -1,0 +1,28 @@
+// Flux-conserving resampling onto a common wavelength grid (Sec. 2.2).
+//
+// "the resampling should be done such a way that the integrated flux in any
+// wavelength range remains the same" — the resampler treats each source bin
+// as carrying constant flux density between its edges and redistributes that
+// density onto the target bins by exact interval overlap, so the integral
+// over any union of target bins equals the integral over the same range of
+// the source.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "sci/spectrum/spectrum.h"
+
+namespace sqlarray::spectrum {
+
+/// Builds a log-spaced common grid of `bins` centers covering [lo, hi].
+std::vector<double> MakeLogGrid(double lo, double hi, int bins);
+
+/// Resamples `s` onto the target bin centers. Bin edges are taken midway
+/// between centers (extended at the ends). Flagged source bins contribute
+/// nothing; target bins with no unmasked coverage come back flagged.
+/// Errors propagate in quadrature weighted by overlap.
+Result<Spectrum> ResampleFluxConserving(const Spectrum& s,
+                                        const std::vector<double>& grid);
+
+}  // namespace sqlarray::spectrum

@@ -1,0 +1,97 @@
+#include "sci/spectrum/spectrum.h"
+
+#include <cmath>
+
+namespace sqlarray::spectrum {
+
+namespace {
+
+/// Rest-frame emission lines (Angstrom): roughly [OII], Hbeta, [OIII] x2,
+/// Halpha — the usual strong optical lines.
+constexpr double kLineCenters[] = {3727.0, 4861.0, 4959.0, 5007.0, 6563.0};
+constexpr double kLineWidth = 8.0;
+
+}  // namespace
+
+Spectrum MakeSyntheticSpectrum(const SyntheticSpectrumConfig& config,
+                               Rng* rng) {
+  Spectrum s;
+  s.redshift = rng->Uniform(0.0, config.max_redshift);
+  const double zf = 1.0 + s.redshift;
+
+  // Log-linear observed-frame grid with a small per-spectrum offset so no
+  // two spectra share a wavelength scale.
+  const double jitter = rng->Uniform(0.0, 1.0);
+  const double log_lo = std::log(config.lambda_min * zf);
+  const double log_hi = std::log(config.lambda_max * zf);
+  const double step = (log_hi - log_lo) / config.bins;
+
+  s.wavelength.resize(config.bins);
+  s.flux.resize(config.bins);
+  s.error.resize(config.bins);
+  s.flags.resize(config.bins);
+
+  double continuum_norm = rng->Uniform(0.8, 1.2);
+  std::vector<double> line_amp(std::size(kLineCenters));
+  for (double& a : line_amp) a = rng->Uniform(0.5, 3.0);
+
+  for (int i = 0; i < config.bins; ++i) {
+    double lambda = std::exp(log_lo + (i + jitter) * step);
+    s.wavelength[i] = lambda;
+    double rest = lambda / zf;
+    double f = continuum_norm *
+               std::pow(rest / 5000.0, config.continuum_slope);
+    for (size_t l = 0; l < std::size(kLineCenters); ++l) {
+      double d = (rest - kLineCenters[l]) / kLineWidth;
+      f += line_amp[l] * std::exp(-0.5 * d * d);
+    }
+    double noise = rng->Normal(0.0, config.noise_sigma);
+    s.flux[i] = f + noise;
+    s.error[i] = config.noise_sigma;
+    s.flags[i] = rng->Bernoulli(config.flagged_fraction) ? 1 : 0;
+    if (s.flags[i]) s.flux[i] = rng->Normal(0.0, 5.0);  // corrupted bin
+  }
+  return s;
+}
+
+double IntegrateFlux(const Spectrum& s, double lo, double hi) {
+  double total = 0;
+  for (size_t i = 0; i + 1 < s.size(); ++i) {
+    if (s.flags[i] || s.flags[i + 1]) continue;
+    double a = std::max(lo, s.wavelength[i]);
+    double b = std::min(hi, s.wavelength[i + 1]);
+    if (b <= a) continue;
+    // Trapezoid clipped to [lo, hi], interpolating the end fluxes.
+    double w = s.wavelength[i + 1] - s.wavelength[i];
+    double fa = s.flux[i] +
+                (s.flux[i + 1] - s.flux[i]) * (a - s.wavelength[i]) / w;
+    double fb = s.flux[i] +
+                (s.flux[i + 1] - s.flux[i]) * (b - s.wavelength[i]) / w;
+    total += 0.5 * (fa + fb) * (b - a);
+  }
+  return total;
+}
+
+Status NormalizeFlux(Spectrum* s, double lo, double hi) {
+  double integral = IntegrateFlux(*s, lo, hi);
+  if (integral <= 0) {
+    return Status::InvalidArgument(
+        "cannot normalize: non-positive integrated flux");
+  }
+  double scale = 1.0 / integral;
+  for (size_t i = 0; i < s->size(); ++i) {
+    s->flux[i] *= scale;
+    s->error[i] *= scale;
+  }
+  return Status::OK();
+}
+
+void ApplyCorrection(Spectrum* s, double (*correction)(double lambda)) {
+  for (size_t i = 0; i < s->size(); ++i) {
+    double c = correction(s->wavelength[i]);
+    s->flux[i] *= c;
+    s->error[i] *= std::fabs(c);
+  }
+}
+
+}  // namespace sqlarray::spectrum

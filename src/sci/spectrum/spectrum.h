@@ -1,0 +1,59 @@
+// Astronomical spectra: the data model and a synthetic generator (Sec. 2.2).
+//
+// A spectrum is a set of per-bin vectors: wavelength bin edges/centers, flux,
+// flux error, and integer flags masking bad measurements. Wavelength scales
+// vary from observation to observation (log-linear with per-spectrum offsets
+// here), so each spectrum carries its own wavelength vector, exactly as the
+// paper requires.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace sqlarray::spectrum {
+
+/// One 1-D spectrum.
+struct Spectrum {
+  std::vector<double> wavelength;  ///< bin centers, strictly increasing
+  std::vector<double> flux;
+  std::vector<double> error;
+  std::vector<uint8_t> flags;      ///< non-zero = masked (bad) bin
+  double redshift = 0;
+
+  size_t size() const { return wavelength.size(); }
+};
+
+/// Parameters of the synthetic emission-line spectrum family.
+struct SyntheticSpectrumConfig {
+  int bins = 256;
+  double lambda_min = 3800.0;   ///< rest-frame grid start (Angstrom)
+  double lambda_max = 9200.0;
+  double continuum_slope = -0.5;
+  double noise_sigma = 0.02;
+  double flagged_fraction = 0.02;
+  double max_redshift = 0.3;
+};
+
+/// Draws one synthetic spectrum: a power-law continuum plus a few Gaussian
+/// emission lines at rest wavelengths, redshifted, noisy, with random
+/// flagged bins and a slightly jittered wavelength grid.
+Spectrum MakeSyntheticSpectrum(const SyntheticSpectrumConfig& config,
+                               Rng* rng);
+
+/// Integrated flux over [lo, hi] using trapezoidal integration on the
+/// spectrum's own grid, skipping flagged bins.
+double IntegrateFlux(const Spectrum& s, double lo, double hi);
+
+/// Scales the flux (and error) so the integral over [lo, hi] equals one —
+/// the normalization step of the paper's processing list.
+Status NormalizeFlux(Spectrum* s, double lo, double hi);
+
+/// Multiplies flux by a wavelength-dependent correction function —
+/// "corrections of physical effects require multiplying the flux vector with
+/// a number that is a function of the wavelength".
+void ApplyCorrection(Spectrum* s, double (*correction)(double lambda));
+
+}  // namespace sqlarray::spectrum

@@ -1,0 +1,65 @@
+#include "sci/turbulence/field.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace sqlarray::turbulence {
+
+SyntheticField::SyntheticField(int64_t n, int num_modes, uint64_t seed)
+    : n_(n) {
+  Rng rng(seed);
+  modes_.reserve(num_modes);
+  const double two_pi = 2.0 * std::numbers::pi;
+  for (int m = 0; m < num_modes; ++m) {
+    // Integer wave vector so the field is exactly periodic on [0, n)^3.
+    // Low wavenumbers dominate (energy-containing range).
+    std::array<int64_t, 3> ik{};
+    do {
+      for (int d = 0; d < 3; ++d) ik[d] = rng.UniformInt(-6, 6);
+    } while (ik[0] == 0 && ik[1] == 0 && ik[2] == 0);
+
+    Mode mode;
+    for (int d = 0; d < 3; ++d) {
+      mode.k[d] = two_pi * static_cast<double>(ik[d]) / static_cast<double>(n);
+    }
+    double kmag = std::sqrt(static_cast<double>(
+        ik[0] * ik[0] + ik[1] * ik[1] + ik[2] * ik[2]));
+
+    // Random direction projected onto the plane normal to k => div-free.
+    std::array<double, 3> raw{rng.Normal(), rng.Normal(), rng.Normal()};
+    double kdotr = 0, k2 = 0;
+    for (int d = 0; d < 3; ++d) {
+      kdotr += mode.k[d] * raw[d];
+      k2 += mode.k[d] * mode.k[d];
+    }
+    double norm = 0;
+    for (int d = 0; d < 3; ++d) {
+      mode.a[d] = raw[d] - mode.k[d] * kdotr / k2;
+      norm += mode.a[d] * mode.a[d];
+    }
+    norm = std::sqrt(norm);
+    // Kolmogorov-like amplitude: |a| ~ k^(-5/6) (E(k) ~ k^(-5/3)).
+    double amp = std::pow(kmag, -5.0 / 6.0);
+    if (norm > 0) {
+      for (int d = 0; d < 3; ++d) mode.a[d] *= amp / norm;
+    }
+    mode.phase = rng.Uniform(0, two_pi);
+    mode.p_amp = amp * rng.Normal(0, 0.3);
+    modes_.push_back(mode);
+  }
+}
+
+FlowSample SyntheticField::Evaluate(double x, double y, double z) const {
+  FlowSample s;
+  for (const Mode& m : modes_) {
+    double arg = m.k[0] * x + m.k[1] * y + m.k[2] * z + m.phase;
+    double c = std::cos(arg);
+    s.u += m.a[0] * c;
+    s.v += m.a[1] * c;
+    s.w += m.a[2] * c;
+    s.p += m.p_amp * std::sin(arg);
+  }
+  return s;
+}
+
+}  // namespace sqlarray::turbulence

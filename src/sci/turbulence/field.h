@@ -1,0 +1,63 @@
+// Synthetic isotropic turbulence velocity fields (the Sec. 2.1 substitute).
+//
+// The paper's service hosts snapshots of a 1024^3 Navier–Stokes simulation;
+// we synthesize a periodic, divergence-free velocity field as a superposition
+// of random solenoidal Fourier modes with a Kolmogorov-like spectrum, plus a
+// pressure field. The analytic form is evaluable at ANY point, providing the
+// exact ground truth against which grid interpolation error is measured.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace sqlarray::turbulence {
+
+/// Velocity (u, v, w) and pressure at one point.
+struct FlowSample {
+  double u = 0, v = 0, w = 0, p = 0;
+
+  double component(int c) const {
+    switch (c) {
+      case 0: return u;
+      case 1: return v;
+      case 2: return w;
+      default: return p;
+    }
+  }
+};
+
+/// A periodic analytic flow field on [0, n)^3 (grid units).
+class SyntheticField {
+ public:
+  /// `n` is the grid resolution per axis; `num_modes` random Fourier modes;
+  /// mode amplitudes follow k^(-5/6) so the energy spectrum E(k) ~ k^(-5/3).
+  SyntheticField(int64_t n, int num_modes, uint64_t seed);
+
+  int64_t n() const { return n_; }
+
+  /// Exact field value at an arbitrary (periodic) position in grid units.
+  FlowSample Evaluate(double x, double y, double z) const;
+
+  /// Field value at a grid vertex (same as Evaluate at integers).
+  FlowSample GridSample(int64_t i, int64_t j, int64_t k) const {
+    return Evaluate(static_cast<double>(i), static_cast<double>(j),
+                    static_cast<double>(k));
+  }
+
+ private:
+  struct Mode {
+    std::array<double, 3> k;    ///< wave vector (radians per grid unit)
+    std::array<double, 3> a;    ///< solenoidal amplitude (a . k = 0)
+    double phase;
+    double p_amp;               ///< pressure amplitude
+  };
+
+  int64_t n_;
+  std::vector<Mode> modes_;
+};
+
+}  // namespace sqlarray::turbulence

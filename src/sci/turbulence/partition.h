@@ -1,0 +1,64 @@
+// Blob partitioning of velocity-field snapshots (Sec. 2.1).
+//
+// "The data is partitioned along a space filling curve (z-index) into cubes
+// of (64+8)^3. The +8 means that each cube contains an extra 8 voxel wide
+// buffer so that particles on the edge of the original cube still have their
+// neighbors within 4 voxels in the same blob. Each blob is ... stored in a
+// separate row."
+//
+// PartitionConfig generalizes the cube edge and overlap so the C1 experiment
+// can sweep blob sizes; LoadIntoTable materializes the blobs into a database
+// table keyed by the cube's Morton (z-order) index.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "common/status.h"
+#include "sci/turbulence/field.h"
+#include "storage/table.h"
+
+namespace sqlarray::turbulence {
+
+/// Cube key orderings for the clustered index.
+enum class CubeOrder {
+  kMorton,    ///< z-order curve: spatially adjacent cubes get nearby keys
+  kRowMajor,  ///< cx + n*(cy + n*cz): adjacent keys share only an x edge
+};
+
+/// Blob layout parameters.
+struct PartitionConfig {
+  int64_t core = 16;     ///< cube core edge (64 in the paper)
+  int64_t overlap = 4;   ///< one-sided buffer width (8 in the paper)
+  /// Store (u, v, w, p) per voxel when true, velocity only when false.
+  bool with_pressure = true;
+  /// Key ordering of the blob rows — the Sec. 2.1 space-filling-curve
+  /// clustering is kMorton; kRowMajor is the ablation baseline.
+  CubeOrder order = CubeOrder::kMorton;
+
+  int64_t edge() const { return core + 2 * overlap; }
+  int components() const { return with_pressure ? 4 : 3; }
+  /// Bytes per blob (float32 voxels + max-array header).
+  int64_t BlobBytes() const;
+};
+
+/// Partitions a synthetic field into blob rows:
+///   id BIGINT      — Morton code of the cube
+///   v  VARBINARY   — float32 array [components, edge, edge, edge],
+///                    column-major, short class when it fits a page.
+/// The field resolution must be a multiple of `core`.
+Result<storage::Table*> LoadIntoTable(const SyntheticField& field,
+                                      const PartitionConfig& config,
+                                      storage::Database* db,
+                                      const std::string& table_name);
+
+/// Maps a point (grid units, periodic) to the key of the cube whose CORE
+/// contains it (under the configured ordering).
+uint64_t CubeIdOf(const PartitionConfig& config, int64_t n, double x,
+                  double y, double z);
+
+/// Inverse of CubeIdOf: the cube cell coordinates of a row key.
+std::array<int64_t, 3> CubeCellForId(const PartitionConfig& config, int64_t n,
+                                     uint64_t id);
+
+}  // namespace sqlarray::turbulence

@@ -1,0 +1,66 @@
+// The particle-interpolation service (Sec. 2.1).
+//
+// Mirrors the public turbulence web service: callers submit particle
+// positions, the service locates each particle's blob row by z-index key
+// lookup, reads ONLY the stencil-sized subarray of the blob (the streamed
+// partial read that motivates small / in-page blobs), and interpolates the
+// velocity with the chosen scheme (nearest, Lagrange 4/6/8).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/array.h"
+#include "math/interp.h"
+#include "sci/turbulence/partition.h"
+
+namespace sqlarray::turbulence {
+
+/// One interpolated query result.
+struct VelocitySample {
+  double u = 0, v = 0, w = 0;
+};
+
+/// Per-batch service statistics.
+struct ServiceStats {
+  int64_t particles = 0;
+  int64_t blob_bytes_read = 0;   ///< logical array bytes fetched
+  int64_t io_bytes_read = 0;     ///< page bytes from the disk model
+  double io_virtual_seconds = 0;
+  int64_t fallback_full_reads = 0;  ///< stencils that did not fit the buffer
+};
+
+/// Interpolation service over a partitioned field table.
+class InterpolationService {
+ public:
+  InterpolationService(storage::Database* db, storage::Table* table,
+                       PartitionConfig config, int64_t field_n)
+      : db_(db), table_(table), config_(config), n_(field_n) {}
+
+  /// Interpolates the velocity at one position (grid units, periodic).
+  Result<VelocitySample> Sample(double x, double y, double z,
+                                math::InterpScheme scheme);
+
+  /// Batch variant; accumulates stats().
+  Result<std::vector<VelocitySample>> SampleBatch(
+      std::span<const std::array<double, 3>> positions,
+      math::InterpScheme scheme);
+
+  const ServiceStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ServiceStats{}; }
+
+ private:
+  /// Fetches the stencil block around (x, y, z) from the particle's blob,
+  /// returning the block plus the position of its origin in grid space.
+  Result<OwnedArray> FetchStencil(double x, double y, double z, int width,
+                                  std::array<int64_t, 3>* origin);
+
+  storage::Database* db_;
+  storage::Table* table_;
+  PartitionConfig config_;
+  int64_t n_;
+  ServiceStats stats_;
+};
+
+}  // namespace sqlarray::turbulence

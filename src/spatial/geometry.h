@@ -1,0 +1,98 @@
+// Geometric primitives for spatial retrieval (Sec. 2.3).
+//
+// Light-cone construction "requires a spatial index that can retrieve points
+// from within a cone or other geometric primitives"; these are the predicate
+// types the octree understands.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace sqlarray::spatial {
+
+/// A 3-vector.
+struct Vec3 {
+  double x = 0, y = 0, z = 0;
+
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  double Dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  double Norm() const { return std::sqrt(Dot(*this)); }
+  Vec3 Normalized() const {
+    double n = Norm();
+    return n > 0 ? Vec3{x / n, y / n, z / n} : Vec3{0, 0, 0};
+  }
+};
+
+/// Axis-aligned box [lo, hi).
+struct Aabb {
+  Vec3 lo, hi;
+
+  bool Contains(const Vec3& p) const {
+    return p.x >= lo.x && p.x < hi.x && p.y >= lo.y && p.y < hi.y &&
+           p.z >= lo.z && p.z < hi.z;
+  }
+  Vec3 Center() const { return (lo + hi) * 0.5; }
+  /// Half of the box diagonal (circumscribed sphere radius).
+  double CircumRadius() const { return (hi - lo).Norm() * 0.5; }
+
+  /// Overlap test against another box (exact for AABBs).
+  bool MayIntersect(const Aabb& box) const {
+    return lo.x < box.hi.x && box.lo.x < hi.x && lo.y < box.hi.y &&
+           box.lo.y < hi.y && lo.z < box.hi.z && box.lo.z < hi.z;
+  }
+};
+
+/// A sphere predicate.
+struct Sphere {
+  Vec3 center;
+  double radius = 0;
+
+  bool Contains(const Vec3& p) const {
+    return (p - center).Dot(p - center) <= radius * radius;
+  }
+  /// Conservative test: can the sphere intersect this box?
+  bool MayIntersect(const Aabb& box) const {
+    Vec3 c = box.Center();
+    return (c - center).Norm() <= radius + box.CircumRadius();
+  }
+};
+
+/// An infinite cone predicate (apex, axis, half-angle), optionally bounded by
+/// a radial shell [r_min, r_max] from the apex — the light-cone geometry: a
+/// shell selects the epoch (comoving distance), the cone selects the sky area.
+struct Cone {
+  Vec3 apex;
+  Vec3 axis;        ///< unit direction
+  double cos_half_angle = 1.0;
+  double r_min = 0.0;
+  double r_max = std::numeric_limits<double>::infinity();
+
+  bool Contains(const Vec3& p) const {
+    Vec3 d = p - apex;
+    double r = d.Norm();
+    if (r < r_min || r > r_max) return false;
+    if (r == 0) return r_min == 0;
+    return d.Dot(axis) >= cos_half_angle * r;
+  }
+
+  /// Conservative box test via the circumscribed sphere: the box may hold
+  /// cone points if its center lies within (half-angle + angular radius of
+  /// the sphere) of the axis and its radial shell overlaps.
+  bool MayIntersect(const Aabb& box) const {
+    Vec3 c = box.Center() - apex;
+    double rad = box.CircumRadius();
+    double r = c.Norm();
+    if (r - rad > r_max || r + rad < r_min) return false;
+    if (r <= rad) return true;  // box contains the apex region
+    double cos_c = c.Dot(axis) / r;
+    double ang_c = std::acos(std::clamp(cos_c, -1.0, 1.0));
+    double ang_half = std::acos(std::clamp(cos_half_angle, -1.0, 1.0));
+    double ang_rad = std::asin(std::clamp(rad / r, 0.0, 1.0));
+    return ang_c <= ang_half + ang_rad;
+  }
+};
+
+}  // namespace sqlarray::spatial

@@ -1,0 +1,149 @@
+#include "spatial/kdtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+namespace sqlarray::spatial {
+
+Result<KdTree> KdTree::Build(std::vector<double> points, int dim) {
+  if (dim < 1) {
+    return Status::InvalidArgument("kd-tree dimension must be >= 1");
+  }
+  if (points.size() % static_cast<size_t>(dim) != 0) {
+    return Status::InvalidArgument(
+        "point buffer length must be a multiple of the dimension");
+  }
+  KdTree tree(std::move(points), dim);
+  tree.order_.resize(tree.n_);
+  std::iota(tree.order_.begin(), tree.order_.end(), 0);
+  if (tree.n_ > 0) tree.BuildNode(0, tree.n_, 0);
+  return tree;
+}
+
+int64_t KdTree::BuildNode(int64_t begin, int64_t end, int depth) {
+  int64_t node_idx = static_cast<int64_t>(nodes_.size());
+  nodes_.emplace_back();
+
+  if (end - begin <= kLeafSize) {
+    nodes_[node_idx].axis = -1;
+    nodes_[node_idx].begin = begin;
+    nodes_[node_idx].end = end;
+    return node_idx;
+  }
+
+  // Split on the axis of largest spread for better balance than cycling.
+  int best_axis = depth % dim_;
+  double best_spread = -1;
+  for (int a = 0; a < dim_; ++a) {
+    double lo = points_[order_[begin] * dim_ + a];
+    double hi = lo;
+    for (int64_t i = begin; i < end; ++i) {
+      double v = points_[order_[i] * dim_ + a];
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (hi - lo > best_spread) {
+      best_spread = hi - lo;
+      best_axis = a;
+    }
+  }
+
+  int64_t mid = begin + (end - begin) / 2;
+  std::nth_element(order_.begin() + begin, order_.begin() + mid,
+                   order_.begin() + end, [&](int64_t a, int64_t b) {
+                     return points_[a * dim_ + best_axis] <
+                            points_[b * dim_ + best_axis];
+                   });
+
+  nodes_[node_idx].axis = best_axis;
+  nodes_[node_idx].split = points_[order_[mid] * dim_ + best_axis];
+  int64_t left = BuildNode(begin, mid, depth + 1);
+  int64_t right = BuildNode(mid, end, depth + 1);
+  nodes_[node_idx].left = left;
+  nodes_[node_idx].right = right;
+  return node_idx;
+}
+
+namespace {
+
+double DistSq(const double* a, const double* b, int dim) {
+  double sum = 0;
+  for (int k = 0; k < dim; ++k) {
+    double d = a[k] - b[k];
+    sum += d * d;
+  }
+  return sum;
+}
+
+}  // namespace
+
+template <typename Visit>
+void KdTree::Search(int64_t node, std::span<const double> query,
+                    double& worst_sq, const Visit& visit) const {
+  const Node& nd = nodes_[node];
+  if (nd.axis < 0) {
+    for (int64_t i = nd.begin; i < nd.end; ++i) {
+      double d = DistSq(PointAt(i), query.data(), dim_);
+      if (d <= worst_sq) visit(order_[i], d);
+    }
+    return;
+  }
+  double delta = query[nd.axis] - nd.split;
+  int64_t near = delta <= 0 ? nd.left : nd.right;
+  int64_t far = delta <= 0 ? nd.right : nd.left;
+  Search(near, query, worst_sq, visit);
+  if (delta * delta <= worst_sq) {
+    Search(far, query, worst_sq, visit);
+  }
+}
+
+std::vector<Neighbor> KdTree::Nearest(std::span<const double> query,
+                                      int k) const {
+  std::vector<Neighbor> out;
+  if (n_ == 0 || k <= 0) return out;
+  k = static_cast<int>(std::min<int64_t>(k, n_));
+
+  // Max-heap of the best k so far; worst_sq shrinks as the heap fills.
+  auto cmp = [](const Neighbor& a, const Neighbor& b) {
+    return a.dist_sq < b.dist_sq;
+  };
+  std::priority_queue<Neighbor, std::vector<Neighbor>, decltype(cmp)> heap(
+      cmp);
+  double worst_sq = std::numeric_limits<double>::infinity();
+
+  Search(0, query, worst_sq, [&](int64_t id, double d) {
+    if (static_cast<int>(heap.size()) < k) {
+      heap.push({id, d});
+      if (static_cast<int>(heap.size()) == k) worst_sq = heap.top().dist_sq;
+    } else if (d < heap.top().dist_sq) {
+      heap.pop();
+      heap.push({id, d});
+      worst_sq = heap.top().dist_sq;
+    }
+  });
+
+  out.resize(heap.size());
+  for (int64_t i = static_cast<int64_t>(out.size()) - 1; i >= 0; --i) {
+    out[i] = heap.top();
+    heap.pop();
+  }
+  return out;
+}
+
+std::vector<Neighbor> KdTree::WithinRadius(std::span<const double> query,
+                                           double radius) const {
+  std::vector<Neighbor> out;
+  if (n_ == 0 || radius < 0) return out;
+  double worst_sq = radius * radius;
+  Search(0, query, worst_sq,
+         [&](int64_t id, double d) { out.push_back({id, d}); });
+  std::sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
+    return a.dist_sq < b.dist_sq;
+  });
+  return out;
+}
+
+}  // namespace sqlarray::spatial

@@ -1,0 +1,72 @@
+// k-d tree for nearest-neighbor search in coefficient spaces.
+//
+// Sec. 2.2: similar-spectrum search builds a kd-tree over PCA expansion
+// coefficients and looks up nearest neighbors of a query spectrum's
+// coefficient vector. The tree handles any (runtime) dimensionality.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sqlarray::spatial {
+
+/// A k-nearest-neighbor result: point id and squared Euclidean distance.
+struct Neighbor {
+  int64_t id;
+  double dist_sq;
+};
+
+/// Static k-d tree over n points of dimension d. Built once, queried many
+/// times; points are stored row-major (point i at data[i*d .. i*d+d)).
+class KdTree {
+ public:
+  /// Builds a balanced tree (median splits). `points.size()` must be a
+  /// multiple of `dim`.
+  static Result<KdTree> Build(std::vector<double> points, int dim);
+
+  int64_t size() const { return n_; }
+  int dim() const { return dim_; }
+
+  /// Returns the k nearest neighbors of `query`, ascending by distance.
+  /// k is clamped to the point count.
+  std::vector<Neighbor> Nearest(std::span<const double> query, int k) const;
+
+  /// Returns all points within `radius` of `query`, ascending by distance.
+  std::vector<Neighbor> WithinRadius(std::span<const double> query,
+                                     double radius) const;
+
+ private:
+  struct Node {
+    int32_t axis = -1;     ///< split axis, -1 for leaf
+    double split = 0;      ///< split coordinate
+    int64_t begin = 0;     ///< leaf: range into order_
+    int64_t end = 0;
+    int64_t left = -1;     ///< child node indices
+    int64_t right = -1;
+  };
+
+  KdTree(std::vector<double> points, int dim)
+      : points_(std::move(points)), dim_(dim),
+        n_(static_cast<int64_t>(points_.size()) / dim) {}
+
+  int64_t BuildNode(int64_t begin, int64_t end, int depth);
+  const double* PointAt(int64_t ordered_idx) const {
+    return points_.data() + order_[ordered_idx] * dim_;
+  }
+
+  template <typename Visit>
+  void Search(int64_t node, std::span<const double> query,
+              double& worst_sq, const Visit& visit) const;
+
+  std::vector<double> points_;
+  int dim_;
+  int64_t n_;
+  std::vector<int64_t> order_;  ///< permutation of point ids
+  std::vector<Node> nodes_;
+  static constexpr int64_t kLeafSize = 16;
+};
+
+}  // namespace sqlarray::spatial

@@ -1,0 +1,115 @@
+#include "spatial/octree.h"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <span>
+
+namespace sqlarray::spatial {
+
+Result<Octree> Octree::Build(std::vector<Vec3> points, Aabb bounds,
+                             int64_t bucket_capacity) {
+  if (bucket_capacity < 1) {
+    return Status::InvalidArgument("bucket capacity must be >= 1");
+  }
+  for (const Vec3& p : points) {
+    if (!bounds.Contains(p)) {
+      return Status::InvalidArgument("point outside the octree bounds");
+    }
+  }
+  Octree tree(std::move(points), bucket_capacity);
+  tree.order_.resize(tree.points_.size());
+  std::iota(tree.order_.begin(), tree.order_.end(), 0);
+
+  Node root;
+  root.bounds = bounds;
+  root.begin = 0;
+  root.end = static_cast<int64_t>(tree.points_.size());
+  tree.nodes_.push_back(root);
+  tree.BuildNode(0, 0);
+  return tree;
+}
+
+void Octree::BuildNode(int64_t node, int depth) {
+  max_depth_ = std::max(max_depth_, depth);
+  nodes_[node].depth = depth;
+  int64_t count = nodes_[node].end - nodes_[node].begin;
+  if (count <= capacity_ || depth >= kMaxDepth) return;
+
+  nodes_[node].leaf = false;
+  const Vec3 c = nodes_[node].bounds.Center();
+  const Aabb bounds = nodes_[node].bounds;
+  int64_t begin = nodes_[node].begin;
+  int64_t end = nodes_[node].end;
+
+  // Partition the id range into the 8 octants with three binary splits.
+  auto octant = [&](int64_t id) {
+    const Vec3& p = points_[id];
+    return (p.x >= c.x ? 1 : 0) | (p.y >= c.y ? 2 : 0) | (p.z >= c.z ? 4 : 0);
+  };
+  // Counting sort by octant (stable, O(n)).
+  std::array<int64_t, 9> counts{};
+  for (int64_t i = begin; i < end; ++i) counts[octant(order_[i]) + 1]++;
+  for (int k = 0; k < 8; ++k) counts[k + 1] += counts[k];
+  std::vector<int64_t> tmp(end - begin);
+  std::array<int64_t, 8> cursor{};
+  for (int k = 0; k < 8; ++k) cursor[k] = counts[k];
+  for (int64_t i = begin; i < end; ++i) {
+    int o = octant(order_[i]);
+    tmp[cursor[o]++] = order_[i];
+  }
+  std::copy(tmp.begin(), tmp.end(), order_.begin() + begin);
+
+  for (int k = 0; k < 8; ++k) {
+    int64_t cb = begin + counts[k];
+    int64_t ce = begin + counts[k + 1];
+    if (cb == ce) continue;
+    Node child;
+    child.bounds.lo = {k & 1 ? c.x : bounds.lo.x, k & 2 ? c.y : bounds.lo.y,
+                       k & 4 ? c.z : bounds.lo.z};
+    child.bounds.hi = {k & 1 ? bounds.hi.x : c.x, k & 2 ? bounds.hi.y : c.y,
+                       k & 4 ? bounds.hi.z : c.z};
+    child.begin = cb;
+    child.end = ce;
+    int64_t child_idx = static_cast<int64_t>(nodes_.size());
+    nodes_.push_back(child);
+    nodes_[node].children[k] = child_idx;
+    BuildNode(child_idx, depth + 1);
+  }
+}
+
+int64_t Octree::bucket_count() const {
+  int64_t n = 0;
+  for (const Node& nd : nodes_) n += nd.leaf ? 1 : 0;
+  return n;
+}
+
+std::vector<DecimatedPoint> Octree::Decimate(int depth) const {
+  std::vector<DecimatedPoint> out;
+  for (const Node& nd : nodes_) {
+    bool emit = (nd.depth == depth) || (nd.leaf && nd.depth < depth);
+    if (!emit || nd.end == nd.begin) continue;
+    // Representative: centroid of the bucket, weighted by its population —
+    // "each sub-sampled particle would get a different weight according to
+    // the number of original particles in its region of attraction".
+    Vec3 sum;
+    for (int64_t i = nd.begin; i < nd.end; ++i) {
+      sum = sum + points_[order_[i]];
+    }
+    double w = static_cast<double>(nd.end - nd.begin);
+    out.push_back({sum * (1.0 / w), w});
+  }
+  return out;
+}
+
+void Octree::ForEachBucket(
+    const std::function<void(const Aabb&, std::span<const int64_t>)>& fn)
+    const {
+  for (const Node& nd : nodes_) {
+    if (!nd.leaf) continue;
+    fn(nd.bounds, std::span<const int64_t>(order_.data() + nd.begin,
+                                           static_cast<size_t>(nd.end - nd.begin)));
+  }
+}
+
+}  // namespace sqlarray::spatial

@@ -1,0 +1,96 @@
+// Bucketed point octree (Sec. 2.3).
+//
+// N-body snapshots are arranged "in coherent chunks organized into a spatial
+// octree, not necessarily balanced", computed from a space-filling-curve
+// index, with a few thousand particles per bucket. This octree subdivides
+// until buckets fall below a capacity, supports box/sphere/cone retrieval,
+// and can emit decimated (sub-sampled, weighted) levels for visualization.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "spatial/geometry.h"
+
+namespace sqlarray::spatial {
+
+/// A weighted sample from a decimated octree level.
+struct DecimatedPoint {
+  Vec3 position;
+  double weight;  ///< number of original points it represents
+};
+
+/// Octree over 3-D points identified by dense ids [0, n).
+class Octree {
+ public:
+  /// Builds over `points` within `bounds`, splitting nodes above
+  /// `bucket_capacity` points (a few thousand in the paper's design).
+  static Result<Octree> Build(std::vector<Vec3> points, Aabb bounds,
+                              int64_t bucket_capacity);
+
+  int64_t size() const { return static_cast<int64_t>(points_.size()); }
+  /// Number of leaf buckets.
+  int64_t bucket_count() const;
+  /// Maximum depth reached.
+  int max_depth() const { return max_depth_; }
+
+  /// Collects ids of points inside the predicate (any of Aabb, Sphere, Cone
+  /// — anything with Contains(Vec3) and MayIntersect(Aabb)).
+  template <typename Pred>
+  std::vector<int64_t> Query(const Pred& pred) const {
+    std::vector<int64_t> out;
+    QueryNode(0, pred, &out);
+    return out;
+  }
+
+  /// Emits one representative per node at `depth` (or leaf, if shallower),
+  /// weighted by its point count — the paper's decimated visualization tree.
+  std::vector<DecimatedPoint> Decimate(int depth) const;
+
+  /// Invokes `fn(node_bounds, point_ids)` for every leaf bucket.
+  void ForEachBucket(
+      const std::function<void(const Aabb&, std::span<const int64_t>)>& fn)
+      const;
+
+ private:
+  struct Node {
+    Aabb bounds;
+    int64_t begin = 0, end = 0;         ///< range into order_
+    int64_t children[8] = {-1, -1, -1, -1, -1, -1, -1, -1};
+    bool leaf = true;
+    int depth = 0;
+  };
+
+  Octree(std::vector<Vec3> points, int64_t capacity)
+      : points_(std::move(points)), capacity_(capacity) {}
+
+  void BuildNode(int64_t node, int depth);
+
+  template <typename Pred>
+  void QueryNode(int64_t node, const Pred& pred,
+                 std::vector<int64_t>* out) const {
+    const Node& nd = nodes_[node];
+    if (!pred.MayIntersect(nd.bounds)) return;
+    if (nd.leaf) {
+      for (int64_t i = nd.begin; i < nd.end; ++i) {
+        if (pred.Contains(points_[order_[i]])) out->push_back(order_[i]);
+      }
+      return;
+    }
+    for (int64_t c : nd.children) {
+      if (c >= 0) QueryNode(c, pred, out);
+    }
+  }
+
+  std::vector<Vec3> points_;
+  int64_t capacity_;
+  std::vector<int64_t> order_;
+  std::vector<Node> nodes_;
+  int max_depth_ = 0;
+  static constexpr int kMaxDepth = 21;
+};
+
+}  // namespace sqlarray::spatial

@@ -1,0 +1,54 @@
+#include "spatial/zorder.h"
+
+#include <cmath>
+
+namespace sqlarray::spatial {
+
+namespace {
+
+/// Spreads the low 21 bits of v so consecutive bits land 3 apart.
+uint64_t Part1By2(uint32_t v) {
+  uint64_t x = v & 0x1FFFFF;
+  x = (x | x << 32) & 0x1F00000000FFFFULL;
+  x = (x | x << 16) & 0x1F0000FF0000FFULL;
+  x = (x | x << 8) & 0x100F00F00F00F00FULL;
+  x = (x | x << 4) & 0x10C30C30C30C30C3ULL;
+  x = (x | x << 2) & 0x1249249249249249ULL;
+  return x;
+}
+
+/// Inverse of Part1By2.
+uint32_t Compact1By2(uint64_t x) {
+  x &= 0x1249249249249249ULL;
+  x = (x ^ (x >> 2)) & 0x10C30C30C30C30C3ULL;
+  x = (x ^ (x >> 4)) & 0x100F00F00F00F00FULL;
+  x = (x ^ (x >> 8)) & 0x1F0000FF0000FFULL;
+  x = (x ^ (x >> 16)) & 0x1F00000000FFFFULL;
+  x = (x ^ (x >> 32)) & 0x1FFFFF;
+  return static_cast<uint32_t>(x);
+}
+
+}  // namespace
+
+uint64_t MortonEncode3(uint32_t x, uint32_t y, uint32_t z) {
+  return Part1By2(x) | (Part1By2(y) << 1) | (Part1By2(z) << 2);
+}
+
+std::array<uint32_t, 3> MortonDecode3(uint64_t code) {
+  return {Compact1By2(code), Compact1By2(code >> 1), Compact1By2(code >> 2)};
+}
+
+uint64_t MortonCellOf(double px, double py, double pz, double box,
+                      uint32_t n) {
+  auto cell = [&](double p) -> uint32_t {
+    double f = p / box * static_cast<double>(n);
+    int64_t c = static_cast<int64_t>(std::floor(f));
+    // Periodic wrap keeps out-of-box particles addressable.
+    c %= static_cast<int64_t>(n);
+    if (c < 0) c += n;
+    return static_cast<uint32_t>(c);
+  };
+  return MortonEncode3(cell(px), cell(py), cell(pz));
+}
+
+}  // namespace sqlarray::spatial

@@ -1,0 +1,27 @@
+// 3-D Morton (z-order) space-filling curve codec.
+//
+// The turbulence database partitions its grid along a z-index (Sec. 2.1) and
+// the N-body octree buckets are computed from a space-filling curve index
+// (Sec. 2.3). 21 bits per axis pack into a 63-bit code, enough for 2^21-cell
+// grids per dimension.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace sqlarray::spatial {
+
+/// Maximum per-axis coordinate (21 bits).
+inline constexpr uint32_t kMaxZCoord = (1u << 21) - 1;
+
+/// Interleaves the low 21 bits of x, y, z into a Morton code
+/// (x owns bits 0, 3, 6, ...).
+uint64_t MortonEncode3(uint32_t x, uint32_t y, uint32_t z);
+
+/// Inverse of MortonEncode3.
+std::array<uint32_t, 3> MortonDecode3(uint64_t code);
+
+/// Morton code of the cell containing a point in [0, box)^3 on an n^3 grid.
+uint64_t MortonCellOf(double px, double py, double pz, double box, uint32_t n);
+
+}  // namespace sqlarray::spatial

@@ -1,0 +1,101 @@
+// Statement AST for the T-SQL-flavored frontend.
+//
+// Expressions reuse engine::Expr directly (the parser emits unbound trees;
+// the session binds them per statement).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/expr.h"
+
+namespace sqlarray::sql {
+
+/// One SELECT-list entry: optional `@var =` assignment target, the
+/// expression, and an optional AS label. Top-level aggregate calls are
+/// recognized by the session, not the parser.
+struct SelectListItem {
+  std::string assign_var;  ///< empty when not an assignment
+  engine::ExprPtr expr;
+  std::string label;
+};
+
+/// SELECT [TOP n] items [FROM table [WITH (NOLOCK)]] [WHERE e]
+/// [GROUP BY e, ...]
+struct SelectStmt {
+  int64_t top = -1;
+  std::vector<SelectListItem> items;
+  std::string from_table;   ///< empty for FROM-less selects
+  /// Table-valued function source: FROM Schema.Func(args).
+  bool from_is_tvf = false;
+  std::string from_schema;  ///< TVF schema (from_table holds the name)
+  std::vector<engine::ExprPtr> from_args;
+  bool nolock = false;
+  engine::ExprPtr where;
+  std::vector<engine::ExprPtr> group_by;
+  /// ORDER BY keys: 1-based select-list ordinals or output labels.
+  struct OrderKey {
+    int position = -1;   ///< 1-based ordinal, or -1 when label is used
+    std::string label;
+    bool descending = false;
+  };
+  std::vector<OrderKey> order_by;
+};
+
+/// DECLARE @name TYPE [= expr]  (the type is recorded but dynamically
+/// checked; T-SQL types map onto the engine value kinds).
+struct DeclareStmt {
+  std::string name;
+  std::string type_name;   ///< e.g. VARBINARY(MAX), FLOAT, BIGINT
+  engine::ExprPtr init;    ///< optional
+};
+
+/// SET @name = expr
+struct SetStmt {
+  std::string name;
+  engine::ExprPtr value;
+};
+
+/// CREATE TABLE name (col TYPE, ...)
+struct CreateTableStmt {
+  struct Column {
+    std::string name;
+    std::string type_name;
+    int32_t capacity = 0;  ///< VARBINARY(n)
+  };
+  std::string name;
+  std::vector<Column> columns;
+};
+
+/// INSERT INTO name VALUES (e, ...), ...   or   INSERT INTO name SELECT ...
+struct InsertStmt {
+  std::string table;
+  std::vector<std::vector<engine::ExprPtr>> rows;  ///< VALUES form
+  /// SELECT form (rows empty): the query whose output is inserted.
+  std::unique_ptr<SelectStmt> select;
+};
+
+/// DELETE FROM name [WHERE expr]
+struct DeleteStmt {
+  std::string table;
+  engine::ExprPtr where;  ///< null deletes every row
+};
+
+/// A parsed statement.
+struct Statement {
+  enum class Kind { kSelect, kDeclare, kSet, kCreateTable, kInsert, kDelete };
+  Kind kind = Kind::kSelect;
+  SelectStmt select;
+  DeclareStmt declare;
+  SetStmt set;
+  CreateTableStmt create_table;
+  InsertStmt insert;
+  DeleteStmt del;
+};
+
+/// A parsed batch of statements.
+using Script = std::vector<Statement>;
+
+}  // namespace sqlarray::sql

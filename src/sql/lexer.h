@@ -1,0 +1,16 @@
+// Lexer for the T-SQL-flavored query language.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/token.h"
+
+namespace sqlarray::sql {
+
+/// Tokenizes `source`. Comments (-- to end of line, /* ... */) and
+/// whitespace are skipped. The trailing token is always kEnd.
+Result<std::vector<Token>> Lex(std::string_view source);
+
+}  // namespace sqlarray::sql

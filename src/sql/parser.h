@@ -1,0 +1,18 @@
+// Recursive-descent parser for the T-SQL-flavored frontend.
+#pragma once
+
+#include <string_view>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace sqlarray::sql {
+
+/// Parses a batch of statements (semicolons optional, as in T-SQL).
+Result<Script> Parse(std::string_view source);
+
+/// Parses a single standalone expression (used by tests and the sugar
+/// translator).
+Result<engine::ExprPtr> ParseExpression(std::string_view source);
+
+}  // namespace sqlarray::sql

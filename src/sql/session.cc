@@ -1,0 +1,410 @@
+#include "sql/session.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "sql/parser.h"
+
+namespace sqlarray::sql {
+
+namespace {
+
+using engine::Expr;
+using engine::ExprPtr;
+using engine::SelectItem;
+using engine::Value;
+
+std::string Upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+/// Maps a T-SQL type name onto a storage column type.
+Result<storage::ColumnDef> MapColumn(const CreateTableStmt::Column& col) {
+  storage::ColumnDef def;
+  def.name = col.name;
+  std::string t = Upper(col.type_name);
+  if (t == "BIGINT") {
+    def.type = storage::ColumnType::kInt64;
+  } else if (t == "INT" || t == "INTEGER") {
+    def.type = storage::ColumnType::kInt32;
+  } else if (t == "FLOAT" || t == "DOUBLE") {
+    def.type = storage::ColumnType::kFloat64;
+  } else if (t == "REAL") {
+    def.type = storage::ColumnType::kFloat32;
+  } else if (t == "VARBINARY(MAX)") {
+    def.type = storage::ColumnType::kVarBinaryMax;
+  } else if (t.rfind("VARBINARY(", 0) == 0) {
+    def.type = storage::ColumnType::kBinary;
+    def.capacity = col.capacity;
+  } else {
+    return Status::InvalidArgument("unsupported column type " + col.type_name);
+  }
+  return def;
+}
+
+/// Converts an engine value to a storage row value for a column.
+Result<storage::RowValue> ToRowValue(const Value& v,
+                                     const storage::ColumnDef& col) {
+  switch (col.type) {
+    case storage::ColumnType::kInt32: {
+      SQLARRAY_ASSIGN_OR_RETURN(int64_t x, v.AsInt());
+      return storage::RowValue(static_cast<int32_t>(x));
+    }
+    case storage::ColumnType::kInt64: {
+      SQLARRAY_ASSIGN_OR_RETURN(int64_t x, v.AsInt());
+      return storage::RowValue(x);
+    }
+    case storage::ColumnType::kFloat32: {
+      SQLARRAY_ASSIGN_OR_RETURN(double x, v.AsDouble());
+      return storage::RowValue(static_cast<float>(x));
+    }
+    case storage::ColumnType::kFloat64: {
+      SQLARRAY_ASSIGN_OR_RETURN(double x, v.AsDouble());
+      return storage::RowValue(x);
+    }
+    case storage::ColumnType::kBinary:
+    case storage::ColumnType::kVarBinaryMax: {
+      SQLARRAY_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                                v.MaterializeBytes());
+      return storage::RowValue(std::move(bytes));
+    }
+  }
+  return Status::Internal("unreachable column type");
+}
+
+/// Three-way comparison of result values for ORDER BY: NULL first, then by
+/// kind, numerics by value, strings and binaries lexicographically.
+int CompareValues(const Value& a, const Value& b) {
+  auto numeric = [](const Value& v) {
+    return v.kind() == Value::Kind::kInt64 ||
+           v.kind() == Value::Kind::kFloat64;
+  };
+  if (a.is_null() || b.is_null()) {
+    return (a.is_null() ? 0 : 1) - (b.is_null() ? 0 : 1);
+  }
+  if (numeric(a) && numeric(b)) {
+    double x = a.AsDouble().value(), y = b.AsDouble().value();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (a.kind() != b.kind()) {
+    return static_cast<int>(a.kind()) < static_cast<int>(b.kind()) ? -1 : 1;
+  }
+  if (a.kind() == Value::Kind::kString) {
+    return a.AsString().value().compare(b.AsString().value());
+  }
+  if (a.kind() == Value::Kind::kBytes) {
+    const auto* x = a.AsBytes().value();
+    const auto* y = b.AsBytes().value();
+    if (*x == *y) return 0;
+    return std::lexicographical_compare(x->begin(), x->end(), y->begin(),
+                                        y->end())
+               ? -1
+               : 1;
+  }
+  return 0;  // blobs: no meaningful order
+}
+
+/// Applies ORDER BY keys (already resolved to column indices) to a result.
+void SortResult(engine::ResultSet* rs,
+                const std::vector<std::pair<int, bool>>& keys) {
+  std::stable_sort(rs->rows.begin(), rs->rows.end(),
+                   [&](const std::vector<Value>& a,
+                       const std::vector<Value>& b) {
+                     for (const auto& [col, desc] : keys) {
+                       int c = CompareValues(a[col], b[col]);
+                       if (c != 0) return desc ? c > 0 : c < 0;
+                     }
+                     return false;
+                   });
+}
+
+/// Renders a default output label for an expression.
+std::string DefaultLabel(const Expr& e, size_t index) {
+  switch (e.kind) {
+    case Expr::Kind::kColumn:
+      return e.column_name.empty() ? "col" + std::to_string(index)
+                                   : e.column_name;
+    case Expr::Kind::kCall:
+      return e.func_name;
+    default:
+      return "col" + std::to_string(index);
+  }
+}
+
+}  // namespace
+
+Result<std::vector<engine::ResultSet>> Session::Execute(std::string_view sqltext) {
+  SQLARRAY_ASSIGN_OR_RETURN(Script script, Parse(sqltext));
+  std::vector<engine::ResultSet> results;
+  for (Statement& stmt : script) {
+    SQLARRAY_RETURN_IF_ERROR(RunStatement(stmt, &results));
+  }
+  return results;
+}
+
+Result<engine::Value> Session::GetVariable(const std::string& name) const {
+  auto it = variables_.find(name);
+  if (it == variables_.end()) {
+    return Status::NotFound("undeclared variable @" + name);
+  }
+  return it->second;
+}
+
+Status Session::RunStatement(Statement& stmt,
+                             std::vector<engine::ResultSet>* results) {
+  switch (stmt.kind) {
+    case Statement::Kind::kDeclare: {
+      Value init;
+      if (stmt.declare.init != nullptr) {
+        SQLARRAY_RETURN_IF_ERROR(
+            engine::BindExpr(stmt.declare.init.get(), nullptr,
+                             executor_->registry()));
+        SQLARRAY_ASSIGN_OR_RETURN(
+            init, executor_->EvalStandalone(*stmt.declare.init, &variables_));
+      }
+      variables_[stmt.declare.name] = std::move(init);
+      return Status::OK();
+    }
+    case Statement::Kind::kSet: {
+      SQLARRAY_RETURN_IF_ERROR(engine::BindExpr(stmt.set.value.get(), nullptr,
+                                                executor_->registry()));
+      last_stats_ = engine::QueryStats{};
+      SQLARRAY_ASSIGN_OR_RETURN(
+          Value v, executor_->EvalStandalone(*stmt.set.value, &variables_,
+                                             &last_stats_));
+      if (variables_.count(stmt.set.name) == 0) {
+        return Status::NotFound("undeclared variable @" + stmt.set.name);
+      }
+      variables_[stmt.set.name] = std::move(v);
+      return Status::OK();
+    }
+    case Statement::Kind::kSelect:
+      return RunSelect(stmt.select, results);
+    case Statement::Kind::kCreateTable:
+      return RunCreateTable(stmt.create_table);
+    case Statement::Kind::kInsert:
+      return RunInsert(stmt.insert);
+    case Statement::Kind::kDelete:
+      return RunDelete(stmt.del);
+  }
+  return Status::Internal("unreachable statement kind");
+}
+
+Result<engine::ResultSet> Session::ExecuteSelect(SelectStmt& sel) {
+  engine::Query q;
+  if (sel.from_is_tvf) {
+    SQLARRAY_ASSIGN_OR_RETURN(
+        q.tvf, executor_->registry()->ResolveTvf(sel.from_schema,
+                                                 sel.from_table));
+    if (static_cast<int>(sel.from_args.size()) != q.tvf->arity) {
+      return Status::InvalidArgument(
+          "wrong argument count for table-valued function " +
+          sel.from_schema + "." + sel.from_table);
+    }
+    q.tvf_args = std::move(sel.from_args);
+  } else if (!sel.from_table.empty()) {
+    SQLARRAY_ASSIGN_OR_RETURN(q.table,
+                              executor_->db()->GetTable(sel.from_table));
+  }
+  q.top = sel.top;
+
+  bool has_assignment = false;
+  for (size_t i = 0; i < sel.items.size(); ++i) {
+    SelectListItem& src = sel.items[i];
+    if (!src.assign_var.empty()) has_assignment = true;
+
+    SelectItem item;
+    item.label = !src.label.empty() ? src.label : DefaultLabel(*src.expr, i);
+
+    // Recognize top-level aggregates: COUNT/SUM/MIN/MAX/AVG (unqualified)
+    // and registered schema-qualified UDAs.
+    Expr* e = src.expr.get();
+    if (e->kind == Expr::Kind::kCall && e->schema_name.empty()) {
+      std::string fn = Upper(e->func_name);
+      if (fn == "COUNT" || fn == "SUM" || fn == "MIN" || fn == "MAX" ||
+          fn == "AVG") {
+        if (e->args.size() != 1) {
+          return Status::InvalidArgument(fn + " takes exactly one argument");
+        }
+        item.agg = fn == "COUNT" ? SelectItem::AggKind::kCount
+                   : fn == "SUM" ? SelectItem::AggKind::kSum
+                   : fn == "MIN" ? SelectItem::AggKind::kMin
+                   : fn == "MAX" ? SelectItem::AggKind::kMax
+                                 : SelectItem::AggKind::kAvg;
+        item.expr = std::move(e->args[0]);
+        q.items.push_back(std::move(item));
+        continue;
+      }
+    }
+    if (e->kind == Expr::Kind::kCall && !e->schema_name.empty() &&
+        executor_->registry()
+            ->ResolveUda(e->schema_name, e->func_name)
+            .ok()) {
+      item.agg = SelectItem::AggKind::kUda;
+      item.uda_schema = e->schema_name;
+      item.uda_name = e->func_name;
+      item.uda_args = std::move(e->args);
+      q.items.push_back(std::move(item));
+      continue;
+    }
+
+    item.expr = std::move(src.expr);
+    q.items.push_back(std::move(item));
+  }
+  q.where = std::move(sel.where);
+  q.group_by = std::move(sel.group_by);
+
+  SQLARRAY_RETURN_IF_ERROR(executor_->Bind(&q));
+  SQLARRAY_ASSIGN_OR_RETURN(engine::ResultSet rs,
+                            executor_->Execute(q, &variables_));
+  last_stats_ = rs.stats;
+
+  if (!sel.order_by.empty()) {
+    std::vector<std::pair<int, bool>> keys;
+    for (const SelectStmt::OrderKey& key : sel.order_by) {
+      int col = -1;
+      if (key.position > 0) {
+        col = key.position - 1;
+      } else {
+        for (size_t c = 0; c < rs.columns.size(); ++c) {
+          if (rs.columns[c] == key.label) {
+            col = static_cast<int>(c);
+            break;
+          }
+        }
+      }
+      if (col < 0 || col >= static_cast<int>(rs.columns.size())) {
+        return Status::InvalidArgument(
+            "ORDER BY key does not match a select-list column");
+      }
+      keys.emplace_back(col, key.descending);
+    }
+    SortResult(&rs, keys);
+  }
+
+  if (has_assignment) {
+    // T-SQL assignment SELECT: variables take the values from the last row;
+    // an empty result set is flagged by clearing the columns so the caller
+    // does not forward it to the client.
+    if (!rs.rows.empty()) {
+      const std::vector<Value>& last = rs.rows.back();
+      for (size_t i = 0; i < sel.items.size(); ++i) {
+        if (sel.items[i].assign_var.empty()) continue;
+        if (variables_.count(sel.items[i].assign_var) == 0) {
+          return Status::NotFound("undeclared variable @" +
+                                  sel.items[i].assign_var);
+        }
+        variables_[sel.items[i].assign_var] = last[i];
+      }
+    }
+    rs.columns.clear();
+    rs.rows.clear();
+    return rs;
+  }
+  return rs;
+}
+
+Status Session::RunSelect(SelectStmt& sel,
+                          std::vector<engine::ResultSet>* results) {
+  bool has_assignment = false;
+  for (const SelectListItem& item : sel.items) {
+    if (!item.assign_var.empty()) has_assignment = true;
+  }
+  SQLARRAY_ASSIGN_OR_RETURN(engine::ResultSet rs, ExecuteSelect(sel));
+  if (!has_assignment) results->push_back(std::move(rs));
+  return Status::OK();
+}
+
+Status Session::RunDelete(DeleteStmt& del) {
+  SQLARRAY_ASSIGN_OR_RETURN(storage::Table * table,
+                            executor_->db()->GetTable(del.table));
+  // Collect matching clustered keys with a scan, then delete them — the
+  // two-phase shape a real engine's DELETE plan has (no halloween problem).
+  engine::Query q;
+  q.table = table;
+  engine::SelectItem key_item;
+  key_item.expr = engine::ColIdx(0);
+  key_item.label = "key";
+  q.items.push_back(std::move(key_item));
+  if (del.where != nullptr) {
+    SQLARRAY_RETURN_IF_ERROR(engine::BindExpr(del.where.get(),
+                                              &table->schema(),
+                                              executor_->registry()));
+    q.where = std::move(del.where);
+  }
+  SQLARRAY_RETURN_IF_ERROR(executor_->Bind(&q));
+  SQLARRAY_ASSIGN_OR_RETURN(engine::ResultSet rs,
+                            executor_->Execute(q, &variables_));
+  last_stats_ = rs.stats;
+  for (const std::vector<Value>& row : rs.rows) {
+    SQLARRAY_ASSIGN_OR_RETURN(int64_t key, row[0].AsInt());
+    SQLARRAY_ASSIGN_OR_RETURN(bool removed, table->Delete(key));
+    if (!removed) {
+      return Status::Internal("row vanished between scan and delete");
+    }
+  }
+  return Status::OK();
+}
+
+Status Session::RunCreateTable(const CreateTableStmt& ct) {
+  std::vector<storage::ColumnDef> cols;
+  for (const CreateTableStmt::Column& c : ct.columns) {
+    SQLARRAY_ASSIGN_OR_RETURN(storage::ColumnDef def, MapColumn(c));
+    cols.push_back(std::move(def));
+  }
+  SQLARRAY_ASSIGN_OR_RETURN(storage::Schema schema,
+                            storage::Schema::Create(std::move(cols)));
+  SQLARRAY_RETURN_IF_ERROR(
+      executor_->db()->CreateTable(ct.name, std::move(schema)).status());
+  return Status::OK();
+}
+
+Status Session::RunInsert(InsertStmt& ins) {
+  SQLARRAY_ASSIGN_OR_RETURN(storage::Table * table,
+                            executor_->db()->GetTable(ins.table));
+  const storage::Schema& schema = table->schema();
+
+  if (ins.select != nullptr) {
+    // INSERT INTO ... SELECT: materialize the query, convert each output
+    // row to the target schema.
+    SQLARRAY_ASSIGN_OR_RETURN(engine::ResultSet rs,
+                              ExecuteSelect(*ins.select));
+    if (static_cast<int>(rs.columns.size()) != schema.num_columns()) {
+      return Status::InvalidArgument(
+          "INSERT ... SELECT arity does not match the table schema");
+    }
+    for (const std::vector<Value>& values : rs.rows) {
+      storage::Row row;
+      for (int i = 0; i < schema.num_columns(); ++i) {
+        SQLARRAY_ASSIGN_OR_RETURN(storage::RowValue rv,
+                                  ToRowValue(values[i], schema.column(i)));
+        row.push_back(std::move(rv));
+      }
+      SQLARRAY_RETURN_IF_ERROR(table->Insert(std::move(row)));
+    }
+    return Status::OK();
+  }
+
+  for (std::vector<ExprPtr>& row_exprs : ins.rows) {
+    if (static_cast<int>(row_exprs.size()) != schema.num_columns()) {
+      return Status::InvalidArgument(
+          "INSERT arity does not match the table schema");
+    }
+    storage::Row row;
+    for (int i = 0; i < schema.num_columns(); ++i) {
+      SQLARRAY_RETURN_IF_ERROR(engine::BindExpr(row_exprs[i].get(), nullptr,
+                                                executor_->registry()));
+      SQLARRAY_ASSIGN_OR_RETURN(
+          Value v, executor_->EvalStandalone(*row_exprs[i], &variables_));
+      SQLARRAY_ASSIGN_OR_RETURN(storage::RowValue rv,
+                                ToRowValue(v, schema.column(i)));
+      row.push_back(std::move(rv));
+    }
+    SQLARRAY_RETURN_IF_ERROR(table->Insert(std::move(row)));
+  }
+  return Status::OK();
+}
+
+}  // namespace sqlarray::sql

@@ -1,0 +1,83 @@
+// Session: executes parsed T-SQL scripts against the engine.
+//
+// Holds the variable environment across statements (DECLARE/SET), converts
+// SELECT statements into bound engine queries (recognizing native aggregates
+// and registered UDAs in the select list), and runs DDL/DML.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/exec.h"
+#include "sql/ast.h"
+
+namespace sqlarray::sql {
+
+/// An interactive session over one Executor.
+class Session {
+ public:
+  explicit Session(engine::Executor* executor) : executor_(executor) {
+    // Wire up the subquery runner so reader-style UDFs (ConcatQuery) can
+    // pull rows through this session.
+    subquery_fn_ = [this](const std::string& sqltext)
+        -> Result<engine::SubqueryResult> {
+      // A nested query must not clobber the outer statement's stats (the
+      // caller merges the subquery's stats into its own context).
+      engine::QueryStats saved = last_stats_;
+      auto results_or = Execute(sqltext);
+      last_stats_ = saved;
+      SQLARRAY_ASSIGN_OR_RETURN(std::vector<engine::ResultSet> results,
+                                std::move(results_or));
+      if (results.size() != 1) {
+        return Status::InvalidArgument(
+            "subquery must be a single result-producing SELECT");
+      }
+      engine::SubqueryResult out;
+      out.rows = std::move(results[0].rows);
+      out.stats = results[0].stats;
+      return out;
+    };
+    executor_->set_subquery_runner(&subquery_fn_);
+  }
+
+  ~Session() { executor_->set_subquery_runner(nullptr); }
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Parses and executes a batch. Returns one ResultSet per SELECT that
+  /// produces client-visible rows (assignment SELECTs produce none).
+  Result<std::vector<engine::ResultSet>> Execute(std::string_view sql);
+
+  /// Reads a session variable (test/bench access).
+  Result<engine::Value> GetVariable(const std::string& name) const;
+  /// Sets a session variable directly.
+  void SetVariable(const std::string& name, engine::Value v) {
+    variables_[name] = std::move(v);
+  }
+
+  std::map<std::string, engine::Value>* variables() { return &variables_; }
+  engine::Executor* executor() { return executor_; }
+
+  /// Statistics of the most recent query.
+  const engine::QueryStats& last_stats() const { return last_stats_; }
+
+ private:
+  Status RunStatement(Statement& stmt,
+                      std::vector<engine::ResultSet>* results);
+  Status RunSelect(SelectStmt& sel, std::vector<engine::ResultSet>* results);
+  /// Binds and executes one SELECT, applying ORDER BY and assignment
+  /// semantics; assignment SELECTs return an empty result set.
+  Result<engine::ResultSet> ExecuteSelect(SelectStmt& sel);
+  Status RunCreateTable(const CreateTableStmt& ct);
+  Status RunDelete(DeleteStmt& del);
+  Status RunInsert(InsertStmt& ins);
+
+  engine::Executor* executor_;
+  std::map<std::string, engine::Value> variables_;
+  engine::QueryStats last_stats_;
+  engine::SubqueryFn subquery_fn_;
+};
+
+}  // namespace sqlarray::sql

@@ -1,0 +1,78 @@
+// Out-of-page blob storage (the VARBINARY(MAX) B-tree).
+//
+// Blobs larger than a page are stored out-of-page as a shallow B-tree: a
+// root index page pointing at data pages (1 level, ~16 MB) or at further
+// index pages (2 levels, ~34 GB). Reads go through BlobStream, which
+// implements the array core's ByteSource and therefore supports the partial
+// range reads that make max-array subsetting cheap (Sec. 3.3: the stream
+// "supports reading only parts of the binary data").
+//
+// Page layouts (little-endian):
+//   data page : [0]=kBlobData  [1..3] rsvd  [4..7] payload len  [8..] bytes
+//   index page: [0]=kBlobIndex [1]=level(1|2) [2..3] rsvd [4..7] entry count
+//               [8..] 4-byte child PageIds
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/byte_source.h"
+#include "storage/buffer_pool.h"
+#include "storage/schema.h"
+
+namespace sqlarray::storage {
+
+/// Usable payload bytes per blob data page.
+inline constexpr int64_t kBlobDataCapacity = kPageSize - 8;
+/// Child pointers per blob index page.
+inline constexpr int64_t kBlobIndexFanout = (kPageSize - 8) / 4;
+
+/// Writes and deletes out-of-page blobs.
+class BlobStore {
+ public:
+  explicit BlobStore(BufferPool* pool) : pool_(pool) {}
+
+  /// Writes a blob and returns its id. Empty blobs are legal (size 0,
+  /// root still allocated so the id is addressable).
+  Result<BlobId> Write(std::span<const uint8_t> bytes);
+
+  /// Reads a whole blob back.
+  Result<std::vector<uint8_t>> ReadAll(const BlobId& id);
+
+  BufferPool* pool() { return pool_; }
+
+ private:
+  BufferPool* pool_;
+};
+
+/// Streaming, range-addressable reader over one blob; the ByteSource the
+/// array core's streamed operations consume.
+class BlobStream : public ByteSource {
+ public:
+  /// Opens a stream; validates the root page.
+  static Result<BlobStream> Open(BufferPool* pool, const BlobId& id);
+
+  int64_t size() const override { return id_.size; }
+
+  /// Reads an arbitrary byte range, fetching only the data pages the range
+  /// covers (plus index pages, which are cached across calls).
+  Status ReadAt(int64_t offset, std::span<uint8_t> out) override;
+
+ private:
+  BlobStream(BufferPool* pool, BlobId id, int level)
+      : pool_(pool), id_(id), level_(level) {}
+
+  /// Resolves the PageId of the k-th data page.
+  Result<PageId> DataPageOf(int64_t k);
+
+  BufferPool* pool_;
+  BlobId id_;
+  int level_;
+  // One-entry caches for the root and the most recent level-2 index page.
+  Page root_cache_;
+  bool root_loaded_ = false;
+  Page index_cache_;
+  int64_t index_cache_slot_ = -1;
+};
+
+}  // namespace sqlarray::storage

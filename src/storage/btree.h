@@ -1,0 +1,185 @@
+// Clustered B+-tree over fixed-width rows, keyed by a BIGINT.
+//
+// Every table in the mini engine is a clustered index — the structure the
+// Table 1 queries scan ("a simple clustered index scan operation reading all
+// pages of the data table"). Leaves form a sibling chain so a full scan is a
+// sequential page walk; lookups descend from the root.
+//
+// Page layouts (little-endian):
+//   leaf    : [0]=kBTreeLeaf [1..3] rsvd [4..7] row count [8..11] next leaf
+//             [12..15] rsvd, rows at 16..
+//   internal: [0]=kBTreeInternal [1..3] rsvd [4..7] child count,
+//             entries at 16.. of (int64 first_key, uint32 child) = 12 bytes
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+
+namespace sqlarray::storage {
+
+/// Offset where payload begins on both page kinds.
+inline constexpr int64_t kBTreePageHeader = 16;
+
+/// Modeled SQL Server page header size (bytes reserved per page when
+/// computing row capacity, so page counts match the real engine's).
+inline constexpr int64_t kSqlPageHeaderBytes = 96;
+/// Modeled per-row overhead (record header + slot-array entry).
+inline constexpr int64_t kSqlRowOverheadBytes = 9;
+
+/// A clustered B+-tree of fixed-size rows whose first 8 bytes are the
+/// little-endian int64 key.
+class BTree {
+ public:
+  /// Creates an empty tree. `row_size` must leave room for at least two rows
+  /// per leaf.
+  static Result<BTree> Create(BufferPool* pool, int64_t row_size);
+
+  int64_t row_size() const { return row_size_; }
+  int64_t row_count() const { return row_count_; }
+  int64_t leaf_page_count() const { return leaf_pages_; }
+  int64_t total_page_count() const { return leaf_pages_ + internal_pages_; }
+  int height() const { return height_; }
+  /// Rows per leaf page.
+  int64_t leaf_capacity() const { return leaf_capacity_; }
+
+  /// Inserts a row (its embedded key must be unique). Rows arriving in
+  /// ascending key order fill pages densely via a fast append path.
+  Status Insert(std::span<const uint8_t> row);
+
+  /// Point lookup; returns false when the key is absent.
+  Result<bool> Lookup(int64_t key, std::vector<uint8_t>* row_out);
+
+  /// Removes the row with `key`; returns false when absent. Leaves are not
+  /// rebalanced (emptied pages stay in the chain and scans skip them) —
+  /// adequate for the workloads here, like many production engines that
+  /// defer reclamation to rebuilds.
+  Result<bool> Delete(int64_t key);
+
+  /// Bulk loader for ascending-key loads: fills leaves densely and builds
+  /// the internal levels bottom-up, writing each page exactly once. Usable
+  /// only on an EMPTY tree; Finish() must be called before any read.
+  class BulkLoader {
+   public:
+    /// Appends a row; its key must exceed every key added so far.
+    Status Add(std::span<const uint8_t> row);
+    /// Flushes the tail leaf and builds the internal levels.
+    Status Finish();
+
+   private:
+    friend class BTree;
+    explicit BulkLoader(BTree* tree);
+
+    Status FlushLeaf();
+
+    BTree* tree_;
+    Page leaf_;
+    uint32_t leaf_count_ = 0;
+    PageId leaf_id_ = kNullPage;
+    int64_t last_key_ = 0;
+    bool any_ = false;
+    bool finished_ = false;
+    /// (first_key, page) per flushed leaf, for the internal build.
+    std::vector<std::pair<int64_t, PageId>> leaf_index_;
+  };
+
+  /// Starts a bulk load. The tree must be empty.
+  Result<BulkLoader> StartBulkLoad();
+
+  /// Forward cursor over the whole leaf chain (the clustered index scan).
+  class Cursor {
+   public:
+    bool valid() const { return valid_; }
+    /// Current row bytes (points into the cursor's page copy).
+    std::span<const uint8_t> row() const;
+    /// Advances; clears valid() at the end.
+    Status Next();
+
+   private:
+    friend class BTree;
+    BufferPool* pool_ = nullptr;
+    int64_t row_size_ = 0;
+    Page page_;
+    uint32_t count_ = 0;
+    uint32_t pos_ = 0;
+    PageId next_ = kNullPage;
+    bool valid_ = false;
+
+    Status LoadLeaf(PageId id);
+  };
+
+  /// Opens a scan cursor at the first row.
+  Result<Cursor> ScanAll() const;
+
+  /// Returns the leaf page ids in chain order from the in-memory
+  /// allocation map — the work-division step of a parallel scan. (A real
+  /// engine reads this from IAM/allocation pages; the map models that
+  /// metadata without charging data-page I/O.)
+  Result<std::vector<PageId>> CollectLeafPages() const {
+    return leaf_ids_;
+  }
+
+  /// A cursor over an explicit list of leaf pages, reading through a
+  /// caller-supplied buffer pool. Parallel scan workers each run one
+  /// ChunkCursor over a disjoint slice of CollectLeafPages() with their own
+  /// pool (one modeled read-ahead stream per worker).
+  class ChunkCursor {
+   public:
+    bool valid() const { return valid_; }
+    std::span<const uint8_t> row() const {
+      return std::span<const uint8_t>(
+          page_.data() + kBTreePageHeader + pos_ * row_size_,
+          static_cast<size_t>(row_size_));
+    }
+    Status Next();
+
+   private:
+    friend class BTree;
+    Status LoadNextPage();
+
+    BufferPool* pool_ = nullptr;
+    int64_t row_size_ = 0;
+    std::vector<PageId> pages_;
+    size_t page_idx_ = 0;
+    Page page_;
+    uint32_t count_ = 0;
+    uint32_t pos_ = 0;
+    bool valid_ = false;
+  };
+
+  /// Opens a cursor over `pages` (a slice of CollectLeafPages()).
+  Result<ChunkCursor> ScanChunk(BufferPool* pool,
+                                std::vector<PageId> pages) const;
+
+ private:
+  BTree(BufferPool* pool, int64_t row_size)
+      : pool_(pool), row_size_(row_size) {}
+
+  struct SplitResult {
+    bool split = false;
+    int64_t new_first_key = 0;
+    PageId new_page = kNullPage;
+  };
+
+  Result<SplitResult> InsertRecurse(PageId node, int level,
+                                    std::span<const uint8_t> row,
+                                    int64_t key);
+
+  BufferPool* pool_;
+  int64_t row_size_;
+  int64_t leaf_capacity_ = 0;
+  int64_t internal_capacity_ = 0;
+  PageId root_ = kNullPage;
+  PageId first_leaf_ = kNullPage;
+  int height_ = 1;  ///< levels including the leaf level
+  int64_t row_count_ = 0;
+  int64_t leaf_pages_ = 0;
+  int64_t internal_pages_ = 0;
+  /// Allocation map: leaf page ids in chain order (IAM-page stand-in).
+  std::vector<PageId> leaf_ids_;
+};
+
+}  // namespace sqlarray::storage

@@ -1,0 +1,48 @@
+#include "storage/buffer_pool.h"
+
+namespace sqlarray::storage {
+
+Result<const Page*> BufferPool::GetPage(PageId id) {
+  auto it = cache_.find(id);
+  if (it != cache_.end()) {
+    ++hits_;
+    lru_.erase(it->second.lru_it);
+    lru_.push_front(id);
+    it->second.lru_it = lru_.begin();
+    return const_cast<const Page*>(&it->second.page);
+  }
+
+  ++misses_;
+  if (static_cast<int64_t>(cache_.size()) >= capacity_) {
+    PageId victim = lru_.back();
+    lru_.pop_back();
+    cache_.erase(victim);
+  }
+  lru_.push_front(id);
+  Entry entry;
+  entry.lru_it = lru_.begin();
+  auto [ins, ok] = cache_.emplace(id, std::move(entry));
+  (void)ok;
+  Status st = disk_->ReadPage(id, &ins->second.page);
+  if (!st.ok()) {
+    lru_.pop_front();
+    cache_.erase(ins);
+    return st;
+  }
+  return const_cast<const Page*>(&ins->second.page);
+}
+
+Status BufferPool::WritePage(PageId id, const Page& page) {
+  auto it = cache_.find(id);
+  if (it != cache_.end()) {
+    it->second.page = page;
+  }
+  return disk_->WritePage(id, page);
+}
+
+void BufferPool::ClearCache() {
+  cache_.clear();
+  lru_.clear();
+}
+
+}  // namespace sqlarray::storage

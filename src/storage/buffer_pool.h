@@ -1,0 +1,57 @@
+// LRU buffer pool over the simulated disk.
+//
+// Table 1 was measured with a cold cache ("the database server cache was
+// explicitly cleared before each performance test run"); ClearCache()
+// reproduces that, and hit/miss counters let benches verify their cache
+// assumptions.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "storage/disk.h"
+
+namespace sqlarray::storage {
+
+/// A read-through / write-through LRU page cache.
+class BufferPool {
+ public:
+  /// `capacity_pages` bounds resident pages (default 64 MB worth).
+  explicit BufferPool(SimulatedDisk* disk, int64_t capacity_pages = 8192)
+      : disk_(disk), capacity_(capacity_pages) {}
+
+  /// Fetches a page, via cache. The returned pointer stays valid until the
+  /// page is evicted; single-threaded callers should copy out or finish
+  /// using it before fetching more pages than the capacity.
+  Result<const Page*> GetPage(PageId id);
+
+  /// Writes through: updates the cache entry (if resident) and the disk.
+  Status WritePage(PageId id, const Page& page);
+
+  /// Allocates a fresh page on the disk (not yet cached).
+  PageId AllocatePage() { return disk_->AllocatePage(); }
+
+  /// Drops every cached page — the cold-cache reset used before each
+  /// benchmark run (DBCC DROPCLEANBUFFERS in SQL Server terms).
+  void ClearCache();
+
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  SimulatedDisk* disk() { return disk_; }
+
+ private:
+  struct Entry {
+    Page page;
+    std::list<PageId>::iterator lru_it;
+  };
+
+  SimulatedDisk* disk_;
+  int64_t capacity_;
+  std::unordered_map<PageId, Entry> cache_;
+  std::list<PageId> lru_;  // front = most recent
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace sqlarray::storage

@@ -1,0 +1,102 @@
+#include "storage/disk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace sqlarray::storage {
+
+namespace {
+
+/// FNV-1a over a page image.
+uint64_t PageChecksum(const Page& page) {
+  uint64_t h = 1469598103934665603ULL;
+  for (uint8_t b : page.bytes) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+PageId SimulatedDisk::AllocatePage() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pages_.push_back(std::make_unique<Page>());
+  // Page ids start at 1; kNullPage (0) is reserved.
+  return static_cast<PageId>(pages_.size());
+}
+
+Status SimulatedDisk::ReadPage(PageId id, Page* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id == kNullPage || id > pages_.size()) {
+    return Status::InvalidArgument("read of unallocated page " +
+                                   std::to_string(id));
+  }
+  if (fault_countdown_ == 0) {
+    fault_countdown_ = -1;  // one-shot fault
+    return Status::Corruption("injected read fault on page " +
+                              std::to_string(id));
+  }
+  if (fault_countdown_ > 0) --fault_countdown_;
+  *out = *pages_[id - 1];
+  if (checksums_enabled_) {
+    auto it = checksums_.find(id);
+    if (it != checksums_.end() && it->second != PageChecksum(*out)) {
+      return Status::Corruption("checksum mismatch on page " +
+                                std::to_string(id) +
+                                " (torn or corrupted page)");
+    }
+  }
+
+  stats_.pages_read++;
+  stats_.bytes_read += kPageSize;
+  const double transfer_s =
+      static_cast<double>(kPageSize) / (config_.sequential_mb_per_s * 1e6);
+  PageId& last_read = last_read_by_thread_[std::this_thread::get_id()];
+  if (last_read != kNullPage && id == last_read + 1) {
+    stats_.sequential_reads++;
+    stats_.virtual_read_seconds += transfer_s;
+  } else {
+    stats_.random_reads++;
+    double gap_mb =
+        last_read == kNullPage
+            ? 1e9  // first touch: treat as a full seek
+            : std::abs(static_cast<double>(id) -
+                       static_cast<double>(last_read)) *
+                  kPageSize / 1e6;
+    double seek_us = std::min(
+        config_.random_latency_us,
+        config_.min_seek_us + config_.seek_us_per_mb * gap_mb);
+    stats_.virtual_read_seconds += transfer_s + seek_us * 1e-6;
+  }
+  last_read = id;
+  return Status::OK();
+}
+
+Status SimulatedDisk::CorruptPageByte(PageId id, int64_t offset) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id == kNullPage || id > pages_.size() || offset < 0 ||
+      offset >= kPageSize) {
+    return Status::InvalidArgument("corruption target out of range");
+  }
+  pages_[id - 1]->data()[offset] ^= 0xFF;
+  return Status::OK();
+}
+
+Status SimulatedDisk::WritePage(PageId id, const Page& page) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id == kNullPage || id > pages_.size()) {
+    return Status::InvalidArgument("write of unallocated page " +
+                                   std::to_string(id));
+  }
+  *pages_[id - 1] = page;
+  if (checksums_enabled_) checksums_[id] = PageChecksum(page);
+  stats_.pages_written++;
+  stats_.bytes_written += kPageSize;
+  stats_.virtual_write_seconds +=
+      static_cast<double>(kPageSize) / (config_.write_mb_per_s * 1e6);
+  return Status::OK();
+}
+
+}  // namespace sqlarray::storage

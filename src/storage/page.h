@@ -1,0 +1,40 @@
+// Fixed 8 kB storage pages.
+//
+// SQL Server's storage engine operates on 8 kB pages; the short/max array
+// split (Sec. 3.3) exists precisely because blobs at or under this size stay
+// on-page. The whole storage layer below uses the same page size.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+namespace sqlarray::storage {
+
+/// Page size in bytes (SQL Server data page).
+inline constexpr int64_t kPageSize = 8192;
+
+/// Identifier of a page within a database file. Page 0 is reserved (never
+/// allocated) so 0 can mean "null page".
+using PageId = uint32_t;
+inline constexpr PageId kNullPage = 0;
+
+/// Raw page image.
+struct Page {
+  std::array<uint8_t, kPageSize> bytes{};
+
+  uint8_t* data() { return bytes.data(); }
+  const uint8_t* data() const { return bytes.data(); }
+  void Clear() { bytes.fill(0); }
+};
+
+/// Page type tags stored in every page header's first byte.
+enum class PageType : uint8_t {
+  kFree = 0,
+  kBTreeLeaf = 1,
+  kBTreeInternal = 2,
+  kBlobData = 3,
+  kBlobIndex = 4,
+};
+
+}  // namespace sqlarray::storage

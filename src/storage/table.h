@@ -1,0 +1,137 @@
+// Tables and the catalog.
+//
+// A Table is a schema plus a clustered B+-tree of its rows; VARBINARY(MAX)
+// column values are written through the shared BlobStore and stored as blob
+// pointers. The Database owns the simulated disk, buffer pool, blob store,
+// and the named tables — the whole "server instance" the benches run against.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "storage/blob.h"
+#include "storage/btree.h"
+#include "storage/schema.h"
+
+namespace sqlarray::storage {
+
+/// A named clustered table.
+class Table {
+ public:
+  static Result<std::unique_ptr<Table>> Create(std::string name,
+                                               Schema schema,
+                                               BufferPool* pool,
+                                               BlobStore* blobs);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  int64_t row_count() const { return tree_.row_count(); }
+  /// Pages used by the clustered index (excluding out-of-page blobs).
+  int64_t data_page_count() const { return tree_.total_page_count(); }
+  int64_t data_bytes() const { return data_page_count() * kPageSize; }
+
+  /// Inserts a row. A std::vector<uint8_t> value supplied for a
+  /// kVarBinaryMax column is written out-of-page automatically and replaced
+  /// by its BlobId.
+  Status Insert(Row row);
+
+  /// Bulk loader for ascending-key loads into an empty table; writes each
+  /// data page once (the fast path benches use to build large tables).
+  class BulkInserter {
+   public:
+    /// Adds a row (keys strictly ascending).
+    Status Add(Row row);
+    /// Completes the load; required before reading the table.
+    Status Finish() { return loader_.Finish(); }
+
+   private:
+    friend class Table;
+    BulkInserter(Table* table, BTree::BulkLoader loader)
+        : table_(table), loader_(std::move(loader)),
+          encoded_(static_cast<size_t>(table->schema().row_size())) {}
+
+    Table* table_;
+    BTree::BulkLoader loader_;
+    std::vector<uint8_t> encoded_;
+  };
+
+  /// Starts a bulk load; the table must be empty.
+  Result<BulkInserter> StartBulkLoad();
+
+  /// Point lookup by clustered key.
+  Result<std::optional<Row>> Lookup(int64_t key);
+
+  /// Deletes the row with `key`; returns false when absent. (Out-of-page
+  /// blob pages referenced by the row are not reclaimed — the simulated
+  /// disk has no free-space management, as noted in DESIGN.md.)
+  Result<bool> Delete(int64_t key) { return tree_.Delete(key); }
+
+  /// Opens a full clustered index scan.
+  Result<BTree::Cursor> Scan() const { return tree_.ScanAll(); }
+
+  /// Leaf pages in chain order (work division for parallel scans).
+  Result<std::vector<PageId>> CollectLeafPages() const {
+    return tree_.CollectLeafPages();
+  }
+
+  /// Opens a cursor over a slice of the leaf pages through `pool` (each
+  /// parallel worker brings its own pool).
+  Result<BTree::ChunkCursor> ScanChunk(BufferPool* pool,
+                                       std::vector<PageId> pages) const {
+    return tree_.ScanChunk(pool, std::move(pages));
+  }
+
+  /// Opens a stream over an out-of-page blob value.
+  Result<BlobStream> OpenBlob(const BlobId& id) const {
+    return BlobStream::Open(blobs_->pool(), id);
+  }
+
+  /// Reads a whole out-of-page blob.
+  Result<std::vector<uint8_t>> ReadBlob(const BlobId& id) const {
+    return blobs_->ReadAll(id);
+  }
+
+  BlobStore* blob_store() { return blobs_; }
+
+ private:
+  Table(std::string name, Schema schema, BTree tree, BlobStore* blobs)
+      : name_(std::move(name)), schema_(std::move(schema)),
+        tree_(std::move(tree)), blobs_(blobs) {}
+
+  std::string name_;
+  Schema schema_;
+  BTree tree_;
+  BlobStore* blobs_;
+};
+
+/// The "server": disk, cache, blob store, and named tables.
+class Database {
+ public:
+  explicit Database(DiskConfig disk_config = {},
+                    int64_t buffer_pool_pages = 8192)
+      : disk_(disk_config), pool_(&disk_, buffer_pool_pages), blobs_(&pool_) {}
+
+  /// Creates a table; fails if the name is taken.
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+
+  /// Looks a table up by name.
+  Result<Table*> GetTable(const std::string& name) const;
+
+  /// Drops all cached pages (cold-cache benchmark reset).
+  void ClearCache() { pool_.ClearCache(); }
+
+  SimulatedDisk* disk() { return &disk_; }
+  BufferPool* buffer_pool() { return &pool_; }
+  BlobStore* blob_store() { return &blobs_; }
+
+ private:
+  SimulatedDisk disk_;
+  BufferPool pool_;
+  BlobStore blobs_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace sqlarray::storage

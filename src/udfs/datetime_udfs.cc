@@ -1,0 +1,165 @@
+// DateTime scalar helpers. The array library stores datetime elements as
+// int64 microseconds since the Unix epoch (Sec. 3.4 lists datetime among
+// the supported base types); these UDFs convert to and from calendar form
+// so DateTimeArray columns are usable from T-SQL.
+#include <cinttypes>
+#include <cstdio>
+
+#include "udfs/helpers.h"
+#include "udfs/register.h"
+
+namespace sqlarray::udfs {
+
+namespace {
+
+using engine::Boundary;
+using engine::FunctionRegistry;
+using engine::ScalarFunction;
+using engine::UdfContext;
+using engine::Value;
+
+/// Days from civil date (proleptic Gregorian), Howard Hinnant's algorithm.
+int64_t DaysFromCivil(int64_t y, int64_t m, int64_t d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const int64_t yoe = y - era * 400;
+  const int64_t doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + doe - 719468;
+}
+
+/// Inverse of DaysFromCivil.
+void CivilFromDays(int64_t z, int64_t* y, int64_t* m, int64_t* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const int64_t doe = z - era * 146097;
+  const int64_t yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t yr = yoe + era * 400;
+  const int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const int64_t mp = (5 * doy + 2) / 153;
+  *d = doy - (153 * mp + 2) / 5 + 1;
+  *m = mp + (mp < 10 ? 3 : -9);
+  *y = yr + (*m <= 2);
+}
+
+constexpr int64_t kMicrosPerSecond = 1000000;
+constexpr int64_t kMicrosPerDay = 86400 * kMicrosPerSecond;
+
+Result<int64_t> MicrosFromParts(int64_t y, int64_t mo, int64_t d, int64_t h,
+                                int64_t mi, int64_t s) {
+  if (mo < 1 || mo > 12 || d < 1 || d > 31 || h < 0 || h > 23 || mi < 0 ||
+      mi > 59 || s < 0 || s > 59) {
+    return Status::InvalidArgument("calendar field out of range");
+  }
+  return DaysFromCivil(y, mo, d) * kMicrosPerDay +
+         ((h * 60 + mi) * 60 + s) * kMicrosPerSecond;
+}
+
+Status Reg(FunctionRegistry* reg, std::string name, int arity,
+           engine::ScalarFn fn) {
+  ScalarFunction f;
+  f.schema = "DateTime";
+  f.name = std::move(name);
+  f.arity = arity;
+  f.boundary = Boundary::kClr;
+  f.managed_work_ns = 300;
+  f.fn = std::move(fn);
+  return reg->RegisterScalar(std::move(f));
+}
+
+}  // namespace
+
+Status RegisterDateTimeUdfs(FunctionRegistry* registry) {
+  // DateTime.FromParts(y, m, d, h, mi, s) -> BIGINT microseconds.
+  SQLARRAY_RETURN_IF_ERROR(Reg(
+      registry, "FromParts", 6,
+      [](std::span<const Value> args, UdfContext&) -> Result<Value> {
+        int64_t parts[6];
+        for (int i = 0; i < 6; ++i) {
+          SQLARRAY_ASSIGN_OR_RETURN(parts[i], args[i].AsInt());
+        }
+        SQLARRAY_ASSIGN_OR_RETURN(
+            int64_t micros, MicrosFromParts(parts[0], parts[1], parts[2],
+                                            parts[3], parts[4], parts[5]));
+        return Value::Int(micros);
+      }));
+
+  // DateTime.FromString('YYYY-MM-DD[ HH:MM:SS]').
+  SQLARRAY_RETURN_IF_ERROR(Reg(
+      registry, "FromString", 1,
+      [](std::span<const Value> args, UdfContext&) -> Result<Value> {
+        SQLARRAY_ASSIGN_OR_RETURN(std::string text, args[0].AsString());
+        int64_t y = 0, mo = 0, d = 0, h = 0, mi = 0, s = 0;
+        int fields =
+            std::sscanf(text.c_str(),
+                        "%" SCNd64 "-%" SCNd64 "-%" SCNd64 " %" SCNd64
+                        ":%" SCNd64 ":%" SCNd64,
+                        &y, &mo, &d, &h, &mi, &s);
+        if (fields != 3 && fields != 6) {
+          return Status::InvalidArgument(
+              "datetime must be 'YYYY-MM-DD' or 'YYYY-MM-DD HH:MM:SS'");
+        }
+        SQLARRAY_ASSIGN_OR_RETURN(int64_t micros,
+                                  MicrosFromParts(y, mo, d, h, mi, s));
+        return Value::Int(micros);
+      }));
+
+  // DateTime.ToString(micros) -> 'YYYY-MM-DD HH:MM:SS'.
+  SQLARRAY_RETURN_IF_ERROR(Reg(
+      registry, "ToString", 1,
+      [](std::span<const Value> args, UdfContext&) -> Result<Value> {
+        SQLARRAY_ASSIGN_OR_RETURN(int64_t micros, args[0].AsInt());
+        int64_t days = micros >= 0 ? micros / kMicrosPerDay
+                                   : (micros - kMicrosPerDay + 1) /
+                                         kMicrosPerDay;
+        int64_t rem = micros - days * kMicrosPerDay;
+        int64_t y, mo, d;
+        CivilFromDays(days, &y, &mo, &d);
+        int64_t secs = rem / kMicrosPerSecond;
+        char buf[32];
+        std::snprintf(buf, sizeof(buf),
+                      "%04" PRId64 "-%02" PRId64 "-%02" PRId64
+                      " %02" PRId64 ":%02" PRId64 ":%02" PRId64,
+                      y, mo, d, secs / 3600, (secs / 60) % 60, secs % 60);
+        return Value::Str(buf);
+      }));
+
+  // Calendar field extractors.
+  struct Field {
+    const char* name;
+    int index;  // 0 = year, 1 = month, 2 = day, 3 = hour, 4 = min, 5 = sec
+  };
+  for (const Field& field :
+       {Field{"Year", 0}, Field{"Month", 1}, Field{"Day", 2},
+        Field{"Hour", 3}, Field{"Minute", 4}, Field{"Second", 5}}) {
+    int index = field.index;
+    SQLARRAY_RETURN_IF_ERROR(Reg(
+        registry, field.name, 1,
+        [index](std::span<const Value> args, UdfContext&) -> Result<Value> {
+          SQLARRAY_ASSIGN_OR_RETURN(int64_t micros, args[0].AsInt());
+          int64_t days = micros >= 0 ? micros / kMicrosPerDay
+                                     : (micros - kMicrosPerDay + 1) /
+                                           kMicrosPerDay;
+          int64_t rem = micros - days * kMicrosPerDay;
+          int64_t y, mo, d;
+          CivilFromDays(days, &y, &mo, &d);
+          int64_t secs = rem / kMicrosPerSecond;
+          int64_t out[6] = {y, mo, d, secs / 3600, (secs / 60) % 60,
+                            secs % 60};
+          return Value::Int(out[index]);
+        }));
+  }
+
+  // DateTime.AddSeconds(micros, s): interval arithmetic.
+  SQLARRAY_RETURN_IF_ERROR(Reg(
+      registry, "AddSeconds", 2,
+      [](std::span<const Value> args, UdfContext&) -> Result<Value> {
+        SQLARRAY_ASSIGN_OR_RETURN(int64_t micros, args[0].AsInt());
+        SQLARRAY_ASSIGN_OR_RETURN(double s, args[1].AsDouble());
+        return Value::Int(micros +
+                          static_cast<int64_t>(s * kMicrosPerSecond));
+      }));
+  return Status::OK();
+}
+
+}  // namespace sqlarray::udfs

@@ -1,0 +1,42 @@
+// Registration entry points for the full T-SQL function surface.
+//
+// RegisterAllUdfs wires up, for every element type and storage class, the
+// paper's schema-per-type function families (IntArray.*, FloatArrayMax.*,
+// ...), the generic header-dispatched Array.* schema used by the subscript
+// sugar, the complex scalar UDT helpers, the math-library bindings
+// (LAPACK/FFTW substitutes), the Concat aggregate + reader-style
+// counterpart, and dbo.EmptyFunction for the overhead benchmarks.
+#pragma once
+
+#include "common/status.h"
+#include "engine/udf.h"
+
+namespace sqlarray::udfs {
+
+/// Registers the per-dtype, per-storage-class array schemas (Sec. 5.1).
+Status RegisterArraySchemas(engine::FunctionRegistry* registry);
+
+/// Registers the generic "Array" schema that dispatches on the blob header
+/// (backs the Sec. 8 subscript sugar), plus dbo.EmptyFunction.
+Status RegisterGenericUdfs(engine::FunctionRegistry* registry);
+
+/// Registers LAPACK/FFTW-substitute bindings (Sec. 3.6 / 5.3):
+/// FFTForward/FFTInverse, SVD_U/SVD_S/SVD_VT, Solve, Nnls.
+Status RegisterMathUdfs(engine::FunctionRegistry* registry);
+
+/// Registers the Concat UDA, the reader-style ConcatQuery UDF, and the
+/// vector-averaging UDA used for composite spectra (Sec. 2.2 / 4.2).
+Status RegisterAggregateUdfs(engine::FunctionRegistry* registry);
+
+/// Registers the ToTable / MatrixToTable / CubeToTable table-valued
+/// functions for every real element type and storage class (Sec. 5.1).
+Status RegisterTableValuedUdfs(engine::FunctionRegistry* registry);
+
+/// Registers the DateTime.* calendar helpers (the datetime base type of
+/// Sec. 3.4 made usable from T-SQL).
+Status RegisterDateTimeUdfs(engine::FunctionRegistry* registry);
+
+/// All of the above.
+Status RegisterAllUdfs(engine::FunctionRegistry* registry);
+
+}  // namespace sqlarray::udfs

@@ -1,0 +1,94 @@
+// Tests for the client-side bridge (the Sec. 5.2 .NET interface).
+#include <gtest/gtest.h>
+
+#include "client/sql_array.h"
+#include "engine/exec.h"
+#include "sql/session.h"
+#include "udfs/register.h"
+
+namespace sqlarray::client {
+namespace {
+
+TEST(SqlArray, VectorRoundTrip) {
+  // The paper's snippet: double[] v = {1, 2, 3}; new SqlFloatArray(v);
+  // x = a.ToSqlBuffer();
+  SqlFloatArray a = SqlFloatArray::FromVector({1.0, 2.0, 3.0});
+  std::vector<uint8_t> buffer = a.ToSqlBuffer().value();
+
+  // ... and back: dr.SqlFloatArray(dr.GetSqlBinary(1)).
+  SqlFloatArray back = SqlFloatArray::FromSqlBuffer(buffer).value();
+  EXPECT_EQ(back.dims(), (Dims{3}));
+  EXPECT_EQ(back.values(), (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(SqlArray, MultiDimensional) {
+  SqlFloatArray m =
+      SqlFloatArray::FromValues({2, 3}, {1, 2, 3, 4, 5, 6}).value();
+  EXPECT_EQ(m.rank(), 2);
+  EXPECT_EQ(m.At(Dims{1, 2}).value(), 6.0);  // column-major
+  ASSERT_TRUE(m.Set(Dims{0, 1}, 99.0).ok());
+  EXPECT_EQ(m.values()[2], 99.0);
+  EXPECT_FALSE(m.At(Dims{2, 0}).ok());
+}
+
+TEST(SqlArray, TypedParsingRejectsWrongElementType) {
+  SqlIntArray ints = SqlIntArray::FromVector({1, 2, 3});
+  std::vector<uint8_t> buffer = ints.ToSqlBuffer().value();
+  EXPECT_FALSE(SqlFloatArray::FromSqlBuffer(buffer).ok());
+  EXPECT_TRUE(SqlIntArray::FromSqlBuffer(buffer).ok());
+}
+
+TEST(SqlArray, StorageClassSelection) {
+  SqlFloatArray small = SqlFloatArray::FromVector(std::vector<double>(10));
+  std::vector<uint8_t> short_blob = small.ToSqlBuffer().value();
+  EXPECT_EQ(ArrayRef::Parse(short_blob).value().storage(),
+            StorageClass::kShort);
+  std::vector<uint8_t> forced_max =
+      small.ToSqlBuffer(StorageClass::kMax).value();
+  EXPECT_EQ(ArrayRef::Parse(forced_max).value().storage(),
+            StorageClass::kMax);
+  SqlFloatArray big = SqlFloatArray::FromVector(std::vector<double>(5000));
+  EXPECT_EQ(ArrayRef::Parse(big.ToSqlBuffer().value()).value().storage(),
+            StorageClass::kMax);
+  EXPECT_FALSE(big.ToSqlBuffer(StorageClass::kShort).ok());
+}
+
+TEST(SqlArray, ValidationOnConstruction) {
+  EXPECT_FALSE(SqlFloatArray::FromValues({2, 2}, {1, 2, 3}).ok());
+  EXPECT_FALSE(SqlFloatArray::FromValues({}, {}).ok());
+}
+
+TEST(ReadDoubleVector, ConvertsAnyNumericVector) {
+  SqlIntArray ints = SqlIntArray::FromVector({5, 6, 7});
+  auto v = ReadDoubleVector(ints.ToSqlBuffer().value()).value();
+  EXPECT_EQ(v, (std::vector<double>{5.0, 6.0, 7.0}));
+
+  SqlFloatArray m = SqlFloatArray::FromValues({2, 2}, {1, 2, 3, 4}).value();
+  EXPECT_FALSE(ReadDoubleVector(m.ToSqlBuffer().value()).ok());
+}
+
+TEST(SqlArray, EndToEndThroughServer) {
+  // Client builds an array, sends it to the server as a variable, server
+  // processes it in SQL, client parses the result.
+  storage::Database db;
+  engine::FunctionRegistry registry;
+  ASSERT_TRUE(udfs::RegisterAllUdfs(&registry).ok());
+  engine::Executor executor(&db, &registry);
+  sql::Session session(&executor);
+
+  SqlFloatArray outbound = SqlFloatArray::FromVector({3.0, 1.0, 4.0, 1.0});
+  session.SetVariable("a",
+                      engine::Value::Bytes(outbound.ToSqlBuffer().value()));
+  ASSERT_TRUE(session.Execute("DECLARE @b VARBINARY(MAX)").ok());
+  ASSERT_TRUE(
+      session.Execute("SET @b = FloatArray.Scale(@a, 10.0)").ok());
+
+  auto blob =
+      session.GetVariable("b").value().MaterializeBytes().value();
+  SqlFloatArray inbound = SqlFloatArray::FromSqlBuffer(blob).value();
+  EXPECT_EQ(inbound.values(),
+            (std::vector<double>{30.0, 10.0, 40.0, 10.0}));
+}
+
+}  // namespace
+}  // namespace sqlarray::client

@@ -1,0 +1,161 @@
+// Tests for Status/Result, dimension math, and byte codecs.
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/dims.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace sqlarray {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad thing");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad thing");
+}
+
+TEST(Status, CopyIsCheapAndEqual) {
+  Status a = Status::Corruption("x");
+  Status b = a;
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b.code(), StatusCode::kCorruption);
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (int i = 0; i <= static_cast<int>(StatusCode::kInternal); ++i) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(i)), "UNKNOWN");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+Result<int> Doubled(Result<int> in) {
+  SQLARRAY_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(Result, AssignOrReturnMacroPropagates) {
+  EXPECT_EQ(Doubled(21).value(), 42);
+  EXPECT_EQ(Doubled(Status::Internal("x")).status().code(),
+            StatusCode::kInternal);
+}
+
+TEST(Dims, ElementCountAndStrides) {
+  Dims d{3, 4, 5};
+  EXPECT_EQ(ElementCount(d), 60);
+  Dims s = ColumnMajorStrides(d);
+  EXPECT_EQ(s, (Dims{1, 3, 12}));
+}
+
+TEST(Dims, ElementCountOfEmptyDimIsZero) {
+  Dims d{3, 0, 5};
+  EXPECT_EQ(ElementCount(d), 0);
+}
+
+TEST(Dims, LinearIndexColumnMajor) {
+  Dims d{3, 4};
+  // (i, j) -> i + 3j: first index varies fastest.
+  EXPECT_EQ(LinearIndex(d, Dims{0, 0}).value(), 0);
+  EXPECT_EQ(LinearIndex(d, Dims{1, 0}).value(), 1);
+  EXPECT_EQ(LinearIndex(d, Dims{0, 1}).value(), 3);
+  EXPECT_EQ(LinearIndex(d, Dims{2, 3}).value(), 11);
+}
+
+TEST(Dims, LinearIndexValidation) {
+  Dims d{3, 4};
+  EXPECT_EQ(LinearIndex(d, Dims{3, 0}).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(LinearIndex(d, Dims{-1, 0}).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(LinearIndex(d, Dims{0}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Dims, UnlinearizeRoundTrip) {
+  Dims d{3, 4, 5};
+  for (int64_t lin = 0; lin < 60; ++lin) {
+    Dims idx = Unlinearize(d, lin);
+    EXPECT_EQ(LinearIndex(d, idx).value(), lin);
+  }
+}
+
+TEST(Dims, ValidateRejectsEmptyAndNegative) {
+  EXPECT_FALSE(ValidateDims(Dims{}).ok());
+  EXPECT_FALSE(ValidateDims(Dims{2, -1}).ok());
+  EXPECT_TRUE(ValidateDims(Dims{2, 0, 3}).ok());
+}
+
+TEST(Bytes, RoundTripScalars) {
+  uint8_t buf[8];
+  EncodeLE<int32_t>(buf, -123456);
+  EXPECT_EQ(DecodeLE<int32_t>(buf), -123456);
+  EncodeLE<double>(buf, 3.14159);
+  EXPECT_DOUBLE_EQ(DecodeLE<double>(buf), 3.14159);
+  EncodeLE<int16_t>(buf, -32768);
+  EXPECT_EQ(DecodeLE<int16_t>(buf), -32768);
+}
+
+TEST(Bytes, LittleEndianLayout) {
+  uint8_t buf[4];
+  EncodeLE<uint32_t>(buf, 0x01020304);
+  EXPECT_EQ(buf[0], 0x04);
+  EXPECT_EQ(buf[3], 0x01);
+}
+
+TEST(Bytes, AppendGrowsVector) {
+  std::vector<uint8_t> v;
+  AppendLE<int64_t>(&v, 7);
+  AppendLE<int16_t>(&v, 1);
+  EXPECT_EQ(v.size(), 10u);
+  EXPECT_EQ(DecodeLE<int64_t>(v.data()), 7);
+}
+
+TEST(Rng, DeterministicWithSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+    int64_t k = rng.UniformInt(-5, 5);
+    EXPECT_GE(k, -5);
+    EXPECT_LE(k, 5);
+  }
+}
+
+}  // namespace
+}  // namespace sqlarray

@@ -1,0 +1,113 @@
+// Tests for the table <-> array bridge: ConcatBuilder and ToTable.
+#include <gtest/gtest.h>
+
+#include "core/concat.h"
+#include "core/ops.h"
+
+namespace sqlarray {
+namespace {
+
+TEST(ConcatBuilder, AssemblesByMultiIndex) {
+  ConcatBuilder b = ConcatBuilder::Create(DType::kFloat64, {2, 2}).value();
+  ASSERT_TRUE(b.Add(Dims{0, 0}, 1.0).ok());
+  ASSERT_TRUE(b.Add(Dims{1, 0}, 2.0).ok());
+  ASSERT_TRUE(b.Add(Dims{0, 1}, 3.0).ok());
+  ASSERT_TRUE(b.Add(Dims{1, 1}, 4.0).ok());
+  EXPECT_EQ(b.rows_consumed(), 4);
+  OwnedArray a = std::move(b).Finish().value();
+  EXPECT_EQ(a.ref().GetDoubleAt(Dims{1, 0}).value(), 2.0);
+  EXPECT_EQ(a.ref().GetDoubleAt(Dims{0, 1}).value(), 3.0);
+}
+
+TEST(ConcatBuilder, MissingCellsStayZero) {
+  ConcatBuilder b = ConcatBuilder::Create(DType::kInt32, {3}).value();
+  ASSERT_TRUE(b.AddLinear(1, 7).ok());
+  OwnedArray a = std::move(b).Finish().value();
+  EXPECT_EQ(a.ref().GetDouble(0).value(), 0.0);
+  EXPECT_EQ(a.ref().GetDouble(1).value(), 7.0);
+}
+
+TEST(ConcatBuilder, DuplicateIndexOverwrites) {
+  ConcatBuilder b = ConcatBuilder::Create(DType::kFloat64, {2}).value();
+  ASSERT_TRUE(b.AddLinear(0, 1.0).ok());
+  ASSERT_TRUE(b.AddLinear(0, 9.0).ok());
+  OwnedArray a = std::move(b).Finish().value();
+  EXPECT_EQ(a.ref().GetDouble(0).value(), 9.0);
+}
+
+TEST(ConcatBuilder, RejectsBadIndex) {
+  ConcatBuilder b = ConcatBuilder::Create(DType::kFloat64, {2}).value();
+  EXPECT_FALSE(b.Add(Dims{2}, 1.0).ok());
+  EXPECT_FALSE(b.AddLinear(-1, 1.0).ok());
+}
+
+TEST(ConcatBuilder, StateSerializationRoundTrip) {
+  // The SQL Server UDA hosting contract: serialize after each row,
+  // deserialize before the next (Sec. 4.2).
+  ConcatBuilder b = ConcatBuilder::Create(DType::kFloat64, {4}).value();
+  std::vector<uint8_t> state = b.SerializeState();
+  for (int64_t i = 0; i < 4; ++i) {
+    ConcatBuilder step = ConcatBuilder::DeserializeState(state).value();
+    ASSERT_TRUE(step.AddLinear(i, static_cast<double>(i) * 1.5).ok());
+    state = step.SerializeState();
+  }
+  ConcatBuilder last = ConcatBuilder::DeserializeState(state).value();
+  EXPECT_EQ(last.rows_consumed(), 4);
+  OwnedArray a = std::move(last).Finish().value();
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(a.ref().GetDouble(i).value(), static_cast<double>(i) * 1.5);
+  }
+}
+
+TEST(ConcatBuilder, StateGrowsWithArrayNotRows) {
+  ConcatBuilder b = ConcatBuilder::Create(DType::kFloat64, {100}).value();
+  size_t size0 = b.SerializeState().size();
+  ASSERT_TRUE(b.AddLinear(0, 1.0).ok());
+  ASSERT_TRUE(b.AddLinear(1, 1.0).ok());
+  EXPECT_EQ(b.SerializeState().size(), size0);
+}
+
+TEST(ConcatBuilder, DeserializeRejectsCorruptState) {
+  std::vector<uint8_t> junk(4, 0xFF);
+  EXPECT_FALSE(ConcatBuilder::DeserializeState(junk).ok());
+}
+
+TEST(ToTable, ExplodesColumnMajor) {
+  OwnedArray a = OwnedArray::Zeros(DType::kFloat64, {2, 2}).value();
+  ASSERT_TRUE(a.SetDoubleAt(Dims{0, 0}, 1.0).ok());
+  ASSERT_TRUE(a.SetDoubleAt(Dims{1, 0}, 2.0).ok());
+  ASSERT_TRUE(a.SetDoubleAt(Dims{0, 1}, 3.0).ok());
+  ASSERT_TRUE(a.SetDoubleAt(Dims{1, 1}, 4.0).ok());
+  auto rows = ToTable(a.ref()).value();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].index, (Dims{0, 0}));
+  EXPECT_EQ(rows[0].value, 1.0);
+  EXPECT_EQ(rows[1].index, (Dims{1, 0}));  // first index varies fastest
+  EXPECT_EQ(rows[1].value, 2.0);
+  EXPECT_EQ(rows[2].index, (Dims{0, 1}));
+  EXPECT_EQ(rows[3].value, 4.0);
+}
+
+TEST(ToTable, RejectsComplex) {
+  OwnedArray c = OwnedArray::Zeros(DType::kComplex128, {2}).value();
+  EXPECT_FALSE(ToTable(c.ref()).ok());
+}
+
+TEST(ConcatToTable, RoundTrip) {
+  OwnedArray a = OwnedArray::Zeros(DType::kFloat64, {3, 2}).value();
+  for (int64_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(a.SetDouble(i, static_cast<double>(i * i)).ok());
+  }
+  auto rows = ToTable(a.ref()).value();
+  ConcatBuilder b = ConcatBuilder::Create(DType::kFloat64, {3, 2}).value();
+  for (const ArrayTableRow& row : rows) {
+    ASSERT_TRUE(b.Add(row.index, row.value).ok());
+  }
+  OwnedArray back = std::move(b).Finish().value();
+  for (int64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(back.ref().GetDouble(i).value(), a.ref().GetDouble(i).value());
+  }
+}
+
+}  // namespace
+}  // namespace sqlarray

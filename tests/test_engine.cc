@@ -1,0 +1,378 @@
+// Tests for the query engine: values, expressions, executor, aggregates,
+// UDF boundary cost accounting.
+#include <gtest/gtest.h>
+
+#include "core/array.h"
+#include "engine/exec.h"
+#include "udfs/register.h"
+
+namespace sqlarray::engine {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() : executor_(&db_, &registry_) {
+    EXPECT_TRUE(udfs::RegisterAllUdfs(&registry_).ok());
+  }
+
+  storage::Table* MakeScalarTable(const std::string& name, int64_t rows) {
+    storage::Schema schema =
+        storage::Schema::Create({{"id", storage::ColumnType::kInt64, 0},
+                                 {"v1", storage::ColumnType::kFloat64, 0},
+                                 {"v2", storage::ColumnType::kFloat64, 0}})
+            .value();
+    storage::Table* t = db_.CreateTable(name, std::move(schema)).value();
+    for (int64_t i = 0; i < rows; ++i) {
+      EXPECT_TRUE(
+          t->Insert({i, static_cast<double>(i), static_cast<double>(2 * i)})
+              .ok());
+    }
+    return t;
+  }
+
+  storage::Database db_;
+  FunctionRegistry registry_;
+  Executor executor_;
+};
+
+TEST_F(EngineTest, ValueAccessorsAndCoercion) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(5).AsDouble().value(), 5.0);
+  EXPECT_EQ(Value::Double(2.7).AsInt().value(), 2);
+  EXPECT_FALSE(Value::Str("x").AsDouble().ok());
+  Value bytes = Value::Bytes({1, 2, 3});
+  EXPECT_EQ(bytes.ByteSize(), 3);
+  EXPECT_EQ((*bytes.AsBytes().value())[1], 2);
+  EXPECT_EQ(bytes.MaterializeBytes().value().size(), 3u);
+}
+
+TEST_F(EngineTest, StandaloneExpressionArithmetic) {
+  // (3 + 4) * 2 - 5 = 9
+  ExprPtr e = Bin(BinaryOp::kSub,
+                  Bin(BinaryOp::kMul,
+                      Bin(BinaryOp::kAdd, Lit(Value::Int(3)),
+                          Lit(Value::Int(4))),
+                      Lit(Value::Int(2))),
+                  Lit(Value::Int(5)));
+  EXPECT_EQ(executor_.EvalStandalone(*e, nullptr).value().AsInt().value(), 9);
+}
+
+TEST_F(EngineTest, IntVsFloatSemantics) {
+  ExprPtr int_div = Bin(BinaryOp::kDiv, Lit(Value::Int(7)),
+                        Lit(Value::Int(2)));
+  EXPECT_EQ(executor_.EvalStandalone(*int_div, nullptr).value().AsInt().value(),
+            3);
+  ExprPtr float_div = Bin(BinaryOp::kDiv, Lit(Value::Double(7)),
+                          Lit(Value::Int(2)));
+  EXPECT_EQ(executor_.EvalStandalone(*float_div, nullptr)
+                .value().AsDouble().value(),
+            3.5);
+  ExprPtr div0 = Bin(BinaryOp::kDiv, Lit(Value::Int(1)), Lit(Value::Int(0)));
+  EXPECT_FALSE(executor_.EvalStandalone(*div0, nullptr).ok());
+}
+
+TEST_F(EngineTest, NullPropagation) {
+  ExprPtr e = Bin(BinaryOp::kAdd, Lit(Value::Null()), Lit(Value::Int(1)));
+  EXPECT_TRUE(executor_.EvalStandalone(*e, nullptr).value().is_null());
+}
+
+TEST_F(EngineTest, VariablesResolve) {
+  std::map<std::string, Value> vars{{"x", Value::Int(10)}};
+  ExprPtr e = Bin(BinaryOp::kMul, Var("x"), Lit(Value::Int(3)));
+  EXPECT_EQ(executor_.EvalStandalone(*e, &vars).value().AsInt().value(), 30);
+  ExprPtr missing = Var("nope");
+  EXPECT_FALSE(executor_.EvalStandalone(*missing, &vars).ok());
+}
+
+TEST_F(EngineTest, CountStarAndSum) {
+  storage::Table* t = MakeScalarTable("t1", 100);
+  Query q;
+  q.table = t;
+  {
+    SelectItem count;
+    count.agg = SelectItem::AggKind::kCount;
+    count.expr = Star();
+    count.label = "n";
+    q.items.push_back(std::move(count));
+  }
+  {
+    SelectItem sum;
+    sum.agg = SelectItem::AggKind::kSum;
+    sum.expr = Col("v1");
+    sum.label = "s";
+    q.items.push_back(std::move(sum));
+  }
+  ASSERT_TRUE(executor_.Bind(&q).ok());
+  ResultSet rs = executor_.Execute(q, nullptr).value();
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].AsInt().value(), 100);
+  EXPECT_EQ(rs.rows[0][1].AsDouble().value(), 4950.0);
+  EXPECT_EQ(rs.stats.rows_scanned, 100);
+}
+
+TEST_F(EngineTest, MinMaxAvgAndEmptyTable) {
+  storage::Table* t = MakeScalarTable("t2", 10);
+  Query q;
+  q.table = t;
+  for (auto kind : {SelectItem::AggKind::kMin, SelectItem::AggKind::kMax,
+                    SelectItem::AggKind::kAvg}) {
+    SelectItem item;
+    item.agg = kind;
+    item.expr = Col("v1");
+    item.label = "x";
+    q.items.push_back(std::move(item));
+  }
+  ASSERT_TRUE(executor_.Bind(&q).ok());
+  ResultSet rs = executor_.Execute(q, nullptr).value();
+  EXPECT_EQ(rs.rows[0][0].AsDouble().value(), 0.0);
+  EXPECT_EQ(rs.rows[0][1].AsDouble().value(), 9.0);
+  EXPECT_EQ(rs.rows[0][2].AsDouble().value(), 4.5);
+
+  storage::Table* empty = MakeScalarTable("t2e", 0);
+  Query qe;
+  qe.table = empty;
+  SelectItem mn;
+  mn.agg = SelectItem::AggKind::kMin;
+  mn.expr = Col("v1");
+  mn.label = "m";
+  qe.items.push_back(std::move(mn));
+  ASSERT_TRUE(executor_.Bind(&qe).ok());
+  ResultSet rse = executor_.Execute(qe, nullptr).value();
+  ASSERT_EQ(rse.rows.size(), 1u);
+  EXPECT_TRUE(rse.rows[0][0].is_null());
+}
+
+TEST_F(EngineTest, WhereFilterAndTop) {
+  storage::Table* t = MakeScalarTable("t3", 50);
+  Query q;
+  q.table = t;
+  SelectItem item;
+  item.expr = Col("id");
+  item.label = "id";
+  q.items.push_back(std::move(item));
+  q.where = Bin(BinaryOp::kGe, Col("id"), Lit(Value::Int(40)));
+  q.top = 5;
+  ASSERT_TRUE(executor_.Bind(&q).ok());
+  ResultSet rs = executor_.Execute(q, nullptr).value();
+  ASSERT_EQ(rs.rows.size(), 5u);
+  EXPECT_EQ(rs.rows[0][0].AsInt().value(), 40);
+  EXPECT_EQ(rs.rows[4][0].AsInt().value(), 44);
+}
+
+TEST_F(EngineTest, GroupByAggregates) {
+  storage::Table* t = MakeScalarTable("t4", 30);
+  Query q;
+  q.table = t;
+  {
+    SelectItem key;
+    key.expr = Bin(BinaryOp::kMod, Col("id"), Lit(Value::Int(3)));
+    key.label = "k";
+    q.items.push_back(std::move(key));
+  }
+  {
+    SelectItem cnt;
+    cnt.agg = SelectItem::AggKind::kCount;
+    cnt.expr = Star();
+    cnt.label = "n";
+    q.items.push_back(std::move(cnt));
+  }
+  q.group_by.push_back(Bin(BinaryOp::kMod, Col("id"), Lit(Value::Int(3))));
+  ASSERT_TRUE(executor_.Bind(&q).ok());
+  ResultSet rs = executor_.Execute(q, nullptr).value();
+  ASSERT_EQ(rs.rows.size(), 3u);
+  for (const auto& row : rs.rows) {
+    EXPECT_EQ(row[1].AsInt().value(), 10);
+  }
+}
+
+TEST_F(EngineTest, ClrBoundaryCostIsCharged) {
+  storage::Table* t = MakeScalarTable("t5", 1000);
+  const CostModel& cost = executor_.cost_model();
+
+  // Native query: no UDF calls.
+  Query q1;
+  q1.table = t;
+  SelectItem s1;
+  s1.agg = SelectItem::AggKind::kSum;
+  s1.expr = Col("v1");
+  s1.label = "s";
+  q1.items.push_back(std::move(s1));
+  ASSERT_TRUE(executor_.Bind(&q1).ok());
+  ResultSet r1 = executor_.Execute(q1, nullptr).value();
+  EXPECT_EQ(r1.stats.udf_calls, 0);
+  double native_cpu = r1.stats.cpu_core_seconds;
+
+  // The same sum through dbo.EmptyFunction: one CLR call per row.
+  Query q2;
+  q2.table = t;
+  SelectItem s2;
+  s2.agg = SelectItem::AggKind::kSum;
+  std::vector<ExprPtr> args;
+  args.push_back(Col("v1"));
+  args.push_back(Lit(Value::Int(0)));
+  s2.expr = Call("dbo", "EmptyFunction", std::move(args));
+  s2.label = "s";
+  q2.items.push_back(std::move(s2));
+  ASSERT_TRUE(executor_.Bind(&q2).ok());
+  ResultSet r2 = executor_.Execute(q2, nullptr).value();
+  EXPECT_EQ(r2.stats.udf_calls, 1000);
+  // At least rows * clr_call_ns of extra modeled CPU.
+  EXPECT_GT(r2.stats.cpu_core_seconds,
+            native_cpu + 1000 * cost.clr_call_ns * 1e-9 * 0.99);
+}
+
+TEST_F(EngineTest, ModeledMetricsFollowTheCostModel) {
+  QueryStats stats;
+  stats.cpu_core_seconds = 16.0;  // 2 s on 8 cores
+  stats.io.virtual_read_seconds = 1.0;
+  stats.io.bytes_read = 1000000000;
+  CostModel cost;
+  EXPECT_DOUBLE_EQ(stats.ModeledSeconds(cost), 2.0);  // CPU-bound
+  EXPECT_DOUBLE_EQ(stats.ModeledCpuPct(cost), 100.0);
+  EXPECT_DOUBLE_EQ(stats.ModeledIoMBps(cost), 500.0);
+
+  stats.cpu_core_seconds = 0.8;
+  EXPECT_DOUBLE_EQ(stats.ModeledSeconds(cost), 1.0);  // IO-bound
+  EXPECT_DOUBLE_EQ(stats.ModeledCpuPct(cost), 10.0);
+}
+
+TEST_F(EngineTest, ParallelAggregateMatchesSerial) {
+  storage::Table* t = MakeScalarTable("tp", 20000);
+  auto make_query = [&]() {
+    Query q;
+    q.table = t;
+    for (auto kind :
+         {SelectItem::AggKind::kCount, SelectItem::AggKind::kSum,
+          SelectItem::AggKind::kMin, SelectItem::AggKind::kMax,
+          SelectItem::AggKind::kAvg}) {
+      SelectItem item;
+      item.agg = kind;
+      item.expr = kind == SelectItem::AggKind::kCount ? Star() : Col("v1");
+      item.label = "x";
+      q.items.push_back(std::move(item));
+    }
+    q.where = Bin(BinaryOp::kGe, Col("id"), Lit(Value::Int(137)));
+    return q;
+  };
+
+  Query serial_q = make_query();
+  ASSERT_TRUE(executor_.Bind(&serial_q).ok());
+  ResultSet serial = executor_.Execute(serial_q, nullptr).value();
+
+  executor_.set_scan_workers(8);
+  Query parallel_q = make_query();
+  ASSERT_TRUE(executor_.Bind(&parallel_q).ok());
+  ResultSet parallel = executor_.Execute(parallel_q, nullptr).value();
+  executor_.set_scan_workers(1);
+
+  ASSERT_EQ(serial.rows.size(), 1u);
+  ASSERT_EQ(parallel.rows.size(), 1u);
+  for (size_t c = 0; c < serial.rows[0].size(); ++c) {
+    EXPECT_EQ(serial.rows[0][c].AsDouble().value(),
+              parallel.rows[0][c].AsDouble().value())
+        << "column " << c;
+  }
+  EXPECT_EQ(parallel.stats.rows_scanned, serial.stats.rows_scanned);
+  EXPECT_NEAR(parallel.stats.cpu_core_seconds, serial.stats.cpu_core_seconds,
+              serial.stats.cpu_core_seconds * 0.01);
+}
+
+TEST_F(EngineTest, ParallelAggregateWithUdfExpression) {
+  // The Tvector-style workload: a UDF inside the aggregate argument runs on
+  // every worker thread.
+  storage::Schema schema =
+      storage::Schema::Create({{"id", storage::ColumnType::kInt64, 0},
+                               {"v", storage::ColumnType::kBinary, 64}})
+          .value();
+  storage::Table* t = db_.CreateTable("tpv", std::move(schema)).value();
+  OwnedArray vec =
+      OwnedArray::Zeros(DType::kFloat64, Dims{5}).value();
+  double expect = 0;
+  for (int64_t i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(vec.SetDouble(0, static_cast<double>(i)).ok());
+    expect += static_cast<double>(i);
+    ASSERT_TRUE(
+        t->Insert({i, std::vector<uint8_t>(vec.blob().begin(),
+                                           vec.blob().end())})
+            .ok());
+  }
+
+  auto make_query = [&]() {
+    Query q;
+    q.table = t;
+    SelectItem item;
+    item.agg = SelectItem::AggKind::kSum;
+    std::vector<ExprPtr> args;
+    args.push_back(Col("v"));
+    args.push_back(Lit(Value::Int(0)));
+    item.expr = Call("FloatArray", "Item_1", std::move(args));
+    item.label = "s";
+    q.items.push_back(std::move(item));
+    return q;
+  };
+
+  executor_.set_scan_workers(4);
+  Query q = make_query();
+  ASSERT_TRUE(executor_.Bind(&q).ok());
+  ResultSet rs = executor_.Execute(q, nullptr).value();
+  executor_.set_scan_workers(1);
+  EXPECT_EQ(rs.ScalarResult().value().AsDouble().value(), expect);
+  EXPECT_EQ(rs.stats.udf_calls, 5000);
+}
+
+TEST_F(EngineTest, ParallelFallsBackForGroupByAndUda) {
+  storage::Table* t = MakeScalarTable("tpf", 100);
+  executor_.set_scan_workers(8);
+  // GROUP BY still works (serial path).
+  Query q;
+  q.table = t;
+  SelectItem key;
+  key.expr = Bin(BinaryOp::kMod, Col("id"), Lit(Value::Int(2)));
+  key.label = "k";
+  q.items.push_back(std::move(key));
+  SelectItem cnt;
+  cnt.agg = SelectItem::AggKind::kCount;
+  cnt.expr = Star();
+  cnt.label = "n";
+  q.items.push_back(std::move(cnt));
+  q.group_by.push_back(Bin(BinaryOp::kMod, Col("id"), Lit(Value::Int(2))));
+  ASSERT_TRUE(executor_.Bind(&q).ok());
+  ResultSet rs = executor_.Execute(q, nullptr).value();
+  executor_.set_scan_workers(1);
+  EXPECT_EQ(rs.rows.size(), 2u);
+}
+
+TEST_F(EngineTest, FromLessSelect) {
+  Query q;
+  SelectItem item;
+  item.expr = Bin(BinaryOp::kAdd, Lit(Value::Int(1)), Lit(Value::Int(2)));
+  item.label = "three";
+  q.items.push_back(std::move(item));
+  ASSERT_TRUE(executor_.Bind(&q).ok());
+  ResultSet rs = executor_.Execute(q, nullptr).value();
+  EXPECT_EQ(rs.ScalarResult().value().AsInt().value(), 3);
+}
+
+TEST_F(EngineTest, RegistryResolution) {
+  EXPECT_TRUE(registry_.Resolve("FloatArray", "Item_1", 2).ok());
+  EXPECT_TRUE(registry_.Resolve("floatarray", "ITEM_1", 2).ok());  // case
+  EXPECT_FALSE(registry_.Resolve("FloatArray", "Item_1", 5).ok());
+  EXPECT_FALSE(registry_.Resolve("NoSchema", "F", 1).ok());
+  EXPECT_TRUE(registry_.Resolve("Array", "Item", 3).ok());  // variadic
+  EXPECT_TRUE(registry_.HasScalar("FloatArray", "Vector_5"));
+  EXPECT_FALSE(registry_.HasScalar("FloatArray", "Bogus"));
+  EXPECT_TRUE(registry_.ResolveUda("FloatArrayMax", "Concat").ok());
+  EXPECT_FALSE(registry_.ResolveUda("FloatArrayMax", "Nope").ok());
+}
+
+TEST_F(EngineTest, CloneExprDeepCopies) {
+  ExprPtr e = Bin(BinaryOp::kAdd, Col("a"), Lit(Value::Int(1)));
+  ExprPtr c = CloneExpr(*e);
+  e->args[0]->column_name = "changed";
+  EXPECT_EQ(c->args[0]->column_name, "a");
+  EXPECT_TRUE(NeedsRow(*c));
+  EXPECT_FALSE(NeedsRow(*c->args[1]));
+}
+
+}  // namespace
+}  // namespace sqlarray::engine

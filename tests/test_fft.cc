@@ -1,0 +1,168 @@
+// Tests for the FFTW-substitute: transforms vs the naive DFT, inverse
+// round-trips, multi-dimensional plans, Parseval, aligned execution.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.h"
+#include "fft/fft.h"
+
+namespace sqlarray::fft {
+namespace {
+
+std::vector<Complex> RandomSignal(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Complex> x(n);
+  for (Complex& c : x) c = {rng.Normal(), rng.Normal()};
+  return x;
+}
+
+double MaxDiff(std::span<const Complex> a, std::span<const Complex> b) {
+  double m = 0;
+  for (size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+// Lengths cover radix-2, odd, prime, and mixed sizes (Bluestein paths).
+class FftAgainstNaive : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(FftAgainstNaive, ForwardMatchesNaiveDft) {
+  const int64_t n = GetParam();
+  std::vector<Complex> x = RandomSignal(n, 100 + n);
+  std::vector<Complex> fast = x;
+  ASSERT_TRUE(Transform(fast, Direction::kForward).ok());
+  std::vector<Complex> slow = NaiveDft(x, Direction::kForward);
+  EXPECT_LT(MaxDiff(fast, slow), 1e-8 * static_cast<double>(n));
+}
+
+TEST_P(FftAgainstNaive, InverseRoundTrip) {
+  const int64_t n = GetParam();
+  std::vector<Complex> x = RandomSignal(n, 200 + n);
+  std::vector<Complex> y = x;
+  ASSERT_TRUE(Transform(y, Direction::kForward).ok());
+  ASSERT_TRUE(Transform(y, Direction::kInverse).ok());
+  EXPECT_LT(MaxDiff(x, y), 1e-10 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, FftAgainstNaive,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 16, 17,
+                                           31, 32, 45, 64, 97, 128));
+
+TEST(Fft, KnownImpulse) {
+  // FFT of a unit impulse is all ones.
+  std::vector<Complex> x(8, {0, 0});
+  x[0] = {1, 0};
+  ASSERT_TRUE(Transform(x, Direction::kForward).ok());
+  for (const Complex& c : x) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, KnownSingleTone) {
+  // x[j] = exp(2 pi i k j / n) transforms to n * delta_k.
+  const int64_t n = 16, k = 3;
+  std::vector<Complex> x(n);
+  for (int64_t j = 0; j < n; ++j) {
+    double ang = 2 * std::numbers::pi * k * j / n;
+    x[j] = {std::cos(ang), std::sin(ang)};
+  }
+  ASSERT_TRUE(Transform(x, Direction::kForward).ok());
+  for (int64_t j = 0; j < n; ++j) {
+    double expect = j == k ? static_cast<double>(n) : 0.0;
+    EXPECT_NEAR(std::abs(x[j]), expect, 1e-9) << "bin " << j;
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  const int64_t n = 45;  // Bluestein path
+  std::vector<Complex> x = RandomSignal(n, 7);
+  double time_energy = 0;
+  for (const Complex& c : x) time_energy += std::norm(c);
+  std::vector<Complex> f = x;
+  ASSERT_TRUE(Transform(f, Direction::kForward).ok());
+  double freq_energy = 0;
+  for (const Complex& c : f) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy, time_energy * n, 1e-6 * time_energy * n);
+}
+
+TEST(Fft, LinearityProperty) {
+  const int64_t n = 32;
+  std::vector<Complex> a = RandomSignal(n, 1), b = RandomSignal(n, 2);
+  std::vector<Complex> sum(n);
+  for (int64_t i = 0; i < n; ++i) sum[i] = 2.0 * a[i] + 3.0 * b[i];
+  ASSERT_TRUE(Transform(a, Direction::kForward).ok());
+  ASSERT_TRUE(Transform(b, Direction::kForward).ok());
+  ASSERT_TRUE(Transform(sum, Direction::kForward).ok());
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_LT(std::abs(sum[i] - (2.0 * a[i] + 3.0 * b[i])), 1e-9);
+  }
+}
+
+TEST(Plan, TwoDimensionalMatchesRowColumnTransforms) {
+  const int64_t rows = 8, cols = 6;
+  std::vector<Complex> x = RandomSignal(rows * cols, 9);
+  std::unique_ptr<Plan> plan = Plan::Create({rows, cols}).value();
+  std::vector<Complex> got(x.size());
+  ASSERT_TRUE(plan->Execute(x, got, Direction::kForward).ok());
+
+  // Manual separable reference: transform columns (axis 0), then rows.
+  std::vector<Complex> ref = x;
+  for (int64_t c = 0; c < cols; ++c) {
+    std::vector<Complex> line(rows);
+    for (int64_t r = 0; r < rows; ++r) line[r] = ref[r + c * rows];
+    line = NaiveDft(line, Direction::kForward);
+    for (int64_t r = 0; r < rows; ++r) ref[r + c * rows] = line[r];
+  }
+  for (int64_t r = 0; r < rows; ++r) {
+    std::vector<Complex> line(cols);
+    for (int64_t c = 0; c < cols; ++c) line[c] = ref[r + c * rows];
+    line = NaiveDft(line, Direction::kForward);
+    for (int64_t c = 0; c < cols; ++c) ref[r + c * rows] = line[c];
+  }
+  EXPECT_LT(MaxDiff(got, ref), 1e-8);
+}
+
+TEST(Plan, ThreeDimensionalRoundTrip) {
+  std::vector<Complex> x = RandomSignal(4 * 6 * 5, 10);
+  std::unique_ptr<Plan> plan = Plan::Create({4, 6, 5}).value();
+  std::vector<Complex> f(x.size()), back(x.size());
+  ASSERT_TRUE(plan->Execute(x, f, Direction::kForward).ok());
+  ASSERT_TRUE(plan->Execute(f, back, Direction::kInverse).ok());
+  EXPECT_LT(MaxDiff(x, back), 1e-10);
+}
+
+TEST(Plan, AlignedAndUnalignedAgree) {
+  std::vector<Complex> x = RandomSignal(64, 11);
+  std::unique_ptr<Plan> plan = Plan::Create({64}).value();
+  std::vector<Complex> a(64), b(64);
+  ASSERT_TRUE(plan->Execute(x, a, Direction::kForward).ok());
+  ASSERT_TRUE(plan->ExecuteUnaligned(x, b, Direction::kForward).ok());
+  EXPECT_LT(MaxDiff(a, b), 1e-12);
+}
+
+TEST(Plan, InPlaceExecution) {
+  std::vector<Complex> x = RandomSignal(32, 12);
+  std::vector<Complex> expect = x;
+  ASSERT_TRUE(Transform(expect, Direction::kForward).ok());
+  std::unique_ptr<Plan> plan = Plan::Create({32}).value();
+  ASSERT_TRUE(plan->Execute(x, x, Direction::kForward).ok());
+  EXPECT_LT(MaxDiff(x, expect), 1e-12);
+}
+
+TEST(Plan, Validation) {
+  EXPECT_FALSE(Plan::Create({}).ok());
+  EXPECT_FALSE(Plan::Create({0}).ok());
+  std::unique_ptr<Plan> plan = Plan::Create({8}).value();
+  std::vector<Complex> wrong(4);
+  EXPECT_FALSE(plan->Execute(wrong, wrong, Direction::kForward).ok());
+}
+
+TEST(Fft, EmptyInputRejected) {
+  std::vector<Complex> empty;
+  EXPECT_FALSE(Transform(empty, Direction::kForward).ok());
+}
+
+}  // namespace
+}  // namespace sqlarray::fft

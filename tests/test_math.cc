@@ -1,0 +1,309 @@
+// Tests for the LAPACK-substitute: dense kernels, QR, SVD, NNLS, PCA.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "math/dense.h"
+#include "math/nnls.h"
+#include "math/pca.h"
+#include "math/qr.h"
+#include "math/svd.h"
+
+namespace sqlarray::math {
+namespace {
+
+Matrix RandomMatrix(int64_t m, int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  Matrix a(m, n);
+  for (int64_t j = 0; j < n; ++j) {
+    for (int64_t i = 0; i < m; ++i) a.at(i, j) = rng.Normal();
+  }
+  return a;
+}
+
+TEST(Dense, GemvPlain) {
+  Matrix a(2, 3);
+  // A = [1 2 3; 4 5 6] (column-major fill).
+  a.at(0, 0) = 1; a.at(0, 1) = 2; a.at(0, 2) = 3;
+  a.at(1, 0) = 4; a.at(1, 1) = 5; a.at(1, 2) = 6;
+  std::vector<double> x{1, 1, 1}, y(2, 0);
+  Gemv(false, 1.0, a.view(), x, 0.0, y);
+  EXPECT_EQ(y[0], 6);
+  EXPECT_EQ(y[1], 15);
+  std::vector<double> yt(3, 0), x2{1, 1};
+  Gemv(true, 1.0, a.view(), x2, 0.0, yt);
+  EXPECT_EQ(yt[0], 5);
+  EXPECT_EQ(yt[2], 9);
+}
+
+TEST(Dense, GemvAlphaBeta) {
+  Matrix a = Matrix::Identity(2);
+  std::vector<double> x{1, 2}, y{10, 10};
+  Gemv(false, 2.0, a.view(), x, 0.5, y);
+  EXPECT_EQ(y[0], 7);   // 2*1 + 0.5*10
+  EXPECT_EQ(y[1], 9);
+}
+
+TEST(Dense, GemmMatchesManual) {
+  Matrix a = RandomMatrix(4, 3, 1);
+  Matrix b = RandomMatrix(3, 5, 2);
+  Matrix c(4, 5);
+  Gemm(false, false, 1.0, a.view(), b.view(), 0.0, c.view());
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 5; ++j) {
+      double sum = 0;
+      for (int64_t k = 0; k < 3; ++k) sum += a.at(i, k) * b.at(k, j);
+      EXPECT_NEAR(c.at(i, j), sum, 1e-12);
+    }
+  }
+}
+
+TEST(Dense, GemmTransposedOperands) {
+  Matrix a = RandomMatrix(3, 4, 3);   // use A^T: 4x3
+  Matrix b = RandomMatrix(5, 3, 4);   // use B^T: 3x5
+  Matrix c(4, 5);
+  Gemm(true, true, 1.0, a.view(), b.view(), 0.0, c.view());
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 5; ++j) {
+      double sum = 0;
+      for (int64_t k = 0; k < 3; ++k) sum += a.at(k, i) * b.at(j, k);
+      EXPECT_NEAR(c.at(i, j), sum, 1e-12);
+    }
+  }
+}
+
+TEST(Dense, Nrm2Robustness) {
+  std::vector<double> big{3e200, 4e200};
+  EXPECT_NEAR(Nrm2(big), 5e200, 1e188);
+  std::vector<double> zero{0, 0};
+  EXPECT_EQ(Nrm2(zero), 0.0);
+}
+
+TEST(Dense, TransposeAndDiff) {
+  Matrix a = RandomMatrix(3, 2, 5);
+  Matrix t = Transpose(a.view());
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.at(1, 2), a.at(2, 1));
+  EXPECT_EQ(MaxAbsDiff(a.view(), a.view()), 0.0);
+}
+
+TEST(Qr, FactorizationReconstructs) {
+  Matrix a = RandomMatrix(6, 4, 7);
+  QrFactorization f = QrFactor(a.view()).value();
+  // Solve A x = b for b in range(A): residual must vanish.
+  std::vector<double> x_true{1, -2, 3, 0.5};
+  std::vector<double> b(6, 0);
+  Gemv(false, 1.0, a.view(), x_true, 0.0, b);
+  std::vector<double> x = LeastSquares(a.view(), b).value();
+  for (int k = 0; k < 4; ++k) EXPECT_NEAR(x[k], x_true[k], 1e-10);
+}
+
+TEST(Qr, LeastSquaresMinimizesResidual) {
+  // Overdetermined fit: residual must be orthogonal to the column space.
+  Matrix a = RandomMatrix(20, 3, 8);
+  Rng rng(9);
+  std::vector<double> b(20);
+  for (double& v : b) v = rng.Normal();
+  std::vector<double> x = LeastSquares(a.view(), b).value();
+  std::vector<double> r = b;
+  Gemv(false, -1.0, a.view(), x, 1.0, r);
+  std::vector<double> atr(3, 0);
+  Gemv(true, 1.0, a.view(), r, 0.0, atr);
+  for (double v : atr) EXPECT_NEAR(v, 0.0, 1e-10);
+}
+
+TEST(Qr, RejectsWideAndSingular) {
+  Matrix wide = RandomMatrix(2, 3, 10);
+  std::vector<double> b{1, 2};
+  EXPECT_FALSE(QrFactor(wide.view()).ok());
+  Matrix sing(3, 2);  // two identical zero columns
+  std::vector<double> b3{1, 2, 3};
+  EXPECT_FALSE(LeastSquares(sing.view(), b3).ok());
+}
+
+TEST(Qr, WeightedDropsZeroWeightRows) {
+  // Row 2 is an outlier; with weight zero it must not affect the fit.
+  Matrix a(3, 1);
+  a.at(0, 0) = 1; a.at(1, 0) = 1; a.at(2, 0) = 1;
+  std::vector<double> b{2.0, 2.0, 100.0};
+  std::vector<double> w{1.0, 1.0, 0.0};
+  std::vector<double> x = WeightedLeastSquares(a.view(), b, w).value();
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  std::vector<double> neg{1.0, -1.0, 1.0};
+  EXPECT_FALSE(WeightedLeastSquares(a.view(), b, neg).ok());
+}
+
+class SvdShapes
+    : public ::testing::TestWithParam<std::pair<int64_t, int64_t>> {};
+
+TEST_P(SvdShapes, ReconstructionAndOrthogonality) {
+  auto [m, n] = GetParam();
+  Matrix a = RandomMatrix(m, n, 100 + m * 10 + n);
+  SvdResult svd = Gesvd(a.view()).value();
+  const int64_t k = std::min(m, n);
+  ASSERT_EQ(svd.u.rows(), m);
+  ASSERT_EQ(svd.u.cols(), k);
+  ASSERT_EQ(static_cast<int64_t>(svd.s.size()), k);
+  ASSERT_EQ(svd.vt.rows(), k);
+  ASSERT_EQ(svd.vt.cols(), n);
+
+  // Singular values sorted descending and non-negative.
+  for (int64_t i = 0; i + 1 < k; ++i) {
+    EXPECT_GE(svd.s[i], svd.s[i + 1]);
+  }
+  EXPECT_GE(svd.s[k - 1], 0.0);
+
+  // A == U S V^T.
+  Matrix recon = SvdReconstruct(svd);
+  EXPECT_LT(MaxAbsDiff(a.view(), recon.view()), 1e-9);
+
+  // U^T U == I and V V^T == I on the computed columns.
+  for (int64_t i = 0; i < k; ++i) {
+    for (int64_t j = 0; j < k; ++j) {
+      double uij = 0, vij = 0;
+      for (int64_t r = 0; r < m; ++r) uij += svd.u.at(r, i) * svd.u.at(r, j);
+      for (int64_t c = 0; c < n; ++c) vij += svd.vt.at(i, c) * svd.vt.at(j, c);
+      double expect = i == j ? 1.0 : 0.0;
+      EXPECT_NEAR(uij, expect, 1e-9) << "U col " << i << "," << j;
+      EXPECT_NEAR(vij, expect, 1e-9) << "V col " << i << "," << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SvdShapes,
+    ::testing::Values(std::make_pair(4, 4), std::make_pair(8, 3),
+                      std::make_pair(3, 8), std::make_pair(20, 5),
+                      std::make_pair(5, 20), std::make_pair(1, 6),
+                      std::make_pair(6, 1)));
+
+TEST(Svd, KnownDiagonal) {
+  Matrix a(3, 3);
+  a.at(0, 0) = 3;
+  a.at(1, 1) = 1;
+  a.at(2, 2) = 2;
+  SvdResult svd = Gesvd(a.view()).value();
+  EXPECT_NEAR(svd.s[0], 3, 1e-12);
+  EXPECT_NEAR(svd.s[1], 2, 1e-12);
+  EXPECT_NEAR(svd.s[2], 1, 1e-12);
+}
+
+TEST(Svd, RankDeficientHasZeroSingularValue) {
+  Matrix a(4, 2);
+  for (int64_t i = 0; i < 4; ++i) {
+    a.at(i, 0) = i + 1.0;
+    a.at(i, 1) = 2.0 * (i + 1.0);  // column 1 = 2 * column 0
+  }
+  SvdResult svd = Gesvd(a.view()).value();
+  EXPECT_GT(svd.s[0], 1.0);
+  EXPECT_NEAR(svd.s[1], 0.0, 1e-10);
+}
+
+TEST(Nnls, MatchesUnconstrainedWhenInteriorSolution) {
+  Matrix a = RandomMatrix(10, 3, 42);
+  std::vector<double> x_true{1.0, 2.0, 0.5};
+  std::vector<double> b(10, 0);
+  Gemv(false, 1.0, a.view(), x_true, 0.0, b);
+  std::vector<double> x = Nnls(a.view(), b).value();
+  for (int k = 0; k < 3; ++k) EXPECT_NEAR(x[k], x_true[k], 1e-8);
+}
+
+TEST(Nnls, ClampsNegativeComponents) {
+  // Identity system with a negative target: solution clamps to zero.
+  Matrix a = Matrix::Identity(3);
+  std::vector<double> b{1.0, -2.0, 3.0};
+  std::vector<double> x = Nnls(a.view(), b).value();
+  EXPECT_NEAR(x[0], 1.0, 1e-10);
+  EXPECT_NEAR(x[1], 0.0, 1e-10);
+  EXPECT_NEAR(x[2], 3.0, 1e-10);
+}
+
+TEST(Nnls, SolutionIsNonNegativeAndKktHolds) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    Matrix a = RandomMatrix(12, 5, 1000 + trial);
+    std::vector<double> b(12);
+    for (double& v : b) v = rng.Normal();
+    std::vector<double> x = Nnls(a.view(), b).value();
+    std::vector<double> r = b;
+    Gemv(false, -1.0, a.view(), x, 1.0, r);
+    std::vector<double> grad(5, 0);  // A^T r = -gradient
+    Gemv(true, 1.0, a.view(), r, 0.0, grad);
+    for (int k = 0; k < 5; ++k) {
+      EXPECT_GE(x[k], 0.0);
+      if (x[k] > 1e-10) {
+        EXPECT_NEAR(grad[k], 0.0, 1e-6);  // active: zero gradient
+      } else {
+        EXPECT_LE(grad[k], 1e-6);  // at bound: gradient pushes negative
+      }
+    }
+  }
+}
+
+TEST(Pca, RecoversDominantDirection) {
+  // Samples along (1, 1)/sqrt(2) with small orthogonal noise.
+  Rng rng(11);
+  const int64_t n = 200;
+  Matrix samples(n, 2);
+  for (int64_t i = 0; i < n; ++i) {
+    double t = rng.Normal(0, 3.0);
+    double o = rng.Normal(0, 0.1);
+    samples.at(i, 0) = 5.0 + (t - o) / std::sqrt(2.0);
+    samples.at(i, 1) = -2.0 + (t + o) / std::sqrt(2.0);
+  }
+  PcaModel model = PcaFit(samples.view(), 2).value();
+  EXPECT_NEAR(model.mean[0], 5.0, 0.5);
+  EXPECT_NEAR(model.mean[1], -2.0, 0.5);
+  // First component is (1,1)/sqrt(2) up to sign.
+  double c0 = std::fabs(model.components.at(0, 0));
+  double c1 = std::fabs(model.components.at(1, 0));
+  EXPECT_NEAR(c0, 1 / std::sqrt(2.0), 0.05);
+  EXPECT_NEAR(c1, 1 / std::sqrt(2.0), 0.05);
+  EXPECT_GT(model.explained_variance[0],
+            50 * model.explained_variance[1]);
+}
+
+TEST(Pca, ProjectReconstructRoundTrip) {
+  Matrix samples = RandomMatrix(50, 4, 21);
+  PcaModel model = PcaFit(samples.view(), 4).value();
+  std::vector<double> sample(4);
+  for (int64_t j = 0; j < 4; ++j) sample[j] = samples.at(7, j);
+  std::vector<double> coeffs = PcaProject(model, sample);
+  std::vector<double> back = PcaReconstruct(model, coeffs);
+  for (int64_t j = 0; j < 4; ++j) EXPECT_NEAR(back[j], sample[j], 1e-8);
+}
+
+TEST(Pca, MaskedProjectionIgnoresMaskedFeatures) {
+  // Corrupt one feature; with weight 0 there the coefficients must match
+  // the clean sample's projection (full-rank basis).
+  Matrix samples = RandomMatrix(60, 3, 22);
+  PcaModel model = PcaFit(samples.view(), 3).value();
+  std::vector<double> clean{0.3, -0.7, 1.1};
+  std::vector<double> clean_coeffs = PcaProject(model, clean);
+  std::vector<double> dirty = clean;
+  dirty[1] = 99.0;
+  std::vector<double> w{1.0, 0.0, 1.0};
+  // 3 components from 2 unmasked features is underdetermined; use 2.
+  PcaModel model2 = PcaFit(samples.view(), 2).value();
+  std::vector<double> ref =
+      PcaProjectMasked(model2, clean, std::vector<double>{1, 1, 1}).value();
+  std::vector<double> masked = PcaProjectMasked(model2, dirty, w).value();
+  // The masked fit cannot see feature 1, so it reproduces the clean
+  // sample's unmasked features.
+  std::vector<double> recon = PcaReconstruct(model2, masked);
+  EXPECT_NEAR(recon[0], clean[0], 0.5);
+  EXPECT_NEAR(recon[2], clean[2], 0.5);
+  (void)ref;
+}
+
+TEST(Pca, Validation) {
+  Matrix one(1, 3);
+  EXPECT_FALSE(PcaFit(one.view(), 1).ok());
+  Matrix ok = RandomMatrix(5, 3, 1);
+  EXPECT_FALSE(PcaFit(ok.view(), 0).ok());
+  EXPECT_FALSE(PcaFit(ok.view(), 4).ok());
+}
+
+}  // namespace
+}  // namespace sqlarray::math

@@ -1,0 +1,368 @@
+// Tests for the N-body use case: snapshots, FOF, CIC + power spectrum,
+// merger linking, bucketed storage, light cones, correlations (Sec. 2.3).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sci/nbody/bucket.h"
+#include "sci/nbody/cic.h"
+#include "sci/nbody/correlation.h"
+#include "sci/nbody/cosmology.h"
+#include "sci/nbody/fof.h"
+#include "sci/nbody/lightcone.h"
+#include "sci/nbody/merger.h"
+#include "sci/nbody/snapshot.h"
+
+namespace sqlarray::nbody {
+namespace {
+
+SnapshotConfig SmallConfig() {
+  SnapshotConfig config;
+  config.num_halos = 6;
+  config.particles_per_halo = 150;
+  config.background_particles = 500;
+  return config;
+}
+
+TEST(Snapshot, GeneratorBasics) {
+  SnapshotConfig config = SmallConfig();
+  Snapshot snap = MakeInitialSnapshot(config, 1);
+  EXPECT_EQ(snap.particles.size(),
+            static_cast<size_t>(config.num_halos *
+                                    config.particles_per_halo +
+                                config.background_particles));
+  std::set<int64_t> ids;
+  for (const Particle& p : snap.particles) {
+    ids.insert(p.id);
+    EXPECT_GE(p.position.x, 0);
+    EXPECT_LT(p.position.x, config.box);
+    EXPECT_GE(p.position.z, 0);
+    EXPECT_LT(p.position.z, config.box);
+  }
+  EXPECT_EQ(ids.size(), snap.particles.size());  // unique labels
+}
+
+TEST(Snapshot, EvolutionPreservesIds) {
+  SnapshotConfig config = SmallConfig();
+  Snapshot s0 = MakeInitialSnapshot(config, 2);
+  Snapshot s1 = EvolveSnapshot(s0, config, 3);
+  EXPECT_EQ(s1.step, 1);
+  ASSERT_EQ(s1.particles.size(), s0.particles.size());
+  for (size_t i = 0; i < s0.particles.size(); ++i) {
+    EXPECT_EQ(s1.particles[i].id, s0.particles[i].id);
+    EXPECT_GE(s1.particles[i].position.x, 0);
+    EXPECT_LT(s1.particles[i].position.x, config.box);
+  }
+}
+
+TEST(Fof, GridMatchesBruteForce) {
+  SnapshotConfig config = SmallConfig();
+  config.background_particles = 300;
+  Snapshot snap = MakeInitialSnapshot(config, 4);
+  const double link = 0.8;
+  FofResult fast = FriendsOfFriends(snap, link, 10).value();
+  FofResult brute = FriendsOfFriendsBrute(snap, link, 10).value();
+  ASSERT_EQ(fast.halos.size(), brute.halos.size());
+  for (size_t h = 0; h < fast.halos.size(); ++h) {
+    std::set<int64_t> a(fast.halos[h].begin(), fast.halos[h].end());
+    std::set<int64_t> b(brute.halos[h].begin(), brute.halos[h].end());
+    EXPECT_EQ(a, b) << "halo " << h;
+  }
+}
+
+TEST(Fof, FindsTheSeededHalos) {
+  SnapshotConfig config = SmallConfig();
+  Snapshot snap = MakeInitialSnapshot(config, 5);
+  FofResult fof = FriendsOfFriends(snap, 0.8, 50).value();
+  // The engineered halos 0/1 start 6 sigma apart and may link; all the
+  // others are separated, so expect at least num_halos - 1 groups.
+  EXPECT_GE(static_cast<int>(fof.halos.size()), config.num_halos - 1);
+  // Halos are sorted by size, largest first.
+  for (size_t h = 1; h < fof.halos.size(); ++h) {
+    EXPECT_LE(fof.halos[h].size(), fof.halos[h - 1].size());
+  }
+  // halo_of is consistent with the member lists.
+  for (size_t h = 0; h < fof.halos.size(); ++h) {
+    for (int64_t i : fof.halos[h]) {
+      EXPECT_EQ(fof.halo_of[i], static_cast<int64_t>(h));
+    }
+  }
+}
+
+TEST(Fof, LinkingLengthControlsMerging) {
+  SnapshotConfig config = SmallConfig();
+  Snapshot snap = MakeInitialSnapshot(config, 6);
+  // Without a size floor, a looser linking length only coarsens the
+  // partition (union-find merging is monotone in the radius).
+  FofResult tight = FriendsOfFriends(snap, 0.3, 1).value();
+  FofResult loose = FriendsOfFriends(snap, 3.0, 1).value();
+  EXPECT_LT(loose.halos.size(), tight.halos.size());
+  EXPECT_FALSE(FriendsOfFriends(snap, -1, 20).ok());
+}
+
+TEST(Cic, DensityContrastAveragesToZero) {
+  SnapshotConfig config = SmallConfig();
+  Snapshot snap = MakeInitialSnapshot(config, 7);
+  const int64_t m = 16;
+  std::vector<double> delta = CicDensity(snap, m).value();
+  double sum = 0;
+  for (double d : delta) {
+    sum += d;
+    EXPECT_GE(d, -1.0 - 1e-9);  // density cannot be negative
+  }
+  EXPECT_NEAR(sum / static_cast<double>(m * m * m), 0.0, 1e-10);
+}
+
+TEST(Cic, SingleParticleSplitsTrilinearly) {
+  Snapshot snap;
+  snap.box = 16.0;
+  Particle p;
+  p.id = 0;
+  p.position = {3.5, 3.5, 3.5};  // exactly at the center of cell (3,3,3)
+  snap.particles.push_back(p);
+  const int64_t m = 16;
+  std::vector<double> delta = CicDensity(snap, m).value();
+  // Mean density = 1 / 4096 per cell; at the cell center all mass lands in
+  // one cell: delta = count/mean - 1 = 4096 - 1 there.
+  EXPECT_NEAR(delta[3 + m * (3 + m * 3)], 4095.0, 1e-6);
+}
+
+TEST(Cic, ClusteredFieldHasMorePowerThanUniform) {
+  SnapshotConfig clustered = SmallConfig();
+  Snapshot snap = MakeInitialSnapshot(clustered, 8);
+  const int64_t m = 32;
+  std::vector<double> delta = CicDensity(snap, m).value();
+  auto bins = PowerSpectrum(delta, m, clustered.box, 8).value();
+
+  SnapshotConfig uniform = clustered;
+  uniform.num_halos = 0;
+  uniform.background_particles = static_cast<int>(snap.particles.size());
+  Snapshot usnap = MakeInitialSnapshot(uniform, 9);
+  std::vector<double> udelta = CicDensity(usnap, m).value();
+  auto ubins = PowerSpectrum(udelta, m, uniform.box, 8).value();
+
+  // At large scales (low k) the clustered field has far more power.
+  double p_clustered = 0, p_uniform = 0;
+  for (int b = 0; b < 3; ++b) {
+    p_clustered += bins[b].power;
+    p_uniform += ubins[b].power;
+  }
+  EXPECT_GT(p_clustered, 5 * p_uniform);
+}
+
+TEST(Power, ParsevalConsistency) {
+  // Sum over all modes of P(k) equals the field variance (Parseval).
+  SnapshotConfig config = SmallConfig();
+  Snapshot snap = MakeInitialSnapshot(config, 10);
+  const int64_t m = 16;
+  std::vector<double> delta = CicDensity(snap, m).value();
+  auto bins = PowerSpectrum(delta, m, config.box, 64).value();
+  double mode_sum = 0;
+  for (const PowerBin& b : bins) {
+    mode_sum += b.power * static_cast<double>(b.modes);
+  }
+  double variance = 0;
+  for (double d : delta) variance += d * d;
+  variance /= static_cast<double>(m * m * m);
+  // The k >= k_max corner modes are excluded from the bins, so the binned
+  // sum is slightly below the full variance.
+  EXPECT_LE(mode_sum, variance * 1.0001);
+  EXPECT_GT(mode_sum, 0.4 * variance);
+}
+
+TEST(Merger, TracksHalosAcrossSteps) {
+  SnapshotConfig config = SmallConfig();
+  Snapshot s0 = MakeInitialSnapshot(config, 11);
+  Snapshot s1 = EvolveSnapshot(s0, config, 12);
+  FofResult f0 = FriendsOfFriends(s0, 0.8, 50).value();
+  FofResult f1 = FriendsOfFriends(s1, 0.8, 50).value();
+  auto links = LinkHalos(s0, f0, s1, f1, 0.25).value();
+  // Nearly every halo should find a descendant after one small step.
+  EXPECT_GE(links.size(), f0.halos.size() - 1);
+  for (const MergerLink& link : links) {
+    EXPECT_GE(link.fraction, 0.25);
+    EXPECT_GT(link.shared_particles, 0);
+    EXPECT_GE(link.halo_next, 0);
+    EXPECT_LT(link.halo_next, static_cast<int64_t>(f1.halos.size()));
+  }
+}
+
+TEST(Merger, EngineeredMergerIsDetected) {
+  SnapshotConfig config = SmallConfig();
+  Snapshot snap = MakeInitialSnapshot(config, 13);
+  // The engineered pair starts 6 sigma apart approaching at 2 x 100 units
+  // per time unit (2 units per dt = 0.01 step), so they overlap within a
+  // few steps. Walk the snapshots until the merger shows up in the links.
+  FofResult first = FriendsOfFriends(snap, 0.8, 50).value();
+  Snapshot current = snap;
+  int mergers = 0;
+  for (int s = 0; s < 8 && mergers == 0; ++s) {
+    current = EvolveSnapshot(current, config, 100 + s);
+    FofResult now = FriendsOfFriends(current, 0.8, 50).value();
+    auto links = LinkHalos(snap, first, current, now, 0.2).value();
+    // A merger: two earlier halos pointing at the same later halo.
+    std::map<int64_t, int> indegree;
+    for (const MergerLink& link : links) indegree[link.halo_next]++;
+    for (auto& [halo, count] : indegree) {
+      if (count >= 2) ++mergers;
+    }
+  }
+  EXPECT_GE(mergers, 1);
+}
+
+TEST(Bucket, BucketedVsPerPointLayout) {
+  SnapshotConfig config = SmallConfig();
+  Snapshot snap = MakeInitialSnapshot(config, 14);
+  storage::Database db;
+  storage::Table* bucketed = LoadBucketed(snap, &db, "buckets", 4).value();
+  storage::Table* perpoint = LoadPerPoint(snap, &db, "points").value();
+
+  // The paper's motivation: orders of magnitude fewer rows.
+  EXPECT_EQ(perpoint->row_count(),
+            static_cast<int64_t>(snap.particles.size()));
+  EXPECT_LE(bucketed->row_count(), 4 * 4 * 4);
+  EXPECT_LT(bucketed->row_count(), perpoint->row_count() / 10);
+}
+
+TEST(Bucket, LookupFindsParticleViaArrayAccess) {
+  SnapshotConfig config = SmallConfig();
+  Snapshot snap = MakeInitialSnapshot(config, 15);
+  storage::Database db;
+  storage::Table* table = LoadBucketed(snap, &db, "buckets", 4).value();
+  for (size_t i = 0; i < snap.particles.size(); i += 97) {
+    const Particle& p = snap.particles[i];
+    spatial::Vec3 got =
+        LookupBucketedParticle(table, snap, 4, p.id, p.position).value();
+    EXPECT_EQ(got.x, p.position.x);
+    EXPECT_EQ(got.y, p.position.y);
+    EXPECT_EQ(got.z, p.position.z);
+  }
+}
+
+TEST(Lightcone, SelectsConeAndShells) {
+  SnapshotConfig config = SmallConfig();
+  std::vector<Snapshot> snaps{MakeInitialSnapshot(config, 16)};
+  snaps.push_back(EvolveSnapshot(snaps[0], config, 17));
+  snaps.push_back(EvolveSnapshot(snaps[1], config, 18));
+
+  LightconeConfig cone;
+  cone.observer = {-40, 50, 50};
+  cone.direction = {1, 0, 0};
+  cone.half_angle_deg = 25;
+  cone.r0 = 40;
+  cone.shell_depth = 35;
+  auto points = BuildLightcone(snaps, cone).value();
+  ASSERT_GT(points.size(), 0u);
+
+  const spatial::Vec3 axis = cone.direction.Normalized();
+  for (const LightconePoint& p : points) {
+    // Inside the angular cone.
+    spatial::Vec3 d = p.position - cone.observer;
+    double cosang = d.Dot(axis) / d.Norm();
+    EXPECT_GE(cosang, std::cos(25.5 * M_PI / 180));
+    // In the shell assigned to its snapshot (later steps nearer).
+    size_t shell = snaps.size() - 1 - static_cast<size_t>(p.snapshot_step);
+    EXPECT_GE(p.distance, cone.r0 + shell * cone.shell_depth - 1e-9);
+    EXPECT_LE(p.distance, cone.r0 + (shell + 1) * cone.shell_depth + 1e-9);
+    // Doppler shift is radial velocity over c.
+    EXPECT_NEAR(p.doppler_z, p.radial_velocity / cone.speed_of_light,
+                1e-12);
+  }
+}
+
+TEST(Correlation, ClusteredExceedsUniformAtSmallR) {
+  SnapshotConfig config = SmallConfig();
+  Snapshot clustered = MakeInitialSnapshot(config, 19);
+  auto xi = TwoPointCorrelation(clustered, 10.0, 10).value();
+
+  SnapshotConfig uconfig = config;
+  uconfig.num_halos = 0;
+  uconfig.background_particles =
+      static_cast<int>(clustered.particles.size());
+  Snapshot uniform = MakeInitialSnapshot(uconfig, 20);
+  auto uxi = TwoPointCorrelation(uniform, 10.0, 10).value();
+
+  // Strong clustering at small separations; none for the uniform field.
+  EXPECT_GT(xi[1].xi, 5.0);
+  EXPECT_NEAR(uxi[1].xi, 0.0, 0.5);
+  // xi decays with distance for the clustered set.
+  EXPECT_GT(xi[1].xi, xi[8].xi);
+}
+
+TEST(Correlation, ThreePointClusteredExceedsUniform) {
+  SnapshotConfig config = SmallConfig();
+  config.box = 25.0;                // dense enough for non-zero RRR
+  config.particles_per_halo = 80;  // keep triangle counting fast
+  config.background_particles = 400;
+  Snapshot clustered = MakeInitialSnapshot(config, 23);
+  auto zeta = ThreePointEquilateral(clustered, 4.0, 4).value();
+
+  SnapshotConfig uconfig = config;
+  uconfig.num_halos = 0;
+  uconfig.background_particles =
+      static_cast<int>(clustered.particles.size());
+  Snapshot uniform = MakeInitialSnapshot(uconfig, 24);
+  auto uzeta = ThreePointEquilateral(uniform, 4.0, 4).value();
+
+  // Halos produce a large excess of equilateral triangles; a uniform set
+  // stays near the random expectation wherever counts exist.
+  int64_t ddd_clustered = 0, ddd_uniform = 0;
+  for (int b = 0; b < 4; ++b) {
+    ddd_clustered += zeta[b].triplets;
+    ddd_uniform += uzeta[b].triplets;
+  }
+  EXPECT_GT(ddd_clustered, 20 * std::max<int64_t>(1, ddd_uniform));
+  EXPECT_GT(zeta[3].zeta, 3.0);
+  EXPECT_NEAR(uzeta[3].zeta, 0.0, 1.5);
+  EXPECT_FALSE(ThreePointEquilateral(clustered, 60.0, 4).ok());
+  EXPECT_FALSE(ThreePointEquilateral(clustered, 4.0, 0).ok());
+}
+
+TEST(Cosmology, ComovingDistanceKnownValues) {
+  // Flat LCDM (70, 0.3, 0.7): standard textbook values.
+  Cosmology cosmo;
+  EXPECT_EQ(ComovingDistance(cosmo, 0.0).value(), 0.0);
+  // D_C(z=0.5) ~ 1888 Mpc, D_C(z=1) ~ 3303 Mpc for these parameters.
+  EXPECT_NEAR(ComovingDistance(cosmo, 0.5).value(), 1888.0, 10.0);
+  EXPECT_NEAR(ComovingDistance(cosmo, 1.0).value(), 3303.0, 15.0);
+  // Monotone increasing.
+  EXPECT_LT(ComovingDistance(cosmo, 1.0).value(),
+            ComovingDistance(cosmo, 2.0).value());
+  EXPECT_FALSE(ComovingDistance(cosmo, -0.1).ok());
+}
+
+TEST(Cosmology, RedshiftDistanceInverse) {
+  Cosmology cosmo;
+  for (double z : {0.1, 0.5, 1.0, 3.0}) {
+    double d = ComovingDistance(cosmo, z).value();
+    double back = RedshiftAtComovingDistance(cosmo, d).value();
+    EXPECT_NEAR(back, z, 1e-6) << "z=" << z;
+  }
+  EXPECT_EQ(RedshiftAtComovingDistance(cosmo, 0.0).value(), 0.0);
+}
+
+TEST(Cosmology, ObservedRedshiftAndShellVolume) {
+  // Doppler composition: (1+z_cos)(1+v/c) - 1.
+  EXPECT_NEAR(ObservedRedshift(0.0, 300.0), 300.0 / 299792.458, 1e-12);
+  double z_obs = ObservedRedshift(1.0, 299.792458);  // v/c = 1e-3
+  EXPECT_NEAR(z_obs, 1.0 + 2e-3 + 1e-3 * 0, 1.1e-3);
+
+  Cosmology cosmo;
+  double inner = ComovingShellVolume(cosmo, 0.0, 0.5).value();
+  double outer = ComovingShellVolume(cosmo, 0.5, 1.0).value();
+  EXPECT_GT(inner, 0);
+  EXPECT_GT(outer, inner);  // shells grow with distance
+  EXPECT_FALSE(ComovingShellVolume(cosmo, 1.0, 0.5).ok());
+}
+
+TEST(Correlation, Validation) {
+  SnapshotConfig config = SmallConfig();
+  Snapshot snap = MakeInitialSnapshot(config, 21);
+  EXPECT_FALSE(TwoPointCorrelation(snap, -1, 4).ok());
+  EXPECT_FALSE(TwoPointCorrelation(snap, 60.0, 4).ok());  // > box/2
+  EXPECT_FALSE(TwoPointCorrelation(snap, 5.0, 0).ok());
+}
+
+}  // namespace
+}  // namespace sqlarray::nbody

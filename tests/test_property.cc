@@ -1,0 +1,211 @@
+// Randomized property tests: invariants that must hold for arbitrary
+// shapes, dtypes, offsets, and expressions. Seeds are fixed, so failures
+// reproduce deterministically.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/byte_source.h"
+#include "core/concat.h"
+#include "core/ops.h"
+#include "core/stream_ops.h"
+#include "engine/exec.h"
+#include "sql/parser.h"
+#include "sql/session.h"
+#include "udfs/register.h"
+
+namespace sqlarray {
+namespace {
+
+constexpr DType kRealDTypes[] = {DType::kInt8,    DType::kInt16,
+                                 DType::kInt32,   DType::kInt64,
+                                 DType::kFloat32, DType::kFloat64};
+
+Dims RandomShape(Rng* rng, int max_rank, int64_t max_dim) {
+  int rank = static_cast<int>(rng->UniformInt(1, max_rank));
+  Dims dims(rank);
+  for (int k = 0; k < rank; ++k) dims[k] = rng->UniformInt(1, max_dim);
+  return dims;
+}
+
+OwnedArray RandomArray(Rng* rng, DType dtype, const Dims& dims) {
+  OwnedArray a = OwnedArray::Zeros(dtype, dims).value();
+  for (int64_t i = 0; i < a.num_elements(); ++i) {
+    double v = IsIntegerDType(dtype)
+                   ? static_cast<double>(rng->UniformInt(-100, 100))
+                   : rng->Uniform(-100, 100);
+    EXPECT_TRUE(a.SetDouble(i, v).ok());
+  }
+  return a;
+}
+
+class PropertySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PropertySweep, BlobRoundTripAndStreamEquivalence) {
+  Rng rng(1000 + GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    DType dtype = kRealDTypes[rng.UniformInt(0, 5)];
+    Dims dims = RandomShape(&rng, 4, 6);
+    OwnedArray a = RandomArray(&rng, dtype, dims);
+
+    // Serialize / reparse identity.
+    OwnedArray back = OwnedArray::FromBlob(
+        std::vector<uint8_t>(a.blob().begin(), a.blob().end())).value();
+    ASSERT_EQ(back.dims(), a.dims());
+    ASSERT_EQ(back.dtype(), a.dtype());
+    for (int64_t i = 0; i < a.num_elements(); ++i) {
+      ASSERT_EQ(back.ref().GetDouble(i).value(),
+                a.ref().GetDouble(i).value());
+    }
+
+    // Random subarray: local and streamed paths agree element-wise.
+    Dims offset(dims.size()), sizes(dims.size());
+    for (size_t k = 0; k < dims.size(); ++k) {
+      offset[k] = rng.UniformInt(0, dims[k] - 1);
+      sizes[k] = rng.UniformInt(1, dims[k] - offset[k]);
+    }
+    OwnedArray local = Subarray(a.ref(), offset, sizes, false).value();
+    MemoryByteSource source(a.blob());
+    OwnedArray streamed =
+        StreamSubarray(&source, offset, sizes, false).value();
+    ASSERT_EQ(local.dims(), streamed.dims());
+    for (int64_t i = 0; i < local.num_elements(); ++i) {
+      ASSERT_EQ(local.ref().GetDouble(i).value(),
+                streamed.ref().GetDouble(i).value());
+    }
+
+    // Every subarray element equals direct indexing into the source.
+    for (int probe = 0; probe < 5; ++probe) {
+      Dims idx(dims.size());
+      Dims global(dims.size());
+      for (size_t k = 0; k < dims.size(); ++k) {
+        idx[k] = rng.UniformInt(0, sizes[k] - 1);
+        global[k] = offset[k] + idx[k];
+      }
+      ASSERT_EQ(local.ref().GetDoubleAt(idx).value(),
+                a.ref().GetDoubleAt(global).value());
+    }
+  }
+}
+
+TEST_P(PropertySweep, ReshapeIsOrderPreservingAndInvertible) {
+  Rng rng(2000 + GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    DType dtype = kRealDTypes[rng.UniformInt(0, 5)];
+    Dims dims = RandomShape(&rng, 3, 8);
+    OwnedArray a = RandomArray(&rng, dtype, dims);
+    int64_t n = a.num_elements();
+
+    // Reshape to a flat vector and back: identity.
+    OwnedArray flat = Reshape(a.ref(), {n}).value();
+    OwnedArray back = Reshape(flat.ref(), dims).value();
+    for (int64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(back.ref().GetDouble(i).value(),
+                a.ref().GetDouble(i).value());
+    }
+  }
+}
+
+TEST_P(PropertySweep, ConcatToTableRoundTrip) {
+  Rng rng(3000 + GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    DType dtype = kRealDTypes[rng.UniformInt(0, 5)];
+    Dims dims = RandomShape(&rng, 3, 6);
+    OwnedArray a = RandomArray(&rng, dtype, dims);
+    auto rows = ToTable(a.ref()).value();
+    ConcatBuilder b = ConcatBuilder::Create(dtype, dims).value();
+    for (const ArrayTableRow& r : rows) {
+      ASSERT_TRUE(b.Add(r.index, r.value).ok());
+    }
+    OwnedArray back = std::move(b).Finish().value();
+    for (int64_t i = 0; i < a.num_elements(); ++i) {
+      ASSERT_EQ(back.ref().GetDouble(i).value(),
+                a.ref().GetDouble(i).value());
+    }
+  }
+}
+
+TEST_P(PropertySweep, StringRoundTripExact) {
+  Rng rng(4000 + GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    DType dtype = kRealDTypes[rng.UniformInt(0, 5)];
+    Dims dims = RandomShape(&rng, 3, 5);
+    OwnedArray a = RandomArray(&rng, dtype, dims);
+    OwnedArray back = FromArrayString(ToArrayString(a.ref())).value();
+    ASSERT_EQ(back.dtype(), a.dtype());
+    ASSERT_EQ(back.dims(), a.dims());
+    for (int64_t i = 0; i < a.num_elements(); ++i) {
+      ASSERT_EQ(back.ref().GetDouble(i).value(),
+                a.ref().GetDouble(i).value());
+    }
+  }
+}
+
+TEST_P(PropertySweep, AxisAggregatesMatchManualReduction) {
+  Rng rng(5000 + GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    Dims dims = RandomShape(&rng, 3, 5);
+    OwnedArray a = RandomArray(&rng, DType::kFloat64, dims);
+    int axis = static_cast<int>(rng.UniformInt(0, a.rank() - 1));
+    OwnedArray sums = AggregateAxis(a.ref(), axis, AggKind::kSum).value();
+
+    // Total of axis sums equals the whole-array sum.
+    double total = AggregateAll(sums.ref(), AggKind::kSum).value();
+    double expect = AggregateAll(a.ref(), AggKind::kSum).value();
+    ASSERT_NEAR(total, expect, 1e-9 * (1 + std::fabs(expect)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SQL expression fuzz: random integer arithmetic trees evaluated through the
+// full lexer/parser/session stack must equal direct evaluation.
+// ---------------------------------------------------------------------------
+
+struct IntExpr {
+  std::string sql;
+  int64_t value;
+};
+
+IntExpr RandomIntExpr(Rng* rng, int depth) {
+  if (depth == 0 || rng->Bernoulli(0.3)) {
+    int64_t v = rng->UniformInt(-20, 20);
+    if (v < 0) {
+      // Parenthesize negatives so unary minus composes cleanly.
+      return {"(" + std::to_string(v) + ")", v};
+    }
+    return {std::to_string(v), v};
+  }
+  IntExpr lhs = RandomIntExpr(rng, depth - 1);
+  IntExpr rhs = RandomIntExpr(rng, depth - 1);
+  switch (rng->UniformInt(0, 2)) {
+    case 0:
+      return {"(" + lhs.sql + " + " + rhs.sql + ")", lhs.value + rhs.value};
+    case 1:
+      return {"(" + lhs.sql + " - " + rhs.sql + ")", lhs.value - rhs.value};
+    default:
+      return {"(" + lhs.sql + " * " + rhs.sql + ")", lhs.value * rhs.value};
+  }
+}
+
+TEST_P(PropertySweep, SqlExpressionFuzzMatchesDirectEvaluation) {
+  storage::Database db;
+  engine::FunctionRegistry registry;
+  ASSERT_TRUE(udfs::RegisterAllUdfs(&registry).ok());
+  engine::Executor executor(&db, &registry);
+  sql::Session session(&executor);
+
+  Rng rng(6000 + GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    IntExpr e = RandomIntExpr(&rng, 4);
+    auto results = session.Execute("SELECT " + e.sql);
+    ASSERT_TRUE(results.ok()) << e.sql;
+    ASSERT_EQ((*results)[0].ScalarResult().value().AsInt().value(), e.value)
+        << e.sql;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySweep, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace sqlarray

@@ -1,0 +1,263 @@
+// Tests for spatial structures: z-order codec, kd-tree, octree, geometry.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "spatial/geometry.h"
+#include "spatial/kdtree.h"
+#include "spatial/octree.h"
+#include "spatial/zorder.h"
+
+namespace sqlarray::spatial {
+namespace {
+
+TEST(Zorder, EncodeDecodeRoundTrip) {
+  Rng rng(1);
+  for (int trial = 0; trial < 1000; ++trial) {
+    uint32_t x = static_cast<uint32_t>(rng.UniformInt(0, kMaxZCoord));
+    uint32_t y = static_cast<uint32_t>(rng.UniformInt(0, kMaxZCoord));
+    uint32_t z = static_cast<uint32_t>(rng.UniformInt(0, kMaxZCoord));
+    auto back = MortonDecode3(MortonEncode3(x, y, z));
+    EXPECT_EQ(back[0], x);
+    EXPECT_EQ(back[1], y);
+    EXPECT_EQ(back[2], z);
+  }
+}
+
+TEST(Zorder, KnownInterleaving) {
+  EXPECT_EQ(MortonEncode3(1, 0, 0), 1u);
+  EXPECT_EQ(MortonEncode3(0, 1, 0), 2u);
+  EXPECT_EQ(MortonEncode3(0, 0, 1), 4u);
+  EXPECT_EQ(MortonEncode3(1, 1, 1), 7u);
+  EXPECT_EQ(MortonEncode3(2, 0, 0), 8u);
+}
+
+TEST(Zorder, LocalityOfAdjacentCells) {
+  // Cells adjacent in x within an aligned pair differ in the lowest bits.
+  uint64_t a = MortonEncode3(4, 5, 6);
+  uint64_t b = MortonEncode3(5, 5, 6);
+  EXPECT_EQ(b - a, 1u);
+}
+
+TEST(Zorder, CellOfWrapsPeriodically) {
+  uint64_t inside = MortonCellOf(1.0, 2.0, 3.0, 10.0, 10);
+  uint64_t wrapped = MortonCellOf(11.0, 12.0, 13.0, 10.0, 10);
+  EXPECT_EQ(inside, wrapped);
+  uint64_t negative = MortonCellOf(-9.0, 2.0, 3.0, 10.0, 10);
+  EXPECT_EQ(inside, negative);
+}
+
+std::vector<double> RandomPoints(int64_t n, int dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> pts(n * dim);
+  for (double& v : pts) v = rng.Uniform(-10, 10);
+  return pts;
+}
+
+std::vector<Neighbor> BruteNearest(const std::vector<double>& pts, int dim,
+                                   std::span<const double> q, int k) {
+  int64_t n = static_cast<int64_t>(pts.size()) / dim;
+  std::vector<Neighbor> all(n);
+  for (int64_t i = 0; i < n; ++i) {
+    double d = 0;
+    for (int j = 0; j < dim; ++j) {
+      double diff = pts[i * dim + j] - q[j];
+      d += diff * diff;
+    }
+    all[i] = {i, d};
+  }
+  std::sort(all.begin(), all.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              return a.dist_sq < b.dist_sq;
+            });
+  all.resize(std::min<int64_t>(k, n));
+  return all;
+}
+
+class KdTreeDims : public ::testing::TestWithParam<int> {};
+
+TEST_P(KdTreeDims, NearestMatchesBruteForce) {
+  const int dim = GetParam();
+  std::vector<double> pts = RandomPoints(500, dim, 42 + dim);
+  KdTree tree = KdTree::Build(pts, dim).value();
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> q(dim);
+    for (double& v : q) v = rng.Uniform(-12, 12);
+    auto got = tree.Nearest(q, 5);
+    auto expect = BruteNearest(pts, dim, q, 5);
+    ASSERT_EQ(got.size(), expect.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got[i].dist_sq, expect[i].dist_sq, 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, KdTreeDims, ::testing::Values(1, 2, 3, 5, 10));
+
+TEST(KdTree, RadiusMatchesBruteForce) {
+  const int dim = 3;
+  std::vector<double> pts = RandomPoints(400, dim, 9);
+  KdTree tree = KdTree::Build(pts, dim).value();
+  std::vector<double> q{0, 0, 0};
+  const double radius = 4.0;
+  auto got = tree.WithinRadius(q, radius);
+  std::set<int64_t> got_ids;
+  for (const Neighbor& n : got) {
+    got_ids.insert(n.id);
+    EXPECT_LE(n.dist_sq, radius * radius + 1e-12);
+  }
+  auto all = BruteNearest(pts, dim, q, 400);
+  std::set<int64_t> expect_ids;
+  for (const Neighbor& n : all) {
+    if (n.dist_sq <= radius * radius) expect_ids.insert(n.id);
+  }
+  EXPECT_EQ(got_ids, expect_ids);
+}
+
+TEST(KdTree, EdgeCases) {
+  EXPECT_FALSE(KdTree::Build({1.0, 2.0, 3.0}, 2).ok());  // length % dim != 0
+  EXPECT_FALSE(KdTree::Build({}, 0).ok());
+  KdTree empty = KdTree::Build({}, 3).value();
+  EXPECT_TRUE(empty.Nearest(std::vector<double>{0, 0, 0}, 3).empty());
+  KdTree one = KdTree::Build({1.0, 2.0}, 2).value();
+  auto nn = one.Nearest(std::vector<double>{0, 0}, 5);
+  ASSERT_EQ(nn.size(), 1u);  // k clamped to point count
+  EXPECT_EQ(nn[0].id, 0);
+}
+
+TEST(KdTree, DuplicatePointsAllReturned) {
+  std::vector<double> pts{1, 1, 1, 1, 1, 1};  // three copies of (1,1)... 2D
+  KdTree tree = KdTree::Build(pts, 2).value();
+  auto nn = tree.Nearest(std::vector<double>{1, 1}, 3);
+  EXPECT_EQ(nn.size(), 3u);
+  for (const Neighbor& n : nn) EXPECT_EQ(n.dist_sq, 0.0);
+}
+
+Aabb UnitBox(double edge) { return {{0, 0, 0}, {edge, edge, edge}}; }
+
+TEST(Octree, QueryBoxMatchesBruteForce) {
+  Rng rng(13);
+  std::vector<Vec3> pts(800);
+  for (Vec3& p : pts) {
+    p = {rng.Uniform(0, 100), rng.Uniform(0, 100), rng.Uniform(0, 100)};
+  }
+  Octree tree = Octree::Build(pts, UnitBox(100), 32).value();
+  Aabb query{{20, 30, 40}, {50, 60, 70}};
+  auto got = tree.Query(query);
+  std::set<int64_t> got_ids(got.begin(), got.end());
+  std::set<int64_t> expect;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (query.Contains(pts[i])) expect.insert(static_cast<int64_t>(i));
+  }
+  EXPECT_EQ(got_ids, expect);
+}
+
+TEST(Octree, QuerySphereMatchesBruteForce) {
+  Rng rng(14);
+  std::vector<Vec3> pts(800);
+  for (Vec3& p : pts) {
+    p = {rng.Uniform(0, 100), rng.Uniform(0, 100), rng.Uniform(0, 100)};
+  }
+  Octree tree = Octree::Build(pts, UnitBox(100), 16).value();
+  Sphere query{{50, 50, 50}, 22.0};
+  auto got = tree.Query(query);
+  std::set<int64_t> got_ids(got.begin(), got.end());
+  std::set<int64_t> expect;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (query.Contains(pts[i])) expect.insert(static_cast<int64_t>(i));
+  }
+  EXPECT_EQ(got_ids, expect);
+}
+
+TEST(Octree, QueryConeMatchesBruteForce) {
+  Rng rng(15);
+  std::vector<Vec3> pts(1000);
+  for (Vec3& p : pts) {
+    p = {rng.Uniform(0, 100), rng.Uniform(0, 100), rng.Uniform(0, 100)};
+  }
+  Octree tree = Octree::Build(pts, UnitBox(100), 16).value();
+  Cone cone;
+  cone.apex = {-20, 50, 50};
+  cone.axis = Vec3{1, 0, 0}.Normalized();
+  cone.cos_half_angle = std::cos(25.0 * M_PI / 180.0);
+  cone.r_min = 30;
+  cone.r_max = 90;
+  auto got = tree.Query(cone);
+  std::set<int64_t> got_ids(got.begin(), got.end());
+  std::set<int64_t> expect;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (cone.Contains(pts[i])) expect.insert(static_cast<int64_t>(i));
+  }
+  EXPECT_EQ(got_ids, expect);
+}
+
+TEST(Octree, BucketCapacityRespected) {
+  Rng rng(16);
+  std::vector<Vec3> pts(2000);
+  for (Vec3& p : pts) {
+    p = {rng.Uniform(0, 10), rng.Uniform(0, 10), rng.Uniform(0, 10)};
+  }
+  Octree tree = Octree::Build(pts, UnitBox(10), 100).value();
+  int64_t total = 0;
+  tree.ForEachBucket([&](const Aabb&, std::span<const int64_t> ids) {
+    EXPECT_LE(ids.size(), 100u);
+    total += static_cast<int64_t>(ids.size());
+  });
+  EXPECT_EQ(total, 2000);
+  EXPECT_GT(tree.bucket_count(), 1);
+}
+
+TEST(Octree, DecimationConservesWeight) {
+  Rng rng(17);
+  std::vector<Vec3> pts(1500);
+  for (Vec3& p : pts) {
+    p = {rng.Uniform(0, 10), rng.Uniform(0, 10), rng.Uniform(0, 10)};
+  }
+  Octree tree = Octree::Build(pts, UnitBox(10), 64).value();
+  for (int depth = 0; depth <= tree.max_depth(); ++depth) {
+    auto dec = tree.Decimate(depth);
+    double total = 0;
+    for (const DecimatedPoint& d : dec) total += d.weight;
+    EXPECT_EQ(total, 1500.0) << "depth " << depth;
+  }
+  // Deeper levels give more, lighter representatives.
+  EXPECT_LT(tree.Decimate(0).size(), tree.Decimate(tree.max_depth()).size());
+}
+
+TEST(Octree, RejectsOutOfBoundsPoints) {
+  std::vector<Vec3> pts{{5, 5, 15}};
+  EXPECT_FALSE(Octree::Build(pts, UnitBox(10), 8).ok());
+  EXPECT_FALSE(Octree::Build({}, UnitBox(10), 0).ok());
+}
+
+TEST(Geometry, ConeContainsBasics) {
+  Cone cone;
+  cone.apex = {0, 0, 0};
+  cone.axis = {1, 0, 0};
+  cone.cos_half_angle = std::cos(30.0 * M_PI / 180.0);
+  cone.r_min = 1;
+  cone.r_max = 10;
+  EXPECT_TRUE(cone.Contains({5, 0, 0}));
+  EXPECT_TRUE(cone.Contains({5, 2, 0}));      // ~21.8 deg off axis
+  EXPECT_FALSE(cone.Contains({5, 4, 0}));     // ~38.7 deg off axis
+  EXPECT_FALSE(cone.Contains({0.5, 0, 0}));   // inside r_min
+  EXPECT_FALSE(cone.Contains({11, 0, 0}));    // beyond r_max
+  EXPECT_FALSE(cone.Contains({-5, 0, 0}));    // behind the apex
+}
+
+TEST(Geometry, AabbAndSphere) {
+  Aabb box{{0, 0, 0}, {2, 2, 2}};
+  EXPECT_TRUE(box.Contains({1, 1, 1}));
+  EXPECT_FALSE(box.Contains({2, 1, 1}));  // hi edge exclusive
+  Sphere s{{1, 1, 1}, 0.5};
+  EXPECT_TRUE(s.MayIntersect(box));
+  Sphere far{{100, 0, 0}, 1.0};
+  EXPECT_FALSE(far.MayIntersect(box));
+}
+
+}  // namespace
+}  // namespace sqlarray::spatial

@@ -1,0 +1,441 @@
+// Tests for the T-SQL frontend: lexer, parser, session — including the
+// paper's exact Sec. 5.1 statements and the Sec. 8 subscript sugar.
+#include <gtest/gtest.h>
+
+#include "core/array.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "sql/session.h"
+#include "udfs/register.h"
+
+namespace sqlarray::sql {
+namespace {
+
+using engine::Value;
+
+TEST(Lexer, TokenKinds) {
+  auto tokens = Lex("SELECT @a = 1.5, 0xAB12 'str' (x) [1:2]").value();
+  ASSERT_GE(tokens.size(), 12u);
+  EXPECT_TRUE(tokens[0].IsKeyword("select"));
+  EXPECT_EQ(tokens[1].type, TokenType::kVariable);
+  EXPECT_EQ(tokens[1].text, "a");
+  EXPECT_EQ(tokens[2].type, TokenType::kEq);
+  EXPECT_EQ(tokens[3].type, TokenType::kFloat);
+  EXPECT_EQ(tokens[3].float_value, 1.5);
+  EXPECT_EQ(tokens[5].type, TokenType::kBinary);
+  EXPECT_EQ(tokens[5].binary_value, (std::vector<uint8_t>{0xAB, 0x12}));
+  EXPECT_EQ(tokens[6].type, TokenType::kString);
+  EXPECT_EQ(tokens[6].text, "str");
+}
+
+TEST(Lexer, CommentsAndOperators) {
+  auto tokens = Lex("a -- line comment\n /* block */ <= <> >= !=").value();
+  EXPECT_EQ(tokens[0].type, TokenType::kIdent);
+  EXPECT_EQ(tokens[1].type, TokenType::kLe);
+  EXPECT_EQ(tokens[2].type, TokenType::kNe);
+  EXPECT_EQ(tokens[3].type, TokenType::kGe);
+  EXPECT_EQ(tokens[4].type, TokenType::kNe);
+}
+
+TEST(Lexer, Errors) {
+  EXPECT_FALSE(Lex("'unterminated").ok());
+  EXPECT_FALSE(Lex("@ alone").ok());
+  EXPECT_FALSE(Lex("0xABC").ok());  // odd hex digits
+  EXPECT_FALSE(Lex("/* open").ok());
+  EXPECT_FALSE(Lex("a ? b").ok());
+}
+
+TEST(Lexer, EscapedQuoteInString) {
+  auto tokens = Lex("'it''s'").value();
+  EXPECT_EQ(tokens[0].text, "it's");
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  // 1 + 2 * 3 parses as 1 + (2 * 3).
+  engine::ExprPtr e = ParseExpression("1 + 2 * 3").value();
+  ASSERT_EQ(e->kind, engine::Expr::Kind::kBinary);
+  EXPECT_EQ(e->binary_op, engine::BinaryOp::kAdd);
+  EXPECT_EQ(e->args[1]->binary_op, engine::BinaryOp::kMul);
+}
+
+TEST(Parser, SchemaQualifiedCall) {
+  engine::ExprPtr e =
+      ParseExpression("FloatArray.Vector_2(1.0, 2.0)").value();
+  ASSERT_EQ(e->kind, engine::Expr::Kind::kCall);
+  EXPECT_EQ(e->schema_name, "FloatArray");
+  EXPECT_EQ(e->func_name, "Vector_2");
+  EXPECT_EQ(e->args.size(), 2u);
+}
+
+TEST(Parser, SubscriptSugarDesugarsToItem) {
+  engine::ExprPtr e = ParseExpression("@a[1, 2]").value();
+  ASSERT_EQ(e->kind, engine::Expr::Kind::kCall);
+  EXPECT_EQ(e->schema_name, "Array");
+  EXPECT_EQ(e->func_name, "Item");
+  EXPECT_EQ(e->args.size(), 3u);
+}
+
+TEST(Parser, SliceSugarDesugarsToSlice) {
+  engine::ExprPtr e = ParseExpression("@a[1:5, 2]").value();
+  ASSERT_EQ(e->kind, engine::Expr::Kind::kCall);
+  EXPECT_EQ(e->func_name, "Slice");
+  EXPECT_EQ(e->args.size(), 7u);  // arr + 2 dims * 3
+}
+
+TEST(Parser, StatementsParse) {
+  EXPECT_TRUE(Parse("DECLARE @a VARBINARY(100) = 1").ok());
+  EXPECT_TRUE(Parse("SET @a = 2").ok());
+  EXPECT_TRUE(Parse("SELECT 1; SELECT 2").ok());
+  EXPECT_TRUE(Parse("SELECT TOP 5 id FROM t WITH (NOLOCK) WHERE id > 3 "
+                    "GROUP BY id")
+                  .ok());
+  EXPECT_TRUE(
+      Parse("CREATE TABLE t (id BIGINT, v VARBINARY(MAX))").ok());
+  EXPECT_TRUE(Parse("INSERT INTO t VALUES (1, 0x00), (2, 0x01)").ok());
+  EXPECT_FALSE(Parse("DROP TABLE t").ok());
+  EXPECT_FALSE(Parse("SELECT FROM").ok());
+}
+
+class SessionTest : public ::testing::Test {
+ protected:
+  SessionTest()
+      : executor_(&db_, &registry_), session_(&executor_) {
+    EXPECT_TRUE(udfs::RegisterAllUdfs(&registry_).ok());
+  }
+
+  /// Runs a script expecting success.
+  std::vector<engine::ResultSet> Run(const std::string& sqltext) {
+    auto r = session_.Execute(sqltext);
+    EXPECT_TRUE(r.ok()) << r.status().ToString() << "\nSQL: " << sqltext;
+    return r.ok() ? std::move(r).value() : std::vector<engine::ResultSet>{};
+  }
+
+  /// Fetches the array currently held by a session variable.
+  OwnedArray VarArray(const std::string& name) {
+    Value v = session_.GetVariable(name).value();
+    return OwnedArray::FromBlob(v.MaterializeBytes().value()).value();
+  }
+
+  storage::Database db_;
+  engine::FunctionRegistry registry_;
+  engine::Executor executor_;
+  Session session_;
+};
+
+TEST_F(SessionTest, PaperExampleVectorAndItem) {
+  // Sec. 5.1: DECLARE @a ... = FloatArray.Vector_5(...); Item_1(@a, 3).
+  Run("DECLARE @a VARBINARY(100) = "
+      "FloatArray.Vector_5(1.0, 2.0, 3.0, 4.0, 5.0)");
+  auto results = Run("SELECT FloatArray.Item_1(@a, 3)");
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].ScalarResult().value().AsDouble().value(), 4.0);
+}
+
+TEST_F(SessionTest, PaperExampleMatrixItem2) {
+  Run("DECLARE @m VARBINARY(100) = "
+      "FloatArray.Matrix_2(0.1, 0.2, 0.3, 0.4)");
+  auto results = Run("SELECT FloatArray.Item_2(@m, 1, 0)");
+  // Column-major: (1,0) is the second listed element.
+  EXPECT_NEAR(results[0].ScalarResult().value().AsDouble().value(), 0.2,
+              1e-12);
+}
+
+TEST_F(SessionTest, PaperExampleUpdateItem) {
+  Run("DECLARE @a VARBINARY(100) = FloatArray.Vector_5(1, 2, 3, 4, 5)");
+  Run("SET @a = FloatArray.UpdateItem_1(@a, 3, 4.5)");
+  auto results = Run("SELECT FloatArray.Item_1(@a, 3)");
+  EXPECT_EQ(results[0].ScalarResult().value().AsDouble().value(), 4.5);
+}
+
+TEST_F(SessionTest, PaperExampleSubarray) {
+  // A 10x10x10 max array of floats, subset 5x5x5 at (1, 4, 6) (Sec. 5.1).
+  Run("DECLARE @a VARBINARY(MAX) = FloatArrayMax.Create(12, 12, 12)");
+  Run("DECLARE @b VARBINARY(MAX)");
+  Run("SET @a = FloatArrayMax.UpdateItem_3(@a, 2, 5, 7, 42.0)");
+  Run("SET @b = FloatArrayMax.Subarray(@a, "
+      "IntArray.Vector_3(1, 4, 6), IntArray.Vector_3(5, 5, 5), 0)");
+  OwnedArray b = VarArray("b");
+  EXPECT_EQ(b.dims(), (Dims{5, 5, 5}));
+  EXPECT_EQ(b.ref().GetDoubleAt(Dims{1, 1, 1}).value(), 42.0);
+}
+
+TEST_F(SessionTest, SubarrayCollapseFlag) {
+  Run("DECLARE @m VARBINARY(100) = FloatArray.Matrix_2(1, 2, 3, 4)");
+  Run("DECLARE @col VARBINARY(100)");
+  Run("SET @col = FloatArray.Subarray(@m, IntArray.Vector_2(0, 1), "
+      "IntArray.Vector_2(2, 1), 1)");
+  OwnedArray col = VarArray("col");
+  EXPECT_EQ(col.dims(), (Dims{2}));
+  EXPECT_EQ(col.ref().GetDouble(0).value(), 3.0);
+}
+
+TEST_F(SessionTest, TableScanWithAggregates) {
+  Run("CREATE TABLE nums (id BIGINT, v FLOAT)");
+  Run("INSERT INTO nums VALUES (1, 1.5), (2, 2.5), (3, 3.0)");
+  auto results =
+      Run("SELECT COUNT(*), SUM(v), MIN(v), MAX(v), AVG(v) FROM nums");
+  const auto& row = results[0].rows[0];
+  EXPECT_EQ(row[0].AsInt().value(), 3);
+  EXPECT_EQ(row[1].AsDouble().value(), 7.0);
+  EXPECT_EQ(row[2].AsDouble().value(), 1.5);
+  EXPECT_EQ(row[3].AsDouble().value(), 3.0);
+  EXPECT_NEAR(row[4].AsDouble().value(), 7.0 / 3, 1e-12);
+}
+
+TEST_F(SessionTest, NolockScanAndWhere) {
+  Run("CREATE TABLE t (id BIGINT, v FLOAT)");
+  Run("INSERT INTO t VALUES (1, 10.0), (2, 20.0), (3, 30.0)");
+  auto results =
+      Run("SELECT SUM(v) FROM t WITH (NOLOCK) WHERE id >= 2");
+  EXPECT_EQ(results[0].ScalarResult().value().AsDouble().value(), 50.0);
+}
+
+TEST_F(SessionTest, PaperExampleConcatAggregate) {
+  // Sec. 5.1: assemble an array from rows with the Concat UDA.
+  Run("CREATE TABLE cells (id BIGINT, ix BIGINT, v FLOAT)");
+  Run("INSERT INTO cells VALUES (1, 0, 10.0), (2, 1, 11.0), (3, 2, 12.0), "
+      "(4, 3, 13.0)");
+  Run("DECLARE @l VARBINARY(100) = IntArray.Vector_1(4)");
+  Run("DECLARE @a VARBINARY(MAX)");
+  Run("SELECT @a = FloatArrayMax.Concat(@l, ix, v) FROM cells");
+  OwnedArray a = VarArray("a");
+  EXPECT_EQ(a.dims(), (Dims{4}));
+  EXPECT_EQ(a.ref().GetDouble(2).value(), 12.0);
+}
+
+TEST_F(SessionTest, ReaderStyleConcatQueryMatchesUda) {
+  Run("CREATE TABLE cells2 (id BIGINT, ix BIGINT, v FLOAT)");
+  Run("INSERT INTO cells2 VALUES (1, 0, 5.0), (2, 1, 6.0), (3, 2, 7.0)");
+  Run("DECLARE @l VARBINARY(100) = IntArray.Vector_1(3)");
+  Run("DECLARE @u VARBINARY(MAX)");
+  Run("DECLARE @r VARBINARY(MAX)");
+  Run("SELECT @u = FloatArrayMax.Concat(@l, ix, v) FROM cells2");
+  Run("SET @r = FloatArrayMax.ConcatQuery(@l, "
+      "'SELECT ix, v FROM cells2')");
+  OwnedArray u = VarArray("u");
+  OwnedArray r = VarArray("r");
+  ASSERT_EQ(u.dims(), r.dims());
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(u.ref().GetDouble(i).value(), r.ref().GetDouble(i).value());
+  }
+}
+
+TEST_F(SessionTest, SubscriptSugarReadsAndSlices) {
+  Run("DECLARE @a VARBINARY(100) = FloatArray.Vector_5(10, 20, 30, 40, 50)");
+  auto results = Run("SELECT @a[3]");
+  EXPECT_EQ(results[0].ScalarResult().value().AsDouble().value(), 40.0);
+
+  Run("DECLARE @m VARBINARY(100) = FloatArray.Matrix_2(1, 2, 3, 4)");
+  auto item = Run("SELECT @m[1, 1]");
+  EXPECT_EQ(item[0].ScalarResult().value().AsDouble().value(), 4.0);
+
+  // Slice: first column of the matrix as a vector.
+  Run("DECLARE @col VARBINARY(100)");
+  Run("SET @col = @m[0:2, 0]");
+  OwnedArray col = VarArray("col");
+  EXPECT_EQ(col.dims(), (Dims{2}));
+  EXPECT_EQ(col.ref().GetDouble(1).value(), 2.0);
+}
+
+TEST_F(SessionTest, SubscriptSugarAssignment) {
+  Run("DECLARE @a VARBINARY(100) = FloatArray.Vector_3(1, 2, 3)");
+  Run("SET @a[1] = 99");
+  auto results = Run("SELECT @a[1]");
+  EXPECT_EQ(results[0].ScalarResult().value().AsDouble().value(), 99.0);
+}
+
+TEST_F(SessionTest, ArrayStringAndIntrospection) {
+  Run("DECLARE @a VARBINARY(100) = FloatArray.Vector_3(1, 2, 3)");
+  auto rank = Run("SELECT Array.Rank(@a)");
+  EXPECT_EQ(rank[0].ScalarResult().value().AsInt().value(), 1);
+  auto len = Run("SELECT Array.Length(@a)");
+  EXPECT_EQ(len[0].ScalarResult().value().AsInt().value(), 3);
+  auto name = Run("SELECT Array.TypeName(@a)");
+  EXPECT_EQ(name[0].ScalarResult().value().AsString().value(), "float64");
+}
+
+TEST_F(SessionTest, ErrorsSurfaceCleanly) {
+  EXPECT_FALSE(session_.Execute("SET @undeclared = 1").ok());
+  EXPECT_FALSE(session_.Execute("SELECT * FROM missing_table").ok());
+  EXPECT_FALSE(session_.Execute("SELECT Bogus.Func(1)").ok());
+  Run("DECLARE @a VARBINARY(100) = FloatArray.Vector_2(1, 2)");
+  // Out-of-bounds item is a runtime error.
+  EXPECT_FALSE(session_.Execute("SELECT FloatArray.Item_1(@a, 7)").ok());
+}
+
+TEST_F(SessionTest, TypeMismatchDetectedAtRuntime) {
+  // Paper Sec. 3.5: passing a blob to the wrong schema's function fails.
+  Run("DECLARE @a VARBINARY(100) = FloatArray.Vector_2(1, 2)");
+  EXPECT_FALSE(session_.Execute("SELECT IntArray.Item_1(@a, 0)").ok());
+  EXPECT_FALSE(
+      session_.Execute("SELECT FloatArrayMax.Item_1(@a, 0)").ok());
+}
+
+TEST_F(SessionTest, GroupByInSql) {
+  Run("CREATE TABLE g (id BIGINT, k BIGINT, v FLOAT)");
+  Run("INSERT INTO g VALUES (1, 0, 1.0), (2, 1, 2.0), (3, 0, 3.0), "
+      "(4, 1, 4.0)");
+  auto results = Run("SELECT k, SUM(v) FROM g GROUP BY k");
+  ASSERT_EQ(results[0].rows.size(), 2u);
+  double total = 0;
+  for (const auto& row : results[0].rows) {
+    total += row[1].AsDouble().value();
+  }
+  EXPECT_EQ(total, 10.0);
+}
+
+TEST_F(SessionTest, TableValuedFunctionExplodesArray) {
+  // Sec. 5.1: "Arrays can be converted to tables by various table-valued
+  // functions, e.g. ToTable, MatrixToTable etc."
+  Run("DECLARE @a VARBINARY(100) = FloatArray.Vector_4(10, 20, 30, 40)");
+  auto rows = Run("SELECT ix, v FROM FloatArray.ToTable(@a)");
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].rows.size(), 4u);
+  EXPECT_EQ(rows[0].rows[2][0].AsInt().value(), 2);
+  EXPECT_EQ(rows[0].rows[2][1].AsDouble().value(), 30.0);
+}
+
+TEST_F(SessionTest, MatrixToTableYieldsTwoIndexColumns) {
+  Run("DECLARE @m VARBINARY(100) = FloatArray.Matrix_2(1, 2, 3, 4)");
+  auto rows = Run("SELECT ix, iy, v FROM FloatArray.MatrixToTable(@m)");
+  ASSERT_EQ(rows[0].rows.size(), 4u);
+  // Column-major: second row is (1, 0, 2.0).
+  EXPECT_EQ(rows[0].rows[1][0].AsInt().value(), 1);
+  EXPECT_EQ(rows[0].rows[1][1].AsInt().value(), 0);
+  EXPECT_EQ(rows[0].rows[1][2].AsDouble().value(), 2.0);
+}
+
+TEST_F(SessionTest, TvfWithAggregatesAndWhere) {
+  Run("DECLARE @a VARBINARY(100) = FloatArray.Vector_5(1, 2, 3, 4, 5)");
+  auto sum = Run("SELECT SUM(v) FROM FloatArray.ToTable(@a) WHERE ix >= 2");
+  EXPECT_EQ(sum[0].ScalarResult().value().AsDouble().value(), 12.0);
+  auto count = Run("SELECT COUNT(*) FROM FloatArray.ToTable(@a)");
+  EXPECT_EQ(count[0].ScalarResult().value().AsInt().value(), 5);
+}
+
+TEST_F(SessionTest, TvfRoundTripThroughConcat) {
+  // Explode an array to rows and reassemble it with the Concat aggregate.
+  Run("DECLARE @a VARBINARY(100) = FloatArray.Vector_3(7, 8, 9)");
+  Run("DECLARE @dims VARBINARY(100) = IntArray.Vector_1(3)");
+  Run("DECLARE @back VARBINARY(MAX)");
+  Run("SELECT @back = FloatArrayMax.Concat(@dims, ix, v) "
+      "FROM FloatArray.ToTable(@a)");
+  OwnedArray back = VarArray("back");
+  EXPECT_EQ(back.dims(), (Dims{3}));
+  EXPECT_EQ(back.ref().GetDouble(2).value(), 9.0);
+}
+
+TEST_F(SessionTest, TvfErrors) {
+  Run("DECLARE @a VARBINARY(100) = FloatArray.Vector_3(1, 2, 3)");
+  // Wrong rank for MatrixToTable.
+  EXPECT_FALSE(
+      session_.Execute("SELECT v FROM FloatArray.MatrixToTable(@a)").ok());
+  // Wrong schema.
+  EXPECT_FALSE(
+      session_.Execute("SELECT v FROM IntArray.ToTable(@a)").ok());
+  // Unknown TVF.
+  EXPECT_FALSE(
+      session_.Execute("SELECT v FROM FloatArray.NoSuchTvf(@a)").ok());
+  // Wrong arity.
+  EXPECT_FALSE(
+      session_.Execute("SELECT v FROM FloatArray.ToTable(@a, 1)").ok());
+}
+
+TEST_F(SessionTest, InsertIntoSelectCopiesAndTransforms) {
+  Run("CREATE TABLE src (id BIGINT, v FLOAT)");
+  Run("INSERT INTO src VALUES (1, 1.5), (2, 2.5), (3, 3.5)");
+  Run("CREATE TABLE dst (id BIGINT, doubled FLOAT)");
+  Run("INSERT INTO dst SELECT id, v * 2 FROM src");
+  auto rows = Run("SELECT doubled FROM dst ORDER BY 1");
+  ASSERT_EQ(rows[0].rows.size(), 3u);
+  EXPECT_EQ(rows[0].rows[0][0].AsDouble().value(), 3.0);
+  EXPECT_EQ(rows[0].rows[2][0].AsDouble().value(), 7.0);
+}
+
+TEST_F(SessionTest, InsertIntoSelectBuildsVectorTable) {
+  // The paper's own test setup, server-side: pack scalar columns into a
+  // vector column with one INSERT ... SELECT.
+  Run("CREATE TABLE scalars (id BIGINT, v1 FLOAT, v2 FLOAT)");
+  Run("INSERT INTO scalars VALUES (1, 1.0, 2.0), (2, 3.0, 4.0)");
+  Run("CREATE TABLE vectors (id BIGINT, v VARBINARY(64))");
+  Run("INSERT INTO vectors SELECT id, FloatArray.Vector_2(v1, v2) "
+      "FROM scalars");
+  auto item =
+      Run("SELECT SUM(FloatArray.Item_1(v, 1)) FROM vectors");
+  EXPECT_EQ(item[0].ScalarResult().value().AsDouble().value(), 6.0);
+}
+
+TEST_F(SessionTest, InsertIntoSelectValidation) {
+  Run("CREATE TABLE a2 (id BIGINT, v FLOAT)");
+  Run("CREATE TABLE b2 (id BIGINT)");
+  Run("INSERT INTO a2 VALUES (1, 1.0)");
+  // Arity mismatch.
+  EXPECT_FALSE(session_.Execute("INSERT INTO b2 SELECT id, v FROM a2").ok());
+  // Duplicate keys from the source.
+  Run("INSERT INTO b2 SELECT id FROM a2");
+  EXPECT_FALSE(session_.Execute("INSERT INTO b2 SELECT id FROM a2").ok());
+}
+
+TEST_F(SessionTest, DeleteFromWithWhere) {
+  Run("CREATE TABLE d (id BIGINT, v FLOAT)");
+  Run("INSERT INTO d VALUES (1, 1.0), (2, 2.0), (3, 3.0), (4, 4.0)");
+  Run("DELETE FROM d WHERE v > 2.5");
+  auto rows = Run("SELECT COUNT(*), SUM(v) FROM d");
+  EXPECT_EQ(rows[0].rows[0][0].AsInt().value(), 2);
+  EXPECT_EQ(rows[0].rows[0][1].AsDouble().value(), 3.0);
+
+  // Unconditional delete empties the table; reinsertion works.
+  Run("DELETE FROM d");
+  auto empty = Run("SELECT COUNT(*) FROM d");
+  EXPECT_EQ(empty[0].ScalarResult().value().AsInt().value(), 0);
+  Run("INSERT INTO d VALUES (1, 9.0)");
+  auto one = Run("SELECT COUNT(*) FROM d");
+  EXPECT_EQ(one[0].ScalarResult().value().AsInt().value(), 1);
+  EXPECT_FALSE(session_.Execute("DELETE FROM missing").ok());
+}
+
+TEST_F(SessionTest, OrderByOrdinalAndLabel) {
+  Run("CREATE TABLE o (id BIGINT, v FLOAT)");
+  Run("INSERT INTO o VALUES (1, 3.0), (2, 1.0), (3, 2.0)");
+  auto asc = Run("SELECT id, v AS val FROM o ORDER BY 2");
+  ASSERT_EQ(asc[0].rows.size(), 3u);
+  EXPECT_EQ(asc[0].rows[0][0].AsInt().value(), 2);
+  EXPECT_EQ(asc[0].rows[2][0].AsInt().value(), 1);
+
+  auto desc = Run("SELECT id, v AS val FROM o ORDER BY val DESC");
+  EXPECT_EQ(desc[0].rows[0][0].AsInt().value(), 1);
+
+  auto grouped = Run(
+      "SELECT id % 2, COUNT(*) FROM o GROUP BY id % 2 ORDER BY 1 DESC");
+  EXPECT_EQ(grouped[0].rows[0][0].AsInt().value(), 1);
+  EXPECT_EQ(grouped[0].rows[1][0].AsInt().value(), 0);
+
+  EXPECT_FALSE(session_.Execute("SELECT id FROM o ORDER BY 5").ok());
+  EXPECT_FALSE(session_.Execute("SELECT id FROM o ORDER BY nope").ok());
+}
+
+TEST_F(SessionTest, OrderByMultipleKeys) {
+  Run("CREATE TABLE m (id BIGINT, a BIGINT, b FLOAT)");
+  Run("INSERT INTO m VALUES (1, 1, 2.0), (2, 0, 9.0), (3, 1, 1.0), "
+      "(4, 0, 3.0)");
+  auto rows = Run("SELECT a, b, id FROM m ORDER BY 1, 2 DESC");
+  // a ascending, then b descending within each a.
+  EXPECT_EQ(rows[0].rows[0][2].AsInt().value(), 2);  // (0, 9)
+  EXPECT_EQ(rows[0].rows[1][2].AsInt().value(), 4);  // (0, 3)
+  EXPECT_EQ(rows[0].rows[2][2].AsInt().value(), 1);  // (1, 2)
+  EXPECT_EQ(rows[0].rows[3][2].AsInt().value(), 3);  // (1, 1)
+}
+
+TEST_F(SessionTest, MathUdfsFromSql) {
+  Run("DECLARE @v VARBINARY(MAX) = "
+      "FloatArrayMax.From(FloatArray.Vector_4(1, 2, 3, 4))");
+  Run("DECLARE @f VARBINARY(MAX)");
+  Run("SET @f = FloatArrayMax.FFTForward(@v)");
+  OwnedArray f = VarArray("f");
+  EXPECT_EQ(f.dtype(), DType::kComplex128);
+  // DC bin = sum of inputs.
+  EXPECT_NEAR(f.ref().GetComplex(0).value().real(), 10.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace sqlarray::sql

@@ -1,0 +1,227 @@
+// Tests for the turbulence use case: synthetic field, blob partitioning,
+// the interpolation service (Sec. 2.1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sci/turbulence/field.h"
+#include "sci/turbulence/partition.h"
+#include "sci/turbulence/service.h"
+
+namespace sqlarray::turbulence {
+namespace {
+
+TEST(SyntheticField, PeriodicInAllAxes) {
+  SyntheticField field(32, 20, 1);
+  FlowSample a = field.Evaluate(3.7, 8.1, 15.9);
+  FlowSample b = field.Evaluate(3.7 + 32, 8.1 - 32, 15.9 + 64);
+  EXPECT_NEAR(a.u, b.u, 1e-9);
+  EXPECT_NEAR(a.v, b.v, 1e-9);
+  EXPECT_NEAR(a.w, b.w, 1e-9);
+  EXPECT_NEAR(a.p, b.p, 1e-9);
+}
+
+TEST(SyntheticField, DivergenceFree) {
+  // Numerical divergence via central differences must vanish (the field is
+  // a sum of solenoidal modes).
+  SyntheticField field(32, 20, 2);
+  const double h = 1e-4;
+  for (double x : {3.0, 10.5}) {
+    for (double y : {7.2, 20.0}) {
+      double div =
+          (field.Evaluate(x + h, y, 5).u - field.Evaluate(x - h, y, 5).u +
+           field.Evaluate(x, y + h, 5).v - field.Evaluate(x, y - h, 5).v +
+           field.Evaluate(x, y, 5 + h).w - field.Evaluate(x, y, 5 - h).w) /
+          (2 * h);
+      EXPECT_NEAR(div, 0.0, 1e-6);
+    }
+  }
+}
+
+TEST(SyntheticField, DeterministicAndNonTrivial) {
+  SyntheticField a(16, 10, 7), b(16, 10, 7), c(16, 10, 8);
+  EXPECT_EQ(a.Evaluate(1, 2, 3).u, b.Evaluate(1, 2, 3).u);
+  EXPECT_NE(a.Evaluate(1, 2, 3).u, c.Evaluate(1, 2, 3).u);
+  double energy = 0;
+  for (int i = 0; i < 16; ++i) {
+    FlowSample s = a.GridSample(i, i, i);
+    energy += s.u * s.u + s.v * s.v + s.w * s.w;
+  }
+  EXPECT_GT(energy, 0.0);
+}
+
+TEST(PartitionConfig, BlobSizing) {
+  // The paper's (64+8)^3 x 4 float32 blob is ~6 MB.
+  PartitionConfig paper;
+  paper.core = 64;
+  paper.overlap = 4;
+  EXPECT_EQ(paper.edge(), 72);
+  EXPECT_NEAR(paper.BlobBytes() / 1e6, 6.0, 0.5);
+  // A small config fits on-page.
+  PartitionConfig small;
+  small.core = 4;
+  small.overlap = 2;
+  small.with_pressure = false;
+  EXPECT_LE(small.BlobBytes(), 8000);
+}
+
+class PartitionedField : public ::testing::Test {
+ protected:
+  void Load(PartitionConfig config) {
+    config_ = config;
+    field_ = std::make_unique<SyntheticField>(n_, 15, 3);
+    table_ = LoadIntoTable(*field_, config_, &db_, "blobs").value();
+    service_ = std::make_unique<InterpolationService>(&db_, table_, config_,
+                                                      n_);
+  }
+
+  const int64_t n_ = 32;
+  storage::Database db_;
+  PartitionConfig config_;
+  std::unique_ptr<SyntheticField> field_;
+  storage::Table* table_ = nullptr;
+  std::unique_ptr<InterpolationService> service_;
+};
+
+TEST_F(PartitionedField, RowCountMatchesCubeCount) {
+  PartitionConfig config;
+  config.core = 8;
+  config.overlap = 4;
+  Load(config);
+  EXPECT_EQ(table_->row_count(), 4 * 4 * 4);
+}
+
+TEST_F(PartitionedField, BlobVoxelsMatchField) {
+  PartitionConfig config;
+  config.core = 8;
+  config.overlap = 2;
+  Load(config);
+  // Pick the cube at cell (1, 2, 3) and check an interior voxel.
+  uint64_t id = CubeIdOf(config, n_, 8.5, 16.5, 24.5);
+  storage::Row row = table_->Lookup(static_cast<int64_t>(id)).value().value();
+  std::vector<uint8_t> blob_bytes;
+  if (auto* blob_id = std::get_if<storage::BlobId>(&row[1])) {
+    blob_bytes = table_->ReadBlob(*blob_id).value();
+  } else {
+    blob_bytes = std::get<std::vector<uint8_t>>(row[1]);
+  }
+  OwnedArray arr = OwnedArray::FromBlob(std::move(blob_bytes)).value();
+  EXPECT_EQ(arr.dims(),
+            (Dims{4, config.edge(), config.edge(), config.edge()}));
+  // Local voxel (3, 3, 3) maps to global (8-2+3, 16-2+3, 24-2+3).
+  FlowSample expect = field_->GridSample(9, 17, 25);
+  EXPECT_NEAR(arr.ref().GetDoubleAt(Dims{0, 3, 3, 3}).value(), expect.u,
+              1e-5);
+  EXPECT_NEAR(arr.ref().GetDoubleAt(Dims{3, 3, 3, 3}).value(), expect.p,
+              1e-5);
+}
+
+TEST_F(PartitionedField, NearestMatchesGridSample) {
+  PartitionConfig config;
+  config.core = 8;
+  config.overlap = 2;
+  Load(config);
+  VelocitySample s =
+      service_->Sample(5.2, 9.8, 17.4, math::InterpScheme::kNearest).value();
+  FlowSample expect = field_->GridSample(5, 10, 17);
+  EXPECT_NEAR(s.u, expect.u, 1e-5);
+  EXPECT_NEAR(s.v, expect.v, 1e-5);
+  EXPECT_NEAR(s.w, expect.w, 1e-5);
+}
+
+TEST_F(PartitionedField, LagrangianInterpolationApproachesTruth) {
+  PartitionConfig config;
+  config.core = 8;
+  config.overlap = 4;  // enough buffer for the 8-point stencil
+  Load(config);
+  double err4 = 0, err8 = 0;
+  for (int k = 0; k < 20; ++k) {
+    double x = 2.0 + k * 1.37, y = 5.0 + k * 0.71, z = 9.0 + k * 1.11;
+    FlowSample truth = field_->Evaluate(x, y, z);
+    VelocitySample s4 =
+        service_->Sample(x, y, z, math::InterpScheme::kLagrange4).value();
+    VelocitySample s8 =
+        service_->Sample(x, y, z, math::InterpScheme::kLagrange8).value();
+    err4 = std::max(err4, std::fabs(s4.u - truth.u));
+    err8 = std::max(err8, std::fabs(s8.u - truth.u));
+  }
+  EXPECT_LT(err8, err4 + 1e-4);  // higher order no worse
+  EXPECT_LT(err8, 0.02);         // and close to the analytic field
+  EXPECT_EQ(service_->stats().fallback_full_reads, 0);
+}
+
+TEST_F(PartitionedField, InsufficientOverlapFallsBack) {
+  PartitionConfig config;
+  config.core = 8;
+  config.overlap = 1;  // too small for the 8-point stencil
+  Load(config);
+  VelocitySample s =
+      service_->Sample(8.1, 8.1, 8.1, math::InterpScheme::kLagrange8)
+          .value();
+  EXPECT_GT(service_->stats().fallback_full_reads, 0);
+  // The fallback is still numerically correct.
+  FlowSample truth = field_->Evaluate(8.1, 8.1, 8.1);
+  EXPECT_NEAR(s.u, truth.u, 0.05);
+}
+
+TEST_F(PartitionedField, BatchTracksIoStats) {
+  PartitionConfig config;
+  config.core = 8;
+  config.overlap = 4;
+  Load(config);
+  db_.ClearCache();
+  std::vector<std::array<double, 3>> positions;
+  for (int k = 0; k < 50; ++k) {
+    positions.push_back({1.0 + k * 0.6, 2.0 + k * 0.4, 3.0 + k * 0.5});
+  }
+  auto out =
+      service_->SampleBatch(positions, math::InterpScheme::kLagrange4)
+          .value();
+  EXPECT_EQ(out.size(), positions.size());
+  EXPECT_EQ(service_->stats().particles, 50);
+  EXPECT_GT(service_->stats().io_bytes_read, 0);
+  EXPECT_GT(service_->stats().blob_bytes_read, 0);
+}
+
+TEST_F(PartitionedField, SmallBlobsReadFewerBytesThanBigBlobs) {
+  // The Sec. 2.1 argument: for point interpolation, small blobs beat the
+  // 6 MB blob because only the stencil is needed.
+  PartitionConfig small;
+  small.core = 8;
+  small.overlap = 4;
+  Load(small);
+  db_.ClearCache();
+  db_.disk()->ResetStats();
+  ASSERT_TRUE(
+      service_->Sample(10.3, 11.4, 12.5, math::InterpScheme::kLagrange8)
+          .ok());
+  int64_t small_io = db_.disk()->stats().bytes_read;
+
+  storage::Database db2;
+  PartitionConfig big;
+  big.core = 32;  // one big cube
+  big.overlap = 4;
+  SyntheticField field2(32, 15, 3);
+  storage::Table* table2 = LoadIntoTable(field2, big, &db2, "big").value();
+  InterpolationService service2(&db2, table2, big, 32);
+  db2.ClearCache();
+  db2.disk()->ResetStats();
+  ASSERT_TRUE(
+      service2.Sample(10.3, 11.4, 12.5, math::InterpScheme::kLagrange8).ok());
+  int64_t big_io = db2.disk()->stats().bytes_read;
+
+  // Both read only the stencil through the blob stream, but the bigger blob
+  // spreads the stencil over more pages.
+  EXPECT_LE(small_io, big_io);
+}
+
+TEST(Partition, RejectsIndivisibleResolution) {
+  SyntheticField field(30, 5, 1);
+  storage::Database db;
+  PartitionConfig config;
+  config.core = 8;
+  EXPECT_FALSE(LoadIntoTable(field, config, &db, "bad").ok());
+}
+
+}  // namespace
+}  // namespace sqlarray::turbulence

@@ -1,0 +1,393 @@
+// Tests for the registered UDF surface: per-schema functions across dtypes
+// and storage classes, generic Array.* dispatch, math bindings, aggregates.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/svd.h"
+#include "udfs/helpers.h"
+#include "udfs/register.h"
+
+namespace sqlarray::udfs {
+namespace {
+
+using engine::FunctionRegistry;
+using engine::ScalarFunction;
+using engine::UdfContext;
+using engine::Value;
+
+class UdfTest : public ::testing::Test {
+ protected:
+  UdfTest() {
+    EXPECT_TRUE(RegisterAllUdfs(&registry_).ok());
+  }
+
+  /// Invokes a registered scalar UDF directly.
+  Result<Value> Call(const std::string& schema, const std::string& name,
+                     std::vector<Value> args) {
+    auto fn_or = registry_.Resolve(schema, name, static_cast<int>(args.size()));
+    if (!fn_or.ok()) return fn_or.status();
+    UdfContext ctx;
+    return FunctionRegistry::Invoke(**fn_or, args, ctx);
+  }
+
+  Value CallOk(const std::string& schema, const std::string& name,
+               std::vector<Value> args) {
+    auto v = Call(schema, name, std::move(args));
+    EXPECT_TRUE(v.ok()) << schema << "." << name << ": "
+                        << v.status().ToString();
+    return v.ok() ? std::move(v).value() : Value::Null();
+  }
+
+  OwnedArray AsArray(const Value& v) {
+    return OwnedArray::FromBlob(v.MaterializeBytes().value()).value();
+  }
+
+  FunctionRegistry registry_;
+};
+
+TEST_F(UdfTest, CatalogIsComplete) {
+  // Every dtype has both storage-class schemas with the core families.
+  for (int d = 0; d < kNumDTypes; ++d) {
+    DType t = static_cast<DType>(d);
+    for (const char* suffix : {"", "Max"}) {
+      std::string schema =
+          std::string(DTypeSchemaPrefix(t)) + "Array" + suffix;
+      for (const char* fn : {"Vector_1", "Vector_8", "Item_1", "Item_6",
+                             "UpdateItem_1", "Subarray", "Reshape", "Rank",
+                             "Length", "DimSize", "Dims", "Cast", "Raw",
+                             "From", "ToString", "FromString", "SumAll",
+                             "Create"}) {
+        EXPECT_TRUE(registry_.HasScalar(schema, fn))
+            << schema << "." << fn;
+      }
+    }
+  }
+  // Hundreds of functions in total, as the paper laments ("the enormous
+  // number of individual functions").
+  EXPECT_GT(registry_.scalar_count(), 500);
+}
+
+TEST_F(UdfTest, VectorBuilderPerDType) {
+  for (DType t : {DType::kInt8, DType::kInt16, DType::kInt32, DType::kInt64,
+                  DType::kFloat32, DType::kFloat64}) {
+    std::string schema = std::string(DTypeSchemaPrefix(t)) + "Array";
+    Value v = CallOk(schema, "Vector_3",
+                     {Value::Int(1), Value::Int(2), Value::Int(3)});
+    OwnedArray a = AsArray(v);
+    EXPECT_EQ(a.dtype(), t);
+    EXPECT_EQ(a.storage(), StorageClass::kShort);
+    EXPECT_EQ(a.ref().GetDouble(1).value(), 2.0);
+  }
+}
+
+TEST_F(UdfTest, MaxSchemaBuildsMaxArrays) {
+  Value v = CallOk("FloatArrayMax", "Vector_2",
+                   {Value::Double(1), Value::Double(2)});
+  EXPECT_EQ(AsArray(v).storage(), StorageClass::kMax);
+}
+
+TEST_F(UdfTest, ComplexVectorTakesPairs) {
+  Value v = CallOk("DoubleComplexArray", "Vector_2",
+                   {Value::Double(1), Value::Double(2), Value::Double(3),
+                    Value::Double(4)});
+  OwnedArray a = AsArray(v);
+  EXPECT_EQ(a.dtype(), DType::kComplex128);
+  EXPECT_EQ(a.ref().GetComplex(1).value(), std::complex<double>(3, 4));
+
+  // Item returns the complex UDT; ItemRe/ItemIm return scalars.
+  Value item = CallOk("DoubleComplexArray", "Item_1", {v, Value::Int(1)});
+  EXPECT_EQ(DecodeComplexUdt(*item.AsBytes().value()).value(),
+            std::complex<double>(3, 4));
+  EXPECT_EQ(CallOk("DoubleComplexArray", "ItemRe_1", {v, Value::Int(0)})
+                .AsDouble()
+                .value(),
+            1.0);
+  EXPECT_EQ(CallOk("DoubleComplexArray", "ItemIm_1", {v, Value::Int(1)})
+                .AsDouble()
+                .value(),
+            4.0);
+}
+
+TEST_F(UdfTest, ComplexScalarUdtHelpers) {
+  Value c = CallOk("DoubleComplex", "Make", {Value::Double(3),
+                                             Value::Double(-4)});
+  EXPECT_EQ(CallOk("DoubleComplex", "Re", {c}).AsDouble().value(), 3.0);
+  EXPECT_EQ(CallOk("DoubleComplex", "Im", {c}).AsDouble().value(), -4.0);
+  EXPECT_EQ(CallOk("DoubleComplex", "Abs", {c}).AsDouble().value(), 5.0);
+}
+
+TEST_F(UdfTest, TypeMismatchRejected) {
+  Value float_vec = CallOk("FloatArray", "Vector_2",
+                           {Value::Double(1), Value::Double(2)});
+  EXPECT_FALSE(Call("IntArray", "Item_1", {float_vec, Value::Int(0)}).ok());
+  EXPECT_FALSE(
+      Call("FloatArrayMax", "Item_1", {float_vec, Value::Int(0)}).ok());
+  EXPECT_FALSE(Call("IntArray", "Rank", {float_vec}).ok());
+}
+
+TEST_F(UdfTest, ShapeIntrospection) {
+  Value dims = CallOk("IntArray", "Vector_2", {Value::Int(3), Value::Int(4)});
+  Value m = CallOk("FloatArray", "Create", {Value::Int(3), Value::Int(4)});
+  EXPECT_EQ(CallOk("FloatArray", "Rank", {m}).AsInt().value(), 2);
+  EXPECT_EQ(CallOk("FloatArray", "Length", {m}).AsInt().value(), 12);
+  EXPECT_EQ(CallOk("FloatArray", "DimSize", {m, Value::Int(1)})
+                .AsInt().value(),
+            4);
+  OwnedArray d = AsArray(CallOk("FloatArray", "Dims", {m}));
+  EXPECT_EQ(d.ref().GetDouble(0).value(), 3.0);
+  EXPECT_EQ(d.ref().GetDouble(1).value(), 4.0);
+  EXPECT_FALSE(Call("FloatArray", "DimSize", {m, Value::Int(2)}).ok());
+  (void)dims;
+}
+
+TEST_F(UdfTest, CastRawRoundTripViaUdfs) {
+  Value v = CallOk("FloatArray", "Vector_3",
+                   {Value::Double(1), Value::Double(2), Value::Double(3)});
+  Value raw = CallOk("FloatArray", "Raw", {v});
+  EXPECT_EQ(raw.AsBytes().value()->size(), 24u);
+  Value dims = CallOk("IntArray", "Vector_1", {Value::Int(3)});
+  Value back = CallOk("FloatArray", "Cast", {raw, dims});
+  EXPECT_EQ(AsArray(back).ref().GetDouble(2).value(), 3.0);
+}
+
+TEST_F(UdfTest, FromConvertsDTypeAndClass) {
+  Value iv = CallOk("IntArray", "Vector_2", {Value::Int(5), Value::Int(6)});
+  Value fv = CallOk("FloatArrayMax", "From", {iv});
+  OwnedArray a = AsArray(fv);
+  EXPECT_EQ(a.dtype(), DType::kFloat64);
+  EXPECT_EQ(a.storage(), StorageClass::kMax);
+  EXPECT_EQ(a.ref().GetDouble(1).value(), 6.0);
+}
+
+TEST_F(UdfTest, StringRoundTripViaUdfs) {
+  Value v = CallOk("FloatArray", "Vector_2",
+                   {Value::Double(1.5), Value::Double(-2.5)});
+  Value s = CallOk("FloatArray", "ToString", {v});
+  Value back = CallOk("FloatArray", "FromString", {s});
+  EXPECT_EQ(AsArray(back).ref().GetDouble(1).value(), -2.5);
+}
+
+TEST_F(UdfTest, AggregatesAndArithmetic) {
+  Value v = CallOk("FloatArray", "Vector_4",
+                   {Value::Double(1), Value::Double(2), Value::Double(3),
+                    Value::Double(4)});
+  EXPECT_EQ(CallOk("FloatArray", "SumAll", {v}).AsDouble().value(), 10.0);
+  EXPECT_EQ(CallOk("FloatArray", "MeanAll", {v}).AsDouble().value(), 2.5);
+  EXPECT_EQ(CallOk("FloatArray", "MaxAll", {v}).AsDouble().value(), 4.0);
+  Value w = CallOk("FloatArray", "Scale", {v, Value::Double(2)});
+  EXPECT_EQ(CallOk("FloatArray", "SumAll", {w}).AsDouble().value(), 20.0);
+  Value sum = CallOk("FloatArray", "Add", {v, v});
+  EXPECT_EQ(AsArray(sum).ref().GetDouble(3).value(), 8.0);
+  EXPECT_EQ(CallOk("FloatArray", "Dot", {v, v}).AsDouble().value(), 30.0);
+  EXPECT_NEAR(CallOk("FloatArray", "Norm", {v}).AsDouble().value(),
+              std::sqrt(30.0), 1e-12);
+}
+
+TEST_F(UdfTest, AxisAggregateUdf) {
+  // 2x3 matrix 1..6 column-major; SumAxis(0) gives column sums.
+  Value m = CallOk("FloatArray", "Create", {Value::Int(2), Value::Int(3)});
+  OwnedArray ma = AsArray(m);
+  for (int64_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(ma.SetDouble(i, static_cast<double>(i + 1)).ok());
+  }
+  Value filled = Value::Bytes(std::vector<uint8_t>(ma.blob().begin(),
+                                                   ma.blob().end()));
+  OwnedArray sums = AsArray(CallOk("FloatArray", "SumAxis",
+                                   {filled, Value::Int(0)}));
+  EXPECT_EQ(sums.dims(), (Dims{3}));
+  EXPECT_EQ(sums.ref().GetDouble(0).value(), 3.0);
+  EXPECT_EQ(sums.ref().GetDouble(2).value(), 11.0);
+}
+
+TEST_F(UdfTest, TransposeAndConcatAxisUdfs) {
+  Value m = CallOk("FloatArray", "Matrix_2",
+                   {Value::Double(1), Value::Double(2), Value::Double(3),
+                    Value::Double(4)});
+  OwnedArray t = AsArray(CallOk("FloatArray", "Transpose", {m}));
+  EXPECT_EQ(t.ref().GetDoubleAt(Dims{0, 1}).value(), 2.0);
+
+  Value a = CallOk("FloatArray", "Vector_2", {Value::Double(1),
+                                              Value::Double(2)});
+  Value b = CallOk("FloatArray", "Vector_2", {Value::Double(3),
+                                              Value::Double(4)});
+  OwnedArray ab = AsArray(CallOk("FloatArray", "ConcatAxis",
+                                 {a, b, Value::Int(0)}));
+  EXPECT_EQ(ab.dims(), (Dims{4}));
+  EXPECT_EQ(ab.ref().GetDouble(3).value(), 4.0);
+
+  Value perm = CallOk("IntArray", "Vector_2", {Value::Int(1), Value::Int(0)});
+  OwnedArray p = AsArray(CallOk("FloatArray", "Permute", {m, perm}));
+  EXPECT_EQ(p.ref().GetDoubleAt(Dims{1, 0}).value(), 3.0);
+}
+
+TEST_F(UdfTest, GenericArraySchemaDispatches) {
+  Value iv = CallOk("IntArray", "Vector_2", {Value::Int(7), Value::Int(8)});
+  EXPECT_EQ(CallOk("Array", "Item", {iv, Value::Int(1)}).AsDouble().value(),
+            8.0);
+  Value fv = CallOk("FloatArray", "Vector_2",
+                    {Value::Double(1.5), Value::Double(2.5)});
+  EXPECT_EQ(CallOk("Array", "Item", {fv, Value::Int(0)}).AsDouble().value(),
+            1.5);
+  EXPECT_EQ(CallOk("Array", "TypeName", {iv}).AsString().value(), "int32");
+  EXPECT_EQ(CallOk("Array", "SumAll", {iv}).AsDouble().value(), 15.0);
+}
+
+TEST_F(UdfTest, GenericSliceDropsDims) {
+  Value m = CallOk("FloatArray", "Matrix_2",
+                   {Value::Double(1), Value::Double(2), Value::Double(3),
+                    Value::Double(4)});
+  // Slice row 1 (drop), columns 0:2 (keep): a vector of (2, 4).
+  OwnedArray row = AsArray(CallOk(
+      "Array", "Slice",
+      {m, Value::Int(1), Value::Int(2), Value::Int(1), Value::Int(0),
+       Value::Int(2), Value::Int(0)}));
+  EXPECT_EQ(row.dims(), (Dims{2}));
+  EXPECT_EQ(row.ref().GetDouble(0).value(), 2.0);
+  EXPECT_EQ(row.ref().GetDouble(1).value(), 4.0);
+}
+
+TEST_F(UdfTest, SvdUdfReconstructs) {
+  // 3x3 matrix via Create + updates; U * diag(S) * VT == A.
+  Value m = CallOk("FloatArrayMax", "Create", {Value::Int(3), Value::Int(3)});
+  OwnedArray ma = AsArray(m);
+  double vals[9] = {2, 0, 1, 0, 3, 0, 1, 0, 2};
+  for (int64_t i = 0; i < 9; ++i) {
+    ASSERT_TRUE(ma.SetDouble(i, vals[i]).ok());
+  }
+  Value filled = Value::Bytes(std::vector<uint8_t>(ma.blob().begin(),
+                                                   ma.blob().end()));
+  OwnedArray u = AsArray(CallOk("FloatArrayMax", "SVD_U", {filled}));
+  OwnedArray s = AsArray(CallOk("FloatArrayMax", "SVD_S", {filled}));
+  OwnedArray vt = AsArray(CallOk("FloatArrayMax", "SVD_VT", {filled}));
+  EXPECT_EQ(u.dims(), (Dims{3, 3}));
+  EXPECT_EQ(s.dims(), (Dims{3}));
+  EXPECT_EQ(vt.dims(), (Dims{3, 3}));
+  // Reconstruct and compare.
+  math::SvdResult svd;
+  svd.u = math::Matrix(3, 3);
+  svd.vt = math::Matrix(3, 3);
+  svd.s.resize(3);
+  for (int64_t i = 0; i < 9; ++i) {
+    svd.u.data()[i] = u.ref().GetDouble(i).value();
+    svd.vt.data()[i] = vt.ref().GetDouble(i).value();
+  }
+  for (int64_t i = 0; i < 3; ++i) s.ref().GetDouble(i).value();
+  for (int64_t i = 0; i < 3; ++i) svd.s[i] = s.ref().GetDouble(i).value();
+  math::Matrix recon = math::SvdReconstruct(svd);
+  for (int64_t i = 0; i < 9; ++i) {
+    EXPECT_NEAR(recon.data()[i], vals[i], 1e-9);
+  }
+}
+
+TEST_F(UdfTest, SolveUdfFitsExactSystem) {
+  // A = [[1, 1], [1, 2], [1, 3]], b = [2, 3, 4] -> x = [1, 1].
+  Value a = CallOk("FloatArrayMax", "Create", {Value::Int(3), Value::Int(2)});
+  OwnedArray aa = AsArray(a);
+  double avals[6] = {1, 1, 1, 1, 2, 3};
+  for (int64_t i = 0; i < 6; ++i) ASSERT_TRUE(aa.SetDouble(i, avals[i]).ok());
+  Value af = Value::Bytes(std::vector<uint8_t>(aa.blob().begin(),
+                                               aa.blob().end()));
+  Value b = CallOk("FloatArrayMax", "Vector_3",
+                   {Value::Double(2), Value::Double(3), Value::Double(4)});
+  OwnedArray x = AsArray(CallOk("FloatArrayMax", "Solve", {af, b}));
+  EXPECT_NEAR(x.ref().GetDouble(0).value(), 1.0, 1e-10);
+  EXPECT_NEAR(x.ref().GetDouble(1).value(), 1.0, 1e-10);
+
+  OwnedArray nn = AsArray(CallOk("FloatArrayMax", "Nnls", {af, b}));
+  EXPECT_NEAR(nn.ref().GetDouble(0).value(), 1.0, 1e-8);
+  EXPECT_NEAR(nn.ref().GetDouble(1).value(), 1.0, 1e-8);
+}
+
+TEST_F(UdfTest, FftUdfRoundTrip) {
+  Value v = CallOk("FloatArrayMax", "Vector_4",
+                   {Value::Double(1), Value::Double(2), Value::Double(3),
+                    Value::Double(4)});
+  Value f = CallOk("FloatArrayMax", "FFTForward", {v});
+  OwnedArray fa = AsArray(f);
+  EXPECT_EQ(fa.dtype(), DType::kComplex128);
+  EXPECT_NEAR(fa.ref().GetComplex(0).value().real(), 10.0, 1e-9);
+  Value back = CallOk("DoubleComplexArrayMax", "FFTInverse", {f});
+  OwnedArray ba = AsArray(back);
+  EXPECT_NEAR(ba.ref().GetComplex(2).value().real(), 3.0, 1e-9);
+  EXPECT_NEAR(ba.ref().GetComplex(2).value().imag(), 0.0, 1e-9);
+}
+
+TEST_F(UdfTest, MatMulUdf) {
+  Value a = CallOk("FloatArrayMax", "Create", {Value::Int(2), Value::Int(2)});
+  OwnedArray aa = AsArray(a);
+  // A = [[1, 3], [2, 4]] column-major {1, 2, 3, 4}.
+  for (int64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(aa.SetDouble(i, static_cast<double>(i + 1)).ok());
+  }
+  Value af = Value::Bytes(std::vector<uint8_t>(aa.blob().begin(),
+                                               aa.blob().end()));
+  OwnedArray c = AsArray(CallOk("FloatArrayMax", "MatMul", {af, af}));
+  // A^2 = [[7, 15], [10, 22]] column-major {7, 10, 15, 22}.
+  EXPECT_EQ(c.ref().GetDouble(0).value(), 7.0);
+  EXPECT_EQ(c.ref().GetDouble(1).value(), 10.0);
+  EXPECT_EQ(c.ref().GetDouble(2).value(), 15.0);
+  EXPECT_EQ(c.ref().GetDouble(3).value(), 22.0);
+}
+
+TEST_F(UdfTest, DateTimeRoundTripAndFields) {
+  Value t = CallOk("DateTime", "FromString",
+                   {Value::Str("2011-10-08 12:34:56")});
+  EXPECT_EQ(CallOk("DateTime", "Year", {t}).AsInt().value(), 2011);
+  EXPECT_EQ(CallOk("DateTime", "Month", {t}).AsInt().value(), 10);
+  EXPECT_EQ(CallOk("DateTime", "Day", {t}).AsInt().value(), 8);
+  EXPECT_EQ(CallOk("DateTime", "Hour", {t}).AsInt().value(), 12);
+  EXPECT_EQ(CallOk("DateTime", "Minute", {t}).AsInt().value(), 34);
+  EXPECT_EQ(CallOk("DateTime", "Second", {t}).AsInt().value(), 56);
+  EXPECT_EQ(CallOk("DateTime", "ToString", {t}).AsString().value(),
+            "2011-10-08 12:34:56");
+
+  Value epoch = CallOk("DateTime", "FromParts",
+                       {Value::Int(1970), Value::Int(1), Value::Int(1),
+                        Value::Int(0), Value::Int(0), Value::Int(0)});
+  EXPECT_EQ(epoch.AsInt().value(), 0);
+  Value day = CallOk("DateTime", "FromString", {Value::Str("1970-01-02")});
+  EXPECT_EQ(day.AsInt().value(), 86400LL * 1000000);
+
+  Value later = CallOk("DateTime", "AddSeconds", {t, Value::Double(4.0)});
+  EXPECT_EQ(CallOk("DateTime", "ToString", {later}).AsString().value(),
+            "2011-10-08 12:35:00");
+
+  EXPECT_FALSE(Call("DateTime", "FromString", {Value::Str("nope")}).ok());
+  EXPECT_FALSE(Call("DateTime", "FromParts",
+                    {Value::Int(2011), Value::Int(13), Value::Int(1),
+                     Value::Int(0), Value::Int(0), Value::Int(0)})
+                   .ok());
+}
+
+TEST_F(UdfTest, DateTimeArrayHoldsTimestamps) {
+  Value t1 = CallOk("DateTime", "FromString", {Value::Str("2011-10-08")});
+  Value t2 = CallOk("DateTime", "FromString", {Value::Str("2018-09-20")});
+  Value arr = CallOk("DateTimeArray", "Vector_2", {t1, t2});
+  OwnedArray a = AsArray(arr);
+  EXPECT_EQ(a.dtype(), DType::kDateTime);
+  Value back = CallOk("DateTimeArray", "Item_1", {arr, Value::Int(1)});
+  EXPECT_EQ(static_cast<int64_t>(back.AsDouble().value()),
+            t2.AsInt().value());
+}
+
+TEST_F(UdfTest, EmptyFunctionHasNoManagedWork) {
+  const ScalarFunction* fn =
+      registry_.Resolve("dbo", "EmptyFunction", 2).value();
+  EXPECT_EQ(fn->managed_work_ns, 0.0);
+  UdfContext ctx;
+  engine::QueryStats stats;
+  engine::CostModel cost;
+  ctx.stats = &stats;
+  ctx.cost = &cost;
+  std::vector<Value> args{Value::Bytes(std::vector<uint8_t>(64)),
+                          Value::Int(0)};
+  ASSERT_TRUE(FunctionRegistry::Invoke(*fn, args, ctx).ok());
+  EXPECT_EQ(stats.udf_calls, 1);
+  // Boundary cost: flat call + 64 arg bytes + 8 int bytes + 8 result bytes.
+  double expect_ns = cost.clr_call_ns + cost.clr_byte_ns * (64 + 8 + 8);
+  EXPECT_NEAR(stats.cpu_core_seconds, expect_ns * 1e-9, 1e-12);
+}
+
+}  // namespace
+}  // namespace sqlarray::udfs
