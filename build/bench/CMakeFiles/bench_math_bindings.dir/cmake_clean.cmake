@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_math_bindings.dir/bench_math_bindings.cc.o"
+  "CMakeFiles/bench_math_bindings.dir/bench_math_bindings.cc.o.d"
+  "bench_math_bindings"
+  "bench_math_bindings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_math_bindings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_math_bindings.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_short_vs_max.dir/bench_short_vs_max.cc.o"
+  "CMakeFiles/bench_short_vs_max.dir/bench_short_vs_max.cc.o.d"
+  "bench_short_vs_max"
+  "bench_short_vs_max.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_short_vs_max.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

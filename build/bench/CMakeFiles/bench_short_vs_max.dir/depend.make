@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_short_vs_max.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_uda_vs_reader.dir/bench_uda_vs_reader.cc.o"
+  "CMakeFiles/bench_uda_vs_reader.dir/bench_uda_vs_reader.cc.o.d"
+  "bench_uda_vs_reader"
+  "bench_uda_vs_reader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_uda_vs_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

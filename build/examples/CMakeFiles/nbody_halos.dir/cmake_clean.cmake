@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbody_halos.dir/nbody_halos.cpp.o"
+  "CMakeFiles/nbody_halos.dir/nbody_halos.cpp.o.d"
+  "nbody_halos"
+  "nbody_halos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbody_halos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectrum_pipeline.dir/spectrum_pipeline.cpp.o"
+  "CMakeFiles/spectrum_pipeline.dir/spectrum_pipeline.cpp.o.d"
+  "spectrum_pipeline"
+  "spectrum_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectrum_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbulence_query.dir/turbulence_query.cpp.o"
+  "CMakeFiles/turbulence_query.dir/turbulence_query.cpp.o.d"
+  "turbulence_query"
+  "turbulence_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbulence_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlarray_client.dir/sql_array.cc.o"
+  "CMakeFiles/sqlarray_client.dir/sql_array.cc.o.d"
+  "libsqlarray_client.a"
+  "libsqlarray_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlarray_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

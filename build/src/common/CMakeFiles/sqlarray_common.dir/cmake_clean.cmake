@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlarray_common.dir/dims.cc.o"
+  "CMakeFiles/sqlarray_common.dir/dims.cc.o.d"
+  "CMakeFiles/sqlarray_common.dir/status.cc.o"
+  "CMakeFiles/sqlarray_common.dir/status.cc.o.d"
+  "libsqlarray_common.a"
+  "libsqlarray_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlarray_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsqlarray_common.a"
+)

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/array.cc" "src/core/CMakeFiles/sqlarray_core.dir/array.cc.o" "gcc" "src/core/CMakeFiles/sqlarray_core.dir/array.cc.o.d"
+  "/root/repo/src/core/build.cc" "src/core/CMakeFiles/sqlarray_core.dir/build.cc.o" "gcc" "src/core/CMakeFiles/sqlarray_core.dir/build.cc.o.d"
+  "/root/repo/src/core/concat.cc" "src/core/CMakeFiles/sqlarray_core.dir/concat.cc.o" "gcc" "src/core/CMakeFiles/sqlarray_core.dir/concat.cc.o.d"
+  "/root/repo/src/core/dtype.cc" "src/core/CMakeFiles/sqlarray_core.dir/dtype.cc.o" "gcc" "src/core/CMakeFiles/sqlarray_core.dir/dtype.cc.o.d"
+  "/root/repo/src/core/header.cc" "src/core/CMakeFiles/sqlarray_core.dir/header.cc.o" "gcc" "src/core/CMakeFiles/sqlarray_core.dir/header.cc.o.d"
+  "/root/repo/src/core/ops_aggregate.cc" "src/core/CMakeFiles/sqlarray_core.dir/ops_aggregate.cc.o" "gcc" "src/core/CMakeFiles/sqlarray_core.dir/ops_aggregate.cc.o.d"
+  "/root/repo/src/core/ops_cast.cc" "src/core/CMakeFiles/sqlarray_core.dir/ops_cast.cc.o" "gcc" "src/core/CMakeFiles/sqlarray_core.dir/ops_cast.cc.o.d"
+  "/root/repo/src/core/ops_elementwise.cc" "src/core/CMakeFiles/sqlarray_core.dir/ops_elementwise.cc.o" "gcc" "src/core/CMakeFiles/sqlarray_core.dir/ops_elementwise.cc.o.d"
+  "/root/repo/src/core/ops_item.cc" "src/core/CMakeFiles/sqlarray_core.dir/ops_item.cc.o" "gcc" "src/core/CMakeFiles/sqlarray_core.dir/ops_item.cc.o.d"
+  "/root/repo/src/core/ops_string.cc" "src/core/CMakeFiles/sqlarray_core.dir/ops_string.cc.o" "gcc" "src/core/CMakeFiles/sqlarray_core.dir/ops_string.cc.o.d"
+  "/root/repo/src/core/ops_subarray.cc" "src/core/CMakeFiles/sqlarray_core.dir/ops_subarray.cc.o" "gcc" "src/core/CMakeFiles/sqlarray_core.dir/ops_subarray.cc.o.d"
+  "/root/repo/src/core/ops_transform.cc" "src/core/CMakeFiles/sqlarray_core.dir/ops_transform.cc.o" "gcc" "src/core/CMakeFiles/sqlarray_core.dir/ops_transform.cc.o.d"
+  "/root/repo/src/core/stream_ops.cc" "src/core/CMakeFiles/sqlarray_core.dir/stream_ops.cc.o" "gcc" "src/core/CMakeFiles/sqlarray_core.dir/stream_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sqlarray_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlarray_core.dir/array.cc.o"
+  "CMakeFiles/sqlarray_core.dir/array.cc.o.d"
+  "CMakeFiles/sqlarray_core.dir/build.cc.o"
+  "CMakeFiles/sqlarray_core.dir/build.cc.o.d"
+  "CMakeFiles/sqlarray_core.dir/concat.cc.o"
+  "CMakeFiles/sqlarray_core.dir/concat.cc.o.d"
+  "CMakeFiles/sqlarray_core.dir/dtype.cc.o"
+  "CMakeFiles/sqlarray_core.dir/dtype.cc.o.d"
+  "CMakeFiles/sqlarray_core.dir/header.cc.o"
+  "CMakeFiles/sqlarray_core.dir/header.cc.o.d"
+  "CMakeFiles/sqlarray_core.dir/ops_aggregate.cc.o"
+  "CMakeFiles/sqlarray_core.dir/ops_aggregate.cc.o.d"
+  "CMakeFiles/sqlarray_core.dir/ops_cast.cc.o"
+  "CMakeFiles/sqlarray_core.dir/ops_cast.cc.o.d"
+  "CMakeFiles/sqlarray_core.dir/ops_elementwise.cc.o"
+  "CMakeFiles/sqlarray_core.dir/ops_elementwise.cc.o.d"
+  "CMakeFiles/sqlarray_core.dir/ops_item.cc.o"
+  "CMakeFiles/sqlarray_core.dir/ops_item.cc.o.d"
+  "CMakeFiles/sqlarray_core.dir/ops_string.cc.o"
+  "CMakeFiles/sqlarray_core.dir/ops_string.cc.o.d"
+  "CMakeFiles/sqlarray_core.dir/ops_subarray.cc.o"
+  "CMakeFiles/sqlarray_core.dir/ops_subarray.cc.o.d"
+  "CMakeFiles/sqlarray_core.dir/ops_transform.cc.o"
+  "CMakeFiles/sqlarray_core.dir/ops_transform.cc.o.d"
+  "CMakeFiles/sqlarray_core.dir/stream_ops.cc.o"
+  "CMakeFiles/sqlarray_core.dir/stream_ops.cc.o.d"
+  "libsqlarray_core.a"
+  "libsqlarray_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlarray_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/exec.cc" "src/engine/CMakeFiles/sqlarray_engine.dir/exec.cc.o" "gcc" "src/engine/CMakeFiles/sqlarray_engine.dir/exec.cc.o.d"
+  "/root/repo/src/engine/expr.cc" "src/engine/CMakeFiles/sqlarray_engine.dir/expr.cc.o" "gcc" "src/engine/CMakeFiles/sqlarray_engine.dir/expr.cc.o.d"
+  "/root/repo/src/engine/udf.cc" "src/engine/CMakeFiles/sqlarray_engine.dir/udf.cc.o" "gcc" "src/engine/CMakeFiles/sqlarray_engine.dir/udf.cc.o.d"
+  "/root/repo/src/engine/value.cc" "src/engine/CMakeFiles/sqlarray_engine.dir/value.cc.o" "gcc" "src/engine/CMakeFiles/sqlarray_engine.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sqlarray_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sqlarray_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sqlarray_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlarray_engine.dir/exec.cc.o"
+  "CMakeFiles/sqlarray_engine.dir/exec.cc.o.d"
+  "CMakeFiles/sqlarray_engine.dir/expr.cc.o"
+  "CMakeFiles/sqlarray_engine.dir/expr.cc.o.d"
+  "CMakeFiles/sqlarray_engine.dir/udf.cc.o"
+  "CMakeFiles/sqlarray_engine.dir/udf.cc.o.d"
+  "CMakeFiles/sqlarray_engine.dir/value.cc.o"
+  "CMakeFiles/sqlarray_engine.dir/value.cc.o.d"
+  "libsqlarray_engine.a"
+  "libsqlarray_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlarray_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlarray_fft.dir/fft.cc.o"
+  "CMakeFiles/sqlarray_fft.dir/fft.cc.o.d"
+  "libsqlarray_fft.a"
+  "libsqlarray_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlarray_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/dense.cc" "src/math/CMakeFiles/sqlarray_math.dir/dense.cc.o" "gcc" "src/math/CMakeFiles/sqlarray_math.dir/dense.cc.o.d"
+  "/root/repo/src/math/interp.cc" "src/math/CMakeFiles/sqlarray_math.dir/interp.cc.o" "gcc" "src/math/CMakeFiles/sqlarray_math.dir/interp.cc.o.d"
+  "/root/repo/src/math/nnls.cc" "src/math/CMakeFiles/sqlarray_math.dir/nnls.cc.o" "gcc" "src/math/CMakeFiles/sqlarray_math.dir/nnls.cc.o.d"
+  "/root/repo/src/math/pca.cc" "src/math/CMakeFiles/sqlarray_math.dir/pca.cc.o" "gcc" "src/math/CMakeFiles/sqlarray_math.dir/pca.cc.o.d"
+  "/root/repo/src/math/qr.cc" "src/math/CMakeFiles/sqlarray_math.dir/qr.cc.o" "gcc" "src/math/CMakeFiles/sqlarray_math.dir/qr.cc.o.d"
+  "/root/repo/src/math/svd.cc" "src/math/CMakeFiles/sqlarray_math.dir/svd.cc.o" "gcc" "src/math/CMakeFiles/sqlarray_math.dir/svd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sqlarray_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlarray_math.dir/dense.cc.o"
+  "CMakeFiles/sqlarray_math.dir/dense.cc.o.d"
+  "CMakeFiles/sqlarray_math.dir/interp.cc.o"
+  "CMakeFiles/sqlarray_math.dir/interp.cc.o.d"
+  "CMakeFiles/sqlarray_math.dir/nnls.cc.o"
+  "CMakeFiles/sqlarray_math.dir/nnls.cc.o.d"
+  "CMakeFiles/sqlarray_math.dir/pca.cc.o"
+  "CMakeFiles/sqlarray_math.dir/pca.cc.o.d"
+  "CMakeFiles/sqlarray_math.dir/qr.cc.o"
+  "CMakeFiles/sqlarray_math.dir/qr.cc.o.d"
+  "CMakeFiles/sqlarray_math.dir/svd.cc.o"
+  "CMakeFiles/sqlarray_math.dir/svd.cc.o.d"
+  "libsqlarray_math.a"
+  "libsqlarray_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlarray_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

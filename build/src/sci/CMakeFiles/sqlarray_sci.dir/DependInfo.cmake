@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sci/nbody/bucket.cc" "src/sci/CMakeFiles/sqlarray_sci.dir/nbody/bucket.cc.o" "gcc" "src/sci/CMakeFiles/sqlarray_sci.dir/nbody/bucket.cc.o.d"
+  "/root/repo/src/sci/nbody/cic.cc" "src/sci/CMakeFiles/sqlarray_sci.dir/nbody/cic.cc.o" "gcc" "src/sci/CMakeFiles/sqlarray_sci.dir/nbody/cic.cc.o.d"
+  "/root/repo/src/sci/nbody/correlation.cc" "src/sci/CMakeFiles/sqlarray_sci.dir/nbody/correlation.cc.o" "gcc" "src/sci/CMakeFiles/sqlarray_sci.dir/nbody/correlation.cc.o.d"
+  "/root/repo/src/sci/nbody/cosmology.cc" "src/sci/CMakeFiles/sqlarray_sci.dir/nbody/cosmology.cc.o" "gcc" "src/sci/CMakeFiles/sqlarray_sci.dir/nbody/cosmology.cc.o.d"
+  "/root/repo/src/sci/nbody/fof.cc" "src/sci/CMakeFiles/sqlarray_sci.dir/nbody/fof.cc.o" "gcc" "src/sci/CMakeFiles/sqlarray_sci.dir/nbody/fof.cc.o.d"
+  "/root/repo/src/sci/nbody/lightcone.cc" "src/sci/CMakeFiles/sqlarray_sci.dir/nbody/lightcone.cc.o" "gcc" "src/sci/CMakeFiles/sqlarray_sci.dir/nbody/lightcone.cc.o.d"
+  "/root/repo/src/sci/nbody/merger.cc" "src/sci/CMakeFiles/sqlarray_sci.dir/nbody/merger.cc.o" "gcc" "src/sci/CMakeFiles/sqlarray_sci.dir/nbody/merger.cc.o.d"
+  "/root/repo/src/sci/nbody/snapshot.cc" "src/sci/CMakeFiles/sqlarray_sci.dir/nbody/snapshot.cc.o" "gcc" "src/sci/CMakeFiles/sqlarray_sci.dir/nbody/snapshot.cc.o.d"
+  "/root/repo/src/sci/spectrum/datacube.cc" "src/sci/CMakeFiles/sqlarray_sci.dir/spectrum/datacube.cc.o" "gcc" "src/sci/CMakeFiles/sqlarray_sci.dir/spectrum/datacube.cc.o.d"
+  "/root/repo/src/sci/spectrum/pipeline.cc" "src/sci/CMakeFiles/sqlarray_sci.dir/spectrum/pipeline.cc.o" "gcc" "src/sci/CMakeFiles/sqlarray_sci.dir/spectrum/pipeline.cc.o.d"
+  "/root/repo/src/sci/spectrum/resample.cc" "src/sci/CMakeFiles/sqlarray_sci.dir/spectrum/resample.cc.o" "gcc" "src/sci/CMakeFiles/sqlarray_sci.dir/spectrum/resample.cc.o.d"
+  "/root/repo/src/sci/spectrum/spectrum.cc" "src/sci/CMakeFiles/sqlarray_sci.dir/spectrum/spectrum.cc.o" "gcc" "src/sci/CMakeFiles/sqlarray_sci.dir/spectrum/spectrum.cc.o.d"
+  "/root/repo/src/sci/turbulence/field.cc" "src/sci/CMakeFiles/sqlarray_sci.dir/turbulence/field.cc.o" "gcc" "src/sci/CMakeFiles/sqlarray_sci.dir/turbulence/field.cc.o.d"
+  "/root/repo/src/sci/turbulence/partition.cc" "src/sci/CMakeFiles/sqlarray_sci.dir/turbulence/partition.cc.o" "gcc" "src/sci/CMakeFiles/sqlarray_sci.dir/turbulence/partition.cc.o.d"
+  "/root/repo/src/sci/turbulence/service.cc" "src/sci/CMakeFiles/sqlarray_sci.dir/turbulence/service.cc.o" "gcc" "src/sci/CMakeFiles/sqlarray_sci.dir/turbulence/service.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sqlarray_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sqlarray_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/sqlarray_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/sqlarray_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/sqlarray_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/sqlarray_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/sqlarray_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/udfs/CMakeFiles/sqlarray_udfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sqlarray_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlarray_sci.dir/nbody/bucket.cc.o"
+  "CMakeFiles/sqlarray_sci.dir/nbody/bucket.cc.o.d"
+  "CMakeFiles/sqlarray_sci.dir/nbody/cic.cc.o"
+  "CMakeFiles/sqlarray_sci.dir/nbody/cic.cc.o.d"
+  "CMakeFiles/sqlarray_sci.dir/nbody/correlation.cc.o"
+  "CMakeFiles/sqlarray_sci.dir/nbody/correlation.cc.o.d"
+  "CMakeFiles/sqlarray_sci.dir/nbody/cosmology.cc.o"
+  "CMakeFiles/sqlarray_sci.dir/nbody/cosmology.cc.o.d"
+  "CMakeFiles/sqlarray_sci.dir/nbody/fof.cc.o"
+  "CMakeFiles/sqlarray_sci.dir/nbody/fof.cc.o.d"
+  "CMakeFiles/sqlarray_sci.dir/nbody/lightcone.cc.o"
+  "CMakeFiles/sqlarray_sci.dir/nbody/lightcone.cc.o.d"
+  "CMakeFiles/sqlarray_sci.dir/nbody/merger.cc.o"
+  "CMakeFiles/sqlarray_sci.dir/nbody/merger.cc.o.d"
+  "CMakeFiles/sqlarray_sci.dir/nbody/snapshot.cc.o"
+  "CMakeFiles/sqlarray_sci.dir/nbody/snapshot.cc.o.d"
+  "CMakeFiles/sqlarray_sci.dir/spectrum/datacube.cc.o"
+  "CMakeFiles/sqlarray_sci.dir/spectrum/datacube.cc.o.d"
+  "CMakeFiles/sqlarray_sci.dir/spectrum/pipeline.cc.o"
+  "CMakeFiles/sqlarray_sci.dir/spectrum/pipeline.cc.o.d"
+  "CMakeFiles/sqlarray_sci.dir/spectrum/resample.cc.o"
+  "CMakeFiles/sqlarray_sci.dir/spectrum/resample.cc.o.d"
+  "CMakeFiles/sqlarray_sci.dir/spectrum/spectrum.cc.o"
+  "CMakeFiles/sqlarray_sci.dir/spectrum/spectrum.cc.o.d"
+  "CMakeFiles/sqlarray_sci.dir/turbulence/field.cc.o"
+  "CMakeFiles/sqlarray_sci.dir/turbulence/field.cc.o.d"
+  "CMakeFiles/sqlarray_sci.dir/turbulence/partition.cc.o"
+  "CMakeFiles/sqlarray_sci.dir/turbulence/partition.cc.o.d"
+  "CMakeFiles/sqlarray_sci.dir/turbulence/service.cc.o"
+  "CMakeFiles/sqlarray_sci.dir/turbulence/service.cc.o.d"
+  "libsqlarray_sci.a"
+  "libsqlarray_sci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlarray_sci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

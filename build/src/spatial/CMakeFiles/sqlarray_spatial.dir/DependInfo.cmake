@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spatial/kdtree.cc" "src/spatial/CMakeFiles/sqlarray_spatial.dir/kdtree.cc.o" "gcc" "src/spatial/CMakeFiles/sqlarray_spatial.dir/kdtree.cc.o.d"
+  "/root/repo/src/spatial/octree.cc" "src/spatial/CMakeFiles/sqlarray_spatial.dir/octree.cc.o" "gcc" "src/spatial/CMakeFiles/sqlarray_spatial.dir/octree.cc.o.d"
+  "/root/repo/src/spatial/zorder.cc" "src/spatial/CMakeFiles/sqlarray_spatial.dir/zorder.cc.o" "gcc" "src/spatial/CMakeFiles/sqlarray_spatial.dir/zorder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sqlarray_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

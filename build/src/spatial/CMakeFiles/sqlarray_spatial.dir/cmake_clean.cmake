@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlarray_spatial.dir/kdtree.cc.o"
+  "CMakeFiles/sqlarray_spatial.dir/kdtree.cc.o.d"
+  "CMakeFiles/sqlarray_spatial.dir/octree.cc.o"
+  "CMakeFiles/sqlarray_spatial.dir/octree.cc.o.d"
+  "CMakeFiles/sqlarray_spatial.dir/zorder.cc.o"
+  "CMakeFiles/sqlarray_spatial.dir/zorder.cc.o.d"
+  "libsqlarray_spatial.a"
+  "libsqlarray_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlarray_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

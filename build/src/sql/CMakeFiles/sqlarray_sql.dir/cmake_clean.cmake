@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlarray_sql.dir/lexer.cc.o"
+  "CMakeFiles/sqlarray_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/sqlarray_sql.dir/parser.cc.o"
+  "CMakeFiles/sqlarray_sql.dir/parser.cc.o.d"
+  "CMakeFiles/sqlarray_sql.dir/session.cc.o"
+  "CMakeFiles/sqlarray_sql.dir/session.cc.o.d"
+  "libsqlarray_sql.a"
+  "libsqlarray_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlarray_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/blob.cc" "src/storage/CMakeFiles/sqlarray_storage.dir/blob.cc.o" "gcc" "src/storage/CMakeFiles/sqlarray_storage.dir/blob.cc.o.d"
+  "/root/repo/src/storage/btree.cc" "src/storage/CMakeFiles/sqlarray_storage.dir/btree.cc.o" "gcc" "src/storage/CMakeFiles/sqlarray_storage.dir/btree.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/storage/CMakeFiles/sqlarray_storage.dir/buffer_pool.cc.o" "gcc" "src/storage/CMakeFiles/sqlarray_storage.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/disk.cc" "src/storage/CMakeFiles/sqlarray_storage.dir/disk.cc.o" "gcc" "src/storage/CMakeFiles/sqlarray_storage.dir/disk.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/storage/CMakeFiles/sqlarray_storage.dir/schema.cc.o" "gcc" "src/storage/CMakeFiles/sqlarray_storage.dir/schema.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/storage/CMakeFiles/sqlarray_storage.dir/table.cc.o" "gcc" "src/storage/CMakeFiles/sqlarray_storage.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sqlarray_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sqlarray_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

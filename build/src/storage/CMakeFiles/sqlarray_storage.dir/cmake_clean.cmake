@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlarray_storage.dir/blob.cc.o"
+  "CMakeFiles/sqlarray_storage.dir/blob.cc.o.d"
+  "CMakeFiles/sqlarray_storage.dir/btree.cc.o"
+  "CMakeFiles/sqlarray_storage.dir/btree.cc.o.d"
+  "CMakeFiles/sqlarray_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/sqlarray_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/sqlarray_storage.dir/disk.cc.o"
+  "CMakeFiles/sqlarray_storage.dir/disk.cc.o.d"
+  "CMakeFiles/sqlarray_storage.dir/schema.cc.o"
+  "CMakeFiles/sqlarray_storage.dir/schema.cc.o.d"
+  "CMakeFiles/sqlarray_storage.dir/table.cc.o"
+  "CMakeFiles/sqlarray_storage.dir/table.cc.o.d"
+  "libsqlarray_storage.a"
+  "libsqlarray_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlarray_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

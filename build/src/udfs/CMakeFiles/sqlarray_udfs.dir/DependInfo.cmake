@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/udfs/array_udfs.cc" "src/udfs/CMakeFiles/sqlarray_udfs.dir/array_udfs.cc.o" "gcc" "src/udfs/CMakeFiles/sqlarray_udfs.dir/array_udfs.cc.o.d"
+  "/root/repo/src/udfs/concat.cc" "src/udfs/CMakeFiles/sqlarray_udfs.dir/concat.cc.o" "gcc" "src/udfs/CMakeFiles/sqlarray_udfs.dir/concat.cc.o.d"
+  "/root/repo/src/udfs/datetime_udfs.cc" "src/udfs/CMakeFiles/sqlarray_udfs.dir/datetime_udfs.cc.o" "gcc" "src/udfs/CMakeFiles/sqlarray_udfs.dir/datetime_udfs.cc.o.d"
+  "/root/repo/src/udfs/generic_udfs.cc" "src/udfs/CMakeFiles/sqlarray_udfs.dir/generic_udfs.cc.o" "gcc" "src/udfs/CMakeFiles/sqlarray_udfs.dir/generic_udfs.cc.o.d"
+  "/root/repo/src/udfs/helpers.cc" "src/udfs/CMakeFiles/sqlarray_udfs.dir/helpers.cc.o" "gcc" "src/udfs/CMakeFiles/sqlarray_udfs.dir/helpers.cc.o.d"
+  "/root/repo/src/udfs/math_udfs.cc" "src/udfs/CMakeFiles/sqlarray_udfs.dir/math_udfs.cc.o" "gcc" "src/udfs/CMakeFiles/sqlarray_udfs.dir/math_udfs.cc.o.d"
+  "/root/repo/src/udfs/tvf_udfs.cc" "src/udfs/CMakeFiles/sqlarray_udfs.dir/tvf_udfs.cc.o" "gcc" "src/udfs/CMakeFiles/sqlarray_udfs.dir/tvf_udfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/sqlarray_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/sqlarray_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/sqlarray_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sqlarray_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sqlarray_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sqlarray_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

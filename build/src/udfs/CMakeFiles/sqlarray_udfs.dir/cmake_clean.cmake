@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlarray_udfs.dir/array_udfs.cc.o"
+  "CMakeFiles/sqlarray_udfs.dir/array_udfs.cc.o.d"
+  "CMakeFiles/sqlarray_udfs.dir/concat.cc.o"
+  "CMakeFiles/sqlarray_udfs.dir/concat.cc.o.d"
+  "CMakeFiles/sqlarray_udfs.dir/datetime_udfs.cc.o"
+  "CMakeFiles/sqlarray_udfs.dir/datetime_udfs.cc.o.d"
+  "CMakeFiles/sqlarray_udfs.dir/generic_udfs.cc.o"
+  "CMakeFiles/sqlarray_udfs.dir/generic_udfs.cc.o.d"
+  "CMakeFiles/sqlarray_udfs.dir/helpers.cc.o"
+  "CMakeFiles/sqlarray_udfs.dir/helpers.cc.o.d"
+  "CMakeFiles/sqlarray_udfs.dir/math_udfs.cc.o"
+  "CMakeFiles/sqlarray_udfs.dir/math_udfs.cc.o.d"
+  "CMakeFiles/sqlarray_udfs.dir/tvf_udfs.cc.o"
+  "CMakeFiles/sqlarray_udfs.dir/tvf_udfs.cc.o.d"
+  "libsqlarray_udfs.a"
+  "libsqlarray_udfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlarray_udfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_concat.dir/test_concat.cc.o"
+  "CMakeFiles/test_concat.dir/test_concat.cc.o.d"
+  "test_concat"
+  "test_concat.pdb"
+  "test_concat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_concat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

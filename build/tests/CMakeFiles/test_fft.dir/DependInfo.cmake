@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_fft.cc" "tests/CMakeFiles/test_fft.dir/test_fft.cc.o" "gcc" "tests/CMakeFiles/test_fft.dir/test_fft.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sqlarray_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sqlarray_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/sqlarray_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/sqlarray_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/sqlarray_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sqlarray_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/sqlarray_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/sqlarray_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/udfs/CMakeFiles/sqlarray_udfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sci/CMakeFiles/sqlarray_sci.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/sqlarray_client.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_turbulence.dir/test_turbulence.cc.o"
+  "CMakeFiles/test_turbulence.dir/test_turbulence.cc.o.d"
+  "test_turbulence"
+  "test_turbulence.pdb"
+  "test_turbulence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_turbulence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_udfs.dir/test_udfs.cc.o"
+  "CMakeFiles/test_udfs.dir/test_udfs.cc.o.d"
+  "test_udfs"
+  "test_udfs.pdb"
+  "test_udfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_udfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
