@@ -1,0 +1,69 @@
+#include "common/crc32c.h"
+
+#include <array>
+#include <cstring>
+
+namespace sqlarray {
+
+namespace {
+
+/// 8 slicing tables, generated once at first use. Table 0 is the classic
+/// byte-at-a-time table; table k folds a byte k positions ahead.
+struct Crc32cTables {
+  std::array<std::array<uint32_t, 256>, 8> t;
+
+  Crc32cTables() {
+    constexpr uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = t[0][i];
+      for (int k = 1; k < 8; ++k) {
+        crc = (crc >> 8) ^ t[0][crc & 0xFF];
+        t[k][i] = crc;
+      }
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32c(std::span<const uint8_t> data, uint32_t seed) {
+  const auto& t = Tables().t;
+  uint32_t crc = ~seed;
+  const uint8_t* p = data.data();
+  size_t n = data.size();
+
+  // Byte-align is unnecessary: we load via memcpy. Process 8 bytes a round.
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    // Little-endian fold: low 4 bytes mix with the running crc.
+    crc ^= static_cast<uint32_t>(word);
+    uint32_t high = static_cast<uint32_t>(word >> 32);
+    crc = t[7][crc & 0xFF] ^ t[6][(crc >> 8) & 0xFF] ^
+          t[5][(crc >> 16) & 0xFF] ^ t[4][crc >> 24] ^
+          t[3][high & 0xFF] ^ t[2][(high >> 8) & 0xFF] ^
+          t[1][(high >> 16) & 0xFF] ^ t[0][high >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = (crc >> 8) ^ t[0][(crc ^ *p) & 0xFF];
+    ++p;
+    --n;
+  }
+  return ~crc;
+}
+
+}  // namespace sqlarray

@@ -1,0 +1,29 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78).
+//
+// The checksum production storage engines put on every page (SQL Server's
+// PAGE_VERIFY CHECKSUM, LevelDB/RocksDB block trailers, ext4 metadata). The
+// storage layer stamps each written page with a CRC32C and verifies it on
+// read so torn writes and media bit rot surface as kCorruption instead of
+// silently wrong query results. Implemented as slicing-by-8 so the per-page
+// cost stays small next to the modeled I/O time (bench/bench_checksum
+// measures it).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace sqlarray {
+
+/// CRC32C of `data`, starting from `seed` (pass a previous return value to
+/// checksum a byte sequence incrementally). The seed/result are plain CRC
+/// values — the pre/post inversion is handled internally.
+uint32_t Crc32c(std::span<const uint8_t> data, uint32_t seed = 0);
+
+/// Convenience overload for raw buffers.
+inline uint32_t Crc32c(const void* data, size_t size, uint32_t seed = 0) {
+  return Crc32c(
+      std::span<const uint8_t>(static_cast<const uint8_t*>(data), size), seed);
+}
+
+}  // namespace sqlarray

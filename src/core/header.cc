@@ -1,10 +1,34 @@
 #include "core/header.h"
 
+#include <limits>
 #include <string>
 
 #include "common/bytes.h"
 
 namespace sqlarray {
+
+namespace {
+
+/// Guards dims decoded from untrusted bytes: ValidateDims rejects negative
+/// sizes and element-count overflow, and the payload size must also fit
+/// int64 together with the header. Every failure is kCorruption — the bytes
+/// claim a shape no writer can produce.
+Status ValidateDecodedShape(const ArrayHeader& h) {
+  Status dims_ok = ValidateDims(h.dims);
+  if (!dims_ok.ok()) {
+    return Status::Corruption("array header has invalid dimensions: " +
+                              dims_ok.message());
+  }
+  const int64_t elem = DTypeSize(h.dtype);
+  const int64_t limit =
+      (std::numeric_limits<int64_t>::max() - h.header_size()) / elem;
+  if (h.num_elements() > limit) {
+    return Status::Corruption("array payload size overflows int64");
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 Status ValidateHeader(DType dtype, std::span<const int64_t> dims,
                       StorageClass storage) {
@@ -36,6 +60,14 @@ Status ValidateHeader(DType dtype, std::span<const int64_t> dims,
             "max array dimension size " + std::to_string(d) +
             " exceeds int32 limit");
       }
+    }
+    // ValidateDims bounds the element count; the byte size must fit too.
+    const int64_t header =
+        kMaxHeaderPrefixSize + 4 * static_cast<int64_t>(dims.size());
+    const int64_t limit =
+        (std::numeric_limits<int64_t>::max() - header) / DTypeSize(dtype);
+    if (ElementCount(dims) > limit) {
+      return Status::InvalidArgument("array payload size overflows int64");
     }
   }
   return Status::OK();
@@ -124,6 +156,7 @@ Result<ArrayHeader> DecodeHeader(std::span<const uint8_t> blob) {
       }
       h.dims[k] = d;
     }
+    SQLARRAY_RETURN_IF_ERROR(ValidateDecodedShape(h));
     if (h.num_elements() != static_cast<int64_t>(count)) {
       return Status::Corruption(
           "short array element count does not match dimension sizes");
@@ -151,7 +184,8 @@ Result<ArrayHeader> DecodeHeader(std::span<const uint8_t> blob) {
       }
       h.dims[k] = d;
     }
-    if (h.num_elements() != count) {
+    SQLARRAY_RETURN_IF_ERROR(ValidateDecodedShape(h));
+    if (count < 0 || h.num_elements() != count) {
       return Status::Corruption(
           "max array element count does not match dimension sizes");
     }
@@ -175,8 +209,16 @@ Result<int64_t> PeekHeaderSize(std::span<const uint8_t> prefix) {
   if (prefix[0] != kArrayMagic) {
     return Status::Corruption("array blob has bad magic byte");
   }
+  if (prefix[1] > 1) {
+    return Status::Corruption("array blob has unknown flags " +
+                              std::to_string(prefix[1]));
+  }
   if (prefix[1] == 0) return static_cast<int64_t>(kShortHeaderSize);
   uint32_t rank = DecodeLE<uint32_t>(prefix.data() + 4);
+  if (rank < 1 || rank > (1u << 20)) {
+    return Status::Corruption("max array has implausible rank " +
+                              std::to_string(rank));
+  }
   return static_cast<int64_t>(kMaxHeaderPrefixSize) + 4 * rank;
 }
 

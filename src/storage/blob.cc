@@ -85,7 +85,7 @@ Result<std::vector<uint8_t>> BlobStore::ReadAll(const BlobId& id) {
 }
 
 Result<BlobStream> BlobStream::Open(BufferPool* pool, const BlobId& id) {
-  SQLARRAY_ASSIGN_OR_RETURN(const Page* root, pool->GetPage(id.root));
+  SQLARRAY_ASSIGN_OR_RETURN(PinnedPage root, pool->GetPage(id.root));
   if (root->data()[0] != static_cast<uint8_t>(PageType::kBlobIndex)) {
     return Status::Corruption("blob root is not an index page");
   }
@@ -115,7 +115,7 @@ Result<PageId> BlobStream::DataPageOf(int64_t k) {
   }
   if (slot != index_cache_slot_) {
     PageId l1 = DecodeLE<uint32_t>(root + 8 + 4 * slot);
-    SQLARRAY_ASSIGN_OR_RETURN(const Page* page, pool_->GetPage(l1));
+    SQLARRAY_ASSIGN_OR_RETURN(PinnedPage page, pool_->GetPage(l1));
     if (page->data()[0] != static_cast<uint8_t>(PageType::kBlobIndex)) {
       return Status::Corruption("blob level-1 page is not an index page");
     }
@@ -143,7 +143,7 @@ Status BlobStream::ReadAt(int64_t offset, std::span<uint8_t> out) {
     int64_t in_page = pos % kBlobDataCapacity;
     int64_t take = std::min(remaining, kBlobDataCapacity - in_page);
     SQLARRAY_ASSIGN_OR_RETURN(PageId pid, DataPageOf(k));
-    SQLARRAY_ASSIGN_OR_RETURN(const Page* page, pool_->GetPage(pid));
+    SQLARRAY_ASSIGN_OR_RETURN(PinnedPage page, pool_->GetPage(pid));
     if (page->data()[0] != static_cast<uint8_t>(PageType::kBlobData)) {
       return Status::Corruption("blob data page has wrong type");
     }

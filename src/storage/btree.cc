@@ -92,7 +92,7 @@ Result<BTree> BTree::Create(BufferPool* pool, int64_t row_size) {
 Result<BTree::SplitResult> BTree::InsertRecurse(PageId node, int level,
                                                 std::span<const uint8_t> row,
                                                 int64_t key) {
-  SQLARRAY_ASSIGN_OR_RETURN(const Page* loaded, pool_->GetPage(node));
+  SQLARRAY_ASSIGN_OR_RETURN(PinnedPage loaded, pool_->GetPage(node));
   Page page = *loaded;
 
   if (level == 0) {
@@ -241,10 +241,10 @@ Status BTree::Insert(std::span<const uint8_t> row) {
 Result<bool> BTree::Lookup(int64_t key, std::vector<uint8_t>* row_out) {
   PageId node = root_;
   for (int level = height_ - 1; level > 0; --level) {
-    SQLARRAY_ASSIGN_OR_RETURN(const Page* page, pool_->GetPage(node));
+    SQLARRAY_ASSIGN_OR_RETURN(PinnedPage page, pool_->GetPage(node));
     node = InternalChildAt(*page, ChildIndexFor(*page, key));
   }
-  SQLARRAY_ASSIGN_OR_RETURN(const Page* leaf, pool_->GetPage(node));
+  SQLARRAY_ASSIGN_OR_RETURN(PinnedPage leaf, pool_->GetPage(node));
   uint32_t n = PageCount(*leaf);
   uint32_t lo = 0, hi = n;
   while (lo < hi) {
@@ -377,10 +377,10 @@ Status BTree::BulkLoader::Finish() {
 Result<bool> BTree::Delete(int64_t key) {
   PageId node = root_;
   for (int level = height_ - 1; level > 0; --level) {
-    SQLARRAY_ASSIGN_OR_RETURN(const Page* page, pool_->GetPage(node));
+    SQLARRAY_ASSIGN_OR_RETURN(PinnedPage page, pool_->GetPage(node));
     node = InternalChildAt(*page, ChildIndexFor(*page, key));
   }
-  SQLARRAY_ASSIGN_OR_RETURN(const Page* loaded, pool_->GetPage(node));
+  SQLARRAY_ASSIGN_OR_RETURN(PinnedPage loaded, pool_->GetPage(node));
   Page leaf = *loaded;
   uint32_t n = PageCount(leaf);
   uint32_t lo = 0, hi = n;
@@ -405,7 +405,7 @@ Result<bool> BTree::Delete(int64_t key) {
 
 Status BTree::Cursor::LoadLeaf(PageId id) {
   while (id != kNullPage) {
-    SQLARRAY_ASSIGN_OR_RETURN(const Page* page, pool_->GetPage(id));
+    SQLARRAY_ASSIGN_OR_RETURN(PinnedPage page, pool_->GetPage(id));
     page_ = *page;
     count_ = PageCount(page_);
     next_ = LeafNext(page_);
@@ -434,7 +434,7 @@ Status BTree::Cursor::Next() {
 
 Status BTree::ChunkCursor::LoadNextPage() {
   while (page_idx_ < pages_.size()) {
-    SQLARRAY_ASSIGN_OR_RETURN(const Page* page,
+    SQLARRAY_ASSIGN_OR_RETURN(PinnedPage page,
                               pool_->GetPage(pages_[page_idx_++]));
     page_ = *page;
     count_ = PageCount(page_);

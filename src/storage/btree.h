@@ -45,6 +45,11 @@ class BTree {
   int height() const { return height_; }
   /// Rows per leaf page.
   int64_t leaf_capacity() const { return leaf_capacity_; }
+  /// (first_key, child) entries per internal page.
+  int64_t internal_capacity() const { return internal_capacity_; }
+  /// Root / first-leaf page ids (structural-verifier access).
+  PageId root_page() const { return root_; }
+  PageId first_leaf_page() const { return first_leaf_; }
 
   /// Inserts a row (its embedded key must be unique). Rows arriving in
   /// ascending key order fill pages densely via a fast append path.

@@ -1,35 +1,86 @@
 #include "storage/buffer_pool.h"
 
+#include <string>
+
 namespace sqlarray::storage {
 
-Result<const Page*> BufferPool::GetPage(PageId id) {
+void PinnedPage::Release() {
+  if (pool_ != nullptr && id_ != kNullPage) {
+    pool_->Unpin(id_);
+  }
+  pool_ = nullptr;
+  id_ = kNullPage;
+  page_ = nullptr;
+}
+
+void BufferPool::Unpin(PageId id) {
+  auto it = cache_.find(id);
+  assert(it != cache_.end() && "unpin of a page not in the cache");
+  if (it == cache_.end()) return;
+  assert(it->second.pins > 0 && "unpin underflow");
+  if (it->second.pins > 0 && --it->second.pins == 0) {
+    --pinned_pages_;
+    // A pinned entry may have kept the pool over capacity; settle now.
+    EvictDownTo(capacity_);
+  }
+}
+
+void BufferPool::EvictDownTo(int64_t target) {
+  // Walk from the LRU end, skipping pinned entries.
+  auto it = lru_.end();
+  while (static_cast<int64_t>(cache_.size()) > target &&
+         it != lru_.begin()) {
+    --it;
+    auto centry = cache_.find(*it);
+    if (centry != cache_.end() && centry->second.pins > 0) continue;
+    if (centry != cache_.end()) cache_.erase(centry);
+    it = lru_.erase(it);  // returns the element after; loop steps back past it
+  }
+}
+
+Result<PinnedPage> BufferPool::GetPage(PageId id) {
   auto it = cache_.find(id);
   if (it != cache_.end()) {
     ++hits_;
     lru_.erase(it->second.lru_it);
     lru_.push_front(id);
     it->second.lru_it = lru_.begin();
-    return const_cast<const Page*>(&it->second.page);
+    if (it->second.pins++ == 0) ++pinned_pages_;
+    return PinnedPage(this, id, &it->second.page);
   }
 
   ++misses_;
-  if (static_cast<int64_t>(cache_.size()) >= capacity_) {
-    PageId victim = lru_.back();
-    lru_.pop_back();
-    cache_.erase(victim);
+  // Read into a local image first: a failed read must leave no cache entry,
+  // and retries must not expose a half-written one.
+  Page image;
+  Status st = disk_->ReadPage(id, &image);
+  int attempt = 1;
+  while (!st.ok() && st.code() != StatusCode::kInvalidArgument &&
+         attempt < max_read_attempts_) {
+    ++attempt;
+    disk_->NoteReadRetry(attempt);
+    st = disk_->ReadPage(id, &image);
+    if (st.ok()) disk_->NoteFaultHealed();
   }
+  if (!st.ok()) {
+    if (st.code() == StatusCode::kInvalidArgument) return st;
+    // Retry budget exhausted: escalate to kCorruption with the page id.
+    return Status::Corruption("page " + std::to_string(id) +
+                              " unreadable after " + std::to_string(attempt) +
+                              " attempt(s): " + st.message());
+  }
+
+  // Make room for the incoming entry (which is born pinned).
+  EvictDownTo(capacity_ - 1);
   lru_.push_front(id);
   Entry entry;
+  entry.page = image;
   entry.lru_it = lru_.begin();
+  entry.pins = 1;
   auto [ins, ok] = cache_.emplace(id, std::move(entry));
   (void)ok;
-  Status st = disk_->ReadPage(id, &ins->second.page);
-  if (!st.ok()) {
-    lru_.pop_front();
-    cache_.erase(ins);
-    return st;
-  }
-  return const_cast<const Page*>(&ins->second.page);
+  ++pinned_pages_;
+  return PinnedPage(this, id, &ins->second.page);
 }
 
 Status BufferPool::WritePage(PageId id, const Page& page) {
@@ -41,8 +92,16 @@ Status BufferPool::WritePage(PageId id, const Page& page) {
 }
 
 void BufferPool::ClearCache() {
-  cache_.clear();
-  lru_.clear();
+  // Pinned entries must survive (guards hold pointers into them).
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    auto centry = cache_.find(*it);
+    if (centry != cache_.end() && centry->second.pins == 0) {
+      cache_.erase(centry);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 }  // namespace sqlarray::storage

@@ -4,27 +4,77 @@
 // explicitly cleared before each performance test run"); ClearCache()
 // reproduces that, and hit/miss counters let benches verify their cache
 // assumptions.
+//
+// Fetches return a PinnedPage guard: the entry cannot be evicted while any
+// guard on it lives, which closes the old pointer-invalidation hazard where
+// a returned Page* could be evicted mid-use. Reads that fail are retried a
+// bounded number of times with modeled backoff (the SQL Server read-retry
+// behaviour); faults that persist past the retry budget escalate to
+// kCorruption naming the page.
 #pragma once
 
+#include <cassert>
 #include <list>
 #include <unordered_map>
+#include <utility>
 
 #include "common/status.h"
 #include "storage/disk.h"
 
 namespace sqlarray::storage {
 
-/// A read-through / write-through LRU page cache.
+class BufferPool;
+
+/// Move-only RAII pin over one cached page. The pointed-to page stays
+/// resident (and the pointer valid) until the guard is destroyed.
+class PinnedPage {
+ public:
+  PinnedPage() = default;
+  PinnedPage(PinnedPage&& o) noexcept { *this = std::move(o); }
+  PinnedPage& operator=(PinnedPage&& o) noexcept {
+    Release();
+    pool_ = std::exchange(o.pool_, nullptr);
+    id_ = std::exchange(o.id_, kNullPage);
+    page_ = std::exchange(o.page_, nullptr);
+    return *this;
+  }
+  PinnedPage(const PinnedPage&) = delete;
+  PinnedPage& operator=(const PinnedPage&) = delete;
+  ~PinnedPage() { Release(); }
+
+  const Page* get() const { return page_; }
+  const Page& operator*() const { return *page_; }
+  const Page* operator->() const { return page_; }
+  explicit operator bool() const { return page_ != nullptr; }
+  PageId id() const { return id_; }
+
+  /// Drops the pin early.
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PinnedPage(BufferPool* pool, PageId id, const Page* page)
+      : pool_(pool), id_(id), page_(page) {}
+
+  BufferPool* pool_ = nullptr;
+  PageId id_ = kNullPage;
+  const Page* page_ = nullptr;
+};
+
+/// A read-through / write-through LRU page cache with pinning.
 class BufferPool {
  public:
-  /// `capacity_pages` bounds resident pages (default 64 MB worth).
+  /// `capacity_pages` bounds resident pages (default 64 MB worth). Pinned
+  /// pages never count as eviction victims, so the pool may transiently
+  /// exceed capacity while many pins are held.
   explicit BufferPool(SimulatedDisk* disk, int64_t capacity_pages = 8192)
       : disk_(disk), capacity_(capacity_pages) {}
 
-  /// Fetches a page, via cache. The returned pointer stays valid until the
-  /// page is evicted; single-threaded callers should copy out or finish
-  /// using it before fetching more pages than the capacity.
-  Result<const Page*> GetPage(PageId id);
+  /// Fetches a page via the cache and pins it. The page stays resident until
+  /// the returned guard dies. Transient read faults are retried up to
+  /// max_read_attempts() with modeled backoff; persistent failures escalate
+  /// to kCorruption naming the page id.
+  Result<PinnedPage> GetPage(PageId id);
 
   /// Writes through: updates the cache entry (if resident) and the disk.
   Status WritePage(PageId id, const Page& page);
@@ -32,19 +82,36 @@ class BufferPool {
   /// Allocates a fresh page on the disk (not yet cached).
   PageId AllocatePage() { return disk_->AllocatePage(); }
 
-  /// Drops every cached page — the cold-cache reset used before each
-  /// benchmark run (DBCC DROPCLEANBUFFERS in SQL Server terms).
+  /// Drops every unpinned cached page — the cold-cache reset used before
+  /// each benchmark run (DBCC DROPCLEANBUFFERS in SQL Server terms).
   void ClearCache();
+
+  /// Bounded read retry budget (total attempts, >= 1). Default 3 mirrors
+  /// the host engine's read-retry behaviour; set 1 to surface raw faults.
+  void set_max_read_attempts(int attempts) {
+    max_read_attempts_ = attempts < 1 ? 1 : attempts;
+  }
+  int max_read_attempts() const { return max_read_attempts_; }
 
   int64_t hits() const { return hits_; }
   int64_t misses() const { return misses_; }
+  /// Currently pinned entries (test/assert access).
+  int64_t pinned_pages() const { return pinned_pages_; }
   SimulatedDisk* disk() { return disk_; }
 
  private:
+  friend class PinnedPage;
+
   struct Entry {
     Page page;
     std::list<PageId>::iterator lru_it;
+    int pins = 0;
   };
+
+  void Unpin(PageId id);
+  /// Evicts least-recently-used unpinned entries until at most `target`
+  /// remain (or only pinned entries are left).
+  void EvictDownTo(int64_t target);
 
   SimulatedDisk* disk_;
   int64_t capacity_;
@@ -52,6 +119,8 @@ class BufferPool {
   std::list<PageId> lru_;  // front = most recent
   int64_t hits_ = 0;
   int64_t misses_ = 0;
+  int64_t pinned_pages_ = 0;
+  int max_read_attempts_ = 3;
 };
 
 }  // namespace sqlarray::storage

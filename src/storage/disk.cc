@@ -2,20 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <string>
+
+#include "common/crc32c.h"
 
 namespace sqlarray::storage {
 
 namespace {
 
-/// FNV-1a over a page image.
-uint64_t PageChecksum(const Page& page) {
-  uint64_t h = 1469598103934665603ULL;
-  for (uint8_t b : page.bytes) {
-    h ^= b;
-    h *= 1099511628211ULL;
-  }
-  return h;
+uint32_t PageChecksum(const Page& page) {
+  return Crc32c(page.data(), static_cast<size_t>(kPageSize));
 }
 
 }  // namespace
@@ -27,6 +24,32 @@ PageId SimulatedDisk::AllocatePage() {
   return static_cast<PageId>(pages_.size());
 }
 
+FaultInjector* SimulatedDisk::EnableFaults(FaultConfig config) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  injector_ = std::make_unique<FaultInjector>(config);
+  return injector_.get();
+}
+
+void SimulatedDisk::DisableFaults() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  injector_.reset();
+}
+
+void SimulatedDisk::NoteReadRetry(int attempt) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.read_retries;
+  // Exponential backoff: attempt k sleeps 2^(k-1) * retry_backoff_us of
+  // modeled time.
+  stats_.virtual_read_seconds +=
+      config_.retry_backoff_us * std::ldexp(1.0, std::max(0, attempt - 1)) *
+      1e-6;
+}
+
+void SimulatedDisk::NoteFaultHealed() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.transient_faults_healed;
+}
+
 Status SimulatedDisk::ReadPage(PageId id, Page* out) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (id == kNullPage || id > pages_.size()) {
@@ -35,14 +58,33 @@ Status SimulatedDisk::ReadPage(PageId id, Page* out) {
   }
   if (fault_countdown_ == 0) {
     fault_countdown_ = -1;  // one-shot fault
+    ++stats_.read_errors;
     return Status::Corruption("injected read fault on page " +
                               std::to_string(id));
   }
   if (fault_countdown_ > 0) --fault_countdown_;
+
+  if (injector_) {
+    if (injector_->ShouldFailRead(id)) {
+      ++stats_.read_errors;
+      return Status::Internal("transient read error on page " +
+                              std::to_string(id));
+    }
+    int64_t byte = 0;
+    int bit = 0;
+    if (injector_->ShouldFlipBit(&byte, &bit)) {
+      // Media rot: the stored image mutates, its checksum does not.
+      pages_[id - 1]->data()[byte] ^=
+          static_cast<uint8_t>(1u << bit);
+    }
+  }
+
   *out = *pages_[id - 1];
   if (checksums_enabled_) {
     auto it = checksums_.find(id);
     if (it != checksums_.end() && it->second != PageChecksum(*out)) {
+      ++stats_.read_errors;
+      ++stats_.checksum_failures;
       return Status::Corruption("checksum mismatch on page " +
                                 std::to_string(id) +
                                 " (torn or corrupted page)");
@@ -90,7 +132,24 @@ Status SimulatedDisk::WritePage(PageId id, const Page& page) {
     return Status::InvalidArgument("write of unallocated page " +
                                    std::to_string(id));
   }
-  *pages_[id - 1] = page;
+
+  bool stored = true;
+  if (injector_) {
+    int64_t keep = 0;
+    if (injector_->ShouldDropWrite()) {
+      // Lost write: the media keeps the old image while the controller acks
+      // the new one — the new checksum is recorded, so the next read fails
+      // verification instead of silently serving stale data.
+      stored = false;
+    } else if (injector_->ShouldTearWrite(&keep)) {
+      // Torn write: only the prefix reaches the media.
+      std::memcpy(pages_[id - 1]->data(), page.data(),
+                  static_cast<size_t>(keep));
+      stored = false;
+    }
+  }
+  if (stored) *pages_[id - 1] = page;
+
   if (checksums_enabled_) checksums_[id] = PageChecksum(page);
   stats_.pages_written++;
   stats_.bytes_written += kPageSize;

@@ -5,6 +5,13 @@
 // and write is accounted in IoStats, including a virtual-time model that
 // distinguishes sequential from random access so benches can report
 // projected full-scale timings alongside real wall-clock measurements.
+//
+// Robustness: every written page is stamped with a CRC32C (the PAGE_VERIFY
+// CHECKSUM stand-in) verified on read, and a seeded FaultInjector can
+// subject the media to transient read errors, bit flips, torn writes, and
+// dropped writes — see storage/fault.h. Transient faults are healed by the
+// buffer pool's bounded retry; persistent corruption surfaces as
+// kCorruption naming the offending page.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +22,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "storage/fault.h"
 #include "storage/page.h"
 
 namespace sqlarray::storage {
@@ -35,9 +43,17 @@ struct DiskConfig {
   /// Write throughput (writes are not on the measured paths but are modeled
   /// for completeness).
   double write_mb_per_s = 800.0;
+  /// Stamp every written page with a CRC32C and verify it on read
+  /// (PAGE_VERIFY CHECKSUM). Turning this off models PAGE_VERIFY NONE:
+  /// corruption flows through undetected.
+  bool verify_checksums = true;
+  /// Virtual time charged per read retry attempt by the buffer pool
+  /// (doubled each attempt — the controller's retry/backoff schedule).
+  double retry_backoff_us = 100.0;
 };
 
-/// I/O accounting, including virtual (modeled) elapsed time.
+/// I/O accounting, including virtual (modeled) elapsed time and the
+/// robustness counters the corruption-recovery tests assert on.
 struct IoStats {
   int64_t pages_read = 0;
   int64_t pages_written = 0;
@@ -47,6 +63,14 @@ struct IoStats {
   int64_t bytes_written = 0;
   double virtual_read_seconds = 0;
   double virtual_write_seconds = 0;
+  /// Reads that failed verification or errored (before any retry).
+  int64_t read_errors = 0;
+  /// Retry attempts issued by the buffer pool.
+  int64_t read_retries = 0;
+  /// Reads that failed at least once but succeeded on a retry.
+  int64_t transient_faults_healed = 0;
+  /// Reads rejected with a checksum mismatch.
+  int64_t checksum_failures = 0;
 
   IoStats operator-(const IoStats& o) const {
     return {pages_read - o.pages_read,
@@ -56,7 +80,11 @@ struct IoStats {
             bytes_read - o.bytes_read,
             bytes_written - o.bytes_written,
             virtual_read_seconds - o.virtual_read_seconds,
-            virtual_write_seconds - o.virtual_write_seconds};
+            virtual_write_seconds - o.virtual_write_seconds,
+            read_errors - o.read_errors,
+            read_retries - o.read_retries,
+            transient_faults_healed - o.transient_faults_healed,
+            checksum_failures - o.checksum_failures};
   }
 };
 
@@ -66,7 +94,8 @@ struct IoStats {
 /// real engine's parallel scan does).
 class SimulatedDisk {
  public:
-  explicit SimulatedDisk(DiskConfig config = {}) : config_(config) {}
+  explicit SimulatedDisk(DiskConfig config = {})
+      : config_(config), checksums_enabled_(config.verify_checksums) {}
 
   /// Allocates a zeroed page and returns its id (never kNullPage).
   PageId AllocatePage();
@@ -77,7 +106,9 @@ class SimulatedDisk {
   }
   int64_t allocated_bytes() const { return page_count() * kPageSize; }
 
-  /// Reads a page image, charging the I/O model.
+  /// Reads a page image, charging the I/O model. Fails with kInternal for
+  /// transient faults (worth retrying) and kCorruption for checksum
+  /// mismatches; both name the page id.
   Status ReadPage(PageId id, Page* out);
 
   /// Writes a page image, charging the I/O model.
@@ -96,12 +127,29 @@ class SimulatedDisk {
   /// Pass a negative value to disarm.
   void InjectReadFaultAfter(int64_t reads) { fault_countdown_ = reads; }
 
+  /// Installs a seeded fault injector (replacing any previous one); pass a
+  /// default-constructed config with all rates zero to disarm. Returns the
+  /// injector for targeted arming and stats access; owned by the disk.
+  FaultInjector* EnableFaults(FaultConfig config);
+  /// Removes the fault injector.
+  void DisableFaults();
+  /// The active injector, or null.
+  FaultInjector* fault_injector() { return injector_.get(); }
+
   /// Flips one byte of a stored page WITHOUT refreshing its checksum —
   /// simulates media corruption that page verification must catch.
   Status CorruptPageByte(PageId id, int64_t offset);
 
   /// Page checksum verification (on by default, like PAGE_VERIFY CHECKSUM).
   void set_checksums_enabled(bool enabled) { checksums_enabled_ = enabled; }
+  bool checksums_enabled() const { return checksums_enabled_; }
+
+  /// Accounting hooks for the buffer pool's bounded retry: each retry
+  /// charges backoff virtual time (doubling per attempt) and bumps
+  /// read_retries; a read that eventually succeeds after failures counts as
+  /// a healed transient fault.
+  void NoteReadRetry(int attempt);
+  void NoteFaultHealed();
 
  private:
   DiskConfig config_;
@@ -109,10 +157,11 @@ class SimulatedDisk {
   IoStats stats_;
   /// Per-thread read-ahead stream position for seq/random classification.
   std::unordered_map<std::thread::id, PageId> last_read_by_thread_;
-  /// FNV-1a checksum of each written page (PAGE_VERIFY CHECKSUM stand-in).
-  std::unordered_map<PageId, uint64_t> checksums_;
+  /// CRC32C of each written page (PAGE_VERIFY CHECKSUM stand-in).
+  std::unordered_map<PageId, uint32_t> checksums_;
   bool checksums_enabled_ = true;
   int64_t fault_countdown_ = -1;
+  std::unique_ptr<FaultInjector> injector_;
   mutable std::mutex mutex_;
 };
 

@@ -96,6 +96,9 @@ class Table {
 
   BlobStore* blob_store() { return blobs_; }
 
+  /// The clustered index itself (structural-verifier access).
+  const BTree& clustered_index() const { return tree_; }
+
  private:
   Table(std::string name, Schema schema, BTree tree, BlobStore* blobs)
       : name_(std::move(name)), schema_(std::move(schema)),
@@ -119,6 +122,14 @@ class Database {
 
   /// Looks a table up by name.
   Result<Table*> GetTable(const std::string& name) const;
+
+  /// Names of all tables, in catalog order (verifier / tooling access).
+  std::vector<std::string> TableNames() const {
+    std::vector<std::string> names;
+    names.reserve(tables_.size());
+    for (const auto& [name, table] : tables_) names.push_back(name);
+    return names;
+  }
 
   /// Drops all cached pages (cold-cache benchmark reset).
   void ClearCache() { pool_.ClearCache(); }

@@ -1,0 +1,373 @@
+#include "storage/verify.h"
+
+#include <limits>
+#include <optional>
+#include <unordered_set>
+
+#include "common/bytes.h"
+#include "storage/blob.h"
+
+namespace sqlarray::storage {
+
+namespace {
+
+// Local page decoders (layouts documented in btree.h / blob.h). The verifier
+// deliberately re-implements them instead of trusting the writers' helpers:
+// it must stay readable against pages those writers never produced.
+uint32_t PageCount(const Page& p) { return DecodeLE<uint32_t>(p.data() + 4); }
+PageId LeafNext(const Page& p) { return DecodeLE<uint32_t>(p.data() + 8); }
+PageType TagOf(const Page& p) { return static_cast<PageType>(p.data()[0]); }
+int64_t LeafKeyAt(const Page& p, int64_t row_size, uint32_t i) {
+  return DecodeLE<int64_t>(p.data() + kBTreePageHeader + i * row_size);
+}
+int64_t InternalKeyAt(const Page& p, uint32_t i) {
+  return DecodeLE<int64_t>(p.data() + kBTreePageHeader + i * 12);
+}
+PageId InternalChildAt(const Page& p, uint32_t i) {
+  return DecodeLE<uint32_t>(p.data() + kBTreePageHeader + i * 12 + 8);
+}
+
+struct TreeWalk {
+  BufferPool* pool = nullptr;
+  const BTree* tree = nullptr;
+  VerifyReport* report = nullptr;
+  std::unordered_set<PageId> visited;
+  /// Leaves in DFS (key) order — must match the sibling chain.
+  std::vector<PageId> dfs_leaves;
+  int64_t rows_seen = 0;
+  std::optional<int64_t> last_key;
+
+  void Issue(PageId page, std::string what) {
+    report->issues.push_back(VerifyIssue{page, std::move(what)});
+  }
+
+  /// Recursively checks the subtree at `id` on `level` (0 = leaf). Keys in
+  /// the subtree must fall in [lo, hi). Returns false if the page itself
+  /// was unusable (subtree skipped).
+  bool Walk(PageId id, int level, std::optional<int64_t> lo,
+            std::optional<int64_t> hi) {
+    if (!visited.insert(id).second) {
+      Issue(id, "page reached twice (pointer cycle or shared subtree)");
+      return false;
+    }
+    auto page_or = pool->GetPage(id);
+    if (!page_or.ok()) {
+      Issue(id, "unreadable: " + page_or.status().ToString());
+      return false;
+    }
+    ++report->pages_visited;
+    const Page& page = *page_or.value();
+    const int64_t row_size = tree->row_size();
+
+    if (level == 0) {
+      if (TagOf(page) != PageType::kBTreeLeaf) {
+        Issue(id, "expected a leaf page, found type tag " +
+                      std::to_string(page.data()[0]));
+        return false;
+      }
+      uint32_t n = PageCount(page);
+      if (n > tree->leaf_capacity() ||
+          kBTreePageHeader + static_cast<int64_t>(n) * row_size > kPageSize) {
+        Issue(id, "leaf row count " + std::to_string(n) +
+                      " exceeds page capacity");
+        return false;
+      }
+      dfs_leaves.push_back(id);
+      rows_seen += n;
+      for (uint32_t i = 0; i < n; ++i) {
+        int64_t key = LeafKeyAt(page, row_size, i);
+        if (last_key && key <= *last_key) {
+          Issue(id, "key " + std::to_string(key) +
+                        " out of order (follows " +
+                        std::to_string(*last_key) + ")");
+        }
+        if (lo && key < *lo) {
+          Issue(id, "key " + std::to_string(key) +
+                        " below its parent separator " + std::to_string(*lo));
+        }
+        if (hi && key >= *hi) {
+          Issue(id, "key " + std::to_string(key) +
+                        " at or above the next separator " +
+                        std::to_string(*hi));
+        }
+        last_key = key;
+      }
+      return true;
+    }
+
+    if (TagOf(page) != PageType::kBTreeInternal) {
+      Issue(id, "expected an internal page, found type tag " +
+                    std::to_string(page.data()[0]));
+      return false;
+    }
+    uint32_t n = PageCount(page);
+    if (n > tree->internal_capacity() ||
+        kBTreePageHeader + static_cast<int64_t>(n) * 12 > kPageSize) {
+      Issue(id, "internal entry count " + std::to_string(n) +
+                    " exceeds page capacity");
+      return false;
+    }
+    if (n == 0) {
+      Issue(id, "internal page has no children");
+      return false;
+    }
+    for (uint32_t i = 0; i + 1 < n; ++i) {
+      if (InternalKeyAt(page, i) >= InternalKeyAt(page, i + 1)) {
+        Issue(id, "separator keys not strictly ascending at entry " +
+                      std::to_string(i));
+      }
+    }
+    for (uint32_t i = 0; i < n; ++i) {
+      // Entry 0's key is a -infinity sentinel; the child inherits the
+      // parent's lower bound instead.
+      std::optional<int64_t> child_lo =
+          (i == 0) ? lo : std::optional<int64_t>(InternalKeyAt(page, i));
+      std::optional<int64_t> child_hi =
+          (i + 1 < n) ? std::optional<int64_t>(InternalKeyAt(page, i + 1))
+                      : hi;
+      Walk(InternalChildAt(page, i), level - 1, child_lo, child_hi);
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+bool VerifyReport::Mentions(PageId page) const {
+  for (const VerifyIssue& issue : issues) {
+    if (issue.page == page) return true;
+  }
+  return false;
+}
+
+std::string VerifyReport::ToString() const {
+  std::string out = "verified " + std::to_string(pages_visited) + " page(s), " +
+                    std::to_string(issues.size()) + " issue(s)";
+  for (const VerifyIssue& issue : issues) {
+    out += "\n  page " + std::to_string(issue.page) + ": " + issue.what;
+  }
+  return out;
+}
+
+void VerifyReport::Merge(const VerifyReport& other) {
+  pages_visited += other.pages_visited;
+  issues.insert(issues.end(), other.issues.begin(), other.issues.end());
+}
+
+VerifyReport VerifyBTree(BufferPool* pool, const BTree& tree) {
+  VerifyReport report;
+  TreeWalk walk;
+  walk.pool = pool;
+  walk.tree = &tree;
+  walk.report = &report;
+  walk.Walk(tree.root_page(), tree.height() - 1, std::nullopt, std::nullopt);
+
+  if (walk.rows_seen != tree.row_count()) {
+    report.issues.push_back(
+        VerifyIssue{tree.root_page(),
+                    "tree claims " + std::to_string(tree.row_count()) +
+                        " row(s) but the leaves hold " +
+                        std::to_string(walk.rows_seen)});
+  }
+
+  // The sibling chain must visit exactly the DFS leaves, in order. Walk it
+  // independently so a broken next pointer is localized to its page.
+  std::vector<PageId> chain;
+  std::unordered_set<PageId> chain_seen;
+  PageId id = tree.first_leaf_page();
+  PageId prev = kNullPage;
+  while (id != kNullPage) {
+    if (!chain_seen.insert(id).second) {
+      report.issues.push_back(VerifyIssue{
+          prev, "sibling chain loops back to page " + std::to_string(id)});
+      break;
+    }
+    auto page_or = pool->GetPage(id);
+    if (!page_or.ok()) {
+      report.issues.push_back(VerifyIssue{
+          id, "sibling chain hits unreadable page: " +
+                  page_or.status().ToString()});
+      break;
+    }
+    if (TagOf(*page_or.value()) != PageType::kBTreeLeaf) {
+      report.issues.push_back(VerifyIssue{
+          id, "sibling chain points at a non-leaf page"});
+      break;
+    }
+    chain.push_back(id);
+    prev = id;
+    id = LeafNext(*page_or.value());
+  }
+  if (chain != walk.dfs_leaves) {
+    report.issues.push_back(VerifyIssue{
+        tree.first_leaf_page(),
+        "sibling chain (" + std::to_string(chain.size()) +
+            " leaves) disagrees with the tree's leaf order (" +
+            std::to_string(walk.dfs_leaves.size()) + " leaves)"});
+  }
+  auto alloc_or = tree.CollectLeafPages();
+  if (alloc_or.ok() && *alloc_or != chain) {
+    report.issues.push_back(VerifyIssue{
+        tree.first_leaf_page(),
+        "allocation map disagrees with the sibling chain"});
+  }
+  return report;
+}
+
+VerifyReport VerifyBlob(BufferPool* pool, const BlobId& id) {
+  VerifyReport report;
+  auto issue = [&report](PageId page, std::string what) {
+    report.issues.push_back(VerifyIssue{page, std::move(what)});
+  };
+
+  auto root_or = pool->GetPage(id.root);
+  if (!root_or.ok()) {
+    issue(id.root, "blob root unreadable: " + root_or.status().ToString());
+    return report;
+  }
+  ++report.pages_visited;
+  const Page& root = *root_or.value();
+  if (TagOf(root) != PageType::kBlobIndex) {
+    issue(id.root, "blob root is not an index page");
+    return report;
+  }
+  int level = root.data()[1];
+  if (level != 1 && level != 2) {
+    issue(id.root, "blob index level " + std::to_string(level) +
+                       " is not 1 or 2");
+    return report;
+  }
+
+  // Gather the data pages through the (possibly two-level) index.
+  std::vector<PageId> data_pages;
+  auto check_index = [&](const Page& index, PageId index_id,
+                         std::vector<PageId>* out) -> bool {
+    uint32_t n = PageCount(index);
+    if (n > kBlobIndexFanout) {
+      issue(index_id, "blob index fan-out " + std::to_string(n) +
+                          " exceeds capacity " +
+                          std::to_string(kBlobIndexFanout));
+      return false;
+    }
+    for (uint32_t i = 0; i < n; ++i) {
+      out->push_back(DecodeLE<uint32_t>(index.data() + 8 + 4 * i));
+    }
+    return true;
+  };
+
+  if (level == 1) {
+    if (!check_index(root, id.root, &data_pages)) return report;
+  } else {
+    std::vector<PageId> level1;
+    if (!check_index(root, id.root, &level1)) return report;
+    for (PageId l1 : level1) {
+      auto page_or = pool->GetPage(l1);
+      if (!page_or.ok()) {
+        issue(l1, "blob index page unreadable: " +
+                      page_or.status().ToString());
+        continue;
+      }
+      ++report.pages_visited;
+      if (TagOf(*page_or.value()) != PageType::kBlobIndex ||
+          page_or.value()->data()[1] != 1) {
+        issue(l1, "level-2 blob child is not a level-1 index page");
+        continue;
+      }
+      check_index(*page_or.value(), l1, &data_pages);
+    }
+  }
+
+  const int64_t expect_pages =
+      (id.size + kBlobDataCapacity - 1) / kBlobDataCapacity;
+  if (static_cast<int64_t>(data_pages.size()) != expect_pages) {
+    issue(id.root, "blob of " + std::to_string(id.size) + " byte(s) has " +
+                       std::to_string(data_pages.size()) +
+                       " data page(s), expected " +
+                       std::to_string(expect_pages));
+  }
+
+  int64_t total = 0;
+  for (size_t k = 0; k < data_pages.size(); ++k) {
+    auto page_or = pool->GetPage(data_pages[k]);
+    if (!page_or.ok()) {
+      issue(data_pages[k],
+            "blob data page unreadable: " + page_or.status().ToString());
+      continue;
+    }
+    ++report.pages_visited;
+    const Page& page = *page_or.value();
+    if (TagOf(page) != PageType::kBlobData) {
+      issue(data_pages[k], "blob data page has wrong type tag");
+      continue;
+    }
+    int64_t len = DecodeLE<uint32_t>(page.data() + 4);
+    if (len > kBlobDataCapacity) {
+      issue(data_pages[k], "blob data page length " + std::to_string(len) +
+                               " exceeds capacity");
+      continue;
+    }
+    if (k + 1 < data_pages.size() && len != kBlobDataCapacity) {
+      issue(data_pages[k],
+            "non-final blob data page is not full (" + std::to_string(len) +
+                " of " + std::to_string(kBlobDataCapacity) + " bytes)");
+    }
+    total += len;
+  }
+  if (total != id.size) {
+    issue(id.root, "blob payload totals " + std::to_string(total) +
+                       " byte(s), header promises " +
+                       std::to_string(id.size));
+  }
+  return report;
+}
+
+VerifyReport VerifyTable(const Table& table, BufferPool* pool) {
+  VerifyReport report = VerifyBTree(pool, table.clustered_index());
+
+  // Collect and verify every out-of-page blob the rows reference.
+  std::vector<int> blob_cols;
+  const Schema& schema = table.schema();
+  for (int i = 0; i < schema.num_columns(); ++i) {
+    if (schema.column(i).type == ColumnType::kVarBinaryMax) {
+      blob_cols.push_back(i);
+    }
+  }
+  if (blob_cols.empty()) return report;
+
+  auto cursor_or = table.Scan();
+  if (!cursor_or.ok()) {
+    report.issues.push_back(VerifyIssue{
+        table.clustered_index().root_page(),
+        "table scan failed: " + cursor_or.status().ToString()});
+    return report;
+  }
+  BTree::Cursor cursor = std::move(cursor_or).value();
+  while (cursor.valid()) {
+    for (int col : blob_cols) {
+      auto value_or = schema.DecodeColumn(cursor.row().data(), col);
+      if (!value_or.ok()) continue;  // the tree walk already flagged the page
+      const BlobId& id = std::get<BlobId>(*value_or);
+      if (id.root == kNullPage && id.size == 0) continue;  // absent blob
+      report.Merge(VerifyBlob(pool, id));
+    }
+    Status st = cursor.Next();
+    if (!st.ok()) {
+      report.issues.push_back(VerifyIssue{
+          kNullPage, "table scan aborted: " + st.ToString()});
+      break;
+    }
+  }
+  return report;
+}
+
+VerifyReport VerifyDatabase(Database* db) {
+  VerifyReport report;
+  for (const std::string& name : db->TableNames()) {
+    auto table_or = db->GetTable(name);
+    if (!table_or.ok()) continue;
+    report.Merge(VerifyTable(**table_or, db->buffer_pool()));
+  }
+  return report;
+}
+
+}  // namespace sqlarray::storage

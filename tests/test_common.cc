@@ -1,7 +1,10 @@
 // Tests for Status/Result, dimension math, and byte codecs.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "common/bytes.h"
+#include "common/crc32c.h"
 #include "common/dims.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -38,6 +41,21 @@ TEST(Status, AllCodesHaveNames) {
   }
 }
 
+TEST(Status, EveryCodeNameIsExact) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "INVALID_ARGUMENT");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OUT_OF_RANGE");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kTypeMismatch), "TYPE_MISMATCH");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCorruption), "CORRUPTION");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kAlreadyExists), "ALREADY_EXISTS");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "RESOURCE_EXHAUSTED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnimplemented), "UNIMPLEMENTED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
+}
+
 TEST(Result, HoldsValue) {
   Result<int> r(42);
   ASSERT_TRUE(r.ok());
@@ -66,6 +84,64 @@ TEST(Result, AssignOrReturnMacroPropagates) {
   EXPECT_EQ(Doubled(21).value(), 42);
   EXPECT_EQ(Doubled(Status::Internal("x")).status().code(),
             StatusCode::kInternal);
+}
+
+TEST(Result, ErrorMessageSurvivesMoves) {
+  Result<std::string> a(Status::Corruption("page 17 unreadable"));
+  Result<std::string> b = std::move(a);
+  Result<std::string> c = std::move(b);
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(c.status().message(), "page 17 unreadable");
+}
+
+Result<std::vector<int>> Relay(Result<std::vector<int>> in) {
+  SQLARRAY_ASSIGN_OR_RETURN(std::vector<int> v, std::move(in));
+  return v;
+}
+
+TEST(Result, ErrorMessageSurvivesMacroRelayChain) {
+  // The message attached at the origin must arrive intact after several
+  // SQLARRAY_ASSIGN_OR_RETURN hops — the path every storage fault takes on
+  // its way from the disk up to the session.
+  auto r = Relay(Relay(Relay(Status::Corruption("checksum mismatch on page 3"))));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(r.status().message(), "checksum mismatch on page 3");
+}
+
+TEST(Result, MovedFromValueResultIsReusable) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+  r = Status::NotFound("gone");
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  r = std::vector<int>{4, 5};
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST(Crc32c, KnownAnswerVectors) {
+  // RFC 3720 appendix test vector for CRC32C (Castagnoli).
+  const char* check = "123456789";
+  EXPECT_EQ(Crc32c(reinterpret_cast<const uint8_t*>(check), 9), 0xE3069283u);
+  // Empty input is the seed itself.
+  EXPECT_EQ(Crc32c(nullptr, 0), 0u);
+  // 32 zero bytes (iSCSI test vector).
+  std::vector<uint8_t> zeros(32, 0);
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+  // Incremental computation matches one-shot.
+  std::vector<uint8_t> data(1000);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 31 + 7);
+  }
+  uint32_t oneshot = Crc32c(data.data(), data.size());
+  uint32_t split = Crc32c(data.data() + 400, 600,
+                          Crc32c(data.data(), 400));
+  EXPECT_EQ(oneshot, split);
+  // Sensitivity: any single-bit difference changes the sum.
+  data[500] ^= 0x10;
+  EXPECT_NE(Crc32c(data.data(), data.size()), oneshot);
 }
 
 TEST(Dims, ElementCountAndStrides) {

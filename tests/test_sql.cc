@@ -437,5 +437,32 @@ TEST_F(SessionTest, MathUdfsFromSql) {
   EXPECT_NEAR(f.ref().GetComplex(0).value().real(), 10.0, 1e-9);
 }
 
+TEST_F(SessionTest, StorageCorruptionSurfacesAsSessionError) {
+  // A rotted page under a query must come back to the client as a
+  // kCorruption status naming the page — never a crash or a wrong answer.
+  Run("CREATE TABLE rot (id BIGINT, v FLOAT)");
+  for (int k = 0; k < 40; ++k) {
+    Run("INSERT INTO rot VALUES (" + std::to_string(k) + ", 1.5)");
+  }
+  storage::Table* table = db_.GetTable("rot").value();
+  storage::PageId leaf = table->clustered_index().first_leaf_page();
+  db_.ClearCache();
+  ASSERT_TRUE(db_.disk()->CorruptPageByte(leaf, 200).ok());
+
+  auto r = session_.Execute("SELECT SUM(v) FROM rot");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(r.status().message().find(std::to_string(leaf)),
+            std::string::npos)
+      << r.status().ToString();
+
+  // Repairing the disk restores service in the same session.
+  db_.ClearCache();
+  ASSERT_TRUE(db_.disk()->CorruptPageByte(leaf, 200).ok());  // XOR undoes it
+  auto ok = session_.Execute("SELECT SUM(v) FROM rot");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok.value()[0].ScalarResult().value().AsDouble().value(), 60.0);
+}
+
 }  // namespace
 }  // namespace sqlarray::sql

@@ -99,6 +99,44 @@ TEST(BufferPool, ClearCacheForcesColdReads) {
   EXPECT_EQ(disk.stats().pages_read, 1);
 }
 
+TEST(BufferPool, PinnedPageSurvivesEvictionPressure) {
+  SimulatedDisk disk;
+  BufferPool pool(&disk, 2);  // two-page cache
+  PageId a = pool.AllocatePage(), b = pool.AllocatePage(),
+         c = pool.AllocatePage();
+  Page page;
+  page.data()[0] = 0xAB;
+  ASSERT_TRUE(pool.WritePage(a, page).ok());
+  ASSERT_TRUE(pool.WritePage(b, page).ok());
+  ASSERT_TRUE(pool.WritePage(c, page).ok());
+  pool.ClearCache();
+
+  // Hold a pin on `a` while faulting in enough pages to evict it twice over.
+  PinnedPage pinned = pool.GetPage(a).value();
+  EXPECT_EQ(pool.pinned_pages(), 1);
+  const Page* raw = pinned.get();
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(pool.GetPage(b).ok());
+    ASSERT_TRUE(pool.GetPage(c).ok());
+  }
+  // The pinned frame was never evicted or moved: the pointer still reads the
+  // same bytes, and re-fetching `a` is a cache hit, not a disk read.
+  EXPECT_EQ(raw, pinned.get());
+  EXPECT_EQ(pinned->data()[0], 0xAB);
+  disk.ResetStats();
+  ASSERT_TRUE(pool.GetPage(a).ok());
+  EXPECT_EQ(disk.stats().pages_read, 0);
+
+  pinned.Release();
+  EXPECT_EQ(pool.pinned_pages(), 0);
+
+  // ClearCache also spares pinned frames.
+  PinnedPage again = pool.GetPage(b).value();
+  pool.ClearCache();
+  EXPECT_EQ(again->data()[0], 0xAB);
+  EXPECT_EQ(again.id(), b);
+}
+
 TEST(Schema, RowSizeAndOffsets) {
   Schema s = Schema::Create({{"id", ColumnType::kInt64, 0},
                              {"v1", ColumnType::kFloat64, 0},
@@ -396,6 +434,9 @@ TEST(FaultInjection, ReadErrorSurfacesFromEveryLayer) {
   // wrong answer) through the pool, the B-tree, and the blob stream.
   SimulatedDisk disk;
   BufferPool pool(&disk, 1 << 12);
+  // This test asserts raw single-read propagation; disable the pool's
+  // read-retry so the one-shot fault is not healed transparently.
+  pool.set_max_read_attempts(1);
 
   // Buffer pool: failed reads are not cached.
   PageId p = pool.AllocatePage();
@@ -452,6 +493,7 @@ TEST(FaultInjection, TableLookupPropagatesFault) {
     ASSERT_TRUE(table->Insert({k, 1.0}).ok());
   }
   db.ClearCache();
+  db.buffer_pool()->set_max_read_attempts(1);  // assert raw propagation
   db.disk()->InjectReadFaultAfter(0);
   EXPECT_FALSE(table->Lookup(1500).ok());
   EXPECT_TRUE(table->Lookup(1500).ok());  // one-shot
