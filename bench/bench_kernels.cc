@@ -1,0 +1,205 @@
+// Experiment K1: typed kernel dispatch vs the boxed per-element path.
+//
+// Sweeps element-wise ops, aggregation, dot product, and dtype casts over an
+// (op x dtype x size) grid, timing the kernel-dispatched entry points
+// (ElementwiseBinary & co.) against the *Boxed reference implementations —
+// the pre-kernel per-element GetComplex/GetDouble code path, kept as the
+// differential-test oracle. The boxed column is therefore the in-binary
+// "before" of the kernel work; speedups here back the PR's acceptance
+// numbers (>= 3x on float64 add, >= 2x on SUM aggregation).
+//
+// BENCH_ELEMS limits the sweep to a single element count (used by the
+// bench_smoke ctest target); --json out.json records every case.
+#include <cinttypes>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "core/ops.h"
+
+namespace sqlarray::bench {
+namespace {
+
+std::vector<int64_t> SweepSizes() {
+  if (const char* env = std::getenv("BENCH_ELEMS")) {
+    return {std::atoll(env)};
+  }
+  return {4096, 65536, 1 << 20};
+}
+
+/// Fills an array of `dtype` with deterministic nonzero values (safe as a
+/// division right-hand side).
+OwnedArray MakeOperand(DType dtype, int64_t n, uint64_t seed) {
+  OwnedArray a =
+      CheckResult(OwnedArray::Zeros(dtype, {n}), "bench operand");
+  Rng rng(seed);
+  auto fill = [&](auto tag) {
+    using T = decltype(tag);
+    auto data = a.MutableData<T>().value();
+    for (int64_t i = 0; i < n; ++i) {
+      double v = rng.Uniform(1.0, 100.0) * (i % 2 == 0 ? 1 : -1);
+      data[i] = static_cast<T>(v);
+    }
+  };
+  switch (dtype) {
+    case DType::kInt8: fill(int8_t{}); break;
+    case DType::kInt16: fill(int16_t{}); break;
+    case DType::kInt32: fill(int32_t{}); break;
+    case DType::kInt64: fill(int64_t{}); break;
+    case DType::kFloat32: fill(float{}); break;
+    case DType::kFloat64: fill(double{}); break;
+    default: Check(Status::Internal("unsupported bench dtype"), "dtype");
+  }
+  return a;
+}
+
+/// Times `fn` (re-running it until ~20 ms have elapsed) and returns seconds
+/// per call.
+template <typename Fn>
+double TimePerCall(Fn&& fn) {
+  fn();  // warm-up + correctness check
+  int reps = 1;
+  for (;;) {
+    Stopwatch w;
+    for (int i = 0; i < reps; ++i) fn();
+    double s = w.ElapsedSeconds();
+    if (s >= 0.02 || reps >= 1 << 20) return s / reps;
+    reps *= 4;
+  }
+}
+
+struct CasePrinter {
+  void Print(const std::string& name, int64_t n, double kernel_s,
+             double boxed_s) {
+    std::printf("%-28s %9" PRId64 " | %10.1f | %10.1f | %6.2fx\n",
+                name.c_str(), n, n / kernel_s / 1e6, n / boxed_s / 1e6,
+                boxed_s / kernel_s);
+    RecordJson("kernels", name + "/" + std::to_string(n) + "/kernel",
+               kernel_s, n / kernel_s);
+    RecordJson("kernels", name + "/" + std::to_string(n) + "/boxed", boxed_s,
+               n / boxed_s);
+  }
+};
+
+const char* OpName(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "add";
+    case BinOp::kSub: return "sub";
+    case BinOp::kMul: return "mul";
+    case BinOp::kDiv: return "div";
+  }
+  return "?";
+}
+
+void Run() {
+  Banner("K1", "typed kernels vs boxed per-element path");
+  std::printf("%-28s %9s | %10s | %10s | %7s\n", "case", "elems",
+              "kernel Me/s", "boxed Me/s", "speedup");
+  std::printf("%s\n", std::string(76, '-').c_str());
+
+  const DType kDTypes[] = {DType::kInt32, DType::kInt64, DType::kFloat32,
+                           DType::kFloat64};
+  CasePrinter out;
+
+  for (int64_t n : SweepSizes()) {
+    // Element-wise binary: op x dtype (same-dtype pairs plus one mixed pair).
+    for (BinOp op : {BinOp::kAdd, BinOp::kMul, BinOp::kDiv}) {
+      for (DType dt : kDTypes) {
+        OwnedArray lhs = MakeOperand(dt, n, 1);
+        OwnedArray rhs = MakeOperand(dt, n, 2);
+        double kernel_s = TimePerCall([&] {
+          CheckResult(ElementwiseBinary(lhs.ref(), rhs.ref(), op), "kernel");
+        });
+        double boxed_s = TimePerCall([&] {
+          CheckResult(ElementwiseBinaryBoxed(lhs.ref(), rhs.ref(), op),
+                      "boxed");
+        });
+        out.Print(std::string(OpName(op)) + "_" + std::string(DTypeName(dt)), n, kernel_s,
+                  boxed_s);
+      }
+    }
+    {
+      // Mixed promotion: int32 + float64.
+      OwnedArray lhs = MakeOperand(DType::kInt32, n, 3);
+      OwnedArray rhs = MakeOperand(DType::kFloat64, n, 4);
+      double kernel_s = TimePerCall([&] {
+        CheckResult(ElementwiseBinary(lhs.ref(), rhs.ref(), BinOp::kAdd),
+                    "kernel");
+      });
+      double boxed_s = TimePerCall([&] {
+        CheckResult(ElementwiseBinaryBoxed(lhs.ref(), rhs.ref(), BinOp::kAdd),
+                    "boxed");
+      });
+      out.Print("add_int32_float64", n, kernel_s, boxed_s);
+    }
+
+    // Scalar broadcast.
+    {
+      OwnedArray a = MakeOperand(DType::kFloat64, n, 5);
+      double kernel_s = TimePerCall([&] {
+        CheckResult(ElementwiseScalar(a.ref(), 1.5, BinOp::kMul), "kernel");
+      });
+      double boxed_s = TimePerCall([&] {
+        CheckResult(ElementwiseScalarBoxed(a.ref(), 1.5, BinOp::kMul),
+                    "boxed");
+      });
+      out.Print("scalar_mul_float64", n, kernel_s, boxed_s);
+    }
+
+    // SUM aggregation.
+    for (DType dt : kDTypes) {
+      OwnedArray a = MakeOperand(dt, n, 6);
+      double kernel_s = TimePerCall([&] {
+        CheckResult(AggregateAll(a.ref(), AggKind::kSum), "kernel");
+      });
+      double boxed_s = TimePerCall([&] {
+        CheckResult(AggregateAllBoxed(a.ref(), AggKind::kSum), "boxed");
+      });
+      out.Print(std::string("sum_") + std::string(DTypeName(dt)), n, kernel_s, boxed_s);
+    }
+
+    // Dot product and norm (float dtypes — the kernel fast paths).
+    for (DType dt : {DType::kFloat32, DType::kFloat64}) {
+      OwnedArray a = MakeOperand(dt, n, 7);
+      OwnedArray b = MakeOperand(dt, n, 8);
+      double kernel_s = TimePerCall(
+          [&] { CheckResult(Dot(a.ref(), b.ref()), "kernel"); });
+      double boxed_s = TimePerCall(
+          [&] { CheckResult(DotBoxed(a.ref(), b.ref()), "boxed"); });
+      out.Print(std::string("dot_") + std::string(DTypeName(dt)), n, kernel_s, boxed_s);
+
+      kernel_s = TimePerCall([&] { CheckResult(Norm2(a.ref()), "kernel"); });
+      boxed_s =
+          TimePerCall([&] { CheckResult(Norm2Boxed(a.ref()), "boxed"); });
+      out.Print(std::string("norm2_") + std::string(DTypeName(dt)), n, kernel_s, boxed_s);
+    }
+
+    // Casts.
+    const std::pair<DType, DType> kCasts[] = {
+        {DType::kFloat64, DType::kFloat32},
+        {DType::kInt64, DType::kInt32},
+        {DType::kInt32, DType::kFloat64},
+        {DType::kFloat64, DType::kInt32},
+    };
+    for (auto [src, dst] : kCasts) {
+      OwnedArray a = MakeOperand(src, n, 9);
+      double kernel_s = TimePerCall(
+          [&] { CheckResult(ConvertDType(a.ref(), dst), "kernel"); });
+      double boxed_s = TimePerCall(
+          [&] { CheckResult(ConvertDTypeBoxed(a.ref(), dst), "boxed"); });
+      out.Print(std::string("cast_") + std::string(DTypeName(src)) + "_" + std::string(DTypeName(dst)),
+                n, kernel_s, boxed_s);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sqlarray::bench
+
+int main(int argc, char** argv) {
+  sqlarray::bench::ParseBenchArgs(argc, argv);
+  sqlarray::bench::Run();
+  sqlarray::bench::FlushJson();
+  return 0;
+}

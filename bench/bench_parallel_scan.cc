@@ -64,6 +64,10 @@ void Run() {
 
     std::printf("%8d | %9.3f (%5.2fx) | %9.3f (%5.2fx)\n", workers, q4_s,
                 base_q4 / q4_s, q1_s, base_q1 / q1_s);
+    RecordJson("parallel_scan", "Q4_workers_" + std::to_string(workers), q4_s,
+               q4_s > 0 ? static_cast<double>(rows) / q4_s : 0);
+    RecordJson("parallel_scan", "Q1_workers_" + std::to_string(workers), q1_s,
+               q1_s > 0 ? static_cast<double>(rows) / q1_s : 0);
   }
   std::printf(
       "\nexpected shape (multicore host): the UDF-heavy Q4 scales with "
@@ -76,7 +80,9 @@ void Run() {
 }  // namespace
 }  // namespace sqlarray::bench
 
-int main() {
+int main(int argc, char** argv) {
+  sqlarray::bench::ParseBenchArgs(argc, argv);
   sqlarray::bench::Run();
+  sqlarray::bench::FlushJson();
   return 0;
 }

@@ -74,6 +74,10 @@ void Run() {
                 kPaper[q].io_mbps, full.ModeledSeconds(cost),
                 full.ModeledCpuPct(cost), full.ModeledIoMBps(cost),
                 stats.wall_seconds);
+    RecordJson("table1", "Q" + std::to_string(q + 1), stats.wall_seconds,
+               stats.wall_seconds > 0
+                   ? static_cast<double>(rows) / stats.wall_seconds
+                   : 0);
   }
 
   // Derived Sec. 7.1 quantities from the modeled numbers.
@@ -95,7 +99,9 @@ void Run() {
 }  // namespace
 }  // namespace sqlarray::bench
 
-int main() {
+int main(int argc, char** argv) {
+  sqlarray::bench::ParseBenchArgs(argc, argv);
   sqlarray::bench::Run();
+  sqlarray::bench::FlushJson();
   return 0;
 }

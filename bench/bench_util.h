@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
@@ -117,6 +118,91 @@ struct BenchServer {
 /// Prints a standard experiment banner.
 inline void Banner(const char* id, const char* title) {
   std::printf("\n=== %s — %s ===\n", id, title);
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable results: pass `--json out.json` to any bench and every
+// RecordJson call is written to that file as a JSON array of
+// {"bench": ..., "case": ..., "wall_s": ..., "throughput": ...} records.
+// Throughput units are bench-specific (rows/s or elements/s); wall_s is
+// measured wall time for the case.
+// ---------------------------------------------------------------------------
+
+struct JsonRecord {
+  std::string bench;
+  std::string case_name;
+  double wall_s = 0;
+  double throughput = 0;
+};
+
+struct JsonSink {
+  std::string path;
+  std::vector<JsonRecord> records;
+};
+
+inline JsonSink& GlobalJsonSink() {
+  static JsonSink sink;
+  return sink;
+}
+
+/// Parses bench command-line flags. Supports `--json <path>` and
+/// `--json=<path>`; unknown arguments are ignored so benches stay tolerant
+/// of harness-supplied flags.
+inline void ParseBenchArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      GlobalJsonSink().path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      GlobalJsonSink().path = arg.substr(7);
+    }
+  }
+}
+
+/// Records one case's result; written out by FlushJson when --json was given.
+inline void RecordJson(const std::string& bench, const std::string& case_name,
+                       double wall_s, double throughput) {
+  GlobalJsonSink().records.push_back({bench, case_name, wall_s, throughput});
+}
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Writes the recorded cases to the --json path (no-op without the flag).
+/// Call once at the end of main.
+inline void FlushJson() {
+  JsonSink& sink = GlobalJsonSink();
+  if (sink.path.empty()) return;
+  std::FILE* f = std::fopen(sink.path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "FATAL: cannot open %s for writing\n",
+                 sink.path.c_str());
+    std::abort();
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < sink.records.size(); ++i) {
+    const JsonRecord& r = sink.records[i];
+    std::fprintf(f,
+                 "  {\"bench\": \"%s\", \"case\": \"%s\", \"wall_s\": %.9g, "
+                 "\"throughput\": %.9g}%s\n",
+                 JsonEscape(r.bench).c_str(), JsonEscape(r.case_name).c_str(),
+                 r.wall_s, r.throughput, i + 1 < sink.records.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("wrote %zu JSON records to %s\n", sink.records.size(),
+              sink.path.c_str());
 }
 
 }  // namespace sqlarray::bench

@@ -50,9 +50,13 @@ namespace {
 template <typename I>
 Status WriteRoundedInt(uint8_t* p, double v) {
   double r = std::nearbyint(v);
-  if (std::isnan(r) ||
-      r < static_cast<double>(std::numeric_limits<I>::min()) ||
-      r > static_cast<double>(std::numeric_limits<I>::max())) {
+  // Half-open range check with exact bounds: +-2^(bits-1) are both exactly
+  // representable as doubles, whereas (double)max() rounds UP to 2^63 for
+  // int64 and would admit the out-of-range value 2^63 (UB on the cast).
+  const int bits = 8 * static_cast<int>(sizeof(I));
+  const double lo = -std::ldexp(1.0, bits - 1);
+  const double hi = std::ldexp(1.0, bits - 1);
+  if (!(r >= lo && r < hi)) {  // negated form also rejects NaN
     return Status::OutOfRange("value " + std::to_string(v) +
                               " does not fit the integer element type");
   }

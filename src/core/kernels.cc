@@ -1,0 +1,464 @@
+#include "core/kernels.h"
+
+#include <cmath>
+#include <limits>
+#include <type_traits>
+
+#include "common/bytes.h"
+
+namespace sqlarray::kernels {
+
+namespace {
+
+/// Promotion rank mirroring PromoteDType for the six kernel dtypes.
+template <typename T>
+constexpr int RankOf() {
+  if constexpr (std::is_same_v<T, int8_t>) return 0;
+  if constexpr (std::is_same_v<T, int16_t>) return 1;
+  if constexpr (std::is_same_v<T, int32_t>) return 2;
+  if constexpr (std::is_same_v<T, int64_t>) return 3;
+  if constexpr (std::is_same_v<T, float>) return 4;
+  return 5;  // double
+}
+
+/// The wider of two kernel element types under the promotion lattice.
+template <typename L, typename R>
+using PromoteT = std::conditional_t<(RankOf<L>() >= RankOf<R>()), L, R>;
+
+template <typename T>
+inline T Load(const uint8_t* p, int64_t i) {
+  return DecodeLE<T>(p + i * static_cast<int64_t>(sizeof(T)));
+}
+
+template <typename T>
+inline void Store(uint8_t* p, int64_t i, T v) {
+  EncodeLE<T>(p + i * static_cast<int64_t>(sizeof(T)), v);
+}
+
+Status DivByZero() {
+  return Status::InvalidArgument("element-wise division by zero");
+}
+
+Status IntOverflow() {
+  return Status::OutOfRange(
+      "integer element-wise result does not fit the promoted element type");
+}
+
+// ---------------------------------------------------------------------------
+// Binary element-wise loops
+// ---------------------------------------------------------------------------
+
+/// Float-output loop: widen both operands to double, apply, narrow once.
+/// Division flags zero divisors and reports after the loop (the output is
+/// discarded on error, so computing past a zero is harmless).
+template <typename L, typename R, typename O, BinOp op>
+Status FloatBinaryLoop(const uint8_t* lp, const uint8_t* rp, uint8_t* out,
+                       int64_t n) {
+  int bad = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    double x = static_cast<double>(Load<L>(lp, i));
+    double y = static_cast<double>(Load<R>(rp, i));
+    double v;
+    if constexpr (op == BinOp::kAdd) v = x + y;
+    if constexpr (op == BinOp::kSub) v = x - y;
+    if constexpr (op == BinOp::kMul) v = x * y;
+    if constexpr (op == BinOp::kDiv) {
+      bad |= (y == 0.0);
+      v = x / y;
+    }
+    Store<O>(out, i, static_cast<O>(v));
+  }
+  if (bad) return DivByZero();
+  return Status::OK();
+}
+
+/// Integer-output loop for promoted types up to 32 bits: compute exactly in
+/// int64 (no intermediate overflow possible) and range-check the result.
+template <typename L, typename R, typename O, BinOp op>
+Status NarrowIntBinaryLoop(const uint8_t* lp, const uint8_t* rp, uint8_t* out,
+                           int64_t n) {
+  constexpr int64_t kMin = std::numeric_limits<O>::min();
+  constexpr int64_t kMax = std::numeric_limits<O>::max();
+  int bad = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t x = static_cast<int64_t>(Load<L>(lp, i));
+    int64_t y = static_cast<int64_t>(Load<R>(rp, i));
+    int64_t v;
+    if constexpr (op == BinOp::kAdd) v = x + y;
+    if constexpr (op == BinOp::kSub) v = x - y;
+    if constexpr (op == BinOp::kMul) v = x * y;
+    bad |= (v < kMin) | (v > kMax);
+    Store<O>(out, i, static_cast<O>(v));
+  }
+  if (bad) return IntOverflow();
+  return Status::OK();
+}
+
+/// Integer-output loop for int64: exact with hardware overflow detection.
+template <typename L, typename R, BinOp op>
+Status Int64BinaryLoop(const uint8_t* lp, const uint8_t* rp, uint8_t* out,
+                       int64_t n) {
+  int bad = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t x = static_cast<int64_t>(Load<L>(lp, i));
+    int64_t y = static_cast<int64_t>(Load<R>(rp, i));
+    int64_t v = 0;
+    if constexpr (op == BinOp::kAdd) bad |= __builtin_add_overflow(x, y, &v);
+    if constexpr (op == BinOp::kSub) bad |= __builtin_sub_overflow(x, y, &v);
+    if constexpr (op == BinOp::kMul) bad |= __builtin_mul_overflow(x, y, &v);
+    Store<int64_t>(out, i, v);
+  }
+  if (bad) return IntOverflow();
+  return Status::OK();
+}
+
+template <typename L, typename R, BinOp op>
+constexpr BinaryKernelFn SelectBinary() {
+  using O = PromoteT<L, R>;
+  if constexpr (std::is_integral_v<O>) {
+    // Integer division promotes the output to float64 (BinaryOutDType).
+    if constexpr (op == BinOp::kDiv) {
+      return &FloatBinaryLoop<L, R, double, op>;
+    } else if constexpr (std::is_same_v<O, int64_t>) {
+      return &Int64BinaryLoop<L, R, op>;
+    } else {
+      return &NarrowIntBinaryLoop<L, R, O, op>;
+    }
+  } else {
+    return &FloatBinaryLoop<L, R, O, op>;
+  }
+}
+
+template <typename L, typename R>
+BinaryKernelFn SelectBinaryOp(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd:
+      return SelectBinary<L, R, BinOp::kAdd>();
+    case BinOp::kSub:
+      return SelectBinary<L, R, BinOp::kSub>();
+    case BinOp::kMul:
+      return SelectBinary<L, R, BinOp::kMul>();
+    case BinOp::kDiv:
+      return SelectBinary<L, R, BinOp::kDiv>();
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar-broadcast loops (float64 output)
+// ---------------------------------------------------------------------------
+
+template <typename T, BinOp op>
+Status ScalarLoop(const uint8_t* ap, double scalar, uint8_t* out, int64_t n) {
+  if constexpr (op == BinOp::kDiv) {
+    if (n > 0 && scalar == 0.0) return DivByZero();
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    double x = static_cast<double>(Load<T>(ap, i));
+    double v;
+    if constexpr (op == BinOp::kAdd) v = x + scalar;
+    if constexpr (op == BinOp::kSub) v = x - scalar;
+    if constexpr (op == BinOp::kMul) v = x * scalar;
+    if constexpr (op == BinOp::kDiv) v = x / scalar;
+    Store<double>(out, i, v);
+  }
+  return Status::OK();
+}
+
+template <typename T>
+ScalarKernelFn SelectScalarOp(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd:
+      return &ScalarLoop<T, BinOp::kAdd>;
+    case BinOp::kSub:
+      return &ScalarLoop<T, BinOp::kSub>;
+    case BinOp::kMul:
+      return &ScalarLoop<T, BinOp::kMul>;
+    case BinOp::kDiv:
+      return &ScalarLoop<T, BinOp::kDiv>;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Cast loops
+// ---------------------------------------------------------------------------
+
+Status CastOverflow() {
+  return Status::OutOfRange(
+      "converted value does not fit the target element type");
+}
+
+/// Exact bounds of integer type D as doubles: [-2^(bits-1), 2^(bits-1)).
+/// Both endpoints are exactly representable, so an integral-valued double r
+/// fits D iff lo <= r < hi — this is boundary-exact even for int64, where
+/// the naive `r > (double)INT64_MAX` check admits 2^63 itself.
+template <typename D>
+double IntLowerBound() {
+  return -std::ldexp(1.0, 8 * static_cast<int>(sizeof(D)) - 1);
+}
+template <typename D>
+double IntUpperBound() {
+  return std::ldexp(1.0, 8 * static_cast<int>(sizeof(D)) - 1);
+}
+
+template <typename S, typename D>
+Status CastLoop(const uint8_t* sp, uint8_t* dp, int64_t n) {
+  int bad = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    S x = Load<S>(sp, i);
+    if constexpr (std::is_integral_v<D> && std::is_integral_v<S>) {
+      // Exact integer conversion with a range check in the integer domain.
+      if constexpr (sizeof(S) > sizeof(D)) {
+        bad |= (x < static_cast<S>(std::numeric_limits<D>::min())) |
+               (x > static_cast<S>(std::numeric_limits<D>::max()));
+      }
+      Store<D>(dp, i, static_cast<D>(x));
+    } else if constexpr (std::is_integral_v<D>) {
+      // Float -> integer: round to nearest (ties to even, matching
+      // WriteScalarFromDouble) and range-check. NaN fails the range test.
+      double r = std::nearbyint(static_cast<double>(x));
+      bool fits = r >= IntLowerBound<D>() && r < IntUpperBound<D>();
+      bad |= !fits;
+      Store<D>(dp, i, fits ? static_cast<D>(r) : D{0});
+    } else {
+      // Widen through double to match the boxed GetDouble ->
+      // WriteScalarFromDouble path bit for bit (a direct int64 -> float32
+      // cast rounds once and can differ from the double-rounded result).
+      Store<D>(dp, i, static_cast<D>(static_cast<double>(x)));
+    }
+  }
+  if (bad) return CastOverflow();
+  return Status::OK();
+}
+
+template <typename S>
+CastKernelFn SelectCastDst(DType dst) {
+  switch (dst) {
+    case DType::kInt8:
+      return &CastLoop<S, int8_t>;
+    case DType::kInt16:
+      return &CastLoop<S, int16_t>;
+    case DType::kInt32:
+      return &CastLoop<S, int32_t>;
+    case DType::kInt64:
+      return &CastLoop<S, int64_t>;
+    case DType::kFloat32:
+      return &CastLoop<S, float>;
+    case DType::kFloat64:
+      return &CastLoop<S, double>;
+    default:
+      return nullptr;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reduction loops
+// ---------------------------------------------------------------------------
+
+/// Four independent accumulator chains: breaks the serial add-latency chain
+/// and lets integer/float32 lanes vectorize the widening step.
+template <typename T>
+double SumLoop(const uint8_t* ap, int64_t n) {
+  double s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += static_cast<double>(Load<T>(ap, i));
+    s1 += static_cast<double>(Load<T>(ap, i + 1));
+    s2 += static_cast<double>(Load<T>(ap, i + 2));
+    s3 += static_cast<double>(Load<T>(ap, i + 3));
+  }
+  for (; i < n; ++i) s0 += static_cast<double>(Load<T>(ap, i));
+  return (s0 + s1) + (s2 + s3);
+}
+
+template <typename T>
+double SumSqLoop(const uint8_t* ap, int64_t n) {
+  double s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    double a = static_cast<double>(Load<T>(ap, i));
+    double b = static_cast<double>(Load<T>(ap, i + 1));
+    double c = static_cast<double>(Load<T>(ap, i + 2));
+    double d = static_cast<double>(Load<T>(ap, i + 3));
+    s0 += a * a;
+    s1 += b * b;
+    s2 += c * c;
+    s3 += d * d;
+  }
+  for (; i < n; ++i) {
+    double a = static_cast<double>(Load<T>(ap, i));
+    s0 += a * a;
+  }
+  return (s0 + s1) + (s2 + s3);
+}
+
+/// Min/max use the std::min/std::max expression shape of the boxed
+/// RealAccum so NaN handling is identical (NaN operands are ignored).
+template <typename T>
+void ReduceLoop(const uint8_t* ap, int64_t n, ReduceStats* out) {
+  double mn = std::numeric_limits<double>::infinity();
+  double mx = -std::numeric_limits<double>::infinity();
+  double sum = 0, sumsq = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    double v = static_cast<double>(Load<T>(ap, i));
+    sum += v;
+    sumsq += v * v;
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  out->sum = sum;
+  out->sumsq = sumsq;
+  out->mn = mn;
+  out->mx = mx;
+  out->n = n;
+}
+
+template <typename A, typename B>
+double DotLoop(const uint8_t* ap, const uint8_t* bp, int64_t n) {
+  double s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += static_cast<double>(Load<A>(ap, i)) *
+          static_cast<double>(Load<B>(bp, i));
+    s1 += static_cast<double>(Load<A>(ap, i + 1)) *
+          static_cast<double>(Load<B>(bp, i + 1));
+    s2 += static_cast<double>(Load<A>(ap, i + 2)) *
+          static_cast<double>(Load<B>(bp, i + 2));
+    s3 += static_cast<double>(Load<A>(ap, i + 3)) *
+          static_cast<double>(Load<B>(bp, i + 3));
+  }
+  for (; i < n; ++i) {
+    s0 += static_cast<double>(Load<A>(ap, i)) *
+          static_cast<double>(Load<B>(bp, i));
+  }
+  return (s0 + s1) + (s2 + s3);
+}
+
+/// Invokes f(TypeTag<T>{}) for kernel dtypes only; the default value for
+/// complex/datetime. Unlike DispatchDType, datetime is NOT mapped to int64 —
+/// it stays on the boxed tier.
+template <typename R, typename F>
+R DispatchKernelDType(DType t, F&& f, R fallback) {
+  switch (t) {
+    case DType::kInt8:
+      return f(TypeTag<int8_t>{});
+    case DType::kInt16:
+      return f(TypeTag<int16_t>{});
+    case DType::kInt32:
+      return f(TypeTag<int32_t>{});
+    case DType::kInt64:
+      return f(TypeTag<int64_t>{});
+    case DType::kFloat32:
+      return f(TypeTag<float>{});
+    case DType::kFloat64:
+      return f(TypeTag<double>{});
+    default:
+      return fallback;
+  }
+}
+
+}  // namespace
+
+bool IsKernelDType(DType t) {
+  switch (t) {
+    case DType::kInt8:
+    case DType::kInt16:
+    case DType::kInt32:
+    case DType::kInt64:
+    case DType::kFloat32:
+    case DType::kFloat64:
+      return true;
+    default:
+      return false;
+  }
+}
+
+DType BinaryOutDType(BinOp op, DType lhs, DType rhs) {
+  DType out = PromoteDType(lhs, rhs);
+  if (op == BinOp::kDiv && IsIntegerDType(out)) out = DType::kFloat64;
+  return out;
+}
+
+BinaryKernelFn LookupBinary(BinOp op, DType lhs, DType rhs) {
+  if (!IsKernelDType(lhs) || !IsKernelDType(rhs)) return nullptr;
+  return DispatchKernelDType<BinaryKernelFn>(
+      lhs,
+      [&](auto lt) {
+        using L = typename decltype(lt)::type;
+        return DispatchKernelDType<BinaryKernelFn>(
+            rhs,
+            [&](auto rt) {
+              using R = typename decltype(rt)::type;
+              return SelectBinaryOp<L, R>(op);
+            },
+            nullptr);
+      },
+      nullptr);
+}
+
+ScalarKernelFn LookupScalar(BinOp op, DType a) {
+  if (!IsKernelDType(a)) return nullptr;
+  return DispatchKernelDType<ScalarKernelFn>(
+      a,
+      [&](auto t) {
+        using T = typename decltype(t)::type;
+        return SelectScalarOp<T>(op);
+      },
+      nullptr);
+}
+
+CastKernelFn LookupCast(DType src, DType dst) {
+  if (!IsKernelDType(src) || !IsKernelDType(dst) || src == dst) {
+    return nullptr;
+  }
+  return DispatchKernelDType<CastKernelFn>(
+      src,
+      [&](auto t) {
+        using S = typename decltype(t)::type;
+        return SelectCastDst<S>(dst);
+      },
+      nullptr);
+}
+
+SumKernelFn LookupSum(DType t) {
+  return DispatchKernelDType<SumKernelFn>(
+      t,
+      [](auto tag) -> SumKernelFn {
+        using T = typename decltype(tag)::type;
+        return &SumLoop<T>;
+      },
+      nullptr);
+}
+
+SumSqKernelFn LookupSumSq(DType t) {
+  return DispatchKernelDType<SumSqKernelFn>(
+      t,
+      [](auto tag) -> SumSqKernelFn {
+        using T = typename decltype(tag)::type;
+        return &SumSqLoop<T>;
+      },
+      nullptr);
+}
+
+ReduceKernelFn LookupReduce(DType t) {
+  return DispatchKernelDType<ReduceKernelFn>(
+      t,
+      [](auto tag) -> ReduceKernelFn {
+        using T = typename decltype(tag)::type;
+        return &ReduceLoop<T>;
+      },
+      nullptr);
+}
+
+DotKernelFn LookupDot(DType a, DType b) {
+  if (!IsRealDType(a) || !IsRealDType(b)) return nullptr;
+  if (a == DType::kFloat64) {
+    return b == DType::kFloat64 ? &DotLoop<double, double>
+                                : &DotLoop<double, float>;
+  }
+  return b == DType::kFloat64 ? &DotLoop<float, double>
+                              : &DotLoop<float, float>;
+}
+
+}  // namespace sqlarray::kernels

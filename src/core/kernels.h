@@ -1,0 +1,113 @@
+// Monomorphized batch kernels for the hot array path.
+//
+// The generic element accessors (GetDouble/GetComplex) pay a dtype switch, a
+// complex<double> box, and a Status check on EVERY element. The kernels here
+// hoist the dtype dispatch out of the loop: Lookup* resolves one function
+// pointer per (op, dtype...) combination, and that function runs a tight
+// contiguous loop over the raw payload that the compiler can auto-vectorize
+// (see the SQLARRAY_NATIVE_ARCH cmake option for -march=native builds).
+//
+// Dispatch tiers (see DESIGN.md "Kernel dispatch tiers"):
+//   1. kernel  — the 6 real dtypes (int8/16/32/64, float32/64); Lookup*
+//                returns a non-null pointer and the caller loops once.
+//   2. boxed   — complex and datetime operands; Lookup* returns nullptr and
+//                the caller falls back to the generic GetComplex path, which
+//                doubles as the differential-test oracle (tests/test_ops.cc).
+//
+// Element access inside the kernels goes through DecodeLE/EncodeLE (memcpy)
+// because max-array payloads start at header offset 16 + 4*rank, which is not
+// 8-aligned for odd ranks; the memcpy form is alignment-safe and still
+// compiles to plain (unaligned) vector loads.
+//
+// Numeric contracts:
+//   * Float-valued results are computed in double and narrowed once, which
+//     matches the boxed oracle bit for bit (double rounding is exact for
+//     +,-,*,/ when the intermediate precision is >= 2p+2).
+//   * Integer x integer ops are computed EXACTLY in the promoted integer
+//     type with overflow detection (OutOfRange on overflow) instead of
+//     round-tripping through double, which silently corrupted Int64 values
+//     above 2^53.
+//   * Division by zero is an error (InvalidArgument), matching SQL-side
+//     semantics of the boxed path, for both integer and float operands.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "core/dtype.h"
+#include "core/ops.h"
+
+namespace sqlarray::kernels {
+
+/// True for the dtypes the kernel tier covers (the six real types).
+/// Complex and datetime always take the boxed fallback.
+bool IsKernelDType(DType t);
+
+/// Result dtype of an element-wise binary op after promotion (integer
+/// division promotes to float64, like the boxed path).
+DType BinaryOutDType(BinOp op, DType lhs, DType rhs);
+
+// ---------------------------------------------------------------------------
+// Element-wise kernels
+// ---------------------------------------------------------------------------
+
+/// Contiguous binary element-wise loop: lhs/rhs payloads of the given
+/// dtypes, out payload of BinaryOutDType(op, lhs, rhs) elements.
+using BinaryKernelFn = Status (*)(const uint8_t* lhs, const uint8_t* rhs,
+                                  uint8_t* out, int64_t n);
+
+/// Resolves the kernel for (op, lhs, rhs); nullptr when either operand is
+/// complex or datetime (use the boxed path).
+BinaryKernelFn LookupBinary(BinOp op, DType lhs, DType rhs);
+
+/// Scalar-broadcast loop: `a op scalar` with a float64 output payload
+/// (promotion with a double scalar always yields float64 for real dtypes).
+using ScalarKernelFn = Status (*)(const uint8_t* a, double scalar,
+                                  uint8_t* out, int64_t n);
+ScalarKernelFn LookupScalar(BinOp op, DType a);
+
+// ---------------------------------------------------------------------------
+// Cast kernels
+// ---------------------------------------------------------------------------
+
+/// Contiguous dtype-conversion loop. Integer -> integer converts exactly
+/// (range-checked in the integer domain); float -> integer rounds to
+/// nearest (ties to even) and range-checks; anything that does not fit is
+/// OutOfRange, matching WriteScalarFromDouble.
+using CastKernelFn = Status (*)(const uint8_t* src, uint8_t* dst, int64_t n);
+
+/// nullptr when either side is complex/datetime or src == dst (callers
+/// memcpy identity conversions).
+CastKernelFn LookupCast(DType src, DType dst);
+
+// ---------------------------------------------------------------------------
+// Reduction kernels
+// ---------------------------------------------------------------------------
+
+/// Whole-span sum, widened to double. Uses four independent accumulators
+/// (the result can differ from a strictly sequential sum in the last ulp).
+using SumKernelFn = double (*)(const uint8_t* a, int64_t n);
+SumKernelFn LookupSum(DType t);
+
+/// Whole-span sum of squares (for Norm2), widened to double.
+using SumSqKernelFn = double (*)(const uint8_t* a, int64_t n);
+SumSqKernelFn LookupSumSq(DType t);
+
+/// Full reduction statistics for min/max/mean/std aggregates.
+struct ReduceStats {
+  double sum = 0;
+  double sumsq = 0;
+  double mn = 0;   ///< undefined when n == 0
+  double mx = 0;   ///< undefined when n == 0
+  int64_t n = 0;
+};
+
+using ReduceKernelFn = void (*)(const uint8_t* a, int64_t n, ReduceStats* out);
+ReduceKernelFn LookupReduce(DType t);
+
+/// Dot-product loop over two equal-length spans, accumulated in double.
+/// Covers the four float32/float64 pairings; nullptr otherwise.
+using DotKernelFn = double (*)(const uint8_t* a, const uint8_t* b, int64_t n);
+DotKernelFn LookupDot(DType a, DType b);
+
+}  // namespace sqlarray::kernels

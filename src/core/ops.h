@@ -148,4 +148,24 @@ Result<std::complex<double>> Dot(const ArrayRef& a, const ArrayRef& b);
 /// Euclidean norm of all elements.
 Result<double> Norm2(const ArrayRef& a);
 
+// ---------------------------------------------------------------------------
+// Boxed reference implementations (differential-test oracles)
+// ---------------------------------------------------------------------------
+//
+// The entry points above dispatch to the monomorphized kernels in
+// src/core/kernels.h whenever every operand has a real dtype. The *Boxed
+// variants always take the generic per-element GetDouble/GetComplex path;
+// tests/test_ops.cc compares the two across the dtype promotion matrix.
+// Results are bit-identical for element-wise ops and casts; reductions may
+// differ in the final ulp (kernel sums use independent accumulator chains).
+
+Result<OwnedArray> ElementwiseBinaryBoxed(const ArrayRef& lhs,
+                                          const ArrayRef& rhs, BinOp op);
+Result<OwnedArray> ElementwiseScalarBoxed(const ArrayRef& a, double scalar,
+                                          BinOp op);
+Result<std::complex<double>> DotBoxed(const ArrayRef& a, const ArrayRef& b);
+Result<double> Norm2Boxed(const ArrayRef& a);
+Result<double> AggregateAllBoxed(const ArrayRef& a, AggKind kind);
+Result<OwnedArray> ConvertDTypeBoxed(const ArrayRef& a, DType target);
+
 }  // namespace sqlarray

@@ -1,8 +1,9 @@
-#include "core/ops.h"
-
 #include <algorithm>
 #include <cmath>
 #include <limits>
+
+#include "core/kernels.h"
+#include "core/ops.h"
 
 namespace sqlarray {
 
@@ -54,7 +55,33 @@ bool KindNeedsOrdering(AggKind kind) {
          kind == AggKind::kStd;
 }
 
+/// Finishes a kernel ReduceStats with RealAccum's empty-input and variance
+/// semantics (the field layouts match by construction).
+Result<double> FinishStats(const kernels::ReduceStats& s, AggKind kind) {
+  RealAccum acc;
+  acc.sum = s.sum;
+  acc.sumsq = s.sumsq;
+  if (s.n > 0) {
+    acc.mn = s.mn;
+    acc.mx = s.mx;
+  }
+  acc.n = s.n;
+  return acc.Finish(kind);
+}
+
 }  // namespace
+
+Result<double> AggregateAllBoxed(const ArrayRef& a, AggKind kind) {
+  if (IsComplexDType(a.dtype())) {
+    return Status::TypeMismatch(
+        "real aggregate applied to a complex array; use "
+        "AggregateAllComplex");
+  }
+  RealAccum acc;
+  const int64_t n = a.num_elements();
+  for (int64_t i = 0; i < n; ++i) acc.Add(a.GetDouble(i).value());
+  return acc.Finish(kind);
+}
 
 Result<double> AggregateAll(const ArrayRef& a, AggKind kind) {
   if (IsComplexDType(a.dtype())) {
@@ -62,19 +89,25 @@ Result<double> AggregateAll(const ArrayRef& a, AggKind kind) {
         "real aggregate applied to a complex array; use "
         "AggregateAllComplex");
   }
-  // Fast paths for the common float64/float32 cases; generic loop otherwise.
-  RealAccum acc;
-  if (a.dtype() == DType::kFloat64) {
-    auto data = a.Data<double>().value();
-    for (double v : data) acc.Add(v);
-  } else if (a.dtype() == DType::kFloat32) {
-    auto data = a.Data<float>().value();
-    for (float v : data) acc.Add(v);
-  } else {
+  // SUM/MEAN/COUNT only need the running sum: use the unrolled sum kernel.
+  // MIN/MAX/STD take the combined single-pass reduction kernel.
+  if (kind == AggKind::kSum || kind == AggKind::kMean ||
+      kind == AggKind::kCount) {
+    kernels::SumKernelFn fn = kernels::LookupSum(a.dtype());
+    if (fn == nullptr) return AggregateAllBoxed(a, kind);
     const int64_t n = a.num_elements();
-    for (int64_t i = 0; i < n; ++i) acc.Add(a.GetDouble(i).value());
+    if (kind == AggKind::kCount) return static_cast<double>(n);
+    if (kind == AggKind::kMean && n == 0) {
+      return Status::InvalidArgument("mean of empty array");
+    }
+    double sum = fn(a.payload().data(), n);
+    return kind == AggKind::kSum ? sum : sum / static_cast<double>(n);
   }
-  return acc.Finish(kind);
+  kernels::ReduceKernelFn fn = kernels::LookupReduce(a.dtype());
+  if (fn == nullptr) return AggregateAllBoxed(a, kind);
+  kernels::ReduceStats stats;
+  fn(a.payload().data(), a.num_elements(), &stats);
+  return FinishStats(stats, kind);
 }
 
 Result<std::complex<double>> AggregateAllComplex(const ArrayRef& a,
@@ -131,6 +164,24 @@ Result<OwnedArray> AggregateAxis(const ArrayRef& a, int axis, AggKind kind) {
   const int64_t axis_len = dims[axis];
   const int64_t axis_stride = strides[axis];
   const int64_t out_n = out.num_elements();
+
+  // Axis 0 reduces runs that are contiguous in the column-major payload
+  // (strides[0] == 1): output cell o covers elements [o*len, (o+1)*len).
+  // That is the kernel-friendly case; other axes walk strided.
+  if (!cpx && axis == 0) {
+    kernels::ReduceKernelFn fn = kernels::LookupReduce(a.dtype());
+    if (fn != nullptr) {
+      const uint8_t* base = a.payload().data();
+      const int esize = a.elem_size();
+      for (int64_t o = 0; o < out_n; ++o) {
+        kernels::ReduceStats stats;
+        fn(base + o * axis_len * esize, axis_len, &stats);
+        SQLARRAY_ASSIGN_OR_RETURN(double v, FinishStats(stats, kind));
+        SQLARRAY_RETURN_IF_ERROR(out.SetDouble(o, v));
+      }
+      return out;
+    }
+  }
 
   // Enumerate the reduced index space; for each output cell walk the axis.
   Dims cursor(a.rank(), 0);

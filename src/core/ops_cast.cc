@@ -1,6 +1,7 @@
-#include "core/ops.h"
-
 #include <cstring>
+
+#include "core/kernels.h"
+#include "core/ops.h"
 
 namespace sqlarray {
 
@@ -25,7 +26,7 @@ Result<std::vector<uint8_t>> Raw(const ArrayRef& a) {
   return std::vector<uint8_t>(pl.begin(), pl.end());
 }
 
-Result<OwnedArray> ConvertDType(const ArrayRef& a, DType target) {
+Result<OwnedArray> ConvertDTypeBoxed(const ArrayRef& a, DType target) {
   if (target == a.dtype()) return OwnedArray::CopyOf(a);
   SQLARRAY_ASSIGN_OR_RETURN(OwnedArray out,
                             OwnedArray::Zeros(target, a.dims()));
@@ -45,6 +46,17 @@ Result<OwnedArray> ConvertDType(const ArrayRef& a, DType target) {
           WriteScalarFromDouble(target, dst + i * dsize, v));
     }
   }
+  return out;
+}
+
+Result<OwnedArray> ConvertDType(const ArrayRef& a, DType target) {
+  if (target == a.dtype()) return OwnedArray::CopyOf(a);
+  kernels::CastKernelFn fn = kernels::LookupCast(a.dtype(), target);
+  if (fn == nullptr) return ConvertDTypeBoxed(a, target);
+  SQLARRAY_ASSIGN_OR_RETURN(OwnedArray out,
+                            OwnedArray::Zeros(target, a.dims()));
+  SQLARRAY_RETURN_IF_ERROR(
+      fn(a.payload().data(), out.mutable_payload().data(), a.num_elements()));
   return out;
 }
 

@@ -1,6 +1,7 @@
-#include "core/ops.h"
-
 #include <cmath>
+
+#include "core/kernels.h"
+#include "core/ops.h"
 
 namespace sqlarray {
 
@@ -30,8 +31,8 @@ int PromoRank(DType t) {
   return 7;
 }
 
-Result<std::complex<double>> ApplyOp(std::complex<double> x,
-                                     std::complex<double> y, BinOp op) {
+Result<std::complex<double>> ApplyOpComplex(std::complex<double> x,
+                                            std::complex<double> y, BinOp op) {
   switch (op) {
     case BinOp::kAdd:
       return x + y;
@@ -46,6 +47,34 @@ Result<std::complex<double>> ApplyOp(std::complex<double> x,
       return x / y;
   }
   return Status::Internal("unreachable binop");
+}
+
+/// Real-operand scalar op in plain double arithmetic. Unlike the complex
+/// form, inf/NaN operands behave per IEEE (complex multiplication produces
+/// NaN imaginary parts for them, which a real output then rejects).
+Result<double> ApplyOpReal(double x, double y, BinOp op) {
+  switch (op) {
+    case BinOp::kAdd:
+      return x + y;
+    case BinOp::kSub:
+      return x - y;
+    case BinOp::kMul:
+      return x * y;
+    case BinOp::kDiv:
+      if (y == 0.0) {
+        return Status::InvalidArgument("element-wise division by zero");
+      }
+      return x / y;
+  }
+  return Status::Internal("unreachable binop");
+}
+
+Status CheckSameShape(const ArrayRef& lhs, const ArrayRef& rhs) {
+  if (lhs.dims() != rhs.dims()) {
+    return Status::InvalidArgument(
+        "element-wise operation requires identical shapes");
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -65,65 +94,106 @@ DType PromoteDType(DType a, DType b) {
   return wider;
 }
 
-Result<OwnedArray> ElementwiseBinary(const ArrayRef& lhs, const ArrayRef& rhs,
-                                     BinOp op) {
-  if (lhs.dims() != rhs.dims()) {
-    return Status::InvalidArgument(
-        "element-wise operation requires identical shapes");
-  }
-  DType out_dtype = PromoteDType(lhs.dtype(), rhs.dtype());
-  // Integer division would truncate surprisingly; match SQL float semantics.
-  if (op == BinOp::kDiv && IsIntegerDType(out_dtype)) {
-    out_dtype = DType::kFloat64;
-  }
+Result<OwnedArray> ElementwiseBinaryBoxed(const ArrayRef& lhs,
+                                          const ArrayRef& rhs, BinOp op) {
+  SQLARRAY_RETURN_IF_ERROR(CheckSameShape(lhs, rhs));
+  DType out_dtype = kernels::BinaryOutDType(op, lhs.dtype(), rhs.dtype());
   SQLARRAY_ASSIGN_OR_RETURN(OwnedArray out,
                             OwnedArray::Zeros(out_dtype, lhs.dims()));
   const int64_t n = lhs.num_elements();
   uint8_t* dst = out.mutable_payload().data();
   const int dsize = DTypeSize(out_dtype);
-  for (int64_t i = 0; i < n; ++i) {
-    SQLARRAY_ASSIGN_OR_RETURN(std::complex<double> x, lhs.GetComplex(i));
-    SQLARRAY_ASSIGN_OR_RETURN(std::complex<double> y, rhs.GetComplex(i));
-    SQLARRAY_ASSIGN_OR_RETURN(std::complex<double> v, ApplyOp(x, y, op));
-    SQLARRAY_RETURN_IF_ERROR(
-        WriteScalarFromComplex(out_dtype, dst + i * dsize, v));
+  if (IsComplexDType(lhs.dtype()) || IsComplexDType(rhs.dtype())) {
+    for (int64_t i = 0; i < n; ++i) {
+      SQLARRAY_ASSIGN_OR_RETURN(std::complex<double> x, lhs.GetComplex(i));
+      SQLARRAY_ASSIGN_OR_RETURN(std::complex<double> y, rhs.GetComplex(i));
+      SQLARRAY_ASSIGN_OR_RETURN(std::complex<double> v,
+                                ApplyOpComplex(x, y, op));
+      SQLARRAY_RETURN_IF_ERROR(
+          WriteScalarFromComplex(out_dtype, dst + i * dsize, v));
+    }
+  } else {
+    for (int64_t i = 0; i < n; ++i) {
+      SQLARRAY_ASSIGN_OR_RETURN(double x, lhs.GetDouble(i));
+      SQLARRAY_ASSIGN_OR_RETURN(double y, rhs.GetDouble(i));
+      SQLARRAY_ASSIGN_OR_RETURN(double v, ApplyOpReal(x, y, op));
+      SQLARRAY_RETURN_IF_ERROR(
+          WriteScalarFromDouble(out_dtype, dst + i * dsize, v));
+    }
   }
   return out;
 }
 
-Result<OwnedArray> ElementwiseScalar(const ArrayRef& a, double scalar,
+Result<OwnedArray> ElementwiseBinary(const ArrayRef& lhs, const ArrayRef& rhs,
                                      BinOp op) {
+  SQLARRAY_RETURN_IF_ERROR(CheckSameShape(lhs, rhs));
+  kernels::BinaryKernelFn fn =
+      kernels::LookupBinary(op, lhs.dtype(), rhs.dtype());
+  if (fn == nullptr) return ElementwiseBinaryBoxed(lhs, rhs, op);
+  DType out_dtype = kernels::BinaryOutDType(op, lhs.dtype(), rhs.dtype());
+  SQLARRAY_ASSIGN_OR_RETURN(OwnedArray out,
+                            OwnedArray::Zeros(out_dtype, lhs.dims()));
+  SQLARRAY_RETURN_IF_ERROR(fn(lhs.payload().data(), rhs.payload().data(),
+                              out.mutable_payload().data(),
+                              lhs.num_elements()));
+  return out;
+}
+
+Result<OwnedArray> ElementwiseScalarBoxed(const ArrayRef& a, double scalar,
+                                          BinOp op) {
   DType out_dtype = PromoteDType(a.dtype(), DType::kFloat64);
   SQLARRAY_ASSIGN_OR_RETURN(OwnedArray out,
                             OwnedArray::Zeros(out_dtype, a.dims()));
   const int64_t n = a.num_elements();
   uint8_t* dst = out.mutable_payload().data();
   const int dsize = DTypeSize(out_dtype);
-  for (int64_t i = 0; i < n; ++i) {
-    SQLARRAY_ASSIGN_OR_RETURN(std::complex<double> x, a.GetComplex(i));
-    SQLARRAY_ASSIGN_OR_RETURN(std::complex<double> v,
-                              ApplyOp(x, {scalar, 0.0}, op));
-    SQLARRAY_RETURN_IF_ERROR(
-        WriteScalarFromComplex(out_dtype, dst + i * dsize, v));
+  if (IsComplexDType(a.dtype())) {
+    for (int64_t i = 0; i < n; ++i) {
+      SQLARRAY_ASSIGN_OR_RETURN(std::complex<double> x, a.GetComplex(i));
+      SQLARRAY_ASSIGN_OR_RETURN(std::complex<double> v,
+                                ApplyOpComplex(x, {scalar, 0.0}, op));
+      SQLARRAY_RETURN_IF_ERROR(
+          WriteScalarFromComplex(out_dtype, dst + i * dsize, v));
+    }
+  } else {
+    for (int64_t i = 0; i < n; ++i) {
+      SQLARRAY_ASSIGN_OR_RETURN(double x, a.GetDouble(i));
+      SQLARRAY_ASSIGN_OR_RETURN(double v, ApplyOpReal(x, scalar, op));
+      SQLARRAY_RETURN_IF_ERROR(
+          WriteScalarFromDouble(out_dtype, dst + i * dsize, v));
+    }
   }
   return out;
 }
 
-Result<std::complex<double>> Dot(const ArrayRef& a, const ArrayRef& b) {
+Result<OwnedArray> ElementwiseScalar(const ArrayRef& a, double scalar,
+                                     BinOp op) {
+  kernels::ScalarKernelFn fn = kernels::LookupScalar(op, a.dtype());
+  if (fn == nullptr) return ElementwiseScalarBoxed(a, scalar, op);
+  SQLARRAY_ASSIGN_OR_RETURN(OwnedArray out,
+                            OwnedArray::Zeros(DType::kFloat64, a.dims()));
+  SQLARRAY_RETURN_IF_ERROR(fn(a.payload().data(), scalar,
+                              out.mutable_payload().data(),
+                              a.num_elements()));
+  return out;
+}
+
+namespace {
+
+Status CheckDotShapes(const ArrayRef& a, const ArrayRef& b) {
   if (a.rank() != 1 || b.rank() != 1) {
     return Status::InvalidArgument("dot product requires rank-1 arrays");
   }
   if (a.num_elements() != b.num_elements()) {
     return Status::InvalidArgument("dot product requires equal lengths");
   }
-  // Fast path for the dominant float64 case.
-  if (a.dtype() == DType::kFloat64 && b.dtype() == DType::kFloat64) {
-    auto xs = a.Data<double>().value();
-    auto ys = b.Data<double>().value();
-    double sum = 0;
-    for (size_t i = 0; i < xs.size(); ++i) sum += xs[i] * ys[i];
-    return std::complex<double>(sum, 0);
-  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::complex<double>> DotBoxed(const ArrayRef& a, const ArrayRef& b) {
+  SQLARRAY_RETURN_IF_ERROR(CheckDotShapes(a, b));
   std::complex<double> sum = 0;
   const int64_t n = a.num_elements();
   for (int64_t i = 0; i < n; ++i) {
@@ -134,7 +204,17 @@ Result<std::complex<double>> Dot(const ArrayRef& a, const ArrayRef& b) {
   return sum;
 }
 
-Result<double> Norm2(const ArrayRef& a) {
+Result<std::complex<double>> Dot(const ArrayRef& a, const ArrayRef& b) {
+  SQLARRAY_RETURN_IF_ERROR(CheckDotShapes(a, b));
+  // Kernel tier covers all four float32/float64 pairings (the old fast path
+  // only handled float64 x float64).
+  kernels::DotKernelFn fn = kernels::LookupDot(a.dtype(), b.dtype());
+  if (fn == nullptr) return DotBoxed(a, b);
+  return std::complex<double>(
+      fn(a.payload().data(), b.payload().data(), a.num_elements()), 0);
+}
+
+Result<double> Norm2Boxed(const ArrayRef& a) {
   double sum = 0;
   const int64_t n = a.num_elements();
   for (int64_t i = 0; i < n; ++i) {
@@ -142,6 +222,12 @@ Result<double> Norm2(const ArrayRef& a) {
     sum += std::norm(x);
   }
   return std::sqrt(sum);
+}
+
+Result<double> Norm2(const ArrayRef& a) {
+  kernels::SumSqKernelFn fn = kernels::LookupSumSq(a.dtype());
+  if (fn == nullptr) return Norm2Boxed(a);
+  return std::sqrt(fn(a.payload().data(), a.num_elements()));
 }
 
 }  // namespace sqlarray

@@ -1,0 +1,181 @@
+#include "engine/batch.h"
+
+#include <cstring>
+
+#include "common/bytes.h"
+
+namespace sqlarray::engine {
+
+std::shared_ptr<std::vector<uint8_t>> ByteBufferPool::Get() {
+  const size_t n = slots_.size();
+  const size_t probes = n < kMaxProbe ? n : kMaxProbe;
+  for (size_t i = 0; i < probes; ++i) {
+    std::shared_ptr<std::vector<uint8_t>>& slot =
+        slots_[(cursor_ + i) % n];
+    if (slot.use_count() == 1) {
+      cursor_ = (cursor_ + i + 1) % n;
+      return slot;
+    }
+  }
+  auto buf = std::make_shared<std::vector<uint8_t>>();
+  if (n < kMaxTracked) {
+    slots_.push_back(buf);
+    cursor_ = 0;
+  }
+  return buf;
+}
+
+std::vector<Value>* EvalArena::Borrow() {
+  if (!free_.empty()) {
+    std::vector<Value>* col = free_.back();
+    free_.pop_back();
+    return col;
+  }
+  owned_.push_back(std::make_unique<std::vector<Value>>());
+  return owned_.back().get();
+}
+
+void EvalArena::Return(std::vector<Value>* col) {
+  col->clear();
+  free_.push_back(col);
+}
+
+void RowBatch::Reset(int64_t row_size, int32_t capacity) {
+  row_size_ = row_size;
+  cap_ = capacity;
+  n_ = 0;
+  data_.resize(static_cast<size_t>(row_size) * capacity);
+}
+
+void RowBatch::Push(const uint8_t* row) {
+  std::memcpy(data_.data() + static_cast<size_t>(n_) * row_size_, row,
+              static_cast<size_t>(row_size_));
+  ++n_;
+}
+
+namespace {
+
+/// kBinary column decode into a pooled buffer — the batch-mode replacement
+/// for DecodeColumn's fresh std::vector per row. Mirrors its validation.
+Status DecodeBinaryPooled(const storage::ColumnDef& col, const uint8_t* p,
+                          ByteBufferPool* pool, Value* out) {
+  uint16_t len = DecodeLE<uint16_t>(p);
+  if (len > col.capacity) {
+    return Status::Corruption("binary column length exceeds capacity");
+  }
+  std::shared_ptr<std::vector<uint8_t>> buf = pool->Get();
+  buf->assign(p + 2, p + 2 + len);
+  *out = Value::SharedBytes(std::move(buf));
+  return Status::OK();
+}
+
+Status EvalColumnRef(const Expr& expr, BatchContext& ctx,
+                     std::vector<Value>* out) {
+  if (expr.column_index < 0) {
+    return Status::Internal("unbound column reference: " + expr.column_name);
+  }
+  if (ctx.schema == nullptr || ctx.batch == nullptr) {
+    return Status::InvalidArgument("column reference outside a row context");
+  }
+  const int32_t n = ctx.NumRows();
+  const storage::ColumnDef& col = ctx.schema->column(expr.column_index);
+  const int64_t offset = ctx.schema->column_offset(expr.column_index);
+  if (col.type == storage::ColumnType::kBinary && ctx.byte_pool != nullptr) {
+    for (int32_t k = 0; k < n; ++k) {
+      const uint8_t* row = ctx.batch->row(ctx.RowAt(k));
+      SQLARRAY_RETURN_IF_ERROR(
+          DecodeBinaryPooled(col, row + offset, ctx.byte_pool, &(*out)[k]));
+    }
+    return Status::OK();
+  }
+  for (int32_t k = 0; k < n; ++k) {
+    const uint8_t* row = ctx.batch->row(ctx.RowAt(k));
+    auto v = ReadRowColumn(*ctx.schema, row, expr.column_index, *ctx.udf);
+    if (!v.ok()) return v.status();
+    (*out)[k] = std::move(v).value();
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status EvalBatch(const Expr& expr, BatchContext& ctx,
+                 std::vector<Value>* out) {
+  const int32_t n = ctx.NumRows();
+  out->resize(n);
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral: {
+      for (int32_t k = 0; k < n; ++k) (*out)[k] = expr.literal;
+      return Status::OK();
+    }
+    case Expr::Kind::kStar: {
+      for (int32_t k = 0; k < n; ++k) (*out)[k] = Value::Int(1);
+      return Status::OK();
+    }
+    case Expr::Kind::kVariable: {
+      if (ctx.variables == nullptr) {
+        return Status::InvalidArgument("variables are not available here");
+      }
+      auto it = ctx.variables->find(expr.var_name);
+      if (it == ctx.variables->end()) {
+        return Status::NotFound("undeclared variable @" + expr.var_name);
+      }
+      for (int32_t k = 0; k < n; ++k) (*out)[k] = it->second;
+      return Status::OK();
+    }
+    case Expr::Kind::kColumn:
+      return EvalColumnRef(expr, ctx, out);
+    case Expr::Kind::kUnary: {
+      ColumnGuard guard(ctx.arena);
+      std::vector<Value>* operand = guard.Borrow();
+      SQLARRAY_RETURN_IF_ERROR(EvalBatch(*expr.args[0], ctx, operand));
+      for (int32_t k = 0; k < n; ++k) {
+        auto v = EvalUnaryOp(expr.unary_op, (*operand)[k]);
+        if (!v.ok()) return v.status();
+        (*out)[k] = std::move(v).value();
+      }
+      return Status::OK();
+    }
+    case Expr::Kind::kBinary: {
+      ColumnGuard guard(ctx.arena);
+      std::vector<Value>* lhs = guard.Borrow();
+      std::vector<Value>* rhs = guard.Borrow();
+      SQLARRAY_RETURN_IF_ERROR(EvalBatch(*expr.args[0], ctx, lhs));
+      SQLARRAY_RETURN_IF_ERROR(EvalBatch(*expr.args[1], ctx, rhs));
+      for (int32_t k = 0; k < n; ++k) {
+        auto v = EvalBinaryOp(expr.binary_op, (*lhs)[k], (*rhs)[k]);
+        if (!v.ok()) return v.status();
+        (*out)[k] = std::move(v).value();
+      }
+      return Status::OK();
+    }
+    case Expr::Kind::kCall: {
+      if (expr.bound_fn == nullptr) {
+        return Status::Internal("unbound function call: " + expr.schema_name +
+                                "." + expr.func_name);
+      }
+      const size_t n_args = expr.args.size();
+      ColumnGuard guard(ctx.arena);
+      std::vector<std::vector<Value>*> arg_cols;
+      arg_cols.reserve(n_args);
+      for (size_t a = 0; a < n_args; ++a) {
+        arg_cols.push_back(guard.Borrow());
+        SQLARRAY_RETURN_IF_ERROR(EvalBatch(*expr.args[a], ctx, arg_cols[a]));
+      }
+      std::vector<Value>& args = *ctx.arena->arg_scratch();
+      for (int32_t k = 0; k < n; ++k) {
+        args.clear();
+        for (size_t a = 0; a < n_args; ++a) {
+          args.push_back((*arg_cols[a])[k]);
+        }
+        auto v = FunctionRegistry::Invoke(*expr.bound_fn, args, *ctx.udf);
+        if (!v.ok()) return v.status();
+        (*out)[k] = std::move(v).value();
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable expr kind");
+}
+
+}  // namespace sqlarray::engine

@@ -7,6 +7,7 @@
 
 #include "common/bytes.h"
 #include "common/stopwatch.h"
+#include "engine/batch.h"
 
 namespace sqlarray::engine {
 
@@ -120,6 +121,93 @@ struct AggState {
   }
 };
 
+/// Folds one evaluated aggregate argument into the accumulator. Shared by
+/// the serial, parallel, and batched paths so accumulation arithmetic (and
+/// therefore results) is identical bit for bit across them.
+Status AccumulateNative(SelectItem::AggKind agg, const Value& v,
+                        AggState* st) {
+  if (v.is_null()) return Status::OK();
+  if (agg == SelectItem::AggKind::kCount) {
+    st->count++;
+    return Status::OK();
+  }
+  SQLARRAY_ASSIGN_OR_RETURN(double d, v.AsDouble());
+  if (v.kind() == Value::Kind::kInt64) {
+    st->isum += v.AsInt().value();
+  } else {
+    st->int_only = false;
+  }
+  st->count++;
+  st->sum += d;
+  st->mn = std::min(st->mn, d);
+  st->mx = std::max(st->mx, d);
+  return Status::OK();
+}
+
+/// Produces the final output value of a native aggregate. Shared by every
+/// aggregation path.
+Result<Value> FinishNative(SelectItem::AggKind agg, const AggState& st) {
+  switch (agg) {
+    case SelectItem::AggKind::kCount:
+      return Value::Int(st.count);
+    case SelectItem::AggKind::kSum:
+      if (st.count == 0) return Value::Null();
+      if (st.int_only) return Value::Int(st.isum);
+      return Value::Double(st.sum);
+    case SelectItem::AggKind::kMin:
+      return st.count == 0 ? Value::Null() : Value::Double(st.mn);
+    case SelectItem::AggKind::kMax:
+      return st.count == 0 ? Value::Null() : Value::Double(st.mx);
+    case SelectItem::AggKind::kAvg:
+      return st.count == 0
+                 ? Value::Null()
+                 : Value::Double(st.sum / static_cast<double>(st.count));
+    default:
+      return Status::Internal("FinishNative on a non-native aggregate");
+  }
+}
+
+/// True when COUNT takes the bare-increment shortcut (COUNT(*)): no
+/// argument evaluation and no native_agg_step charge.
+bool IsCountStar(const SelectItem& item) {
+  return item.agg == SelectItem::AggKind::kCount &&
+         (item.expr == nullptr || item.expr->kind == Expr::Kind::kStar);
+}
+
+/// Batch-eligibility for aggregation: table source, ungrouped, native
+/// aggregates only. Grouped queries and UDAs keep the row loop (group
+/// creation and UDA state marshaling are inherently per-row).
+bool CanBatchAggregate(const Query& q) {
+  if (q.table == nullptr || !q.group_by.empty()) return false;
+  for (const SelectItem& item : q.items) {
+    if (item.agg == SelectItem::AggKind::kUda) return false;
+  }
+  return true;
+}
+
+/// Evaluates the WHERE column for a gathered batch and fills `sel` with the
+/// indices of surviving rows (SQL truthiness: NULL is false).
+Status FilterBatch(const Query& q, BatchContext* bctx,
+                   std::vector<Value>* keep_col, std::vector<int32_t>* sel) {
+  const int32_t nrows = bctx->batch->size();
+  sel->clear();
+  bctx->sel = nullptr;
+  if (q.where == nullptr) {
+    for (int32_t i = 0; i < nrows; ++i) sel->push_back(i);
+    return Status::OK();
+  }
+  SQLARRAY_RETURN_IF_ERROR(EvalBatch(*q.where, *bctx, keep_col));
+  for (int32_t i = 0; i < nrows; ++i) {
+    const Value& keep = (*keep_col)[i];
+    int64_t truthy = 0;
+    if (!keep.is_null()) {
+      SQLARRAY_ASSIGN_OR_RETURN(truthy, keep.AsInt());
+    }
+    if (truthy != 0) sel->push_back(i);
+  }
+  return Status::OK();
+}
+
 /// Serializes a grouping key value into a byte string for hashing.
 void AppendGroupKey(const Value& v, std::string* out) {
   out->push_back(static_cast<char>(v.kind()));
@@ -183,6 +271,9 @@ Result<ResultSet> Executor::Execute(const Query& q,
 
 Result<ResultSet> Executor::ExecuteAggregate(
     const Query& q, std::map<std::string, Value>* variables) {
+  if (batch_rows_ > 1 && CanBatchAggregate(q)) {
+    return ExecuteAggregateBatched(q, variables);
+  }
   ResultSet rs;
   Stopwatch watch;
   storage::IoStats io_before = db_->disk()->stats();
@@ -281,14 +372,11 @@ Result<ResultSet> Executor::ExecuteAggregate(
         case SelectItem::AggKind::kCount: {
           // COUNT(*) is a bare increment folded into the row-scan cost;
           // COUNT(expr) pays the evaluation step.
-          if (item.expr != nullptr &&
-              item.expr->kind != Expr::Kind::kStar) {
-            rs.stats.ChargeCpuNs(cost_.native_agg_step_ns);
-            SQLARRAY_ASSIGN_OR_RETURN(Value v, Eval(*item.expr, ctx));
-            if (v.is_null()) break;
+          if (IsCountStar(item)) {
+            st.count++;
+            break;
           }
-          st.count++;
-          break;
+          [[fallthrough]];
         }
         case SelectItem::AggKind::kSum:
         case SelectItem::AggKind::kMin:
@@ -296,17 +384,7 @@ Result<ResultSet> Executor::ExecuteAggregate(
         case SelectItem::AggKind::kAvg: {
           rs.stats.ChargeCpuNs(cost_.native_agg_step_ns);
           SQLARRAY_ASSIGN_OR_RETURN(Value v, Eval(*item.expr, ctx));
-          if (v.is_null()) break;
-          SQLARRAY_ASSIGN_OR_RETURN(double d, v.AsDouble());
-          if (v.kind() == Value::Kind::kInt64) {
-            st.isum += v.AsInt().value();
-          } else {
-            st.int_only = false;
-          }
-          st.count++;
-          st.sum += d;
-          st.mn = std::min(st.mn, d);
-          st.mx = std::max(st.mx, d);
+          SQLARRAY_RETURN_IF_ERROR(AccumulateNative(item.agg, v, &st));
           break;
         }
         case SelectItem::AggKind::kUda: {
@@ -364,30 +442,6 @@ Result<ResultSet> Executor::ExecuteAggregate(
           row.push_back(i < group.plain_items.size() ? group.plain_items[i]
                                                      : Value::Null());
           break;
-        case SelectItem::AggKind::kCount:
-          row.push_back(Value::Int(st.count));
-          break;
-        case SelectItem::AggKind::kSum:
-          if (st.count == 0) {
-            row.push_back(Value::Null());
-          } else if (st.int_only) {
-            row.push_back(Value::Int(st.isum));
-          } else {
-            row.push_back(Value::Double(st.sum));
-          }
-          break;
-        case SelectItem::AggKind::kMin:
-          row.push_back(st.count == 0 ? Value::Null() : Value::Double(st.mn));
-          break;
-        case SelectItem::AggKind::kMax:
-          row.push_back(st.count == 0 ? Value::Null() : Value::Double(st.mx));
-          break;
-        case SelectItem::AggKind::kAvg:
-          row.push_back(st.count == 0
-                            ? Value::Null()
-                            : Value::Double(st.sum /
-                                            static_cast<double>(st.count)));
-          break;
         case SelectItem::AggKind::kUda: {
           if (st.uda == nullptr) {
             row.push_back(Value::Null());
@@ -395,6 +449,11 @@ Result<ResultSet> Executor::ExecuteAggregate(
           }
           SQLARRAY_ASSIGN_OR_RETURN(Value v,
                                     st.uda->Terminate(st.uda_state, ctx.udf));
+          row.push_back(std::move(v));
+          break;
+        }
+        default: {
+          SQLARRAY_ASSIGN_OR_RETURN(Value v, FinishNative(item.agg, st));
           row.push_back(std::move(v));
           break;
         }
@@ -408,6 +467,108 @@ Result<ResultSet> Executor::ExecuteAggregate(
   return rs;
 }
 
+
+Result<ResultSet> Executor::ExecuteAggregateBatched(
+    const Query& q, std::map<std::string, Value>* variables) {
+  ResultSet rs;
+  Stopwatch watch;
+  storage::IoStats io_before = db_->disk()->stats();
+  for (const SelectItem& item : q.items) rs.columns.push_back(item.label);
+  const size_t n_items = q.items.size();
+
+  UdfContext udf;
+  udf.pool = db_->buffer_pool();
+  udf.subquery = subquery_fn_;
+  udf.stats = &rs.stats;
+  udf.cost = &cost_;
+
+  std::vector<AggState> states(n_items);
+  std::vector<Value> plain_items(n_items);
+  bool plain_filled = false;
+
+  SQLARRAY_ASSIGN_OR_RETURN(storage::BTree::Cursor cursor, q.table->Scan());
+
+  RowBatch batch;
+  ByteBufferPool byte_pool;
+  EvalArena arena;
+  BatchContext bctx;
+  bctx.schema = &q.table->schema();
+  bctx.batch = &batch;
+  bctx.variables = variables;
+  bctx.udf = &udf;
+  bctx.byte_pool = &byte_pool;
+  bctx.arena = &arena;
+
+  std::vector<int32_t> sel;
+  std::vector<Value> keep_col, col;
+  const int64_t rsz = q.table->schema().row_size();
+  bool first_row = true;
+  bool done = false;
+
+  while (!done) {
+    batch.Reset(rsz, batch_rows_);
+    while (!batch.full()) {
+      if (!first_row) SQLARRAY_RETURN_IF_ERROR(cursor.Next());
+      first_row = false;
+      if (!cursor.valid()) {
+        done = true;
+        break;
+      }
+      batch.Push(cursor.row().data());
+    }
+    if (batch.size() == 0) break;
+    rs.stats.rows_scanned += batch.size();
+    for (int32_t i = 0; i < batch.size(); ++i) {
+      rs.stats.ChargeCpuNs(cost_.row_scan_ns);
+    }
+
+    SQLARRAY_RETURN_IF_ERROR(FilterBatch(q, &bctx, &keep_col, &sel));
+    if (sel.empty()) continue;
+
+    for (size_t i = 0; i < n_items; ++i) {
+      const SelectItem& item = q.items[i];
+      AggState& st = states[i];
+      if (item.agg == SelectItem::AggKind::kNone) {
+        // Plain items evaluate once, on the first row that survives the
+        // filter — same as the row loop's first-kept-row semantics.
+        if (!plain_filled) {
+          std::vector<int32_t> first_sel(1, sel[0]);
+          bctx.sel = &first_sel;
+          SQLARRAY_RETURN_IF_ERROR(EvalBatch(*item.expr, bctx, &col));
+          plain_items[i] = std::move(col[0]);
+        }
+        continue;
+      }
+      if (IsCountStar(item)) {
+        st.count += static_cast<int64_t>(sel.size());
+        continue;
+      }
+      bctx.sel = &sel;
+      SQLARRAY_RETURN_IF_ERROR(EvalBatch(*item.expr, bctx, &col));
+      for (const Value& v : col) {
+        rs.stats.ChargeCpuNs(cost_.native_agg_step_ns);
+        SQLARRAY_RETURN_IF_ERROR(AccumulateNative(item.agg, v, &st));
+      }
+    }
+    plain_filled = true;
+  }
+
+  std::vector<Value> row;
+  for (size_t i = 0; i < n_items; ++i) {
+    const SelectItem& item = q.items[i];
+    if (item.agg == SelectItem::AggKind::kNone) {
+      row.push_back(plain_filled ? plain_items[i] : Value::Null());
+      continue;
+    }
+    SQLARRAY_ASSIGN_OR_RETURN(Value v, FinishNative(item.agg, states[i]));
+    row.push_back(std::move(v));
+  }
+  rs.rows.push_back(std::move(row));
+
+  rs.stats.io = db_->disk()->stats() - io_before;
+  rs.stats.wall_seconds = watch.ElapsedSeconds();
+  return rs;
+}
 
 Result<ResultSet> Executor::ExecuteAggregateParallel(
     const Query& q, std::map<std::string, Value>* variables) {
@@ -459,6 +620,70 @@ Result<ResultSet> Executor::ExecuteAggregateParallel(
         return;
       }
       storage::BTree::ChunkCursor cursor = std::move(cursor_or).value();
+
+      if (batch_rows_ > 1) {
+        // Batched worker: gather a block of rows, filter it, then fold each
+        // aggregate column-wise (same accumulation order as the row loop).
+        RowBatch batch;
+        ByteBufferPool byte_pool;
+        EvalArena arena;
+        BatchContext bctx;
+        bctx.schema = &q.table->schema();
+        bctx.batch = &batch;
+        bctx.variables = variables;
+        bctx.udf = &ctx.udf;
+        bctx.byte_pool = &byte_pool;
+        bctx.arena = &arena;
+        std::vector<int32_t> sel;
+        std::vector<Value> keep_col, col;
+        const int64_t rsz = q.table->schema().row_size();
+        while (true) {
+          batch.Reset(rsz, batch_rows_);
+          while (!batch.full() && cursor.valid()) {
+            batch.Push(cursor.row().data());
+            Status st = cursor.Next();
+            if (!st.ok()) {
+              out.status = st;
+              return;
+            }
+          }
+          if (batch.size() == 0) break;
+          out.stats.rows_scanned += batch.size();
+          for (int32_t i = 0; i < batch.size(); ++i) {
+            out.stats.ChargeCpuNs(cost_.row_scan_ns);
+          }
+          Status fst = FilterBatch(q, &bctx, &keep_col, &sel);
+          if (!fst.ok()) {
+            out.status = fst;
+            return;
+          }
+          if (sel.empty()) continue;
+          bctx.sel = &sel;
+          for (size_t i = 0; i < n_items; ++i) {
+            const SelectItem& item = q.items[i];
+            AggState& st = out.states[i];
+            if (IsCountStar(item)) {
+              st.count += static_cast<int64_t>(sel.size());
+              continue;
+            }
+            Status est = EvalBatch(*item.expr, bctx, &col);
+            if (!est.ok()) {
+              out.status = est;
+              return;
+            }
+            for (const Value& v : col) {
+              out.stats.ChargeCpuNs(cost_.native_agg_step_ns);
+              Status ast = AccumulateNative(item.agg, v, &st);
+              if (!ast.ok()) {
+                out.status = ast;
+                return;
+              }
+            }
+          }
+        }
+        return;
+      }
+
       while (cursor.valid()) {
         ctx.row = cursor.row().data();
         out.stats.rows_scanned++;
@@ -483,9 +708,7 @@ Result<ResultSet> Executor::ExecuteAggregateParallel(
           for (size_t i = 0; i < n_items; ++i) {
             const SelectItem& item = q.items[i];
             AggState& st = out.states[i];
-            if (item.agg == SelectItem::AggKind::kCount &&
-                (item.expr == nullptr ||
-                 item.expr->kind == Expr::Kind::kStar)) {
+            if (IsCountStar(item)) {
               st.count++;
               continue;
             }
@@ -495,25 +718,11 @@ Result<ResultSet> Executor::ExecuteAggregateParallel(
               out.status = v.status();
               return;
             }
-            if (v->is_null()) continue;
-            if (item.agg == SelectItem::AggKind::kCount) {
-              st.count++;
-              continue;
-            }
-            auto d = v->AsDouble();
-            if (!d.ok()) {
-              out.status = d.status();
+            Status ast = AccumulateNative(item.agg, *v, &st);
+            if (!ast.ok()) {
+              out.status = ast;
               return;
             }
-            if (v->kind() == Value::Kind::kInt64) {
-              st.isum += v->AsInt().value();
-            } else {
-              st.int_only = false;
-            }
-            st.count++;
-            st.sum += *d;
-            st.mn = std::min(st.mn, *d);
-            st.mx = std::max(st.mx, *d);
           }
         }
         Status st = cursor.Next();
@@ -540,35 +749,8 @@ Result<ResultSet> Executor::ExecuteAggregateParallel(
   std::vector<Value> row;
   for (size_t i = 0; i < n_items; ++i) {
     const SelectItem& item = q.items[i];
-    AggState& st = merged[i];
-    switch (item.agg) {
-      case SelectItem::AggKind::kCount:
-        row.push_back(Value::Int(st.count));
-        break;
-      case SelectItem::AggKind::kSum:
-        if (st.count == 0) {
-          row.push_back(Value::Null());
-        } else if (st.int_only) {
-          row.push_back(Value::Int(st.isum));
-        } else {
-          row.push_back(Value::Double(st.sum));
-        }
-        break;
-      case SelectItem::AggKind::kMin:
-        row.push_back(st.count == 0 ? Value::Null() : Value::Double(st.mn));
-        break;
-      case SelectItem::AggKind::kMax:
-        row.push_back(st.count == 0 ? Value::Null() : Value::Double(st.mx));
-        break;
-      case SelectItem::AggKind::kAvg:
-        row.push_back(st.count == 0
-                          ? Value::Null()
-                          : Value::Double(st.sum /
-                                          static_cast<double>(st.count)));
-        break;
-      default:
-        return Status::Internal("non-native aggregate on the parallel path");
-    }
+    SQLARRAY_ASSIGN_OR_RETURN(Value v, FinishNative(item.agg, merged[i]));
+    row.push_back(std::move(v));
   }
   rs.rows.push_back(std::move(row));
 
@@ -579,6 +761,11 @@ Result<ResultSet> Executor::ExecuteAggregateParallel(
 
 Result<ResultSet> Executor::ExecuteRows(
     const Query& q, std::map<std::string, Value>* variables) {
+  // TOP queries stay row-at-a-time: gathering a whole batch past the limit
+  // would inflate rows_scanned relative to the early-exit row loop.
+  if (batch_rows_ > 1 && q.table != nullptr && q.top < 0) {
+    return ExecuteRowsBatched(q, variables);
+  }
   ResultSet rs;
   Stopwatch watch;
   storage::IoStats io_before = db_->disk()->stats();
@@ -641,6 +828,83 @@ Result<ResultSet> Executor::ExecuteRows(
       row.push_back(std::move(v));
     }
     rs.rows.push_back(std::move(row));
+  }
+
+  rs.stats.io = db_->disk()->stats() - io_before;
+  rs.stats.wall_seconds = watch.ElapsedSeconds();
+  return rs;
+}
+
+Result<ResultSet> Executor::ExecuteRowsBatched(
+    const Query& q, std::map<std::string, Value>* variables) {
+  ResultSet rs;
+  Stopwatch watch;
+  storage::IoStats io_before = db_->disk()->stats();
+  for (const SelectItem& item : q.items) rs.columns.push_back(item.label);
+  const size_t n_items = q.items.size();
+
+  UdfContext udf;
+  udf.pool = db_->buffer_pool();
+  udf.subquery = subquery_fn_;
+  udf.stats = &rs.stats;
+  udf.cost = &cost_;
+
+  SQLARRAY_ASSIGN_OR_RETURN(storage::BTree::Cursor cursor, q.table->Scan());
+
+  RowBatch batch;
+  ByteBufferPool byte_pool;
+  EvalArena arena;
+  BatchContext bctx;
+  bctx.schema = &q.table->schema();
+  bctx.batch = &batch;
+  bctx.variables = variables;
+  bctx.udf = &udf;
+  bctx.byte_pool = &byte_pool;
+  bctx.arena = &arena;
+
+  std::vector<int32_t> sel;
+  std::vector<Value> keep_col;
+  const int64_t rsz = q.table->schema().row_size();
+  bool first_row = true;
+  bool done = false;
+
+  while (!done) {
+    batch.Reset(rsz, batch_rows_);
+    while (!batch.full()) {
+      if (!first_row) SQLARRAY_RETURN_IF_ERROR(cursor.Next());
+      first_row = false;
+      if (!cursor.valid()) {
+        done = true;
+        break;
+      }
+      batch.Push(cursor.row().data());
+    }
+    if (batch.size() == 0) break;
+    rs.stats.rows_scanned += batch.size();
+    for (int32_t i = 0; i < batch.size(); ++i) {
+      rs.stats.ChargeCpuNs(cost_.row_scan_ns);
+    }
+
+    SQLARRAY_RETURN_IF_ERROR(FilterBatch(q, &bctx, &keep_col, &sel));
+    if (sel.empty()) continue;
+    bctx.sel = &sel;
+
+    // Evaluate every item column, then stitch output rows together.
+    ColumnGuard guard(&arena);
+    std::vector<std::vector<Value>*> cols;
+    cols.reserve(n_items);
+    for (size_t i = 0; i < n_items; ++i) {
+      cols.push_back(guard.Borrow());
+      SQLARRAY_RETURN_IF_ERROR(EvalBatch(*q.items[i].expr, bctx, cols[i]));
+    }
+    for (size_t k = 0; k < sel.size(); ++k) {
+      std::vector<Value> row;
+      row.reserve(n_items);
+      for (size_t i = 0; i < n_items; ++i) {
+        row.push_back(std::move((*cols[i])[k]));
+      }
+      rs.rows.push_back(std::move(row));
+    }
   }
 
   rs.stats.io = db_->disk()->stats() - io_before;

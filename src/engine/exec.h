@@ -79,6 +79,13 @@ class Executor {
   void set_scan_workers(int workers) { scan_workers_ = workers; }
   int scan_workers() const { return scan_workers_; }
 
+  /// Rows gathered per evaluation batch on eligible scans (table source, no
+  /// GROUP BY, no UDA, no TOP). Values <= 1 force row-at-a-time execution;
+  /// results are identical either way (engine/batch.h documents the
+  /// contract), which tests/test_engine.cc exercises differentially.
+  void set_batch_rows(int rows) { batch_rows_ = rows; }
+  int batch_rows() const { return batch_rows_; }
+
   /// Evaluates a standalone (FROM-less) expression. When `stats` is given,
   /// UDF boundary costs (and any nested-subquery work merged by reader-style
   /// UDFs) are accounted there.
@@ -96,8 +103,15 @@ class Executor {
  private:
   Result<ResultSet> ExecuteAggregate(const Query& q,
                                      std::map<std::string, Value>* variables);
+  /// Batched ungrouped aggregation (no UDAs): gathers row blocks and
+  /// evaluates WHERE / aggregate arguments column-wise.
+  Result<ResultSet> ExecuteAggregateBatched(
+      const Query& q, std::map<std::string, Value>* variables);
   Result<ResultSet> ExecuteRows(const Query& q,
                                 std::map<std::string, Value>* variables);
+  /// Batched row-mode scan (no TOP limit).
+  Result<ResultSet> ExecuteRowsBatched(
+      const Query& q, std::map<std::string, Value>* variables);
   /// Evaluates a TVF source's arguments and materializes its rows, charging
   /// the boundary costs.
   Result<std::vector<std::vector<Value>>> MaterializeTvf(
@@ -112,6 +126,7 @@ class Executor {
   CostModel cost_;
   const SubqueryFn* subquery_fn_ = nullptr;
   int scan_workers_ = 1;
+  int batch_rows_ = 1024;
 };
 
 }  // namespace sqlarray::engine

@@ -80,10 +80,8 @@ ExprPtr CloneExpr(const Expr& e) {
   return out;
 }
 
-namespace {
-
-Result<Value> ReadColumn(const storage::Schema& schema, const uint8_t* row,
-                         int col, UdfContext& udf) {
+Result<Value> ReadRowColumn(const storage::Schema& schema, const uint8_t* row,
+                            int col, UdfContext& udf) {
   auto rv_or = schema.DecodeColumn(row, col);
   if (!rv_or.ok()) return rv_or.status();
   storage::RowValue& rv = rv_or.value();
@@ -106,7 +104,7 @@ Result<Value> ReadColumn(const storage::Schema& schema, const uint8_t* row,
   return Status::Internal("unreachable column type");
 }
 
-Result<Value> EvalBinary(BinaryOp op, const Value& l, const Value& r) {
+Result<Value> EvalBinaryOp(BinaryOp op, const Value& l, const Value& r) {
   if (l.is_null() || r.is_null()) return Value::Null();
 
   auto numeric = [&](auto f) -> Result<Value> {
@@ -176,7 +174,18 @@ Result<Value> EvalBinary(BinaryOp op, const Value& l, const Value& r) {
   return Status::Internal("unreachable binary op");
 }
 
-}  // namespace
+Result<Value> EvalUnaryOp(UnaryOp op, const Value& v) {
+  if (v.is_null()) return Value::Null();
+  if (op == UnaryOp::kNeg) {
+    if (v.kind() == Value::Kind::kInt64) {
+      return Value::Int(-v.AsInt().value());
+    }
+    SQLARRAY_ASSIGN_OR_RETURN(double d, v.AsDouble());
+    return Value::Double(-d);
+  }
+  SQLARRAY_ASSIGN_OR_RETURN(int64_t b, v.AsInt());
+  return Value::Int(b == 0 ? 1 : 0);
+}
 
 Result<Value> Eval(const Expr& expr, EvalContext& ctx) {
   switch (expr.kind) {
@@ -199,7 +208,7 @@ Result<Value> Eval(const Expr& expr, EvalContext& ctx) {
         return Status::InvalidArgument(
             "column reference outside a row context");
       }
-      return ReadColumn(*ctx.schema, ctx.row, expr.column_index, ctx.udf);
+      return ReadRowColumn(*ctx.schema, ctx.row, expr.column_index, ctx.udf);
     }
     case Expr::Kind::kVariable: {
       if (ctx.variables == nullptr) {
@@ -213,21 +222,12 @@ Result<Value> Eval(const Expr& expr, EvalContext& ctx) {
     }
     case Expr::Kind::kUnary: {
       SQLARRAY_ASSIGN_OR_RETURN(Value v, Eval(*expr.args[0], ctx));
-      if (v.is_null()) return Value::Null();
-      if (expr.unary_op == UnaryOp::kNeg) {
-        if (v.kind() == Value::Kind::kInt64) {
-          return Value::Int(-v.AsInt().value());
-        }
-        SQLARRAY_ASSIGN_OR_RETURN(double d, v.AsDouble());
-        return Value::Double(-d);
-      }
-      SQLARRAY_ASSIGN_OR_RETURN(int64_t b, v.AsInt());
-      return Value::Int(b == 0 ? 1 : 0);
+      return EvalUnaryOp(expr.unary_op, v);
     }
     case Expr::Kind::kBinary: {
       SQLARRAY_ASSIGN_OR_RETURN(Value l, Eval(*expr.args[0], ctx));
       SQLARRAY_ASSIGN_OR_RETURN(Value r, Eval(*expr.args[1], ctx));
-      return EvalBinary(expr.binary_op, l, r);
+      return EvalBinaryOp(expr.binary_op, l, r);
     }
     case Expr::Kind::kCall: {
       if (expr.bound_fn == nullptr) {

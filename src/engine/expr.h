@@ -93,6 +93,17 @@ struct EvalContext {
 /// and a row in the context.
 Result<Value> Eval(const Expr& expr, EvalContext& ctx);
 
+/// Value-level operator semantics shared by row-at-a-time Eval and the
+/// batched evaluator (engine/batch.h). NULL operands yield NULL.
+Result<Value> EvalBinaryOp(BinaryOp op, const Value& l, const Value& r);
+Result<Value> EvalUnaryOp(UnaryOp op, const Value& v);
+
+/// Decodes one column of a serialized row into a Value (binary columns are
+/// copied into fresh buffers; VARBINARY(MAX) columns become blob refs using
+/// the context's buffer pool).
+Result<Value> ReadRowColumn(const storage::Schema& schema, const uint8_t* row,
+                            int col, UdfContext& udf);
+
 /// Resolves column names to indices against a schema and function calls
 /// against a registry, in place. Standalone (row-free) expressions pass a
 /// null schema; unresolved columns then fail.

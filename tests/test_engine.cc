@@ -342,6 +342,193 @@ TEST_F(EngineTest, ParallelFallsBackForGroupByAndUda) {
   EXPECT_EQ(rs.rows.size(), 2u);
 }
 
+// ---------------------------------------------------------------------------
+// Batched execution differential tests: batch sizes <= 1 force the
+// row-at-a-time loop; results (and exact cpu_core_seconds accounting) must
+// be identical at any batch size. engine/batch.h documents the contract.
+// ---------------------------------------------------------------------------
+
+TEST_F(EngineTest, BatchedAggregateMatchesRowAtATime) {
+  storage::Table* t = MakeScalarTable("tb1", 5000);
+  auto make_query = [&]() {
+    Query q;
+    q.table = t;
+    for (auto kind :
+         {SelectItem::AggKind::kCount, SelectItem::AggKind::kSum,
+          SelectItem::AggKind::kMin, SelectItem::AggKind::kMax,
+          SelectItem::AggKind::kAvg}) {
+      SelectItem item;
+      item.agg = kind;
+      item.expr = kind == SelectItem::AggKind::kCount ? Star() : Col("v1");
+      item.label = "x";
+      q.items.push_back(std::move(item));
+    }
+    q.where = Bin(BinaryOp::kGe, Col("id"), Lit(Value::Int(321)));
+    return q;
+  };
+
+  auto run = [&](int batch_rows) {
+    executor_.set_batch_rows(batch_rows);
+    Query q = make_query();
+    EXPECT_TRUE(executor_.Bind(&q).ok());
+    ResultSet rs = executor_.Execute(q, nullptr).value();
+    executor_.set_batch_rows(1024);
+    return rs;
+  };
+
+  ResultSet row = run(1);  // row-at-a-time reference
+  for (int batch_rows : {7, 1024}) {
+    ResultSet batched = run(batch_rows);
+    ASSERT_EQ(batched.rows.size(), row.rows.size());
+    for (size_t c = 0; c < row.rows[0].size(); ++c) {
+      EXPECT_EQ(row.rows[0][c].AsDouble().value(),
+                batched.rows[0][c].AsDouble().value())
+          << "batch_rows=" << batch_rows << " column " << c;
+    }
+    EXPECT_EQ(batched.stats.rows_scanned, row.stats.rows_scanned);
+    // The cost charges run per row in both modes; the accounting must agree
+    // bit-for-bit, not just approximately.
+    EXPECT_EQ(batched.stats.cpu_core_seconds, row.stats.cpu_core_seconds)
+        << "batch_rows=" << batch_rows;
+  }
+}
+
+TEST_F(EngineTest, BatchedAggregateWithUdfMatchesRowAtATime) {
+  // Q4-shaped: SUM over a UDF of a binary array column — the workload the
+  // byte-buffer pool exists for.
+  storage::Schema schema =
+      storage::Schema::Create({{"id", storage::ColumnType::kInt64, 0},
+                               {"v", storage::ColumnType::kBinary, 64}})
+          .value();
+  storage::Table* t = db_.CreateTable("tbv", std::move(schema)).value();
+  OwnedArray vec = OwnedArray::Zeros(DType::kFloat64, Dims{5}).value();
+  for (int64_t i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(vec.SetDouble(0, static_cast<double>(i) * 0.25).ok());
+    ASSERT_TRUE(
+        t->Insert({i, std::vector<uint8_t>(vec.blob().begin(),
+                                           vec.blob().end())})
+            .ok());
+  }
+
+  auto make_query = [&]() {
+    Query q;
+    q.table = t;
+    SelectItem item;
+    item.agg = SelectItem::AggKind::kSum;
+    std::vector<ExprPtr> args;
+    args.push_back(Col("v"));
+    args.push_back(Lit(Value::Int(0)));
+    item.expr = Call("FloatArray", "Item_1", std::move(args));
+    item.label = "s";
+    q.items.push_back(std::move(item));
+    return q;
+  };
+
+  auto run = [&](int batch_rows, int workers) {
+    executor_.set_batch_rows(batch_rows);
+    executor_.set_scan_workers(workers);
+    Query q = make_query();
+    EXPECT_TRUE(executor_.Bind(&q).ok());
+    ResultSet rs = executor_.Execute(q, nullptr).value();
+    executor_.set_batch_rows(1024);
+    executor_.set_scan_workers(1);
+    return rs;
+  };
+
+  ResultSet row = run(1, 1);
+  for (int batch_rows : {7, 1024}) {
+    ResultSet batched = run(batch_rows, 1);
+    EXPECT_EQ(row.ScalarResult().value().AsDouble().value(),
+              batched.ScalarResult().value().AsDouble().value());
+    EXPECT_EQ(batched.stats.udf_calls, row.stats.udf_calls);
+    // UDF boundary charges interleave differently with the scan/step charges
+    // in batch mode (per-column instead of per-row), so the double-summed
+    // cost total may reassociate — but only by ulps, never by a real amount.
+    EXPECT_NEAR(batched.stats.cpu_core_seconds, row.stats.cpu_core_seconds,
+                1e-12 * row.stats.cpu_core_seconds);
+  }
+  // Batched parallel workers agree too (merge order is worker-ordered in
+  // both modes).
+  ResultSet parallel = run(1024, 4);
+  EXPECT_EQ(row.ScalarResult().value().AsDouble().value(),
+            parallel.ScalarResult().value().AsDouble().value());
+  EXPECT_EQ(parallel.stats.udf_calls, row.stats.udf_calls);
+}
+
+TEST_F(EngineTest, BatchedRowModeMatchesRowAtATime) {
+  storage::Table* t = MakeScalarTable("tb2", 2500);
+  auto make_query = [&]() {
+    Query q;
+    q.table = t;
+    SelectItem id;
+    id.expr = Col("id");
+    id.label = "id";
+    q.items.push_back(std::move(id));
+    SelectItem expr;
+    expr.expr = Bin(BinaryOp::kAdd,
+                    Bin(BinaryOp::kMul, Col("v1"), Lit(Value::Double(2.5))),
+                    Col("v2"));
+    expr.label = "e";
+    q.items.push_back(std::move(expr));
+    q.where = Bin(BinaryOp::kGe, Col("id"), Lit(Value::Int(100)));
+    return q;
+  };
+
+  auto run = [&](int batch_rows) {
+    executor_.set_batch_rows(batch_rows);
+    Query q = make_query();
+    EXPECT_TRUE(executor_.Bind(&q).ok());
+    ResultSet rs = executor_.Execute(q, nullptr).value();
+    executor_.set_batch_rows(1024);
+    return rs;
+  };
+
+  ResultSet row = run(1);
+  ASSERT_EQ(row.rows.size(), 2400u);
+  for (int batch_rows : {7, 1024}) {
+    ResultSet batched = run(batch_rows);
+    ASSERT_EQ(batched.rows.size(), row.rows.size());
+    for (size_t r = 0; r < row.rows.size(); ++r) {
+      EXPECT_EQ(row.rows[r][0].AsInt().value(),
+                batched.rows[r][0].AsInt().value());
+      EXPECT_EQ(row.rows[r][1].AsDouble().value(),
+                batched.rows[r][1].AsDouble().value());
+    }
+    EXPECT_EQ(batched.stats.rows_scanned, row.stats.rows_scanned);
+    EXPECT_EQ(batched.stats.cpu_core_seconds, row.stats.cpu_core_seconds);
+  }
+}
+
+TEST_F(EngineTest, BatchedFallbacksPreserveSemantics) {
+  // TOP and GROUP BY are outside the batch gate; they must keep working
+  // with batching enabled (the default) and match batch_rows=1 results.
+  storage::Table* t = MakeScalarTable("tb3", 200);
+  auto run_top = [&](int batch_rows) {
+    executor_.set_batch_rows(batch_rows);
+    Query q;
+    q.table = t;
+    SelectItem item;
+    item.expr = Col("id");
+    item.label = "id";
+    q.items.push_back(std::move(item));
+    q.where = Bin(BinaryOp::kGe, Col("id"), Lit(Value::Int(50)));
+    q.top = 3;
+    EXPECT_TRUE(executor_.Bind(&q).ok());
+    ResultSet rs = executor_.Execute(q, nullptr).value();
+    executor_.set_batch_rows(1024);
+    return rs;
+  };
+  ResultSet a = run_top(1024);
+  ResultSet b = run_top(1);
+  ASSERT_EQ(a.rows.size(), 3u);
+  ASSERT_EQ(b.rows.size(), 3u);
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(a.rows[r][0].AsInt().value(), b.rows[r][0].AsInt().value());
+  }
+  // TOP keeps the early-exit scan: identical rows_scanned either way.
+  EXPECT_EQ(a.stats.rows_scanned, b.stats.rows_scanned);
+}
+
 TEST_F(EngineTest, FromLessSelect) {
   Query q;
   SelectItem item;

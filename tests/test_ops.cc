@@ -2,7 +2,10 @@
 // conversions, strings, aggregates, element-wise arithmetic.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
+#include <vector>
 
 #include "common/rng.h"
 #include "core/build.h"
@@ -413,6 +416,312 @@ TEST(Elementwise, DotAndNorm) {
   EXPECT_NEAR(Norm2(a.ref()).value(), std::sqrt(14.0), 1e-12);
   OwnedArray m = OwnedArray::Zeros(DType::kFloat64, {2, 2}).value();
   EXPECT_FALSE(Dot(m.ref(), m.ref()).ok());  // rank-1 only
+}
+
+// ---------------------------------------------------------------------------
+// Kernel vs boxed differential tests.
+//
+// The kernel fast paths (src/core/kernels.h) must agree with the boxed
+// per-element oracles across the full real dtype promotion matrix, including
+// NaN / ±0 / ±inf operands and mixed signed widths. Element-wise ops and
+// casts are compared bitwise on the output blob; reductions use a relative
+// tolerance because kernel sums run independent accumulator chains.
+// ---------------------------------------------------------------------------
+
+const DType kRealDTypes[] = {DType::kInt8,    DType::kInt16,
+                             DType::kInt32,   DType::kInt64,
+                             DType::kFloat32, DType::kFloat64};
+
+/// Interesting operand values for a dtype. Integer magnitudes stay below
+/// 2^30 so the double-arithmetic oracle is exact; `nonzero` drops values
+/// that would turn every division case into an error.
+std::vector<double> DiffValues(DType t, bool nonzero) {
+  if (t == DType::kFloat32 || t == DType::kFloat64) {
+    std::vector<double> v = {1.5,
+                             -2.25,
+                             std::numeric_limits<double>::quiet_NaN(),
+                             std::numeric_limits<double>::infinity(),
+                             -std::numeric_limits<double>::infinity(),
+                             1e-30,
+                             123456.75,
+                             -3.5,
+                             0.5,
+                             7.0};
+    if (!nonzero) {
+      v.push_back(0.0);
+      v.push_back(-0.0);
+    }
+    return v;
+  }
+  double hi;
+  switch (t) {
+    case DType::kInt8: hi = 127; break;
+    case DType::kInt16: hi = 32767; break;
+    default: hi = 1073741824.0; break;  // 2^30
+  }
+  std::vector<double> v = {1, -1, 37, -29, hi, -hi, 100, -100, 7, 2};
+  if (!nonzero) v.push_back(0);
+  return v;
+}
+
+OwnedArray DiffArray(DType t, bool nonzero, int rotate) {
+  std::vector<double> vals = DiffValues(t, nonzero);
+  std::rotate(vals.begin(), vals.begin() + rotate % vals.size(), vals.end());
+  OwnedArray a =
+      OwnedArray::Zeros(t, {static_cast<int64_t>(vals.size())}).value();
+  for (size_t i = 0; i < vals.size(); ++i) {
+    EXPECT_TRUE(a.SetDouble(static_cast<int64_t>(i), vals[i]).ok());
+  }
+  return a;
+}
+
+/// Same outcome: both fail with the same status code, or both succeed with
+/// bit-identical output blobs.
+void ExpectSameArrayResult(const Result<OwnedArray>& fast,
+                           const Result<OwnedArray>& slow,
+                           const std::string& what) {
+  ASSERT_EQ(fast.ok(), slow.ok())
+      << what << ": kernel=" << fast.status().ToString()
+      << " boxed=" << slow.status().ToString();
+  if (!fast.ok()) {
+    EXPECT_EQ(fast.status().code(), slow.status().code()) << what;
+    return;
+  }
+  const OwnedArray& k = fast.value();
+  const OwnedArray& b = slow.value();
+  ASSERT_EQ(k.blob().size(), b.blob().size()) << what;
+  EXPECT_TRUE(std::equal(k.blob().begin(), k.blob().end(), b.blob().begin()))
+      << what << ": blobs differ";
+}
+
+TEST(KernelDifferential, ElementwiseFullDTypeMatrix) {
+  for (DType lt : kRealDTypes) {
+    for (DType rt : kRealDTypes) {
+      for (BinOp op :
+           {BinOp::kAdd, BinOp::kSub, BinOp::kMul, BinOp::kDiv}) {
+        OwnedArray lhs = DiffArray(lt, /*nonzero=*/false, 0);
+        OwnedArray rhs = DiffArray(rt, /*nonzero=*/true, 3);
+        std::string what = std::string(DTypeName(lt)) + " op " +
+                           std::string(DTypeName(rt)) + " #" +
+                           std::to_string(static_cast<int>(op));
+        ExpectSameArrayResult(ElementwiseBinary(lhs.ref(), rhs.ref(), op),
+                              ElementwiseBinaryBoxed(lhs.ref(), rhs.ref(), op),
+                              what);
+      }
+    }
+  }
+}
+
+TEST(KernelDifferential, ElementwiseSmallValuesAlwaysSucceed) {
+  // Values small enough that every (op, dtype-pair) combination fits even
+  // int8, so this sweep proves the success path of the whole matrix
+  // (the large-magnitude matrix above exercises overflow agreement).
+  for (DType lt : kRealDTypes) {
+    for (DType rt : kRealDTypes) {
+      for (BinOp op :
+           {BinOp::kAdd, BinOp::kSub, BinOp::kMul, BinOp::kDiv}) {
+        const double small[] = {0, 1, -1, 2, -2, 3, -3, 4, 5, -5};
+        OwnedArray lhs = OwnedArray::Zeros(lt, {10}).value();
+        OwnedArray rhs = OwnedArray::Zeros(rt, {10}).value();
+        for (int64_t i = 0; i < 10; ++i) {
+          ASSERT_TRUE(lhs.SetDouble(i, small[i]).ok());
+          // Offset rhs so no divisor is zero.
+          ASSERT_TRUE(rhs.SetDouble(i, small[(i + 3) % 10] == 0
+                                           ? 1
+                                           : small[(i + 3) % 10])
+                          .ok());
+        }
+        auto fast = ElementwiseBinary(lhs.ref(), rhs.ref(), op);
+        auto slow = ElementwiseBinaryBoxed(lhs.ref(), rhs.ref(), op);
+        ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+        ASSERT_TRUE(slow.ok()) << slow.status().ToString();
+        ExpectSameArrayResult(fast, slow,
+                              std::string(DTypeName(lt)) + "/" +
+                                  std::string(DTypeName(rt)) + " small #" +
+                                  std::to_string(static_cast<int>(op)));
+      }
+    }
+  }
+}
+
+TEST(KernelDifferential, ElementwiseZeroDivisorStatusMatches) {
+  for (DType lt : kRealDTypes) {
+    for (DType rt : kRealDTypes) {
+      OwnedArray lhs = DiffArray(lt, false, 0);
+      OwnedArray rhs = DiffArray(rt, false, 0);  // contains zero(s)
+      auto fast = ElementwiseBinary(lhs.ref(), rhs.ref(), BinOp::kDiv);
+      auto slow = ElementwiseBinaryBoxed(lhs.ref(), rhs.ref(), BinOp::kDiv);
+      ASSERT_FALSE(fast.ok());
+      ASSERT_FALSE(slow.ok());
+      EXPECT_EQ(fast.status().code(), slow.status().code());
+    }
+  }
+}
+
+TEST(KernelDifferential, ScalarBroadcastMatrix) {
+  for (DType t : kRealDTypes) {
+    for (BinOp op : {BinOp::kAdd, BinOp::kSub, BinOp::kMul, BinOp::kDiv}) {
+      for (double scalar : {1.5, -2.0, 0.0}) {
+        OwnedArray a = DiffArray(t, false, 1);
+        std::string what = std::string("scalar ") + std::string(DTypeName(t)) +
+                           " s=" + std::to_string(scalar) + " #" +
+                           std::to_string(static_cast<int>(op));
+        ExpectSameArrayResult(ElementwiseScalar(a.ref(), scalar, op),
+                              ElementwiseScalarBoxed(a.ref(), scalar, op),
+                              what);
+      }
+    }
+  }
+}
+
+TEST(KernelDifferential, CastFullDTypeMatrix) {
+  // Small in-range values: every (src, dst) pairing must succeed identically.
+  for (DType st : kRealDTypes) {
+    for (DType dt : kRealDTypes) {
+      OwnedArray a =
+          OwnedArray::Zeros(st, {6}).value();
+      const double vals[] = {0, 1, -1, 100, -100, 37};
+      for (int64_t i = 0; i < 6; ++i) {
+        ASSERT_TRUE(a.SetDouble(i, vals[i]).ok());
+      }
+      std::string what = std::string("cast ") + std::string(DTypeName(st)) +
+                         "->" + std::string(DTypeName(dt));
+      ExpectSameArrayResult(ConvertDType(a.ref(), dt),
+                            ConvertDTypeBoxed(a.ref(), dt), what);
+    }
+  }
+  // Fractional float sources exercise round-to-nearest-even on int targets.
+  for (DType st : {DType::kFloat32, DType::kFloat64}) {
+    for (DType dt : kRealDTypes) {
+      OwnedArray a = MakeVector<double>({0.5, 1.5, 2.5, -0.5, -1.5, 126.5})
+                         .value();
+      OwnedArray src = ConvertDType(a.ref(), st).value();
+      std::string what = std::string("frac cast ") +
+                         std::string(DTypeName(st)) + "->" +
+                         std::string(DTypeName(dt));
+      ExpectSameArrayResult(ConvertDType(src.ref(), dt),
+                            ConvertDTypeBoxed(src.ref(), dt), what);
+    }
+  }
+  // Out-of-range narrowing fails identically (value and NaN overflow).
+  for (DType dt :
+       {DType::kInt8, DType::kInt16, DType::kInt32, DType::kInt64}) {
+    OwnedArray big = MakeVector<double>({1e300, 0}).value();
+    ExpectSameArrayResult(ConvertDType(big.ref(), dt),
+                          ConvertDTypeBoxed(big.ref(), dt), "big->int");
+    OwnedArray nan =
+        MakeVector<double>({std::numeric_limits<double>::quiet_NaN()})
+            .value();
+    ExpectSameArrayResult(ConvertDType(nan.ref(), dt),
+                          ConvertDTypeBoxed(nan.ref(), dt), "nan->int");
+  }
+  OwnedArray wide = MakeVector<int64_t>({int64_t{1} << 40, 0}).value();
+  for (DType dt : {DType::kInt8, DType::kInt16, DType::kInt32}) {
+    ExpectSameArrayResult(ConvertDType(wide.ref(), dt),
+                          ConvertDTypeBoxed(wide.ref(), dt), "wide->narrow");
+  }
+}
+
+TEST(KernelDifferential, ReductionsWithinTolerance) {
+  for (DType t : kRealDTypes) {
+    // No NaN here: kSum of a NaN-poisoned array is covered separately.
+    OwnedArray a = OwnedArray::Zeros(t, {257}).value();
+    Rng rng(42);
+    for (int64_t i = 0; i < 257; ++i) {
+      ASSERT_TRUE(a.SetDouble(i, std::floor(rng.Uniform(-100, 100))).ok());
+    }
+    for (AggKind kind : {AggKind::kSum, AggKind::kMin, AggKind::kMax,
+                         AggKind::kMean, AggKind::kStd, AggKind::kCount}) {
+      double fast = AggregateAll(a.ref(), kind).value();
+      double slow = AggregateAllBoxed(a.ref(), kind).value();
+      EXPECT_NEAR(fast, slow, 1e-9 * (std::fabs(slow) + 1))
+          << DTypeName(t) << " kind " << static_cast<int>(kind);
+    }
+    double nf = Norm2(a.ref()).value();
+    double nb = Norm2Boxed(a.ref()).value();
+    EXPECT_NEAR(nf, nb, 1e-9 * (nb + 1)) << DTypeName(t);
+  }
+  // Dot: all four float pairings have kernel fast paths.
+  for (DType ta : {DType::kFloat32, DType::kFloat64}) {
+    for (DType tb : {DType::kFloat32, DType::kFloat64}) {
+      OwnedArray raw_a =
+          MakeVector<double>({1.5, -2.25, 3.0, 0.5, -7.0, 11.25}).value();
+      OwnedArray raw_b =
+          MakeVector<double>({2.0, 4.5, -1.5, 8.0, 0.25, -3.0}).value();
+      OwnedArray a = ConvertDType(raw_a.ref(), ta).value();
+      OwnedArray b = ConvertDType(raw_b.ref(), tb).value();
+      std::complex<double> fast = Dot(a.ref(), b.ref()).value();
+      std::complex<double> slow = DotBoxed(a.ref(), b.ref()).value();
+      EXPECT_NEAR(fast.real(), slow.real(), 1e-9)
+          << DTypeName(ta) << "." << DTypeName(tb);
+      EXPECT_EQ(fast.imag(), 0.0);
+    }
+  }
+}
+
+TEST(KernelDifferential, NaNPropagatesThroughSum) {
+  OwnedArray a =
+      MakeVector<double>({1.0, std::numeric_limits<double>::quiet_NaN(), 2.0})
+          .value();
+  EXPECT_TRUE(std::isnan(AggregateAll(a.ref(), AggKind::kSum).value()));
+  EXPECT_TRUE(std::isnan(AggregateAllBoxed(a.ref(), AggKind::kSum).value()));
+}
+
+TEST(KernelDifferential, MaxStorageUnalignedPayload) {
+  // Rank-3 max-class arrays have a 16 + 4*3 = 28-byte header, so float64
+  // payloads start 4-byte-misaligned; kernels must handle that (they access
+  // elements through memcpy).
+  OwnedArray a =
+      OwnedArray::Zeros(DType::kFloat64, {3, 5, 7}, StorageClass::kMax)
+          .value();
+  OwnedArray b =
+      OwnedArray::Zeros(DType::kFloat64, {3, 5, 7}, StorageClass::kMax)
+          .value();
+  Rng rng(7);
+  for (int64_t i = 0; i < a.num_elements(); ++i) {
+    ASSERT_TRUE(a.SetDouble(i, rng.Uniform(-10, 10)).ok());
+    ASSERT_TRUE(b.SetDouble(i, rng.Uniform(1, 10)).ok());
+  }
+  for (BinOp op : {BinOp::kAdd, BinOp::kMul, BinOp::kDiv}) {
+    ExpectSameArrayResult(ElementwiseBinary(a.ref(), b.ref(), op),
+                          ElementwiseBinaryBoxed(a.ref(), b.ref(), op),
+                          "max-class op");
+  }
+  EXPECT_NEAR(AggregateAll(a.ref(), AggKind::kSum).value(),
+              AggregateAllBoxed(a.ref(), AggKind::kSum).value(), 1e-9);
+}
+
+TEST(KernelDifferential, Int64LargeMagnitudeExact) {
+  // Regression: the old boxed-only path round-tripped integers through
+  // complex<double>, corrupting int64 values above 2^53. The kernel integer
+  // path must be exact all the way to the overflow boundary.
+  const int64_t big = std::numeric_limits<int64_t>::max() - 1;
+  OwnedArray a = MakeVector<int64_t>({big, big - 2, -big}).value();
+  OwnedArray one = MakeVector<int64_t>({1, 2, -1}).value();
+
+  OwnedArray sum = ElementwiseBinary(a.ref(), one.ref(), BinOp::kAdd).value();
+  auto data = sum.ref().Data<int64_t>().value();
+  EXPECT_EQ(data[0], std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(data[1], big);
+  EXPECT_EQ(data[2], -big - 1);
+
+  // One past the boundary overflows with OutOfRange instead of wrapping.
+  OwnedArray two = MakeVector<int64_t>({2, 0, 0}).value();
+  auto overflow = ElementwiseBinary(a.ref(), two.ref(), BinOp::kAdd);
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kOutOfRange);
+
+  OwnedArray half = MakeVector<int64_t>({int64_t{1} << 40, 3, 5}).value();
+  auto mul = ElementwiseBinary(half.ref(), half.ref(), BinOp::kMul);
+  ASSERT_FALSE(mul.ok());
+  EXPECT_EQ(mul.status().code(), StatusCode::kOutOfRange);
+
+  // Narrow integer outputs keep exactness too: int32 + int32 -> int32 range
+  // checks instead of saturating through double.
+  OwnedArray m32 = MakeVector<int32_t>({2000000000, -2000000000}).value();
+  auto sum32 = ElementwiseBinary(m32.ref(), m32.ref(), BinOp::kAdd);
+  ASSERT_FALSE(sum32.ok());
+  EXPECT_EQ(sum32.status().code(), StatusCode::kOutOfRange);
 }
 
 }  // namespace
