@@ -1,7 +1,9 @@
 #include "engine/exec.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <mutex>
 #include <optional>
 #include <thread>
 
@@ -236,6 +238,380 @@ void AppendGroupKey(const Value& v, std::string* out) {
   out->push_back('\x1f');
 }
 
+// ---------------------------------------------------------------------------
+// Morsel-path helpers. A morsel is one contiguous leaf-page range from the
+// deterministic grid (engine/parallel.h); each helper folds a morsel's rows
+// into a private partial result using the same accumulation arithmetic and
+// per-row cost charges as the serial loops above, so partials merged in
+// morsel-index order reproduce the serial result bit for bit.
+
+/// True if any call node in the tree binds a function matching `pred`.
+template <typename Pred>
+bool AnyBoundCall(const Expr* e, const Pred& pred) {
+  if (e == nullptr) return false;
+  if (e->kind == Expr::Kind::kCall && e->bound_fn != nullptr &&
+      pred(*e->bound_fn)) {
+    return true;
+  }
+  for (const ExprPtr& a : e->args) {
+    if (AnyBoundCall(a.get(), pred)) return true;
+  }
+  return false;
+}
+
+template <typename Pred>
+bool QueryHasBoundCall(const Query& q, const Pred& pred) {
+  for (const SelectItem& item : q.items) {
+    if (AnyBoundCall(item.expr.get(), pred)) return true;
+    for (const ExprPtr& a : item.uda_args) {
+      if (AnyBoundCall(a.get(), pred)) return true;
+    }
+  }
+  if (AnyBoundCall(q.where.get(), pred)) return true;
+  for (const ExprPtr& g : q.group_by) {
+    if (AnyBoundCall(g.get(), pred)) return true;
+  }
+  return false;
+}
+
+/// One group's accumulators — shared by the serial GROUP BY loop and the
+/// per-morsel partials so both sides use identical state.
+struct GroupAcc {
+  std::vector<Value> keys;         // evaluated group_by exprs
+  std::vector<Value> plain_items;  // first-row values of non-agg items
+  std::vector<AggState> aggs;
+  bool plain_filled = false;
+};
+
+/// The morsel grid and effective worker count for one scan. The grid is a
+/// pure function of the table's page count (never of the worker count) so
+/// merge order — and therefore float results — cannot depend on the degree
+/// of parallelism.
+struct MorselPlanInfo {
+  std::vector<storage::PageId> pages;
+  size_t morsel_pages = 1;
+  size_t n_morsels = 0;
+  int workers = 1;
+};
+
+Result<MorselPlanInfo> PlanMorselScan(const Query& q, int requested_workers,
+                                      int64_t min_pages_override) {
+  MorselPlanInfo plan;
+  SQLARRAY_ASSIGN_OR_RETURN(plan.pages, q.table->CollectLeafPages());
+  const int64_t n_pages = static_cast<int64_t>(plan.pages.size());
+  plan.morsel_pages = static_cast<size_t>(MorselPages(n_pages));
+  plan.n_morsels =
+      (plan.pages.size() + plan.morsel_pages - 1) / plan.morsel_pages;
+  // A CLR call anywhere in the plan makes rows expensive enough that small
+  // page ranges already amortize a worker's fixed setup.
+  bool cpu_heavy = QueryHasBoundCall(
+      q, [](const ScalarFunction& f) { return f.boundary == Boundary::kClr; });
+  int64_t floor = min_pages_override >= 0
+                      ? min_pages_override
+                      : (cpu_heavy ? kClrPagesPerWorker
+                                   : kNativePagesPerWorker);
+  plan.workers = EffectiveWorkers(requested_workers, n_pages,
+                                  static_cast<int64_t>(plan.n_morsels), floor);
+  return plan;
+}
+
+/// Pages ahead of the cursor each morsel keeps resident (the ScanChunk
+/// readahead hint) so a worker's disk stream stays sequential even when
+/// UDFs interleave blob reads on the same thread.
+constexpr int kMorselReadahead = 4;
+
+void MergeStats(QueryStats* into, const QueryStats& part) {
+  into->rows_scanned += part.rows_scanned;
+  into->udf_calls += part.udf_calls;
+  into->udf_bytes_marshaled += part.udf_bytes_marshaled;
+  into->uda_state_bytes += part.uda_state_bytes;
+  into->cpu_core_seconds += part.cpu_core_seconds;
+}
+
+/// Partial result of one morsel of an ungrouped aggregation.
+struct AggPartial {
+  std::vector<AggState> states;
+  std::vector<Value> plain;  // first-surviving-row values of kNone items
+  bool plain_filled = false;
+  QueryStats stats;
+};
+
+/// Folds one morsel's rows into an ungrouped-aggregate partial, honoring
+/// the executor's batch setting (the inner loops mirror ExecuteAggregate /
+/// ExecuteAggregateBatched exactly).
+Status AggregateChunk(const Query& q, const CostModel& cost,
+                      std::map<std::string, Value>* variables,
+                      storage::BufferPool* pool, int batch_rows,
+                      storage::BTree::ChunkCursor cursor, AggPartial* out) {
+  const size_t n_items = q.items.size();
+  out->states.resize(n_items);
+  out->plain.resize(n_items);
+
+  UdfContext udf;
+  udf.pool = pool;
+  udf.stats = &out->stats;
+  udf.cost = &cost;
+
+  if (batch_rows > 1) {
+    RowBatch batch;
+    ByteBufferPool byte_pool;
+    EvalArena arena;
+    BatchContext bctx;
+    bctx.schema = &q.table->schema();
+    bctx.batch = &batch;
+    bctx.variables = variables;
+    bctx.udf = &udf;
+    bctx.byte_pool = &byte_pool;
+    bctx.arena = &arena;
+    std::vector<int32_t> sel;
+    std::vector<Value> keep_col, col;
+    const int64_t rsz = q.table->schema().row_size();
+    while (true) {
+      batch.Reset(rsz, batch_rows);
+      while (!batch.full() && cursor.valid()) {
+        batch.Push(cursor.row().data());
+        SQLARRAY_RETURN_IF_ERROR(cursor.Next());
+      }
+      if (batch.size() == 0) break;
+      out->stats.rows_scanned += batch.size();
+      for (int32_t i = 0; i < batch.size(); ++i) {
+        out->stats.ChargeCpuNs(cost.row_scan_ns);
+      }
+      SQLARRAY_RETURN_IF_ERROR(FilterBatch(q, &bctx, &keep_col, &sel));
+      if (sel.empty()) continue;
+      for (size_t i = 0; i < n_items; ++i) {
+        const SelectItem& item = q.items[i];
+        AggState& st = out->states[i];
+        if (item.agg == SelectItem::AggKind::kNone) {
+          if (!out->plain_filled) {
+            std::vector<int32_t> first_sel(1, sel[0]);
+            bctx.sel = &first_sel;
+            SQLARRAY_RETURN_IF_ERROR(EvalBatch(*item.expr, bctx, &col));
+            out->plain[i] = std::move(col[0]);
+          }
+          continue;
+        }
+        if (IsCountStar(item)) {
+          st.count += static_cast<int64_t>(sel.size());
+          continue;
+        }
+        bctx.sel = &sel;
+        SQLARRAY_RETURN_IF_ERROR(EvalBatch(*item.expr, bctx, &col));
+        for (const Value& v : col) {
+          out->stats.ChargeCpuNs(cost.native_agg_step_ns);
+          SQLARRAY_RETURN_IF_ERROR(AccumulateNative(item.agg, v, &st));
+        }
+      }
+      out->plain_filled = true;
+    }
+    return Status::OK();
+  }
+
+  EvalContext ctx;
+  ctx.schema = &q.table->schema();
+  ctx.variables = variables;
+  ctx.udf = udf;
+  while (cursor.valid()) {
+    ctx.row = cursor.row().data();
+    out->stats.rows_scanned++;
+    out->stats.ChargeCpuNs(cost.row_scan_ns);
+    bool keep_row = true;
+    if (q.where != nullptr) {
+      SQLARRAY_ASSIGN_OR_RETURN(Value keep, Eval(*q.where, ctx));
+      SQLARRAY_ASSIGN_OR_RETURN(int64_t truthy,
+                                keep.is_null() ? Result<int64_t>(int64_t{0})
+                                               : keep.AsInt());
+      keep_row = truthy != 0;
+    }
+    if (keep_row) {
+      for (size_t i = 0; i < n_items; ++i) {
+        const SelectItem& item = q.items[i];
+        AggState& st = out->states[i];
+        if (item.agg == SelectItem::AggKind::kNone) {
+          if (!out->plain_filled) {
+            SQLARRAY_ASSIGN_OR_RETURN(Value v, Eval(*item.expr, ctx));
+            out->plain[i] = std::move(v);
+          }
+          continue;
+        }
+        if (IsCountStar(item)) {
+          st.count++;
+          continue;
+        }
+        out->stats.ChargeCpuNs(cost.native_agg_step_ns);
+        SQLARRAY_ASSIGN_OR_RETURN(Value v, Eval(*item.expr, ctx));
+        SQLARRAY_RETURN_IF_ERROR(AccumulateNative(item.agg, v, &st));
+      }
+      out->plain_filled = true;
+    }
+    SQLARRAY_RETURN_IF_ERROR(cursor.Next());
+  }
+  return Status::OK();
+}
+
+/// Folds one morsel's rows into a partial GROUP BY hash table. Always
+/// row-at-a-time, like the serial grouped loop (group creation is
+/// inherently per-row).
+Status GroupByChunk(const Query& q, const CostModel& cost,
+                    std::map<std::string, Value>* variables,
+                    storage::BufferPool* pool,
+                    storage::BTree::ChunkCursor cursor,
+                    std::map<std::string, GroupAcc>* groups,
+                    QueryStats* stats) {
+  const size_t n_items = q.items.size();
+  EvalContext ctx;
+  ctx.schema = &q.table->schema();
+  ctx.variables = variables;
+  ctx.udf.pool = pool;
+  ctx.udf.stats = stats;
+  ctx.udf.cost = &cost;
+
+  while (cursor.valid()) {
+    ctx.row = cursor.row().data();
+    stats->rows_scanned++;
+    stats->ChargeCpuNs(cost.row_scan_ns);
+
+    bool keep_row = true;
+    if (q.where != nullptr) {
+      SQLARRAY_ASSIGN_OR_RETURN(Value keep, Eval(*q.where, ctx));
+      SQLARRAY_ASSIGN_OR_RETURN(int64_t truthy,
+                                keep.is_null() ? Result<int64_t>(int64_t{0})
+                                               : keep.AsInt());
+      keep_row = truthy != 0;
+    }
+    if (keep_row) {
+      std::string key;
+      std::vector<Value> key_vals;
+      for (const ExprPtr& g : q.group_by) {
+        SQLARRAY_ASSIGN_OR_RETURN(Value v, Eval(*g, ctx));
+        AppendGroupKey(v, &key);
+        key_vals.push_back(std::move(v));
+      }
+      GroupAcc& group = (*groups)[key];
+      if (group.aggs.empty()) {
+        group.keys = std::move(key_vals);
+        group.aggs.resize(n_items);
+      }
+      for (size_t i = 0; i < n_items; ++i) {
+        const SelectItem& item = q.items[i];
+        AggState& st = group.aggs[i];
+        if (item.agg == SelectItem::AggKind::kNone) {
+          if (!group.plain_filled) {
+            SQLARRAY_ASSIGN_OR_RETURN(Value v, Eval(*item.expr, ctx));
+            group.plain_items.resize(n_items);
+            group.plain_items[i] = std::move(v);
+          }
+          continue;
+        }
+        if (IsCountStar(item)) {
+          st.count++;
+          continue;
+        }
+        stats->ChargeCpuNs(cost.native_agg_step_ns);
+        SQLARRAY_ASSIGN_OR_RETURN(Value v, Eval(*item.expr, ctx));
+        SQLARRAY_RETURN_IF_ERROR(AccumulateNative(item.agg, v, &st));
+      }
+      group.plain_filled = true;
+    }
+    SQLARRAY_RETURN_IF_ERROR(cursor.Next());
+  }
+  return Status::OK();
+}
+
+/// Folds one morsel's rows into a row-mode result buffer. TOP caps the
+/// buffer at q.top rows (no later morsel can contribute more than that to
+/// the output prefix) and keeps the early-exit row loop; otherwise the
+/// executor's batch setting applies, mirroring ExecuteRowsBatched.
+Status RowsChunk(const Query& q, const CostModel& cost,
+                 std::map<std::string, Value>* variables,
+                 storage::BufferPool* pool, int batch_rows,
+                 storage::BTree::ChunkCursor cursor,
+                 std::vector<std::vector<Value>>* rows, QueryStats* stats) {
+  const size_t n_items = q.items.size();
+  UdfContext udf;
+  udf.pool = pool;
+  udf.stats = stats;
+  udf.cost = &cost;
+
+  if (q.top < 0 && batch_rows > 1) {
+    RowBatch batch;
+    ByteBufferPool byte_pool;
+    EvalArena arena;
+    BatchContext bctx;
+    bctx.schema = &q.table->schema();
+    bctx.batch = &batch;
+    bctx.variables = variables;
+    bctx.udf = &udf;
+    bctx.byte_pool = &byte_pool;
+    bctx.arena = &arena;
+    std::vector<int32_t> sel;
+    std::vector<Value> keep_col;
+    const int64_t rsz = q.table->schema().row_size();
+    while (true) {
+      batch.Reset(rsz, batch_rows);
+      while (!batch.full() && cursor.valid()) {
+        batch.Push(cursor.row().data());
+        SQLARRAY_RETURN_IF_ERROR(cursor.Next());
+      }
+      if (batch.size() == 0) break;
+      stats->rows_scanned += batch.size();
+      for (int32_t i = 0; i < batch.size(); ++i) {
+        stats->ChargeCpuNs(cost.row_scan_ns);
+      }
+      SQLARRAY_RETURN_IF_ERROR(FilterBatch(q, &bctx, &keep_col, &sel));
+      if (sel.empty()) continue;
+      bctx.sel = &sel;
+      ColumnGuard guard(&arena);
+      std::vector<std::vector<Value>*> cols;
+      cols.reserve(n_items);
+      for (size_t i = 0; i < n_items; ++i) {
+        cols.push_back(guard.Borrow());
+        SQLARRAY_RETURN_IF_ERROR(EvalBatch(*q.items[i].expr, bctx, cols[i]));
+      }
+      for (size_t k = 0; k < sel.size(); ++k) {
+        std::vector<Value> row;
+        row.reserve(n_items);
+        for (size_t i = 0; i < n_items; ++i) {
+          row.push_back(std::move((*cols[i])[k]));
+        }
+        rows->push_back(std::move(row));
+      }
+    }
+    return Status::OK();
+  }
+
+  EvalContext ctx;
+  ctx.schema = &q.table->schema();
+  ctx.variables = variables;
+  ctx.udf = udf;
+  while (cursor.valid()) {
+    if (q.top >= 0 && static_cast<int64_t>(rows->size()) >= q.top) break;
+    ctx.row = cursor.row().data();
+    stats->rows_scanned++;
+    stats->ChargeCpuNs(cost.row_scan_ns);
+
+    bool keep_row = true;
+    if (q.where != nullptr) {
+      SQLARRAY_ASSIGN_OR_RETURN(Value keep, Eval(*q.where, ctx));
+      SQLARRAY_ASSIGN_OR_RETURN(int64_t truthy,
+                                keep.is_null() ? Result<int64_t>(int64_t{0})
+                                               : keep.AsInt());
+      keep_row = truthy != 0;
+    }
+    if (keep_row) {
+      std::vector<Value> row;
+      row.reserve(n_items);
+      for (const SelectItem& item : q.items) {
+        SQLARRAY_ASSIGN_OR_RETURN(Value v, Eval(*item.expr, ctx));
+        row.push_back(std::move(v));
+      }
+      rows->push_back(std::move(row));
+    }
+    SQLARRAY_RETURN_IF_ERROR(cursor.Next());
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<ResultSet> Executor::Execute(const Query& q,
@@ -257,16 +633,41 @@ Result<ResultSet> Executor::Execute(const Query& q,
     return rs;
   }
   if (HasAggregates(q) || !q.group_by.empty()) {
-    bool parallel_ok = scan_workers_ > 1 && q.table != nullptr &&
-                       q.group_by.empty();
-    for (const SelectItem& item : q.items) {
-      parallel_ok = parallel_ok && item.agg != SelectItem::AggKind::kUda &&
-                    item.agg != SelectItem::AggKind::kNone;
+    if (parallel_mode_ == ParallelMode::kStaticChunkLegacy) {
+      // The pre-morsel plan shape: ungrouped all-native aggregates only.
+      bool parallel_ok = scan_workers_ > 1 && q.group_by.empty() &&
+                         MorselEligible(q);
+      for (const SelectItem& item : q.items) {
+        parallel_ok = parallel_ok && item.agg != SelectItem::AggKind::kUda &&
+                      item.agg != SelectItem::AggKind::kNone;
+      }
+      if (parallel_ok) return ExecuteAggregateStaticChunk(q, variables);
+      return ExecuteAggregate(q, variables);
     }
-    if (parallel_ok) return ExecuteAggregateParallel(q, variables);
+    // Eligible aggregations always take the morsel plan — at 1 worker it
+    // runs inline, so results are bit-identical at every worker count.
+    if (MorselEligible(q)) {
+      if (q.group_by.empty()) return ExecuteAggregateMorsel(q, variables);
+      return ExecuteGroupByMorsel(q, variables);
+    }
     return ExecuteAggregate(q, variables);
   }
+  if (parallel_mode_ == ParallelMode::kMorsel && MorselEligible(q)) {
+    return ExecuteRowsMorsel(q, variables);
+  }
   return ExecuteRows(q, variables);
+}
+
+bool Executor::MorselEligible(const Query& q) const {
+  if (q.table == nullptr) return false;
+  for (const SelectItem& item : q.items) {
+    // UDA state marshaling is inherently serial (and order-sensitive).
+    if (item.agg == SelectItem::AggKind::kUda) return false;
+  }
+  // Reader-style UDFs re-enter the session through the subquery runner;
+  // any query calling one stays on the serial path.
+  return !QueryHasBoundCall(
+      q, [](const ScalarFunction& f) { return f.needs_subquery; });
 }
 
 Result<ResultSet> Executor::ExecuteAggregate(
@@ -292,13 +693,7 @@ Result<ResultSet> Executor::ExecuteAggregate(
   ctx.udf.stats = &rs.stats;
   ctx.udf.cost = &cost_;
 
-  struct Group {
-    std::vector<Value> keys;         // evaluated group_by exprs
-    std::vector<Value> plain_items;  // first-row values of non-agg items
-    std::vector<AggState> aggs;
-    bool plain_filled = false;
-  };
-  std::map<std::string, Group> groups;
+  std::map<std::string, GroupAcc> groups;
   // Aggregate-free GROUP BY still needs agg slots sized to items.
   const size_t n_items = q.items.size();
 
@@ -351,7 +746,7 @@ Result<ResultSet> Executor::ExecuteAggregate(
       AppendGroupKey(v, &key);
       key_vals.push_back(std::move(v));
     }
-    Group& group = groups[key];
+    GroupAcc& group = groups[key];
     if (group.aggs.empty()) {
       group.keys = std::move(key_vals);
       group.aggs.resize(n_items);
@@ -426,7 +821,7 @@ Result<ResultSet> Executor::ExecuteAggregate(
 
   // Aggregate-only queries over empty inputs still yield one row.
   if (groups.empty() && q.group_by.empty()) {
-    Group g;
+    GroupAcc g;
     g.aggs.resize(n_items);
     groups.emplace("", std::move(g));
   }
@@ -570,7 +965,10 @@ Result<ResultSet> Executor::ExecuteAggregateBatched(
   return rs;
 }
 
-Result<ResultSet> Executor::ExecuteAggregateParallel(
+// Retained only as ParallelMode::kStaticChunkLegacy, the bench baseline the
+// morsel scheduler is measured against: fresh threads per query, one static
+// leaf-chain chunk per worker, private per-worker buffer pools.
+Result<ResultSet> Executor::ExecuteAggregateStaticChunk(
     const Query& q, std::map<std::string, Value>* variables) {
   ResultSet rs;
   Stopwatch watch;
@@ -753,6 +1151,248 @@ Result<ResultSet> Executor::ExecuteAggregateParallel(
     row.push_back(std::move(v));
   }
   rs.rows.push_back(std::move(row));
+
+  rs.stats.io = db_->disk()->stats() - io_before;
+  rs.stats.wall_seconds = watch.ElapsedSeconds();
+  return rs;
+}
+
+void Executor::RunOnWorkers(int workers, const std::function<void(int)>& fn) {
+  if (workers <= 1) {
+    // Inline execution: no thread dispatch, but the identical morsel grid
+    // and merge order, so the result is the parallel result.
+    fn(0);
+    return;
+  }
+  if (worker_pool_ == nullptr) worker_pool_ = std::make_unique<WorkerPool>();
+  worker_pool_->Run(workers, fn);
+}
+
+Status Executor::RunMorselScan(
+    size_t n_pages, size_t morsel_pages, int workers,
+    const std::function<Status(const Morsel&)>& body) {
+  MorselQueue queue(n_pages, morsel_pages, workers);
+  if (queue.morsel_count() == 0) return Status::OK();
+  std::vector<Status> morsel_status(queue.morsel_count());
+  std::atomic<bool> abort{false};
+  RunOnWorkers(workers, [&](int w) {
+    Morsel m;
+    while (queue.Next(w, &m)) {
+      if (abort.load(std::memory_order_relaxed)) break;
+      Status st = body(m);
+      if (!st.ok()) {
+        // Each morsel index is handed out once, so this write is unshared.
+        morsel_status[m.index] = std::move(st);
+        abort.store(true, std::memory_order_relaxed);
+      }
+    }
+  });
+  // Surface the first failure in morsel order (== scan order at 1 worker).
+  for (Status& st : morsel_status) {
+    SQLARRAY_RETURN_IF_ERROR(st);
+  }
+  return Status::OK();
+}
+
+Result<ResultSet> Executor::ExecuteAggregateMorsel(
+    const Query& q, std::map<std::string, Value>* variables) {
+  ResultSet rs;
+  Stopwatch watch;
+  storage::IoStats io_before = db_->disk()->stats();
+  for (const SelectItem& item : q.items) rs.columns.push_back(item.label);
+  const size_t n_items = q.items.size();
+
+  SQLARRAY_ASSIGN_OR_RETURN(
+      MorselPlanInfo plan,
+      PlanMorselScan(q, scan_workers_, min_pages_per_worker_));
+  std::vector<AggPartial> partials(plan.n_morsels);
+
+  SQLARRAY_RETURN_IF_ERROR(RunMorselScan(
+      plan.pages.size(), plan.morsel_pages, plan.workers,
+      [&](const Morsel& m) -> Status {
+        std::vector<storage::PageId> chunk(plan.pages.begin() + m.page_begin,
+                                           plan.pages.begin() + m.page_end);
+        SQLARRAY_ASSIGN_OR_RETURN(
+            storage::BTree::ChunkCursor cursor,
+            q.table->ScanChunk(db_->buffer_pool(), std::move(chunk),
+                               kMorselReadahead));
+        return AggregateChunk(q, cost_, variables, db_->buffer_pool(),
+                              batch_rows_, std::move(cursor),
+                              &partials[m.index]);
+      }));
+
+  // Fold partials in morsel-index order — the deterministic merge that
+  // makes results (float sums included) independent of the worker count.
+  std::vector<AggState> merged(n_items);
+  std::vector<Value> plain(n_items);
+  bool plain_filled = false;
+  for (AggPartial& p : partials) {
+    if (p.states.size() == n_items) {
+      for (size_t i = 0; i < n_items; ++i) merged[i].Merge(p.states[i]);
+    }
+    if (!plain_filled && p.plain_filled) {
+      plain = std::move(p.plain);
+      plain_filled = true;
+    }
+    MergeStats(&rs.stats, p.stats);
+  }
+
+  std::vector<Value> row;
+  for (size_t i = 0; i < n_items; ++i) {
+    const SelectItem& item = q.items[i];
+    if (item.agg == SelectItem::AggKind::kNone) {
+      row.push_back(plain_filled ? std::move(plain[i]) : Value::Null());
+      continue;
+    }
+    SQLARRAY_ASSIGN_OR_RETURN(Value v, FinishNative(item.agg, merged[i]));
+    row.push_back(std::move(v));
+  }
+  rs.rows.push_back(std::move(row));
+
+  rs.stats.io = db_->disk()->stats() - io_before;
+  rs.stats.wall_seconds = watch.ElapsedSeconds();
+  return rs;
+}
+
+Result<ResultSet> Executor::ExecuteGroupByMorsel(
+    const Query& q, std::map<std::string, Value>* variables) {
+  ResultSet rs;
+  Stopwatch watch;
+  storage::IoStats io_before = db_->disk()->stats();
+  for (const SelectItem& item : q.items) rs.columns.push_back(item.label);
+  const size_t n_items = q.items.size();
+
+  SQLARRAY_ASSIGN_OR_RETURN(
+      MorselPlanInfo plan,
+      PlanMorselScan(q, scan_workers_, min_pages_per_worker_));
+  struct GroupPartial {
+    std::map<std::string, GroupAcc> groups;
+    QueryStats stats;
+  };
+  std::vector<GroupPartial> partials(plan.n_morsels);
+
+  SQLARRAY_RETURN_IF_ERROR(RunMorselScan(
+      plan.pages.size(), plan.morsel_pages, plan.workers,
+      [&](const Morsel& m) -> Status {
+        std::vector<storage::PageId> chunk(plan.pages.begin() + m.page_begin,
+                                           plan.pages.begin() + m.page_end);
+        SQLARRAY_ASSIGN_OR_RETURN(
+            storage::BTree::ChunkCursor cursor,
+            q.table->ScanChunk(db_->buffer_pool(), std::move(chunk),
+                               kMorselReadahead));
+        return GroupByChunk(q, cost_, variables, db_->buffer_pool(),
+                            std::move(cursor), &partials[m.index].groups,
+                            &partials[m.index].stats);
+      }));
+
+  // Merge the per-morsel partial hash tables in morsel-index order. The
+  // final std::map iterates groups in serialized-key order — exactly the
+  // serial path's output order.
+  std::map<std::string, GroupAcc> groups;
+  for (GroupPartial& p : partials) {
+    for (auto& [key, g] : p.groups) {
+      auto it = groups.find(key);
+      if (it == groups.end()) {
+        groups.emplace(key, std::move(g));
+        continue;
+      }
+      for (size_t i = 0; i < n_items; ++i) {
+        it->second.aggs[i].Merge(g.aggs[i]);
+      }
+      // Plain items keep the lowest-morsel (earliest-row) values.
+    }
+    MergeStats(&rs.stats, p.stats);
+  }
+
+  for (auto& [key, group] : groups) {
+    (void)key;
+    std::vector<Value> row;
+    for (size_t i = 0; i < n_items; ++i) {
+      const SelectItem& item = q.items[i];
+      if (item.agg == SelectItem::AggKind::kNone) {
+        row.push_back(i < group.plain_items.size()
+                          ? std::move(group.plain_items[i])
+                          : Value::Null());
+        continue;
+      }
+      SQLARRAY_ASSIGN_OR_RETURN(Value v, FinishNative(item.agg, group.aggs[i]));
+      row.push_back(std::move(v));
+    }
+    rs.rows.push_back(std::move(row));
+  }
+
+  rs.stats.io = db_->disk()->stats() - io_before;
+  rs.stats.wall_seconds = watch.ElapsedSeconds();
+  return rs;
+}
+
+Result<ResultSet> Executor::ExecuteRowsMorsel(
+    const Query& q, std::map<std::string, Value>* variables) {
+  ResultSet rs;
+  Stopwatch watch;
+  storage::IoStats io_before = db_->disk()->stats();
+  for (const SelectItem& item : q.items) rs.columns.push_back(item.label);
+
+  SQLARRAY_ASSIGN_OR_RETURN(
+      MorselPlanInfo plan,
+      PlanMorselScan(q, scan_workers_, min_pages_per_worker_));
+  struct RowsPartial {
+    std::vector<std::vector<Value>> rows;
+    QueryStats stats;
+  };
+  std::vector<RowsPartial> partials(plan.n_morsels);
+
+  // TOP short-circuit token: `frontier` counts consecutive completed
+  // morsels from 0 and `prefix_rows` their surviving rows. A worker may
+  // skip an UNSTARTED morsel m once prefix_rows >= top: the frontier
+  // f <= m then, so the first `top` output rows all come from morsels
+  // before m and m's buffer can never reach the output.
+  std::mutex top_mu;
+  std::vector<int64_t> morsel_rows(plan.n_morsels, -1);
+  size_t frontier = 0;
+  std::atomic<int64_t> prefix_rows{0};
+  auto mark_done = [&](size_t index, int64_t rows) {
+    if (q.top < 0) return;
+    std::lock_guard<std::mutex> lock(top_mu);
+    morsel_rows[index] = rows;
+    while (frontier < plan.n_morsels && morsel_rows[frontier] >= 0) {
+      prefix_rows.fetch_add(morsel_rows[frontier], std::memory_order_relaxed);
+      ++frontier;
+    }
+  };
+
+  SQLARRAY_RETURN_IF_ERROR(RunMorselScan(
+      plan.pages.size(), plan.morsel_pages, plan.workers,
+      [&](const Morsel& m) -> Status {
+        RowsPartial& out = partials[m.index];
+        if (q.top >= 0 &&
+            prefix_rows.load(std::memory_order_relaxed) >= q.top) {
+          mark_done(m.index, 0);  // skipped: cannot reach the output prefix
+          return Status::OK();
+        }
+        std::vector<storage::PageId> chunk(plan.pages.begin() + m.page_begin,
+                                           plan.pages.begin() + m.page_end);
+        SQLARRAY_ASSIGN_OR_RETURN(
+            storage::BTree::ChunkCursor cursor,
+            q.table->ScanChunk(db_->buffer_pool(), std::move(chunk),
+                               kMorselReadahead));
+        Status st = RowsChunk(q, cost_, variables, db_->buffer_pool(),
+                              batch_rows_, std::move(cursor), &out.rows,
+                              &out.stats);
+        if (st.ok()) {
+          mark_done(m.index, static_cast<int64_t>(out.rows.size()));
+        }
+        return st;
+      }));
+
+  // Gather per-morsel buffers in page order, truncated at TOP.
+  for (RowsPartial& p : partials) {
+    for (std::vector<Value>& row : p.rows) {
+      if (q.top >= 0 && static_cast<int64_t>(rs.rows.size()) >= q.top) break;
+      rs.rows.push_back(std::move(row));
+    }
+    MergeStats(&rs.stats, p.stats);
+  }
 
   rs.stats.io = db_->disk()->stats() - io_before;
   rs.stats.wall_seconds = watch.ElapsedSeconds();

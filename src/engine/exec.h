@@ -1,18 +1,23 @@
 // Query executor: clustered index scans with filters, projections,
 // aggregates (native and user-defined), and GROUP BY.
 //
-// Execution is single-threaded and real (results are actually computed);
-// virtual time is accounted against the CostModel so benches can report the
-// modeled testbed numbers next to measured wall time.
+// Execution is real (results are actually computed); virtual time is
+// accounted against the CostModel so benches can report the modeled testbed
+// numbers next to measured wall time. Eligible scans run morsel-driven
+// parallel plans over a persistent worker pool (engine/parallel.h), with
+// partial results merged in deterministic morsel-index order so any worker
+// count produces bit-identical results.
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "engine/cost.h"
 #include "engine/expr.h"
+#include "engine/parallel.h"
 #include "storage/table.h"
 
 namespace sqlarray::engine {
@@ -56,6 +61,18 @@ struct ResultSet {
   Result<Value> ScalarResult() const;
 };
 
+/// How eligible scans are divided across workers.
+enum class ParallelMode {
+  /// Morsel-driven (default): a work-stealing queue of small leaf-page
+  /// ranges served by the persistent worker pool, all sharing the
+  /// database's buffer pool; partial results merge in morsel-index order.
+  kMorsel,
+  /// The pre-morsel scheme, kept for bench comparison: fresh threads per
+  /// query, one static leaf-chain chunk and a private buffer pool per
+  /// worker, ungrouped native aggregates only.
+  kStaticChunkLegacy,
+};
+
 /// Executes bound queries against a Database.
 class Executor {
  public:
@@ -72,12 +89,30 @@ class Executor {
   /// rows (null to clear).
   void set_subquery_runner(const SubqueryFn* fn) { subquery_fn_ = fn; }
 
-  /// Degree of parallelism for eligible aggregate scans (ungrouped, no
-  /// UDAs). 1 = serial. Workers each scan a disjoint leaf-page range with
-  /// their own buffer pool and merge partial aggregates, like the host
-  /// engine's parallel query plans.
+  /// Degree of parallelism for eligible scans (table source, no UDA, no
+  /// reader-style UDF): ungrouped aggregates, GROUP BY, and row-mode
+  /// filters/TOP. The effective worker count is additionally capped by the
+  /// table's page count so tiny scans skip the fixed per-worker setup.
+  /// Results are bit-identical at any worker count: eligible queries run
+  /// the morsel plan even at 1 worker (inline, no thread dispatch), and
+  /// partials always merge in morsel-index order.
   void set_scan_workers(int workers) { scan_workers_ = workers; }
   int scan_workers() const { return scan_workers_; }
+
+  /// Selects the parallel scheduling scheme (bench comparison hook).
+  void set_parallel_mode(ParallelMode mode) { parallel_mode_ = mode; }
+  ParallelMode parallel_mode() const { return parallel_mode_; }
+
+  /// Overrides the leaf-pages-per-worker amortization floor (tests force
+  /// real multi-threading on tiny tables with 0); negative restores the
+  /// cost-model heuristic.
+  void set_min_pages_per_worker(int64_t pages) {
+    min_pages_per_worker_ = pages;
+  }
+
+  /// The persistent scan worker pool (created on first parallel query and
+  /// reused after that; test/introspection access).
+  WorkerPool* worker_pool() { return worker_pool_.get(); }
 
   /// Rows gathered per evaluation batch on eligible scans (table source, no
   /// GROUP BY, no UDA, no TOP). Values <= 1 force row-at-a-time execution;
@@ -117,8 +152,30 @@ class Executor {
   Result<std::vector<std::vector<Value>>> MaterializeTvf(
       const Query& q, std::map<std::string, Value>* variables,
       QueryStats* stats);
-  /// Multithreaded ungrouped aggregation over disjoint leaf-page chunks.
-  Result<ResultSet> ExecuteAggregateParallel(
+
+  /// True when the query can take a morsel-driven plan: table source, no
+  /// UDA items, no reader-style (subquery-reentrant) UDF anywhere.
+  bool MorselEligible(const Query& q) const;
+  /// Morsel-driven ungrouped native aggregation (plain items allowed,
+  /// first-surviving-row semantics).
+  Result<ResultSet> ExecuteAggregateMorsel(
+      const Query& q, std::map<std::string, Value>* variables);
+  /// Morsel-driven GROUP BY: per-morsel partial hash aggregation merged in
+  /// morsel-index order.
+  Result<ResultSet> ExecuteGroupByMorsel(
+      const Query& q, std::map<std::string, Value>* variables);
+  /// Morsel-driven row-mode scan: per-morsel result buffers gathered in
+  /// page order; TOP short-circuits through a shared row-count token.
+  Result<ResultSet> ExecuteRowsMorsel(const Query& q,
+                                      std::map<std::string, Value>* variables);
+  /// Runs `body` over every morsel of the grid on `workers` pool threads
+  /// (inline when workers == 1); returns the first failure in morsel order.
+  Status RunMorselScan(size_t n_pages, size_t morsel_pages, int workers,
+                       const std::function<Status(const Morsel&)>& body);
+  /// Dispatches fn to the persistent pool (inline at 1 worker).
+  void RunOnWorkers(int workers, const std::function<void(int)>& fn);
+  /// Legacy static-chunk ungrouped aggregation (ParallelMode comparison).
+  Result<ResultSet> ExecuteAggregateStaticChunk(
       const Query& q, std::map<std::string, Value>* variables);
 
   storage::Database* db_;
@@ -127,6 +184,9 @@ class Executor {
   const SubqueryFn* subquery_fn_ = nullptr;
   int scan_workers_ = 1;
   int batch_rows_ = 1024;
+  ParallelMode parallel_mode_ = ParallelMode::kMorsel;
+  int64_t min_pages_per_worker_ = -1;
+  std::unique_ptr<WorkerPool> worker_pool_;
 };
 
 }  // namespace sqlarray::engine

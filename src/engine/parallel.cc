@@ -1,0 +1,150 @@
+#include "engine/parallel.h"
+
+#include <algorithm>
+
+namespace sqlarray::engine {
+
+// ---------------------------------------------------------------------------
+// WorkerPool
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+int WorkerPool::thread_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(threads_.size());
+}
+
+void WorkerPool::Run(int workers, const std::function<void(int)>& fn) {
+  if (workers <= 0) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (static_cast<int>(threads_.size()) < workers) {
+    int slot = static_cast<int>(threads_.size());
+    threads_.emplace_back([this, slot] { ThreadMain(slot); });
+  }
+  job_ = &fn;
+  job_workers_ = workers;
+  job_remaining_ = workers;
+  ++job_seq_;
+  work_cv_.notify_all();
+  uint64_t seq = job_seq_;
+  done_cv_.wait(lock, [this, seq] {
+    return job_seq_ == seq && job_remaining_ == 0;
+  });
+  job_ = nullptr;
+}
+
+void WorkerPool::ThreadMain(int slot) {
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this, &seen, slot] {
+      return shutdown_ || (job_seq_ != seen && slot < job_workers_);
+    });
+    if (shutdown_) return;
+    seen = job_seq_;
+    const std::function<void(int)>* job = job_;
+    lock.unlock();
+    (*job)(slot);
+    lock.lock();
+    if (--job_remaining_ == 0) done_cv_.notify_all();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Morsel sizing / worker capping
+
+int64_t MorselPages(int64_t leaf_pages) {
+  if (leaf_pages <= 0) return 1;
+  // ~256 morsels per table keeps stealing granular while bounding the merge
+  // fan-in; floor of 16 pages so a morsel is a meaningful sequential read.
+  return std::clamp<int64_t>(leaf_pages / 256, 16, 512);
+}
+
+int EffectiveWorkers(int requested, int64_t leaf_pages, int64_t n_morsels,
+                     int64_t min_pages_per_worker) {
+  if (requested <= 1 || leaf_pages <= 0 || n_morsels <= 0) return 1;
+  int64_t by_pages =
+      min_pages_per_worker <= 0
+          ? static_cast<int64_t>(requested)
+          : std::max<int64_t>(1, leaf_pages / min_pages_per_worker);
+  // Never more workers than morsels — surplus threads would only steal.
+  int64_t cap = std::min<int64_t>(by_pages, n_morsels);
+  return static_cast<int>(std::min<int64_t>(requested, cap));
+}
+
+// ---------------------------------------------------------------------------
+// MorselQueue
+
+MorselQueue::MorselQueue(size_t n_pages, size_t morsel_pages, int workers)
+    : n_pages_(n_pages),
+      morsel_pages_(morsel_pages == 0 ? 1 : morsel_pages) {
+  n_morsels_ = (n_pages_ + morsel_pages_ - 1) / morsel_pages_;
+  if (workers < 1) workers = 1;
+  slots_.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+  // Contiguous partitions: worker w owns morsels [w*per, ...), so an
+  // uncontended worker reads consecutive pages — one sequential stream.
+  size_t per = n_morsels_ / static_cast<size_t>(workers);
+  size_t extra = n_morsels_ % static_cast<size_t>(workers);
+  size_t next = 0;
+  for (int w = 0; w < workers; ++w) {
+    size_t take = per + (static_cast<size_t>(w) < extra ? 1 : 0);
+    for (size_t i = 0; i < take; ++i) {
+      slots_[static_cast<size_t>(w)]->morsels.push_back(next++);
+    }
+  }
+}
+
+Morsel MorselQueue::MakeMorsel(size_t index) const {
+  Morsel m;
+  m.index = index;
+  m.page_begin = index * morsel_pages_;
+  m.page_end = std::min(n_pages_, m.page_begin + morsel_pages_);
+  return m;
+}
+
+bool MorselQueue::Next(int worker, Morsel* out) {
+  size_t self = static_cast<size_t>(worker) % slots_.size();
+  {
+    Slot& slot = *slots_[self];
+    std::lock_guard<std::mutex> lock(slot.mu);
+    if (!slot.morsels.empty()) {
+      *out = MakeMorsel(slot.morsels.front());
+      slot.morsels.pop_front();
+      return true;
+    }
+  }
+  // Steal from the back of the most-loaded victim, so the owner keeps its
+  // sequential front and the thief takes the far end of the range.
+  for (;;) {
+    size_t victim = slots_.size();
+    size_t best = 0;
+    for (size_t v = 0; v < slots_.size(); ++v) {
+      if (v == self) continue;
+      Slot& s = *slots_[v];
+      std::lock_guard<std::mutex> lock(s.mu);
+      if (s.morsels.size() > best) {
+        best = s.morsels.size();
+        victim = v;
+      }
+    }
+    if (victim == slots_.size()) return false;
+    Slot& s = *slots_[victim];
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.morsels.empty()) continue;  // raced; rescan victims
+    *out = MakeMorsel(s.morsels.back());
+    s.morsels.pop_back();
+    return true;
+  }
+}
+
+}  // namespace sqlarray::engine

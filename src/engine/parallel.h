@@ -1,0 +1,127 @@
+// Morsel-driven parallel execution primitives.
+//
+// The executor parallelizes scans NUMA-style (Leis et al.'s morsel model,
+// the single-node analogue of Graywulf's partitioned execution): the leaf
+// chain is cut into a deterministic grid of small page ranges (morsels), a
+// persistent worker pool picks morsels from a work-stealing queue, and
+// per-morsel partial results are merged in morsel-index order.
+//
+// Determinism contract: the morsel grid depends only on the table's page
+// count — never on the worker count or on which thread ran which morsel —
+// and every merge folds partials in ascending morsel index. Float
+// aggregation therefore produces byte-identical results at any worker
+// count and across repeated runs, even though work stealing assigns
+// morsels to threads nondeterministically.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sqlarray::engine {
+
+/// A persistent pool of worker threads, created once (grown on demand) and
+/// reused across queries — replacing the former spawn-and-join of fresh
+/// threads per query, whose startup cost dominated small scans. Run()
+/// dispatches one job to `workers` threads and blocks until all return.
+class WorkerPool {
+ public:
+  WorkerPool() = default;
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Runs fn(worker_index) for worker_index in [0, workers) on pool
+  /// threads, blocking until every invocation returns. Grows the pool to
+  /// `workers` threads on first need. One job at a time (the executor runs
+  /// one parallel pipeline per query).
+  void Run(int workers, const std::function<void(int)>& fn);
+
+  /// Threads currently alive (test/introspection access).
+  int thread_count() const;
+
+ private:
+  void ThreadMain(int slot);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> threads_;
+  const std::function<void(int)>* job_ = nullptr;
+  uint64_t job_seq_ = 0;   ///< bumped per Run; threads track what they saw
+  int job_workers_ = 0;    ///< threads with slot < this participate
+  int job_remaining_ = 0;  ///< participants still running
+  bool shutdown_ = false;
+};
+
+/// One morsel: a half-open range over the leaf-page vector plus its index
+/// in the deterministic grid (the merge key).
+struct Morsel {
+  size_t index = 0;
+  size_t page_begin = 0;
+  size_t page_end = 0;
+};
+
+/// Deterministic morsel size for a table of `leaf_pages` pages — a pure
+/// function of the table (NOT of the worker count), so result-merge order
+/// is stable. Small tables get the floor so tiny scans stay one or two
+/// morsels; large tables scale up so per-morsel scheduling overhead stays
+/// amortized and GROUP BY merge fan-in stays bounded.
+int64_t MorselPages(int64_t leaf_pages);
+
+/// Caps the worker count for a scan so fixed per-worker setup (thread
+/// dispatch, one modeled full seek to open each worker's read stream)
+/// amortizes: every worker must have at least `min_pages_per_worker` pages
+/// of real work, and never more workers than morsels. Returns at least 1;
+/// a result of 1 means "run inline on the calling thread".
+int EffectiveWorkers(int requested, int64_t leaf_pages, int64_t n_morsels,
+                     int64_t min_pages_per_worker);
+
+/// Default amortization floors for EffectiveWorkers. Native scans are
+/// I/O-bound under the disk model: each extra worker stream costs one full
+/// seek (~400 us, the read time of ~56 sequential pages), so a worker only
+/// pays for itself with a couple thousand pages of stream — the
+/// EXPERIMENTS.md small-table regression was exactly 8 such seeks priced
+/// into a 1/1000-scale scan, which this floor caps back to serial. A CLR
+/// call in the plan makes rows ~10x more expensive and CPU-bound, so small
+/// ranges already benefit.
+inline constexpr int64_t kNativePagesPerWorker = 2048;
+inline constexpr int64_t kClrPagesPerWorker = 4;
+
+/// Work-stealing morsel queue. Morsel indices are partitioned into
+/// contiguous per-worker ranges (so an uncontended worker walks
+/// consecutive pages — a sequential disk stream); a worker that drains its
+/// own partition steals from the back of the most-loaded victim.
+class MorselQueue {
+ public:
+  /// Builds the grid over `n_pages` pages with `morsel_pages` per morsel,
+  /// partitioned across `workers` slots.
+  MorselQueue(size_t n_pages, size_t morsel_pages, int workers);
+
+  size_t morsel_count() const { return n_morsels_; }
+
+  /// Pops the next morsel for `worker` (own partition front first, then
+  /// steal). Returns false when no work remains anywhere.
+  bool Next(int worker, Morsel* out);
+
+ private:
+  struct Slot {
+    std::mutex mu;
+    std::deque<size_t> morsels;  // morsel indices, front = next own work
+  };
+
+  Morsel MakeMorsel(size_t index) const;
+
+  size_t n_pages_ = 0;
+  size_t morsel_pages_ = 1;
+  size_t n_morsels_ = 0;
+  std::vector<std::unique_ptr<Slot>> slots_;
+};
+
+}  // namespace sqlarray::engine

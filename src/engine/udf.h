@@ -54,6 +54,10 @@ struct ScalarFunction {
   Boundary boundary = Boundary::kClr;
   /// Modeled managed-work nanoseconds per call (0 for the empty function).
   double managed_work_ns = 0;
+  /// Reader-style UDFs re-enter the session through ctx.subquery; they are
+  /// not safe on parallel scan workers, so the planner keeps any query
+  /// calling one on the serial path.
+  bool needs_subquery = false;
   ScalarFn fn;
 };
 

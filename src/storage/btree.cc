@@ -434,6 +434,16 @@ Status BTree::Cursor::Next() {
 
 Status BTree::ChunkCursor::LoadNextPage() {
   while (page_idx_ < pages_.size()) {
+    if (readahead_ > 0) {
+      // Best-effort readahead: issue the upcoming reads contiguously. The
+      // authoritative (error-checked, retried) read is the GetPage below.
+      size_t until = page_idx_ + static_cast<size_t>(readahead_);
+      if (until > pages_.size()) until = pages_.size();
+      if (prefetched_until_ < page_idx_) prefetched_until_ = page_idx_;
+      while (prefetched_until_ < until) {
+        (void)pool_->Prefetch(pages_[prefetched_until_++]);
+      }
+    }
     SQLARRAY_ASSIGN_OR_RETURN(PinnedPage page,
                               pool_->GetPage(pages_[page_idx_++]));
     page_ = *page;
@@ -455,11 +465,13 @@ Status BTree::ChunkCursor::Next() {
 }
 
 Result<BTree::ChunkCursor> BTree::ScanChunk(BufferPool* pool,
-                                            std::vector<PageId> pages) const {
+                                            std::vector<PageId> pages,
+                                            int readahead_pages) const {
   ChunkCursor c;
   c.pool_ = pool;
   c.row_size_ = row_size_;
   c.pages_ = std::move(pages);
+  c.readahead_ = readahead_pages < 0 ? 0 : readahead_pages;
   SQLARRAY_RETURN_IF_ERROR(c.LoadNextPage());
   return c;
 }

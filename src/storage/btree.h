@@ -129,8 +129,9 @@ class BTree {
 
   /// A cursor over an explicit list of leaf pages, reading through a
   /// caller-supplied buffer pool. Parallel scan workers each run one
-  /// ChunkCursor over a disjoint slice of CollectLeafPages() with their own
-  /// pool (one modeled read-ahead stream per worker).
+  /// ChunkCursor per morsel (a small slice of CollectLeafPages()) against
+  /// the SHARED buffer pool; a readahead window keeps each worker's disk
+  /// stream sequential.
   class ChunkCursor {
    public:
     bool valid() const { return valid_; }
@@ -149,6 +150,9 @@ class BTree {
     int64_t row_size_ = 0;
     std::vector<PageId> pages_;
     size_t page_idx_ = 0;
+    /// Pages before this index have been readahead-prefetched.
+    size_t prefetched_until_ = 0;
+    int readahead_ = 0;
     Page page_;
     uint32_t count_ = 0;
     uint32_t pos_ = 0;
@@ -156,8 +160,12 @@ class BTree {
   };
 
   /// Opens a cursor over `pages` (a slice of CollectLeafPages()).
-  Result<ChunkCursor> ScanChunk(BufferPool* pool,
-                                std::vector<PageId> pages) const;
+  /// `readahead_pages` > 0 issues that many Prefetch reads ahead of the
+  /// cursor position, back-to-back in page order, so the per-thread
+  /// sequential classifier in the disk model is not broken by expression
+  /// or blob reads interleaving into the leaf stream.
+  Result<ChunkCursor> ScanChunk(BufferPool* pool, std::vector<PageId> pages,
+                                int readahead_pages = 0) const;
 
  private:
   BTree(BufferPool* pool, int64_t row_size)

@@ -4,6 +4,24 @@
 
 namespace sqlarray::storage {
 
+BufferPool::BufferPool(SimulatedDisk* disk, int64_t capacity_pages,
+                       int shards)
+    : disk_(disk) {
+  if (capacity_pages < 1) capacity_pages = 1;
+  int n = shards;
+  if (n <= 0) {
+    n = static_cast<int>(capacity_pages / kShardCapacityFloor);
+    if (n > kMaxShards) n = kMaxShards;
+    if (n < 1) n = 1;
+  }
+  if (static_cast<int64_t>(n) > capacity_pages) {
+    n = static_cast<int>(capacity_pages);
+  }
+  shard_capacity_ = capacity_pages / n;
+  shards_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
 void PinnedPage::Release() {
   if (pool_ != nullptr && id_ != kNullPage) {
     pool_->Unpin(id_);
@@ -14,52 +32,40 @@ void PinnedPage::Release() {
 }
 
 void BufferPool::Unpin(PageId id) {
-  auto it = cache_.find(id);
-  assert(it != cache_.end() && "unpin of a page not in the cache");
-  if (it == cache_.end()) return;
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.cache.find(id);
+  assert(it != shard.cache.end() && "unpin of a page not in the cache");
+  if (it == shard.cache.end()) return;
   assert(it->second.pins > 0 && "unpin underflow");
   if (it->second.pins > 0 && --it->second.pins == 0) {
-    --pinned_pages_;
-    // A pinned entry may have kept the pool over capacity; settle now.
-    EvictDownTo(capacity_);
+    pinned_pages_.fetch_sub(1, std::memory_order_relaxed);
+    // A pinned entry may have kept the shard over capacity; settle now.
+    EvictDownTo(&shard, shard_capacity_);
   }
 }
 
-void BufferPool::EvictDownTo(int64_t target) {
+void BufferPool::EvictDownTo(Shard* shard, int64_t target) {
   // Walk from the LRU end, skipping pinned entries.
-  auto it = lru_.end();
-  while (static_cast<int64_t>(cache_.size()) > target &&
-         it != lru_.begin()) {
+  auto it = shard->lru.end();
+  while (static_cast<int64_t>(shard->cache.size()) > target &&
+         it != shard->lru.begin()) {
     --it;
-    auto centry = cache_.find(*it);
-    if (centry != cache_.end() && centry->second.pins > 0) continue;
-    if (centry != cache_.end()) cache_.erase(centry);
-    it = lru_.erase(it);  // returns the element after; loop steps back past it
+    auto centry = shard->cache.find(*it);
+    if (centry != shard->cache.end() && centry->second.pins > 0) continue;
+    if (centry != shard->cache.end()) shard->cache.erase(centry);
+    it = shard->lru.erase(it);  // returns the element after; loop steps back
   }
 }
 
-Result<PinnedPage> BufferPool::GetPage(PageId id) {
-  auto it = cache_.find(id);
-  if (it != cache_.end()) {
-    ++hits_;
-    lru_.erase(it->second.lru_it);
-    lru_.push_front(id);
-    it->second.lru_it = lru_.begin();
-    if (it->second.pins++ == 0) ++pinned_pages_;
-    return PinnedPage(this, id, &it->second.page);
-  }
-
-  ++misses_;
-  // Read into a local image first: a failed read must leave no cache entry,
-  // and retries must not expose a half-written one.
-  Page image;
-  Status st = disk_->ReadPage(id, &image);
+Status BufferPool::ReadWithRetry(PageId id, Page* image) {
+  Status st = disk_->ReadPage(id, image);
   int attempt = 1;
   while (!st.ok() && st.code() != StatusCode::kInvalidArgument &&
          attempt < max_read_attempts_) {
     ++attempt;
     disk_->NoteReadRetry(attempt);
-    st = disk_->ReadPage(id, &image);
+    st = disk_->ReadPage(id, image);
     if (st.ok()) disk_->NoteFaultHealed();
   }
   if (!st.ok()) {
@@ -69,37 +75,88 @@ Result<PinnedPage> BufferPool::GetPage(PageId id) {
                               " unreadable after " + std::to_string(attempt) +
                               " attempt(s): " + st.message());
   }
+  return Status::OK();
+}
+
+Result<PinnedPage> BufferPool::GetPage(PageId id) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.cache.find(id);
+  if (it != shard.cache.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    shard.lru.erase(it->second.lru_it);
+    shard.lru.push_front(id);
+    it->second.lru_it = shard.lru.begin();
+    if (it->second.pins++ == 0) {
+      pinned_pages_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return PinnedPage(this, id, &it->second.page);
+  }
+
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  // Read into a local image first: a failed read must leave no cache entry,
+  // and retries must not expose a half-written one. The shard lock is held
+  // across the read so concurrent misses on one page fault it in exactly
+  // once (misses on other shards proceed in parallel).
+  Page image;
+  SQLARRAY_RETURN_IF_ERROR(ReadWithRetry(id, &image));
 
   // Make room for the incoming entry (which is born pinned).
-  EvictDownTo(capacity_ - 1);
-  lru_.push_front(id);
+  EvictDownTo(&shard, shard_capacity_ - 1);
+  shard.lru.push_front(id);
   Entry entry;
   entry.page = image;
-  entry.lru_it = lru_.begin();
+  entry.lru_it = shard.lru.begin();
   entry.pins = 1;
-  auto [ins, ok] = cache_.emplace(id, std::move(entry));
+  auto [ins, ok] = shard.cache.emplace(id, std::move(entry));
   (void)ok;
-  ++pinned_pages_;
+  pinned_pages_.fetch_add(1, std::memory_order_relaxed);
   return PinnedPage(this, id, &ins->second.page);
 }
 
+Status BufferPool::Prefetch(PageId id) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.cache.find(id) != shard.cache.end()) return Status::OK();
+
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  Page image;
+  SQLARRAY_RETURN_IF_ERROR(ReadWithRetry(id, &image));
+
+  EvictDownTo(&shard, shard_capacity_ - 1);
+  shard.lru.push_front(id);
+  Entry entry;
+  entry.page = image;
+  entry.lru_it = shard.lru.begin();
+  entry.pins = 0;
+  shard.cache.emplace(id, std::move(entry));
+  return Status::OK();
+}
+
 Status BufferPool::WritePage(PageId id, const Page& page) {
-  auto it = cache_.find(id);
-  if (it != cache_.end()) {
-    it->second.page = page;
+  {
+    Shard& shard = ShardFor(id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.cache.find(id);
+    if (it != shard.cache.end()) {
+      it->second.page = page;
+    }
   }
   return disk_->WritePage(id, page);
 }
 
 void BufferPool::ClearCache() {
   // Pinned entries must survive (guards hold pointers into them).
-  for (auto it = lru_.begin(); it != lru_.end();) {
-    auto centry = cache_.find(*it);
-    if (centry != cache_.end() && centry->second.pins == 0) {
-      cache_.erase(centry);
-      it = lru_.erase(it);
-    } else {
-      ++it;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      auto centry = shard->cache.find(*it);
+      if (centry != shard->cache.end() && centry->second.pins == 0) {
+        shard->cache.erase(centry);
+        it = shard->lru.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
 }

@@ -1,9 +1,19 @@
-// LRU buffer pool over the simulated disk.
+// Thread-safe, lock-striped LRU buffer pool over the simulated disk.
 //
 // Table 1 was measured with a cold cache ("the database server cache was
 // explicitly cleared before each performance test run"); ClearCache()
 // reproduces that, and hit/miss counters let benches verify their cache
 // assumptions.
+//
+// Concurrency: the cache is partitioned into lock-striped shards (page id
+// modulo shard count, so a sequential leaf chain stripes evenly across
+// shards). Each shard has its own mutex, hash map, and LRU list; hit/miss/
+// pin counters are atomics. All parallel scan workers therefore share ONE
+// cache — ClearCache() means the same thing in serial and parallel runs —
+// instead of the former private pool per worker that bypassed it. Small
+// pools (below one reasonable shard's worth of pages) collapse to a single
+// shard so exact-LRU eviction semantics are preserved for tests and
+// fine-grained cache experiments.
 //
 // Fetches return a PinnedPage guard: the entry cannot be evicted while any
 // guard on it lives, which closes the old pointer-invalidation hazard where
@@ -13,10 +23,14 @@
 // kCorruption naming the page.
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "storage/disk.h"
@@ -61,20 +75,32 @@ class PinnedPage {
   const Page* page_ = nullptr;
 };
 
-/// A read-through / write-through LRU page cache with pinning.
+/// A read-through / write-through sharded LRU page cache with pinning.
+/// Safe for concurrent use from many threads.
 class BufferPool {
  public:
-  /// `capacity_pages` bounds resident pages (default 64 MB worth). Pinned
-  /// pages never count as eviction victims, so the pool may transiently
-  /// exceed capacity while many pins are held.
-  explicit BufferPool(SimulatedDisk* disk, int64_t capacity_pages = 8192)
-      : disk_(disk), capacity_(capacity_pages) {}
+  /// `capacity_pages` bounds resident pages across all shards (default
+  /// 64 MB worth). Pinned pages never count as eviction victims, so the
+  /// pool may transiently exceed capacity while many pins are held.
+  /// `shards` of 0 picks automatically: one shard per kShardCapacityFloor
+  /// pages of capacity, up to kMaxShards; tiny pools get exactly one shard
+  /// (global LRU order preserved).
+  explicit BufferPool(SimulatedDisk* disk, int64_t capacity_pages = 8192,
+                      int shards = 0);
 
   /// Fetches a page via the cache and pins it. The page stays resident until
   /// the returned guard dies. Transient read faults are retried up to
   /// max_read_attempts() with modeled backoff; persistent failures escalate
   /// to kCorruption naming the page id.
   Result<PinnedPage> GetPage(PageId id);
+
+  /// Sequential readahead hint: loads `id` into the cache UNPINNED if it is
+  /// not already resident. Scan cursors prefetch a morsel's pages
+  /// back-to-back before row processing starts, so the worker's disk stream
+  /// stays contiguous (the seq/random classifier never sees expression or
+  /// blob reads interleaved into the leaf stream). A no-op on resident
+  /// pages; counts a miss (it is a real disk read) when it loads.
+  Status Prefetch(PageId id);
 
   /// Writes through: updates the cache entry (if resident) and the disk.
   Status WritePage(PageId id, const Page& page);
@@ -93,14 +119,21 @@ class BufferPool {
   }
   int max_read_attempts() const { return max_read_attempts_; }
 
-  int64_t hits() const { return hits_; }
-  int64_t misses() const { return misses_; }
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
   /// Currently pinned entries (test/assert access).
-  int64_t pinned_pages() const { return pinned_pages_; }
+  int64_t pinned_pages() const {
+    return pinned_pages_.load(std::memory_order_relaxed);
+  }
+  int shard_count() const { return static_cast<int>(shards_.size()); }
   SimulatedDisk* disk() { return disk_; }
 
  private:
   friend class PinnedPage;
+
+  /// Auto-sharding knobs: a shard per this many capacity pages, capped.
+  static constexpr int64_t kShardCapacityFloor = 256;
+  static constexpr int kMaxShards = 16;
 
   struct Entry {
     Page page;
@@ -108,18 +141,30 @@ class BufferPool {
     int pins = 0;
   };
 
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<PageId, Entry> cache;
+    std::list<PageId> lru;  // front = most recent
+  };
+
+  Shard& ShardFor(PageId id) {
+    return *shards_[static_cast<size_t>(id) % shards_.size()];
+  }
+
   void Unpin(PageId id);
-  /// Evicts least-recently-used unpinned entries until at most `target`
-  /// remain (or only pinned entries are left).
-  void EvictDownTo(int64_t target);
+  /// Evicts least-recently-used unpinned entries of `shard` until at most
+  /// `target` remain (or only pinned entries are left). Caller holds the
+  /// shard mutex.
+  void EvictDownTo(Shard* shard, int64_t target);
+  /// Reads `id` from disk with bounded retry (no locks held).
+  Status ReadWithRetry(PageId id, Page* image);
 
   SimulatedDisk* disk_;
-  int64_t capacity_;
-  std::unordered_map<PageId, Entry> cache_;
-  std::list<PageId> lru_;  // front = most recent
-  int64_t hits_ = 0;
-  int64_t misses_ = 0;
-  int64_t pinned_pages_ = 0;
+  int64_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> pinned_pages_{0};
   int max_read_attempts_ = 3;
 };
 

@@ -102,6 +102,7 @@ class SimulatedDisk {
 
   /// Number of allocated pages (excluding the reserved null page).
   int64_t page_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
     return static_cast<int64_t>(pages_.size());
   }
   int64_t allocated_bytes() const { return page_count() * kPageSize; }
@@ -114,7 +115,12 @@ class SimulatedDisk {
   /// Writes a page image, charging the I/O model.
   Status WritePage(PageId id, const Page& page);
 
-  const IoStats& stats() const { return stats_; }
+  /// Snapshot of the accumulated I/O statistics, taken under the disk lock
+  /// so readers never observe a torn update from a concurrent scan worker.
+  IoStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
   void ResetStats() {
     std::lock_guard<std::mutex> lock(mutex_);
     stats_ = IoStats{};

@@ -77,11 +77,13 @@ class Table {
     return tree_.CollectLeafPages();
   }
 
-  /// Opens a cursor over a slice of the leaf pages through `pool` (each
-  /// parallel worker brings its own pool).
+  /// Opens a cursor over a slice of the leaf pages through `pool` — one
+  /// morsel of a parallel scan, usually against the shared pool with a
+  /// sequential readahead window.
   Result<BTree::ChunkCursor> ScanChunk(BufferPool* pool,
-                                       std::vector<PageId> pages) const {
-    return tree_.ScanChunk(pool, std::move(pages));
+                                       std::vector<PageId> pages,
+                                       int readahead_pages = 0) const {
+    return tree_.ScanChunk(pool, std::move(pages), readahead_pages);
   }
 
   /// Opens a stream over an out-of-page blob value.

@@ -168,6 +168,7 @@ Status RegisterAggregateUdfs(FunctionRegistry* registry) {
     f.arity = 2;
     f.boundary = Boundary::kClr;
     f.managed_work_ns = 2000;
+    f.needs_subquery = true;
     f.fn = [dtype](std::span<const Value> args,
                    UdfContext& ctx) -> Result<Value> {
       if (ctx.subquery == nullptr || !*ctx.subquery) {
