@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "common/crc32c.h"
 #include "storage/disk.h"
 
@@ -87,7 +88,9 @@ void Run() {
 }  // namespace
 }  // namespace sqlarray::bench
 
-int main() {
+int main(int argc, char** argv) {
+  sqlarray::bench::ParseBenchArgs(argc, argv);
   sqlarray::bench::Run();
+  sqlarray::bench::FlushJson();
   return 0;
 }

@@ -97,9 +97,11 @@ BENCHMARK(BM_SvdThroughUdf)->Arg(16)->Arg(32);
 }  // namespace sqlarray::bench
 
 int main(int argc, char** argv) {
+  sqlarray::bench::ParseBenchArgs(argc, argv);
   sqlarray::bench::Banner("M1", "math bindings: aligned FFT plans, zero-copy "
                                 "LAPACK marshaling");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  sqlarray::bench::FlushJson();
   return 0;
 }

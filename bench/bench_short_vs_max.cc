@@ -117,8 +117,10 @@ BENCHMARK(BM_MaxSubarrayStreamed);
 }  // namespace sqlarray::bench
 
 int main(int argc, char** argv) {
+  sqlarray::bench::ParseBenchArgs(argc, argv);
   sqlarray::bench::Banner("A1", "short (on-page) vs max (out-of-page) access");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  sqlarray::bench::FlushJson();
   return 0;
 }

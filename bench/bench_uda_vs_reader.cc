@@ -85,7 +85,9 @@ void Run() {
 }  // namespace
 }  // namespace sqlarray::bench
 
-int main() {
+int main(int argc, char** argv) {
+  sqlarray::bench::ParseBenchArgs(argc, argv);
   sqlarray::bench::Run();
+  sqlarray::bench::FlushJson();
   return 0;
 }

@@ -102,8 +102,10 @@ void PrintDecomposition() {
 }  // namespace sqlarray::bench
 
 int main(int argc, char** argv) {
+  sqlarray::bench::ParseBenchArgs(argc, argv);
   sqlarray::bench::PrintDecomposition();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  sqlarray::bench::FlushJson();
   return 0;
 }

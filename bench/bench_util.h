@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "common/status.h"
 #include "core/array.h"
 #include "engine/exec.h"
+#include "obs/metrics.h"
 #include "sql/session.h"
 #include "storage/table.h"
 #include "udfs/register.h"
@@ -121,11 +123,12 @@ inline void Banner(const char* id, const char* title) {
 }
 
 // ---------------------------------------------------------------------------
-// Machine-readable results: pass `--json out.json` to any bench and every
-// RecordJson call is written to that file as a JSON array of
-// {"bench": ..., "case": ..., "wall_s": ..., "throughput": ...} records.
-// Throughput units are bench-specific (rows/s or elements/s); wall_s is
-// measured wall time for the case.
+// Machine-readable results: pass `--json out.json` to any bench and FlushJson
+// writes {"records": [...], "metrics": {...}} — every RecordJson call as a
+// {"bench": ..., "case": ..., "wall_s": ..., "throughput": ...} record, plus
+// a final MetricsRegistry snapshot (engine-wide counters such as
+// storage.disk.pages_read and core.dispatch.kernel). Throughput units are
+// bench-specific (rows/s or elements/s); wall_s is measured wall time.
 // ---------------------------------------------------------------------------
 
 struct JsonRecord {
@@ -190,16 +193,25 @@ inline void FlushJson() {
                  sink.path.c_str());
     std::abort();
   }
-  std::fprintf(f, "[\n");
+  std::fprintf(f, "{\n  \"records\": [\n");
   for (size_t i = 0; i < sink.records.size(); ++i) {
     const JsonRecord& r = sink.records[i];
     std::fprintf(f,
-                 "  {\"bench\": \"%s\", \"case\": \"%s\", \"wall_s\": %.9g, "
+                 "    {\"bench\": \"%s\", \"case\": \"%s\", \"wall_s\": %.9g, "
                  "\"throughput\": %.9g}%s\n",
                  JsonEscape(r.bench).c_str(), JsonEscape(r.case_name).c_str(),
                  r.wall_s, r.throughput, i + 1 < sink.records.size() ? "," : "");
   }
-  std::fprintf(f, "]\n");
+  std::fprintf(f, "  ],\n  \"metrics\": {\n");
+  const std::map<std::string, int64_t> metrics =
+      obs::MetricsRegistry::Global().Snapshot().values();
+  size_t emitted = 0;
+  for (const auto& [name, value] : metrics) {
+    std::fprintf(f, "    \"%s\": %lld%s\n", JsonEscape(name).c_str(),
+                 static_cast<long long>(value),
+                 ++emitted < metrics.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
   std::fclose(f);
   std::printf("wrote %zu JSON records to %s\n", sink.records.size(),
               sink.path.c_str());

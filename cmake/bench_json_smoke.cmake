@@ -1,0 +1,41 @@
+# Runs one bench with --json and asserts the output is valid JSON with the
+# expected top-level shape: {"records": [...], "metrics": {...}}. Invoked as
+#   cmake -DBENCH_EXE=... -DJSON_OUT=... [-DEXTRA_ARGS=...] -P bench_json_smoke.cmake
+# Uses cmake's string(JSON) (3.19+), so the shape check runs without any
+# external JSON tooling in the image.
+if(NOT DEFINED BENCH_EXE OR NOT DEFINED JSON_OUT)
+  message(FATAL_ERROR "bench_json_smoke.cmake requires -DBENCH_EXE and -DJSON_OUT")
+endif()
+
+separate_arguments(extra_args UNIX_COMMAND "${EXTRA_ARGS}")
+execute_process(
+  COMMAND ${BENCH_EXE} --json ${JSON_OUT} ${extra_args}
+  RESULT_VARIABLE run_result)
+if(NOT run_result EQUAL 0)
+  message(FATAL_ERROR "${BENCH_EXE} exited with ${run_result}")
+endif()
+
+if(NOT EXISTS ${JSON_OUT})
+  message(FATAL_ERROR "${BENCH_EXE} did not write ${JSON_OUT}")
+endif()
+file(READ ${JSON_OUT} json_text)
+
+string(JSON records_type ERROR_VARIABLE json_err TYPE "${json_text}" records)
+if(json_err)
+  message(FATAL_ERROR "${JSON_OUT}: no 'records' member or invalid JSON: ${json_err}")
+endif()
+if(NOT records_type STREQUAL "ARRAY")
+  message(FATAL_ERROR "${JSON_OUT}: 'records' is ${records_type}, expected ARRAY")
+endif()
+
+string(JSON metrics_type ERROR_VARIABLE json_err TYPE "${json_text}" metrics)
+if(json_err)
+  message(FATAL_ERROR "${JSON_OUT}: no 'metrics' member: ${json_err}")
+endif()
+if(NOT metrics_type STREQUAL "OBJECT")
+  message(FATAL_ERROR "${JSON_OUT}: 'metrics' is ${metrics_type}, expected OBJECT")
+endif()
+
+string(JSON n_records LENGTH "${json_text}" records)
+string(JSON n_metrics LENGTH "${json_text}" metrics)
+message(STATUS "${JSON_OUT}: ${n_records} records, ${n_metrics} metrics — OK")

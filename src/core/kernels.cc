@@ -5,8 +5,21 @@
 #include <type_traits>
 
 #include "common/bytes.h"
+#include "obs/metrics.h"
 
 namespace sqlarray::kernels {
+
+void CountKernelDispatch() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("core.dispatch.kernel");
+  c->Add(1);
+}
+
+void CountBoxedDispatch() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("core.dispatch.boxed");
+  c->Add(1);
+}
 
 namespace {
 

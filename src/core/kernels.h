@@ -43,6 +43,13 @@ namespace sqlarray::kernels {
 /// Complex and datetime always take the boxed fallback.
 bool IsKernelDType(DType t);
 
+/// Dispatch-tier accounting: each Lookup* caller reports which tier the
+/// batch op actually took, bumping the engine-wide "core.dispatch.kernel" /
+/// "core.dispatch.boxed" counters (one relaxed increment per BATCH, not per
+/// element). EXPLAIN ANALYZE reconciles these against registry deltas.
+void CountKernelDispatch();
+void CountBoxedDispatch();
+
 /// Result dtype of an element-wise binary op after promotion (integer
 /// division promotes to float64, like the boxed path).
 DType BinaryOutDType(BinOp op, DType lhs, DType rhs);

@@ -94,7 +94,11 @@ Result<double> AggregateAll(const ArrayRef& a, AggKind kind) {
   if (kind == AggKind::kSum || kind == AggKind::kMean ||
       kind == AggKind::kCount) {
     kernels::SumKernelFn fn = kernels::LookupSum(a.dtype());
-    if (fn == nullptr) return AggregateAllBoxed(a, kind);
+    if (fn == nullptr) {
+      kernels::CountBoxedDispatch();
+      return AggregateAllBoxed(a, kind);
+    }
+    kernels::CountKernelDispatch();
     const int64_t n = a.num_elements();
     if (kind == AggKind::kCount) return static_cast<double>(n);
     if (kind == AggKind::kMean && n == 0) {
@@ -104,7 +108,11 @@ Result<double> AggregateAll(const ArrayRef& a, AggKind kind) {
     return kind == AggKind::kSum ? sum : sum / static_cast<double>(n);
   }
   kernels::ReduceKernelFn fn = kernels::LookupReduce(a.dtype());
-  if (fn == nullptr) return AggregateAllBoxed(a, kind);
+  if (fn == nullptr) {
+    kernels::CountBoxedDispatch();
+    return AggregateAllBoxed(a, kind);
+  }
+  kernels::CountKernelDispatch();
   kernels::ReduceStats stats;
   fn(a.payload().data(), a.num_elements(), &stats);
   return FinishStats(stats, kind);

@@ -52,7 +52,11 @@ Result<OwnedArray> ConvertDTypeBoxed(const ArrayRef& a, DType target) {
 Result<OwnedArray> ConvertDType(const ArrayRef& a, DType target) {
   if (target == a.dtype()) return OwnedArray::CopyOf(a);
   kernels::CastKernelFn fn = kernels::LookupCast(a.dtype(), target);
-  if (fn == nullptr) return ConvertDTypeBoxed(a, target);
+  if (fn == nullptr) {
+    kernels::CountBoxedDispatch();
+    return ConvertDTypeBoxed(a, target);
+  }
+  kernels::CountKernelDispatch();
   SQLARRAY_ASSIGN_OR_RETURN(OwnedArray out,
                             OwnedArray::Zeros(target, a.dims()));
   SQLARRAY_RETURN_IF_ERROR(

@@ -129,7 +129,11 @@ Result<OwnedArray> ElementwiseBinary(const ArrayRef& lhs, const ArrayRef& rhs,
   SQLARRAY_RETURN_IF_ERROR(CheckSameShape(lhs, rhs));
   kernels::BinaryKernelFn fn =
       kernels::LookupBinary(op, lhs.dtype(), rhs.dtype());
-  if (fn == nullptr) return ElementwiseBinaryBoxed(lhs, rhs, op);
+  if (fn == nullptr) {
+    kernels::CountBoxedDispatch();
+    return ElementwiseBinaryBoxed(lhs, rhs, op);
+  }
+  kernels::CountKernelDispatch();
   DType out_dtype = kernels::BinaryOutDType(op, lhs.dtype(), rhs.dtype());
   SQLARRAY_ASSIGN_OR_RETURN(OwnedArray out,
                             OwnedArray::Zeros(out_dtype, lhs.dims()));
@@ -169,7 +173,11 @@ Result<OwnedArray> ElementwiseScalarBoxed(const ArrayRef& a, double scalar,
 Result<OwnedArray> ElementwiseScalar(const ArrayRef& a, double scalar,
                                      BinOp op) {
   kernels::ScalarKernelFn fn = kernels::LookupScalar(op, a.dtype());
-  if (fn == nullptr) return ElementwiseScalarBoxed(a, scalar, op);
+  if (fn == nullptr) {
+    kernels::CountBoxedDispatch();
+    return ElementwiseScalarBoxed(a, scalar, op);
+  }
+  kernels::CountKernelDispatch();
   SQLARRAY_ASSIGN_OR_RETURN(OwnedArray out,
                             OwnedArray::Zeros(DType::kFloat64, a.dims()));
   SQLARRAY_RETURN_IF_ERROR(fn(a.payload().data(), scalar,
@@ -209,7 +217,11 @@ Result<std::complex<double>> Dot(const ArrayRef& a, const ArrayRef& b) {
   // Kernel tier covers all four float32/float64 pairings (the old fast path
   // only handled float64 x float64).
   kernels::DotKernelFn fn = kernels::LookupDot(a.dtype(), b.dtype());
-  if (fn == nullptr) return DotBoxed(a, b);
+  if (fn == nullptr) {
+    kernels::CountBoxedDispatch();
+    return DotBoxed(a, b);
+  }
+  kernels::CountKernelDispatch();
   return std::complex<double>(
       fn(a.payload().data(), b.payload().data(), a.num_elements()), 0);
 }
@@ -226,7 +238,11 @@ Result<double> Norm2Boxed(const ArrayRef& a) {
 
 Result<double> Norm2(const ArrayRef& a) {
   kernels::SumSqKernelFn fn = kernels::LookupSumSq(a.dtype());
-  if (fn == nullptr) return Norm2Boxed(a);
+  if (fn == nullptr) {
+    kernels::CountBoxedDispatch();
+    return Norm2Boxed(a);
+  }
+  kernels::CountKernelDispatch();
   return std::sqrt(fn(a.payload().data(), a.num_elements()));
 }
 

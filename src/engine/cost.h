@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <string>
 
 #include "storage/disk.h"
 
@@ -43,9 +45,24 @@ struct CostModel {
 /// Statistics for one executed query.
 struct QueryStats {
   int64_t rows_scanned = 0;
+  /// Rows surviving the WHERE filter (== rows_scanned when there is none).
+  int64_t rows_kept = 0;
+  /// Native aggregate accumulation steps (the native_agg_step_ns charges).
+  int64_t agg_steps = 0;
   int64_t udf_calls = 0;
   int64_t udf_bytes_marshaled = 0;
   int64_t uda_state_bytes = 0;
+  /// Boundary-cost attribution for one "schema.function".
+  struct UdfFnStats {
+    int64_t calls = 0;
+    int64_t bytes = 0;
+    double cpu_ns = 0;
+  };
+  /// Per-function attribution, keyed by "schema.function" (lower-cased as
+  /// registered). Populated only when track_udf_detail is set — profiled
+  /// runs — so the per-call hot path stays one branch otherwise.
+  std::map<std::string, UdfFnStats> udf_by_fn;
+  bool track_udf_detail = false;
   /// Modeled CPU work in core-seconds (sum across all workers).
   double cpu_core_seconds = 0;
   /// I/O deltas attributed to this query.

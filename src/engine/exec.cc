@@ -6,10 +6,12 @@
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <utility>
 
 #include "common/bytes.h"
 #include "common/stopwatch.h"
 #include "engine/batch.h"
+#include "obs/trace.h"
 
 namespace sqlarray::engine {
 
@@ -18,6 +20,36 @@ Result<Value> ResultSet::ScalarResult() const {
     return Status::InvalidArgument("result is not a single scalar");
   }
   return rows[0][0];
+}
+
+SubqueryScope::SubqueryScope(Executor* executor, SubqueryFn fn)
+    : executor_(executor),
+      fn_(std::make_unique<SubqueryFn>(std::move(fn))) {
+  executor_->subquery_fn_ = fn_.get();
+}
+
+SubqueryScope& SubqueryScope::operator=(SubqueryScope&& o) noexcept {
+  Release();
+  executor_ = std::exchange(o.executor_, nullptr);
+  fn_ = std::move(o.fn_);
+  return *this;
+}
+
+bool SubqueryScope::active() const {
+  return executor_ != nullptr && fn_ != nullptr &&
+         executor_->subquery_fn_ == fn_.get();
+}
+
+void SubqueryScope::Release() {
+  // Only uninstall if the executor still points at THIS scope's function —
+  // a scope displaced by a newer install must not tear the newer one down.
+  if (active()) executor_->subquery_fn_ = nullptr;
+  executor_ = nullptr;
+  fn_.reset();
+}
+
+SubqueryScope Executor::InstallSubqueryRunner(SubqueryFn fn) {
+  return SubqueryScope(this, std::move(fn));
 }
 
 Result<Value> Executor::EvalStandalone(const Expr& expr,
@@ -84,8 +116,15 @@ Result<std::vector<std::vector<Value>>> Executor::MaterializeTvf(
   if (stats != nullptr) {
     // The hosted TVF streams every produced row across the CLR boundary.
     stats->udf_calls++;
-    stats->ChargeCpuNs(cost_.clr_call_ns +
-                       cost_.tvf_row_ns * static_cast<double>(rows.size()));
+    double charge_ns =
+        cost_.clr_call_ns + cost_.tvf_row_ns * static_cast<double>(rows.size());
+    stats->ChargeCpuNs(charge_ns);
+    if (stats->track_udf_detail) {
+      QueryStats::UdfFnStats& d =
+          stats->udf_by_fn[q.tvf->schema + "." + q.tvf->name];
+      d.calls++;
+      d.cpu_ns += charge_ns;
+    }
   }
   return rows;
 }
@@ -322,10 +361,18 @@ constexpr int kMorselReadahead = 4;
 
 void MergeStats(QueryStats* into, const QueryStats& part) {
   into->rows_scanned += part.rows_scanned;
+  into->rows_kept += part.rows_kept;
+  into->agg_steps += part.agg_steps;
   into->udf_calls += part.udf_calls;
   into->udf_bytes_marshaled += part.udf_bytes_marshaled;
   into->uda_state_bytes += part.uda_state_bytes;
   into->cpu_core_seconds += part.cpu_core_seconds;
+  for (const auto& [fn, d] : part.udf_by_fn) {
+    QueryStats::UdfFnStats& dst = into->udf_by_fn[fn];
+    dst.calls += d.calls;
+    dst.bytes += d.bytes;
+    dst.cpu_ns += d.cpu_ns;
+  }
 }
 
 /// Partial result of one morsel of an ungrouped aggregation.
@@ -342,10 +389,12 @@ struct AggPartial {
 Status AggregateChunk(const Query& q, const CostModel& cost,
                       std::map<std::string, Value>* variables,
                       storage::BufferPool* pool, int batch_rows,
-                      storage::BTree::ChunkCursor cursor, AggPartial* out) {
+                      bool udf_detail, storage::BTree::ChunkCursor cursor,
+                      AggPartial* out) {
   const size_t n_items = q.items.size();
   out->states.resize(n_items);
   out->plain.resize(n_items);
+  out->stats.track_udf_detail = udf_detail;
 
   UdfContext udf;
   udf.pool = pool;
@@ -379,6 +428,7 @@ Status AggregateChunk(const Query& q, const CostModel& cost,
       }
       SQLARRAY_RETURN_IF_ERROR(FilterBatch(q, &bctx, &keep_col, &sel));
       if (sel.empty()) continue;
+      out->stats.rows_kept += static_cast<int64_t>(sel.size());
       for (size_t i = 0; i < n_items; ++i) {
         const SelectItem& item = q.items[i];
         AggState& st = out->states[i];
@@ -398,6 +448,7 @@ Status AggregateChunk(const Query& q, const CostModel& cost,
         bctx.sel = &sel;
         SQLARRAY_RETURN_IF_ERROR(EvalBatch(*item.expr, bctx, &col));
         for (const Value& v : col) {
+          out->stats.agg_steps++;
           out->stats.ChargeCpuNs(cost.native_agg_step_ns);
           SQLARRAY_RETURN_IF_ERROR(AccumulateNative(item.agg, v, &st));
         }
@@ -424,6 +475,7 @@ Status AggregateChunk(const Query& q, const CostModel& cost,
       keep_row = truthy != 0;
     }
     if (keep_row) {
+      out->stats.rows_kept++;
       for (size_t i = 0; i < n_items; ++i) {
         const SelectItem& item = q.items[i];
         AggState& st = out->states[i];
@@ -438,6 +490,7 @@ Status AggregateChunk(const Query& q, const CostModel& cost,
           st.count++;
           continue;
         }
+        out->stats.agg_steps++;
         out->stats.ChargeCpuNs(cost.native_agg_step_ns);
         SQLARRAY_ASSIGN_OR_RETURN(Value v, Eval(*item.expr, ctx));
         SQLARRAY_RETURN_IF_ERROR(AccumulateNative(item.agg, v, &st));
@@ -480,6 +533,7 @@ Status GroupByChunk(const Query& q, const CostModel& cost,
       keep_row = truthy != 0;
     }
     if (keep_row) {
+      stats->rows_kept++;
       std::string key;
       std::vector<Value> key_vals;
       for (const ExprPtr& g : q.group_by) {
@@ -507,6 +561,7 @@ Status GroupByChunk(const Query& q, const CostModel& cost,
           st.count++;
           continue;
         }
+        stats->agg_steps++;
         stats->ChargeCpuNs(cost.native_agg_step_ns);
         SQLARRAY_ASSIGN_OR_RETURN(Value v, Eval(*item.expr, ctx));
         SQLARRAY_RETURN_IF_ERROR(AccumulateNative(item.agg, v, &st));
@@ -560,6 +615,7 @@ Status RowsChunk(const Query& q, const CostModel& cost,
       }
       SQLARRAY_RETURN_IF_ERROR(FilterBatch(q, &bctx, &keep_col, &sel));
       if (sel.empty()) continue;
+      stats->rows_kept += static_cast<int64_t>(sel.size());
       bctx.sel = &sel;
       ColumnGuard guard(&arena);
       std::vector<std::vector<Value>*> cols;
@@ -599,6 +655,7 @@ Status RowsChunk(const Query& q, const CostModel& cost,
       keep_row = truthy != 0;
     }
     if (keep_row) {
+      stats->rows_kept++;
       std::vector<Value> row;
       row.reserve(n_items);
       for (const SelectItem& item : q.items) {
@@ -616,16 +673,46 @@ Status RowsChunk(const Query& q, const CostModel& cost,
 
 Result<ResultSet> Executor::Execute(const Query& q,
                                     std::map<std::string, Value>* variables) {
+  return Execute(q, variables, nullptr);
+}
+
+Result<ResultSet> Executor::Execute(const Query& q,
+                                    std::map<std::string, Value>* variables,
+                                    QueryContext* qctx) {
+  if (qctx == nullptr) return ExecuteInternal(q, variables, nullptr);
+  // Bind the statement's serial lane for the whole execution; morsel bodies
+  // rebind their worker thread to per-morsel lanes underneath this.
+  obs::ScopedTrace serial_lane(&qctx->trace, obs::kSerialLane);
+  SQLARRAY_SPAN("exec.query");
+  storage::BufferPool::Stats pool_before = db_->buffer_pool()->Snapshot();
+  obs::MetricsSnapshot metrics_before;
+  if (qctx->collect_profile) {
+    metrics_before = obs::MetricsRegistry::Global().Snapshot();
+  }
+  SQLARRAY_ASSIGN_OR_RETURN(ResultSet rs,
+                            ExecuteInternal(q, variables, qctx));
+  qctx->stats = rs.stats;
+  if (qctx->collect_profile) {
+    BuildProfile(q, rs, pool_before, metrics_before, qctx);
+  }
+  return rs;
+}
+
+Result<ResultSet> Executor::ExecuteInternal(
+    const Query& q, std::map<std::string, Value>* variables,
+    QueryContext* qctx) {
   if (q.table == nullptr && q.tvf == nullptr) {
     // FROM-less SELECT: evaluate each item once.
     ResultSet rs;
+    rs.stats.track_udf_detail = qctx != nullptr && qctx->collect_profile;
+    SQLARRAY_SPAN("exec.eval");
     std::vector<Value> row;
     for (const SelectItem& item : q.items) {
       if (item.agg != SelectItem::AggKind::kNone) {
         return Status::InvalidArgument("aggregate without a FROM clause");
       }
-      SQLARRAY_ASSIGN_OR_RETURN(Value v,
-                                EvalStandalone(*item.expr, variables));
+      SQLARRAY_ASSIGN_OR_RETURN(
+          Value v, EvalStandalone(*item.expr, variables, &rs.stats));
       row.push_back(std::move(v));
       rs.columns.push_back(item.label);
     }
@@ -642,20 +729,98 @@ Result<ResultSet> Executor::Execute(const Query& q,
                       item.agg != SelectItem::AggKind::kNone;
       }
       if (parallel_ok) return ExecuteAggregateStaticChunk(q, variables);
-      return ExecuteAggregate(q, variables);
+      return ExecuteAggregate(q, variables, qctx);
     }
     // Eligible aggregations always take the morsel plan — at 1 worker it
     // runs inline, so results are bit-identical at every worker count.
     if (MorselEligible(q)) {
-      if (q.group_by.empty()) return ExecuteAggregateMorsel(q, variables);
-      return ExecuteGroupByMorsel(q, variables);
+      if (q.group_by.empty()) {
+        return ExecuteAggregateMorsel(q, variables, qctx);
+      }
+      return ExecuteGroupByMorsel(q, variables, qctx);
     }
-    return ExecuteAggregate(q, variables);
+    return ExecuteAggregate(q, variables, qctx);
   }
   if (parallel_mode_ == ParallelMode::kMorsel && MorselEligible(q)) {
-    return ExecuteRowsMorsel(q, variables);
+    return ExecuteRowsMorsel(q, variables, qctx);
   }
-  return ExecuteRows(q, variables);
+  return ExecuteRows(q, variables, qctx);
+}
+
+void Executor::BuildProfile(const Query& q, const ResultSet& rs,
+                            const storage::BufferPool::Stats& pool_before,
+                            const obs::MetricsSnapshot& metrics_before,
+                            QueryContext* qctx) {
+  const QueryStats& stats = rs.stats;
+  obs::MetricsSnapshot now = obs::MetricsRegistry::Global().Snapshot();
+  storage::BufferPool::Stats pool_now = db_->buffer_pool()->Snapshot();
+
+  // The plan label is derived from the query shape alone — never from which
+  // code path happened to run — so the tree is identical at every worker
+  // count and batch size.
+  const bool from_less = q.table == nullptr && q.tvf == nullptr;
+  const bool has_agg = HasAggregates(q) || !q.group_by.empty();
+  const char* plan = from_less ? "values"
+                     : has_agg
+                         ? (q.group_by.empty() ? "aggregate" : "group-by")
+                         : "project";
+
+  obs::ProfileNode* root = qctx->profile.mutable_root();
+  root->op = "select";
+  root->detail = plan;
+  root->counters.rows_out = static_cast<int64_t>(rs.rows.size());
+  root->counters.udf_calls = stats.udf_calls;
+  root->counters.udf_bytes = stats.udf_bytes_marshaled;
+  root->counters.kernel_dispatches =
+      now.Delta(metrics_before, "core.dispatch.kernel");
+  root->counters.boxed_dispatches =
+      now.Delta(metrics_before, "core.dispatch.boxed");
+  root->counters.modeled_seconds = stats.ModeledSeconds(cost_);
+  root->counters.wall_seconds = stats.wall_seconds;
+
+  obs::ProfileNode* parent = root;
+  if (!from_less) {
+    if (has_agg) {
+      obs::ProfileNode* agg =
+          parent->AddChild(q.group_by.empty() ? "aggregate" : "group-by");
+      agg->counters.rows_in = stats.rows_kept;
+      agg->counters.rows_out = static_cast<int64_t>(rs.rows.size());
+      agg->counters.modeled_seconds = static_cast<double>(stats.agg_steps) *
+                                      cost_.native_agg_step_ns * 1e-9;
+      agg->counters.wall_seconds =
+          static_cast<double>(qctx->trace.TotalWallNs("exec.merge")) * 1e-9;
+      parent = agg;
+    }
+    if (q.where != nullptr) {
+      obs::ProfileNode* filter = parent->AddChild("filter");
+      filter->counters.rows_in = stats.rows_scanned;
+      filter->counters.rows_out = stats.rows_kept;
+      parent = filter;
+    }
+    obs::ProfileNode* scan = parent->AddChild(
+        "scan", q.table != nullptr
+                    ? q.table->name()
+                    : "tvf " + q.tvf->schema + "." + q.tvf->name);
+    scan->counters.rows_out = stats.rows_scanned;
+    scan->counters.pages_read = stats.io.pages_read;
+    scan->counters.cache_hits = pool_now.hits - pool_before.hits;
+    scan->counters.cache_misses = pool_now.misses - pool_before.misses;
+    scan->counters.modeled_seconds =
+        static_cast<double>(stats.rows_scanned) * cost_.row_scan_ns * 1e-9;
+    scan->counters.wall_seconds =
+        static_cast<double>(qctx->trace.TotalWallNs("exec.scan") +
+                            qctx->trace.TotalWallNs("exec.scan.morsel")) *
+        1e-9;
+  }
+
+  // UDF boundary attribution: one child of the root per "schema.function",
+  // in key order (std::map) so the shape is deterministic.
+  for (const auto& [fn, d] : stats.udf_by_fn) {
+    obs::ProfileNode* udf = root->AddChild("udf", fn);
+    udf->counters.udf_calls = d.calls;
+    udf->counters.udf_bytes = d.bytes;
+    udf->counters.modeled_seconds = d.cpu_ns * 1e-9;
+  }
 }
 
 bool Executor::MorselEligible(const Query& q) const {
@@ -671,12 +836,15 @@ bool Executor::MorselEligible(const Query& q) const {
 }
 
 Result<ResultSet> Executor::ExecuteAggregate(
-    const Query& q, std::map<std::string, Value>* variables) {
+    const Query& q, std::map<std::string, Value>* variables,
+    QueryContext* qctx) {
   if (batch_rows_ > 1 && CanBatchAggregate(q)) {
-    return ExecuteAggregateBatched(q, variables);
+    return ExecuteAggregateBatched(q, variables, qctx);
   }
   ResultSet rs;
+  rs.stats.track_udf_detail = qctx != nullptr && qctx->collect_profile;
   Stopwatch watch;
+  SQLARRAY_SPAN("exec.scan");
   storage::IoStats io_before = db_->disk()->stats();
 
   // Validate: plain items must appear in GROUP BY position-wise (we accept
@@ -737,6 +905,7 @@ Result<ResultSet> Executor::ExecuteAggregate(
         continue;
       }
     }
+    rs.stats.rows_kept++;
 
     // Group key.
     std::string key;
@@ -777,6 +946,7 @@ Result<ResultSet> Executor::ExecuteAggregate(
         case SelectItem::AggKind::kMin:
         case SelectItem::AggKind::kMax:
         case SelectItem::AggKind::kAvg: {
+          rs.stats.agg_steps++;
           rs.stats.ChargeCpuNs(cost_.native_agg_step_ns);
           SQLARRAY_ASSIGN_OR_RETURN(Value v, Eval(*item.expr, ctx));
           SQLARRAY_RETURN_IF_ERROR(AccumulateNative(item.agg, v, &st));
@@ -806,9 +976,17 @@ Result<ResultSet> Executor::ExecuteAggregate(
           int64_t state_bytes = static_cast<int64_t>(st.uda_state.size());
           rs.stats.uda_state_bytes += 2 * state_bytes;
           rs.stats.udf_calls++;
-          rs.stats.ChargeCpuNs(cost_.clr_call_ns +
-                               2.0 * cost_.uda_state_byte_ns *
-                                   static_cast<double>(state_bytes));
+          double uda_charge_ns = cost_.clr_call_ns +
+                                 2.0 * cost_.uda_state_byte_ns *
+                                     static_cast<double>(state_bytes);
+          rs.stats.ChargeCpuNs(uda_charge_ns);
+          if (rs.stats.track_udf_detail) {
+            QueryStats::UdfFnStats& d =
+                rs.stats.udf_by_fn[item.uda_schema + "." + item.uda_name];
+            d.calls++;
+            d.bytes += 2 * state_bytes;
+            d.cpu_ns += uda_charge_ns;
+          }
           SQLARRAY_ASSIGN_OR_RETURN(
               st.uda_state,
               st.uda->Accumulate(st.uda_state, row_args, ctx.udf));
@@ -864,9 +1042,12 @@ Result<ResultSet> Executor::ExecuteAggregate(
 
 
 Result<ResultSet> Executor::ExecuteAggregateBatched(
-    const Query& q, std::map<std::string, Value>* variables) {
+    const Query& q, std::map<std::string, Value>* variables,
+    QueryContext* qctx) {
   ResultSet rs;
+  rs.stats.track_udf_detail = qctx != nullptr && qctx->collect_profile;
   Stopwatch watch;
+  SQLARRAY_SPAN("exec.scan");
   storage::IoStats io_before = db_->disk()->stats();
   for (const SelectItem& item : q.items) rs.columns.push_back(item.label);
   const size_t n_items = q.items.size();
@@ -919,6 +1100,7 @@ Result<ResultSet> Executor::ExecuteAggregateBatched(
 
     SQLARRAY_RETURN_IF_ERROR(FilterBatch(q, &bctx, &keep_col, &sel));
     if (sel.empty()) continue;
+    rs.stats.rows_kept += static_cast<int64_t>(sel.size());
 
     for (size_t i = 0; i < n_items; ++i) {
       const SelectItem& item = q.items[i];
@@ -941,6 +1123,7 @@ Result<ResultSet> Executor::ExecuteAggregateBatched(
       bctx.sel = &sel;
       SQLARRAY_RETURN_IF_ERROR(EvalBatch(*item.expr, bctx, &col));
       for (const Value& v : col) {
+        rs.stats.agg_steps++;
         rs.stats.ChargeCpuNs(cost_.native_agg_step_ns);
         SQLARRAY_RETURN_IF_ERROR(AccumulateNative(item.agg, v, &st));
       }
@@ -1169,16 +1352,22 @@ void Executor::RunOnWorkers(int workers, const std::function<void(int)>& fn) {
 }
 
 Status Executor::RunMorselScan(
-    size_t n_pages, size_t morsel_pages, int workers,
+    size_t n_pages, size_t morsel_pages, int workers, QueryContext* qctx,
     const std::function<Status(const Morsel&)>& body) {
   MorselQueue queue(n_pages, morsel_pages, workers);
   if (queue.morsel_count() == 0) return Status::OK();
   std::vector<Status> morsel_status(queue.morsel_count());
   std::atomic<bool> abort{false};
+  obs::TraceSink* trace = qctx != nullptr ? &qctx->trace : nullptr;
   RunOnWorkers(workers, [&](int w) {
     Morsel m;
     while (queue.Next(w, &m)) {
       if (abort.load(std::memory_order_relaxed)) break;
+      // Each morsel's spans land on a lane equal to its morsel index, so
+      // the stitched trace is a pure function of the grid — not of which
+      // worker (or how many) ran it.
+      obs::ScopedTrace lane(trace, static_cast<int64_t>(m.index));
+      SQLARRAY_SPAN("exec.scan.morsel");
       Status st = body(m);
       if (!st.ok()) {
         // Each morsel index is handed out once, so this write is unshared.
@@ -1195,12 +1384,15 @@ Status Executor::RunMorselScan(
 }
 
 Result<ResultSet> Executor::ExecuteAggregateMorsel(
-    const Query& q, std::map<std::string, Value>* variables) {
+    const Query& q, std::map<std::string, Value>* variables,
+    QueryContext* qctx) {
   ResultSet rs;
+  rs.stats.track_udf_detail = qctx != nullptr && qctx->collect_profile;
   Stopwatch watch;
   storage::IoStats io_before = db_->disk()->stats();
   for (const SelectItem& item : q.items) rs.columns.push_back(item.label);
   const size_t n_items = q.items.size();
+  const bool udf_detail = rs.stats.track_udf_detail;
 
   SQLARRAY_ASSIGN_OR_RETURN(
       MorselPlanInfo plan,
@@ -1208,7 +1400,7 @@ Result<ResultSet> Executor::ExecuteAggregateMorsel(
   std::vector<AggPartial> partials(plan.n_morsels);
 
   SQLARRAY_RETURN_IF_ERROR(RunMorselScan(
-      plan.pages.size(), plan.morsel_pages, plan.workers,
+      plan.pages.size(), plan.morsel_pages, plan.workers, qctx,
       [&](const Morsel& m) -> Status {
         std::vector<storage::PageId> chunk(plan.pages.begin() + m.page_begin,
                                            plan.pages.begin() + m.page_end);
@@ -1217,12 +1409,13 @@ Result<ResultSet> Executor::ExecuteAggregateMorsel(
             q.table->ScanChunk(db_->buffer_pool(), std::move(chunk),
                                kMorselReadahead));
         return AggregateChunk(q, cost_, variables, db_->buffer_pool(),
-                              batch_rows_, std::move(cursor),
+                              batch_rows_, udf_detail, std::move(cursor),
                               &partials[m.index]);
       }));
 
   // Fold partials in morsel-index order — the deterministic merge that
   // makes results (float sums included) independent of the worker count.
+  SQLARRAY_SPAN("exec.merge");
   std::vector<AggState> merged(n_items);
   std::vector<Value> plain(n_items);
   bool plain_filled = false;
@@ -1255,8 +1448,10 @@ Result<ResultSet> Executor::ExecuteAggregateMorsel(
 }
 
 Result<ResultSet> Executor::ExecuteGroupByMorsel(
-    const Query& q, std::map<std::string, Value>* variables) {
+    const Query& q, std::map<std::string, Value>* variables,
+    QueryContext* qctx) {
   ResultSet rs;
+  rs.stats.track_udf_detail = qctx != nullptr && qctx->collect_profile;
   Stopwatch watch;
   storage::IoStats io_before = db_->disk()->stats();
   for (const SelectItem& item : q.items) rs.columns.push_back(item.label);
@@ -1270,9 +1465,12 @@ Result<ResultSet> Executor::ExecuteGroupByMorsel(
     QueryStats stats;
   };
   std::vector<GroupPartial> partials(plan.n_morsels);
+  for (GroupPartial& p : partials) {
+    p.stats.track_udf_detail = rs.stats.track_udf_detail;
+  }
 
   SQLARRAY_RETURN_IF_ERROR(RunMorselScan(
-      plan.pages.size(), plan.morsel_pages, plan.workers,
+      plan.pages.size(), plan.morsel_pages, plan.workers, qctx,
       [&](const Morsel& m) -> Status {
         std::vector<storage::PageId> chunk(plan.pages.begin() + m.page_begin,
                                            plan.pages.begin() + m.page_end);
@@ -1288,6 +1486,7 @@ Result<ResultSet> Executor::ExecuteGroupByMorsel(
   // Merge the per-morsel partial hash tables in morsel-index order. The
   // final std::map iterates groups in serialized-key order — exactly the
   // serial path's output order.
+  SQLARRAY_SPAN("exec.merge");
   std::map<std::string, GroupAcc> groups;
   for (GroupPartial& p : partials) {
     for (auto& [key, g] : p.groups) {
@@ -1327,8 +1526,10 @@ Result<ResultSet> Executor::ExecuteGroupByMorsel(
 }
 
 Result<ResultSet> Executor::ExecuteRowsMorsel(
-    const Query& q, std::map<std::string, Value>* variables) {
+    const Query& q, std::map<std::string, Value>* variables,
+    QueryContext* qctx) {
   ResultSet rs;
+  rs.stats.track_udf_detail = qctx != nullptr && qctx->collect_profile;
   Stopwatch watch;
   storage::IoStats io_before = db_->disk()->stats();
   for (const SelectItem& item : q.items) rs.columns.push_back(item.label);
@@ -1341,6 +1542,9 @@ Result<ResultSet> Executor::ExecuteRowsMorsel(
     QueryStats stats;
   };
   std::vector<RowsPartial> partials(plan.n_morsels);
+  for (RowsPartial& p : partials) {
+    p.stats.track_udf_detail = rs.stats.track_udf_detail;
+  }
 
   // TOP short-circuit token: `frontier` counts consecutive completed
   // morsels from 0 and `prefix_rows` their surviving rows. A worker may
@@ -1362,7 +1566,7 @@ Result<ResultSet> Executor::ExecuteRowsMorsel(
   };
 
   SQLARRAY_RETURN_IF_ERROR(RunMorselScan(
-      plan.pages.size(), plan.morsel_pages, plan.workers,
+      plan.pages.size(), plan.morsel_pages, plan.workers, qctx,
       [&](const Morsel& m) -> Status {
         RowsPartial& out = partials[m.index];
         if (q.top >= 0 &&
@@ -1386,6 +1590,7 @@ Result<ResultSet> Executor::ExecuteRowsMorsel(
       }));
 
   // Gather per-morsel buffers in page order, truncated at TOP.
+  SQLARRAY_SPAN("exec.merge");
   for (RowsPartial& p : partials) {
     for (std::vector<Value>& row : p.rows) {
       if (q.top >= 0 && static_cast<int64_t>(rs.rows.size()) >= q.top) break;
@@ -1399,15 +1604,18 @@ Result<ResultSet> Executor::ExecuteRowsMorsel(
   return rs;
 }
 
-Result<ResultSet> Executor::ExecuteRows(
-    const Query& q, std::map<std::string, Value>* variables) {
+Result<ResultSet> Executor::ExecuteRows(const Query& q,
+                                        std::map<std::string, Value>* variables,
+                                        QueryContext* qctx) {
   // TOP queries stay row-at-a-time: gathering a whole batch past the limit
   // would inflate rows_scanned relative to the early-exit row loop.
   if (batch_rows_ > 1 && q.table != nullptr && q.top < 0) {
-    return ExecuteRowsBatched(q, variables);
+    return ExecuteRowsBatched(q, variables, qctx);
   }
   ResultSet rs;
+  rs.stats.track_udf_detail = qctx != nullptr && qctx->collect_profile;
   Stopwatch watch;
+  SQLARRAY_SPAN("exec.scan");
   storage::IoStats io_before = db_->disk()->stats();
 
   for (const SelectItem& item : q.items) rs.columns.push_back(item.label);
@@ -1460,6 +1668,7 @@ Result<ResultSet> Executor::ExecuteRows(
         continue;
       }
     }
+    rs.stats.rows_kept++;
 
     std::vector<Value> row;
     row.reserve(q.items.size());
@@ -1476,9 +1685,12 @@ Result<ResultSet> Executor::ExecuteRows(
 }
 
 Result<ResultSet> Executor::ExecuteRowsBatched(
-    const Query& q, std::map<std::string, Value>* variables) {
+    const Query& q, std::map<std::string, Value>* variables,
+    QueryContext* qctx) {
   ResultSet rs;
+  rs.stats.track_udf_detail = qctx != nullptr && qctx->collect_profile;
   Stopwatch watch;
+  SQLARRAY_SPAN("exec.scan");
   storage::IoStats io_before = db_->disk()->stats();
   for (const SelectItem& item : q.items) rs.columns.push_back(item.label);
   const size_t n_items = q.items.size();
@@ -1527,6 +1739,7 @@ Result<ResultSet> Executor::ExecuteRowsBatched(
 
     SQLARRAY_RETURN_IF_ERROR(FilterBatch(q, &bctx, &keep_col, &sel));
     if (sel.empty()) continue;
+    rs.stats.rows_kept += static_cast<int64_t>(sel.size());
     bctx.sel = &sel;
 
     // Evaluate every item column, then stitch output rows together.

@@ -18,9 +18,45 @@
 #include "engine/cost.h"
 #include "engine/expr.h"
 #include "engine/parallel.h"
+#include "engine/query_context.h"
+#include "obs/metrics.h"
+#include "storage/buffer_pool.h"
 #include "storage/table.h"
 
 namespace sqlarray::engine {
+
+class Executor;
+
+/// RAII installation of the session's subquery runner (how reader-style
+/// UDFs pull rows). The scope OWNS the function; the executor only points
+/// at it while the scope (or the scope it was moved into) is alive, and the
+/// destructor uninstalls it — replacing the old raw-pointer
+/// install/uninstall pairing whose Session-destructor ordering was a
+/// use-after-free hazard. Move-only; a later install displaces an earlier
+/// one (the displaced scope's destructor then does nothing).
+class SubqueryScope {
+ public:
+  SubqueryScope() = default;
+  SubqueryScope(SubqueryScope&& o) noexcept { *this = std::move(o); }
+  SubqueryScope& operator=(SubqueryScope&& o) noexcept;
+  SubqueryScope(const SubqueryScope&) = delete;
+  SubqueryScope& operator=(const SubqueryScope&) = delete;
+  ~SubqueryScope() { Release(); }
+
+  /// True while this scope's runner is (still) installed.
+  bool active() const;
+  /// Uninstalls early (no-op if displaced or never installed).
+  void Release();
+
+ private:
+  friend class Executor;
+  SubqueryScope(Executor* executor, SubqueryFn fn);
+
+  Executor* executor_ = nullptr;
+  /// Heap-allocated so moving the scope never invalidates the executor's
+  /// pointer to the function.
+  std::unique_ptr<SubqueryFn> fn_;
+};
 
 /// One SELECT-list item: either a plain expression (a group key or a
 /// row-mode projection) or a single aggregate over an argument expression.
@@ -86,8 +122,9 @@ class Executor {
   CostModel* mutable_cost_model() { return &cost_; }
 
   /// Installs the session's subquery runner so reader-style UDFs can pull
-  /// rows (null to clear).
-  void set_subquery_runner(const SubqueryFn* fn) { subquery_fn_ = fn; }
+  /// rows, for exactly the lifetime of the returned scope. Only one runner
+  /// is active at a time; installing another displaces the previous scope.
+  [[nodiscard]] SubqueryScope InstallSubqueryRunner(SubqueryFn fn);
 
   /// Degree of parallelism for eligible scans (table source, no UDA, no
   /// reader-style UDF): ungrouped aggregates, GROUP BY, and row-mode
@@ -135,18 +172,43 @@ class Executor {
   Result<ResultSet> Execute(const Query& q,
                             std::map<std::string, Value>* variables);
 
+  /// Runs a bound query under a statement context: stats are copied into
+  /// qctx->stats, trace spans are recorded into qctx->trace (with morsel
+  /// work on per-morsel lanes), and — when qctx->collect_profile is set —
+  /// the operator profile tree is built into qctx->profile. Null qctx is
+  /// equivalent to the two-argument overload.
+  Result<ResultSet> Execute(const Query& q,
+                            std::map<std::string, Value>* variables,
+                            QueryContext* qctx);
+
  private:
+  friend class SubqueryScope;
+
+  /// The Execute dispatch (plan selection); qctx may be null.
+  Result<ResultSet> ExecuteInternal(const Query& q,
+                                    std::map<std::string, Value>* variables,
+                                    QueryContext* qctx);
+  /// Builds qctx->profile from the executed query, the result's stats, the
+  /// buffer-pool and registry deltas spanning the execution, and the trace.
+  void BuildProfile(const Query& q, const ResultSet& rs,
+                    const storage::BufferPool::Stats& pool_before,
+                    const obs::MetricsSnapshot& metrics_before,
+                    QueryContext* qctx);
   Result<ResultSet> ExecuteAggregate(const Query& q,
-                                     std::map<std::string, Value>* variables);
+                                     std::map<std::string, Value>* variables,
+                                     QueryContext* qctx);
   /// Batched ungrouped aggregation (no UDAs): gathers row blocks and
   /// evaluates WHERE / aggregate arguments column-wise.
   Result<ResultSet> ExecuteAggregateBatched(
-      const Query& q, std::map<std::string, Value>* variables);
+      const Query& q, std::map<std::string, Value>* variables,
+      QueryContext* qctx);
   Result<ResultSet> ExecuteRows(const Query& q,
-                                std::map<std::string, Value>* variables);
+                                std::map<std::string, Value>* variables,
+                                QueryContext* qctx);
   /// Batched row-mode scan (no TOP limit).
   Result<ResultSet> ExecuteRowsBatched(
-      const Query& q, std::map<std::string, Value>* variables);
+      const Query& q, std::map<std::string, Value>* variables,
+      QueryContext* qctx);
   /// Evaluates a TVF source's arguments and materializes its rows, charging
   /// the boundary costs.
   Result<std::vector<std::vector<Value>>> MaterializeTvf(
@@ -159,18 +221,24 @@ class Executor {
   /// Morsel-driven ungrouped native aggregation (plain items allowed,
   /// first-surviving-row semantics).
   Result<ResultSet> ExecuteAggregateMorsel(
-      const Query& q, std::map<std::string, Value>* variables);
+      const Query& q, std::map<std::string, Value>* variables,
+      QueryContext* qctx);
   /// Morsel-driven GROUP BY: per-morsel partial hash aggregation merged in
   /// morsel-index order.
   Result<ResultSet> ExecuteGroupByMorsel(
-      const Query& q, std::map<std::string, Value>* variables);
+      const Query& q, std::map<std::string, Value>* variables,
+      QueryContext* qctx);
   /// Morsel-driven row-mode scan: per-morsel result buffers gathered in
   /// page order; TOP short-circuits through a shared row-count token.
   Result<ResultSet> ExecuteRowsMorsel(const Query& q,
-                                      std::map<std::string, Value>* variables);
+                                      std::map<std::string, Value>* variables,
+                                      QueryContext* qctx);
   /// Runs `body` over every morsel of the grid on `workers` pool threads
   /// (inline when workers == 1); returns the first failure in morsel order.
+  /// Each body invocation runs under a trace lane equal to its morsel index
+  /// when qctx is given, so spans stitch deterministically.
   Status RunMorselScan(size_t n_pages, size_t morsel_pages, int workers,
+                       QueryContext* qctx,
                        const std::function<Status(const Morsel&)>& body);
   /// Dispatches fn to the persistent pool (inline at 1 worker).
   void RunOnWorkers(int workers, const std::function<void(int)>& fn);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace sqlarray::engine {
 
 // ---------------------------------------------------------------------------
@@ -143,6 +145,9 @@ bool MorselQueue::Next(int worker, Morsel* out) {
     if (s.morsels.empty()) continue;  // raced; rescan victims
     *out = MakeMorsel(s.morsels.back());
     s.morsels.pop_back();
+    static obs::Counter* steals =
+        obs::MetricsRegistry::Global().GetCounter("exec.morsel.steals");
+    steals->Add(1);
     return true;
   }
 }

@@ -1,0 +1,28 @@
+// Per-statement execution context: stats + profile + trace in one owner.
+//
+// The redesign seam of ISSUE 4: instead of threading a bare QueryStats
+// pointer through ad-hoc APIs (and saving/restoring Session::last_stats_
+// around nested subqueries), every statement owns one QueryContext for its
+// lifetime. The executor fills stats, records trace spans into the sink,
+// and — when collect_profile is set — builds the operator profile tree that
+// EXPLAIN ANALYZE renders as a result set. Nested work (reader-style UDF
+// subqueries) runs under its own context and is merged into the enclosing
+// one explicitly by the caller, never by mutating shared session state.
+#pragma once
+
+#include "engine/cost.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+
+namespace sqlarray::engine {
+
+struct QueryContext {
+  QueryStats stats;
+  obs::QueryProfile profile;
+  obs::TraceSink trace;
+  /// Build the operator profile tree (EXPLAIN ANALYZE). Also switches on
+  /// per-function UDF boundary attribution in the stats.
+  bool collect_profile = false;
+};
+
+}  // namespace sqlarray::engine

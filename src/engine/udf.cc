@@ -100,10 +100,17 @@ Result<Value> FunctionRegistry::Invoke(const ScalarFunction& fn,
     for (const Value& v : args) arg_bytes += v.ByteSize();
     ctx.stats->udf_calls++;
     ctx.stats->udf_bytes_marshaled += arg_bytes;
-    ctx.stats->ChargeCpuNs(ctx.cost->clr_call_ns +
-                           ctx.cost->clr_byte_ns *
-                               static_cast<double>(arg_bytes) +
-                           fn.managed_work_ns);
+    double charge_ns = ctx.cost->clr_call_ns +
+                       ctx.cost->clr_byte_ns * static_cast<double>(arg_bytes) +
+                       fn.managed_work_ns;
+    ctx.stats->ChargeCpuNs(charge_ns);
+    if (ctx.stats->track_udf_detail) {
+      QueryStats::UdfFnStats& d =
+          ctx.stats->udf_by_fn[fn.schema + "." + fn.name];
+      d.calls++;
+      d.bytes += arg_bytes;
+      d.cpu_ns += charge_ns;
+    }
   }
   SQLARRAY_ASSIGN_OR_RETURN(Value out, fn.fn(args, ctx));
   if (fn.boundary == Boundary::kClr && ctx.stats != nullptr &&
@@ -111,8 +118,14 @@ Result<Value> FunctionRegistry::Invoke(const ScalarFunction& fn,
     // Result marshaling back across the boundary.
     int64_t out_bytes = out.ByteSize();
     ctx.stats->udf_bytes_marshaled += out_bytes;
-    ctx.stats->ChargeCpuNs(ctx.cost->clr_byte_ns *
-                           static_cast<double>(out_bytes));
+    double charge_ns = ctx.cost->clr_byte_ns * static_cast<double>(out_bytes);
+    ctx.stats->ChargeCpuNs(charge_ns);
+    if (ctx.stats->track_udf_detail) {
+      QueryStats::UdfFnStats& d =
+          ctx.stats->udf_by_fn[fn.schema + "." + fn.name];
+      d.bytes += out_bytes;
+      d.cpu_ns += charge_ns;
+    }
   }
   return out;
 }

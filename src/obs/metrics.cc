@@ -1,0 +1,52 @@
+#include "obs/metrics.h"
+
+namespace sqlarray::obs {
+
+int Histogram::BucketOf(int64_t sample) {
+  if (sample <= 1) return 0;
+  int b = 64 - __builtin_clzll(static_cast<uint64_t>(sample));
+  return b < kBuckets ? b : kBuckets - 1;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) snap.values_[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.values_[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    snap.values_[name + ".count"] = h->count();
+    snap.values_[name + ".sum"] = h->sum();
+  }
+  return snap;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Intentionally leaked: instrument handles cached in other translation
+  // units (function-local statics, member pointers) must stay valid through
+  // static destruction.
+  static MetricsRegistry* global = new MetricsRegistry();
+  return *global;
+}
+
+}  // namespace sqlarray::obs

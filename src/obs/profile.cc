@@ -1,0 +1,45 @@
+#include "obs/profile.h"
+
+namespace sqlarray::obs {
+
+ProfileNode* ProfileNode::AddChild(std::string child_op,
+                                   std::string child_detail) {
+  ProfileNode node;
+  node.op = std::move(child_op);
+  node.detail = std::move(child_detail);
+  children.push_back(std::move(node));
+  return &children.back();
+}
+
+namespace {
+
+void FlattenInto(const ProfileNode& node, int depth,
+                 std::vector<ProfileRow>* out) {
+  ProfileRow row;
+  row.op = std::string(static_cast<size_t>(depth) * 2, ' ') + node.op;
+  row.detail = node.detail;
+  row.counters = node.counters;
+  out->push_back(std::move(row));
+  for (const ProfileNode& child : node.children) {
+    FlattenInto(child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::vector<ProfileRow> FlattenProfile(const QueryProfile& profile) {
+  std::vector<ProfileRow> rows;
+  if (!profile.empty()) FlattenInto(profile.root(), 0, &rows);
+  return rows;
+}
+
+const std::vector<std::string>& ProfileColumns() {
+  static const std::vector<std::string> kColumns = {
+      "operator",    "detail",       "rows_in",      "rows_out",
+      "pages_read",  "cache_hits",   "cache_misses", "udf_calls",
+      "udf_bytes",   "kernel_calls", "boxed_calls",  "modeled_ms",
+      "wall_ms"};
+  return kColumns;
+}
+
+}  // namespace sqlarray::obs

@@ -1,0 +1,78 @@
+// Per-query operator profile tree — the data behind EXPLAIN ANALYZE.
+//
+// Each node is one operator of the executed plan (scan, filter, aggregate,
+// per-function UDF attribution) carrying the counters the paper's
+// evaluation reasons about: rows in/out, pages read, cache hits/misses, UDF
+// boundary crossings and marshaled bytes, kernel-vs-boxed dispatch counts,
+// and per-operator modeled and measured time. Everything except the wall
+// times is deterministic — a pure function of the query and the data, never
+// of the worker count (ISSUE 4's determinism contract; tests/test_obs.cc
+// enforces it byte for byte across worker counts).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sqlarray::obs {
+
+/// Counters of one profile node. Zero-valued fields are still rendered so
+/// EXPLAIN ANALYZE output keeps a stable shape.
+struct OpCounters {
+  int64_t rows_in = 0;
+  int64_t rows_out = 0;
+  int64_t pages_read = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t udf_calls = 0;
+  int64_t udf_bytes = 0;
+  int64_t kernel_dispatches = 0;
+  int64_t boxed_dispatches = 0;
+  /// Modeled time. Deterministic for pure-CPU operators; the root's value
+  /// includes the simulated disk's virtual read clock, which is stateful
+  /// across queries (distance-dependent seeks), so the timing suffix as a
+  /// whole is excluded from golden comparisons.
+  double modeled_seconds = 0;
+  /// Measured; always nondeterministic.
+  double wall_seconds = 0;
+};
+
+/// One operator in the profile tree.
+struct ProfileNode {
+  std::string op;      ///< operator kind, e.g. "scan", "group-by", "udf"
+  std::string detail;  ///< operator argument, e.g. table or function name
+  OpCounters counters;
+  std::vector<ProfileNode> children;
+
+  ProfileNode* AddChild(std::string child_op, std::string child_detail = "");
+};
+
+/// The profile of one executed statement (root = the statement itself).
+class QueryProfile {
+ public:
+  ProfileNode* mutable_root() { return &root_; }
+  const ProfileNode& root() const { return root_; }
+  bool empty() const { return root_.op.empty() && root_.children.empty(); }
+
+ private:
+  ProfileNode root_;
+};
+
+/// One flattened row of the tree: preorder, op indented two spaces per
+/// depth level — the EXPLAIN ANALYZE output shape.
+struct ProfileRow {
+  std::string op;
+  std::string detail;
+  OpCounters counters;
+};
+
+std::vector<ProfileRow> FlattenProfile(const QueryProfile& profile);
+
+/// The stable EXPLAIN ANALYZE column keys, in output order. The timing
+/// suffix (modeled_ms, wall_ms) comes last so "all columns before the last
+/// two" is the deterministic prefix: wall_ms is measured, and modeled_ms
+/// folds in the simulated disk's virtual clock, whose distance-dependent
+/// seek model is stateful across queries.
+const std::vector<std::string>& ProfileColumns();
+
+}  // namespace sqlarray::obs

@@ -1,0 +1,85 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace sqlarray::obs {
+
+namespace {
+
+thread_local TraceSink::Buffer* tls_buffer = nullptr;
+
+}  // namespace
+
+TraceSink::Buffer* TraceSink::OpenBuffer(int64_t lane) {
+  auto buf = std::make_unique<Buffer>();
+  buf->lane = lane;
+  Buffer* raw = buf.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.push_back(std::move(buf));
+  return raw;
+}
+
+std::vector<TraceSpan> TraceSink::Stitched() const {
+  std::vector<TraceSpan> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::unique_ptr<Buffer>& buf : buffers_) {
+      out.insert(out.end(), buf->spans.begin(), buf->spans.end());
+    }
+  }
+  // Stable: spans within one lane keep buffer-registration + open order.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceSpan& a, const TraceSpan& b) {
+                     return a.lane < b.lane;
+                   });
+  return out;
+}
+
+double TraceSink::TotalWallNs(const std::string& name) const {
+  double total = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::unique_ptr<Buffer>& buf : buffers_) {
+    for (const TraceSpan& span : buf->spans) {
+      if (span.name == name) total += span.wall_ns;
+    }
+  }
+  return total;
+}
+
+int64_t TraceSink::span_count() const {
+  int64_t n = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::unique_ptr<Buffer>& buf : buffers_) {
+    n += static_cast<int64_t>(buf->spans.size());
+  }
+  return n;
+}
+
+ScopedTrace::ScopedTrace(TraceSink* sink, int64_t lane) : prev_(tls_buffer) {
+  tls_buffer = sink != nullptr ? sink->OpenBuffer(lane) : nullptr;
+}
+
+ScopedTrace::~ScopedTrace() { tls_buffer = prev_; }
+
+SpanGuard::SpanGuard(const char* name) : buf_(tls_buffer) {
+  if (buf_ == nullptr) return;
+  TraceSpan span;
+  span.name = name;
+  span.lane = buf_->lane;
+  span.seq = buf_->next_seq++;
+  span.depth = buf_->depth++;
+  slot_ = buf_->spans.size();
+  buf_->spans.push_back(std::move(span));
+  start_ = std::chrono::steady_clock::now();
+}
+
+SpanGuard::~SpanGuard() {
+  if (buf_ == nullptr) return;
+  buf_->depth--;
+  buf_->spans[slot_].wall_ns =
+      std::chrono::duration<double, std::nano>(
+          std::chrono::steady_clock::now() - start_)
+          .count();
+}
+
+}  // namespace sqlarray::obs

@@ -1,0 +1,112 @@
+// RAII trace spans with deterministic stitching across parallel workers.
+//
+// SQLARRAY_SPAN("exec.scan") opens a span on the thread's currently bound
+// trace lane; the guard records the span's name, lane, per-lane sequence
+// number, and nesting depth at open, and its wall time at close. Binding is
+// thread-local and scoped (ScopedTrace), so instrumented code needs no
+// plumbing — and costs one thread-local load plus a branch when tracing is
+// off (no sink bound).
+//
+// Determinism contract: a span's (lane, seq, depth, name) is a pure
+// function of the WORK, never of the schedule. Serial execution runs in
+// lane kSerialLane; the executor binds each morsel's work to
+// lane == morsel index, and every morsel is processed by exactly one worker
+// (the work-stealing queue hands each index out once), so per-lane
+// sequences are well defined no matter which thread ran the morsel or how
+// many workers exist. Stitched() orders spans by (lane, seq) — byte-
+// identical at any worker count; only wall_ns varies between runs and is
+// excluded from the contract.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sqlarray::obs {
+
+/// Lane id of work not attributed to a morsel (the query's serial spine).
+inline constexpr int64_t kSerialLane = -1;
+
+/// One closed (or still-open) span.
+struct TraceSpan {
+  std::string name;
+  int64_t lane = kSerialLane;  ///< morsel index, or kSerialLane
+  int64_t seq = 0;             ///< open order within the lane
+  int depth = 0;               ///< nesting depth within the lane
+  double wall_ns = 0;          ///< measured; excluded from determinism
+};
+
+/// Collects spans for one query. Each ScopedTrace binding gets a private
+/// buffer (no contention between workers beyond one registration lock per
+/// morsel); Stitched() merges them deterministically. Call Stitched() only
+/// after parallel work has joined.
+class TraceSink {
+ public:
+  struct Buffer {
+    int64_t lane = kSerialLane;
+    int64_t next_seq = 0;
+    int depth = 0;
+    std::vector<TraceSpan> spans;
+  };
+
+  TraceSink() = default;
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Registers a fresh buffer for one binding (stable address).
+  Buffer* OpenBuffer(int64_t lane);
+
+  /// All spans ordered by (lane, seq); buffers sharing a lane keep their
+  /// registration order (only the serial lane is ever bound twice, and its
+  /// bindings are made serially, so this order is deterministic too).
+  std::vector<TraceSpan> Stitched() const;
+
+  /// Sum of wall_ns over spans with exactly this name.
+  double TotalWallNs(const std::string& name) const;
+
+  int64_t span_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+};
+
+/// Binds `sink`/`lane` to the calling thread for the scope's lifetime
+/// (restoring the previous binding on destruction). A null sink makes every
+/// SQLARRAY_SPAN in scope a no-op.
+class ScopedTrace {
+ public:
+  ScopedTrace(TraceSink* sink, int64_t lane);
+  ~ScopedTrace();
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  TraceSink::Buffer* prev_;
+};
+
+/// Opens a span on the bound lane for the enclosing scope. Prefer the
+/// SQLARRAY_SPAN macro.
+class SpanGuard {
+ public:
+  explicit SpanGuard(const char* name);
+  ~SpanGuard();
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+ private:
+  TraceSink::Buffer* buf_;  ///< null when no sink is bound
+  size_t slot_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+#define SQLARRAY_SPAN_CONCAT2(a, b) a##b
+#define SQLARRAY_SPAN_CONCAT(a, b) SQLARRAY_SPAN_CONCAT2(a, b)
+#define SQLARRAY_SPAN(name)                                       \
+  ::sqlarray::obs::SpanGuard SQLARRAY_SPAN_CONCAT(sqlarray_span_, \
+                                                  __LINE__)(name)
+
+}  // namespace sqlarray::obs

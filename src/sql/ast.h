@@ -83,9 +83,25 @@ struct DeleteStmt {
   engine::ExprPtr where;  ///< null deletes every row
 };
 
+/// EXPLAIN ANALYZE select — executes the statement and returns its operator
+/// profile tree as the result set (plain EXPLAIN without execution is not
+/// supported; this engine has no standalone plan-only mode).
+struct ExplainStmt {
+  bool analyze = false;
+  SelectStmt select;
+};
+
 /// A parsed statement.
 struct Statement {
-  enum class Kind { kSelect, kDeclare, kSet, kCreateTable, kInsert, kDelete };
+  enum class Kind {
+    kSelect,
+    kDeclare,
+    kSet,
+    kCreateTable,
+    kInsert,
+    kDelete,
+    kExplain
+  };
   Kind kind = Kind::kSelect;
   SelectStmt select;
   DeclareStmt declare;
@@ -93,6 +109,7 @@ struct Statement {
   CreateTableStmt create_table;
   InsertStmt insert;
   DeleteStmt del;
+  ExplainStmt explain;
 };
 
 /// A parsed batch of statements.

@@ -115,6 +115,22 @@ class Parser {
       stmt.kind = Statement::Kind::kDelete;
       return stmt;
     }
+    if (AcceptKeyword("EXPLAIN")) {
+      // EXPLAIN is contextual: only meaningful in statement-leading
+      // position, so it stays usable as an identifier elsewhere.
+      if (!AcceptKeyword("ANALYZE")) {
+        return Status::InvalidArgument(
+            "EXPLAIN requires ANALYZE (plan-only EXPLAIN is not supported)");
+      }
+      if (!AtKeyword("SELECT")) {
+        return Status::InvalidArgument(
+            "EXPLAIN ANALYZE requires a SELECT statement");
+      }
+      SQLARRAY_ASSIGN_OR_RETURN(stmt.explain.select, ParseSelect());
+      stmt.explain.analyze = true;
+      stmt.kind = Statement::Kind::kExplain;
+      return stmt;
+    }
     return Status::InvalidArgument("unrecognized statement at offset " +
                                    std::to_string(Cur().offset));
   }

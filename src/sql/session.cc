@@ -135,11 +135,13 @@ std::string DefaultLabel(const Expr& e, size_t index) {
 
 }  // namespace
 
-Result<std::vector<engine::ResultSet>> Session::Execute(std::string_view sqltext) {
+Result<std::vector<engine::ResultSet>> Session::ExecuteScript(
+    std::string_view sqltext, bool update_session_stats) {
   SQLARRAY_ASSIGN_OR_RETURN(Script script, Parse(sqltext));
   std::vector<engine::ResultSet> results;
   for (Statement& stmt : script) {
-    SQLARRAY_RETURN_IF_ERROR(RunStatement(stmt, &results));
+    SQLARRAY_RETURN_IF_ERROR(
+        RunStatement(stmt, &results, update_session_stats));
   }
   return results;
 }
@@ -153,7 +155,8 @@ Result<engine::Value> Session::GetVariable(const std::string& name) const {
 }
 
 Status Session::RunStatement(Statement& stmt,
-                             std::vector<engine::ResultSet>* results) {
+                             std::vector<engine::ResultSet>* results,
+                             bool update_session_stats) {
   switch (stmt.kind) {
     case Statement::Kind::kDeclare: {
       Value init;
@@ -170,10 +173,11 @@ Status Session::RunStatement(Statement& stmt,
     case Statement::Kind::kSet: {
       SQLARRAY_RETURN_IF_ERROR(engine::BindExpr(stmt.set.value.get(), nullptr,
                                                 executor_->registry()));
-      last_stats_ = engine::QueryStats{};
+      engine::QueryContext qctx;
       SQLARRAY_ASSIGN_OR_RETURN(
           Value v, executor_->EvalStandalone(*stmt.set.value, &variables_,
-                                             &last_stats_));
+                                             &qctx.stats));
+      if (update_session_stats) last_stats_ = qctx.stats;
       if (variables_.count(stmt.set.name) == 0) {
         return Status::NotFound("undeclared variable @" + stmt.set.name);
       }
@@ -181,18 +185,21 @@ Status Session::RunStatement(Statement& stmt,
       return Status::OK();
     }
     case Statement::Kind::kSelect:
-      return RunSelect(stmt.select, results);
+      return RunSelect(stmt.select, results, update_session_stats);
     case Statement::Kind::kCreateTable:
       return RunCreateTable(stmt.create_table);
     case Statement::Kind::kInsert:
-      return RunInsert(stmt.insert);
+      return RunInsert(stmt.insert, update_session_stats);
     case Statement::Kind::kDelete:
-      return RunDelete(stmt.del);
+      return RunDelete(stmt.del, update_session_stats);
+    case Statement::Kind::kExplain:
+      return RunExplain(stmt.explain, results, update_session_stats);
   }
   return Status::Internal("unreachable statement kind");
 }
 
-Result<engine::ResultSet> Session::ExecuteSelect(SelectStmt& sel) {
+Result<engine::ResultSet> Session::ExecuteSelect(SelectStmt& sel,
+                                                 engine::QueryContext* qctx) {
   engine::Query q;
   if (sel.from_is_tvf) {
     SQLARRAY_ASSIGN_OR_RETURN(
@@ -258,8 +265,7 @@ Result<engine::ResultSet> Session::ExecuteSelect(SelectStmt& sel) {
 
   SQLARRAY_RETURN_IF_ERROR(executor_->Bind(&q));
   SQLARRAY_ASSIGN_OR_RETURN(engine::ResultSet rs,
-                            executor_->Execute(q, &variables_));
-  last_stats_ = rs.stats;
+                            executor_->Execute(q, &variables_, qctx));
 
   if (!sel.order_by.empty()) {
     std::vector<std::pair<int, bool>> keys;
@@ -307,17 +313,56 @@ Result<engine::ResultSet> Session::ExecuteSelect(SelectStmt& sel) {
 }
 
 Status Session::RunSelect(SelectStmt& sel,
-                          std::vector<engine::ResultSet>* results) {
+                          std::vector<engine::ResultSet>* results,
+                          bool update_session_stats) {
   bool has_assignment = false;
   for (const SelectListItem& item : sel.items) {
     if (!item.assign_var.empty()) has_assignment = true;
   }
-  SQLARRAY_ASSIGN_OR_RETURN(engine::ResultSet rs, ExecuteSelect(sel));
+  engine::QueryContext qctx;
+  SQLARRAY_ASSIGN_OR_RETURN(engine::ResultSet rs, ExecuteSelect(sel, &qctx));
+  if (update_session_stats) last_stats_ = qctx.stats;
   if (!has_assignment) results->push_back(std::move(rs));
   return Status::OK();
 }
 
-Status Session::RunDelete(DeleteStmt& del) {
+Status Session::RunExplain(ExplainStmt& stmt,
+                           std::vector<engine::ResultSet>* results,
+                           bool update_session_stats) {
+  engine::QueryContext qctx;
+  qctx.collect_profile = true;
+  SQLARRAY_RETURN_IF_ERROR(ExecuteSelect(stmt.select, &qctx).status());
+  if (update_session_stats) last_stats_ = qctx.stats;
+
+  // Render the profile tree as a result set: one row per operator in
+  // preorder, the stable ProfileColumns() keys, wall_ms last (the only
+  // nondeterministic column).
+  engine::ResultSet out;
+  out.columns = obs::ProfileColumns();
+  for (const obs::ProfileRow& row : obs::FlattenProfile(qctx.profile)) {
+    const obs::OpCounters& c = row.counters;
+    std::vector<Value> cells;
+    cells.push_back(Value::Str(row.op));
+    cells.push_back(Value::Str(row.detail));
+    cells.push_back(Value::Int(c.rows_in));
+    cells.push_back(Value::Int(c.rows_out));
+    cells.push_back(Value::Int(c.pages_read));
+    cells.push_back(Value::Int(c.cache_hits));
+    cells.push_back(Value::Int(c.cache_misses));
+    cells.push_back(Value::Int(c.udf_calls));
+    cells.push_back(Value::Int(c.udf_bytes));
+    cells.push_back(Value::Int(c.kernel_dispatches));
+    cells.push_back(Value::Int(c.boxed_dispatches));
+    cells.push_back(Value::Double(c.modeled_seconds * 1e3));
+    cells.push_back(Value::Double(c.wall_seconds * 1e3));
+    out.rows.push_back(std::move(cells));
+  }
+  out.stats = qctx.stats;
+  results->push_back(std::move(out));
+  return Status::OK();
+}
+
+Status Session::RunDelete(DeleteStmt& del, bool update_session_stats) {
   SQLARRAY_ASSIGN_OR_RETURN(storage::Table * table,
                             executor_->db()->GetTable(del.table));
   // Collect matching clustered keys with a scan, then delete them — the
@@ -335,9 +380,10 @@ Status Session::RunDelete(DeleteStmt& del) {
     q.where = std::move(del.where);
   }
   SQLARRAY_RETURN_IF_ERROR(executor_->Bind(&q));
+  engine::QueryContext qctx;
   SQLARRAY_ASSIGN_OR_RETURN(engine::ResultSet rs,
-                            executor_->Execute(q, &variables_));
-  last_stats_ = rs.stats;
+                            executor_->Execute(q, &variables_, &qctx));
+  if (update_session_stats) last_stats_ = qctx.stats;
   for (const std::vector<Value>& row : rs.rows) {
     SQLARRAY_ASSIGN_OR_RETURN(int64_t key, row[0].AsInt());
     SQLARRAY_ASSIGN_OR_RETURN(bool removed, table->Delete(key));
@@ -361,7 +407,7 @@ Status Session::RunCreateTable(const CreateTableStmt& ct) {
   return Status::OK();
 }
 
-Status Session::RunInsert(InsertStmt& ins) {
+Status Session::RunInsert(InsertStmt& ins, bool update_session_stats) {
   SQLARRAY_ASSIGN_OR_RETURN(storage::Table * table,
                             executor_->db()->GetTable(ins.table));
   const storage::Schema& schema = table->schema();
@@ -369,8 +415,10 @@ Status Session::RunInsert(InsertStmt& ins) {
   if (ins.select != nullptr) {
     // INSERT INTO ... SELECT: materialize the query, convert each output
     // row to the target schema.
+    engine::QueryContext qctx;
     SQLARRAY_ASSIGN_OR_RETURN(engine::ResultSet rs,
-                              ExecuteSelect(*ins.select));
+                              ExecuteSelect(*ins.select, &qctx));
+    if (update_session_stats) last_stats_ = qctx.stats;
     if (static_cast<int>(rs.columns.size()) != schema.num_columns()) {
       return Status::InvalidArgument(
           "INSERT ... SELECT arity does not match the table schema");

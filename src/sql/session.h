@@ -20,35 +20,38 @@ class Session {
  public:
   explicit Session(engine::Executor* executor) : executor_(executor) {
     // Wire up the subquery runner so reader-style UDFs (ConcatQuery) can
-    // pull rows through this session.
-    subquery_fn_ = [this](const std::string& sqltext)
-        -> Result<engine::SubqueryResult> {
-      // A nested query must not clobber the outer statement's stats (the
-      // caller merges the subquery's stats into its own context).
-      engine::QueryStats saved = last_stats_;
-      auto results_or = Execute(sqltext);
-      last_stats_ = saved;
-      SQLARRAY_ASSIGN_OR_RETURN(std::vector<engine::ResultSet> results,
-                                std::move(results_or));
-      if (results.size() != 1) {
-        return Status::InvalidArgument(
-            "subquery must be a single result-producing SELECT");
-      }
-      engine::SubqueryResult out;
-      out.rows = std::move(results[0].rows);
-      out.stats = results[0].stats;
-      return out;
-    };
-    executor_->set_subquery_runner(&subquery_fn_);
+    // pull rows through this session. The RAII scope owns the runner and
+    // uninstalls it when the session dies — no manual uninstall, no
+    // destructor-ordering hazard. Nested statements run with
+    // update_session_stats=false, so a subquery never clobbers the outer
+    // statement's last_stats() (the caller merges the subquery's stats
+    // into its own context explicitly).
+    subquery_scope_ = executor_->InstallSubqueryRunner(
+        [this](const std::string& sqltext)
+            -> Result<engine::SubqueryResult> {
+          SQLARRAY_ASSIGN_OR_RETURN(
+              std::vector<engine::ResultSet> results,
+              ExecuteScript(sqltext, /*update_session_stats=*/false));
+          if (results.size() != 1) {
+            return Status::InvalidArgument(
+                "subquery must be a single result-producing SELECT");
+          }
+          engine::SubqueryResult out;
+          out.rows = std::move(results[0].rows);
+          out.stats = results[0].stats;
+          return out;
+        });
   }
 
-  ~Session() { executor_->set_subquery_runner(nullptr); }
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
   /// Parses and executes a batch. Returns one ResultSet per SELECT that
-  /// produces client-visible rows (assignment SELECTs produce none).
-  Result<std::vector<engine::ResultSet>> Execute(std::string_view sql);
+  /// produces client-visible rows (assignment SELECTs produce none;
+  /// EXPLAIN ANALYZE produces its profile tree as rows).
+  Result<std::vector<engine::ResultSet>> Execute(std::string_view sql) {
+    return ExecuteScript(sql, /*update_session_stats=*/true);
+  }
 
   /// Reads a session variable (test/bench access).
   Result<engine::Value> GetVariable(const std::string& name) const;
@@ -64,20 +67,31 @@ class Session {
   const engine::QueryStats& last_stats() const { return last_stats_; }
 
  private:
-  Status RunStatement(Statement& stmt,
-                      std::vector<engine::ResultSet>* results);
-  Status RunSelect(SelectStmt& sel, std::vector<engine::ResultSet>* results);
-  /// Binds and executes one SELECT, applying ORDER BY and assignment
-  /// semantics; assignment SELECTs return an empty result set.
-  Result<engine::ResultSet> ExecuteSelect(SelectStmt& sel);
+  /// Statement loop. `update_session_stats` is false for nested scripts
+  /// (reader-style UDF subqueries): they own their statistics and must not
+  /// touch last_stats_.
+  Result<std::vector<engine::ResultSet>> ExecuteScript(
+      std::string_view sql, bool update_session_stats);
+  Status RunStatement(Statement& stmt, std::vector<engine::ResultSet>* results,
+                      bool update_session_stats);
+  Status RunSelect(SelectStmt& sel, std::vector<engine::ResultSet>* results,
+                   bool update_session_stats);
+  /// Binds and executes one SELECT under the statement's context, applying
+  /// ORDER BY and assignment semantics; assignment SELECTs return an empty
+  /// result set. Statistics (and the profile, when requested) land in qctx.
+  Result<engine::ResultSet> ExecuteSelect(SelectStmt& sel,
+                                          engine::QueryContext* qctx);
+  /// Runs the EXPLAIN ANALYZE statement and renders its profile tree.
+  Status RunExplain(ExplainStmt& stmt, std::vector<engine::ResultSet>* results,
+                    bool update_session_stats);
   Status RunCreateTable(const CreateTableStmt& ct);
-  Status RunDelete(DeleteStmt& del);
-  Status RunInsert(InsertStmt& ins);
+  Status RunDelete(DeleteStmt& del, bool update_session_stats);
+  Status RunInsert(InsertStmt& ins, bool update_session_stats);
 
   engine::Executor* executor_;
   std::map<std::string, engine::Value> variables_;
   engine::QueryStats last_stats_;
-  engine::SubqueryFn subquery_fn_;
+  engine::SubqueryScope subquery_scope_;
 };
 
 }  // namespace sqlarray::sql

@@ -20,6 +20,11 @@ BufferPool::BufferPool(SimulatedDisk* disk, int64_t capacity_pages,
   shard_capacity_ = capacity_pages / n;
   shards_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg_hits_ = reg.GetCounter("storage.buffer_pool.hits");
+  reg_misses_ = reg.GetCounter("storage.buffer_pool.misses");
+  reg_evictions_ = reg.GetCounter("storage.buffer_pool.evictions");
 }
 
 void PinnedPage::Release() {
@@ -53,7 +58,11 @@ void BufferPool::EvictDownTo(Shard* shard, int64_t target) {
     --it;
     auto centry = shard->cache.find(*it);
     if (centry != shard->cache.end() && centry->second.pins > 0) continue;
-    if (centry != shard->cache.end()) shard->cache.erase(centry);
+    if (centry != shard->cache.end()) {
+      shard->cache.erase(centry);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      reg_evictions_->Add(1);
+    }
     it = shard->lru.erase(it);  // returns the element after; loop steps back
   }
 }
@@ -84,6 +93,7 @@ Result<PinnedPage> BufferPool::GetPage(PageId id) {
   auto it = shard.cache.find(id);
   if (it != shard.cache.end()) {
     hits_.fetch_add(1, std::memory_order_relaxed);
+    reg_hits_->Add(1);
     shard.lru.erase(it->second.lru_it);
     shard.lru.push_front(id);
     it->second.lru_it = shard.lru.begin();
@@ -94,6 +104,7 @@ Result<PinnedPage> BufferPool::GetPage(PageId id) {
   }
 
   misses_.fetch_add(1, std::memory_order_relaxed);
+  reg_misses_->Add(1);
   // Read into a local image first: a failed read must leave no cache entry,
   // and retries must not expose a half-written one. The shard lock is held
   // across the read so concurrent misses on one page fault it in exactly
@@ -120,6 +131,8 @@ Status BufferPool::Prefetch(PageId id) {
   if (shard.cache.find(id) != shard.cache.end()) return Status::OK();
 
   misses_.fetch_add(1, std::memory_order_relaxed);
+  reg_misses_->Add(1);
+  prefetches_.fetch_add(1, std::memory_order_relaxed);
   Page image;
   SQLARRAY_RETURN_IF_ERROR(ReadWithRetry(id, &image));
 

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/disk.h"
 
 namespace sqlarray::storage {
@@ -119,12 +120,27 @@ class BufferPool {
   }
   int max_read_attempts() const { return max_read_attempts_; }
 
-  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
-  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
-  /// Currently pinned entries (test/assert access).
-  int64_t pinned_pages() const {
-    return pinned_pages_.load(std::memory_order_relaxed);
+  /// One consistent view of the pool's counters. Replaces the old
+  /// hits()/misses()/pinned_pages() getter spread: callers take one
+  /// snapshot and difference two snapshots for per-query attribution.
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+    int64_t prefetches = 0;
+    /// Currently pinned entries (a level, not a monotone counter).
+    int64_t pinned_pages = 0;
+  };
+  Stats Snapshot() const {
+    Stats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.prefetches = prefetches_.load(std::memory_order_relaxed);
+    s.pinned_pages = pinned_pages_.load(std::memory_order_relaxed);
+    return s;
   }
+
   int shard_count() const { return static_cast<int>(shards_.size()); }
   SimulatedDisk* disk() { return disk_; }
 
@@ -164,8 +180,15 @@ class BufferPool {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> evictions_{0};
+  std::atomic<int64_t> prefetches_{0};
   std::atomic<int64_t> pinned_pages_{0};
   int max_read_attempts_ = 3;
+  /// Global registry mirrors (resolved once; bumped beside the atomics so
+  /// engine-wide dashboards see all pools without polling each one).
+  obs::Counter* reg_hits_;
+  obs::Counter* reg_misses_;
+  obs::Counter* reg_evictions_;
 };
 
 }  // namespace sqlarray::storage

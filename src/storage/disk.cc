@@ -38,6 +38,7 @@ void SimulatedDisk::DisableFaults() {
 void SimulatedDisk::NoteReadRetry(int attempt) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.read_retries;
+  reg_read_retries_->Add(1);
   // Exponential backoff: attempt k sleeps 2^(k-1) * retry_backoff_us of
   // modeled time.
   stats_.virtual_read_seconds +=
@@ -59,6 +60,7 @@ Status SimulatedDisk::ReadPage(PageId id, Page* out) {
   if (fault_countdown_ == 0) {
     fault_countdown_ = -1;  // one-shot fault
     ++stats_.read_errors;
+    reg_read_errors_->Add(1);
     return Status::Corruption("injected read fault on page " +
                               std::to_string(id));
   }
@@ -67,6 +69,7 @@ Status SimulatedDisk::ReadPage(PageId id, Page* out) {
   if (injector_) {
     if (injector_->ShouldFailRead(id)) {
       ++stats_.read_errors;
+      reg_read_errors_->Add(1);
       return Status::Internal("transient read error on page " +
                               std::to_string(id));
     }
@@ -85,6 +88,8 @@ Status SimulatedDisk::ReadPage(PageId id, Page* out) {
     if (it != checksums_.end() && it->second != PageChecksum(*out)) {
       ++stats_.read_errors;
       ++stats_.checksum_failures;
+      reg_read_errors_->Add(1);
+      reg_checksum_failures_->Add(1);
       return Status::Corruption("checksum mismatch on page " +
                                 std::to_string(id) +
                                 " (torn or corrupted page)");
@@ -93,6 +98,8 @@ Status SimulatedDisk::ReadPage(PageId id, Page* out) {
 
   stats_.pages_read++;
   stats_.bytes_read += kPageSize;
+  reg_pages_read_->Add(1);
+  reg_bytes_read_->Add(kPageSize);
   const double transfer_s =
       static_cast<double>(kPageSize) / (config_.sequential_mb_per_s * 1e6);
   PageId& last_read = last_read_by_thread_[std::this_thread::get_id()];
@@ -153,6 +160,8 @@ Status SimulatedDisk::WritePage(PageId id, const Page& page) {
   if (checksums_enabled_) checksums_[id] = PageChecksum(page);
   stats_.pages_written++;
   stats_.bytes_written += kPageSize;
+  reg_pages_written_->Add(1);
+  reg_bytes_written_->Add(kPageSize);
   stats_.virtual_write_seconds +=
       static_cast<double>(kPageSize) / (config_.write_mb_per_s * 1e6);
   return Status::OK();

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/fault.h"
 #include "storage/page.h"
 
@@ -169,6 +170,24 @@ class SimulatedDisk {
   int64_t fault_countdown_ = -1;
   std::unique_ptr<FaultInjector> injector_;
   mutable std::mutex mutex_;
+
+  /// Engine-wide registry mirrors of the monotone IoStats fields, resolved
+  /// once at construction and bumped beside stats_ under the disk lock.
+  obs::Counter* reg_pages_read_ =
+      obs::MetricsRegistry::Global().GetCounter("storage.disk.pages_read");
+  obs::Counter* reg_pages_written_ =
+      obs::MetricsRegistry::Global().GetCounter("storage.disk.pages_written");
+  obs::Counter* reg_bytes_read_ =
+      obs::MetricsRegistry::Global().GetCounter("storage.disk.bytes_read");
+  obs::Counter* reg_bytes_written_ =
+      obs::MetricsRegistry::Global().GetCounter("storage.disk.bytes_written");
+  obs::Counter* reg_read_errors_ =
+      obs::MetricsRegistry::Global().GetCounter("storage.disk.read_errors");
+  obs::Counter* reg_checksum_failures_ = obs::MetricsRegistry::Global()
+                                             .GetCounter(
+                                                 "storage.disk.checksum_failures");
+  obs::Counter* reg_read_retries_ =
+      obs::MetricsRegistry::Global().GetCounter("storage.disk.read_retries");
 };
 
 }  // namespace sqlarray::storage

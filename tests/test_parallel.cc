@@ -436,15 +436,17 @@ TEST(BufferPoolConcurrencyTest, ManyThreadsPinUnpinAndClear) {
   // disk's locked IoStats snapshot.
   threads.emplace_back([&pool, &disk, &failed] {
     for (int i = 0; i < kIters; ++i) {
-      if (pool.hits() < 0 || pool.misses() < 0) failed.store(true);
+      storage::BufferPool::Stats ps = pool.Snapshot();
+      if (ps.hits < 0 || ps.misses < 0) failed.store(true);
       storage::IoStats io = disk.stats();
       if (io.pages_read < 0) failed.store(true);
     }
   });
   for (std::thread& t : threads) t.join();
   EXPECT_FALSE(failed.load());
-  EXPECT_EQ(pool.pinned_pages(), 0);
-  EXPECT_GT(pool.hits() + pool.misses(), 0);
+  storage::BufferPool::Stats stats = pool.Snapshot();
+  EXPECT_EQ(stats.pinned_pages, 0);
+  EXPECT_GT(stats.hits + stats.misses, 0);
 }
 
 TEST(BufferPoolConcurrencyTest, ParallelQueriesShareOneCache) {

@@ -81,8 +81,10 @@ TEST(BufferPool, CachesAndEvicts) {
   ASSERT_TRUE(pool.GetPage(b).ok());  // miss
   ASSERT_TRUE(pool.GetPage(c).ok());  // miss, evicts a (LRU)
   ASSERT_TRUE(pool.GetPage(a).ok());  // miss again
-  EXPECT_EQ(pool.hits(), 1);
-  EXPECT_EQ(pool.misses(), 4);
+  storage::BufferPool::Stats stats = pool.Snapshot();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 4);
+  EXPECT_EQ(stats.evictions, 2);
   EXPECT_EQ(disk.stats().pages_read, 4);
 }
 
@@ -113,7 +115,7 @@ TEST(BufferPool, PinnedPageSurvivesEvictionPressure) {
 
   // Hold a pin on `a` while faulting in enough pages to evict it twice over.
   PinnedPage pinned = pool.GetPage(a).value();
-  EXPECT_EQ(pool.pinned_pages(), 1);
+  EXPECT_EQ(pool.Snapshot().pinned_pages, 1);
   const Page* raw = pinned.get();
   for (int round = 0; round < 3; ++round) {
     ASSERT_TRUE(pool.GetPage(b).ok());
@@ -128,7 +130,7 @@ TEST(BufferPool, PinnedPageSurvivesEvictionPressure) {
   EXPECT_EQ(disk.stats().pages_read, 0);
 
   pinned.Release();
-  EXPECT_EQ(pool.pinned_pages(), 0);
+  EXPECT_EQ(pool.Snapshot().pinned_pages, 0);
 
   // ClearCache also spares pinned frames.
   PinnedPage again = pool.GetPage(b).value();
