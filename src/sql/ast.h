@@ -83,12 +83,17 @@ struct DeleteStmt {
   engine::ExprPtr where;  ///< null deletes every row
 };
 
-/// EXPLAIN ANALYZE select — executes the statement and returns its operator
-/// profile tree as the result set (plain EXPLAIN without execution is not
-/// supported; this engine has no standalone plan-only mode).
+/// EXPLAIN ANALYZE select|insert|delete — executes the statement and returns
+/// its operator profile tree as the result set (plain EXPLAIN without
+/// execution is not supported; this engine has no standalone plan-only mode).
+/// DML targets add a "wal" child node carrying the statement's log traffic.
 struct ExplainStmt {
   bool analyze = false;
+  enum class Target { kSelect, kInsert, kDelete };
+  Target target = Target::kSelect;
   SelectStmt select;
+  InsertStmt insert;
+  DeleteStmt del;
 };
 
 /// A parsed statement.
@@ -100,7 +105,11 @@ struct Statement {
     kCreateTable,
     kInsert,
     kDelete,
-    kExplain
+    kExplain,
+    kBegin,       ///< BEGIN [TRANSACTION | TRAN]
+    kCommit,      ///< COMMIT [TRANSACTION | TRAN]
+    kRollback,    ///< ROLLBACK [TRANSACTION | TRAN]
+    kCheckpoint,  ///< CHECKPOINT
   };
   Kind kind = Kind::kSelect;
   SelectStmt select;

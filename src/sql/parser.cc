@@ -122,13 +122,42 @@ class Parser {
         return Status::InvalidArgument(
             "EXPLAIN requires ANALYZE (plan-only EXPLAIN is not supported)");
       }
-      if (!AtKeyword("SELECT")) {
+      if (AtKeyword("SELECT")) {
+        SQLARRAY_ASSIGN_OR_RETURN(stmt.explain.select, ParseSelect());
+        stmt.explain.target = ExplainStmt::Target::kSelect;
+      } else if (AtKeyword("INSERT")) {
+        SQLARRAY_ASSIGN_OR_RETURN(stmt.explain.insert, ParseInsert());
+        stmt.explain.target = ExplainStmt::Target::kInsert;
+      } else if (AtKeyword("DELETE")) {
+        SQLARRAY_ASSIGN_OR_RETURN(stmt.explain.del, ParseDelete());
+        stmt.explain.target = ExplainStmt::Target::kDelete;
+      } else {
         return Status::InvalidArgument(
-            "EXPLAIN ANALYZE requires a SELECT statement");
+            "EXPLAIN ANALYZE requires a SELECT, INSERT, or DELETE statement");
       }
-      SQLARRAY_ASSIGN_OR_RETURN(stmt.explain.select, ParseSelect());
       stmt.explain.analyze = true;
       stmt.kind = Statement::Kind::kExplain;
+      return stmt;
+    }
+    // Transaction control. Like EXPLAIN, these are contextual keywords,
+    // recognized only in statement-leading position.
+    if (AcceptKeyword("BEGIN")) {
+      if (!AcceptKeyword("TRANSACTION")) AcceptKeyword("TRAN");
+      stmt.kind = Statement::Kind::kBegin;
+      return stmt;
+    }
+    if (AcceptKeyword("COMMIT")) {
+      if (!AcceptKeyword("TRANSACTION")) AcceptKeyword("TRAN");
+      stmt.kind = Statement::Kind::kCommit;
+      return stmt;
+    }
+    if (AcceptKeyword("ROLLBACK")) {
+      if (!AcceptKeyword("TRANSACTION")) AcceptKeyword("TRAN");
+      stmt.kind = Statement::Kind::kRollback;
+      return stmt;
+    }
+    if (AcceptKeyword("CHECKPOINT")) {
+      stmt.kind = Statement::Kind::kCheckpoint;
       return stmt;
     }
     return Status::InvalidArgument("unrecognized statement at offset " +

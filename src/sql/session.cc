@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cctype>
 
+#include "obs/metrics.h"
 #include "sql/parser.h"
+#include "wal/wal.h"
 
 namespace sqlarray::sql {
 
@@ -157,6 +159,17 @@ Result<engine::Value> Session::GetVariable(const std::string& name) const {
 Status Session::RunStatement(Statement& stmt,
                              std::vector<engine::ResultSet>* results,
                              bool update_session_stats) {
+  // A simulated crash kills the WAL-side transaction without telling the
+  // session. Noticing here keeps the session honest: later DML autocommits
+  // instead of silently writing outside any transaction, BEGIN works again,
+  // and COMMIT/ROLLBACK report "no open transaction".
+  if (txn_open_) {
+    wal::WalManager* w = wal_manager();
+    if (w == nullptr || !w->TxnActive(txn_id_)) {
+      txn_open_ = false;
+      txn_id_ = 0;
+    }
+  }
   switch (stmt.kind) {
     case Statement::Kind::kDeclare: {
       Value init;
@@ -187,15 +200,84 @@ Status Session::RunStatement(Statement& stmt,
     case Statement::Kind::kSelect:
       return RunSelect(stmt.select, results, update_session_stats);
     case Statement::Kind::kCreateTable:
-      return RunCreateTable(stmt.create_table);
+      return AutoCommit([&] { return RunCreateTable(stmt.create_table); });
     case Statement::Kind::kInsert:
-      return RunInsert(stmt.insert, update_session_stats);
+      return AutoCommit(
+          [&] { return RunInsert(stmt.insert, update_session_stats); });
     case Statement::Kind::kDelete:
-      return RunDelete(stmt.del, update_session_stats);
+      return AutoCommit(
+          [&] { return RunDelete(stmt.del, update_session_stats); });
     case Statement::Kind::kExplain:
       return RunExplain(stmt.explain, results, update_session_stats);
+    case Statement::Kind::kBegin: {
+      wal::WalManager* w = wal_manager();
+      if (w == nullptr) {
+        return Status::InvalidArgument(
+            "BEGIN TRANSACTION requires a write-ahead log "
+            "(no WalManager attached to this database)");
+      }
+      if (txn_open_) {
+        return Status::InvalidArgument(
+            "transaction already open (nested BEGIN is not supported)");
+      }
+      SQLARRAY_ASSIGN_OR_RETURN(uint64_t txn, w->Begin());
+      txn_open_ = true;
+      txn_id_ = txn;
+      return Status::OK();
+    }
+    case Statement::Kind::kCommit: {
+      if (!txn_open_) {
+        return Status::InvalidArgument("COMMIT without an open transaction");
+      }
+      uint64_t txn = txn_id_;
+      txn_open_ = false;
+      txn_id_ = 0;
+      return wal_manager()->Commit(txn);
+    }
+    case Statement::Kind::kRollback: {
+      if (!txn_open_) {
+        return Status::InvalidArgument("ROLLBACK without an open transaction");
+      }
+      uint64_t txn = txn_id_;
+      txn_open_ = false;
+      txn_id_ = 0;
+      return wal_manager()->Rollback(txn);
+    }
+    case Statement::Kind::kCheckpoint: {
+      wal::WalManager* w = wal_manager();
+      if (w == nullptr) {
+        return Status::InvalidArgument(
+            "CHECKPOINT requires a write-ahead log "
+            "(no WalManager attached to this database)");
+      }
+      if (txn_open_) {
+        return Status::InvalidArgument(
+            "CHECKPOINT cannot run inside an open transaction");
+      }
+      return w->Checkpoint();
+    }
   }
   return Status::Internal("unreachable statement kind");
+}
+
+wal::WalManager* Session::wal_manager() const {
+  storage::Database* db = executor_->db();
+  return db == nullptr ? nullptr : db->wal();
+}
+
+Status Session::AutoCommit(const std::function<Status()>& body) {
+  wal::WalManager* w = wal_manager();
+  if (w == nullptr || txn_open_) return body();
+  SQLARRAY_ASSIGN_OR_RETURN(uint64_t txn, w->Begin());
+  txn_open_ = true;
+  txn_id_ = txn;
+  Status st = body();
+  txn_open_ = false;
+  txn_id_ = 0;
+  if (st.ok()) return w->Commit(txn);
+  Status rb = w->Rollback(txn);  // surface the original failure, not the
+  (void)rb;                      // rollback's status
+  return st;
 }
 
 Result<engine::ResultSet> Session::ExecuteSelect(SelectStmt& sel,
@@ -326,14 +408,7 @@ Status Session::RunSelect(SelectStmt& sel,
   return Status::OK();
 }
 
-Status Session::RunExplain(ExplainStmt& stmt,
-                           std::vector<engine::ResultSet>* results,
-                           bool update_session_stats) {
-  engine::QueryContext qctx;
-  qctx.collect_profile = true;
-  SQLARRAY_RETURN_IF_ERROR(ExecuteSelect(stmt.select, &qctx).status());
-  if (update_session_stats) last_stats_ = qctx.stats;
-
+engine::ResultSet Session::RenderProfile(const engine::QueryContext& qctx) {
   // Render the profile tree as a result set: one row per operator in
   // preorder, the stable ProfileColumns() keys, wall_ms last (the only
   // nondeterministic column).
@@ -358,13 +433,66 @@ Status Session::RunExplain(ExplainStmt& stmt,
     out.rows.push_back(std::move(cells));
   }
   out.stats = qctx.stats;
-  results->push_back(std::move(out));
+  return out;
+}
+
+Status Session::RunExplain(ExplainStmt& stmt,
+                           std::vector<engine::ResultSet>* results,
+                           bool update_session_stats) {
+  engine::QueryContext qctx;
+  qctx.collect_profile = true;
+
+  if (stmt.target == ExplainStmt::Target::kSelect) {
+    SQLARRAY_RETURN_IF_ERROR(ExecuteSelect(stmt.select, &qctx).status());
+  } else {
+    // DML: execute under autocommit, attributing the statement's log
+    // traffic (including the commit flush) via metric deltas. The embedded
+    // query's plan — the INSERT's source SELECT or the DELETE's key scan —
+    // becomes a child of the DML root; log traffic lands in a "wal" child's
+    // detail string so the column shape stays identical to SELECT profiles.
+    bool is_insert = stmt.target == ExplainStmt::Target::kInsert;
+    obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+    engine::QueryContext inner;
+    inner.collect_profile = true;
+    int64_t affected = 0;
+    SQLARRAY_RETURN_IF_ERROR(AutoCommit([&] {
+      return is_insert ? RunInsert(stmt.insert, /*update_session_stats=*/false,
+                                   &inner, &affected)
+                       : RunDelete(stmt.del, /*update_session_stats=*/false,
+                                   &inner, &affected);
+    }));
+    obs::MetricsSnapshot after = obs::MetricsRegistry::Global().Snapshot();
+
+    qctx.stats = inner.stats;
+    obs::ProfileNode* root = qctx.profile.mutable_root();
+    root->op = is_insert ? "insert" : "delete";
+    root->detail = is_insert ? stmt.insert.table : stmt.del.table;
+    root->counters.rows_out = affected;
+    if (!inner.profile.empty()) {
+      root->children.push_back(std::move(*inner.profile.mutable_root()));
+    }
+    if (wal_manager() != nullptr) {
+      root->AddChild(
+          "wal",
+          "records=" + std::to_string(after.Delta(before, "wal.records")) +
+              " bytes=" + std::to_string(after.Delta(before, "wal.bytes")) +
+              " flushes=" +
+              std::to_string(after.Delta(before, "wal.flushes")));
+    }
+  }
+  if (update_session_stats) last_stats_ = qctx.stats;
+  results->push_back(RenderProfile(qctx));
   return Status::OK();
 }
 
-Status Session::RunDelete(DeleteStmt& del, bool update_session_stats) {
+Status Session::RunDelete(DeleteStmt& del, bool update_session_stats,
+                          engine::QueryContext* inner_qctx,
+                          int64_t* affected) {
   SQLARRAY_ASSIGN_OR_RETURN(storage::Table * table,
                             executor_->db()->GetTable(del.table));
+  if (wal::WalManager* w = wal_manager(); w != nullptr && txn_open_) {
+    SQLARRAY_RETURN_IF_ERROR(w->NoteTableTouched(txn_id_, table));
+  }
   // Collect matching clustered keys with a scan, then delete them — the
   // two-phase shape a real engine's DELETE plan has (no halloween problem).
   engine::Query q;
@@ -380,10 +508,12 @@ Status Session::RunDelete(DeleteStmt& del, bool update_session_stats) {
     q.where = std::move(del.where);
   }
   SQLARRAY_RETURN_IF_ERROR(executor_->Bind(&q));
-  engine::QueryContext qctx;
+  engine::QueryContext local_qctx;
+  engine::QueryContext* qctx =
+      inner_qctx != nullptr ? inner_qctx : &local_qctx;
   SQLARRAY_ASSIGN_OR_RETURN(engine::ResultSet rs,
-                            executor_->Execute(q, &variables_, &qctx));
-  if (update_session_stats) last_stats_ = qctx.stats;
+                            executor_->Execute(q, &variables_, qctx));
+  if (update_session_stats) last_stats_ = qctx->stats;
   for (const std::vector<Value>& row : rs.rows) {
     SQLARRAY_ASSIGN_OR_RETURN(int64_t key, row[0].AsInt());
     SQLARRAY_ASSIGN_OR_RETURN(bool removed, table->Delete(key));
@@ -391,6 +521,7 @@ Status Session::RunDelete(DeleteStmt& del, bool update_session_stats) {
       return Status::Internal("row vanished between scan and delete");
     }
   }
+  if (affected != nullptr) *affected = static_cast<int64_t>(rs.rows.size());
   return Status::OK();
 }
 
@@ -402,23 +533,35 @@ Status Session::RunCreateTable(const CreateTableStmt& ct) {
   }
   SQLARRAY_ASSIGN_OR_RETURN(storage::Schema schema,
                             storage::Schema::Create(std::move(cols)));
-  SQLARRAY_RETURN_IF_ERROR(
-      executor_->db()->CreateTable(ct.name, std::move(schema)).status());
+  SQLARRAY_ASSIGN_OR_RETURN(
+      storage::Table * table,
+      executor_->db()->CreateTable(ct.name, std::move(schema)));
+  if (wal::WalManager* w = wal_manager(); w != nullptr) {
+    SQLARRAY_RETURN_IF_ERROR(
+        w->NoteTableCreated(txn_open_ ? txn_id_ : 0, table));
+  }
   return Status::OK();
 }
 
-Status Session::RunInsert(InsertStmt& ins, bool update_session_stats) {
+Status Session::RunInsert(InsertStmt& ins, bool update_session_stats,
+                          engine::QueryContext* inner_qctx,
+                          int64_t* affected) {
   SQLARRAY_ASSIGN_OR_RETURN(storage::Table * table,
                             executor_->db()->GetTable(ins.table));
   const storage::Schema& schema = table->schema();
+  if (wal::WalManager* w = wal_manager(); w != nullptr && txn_open_) {
+    SQLARRAY_RETURN_IF_ERROR(w->NoteTableTouched(txn_id_, table));
+  }
 
   if (ins.select != nullptr) {
     // INSERT INTO ... SELECT: materialize the query, convert each output
     // row to the target schema.
-    engine::QueryContext qctx;
+    engine::QueryContext local_qctx;
+    engine::QueryContext* qctx =
+        inner_qctx != nullptr ? inner_qctx : &local_qctx;
     SQLARRAY_ASSIGN_OR_RETURN(engine::ResultSet rs,
-                              ExecuteSelect(*ins.select, &qctx));
-    if (update_session_stats) last_stats_ = qctx.stats;
+                              ExecuteSelect(*ins.select, qctx));
+    if (update_session_stats) last_stats_ = qctx->stats;
     if (static_cast<int>(rs.columns.size()) != schema.num_columns()) {
       return Status::InvalidArgument(
           "INSERT ... SELECT arity does not match the table schema");
@@ -432,6 +575,7 @@ Status Session::RunInsert(InsertStmt& ins, bool update_session_stats) {
       }
       SQLARRAY_RETURN_IF_ERROR(table->Insert(std::move(row)));
     }
+    if (affected != nullptr) *affected = static_cast<int64_t>(rs.rows.size());
     return Status::OK();
   }
 
@@ -452,6 +596,7 @@ Status Session::RunInsert(InsertStmt& ins, bool update_session_stats) {
     }
     SQLARRAY_RETURN_IF_ERROR(table->Insert(std::move(row)));
   }
+  if (affected != nullptr) *affected = static_cast<int64_t>(ins.rows.size());
   return Status::OK();
 }
 

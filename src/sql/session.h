@@ -5,6 +5,7 @@
 // and registered UDAs in the select list), and runs DDL/DML.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -12,6 +13,10 @@
 #include "common/status.h"
 #include "engine/exec.h"
 #include "sql/ast.h"
+
+namespace sqlarray::wal {
+class WalManager;
+}  // namespace sqlarray::wal
 
 namespace sqlarray::sql {
 
@@ -66,6 +71,9 @@ class Session {
   /// Statistics of the most recent query.
   const engine::QueryStats& last_stats() const { return last_stats_; }
 
+  /// True between BEGIN and COMMIT/ROLLBACK.
+  bool in_transaction() const { return txn_open_; }
+
  private:
   /// Statement loop. `update_session_stats` is false for nested scripts
   /// (reader-style UDF subqueries): they own their statistics and must not
@@ -85,13 +93,31 @@ class Session {
   Status RunExplain(ExplainStmt& stmt, std::vector<engine::ResultSet>* results,
                     bool update_session_stats);
   Status RunCreateTable(const CreateTableStmt& ct);
-  Status RunDelete(DeleteStmt& del, bool update_session_stats);
-  Status RunInsert(InsertStmt& ins, bool update_session_stats);
+  /// DML runners. `inner_qctx` (EXPLAIN ANALYZE) collects the profile of
+  /// the embedded query (the INSERT's SELECT source / the DELETE's key
+  /// scan); `affected` receives the row count.
+  Status RunDelete(DeleteStmt& del, bool update_session_stats,
+                   engine::QueryContext* inner_qctx = nullptr,
+                   int64_t* affected = nullptr);
+  Status RunInsert(InsertStmt& ins, bool update_session_stats,
+                   engine::QueryContext* inner_qctx = nullptr,
+                   int64_t* affected = nullptr);
+
+  /// The database's WAL manager, or null when running without one.
+  wal::WalManager* wal_manager() const;
+  /// Wraps `body` in BEGIN/COMMIT when a WAL is attached and no explicit
+  /// transaction is open (statement-level atomicity: a failing statement
+  /// rolls back cleanly). Otherwise runs `body` directly.
+  Status AutoCommit(const std::function<Status()>& body);
+  /// Renders a profile tree into the EXPLAIN ANALYZE result-set shape.
+  static engine::ResultSet RenderProfile(const engine::QueryContext& qctx);
 
   engine::Executor* executor_;
   std::map<std::string, engine::Value> variables_;
   engine::QueryStats last_stats_;
   engine::SubqueryScope subquery_scope_;
+  bool txn_open_ = false;
+  uint64_t txn_id_ = 0;
 };
 
 }  // namespace sqlarray::sql

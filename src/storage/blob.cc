@@ -32,6 +32,53 @@ Status WriteIndexPage(BufferPool* pool, PageId id, int level,
 
 }  // namespace
 
+PageId BlobStore::AllocOrReuse() {
+  if (!free_.empty()) {
+    PageId id = free_.back();
+    free_.pop_back();
+    obs::MetricsRegistry::Global()
+        .GetCounter("storage.blob.pages_reused")
+        ->Add(1);
+    return id;
+  }
+  return pool_->AllocatePage();
+}
+
+Result<int64_t> BlobStore::Free(const BlobId& id) {
+  SQLARRAY_ASSIGN_OR_RETURN(PinnedPage root, pool_->GetPage(id.root));
+  if (root->data()[0] != static_cast<uint8_t>(PageType::kBlobIndex)) {
+    return Status::Corruption("blob root is not an index page");
+  }
+  int level = root->data()[1];
+  if (level != 1 && level != 2) {
+    return Status::Corruption("blob index has invalid level");
+  }
+  std::vector<PageId> reclaimed;
+  uint32_t root_count = DecodeLE<uint32_t>(root->data() + 4);
+  for (uint32_t i = 0; i < root_count; ++i) {
+    PageId child = DecodeLE<uint32_t>(root->data() + 8 + 4 * i);
+    if (level == 1) {
+      reclaimed.push_back(child);
+      continue;
+    }
+    SQLARRAY_ASSIGN_OR_RETURN(PinnedPage l1, pool_->GetPage(child));
+    if (l1->data()[0] != static_cast<uint8_t>(PageType::kBlobIndex)) {
+      return Status::Corruption("blob level-1 page is not an index page");
+    }
+    uint32_t n = DecodeLE<uint32_t>(l1->data() + 4);
+    for (uint32_t k = 0; k < n; ++k) {
+      reclaimed.push_back(DecodeLE<uint32_t>(l1->data() + 8 + 4 * k));
+    }
+    reclaimed.push_back(child);
+  }
+  reclaimed.push_back(id.root);
+  free_.insert(free_.end(), reclaimed.begin(), reclaimed.end());
+  obs::MetricsRegistry::Global()
+      .GetCounter("storage.blob.pages_freed")
+      ->Add(static_cast<int64_t>(reclaimed.size()));
+  return static_cast<int64_t>(reclaimed.size());
+}
+
 Result<BlobId> BlobStore::Write(std::span<const uint8_t> bytes) {
   const int64_t size = static_cast<int64_t>(bytes.size());
   const int64_t n_data =
@@ -46,7 +93,7 @@ Result<BlobId> BlobStore::Write(std::span<const uint8_t> bytes) {
   std::vector<PageId> data_pages;
   data_pages.reserve(n_data);
   for (int64_t k = 0; k < n_data; ++k) {
-    PageId id = pool_->AllocatePage();
+    PageId id = AllocOrReuse();
     int64_t off = k * kBlobDataCapacity;
     int64_t len = std::min(kBlobDataCapacity, size - off);
     SQLARRAY_RETURN_IF_ERROR(
@@ -57,21 +104,21 @@ Result<BlobId> BlobStore::Write(std::span<const uint8_t> bytes) {
   BlobId blob;
   blob.size = size;
   if (n_data <= kBlobIndexFanout) {
-    blob.root = pool_->AllocatePage();
+    blob.root = AllocOrReuse();
     SQLARRAY_RETURN_IF_ERROR(WriteIndexPage(pool_, blob.root, 1, data_pages));
   } else {
     // Two levels: group data pages into level-1 index pages, then a root.
     std::vector<PageId> level1;
     for (int64_t g = 0; g < n_data; g += kBlobIndexFanout) {
       int64_t len = std::min<int64_t>(kBlobIndexFanout, n_data - g);
-      PageId id = pool_->AllocatePage();
+      PageId id = AllocOrReuse();
       SQLARRAY_RETURN_IF_ERROR(WriteIndexPage(
           pool_, id, 1,
           std::span<const PageId>(data_pages.data() + g,
                                   static_cast<size_t>(len))));
       level1.push_back(id);
     }
-    blob.root = pool_->AllocatePage();
+    blob.root = AllocOrReuse();
     SQLARRAY_RETURN_IF_ERROR(WriteIndexPage(pool_, blob.root, 2, level1));
   }
   return blob;

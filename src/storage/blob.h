@@ -28,21 +28,45 @@ inline constexpr int64_t kBlobDataCapacity = kPageSize - 8;
 inline constexpr int64_t kBlobIndexFanout = (kPageSize - 8) / 4;
 
 /// Writes and deletes out-of-page blobs.
+///
+/// Freed pages (index and data) go on an in-memory free-list that Write
+/// drains LIFO before allocating fresh pages, so Table::Delete reclaims
+/// out-of-page blob space instead of leaking it. Crash durability of the
+/// free-list comes from the WAL: the list rides in checkpoint and commit
+/// records, and recovery restores it (frees outside a transaction are lost
+/// at a crash — a bounded leak, never a dangling reference).
 class BlobStore {
  public:
   explicit BlobStore(BufferPool* pool) : pool_(pool) {}
 
   /// Writes a blob and returns its id. Empty blobs are legal (size 0,
-  /// root still allocated so the id is addressable).
+  /// root still allocated so the id is addressable). Reuses free-listed
+  /// pages before allocating new ones.
   Result<BlobId> Write(std::span<const uint8_t> bytes);
 
   /// Reads a whole blob back.
   Result<std::vector<uint8_t>> ReadAll(const BlobId& id);
 
+  /// Frees every page of a blob (data + index pages) onto the free-list.
+  /// Returns the number of pages reclaimed. The blob must not be read
+  /// afterwards.
+  Result<int64_t> Free(const BlobId& id);
+
+  /// Free-list state (WAL snapshot / restore and test accounting).
+  const std::vector<PageId>& free_pages() const { return free_; }
+  int64_t free_page_count() const {
+    return static_cast<int64_t>(free_.size());
+  }
+  void RestoreFreeList(std::vector<PageId> pages) { free_ = std::move(pages); }
+
   BufferPool* pool() { return pool_; }
 
  private:
+  /// Pops a free page or allocates a new one.
+  PageId AllocOrReuse();
+
   BufferPool* pool_;
+  std::vector<PageId> free_;  // LIFO: back is reused first
 };
 
 /// Streaming, range-addressable reader over one blob; the ByteSource the

@@ -89,6 +89,92 @@ Result<BTree> BTree::Create(BufferPool* pool, int64_t row_size) {
   return t;
 }
 
+Result<BTree> BTree::Attach(BufferPool* pool, int64_t row_size, PageId root) {
+  if (row_size < 8) {
+    return Status::InvalidArgument("row must embed at least the 8-byte key");
+  }
+  BTree t(pool, row_size);
+  t.leaf_capacity_ = (kPageSize - kSqlPageHeaderBytes) /
+                     (row_size + kSqlRowOverheadBytes);
+  t.internal_capacity_ = (kPageSize - kSqlPageHeaderBytes) / (12 + 9);
+  if (t.leaf_capacity_ < 2) {
+    return Status::InvalidArgument("row size too large for a leaf page");
+  }
+  t.root_ = root;
+
+  // Leftmost descent: height and the first leaf.
+  t.height_ = 1;
+  t.internal_pages_ = 0;
+  PageId node = root;
+  std::vector<PageId> level_heads;
+  for (;;) {
+    SQLARRAY_ASSIGN_OR_RETURN(PinnedPage page, pool->GetPage(node));
+    if (IsLeaf(*page)) break;
+    if (page->data()[0] != static_cast<uint8_t>(PageType::kBTreeInternal)) {
+      return Status::Corruption("attach: page " + std::to_string(node) +
+                                " is neither leaf nor internal");
+    }
+    if (PageCount(*page) == 0) {
+      return Status::Corruption("attach: empty internal page " +
+                                std::to_string(node));
+    }
+    level_heads.push_back(node);
+    node = InternalChildAt(*page, 0);
+    ++t.height_;
+    if (t.height_ > 64) {
+      return Status::Corruption("attach: tree height exceeds sanity bound");
+    }
+  }
+  t.first_leaf_ = node;
+
+  // Count internal pages level by level: walk each internal level along
+  // parent fan-out (children of level k's nodes are level k+1's nodes).
+  std::vector<PageId> level = level_heads.empty()
+                                  ? std::vector<PageId>{}
+                                  : std::vector<PageId>{root};
+  while (!level.empty()) {
+    t.internal_pages_ += static_cast<int64_t>(level.size());
+    std::vector<PageId> next;
+    bool children_are_leaves = false;
+    for (PageId id : level) {
+      SQLARRAY_ASSIGN_OR_RETURN(PinnedPage page, pool->GetPage(id));
+      if (IsLeaf(*page)) {
+        return Status::Corruption("attach: leaf on an internal level");
+      }
+      uint32_t n = PageCount(*page);
+      for (uint32_t i = 0; i < n; ++i) {
+        PageId child = InternalChildAt(*page, i);
+        if (next.empty() && i == 0) {
+          SQLARRAY_ASSIGN_OR_RETURN(PinnedPage cp, pool->GetPage(child));
+          children_are_leaves = IsLeaf(*cp);
+        }
+        next.push_back(child);
+      }
+    }
+    if (children_are_leaves) break;
+    level = std::move(next);
+  }
+
+  // Walk the leaf chain: allocation map, leaf count, row count.
+  t.leaf_pages_ = 0;
+  t.row_count_ = 0;
+  for (PageId leaf = t.first_leaf_; leaf != kNullPage;) {
+    SQLARRAY_ASSIGN_OR_RETURN(PinnedPage page, pool->GetPage(leaf));
+    if (!IsLeaf(*page)) {
+      return Status::Corruption("attach: non-leaf page " +
+                                std::to_string(leaf) + " in the leaf chain");
+    }
+    t.leaf_ids_.push_back(leaf);
+    ++t.leaf_pages_;
+    t.row_count_ += PageCount(*page);
+    if (t.leaf_pages_ > static_cast<int64_t>(1) << 32) {
+      return Status::Corruption("attach: leaf chain does not terminate");
+    }
+    leaf = LeafNext(*page);
+  }
+  return t;
+}
+
 Result<BTree::SplitResult> BTree::InsertRecurse(PageId node, int level,
                                                 std::span<const uint8_t> row,
                                                 int64_t key) {

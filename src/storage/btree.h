@@ -38,6 +38,38 @@ class BTree {
   /// per leaf.
   static Result<BTree> Create(BufferPool* pool, int64_t row_size);
 
+  /// Attaches to an EXISTING tree rooted at `root`, rebuilding the
+  /// in-memory metadata (height, first leaf, row count, allocation map) by
+  /// walking the on-disk structure. This is how crash recovery re-opens
+  /// tables: none of the metadata is persisted, only the pages are.
+  static Result<BTree> Attach(BufferPool* pool, int64_t row_size, PageId root);
+
+  /// The in-memory metadata a transaction snapshots before mutating the
+  /// tree, so rollback can restore it byte-exactly alongside the page
+  /// before-images.
+  struct Meta {
+    PageId root = kNullPage;
+    PageId first_leaf = kNullPage;
+    int height = 1;
+    int64_t row_count = 0;
+    int64_t leaf_pages = 0;
+    int64_t internal_pages = 0;
+    std::vector<PageId> leaf_ids;
+  };
+  Meta SnapshotMeta() const {
+    return Meta{root_,      first_leaf_,     height_,  row_count_,
+                leaf_pages_, internal_pages_, leaf_ids_};
+  }
+  void RestoreMeta(Meta meta) {
+    root_ = meta.root;
+    first_leaf_ = meta.first_leaf;
+    height_ = meta.height;
+    row_count_ = meta.row_count;
+    leaf_pages_ = meta.leaf_pages;
+    internal_pages_ = meta.internal_pages;
+    leaf_ids_ = std::move(meta.leaf_ids);
+  }
+
   int64_t row_size() const { return row_size_; }
   int64_t row_count() const { return row_count_; }
   int64_t leaf_page_count() const { return leaf_pages_; }

@@ -1,5 +1,6 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
 #include <string>
 
 namespace sqlarray::storage {
@@ -50,8 +51,27 @@ void BufferPool::Unpin(PageId id) {
   }
 }
 
+Status BufferPool::FlushEntryLocked(PageId id, Entry* entry) {
+  if (!entry->dirty) return Status::OK();
+  // WAL-before-data: the redo record covering this image must be durable
+  // before the image reaches the data disk (otherwise a crash could leave a
+  // page the log cannot explain).
+  if (wal_hook_.flush_log_to) {
+    SQLARRAY_RETURN_IF_ERROR(wal_hook_.flush_log_to(entry->last_lsn));
+  }
+  SQLARRAY_RETURN_IF_ERROR(disk_->WritePage(id, entry->page));
+  entry->dirty = false;
+  entry->rec_lsn = 0;
+  entry->last_lsn = 0;
+  dirty_pages_.fetch_sub(1, std::memory_order_relaxed);
+  dirty_flushes_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
 void BufferPool::EvictDownTo(Shard* shard, int64_t target) {
-  // Walk from the LRU end, skipping pinned entries.
+  // Walk from the LRU end, skipping pinned entries. Dirty victims are
+  // flushed first (log fence inside FlushEntryLocked); if the flush fails
+  // the entry is skipped and surfaces later via FlushAllDirty/checkpoint.
   auto it = shard->lru.end();
   while (static_cast<int64_t>(shard->cache.size()) > target &&
          it != shard->lru.begin()) {
@@ -59,6 +79,10 @@ void BufferPool::EvictDownTo(Shard* shard, int64_t target) {
     auto centry = shard->cache.find(*it);
     if (centry != shard->cache.end() && centry->second.pins > 0) continue;
     if (centry != shard->cache.end()) {
+      if (centry->second.dirty &&
+          !FlushEntryLocked(centry->first, &centry->second).ok()) {
+        continue;
+      }
       shard->cache.erase(centry);
       evictions_.fetch_add(1, std::memory_order_relaxed);
       reg_evictions_->Add(1);
@@ -147,24 +171,142 @@ Status BufferPool::Prefetch(PageId id) {
 }
 
 Status BufferPool::WritePage(PageId id, const Page& page) {
-  {
-    Shard& shard = ShardFor(id);
-    std::lock_guard<std::mutex> lock(shard.mu);
-    auto it = shard.cache.find(id);
-    if (it != shard.cache.end()) {
-      it->second.page = page;
+  if (!write_back_) {
+    {
+      Shard& shard = ShardFor(id);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.cache.find(id);
+      if (it != shard.cache.end()) {
+        it->second.page = page;
+      }
+    }
+    return disk_->WritePage(id, page);
+  }
+
+  // Write-back: log first (outside the shard lock — the hook may re-enter
+  // the pool to capture the page's before-image), then cache dirty. The
+  // image reaches the data disk only at eviction or an explicit flush.
+  Lsn lsn = 0;
+  if (wal_hook_.log_page_write) {
+    SQLARRAY_ASSIGN_OR_RETURN(lsn, wal_hook_.log_page_write(id, page));
+  }
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.cache.find(id);
+  if (it == shard.cache.end()) {
+    EvictDownTo(&shard, shard_capacity_ - 1);
+    shard.lru.push_front(id);
+    Entry entry;
+    entry.page = page;
+    entry.lru_it = shard.lru.begin();
+    entry.dirty = true;
+    entry.rec_lsn = lsn;
+    entry.last_lsn = lsn;
+    shard.cache.emplace(id, std::move(entry));
+    dirty_pages_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    it->second.page = page;
+    if (!it->second.dirty) {
+      it->second.dirty = true;
+      it->second.rec_lsn = lsn;
+      dirty_pages_.fetch_add(1, std::memory_order_relaxed);
+    }
+    it->second.last_lsn = lsn;
+    shard.lru.erase(it->second.lru_it);
+    shard.lru.push_front(id);
+    it->second.lru_it = shard.lru.begin();
+  }
+  return Status::OK();
+}
+
+BufferPool::PageState BufferPool::GetPageState(PageId id) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  PageState state;
+  auto it = shard.cache.find(id);
+  if (it == shard.cache.end()) return state;
+  state.present = true;
+  state.dirty = it->second.dirty;
+  state.rec_lsn = it->second.rec_lsn;
+  state.last_lsn = it->second.last_lsn;
+  return state;
+}
+
+void BufferPool::RestorePage(PageId id, const Page& image,
+                             const PageState& state) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.cache.find(id);
+  if (it == shard.cache.end()) {
+    shard.lru.push_front(id);
+    Entry entry;
+    entry.page = image;
+    entry.lru_it = shard.lru.begin();
+    shard.cache.emplace(id, std::move(entry));
+    it = shard.cache.find(id);
+  } else {
+    it->second.page = image;
+  }
+  if (it->second.dirty != state.dirty) {
+    dirty_pages_.fetch_add(state.dirty ? 1 : -1, std::memory_order_relaxed);
+  }
+  it->second.dirty = state.dirty;
+  it->second.rec_lsn = state.rec_lsn;
+  it->second.last_lsn = state.last_lsn;
+}
+
+Status BufferPool::FlushPage(PageId id) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.cache.find(id);
+  if (it == shard.cache.end()) return Status::OK();
+  return FlushEntryLocked(id, &it->second);
+}
+
+std::vector<PageId> BufferPool::CollectDirtyPageIds() {
+  std::vector<PageId> ids;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [id, entry] : shard->cache) {
+      if (entry.dirty) ids.push_back(id);
     }
   }
-  return disk_->WritePage(id, page);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+Status BufferPool::FlushAllDirty() {
+  for (PageId id : CollectDirtyPageIds()) {
+    SQLARRAY_RETURN_IF_ERROR(FlushPage(id));
+  }
+  return Status::OK();
+}
+
+void BufferPool::DropCacheNoFlush() {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [id, entry] : shard->cache) {
+      (void)id;
+      if (entry.dirty) dirty_pages_.fetch_sub(1, std::memory_order_relaxed);
+      if (entry.pins > 0) {
+        pinned_pages_.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+    shard->cache.clear();
+    shard->lru.clear();
+  }
 }
 
 void BufferPool::ClearCache() {
-  // Pinned entries must survive (guards hold pointers into them).
+  // Pinned entries must survive (guards hold pointers into them); dirty
+  // entries hold the only copy of logged-but-unflushed images, so the
+  // cold-cache reset leaves them resident too.
   for (const std::unique_ptr<Shard>& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     for (auto it = shard->lru.begin(); it != shard->lru.end();) {
       auto centry = shard->cache.find(*it);
-      if (centry != shard->cache.end() && centry->second.pins == 0) {
+      if (centry != shard->cache.end() && centry->second.pins == 0 &&
+          !centry->second.dirty) {
         shard->cache.erase(centry);
         it = shard->lru.erase(it);
       } else {

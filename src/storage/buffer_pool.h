@@ -25,6 +25,7 @@
 
 #include <atomic>
 #include <cassert>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -39,6 +40,26 @@
 namespace sqlarray::storage {
 
 class BufferPool;
+
+/// Log sequence number: a byte offset into the write-ahead log's record
+/// stream. Defined here (not in src/wal/) so the pool can order dirty-page
+/// flushes against the log without depending on the WAL library.
+using Lsn = uint64_t;
+
+/// Callbacks the WAL installs so the pool enforces write-ahead ordering.
+/// Both may be empty (write-back without durability — the negative-control
+/// configuration the recovery tests use to demonstrate data loss).
+struct WalPageHook {
+  /// Appends a full-page-image redo record for (id, image) and returns the
+  /// log position that must be durable before this image may reach the data
+  /// disk. Called OUTSIDE any shard lock (it may re-enter the pool to read
+  /// the page's previous image for rollback).
+  std::function<Result<Lsn>(PageId, const Page&)> log_page_write;
+  /// Makes the log durable at least up to `lsn` — the WAL-before-data fence
+  /// the pool calls before a dirty page is written to the data disk. Called
+  /// under a shard lock; must not re-enter the pool.
+  std::function<Status(Lsn)> flush_log_to;
+};
 
 /// Move-only RAII pin over one cached page. The pointed-to page stays
 /// resident (and the pointer valid) until the guard is destroyed.
@@ -103,8 +124,50 @@ class BufferPool {
   /// pages; counts a miss (it is a real disk read) when it loads.
   Status Prefetch(PageId id);
 
-  /// Writes through: updates the cache entry (if resident) and the disk.
+  /// Writes a page. In the default write-through mode this updates the
+  /// cache entry (if resident) and the disk. In write-back mode the image
+  /// is logged via the WAL hook (when installed), cached DIRTY, and only
+  /// reaches the disk at eviction, FlushPage, or FlushAllDirty — each of
+  /// which first forces the log durable up to the page's last_lsn.
   Status WritePage(PageId id, const Page& page);
+
+  /// Switches between write-through (default; every existing caller's
+  /// semantics) and write-back (dirty pages buffered for the WAL).
+  void SetWriteBack(bool enabled) { write_back_ = enabled; }
+  bool write_back() const { return write_back_; }
+
+  /// Installs / clears the WAL ordering callbacks (write-back mode only).
+  void SetWalHook(WalPageHook hook) { wal_hook_ = std::move(hook); }
+
+  /// Dirty-state snapshot of one cached page (rollback bookkeeping).
+  struct PageState {
+    bool present = false;
+    bool dirty = false;
+    Lsn rec_lsn = 0;   ///< LSN that first dirtied the page
+    Lsn last_lsn = 0;  ///< LSN of the latest logged image
+  };
+  PageState GetPageState(PageId id);
+
+  /// Overwrites a cached page's image and dirty state WITHOUT logging —
+  /// transaction rollback restoring a byte-exact before-image. Inserts the
+  /// entry if absent.
+  void RestorePage(PageId id, const Page& image, const PageState& state);
+
+  /// Flushes one page if resident and dirty (log fence first). No-op
+  /// otherwise.
+  Status FlushPage(PageId id);
+
+  /// Ids of all dirty resident pages, sorted (deterministic checkpoint
+  /// flush order).
+  std::vector<PageId> CollectDirtyPageIds();
+
+  /// Flushes every dirty page to the data disk (checkpoint / clean
+  /// shutdown). The log fence applies per page.
+  Status FlushAllDirty();
+
+  /// Drops the ENTIRE cache — including dirty pages — without writing
+  /// anything back: the crash. Outstanding pins must have been released.
+  void DropCacheNoFlush();
 
   /// Allocates a fresh page on the disk (not yet cached).
   PageId AllocatePage() { return disk_->AllocatePage(); }
@@ -130,6 +193,10 @@ class BufferPool {
     int64_t prefetches = 0;
     /// Currently pinned entries (a level, not a monotone counter).
     int64_t pinned_pages = 0;
+    /// Currently dirty entries (write-back mode; a level).
+    int64_t dirty_pages = 0;
+    /// Dirty pages written to the data disk (eviction + flush fences).
+    int64_t dirty_flushes = 0;
   };
   Stats Snapshot() const {
     Stats s;
@@ -138,6 +205,8 @@ class BufferPool {
     s.evictions = evictions_.load(std::memory_order_relaxed);
     s.prefetches = prefetches_.load(std::memory_order_relaxed);
     s.pinned_pages = pinned_pages_.load(std::memory_order_relaxed);
+    s.dirty_pages = dirty_pages_.load(std::memory_order_relaxed);
+    s.dirty_flushes = dirty_flushes_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -155,6 +224,9 @@ class BufferPool {
     Page page;
     std::list<PageId>::iterator lru_it;
     int pins = 0;
+    bool dirty = false;
+    Lsn rec_lsn = 0;
+    Lsn last_lsn = 0;
   };
 
   struct Shard {
@@ -169,20 +241,28 @@ class BufferPool {
 
   void Unpin(PageId id);
   /// Evicts least-recently-used unpinned entries of `shard` until at most
-  /// `target` remain (or only pinned entries are left). Caller holds the
-  /// shard mutex.
+  /// `target` remain (or only pinned entries are left). Dirty victims are
+  /// flushed (log fence first); a victim whose flush fails is skipped and
+  /// stays resident. Caller holds the shard mutex.
   void EvictDownTo(Shard* shard, int64_t target);
+  /// Flushes one dirty entry to the data disk after forcing the log to its
+  /// last_lsn. Caller holds the shard mutex.
+  Status FlushEntryLocked(PageId id, Entry* entry);
   /// Reads `id` from disk with bounded retry (no locks held).
   Status ReadWithRetry(PageId id, Page* image);
 
   SimulatedDisk* disk_;
   int64_t shard_capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  bool write_back_ = false;
+  WalPageHook wal_hook_;
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};
   std::atomic<int64_t> evictions_{0};
   std::atomic<int64_t> prefetches_{0};
   std::atomic<int64_t> pinned_pages_{0};
+  std::atomic<int64_t> dirty_pages_{0};
+  std::atomic<int64_t> dirty_flushes_{0};
   int max_read_attempts_ = 3;
   /// Global registry mirrors (resolved once; bumped beside the atomics so
   /// engine-wide dashboards see all pools without polling each one).

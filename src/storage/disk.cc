@@ -24,6 +24,13 @@ PageId SimulatedDisk::AllocatePage() {
   return static_cast<PageId>(pages_.size());
 }
 
+void SimulatedDisk::EnsureAllocated(PageId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  while (pages_.size() < static_cast<size_t>(id)) {
+    pages_.push_back(std::make_unique<Page>());
+  }
+}
+
 FaultInjector* SimulatedDisk::EnableFaults(FaultConfig config) {
   std::lock_guard<std::mutex> lock(mutex_);
   injector_ = std::make_unique<FaultInjector>(config);

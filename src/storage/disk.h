@@ -101,6 +101,11 @@ class SimulatedDisk {
   /// Allocates a zeroed page and returns its id (never kNullPage).
   PageId AllocatePage();
 
+  /// Grows the allocation so that page `id` exists (no-op when it already
+  /// does). Recovery uses this when replaying a log that references pages
+  /// beyond the current allocation frontier.
+  void EnsureAllocated(PageId id);
+
   /// Number of allocated pages (excluding the reserved null page).
   int64_t page_count() const {
     std::lock_guard<std::mutex> lock(mutex_);

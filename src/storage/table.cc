@@ -10,6 +10,39 @@ Result<std::unique_ptr<Table>> Table::Create(std::string name, Schema schema,
       new Table(std::move(name), std::move(schema), std::move(tree), blobs));
 }
 
+Result<std::unique_ptr<Table>> Table::Attach(std::string name, Schema schema,
+                                             PageId root, BufferPool* pool,
+                                             BlobStore* blobs) {
+  SQLARRAY_ASSIGN_OR_RETURN(BTree tree,
+                            BTree::Attach(pool, schema.row_size(), root));
+  return std::unique_ptr<Table>(
+      new Table(std::move(name), std::move(schema), std::move(tree), blobs));
+}
+
+Result<bool> Table::Delete(int64_t key) {
+  bool has_blobs = false;
+  for (int i = 0; i < schema_.num_columns(); ++i) {
+    if (schema_.column(i).type == ColumnType::kVarBinaryMax) has_blobs = true;
+  }
+  if (!has_blobs) return tree_.Delete(key);
+
+  // Fetch the row first so its blob pages can be reclaimed.
+  std::vector<uint8_t> encoded;
+  SQLARRAY_ASSIGN_OR_RETURN(bool found, tree_.Lookup(key, &encoded));
+  if (!found) return false;
+  SQLARRAY_ASSIGN_OR_RETURN(bool deleted, tree_.Delete(key));
+  if (!deleted) return false;
+  for (int i = 0; i < schema_.num_columns(); ++i) {
+    if (schema_.column(i).type != ColumnType::kVarBinaryMax) continue;
+    SQLARRAY_ASSIGN_OR_RETURN(RowValue v,
+                              schema_.DecodeColumn(encoded.data(), i));
+    if (auto* id = std::get_if<BlobId>(&v)) {
+      SQLARRAY_RETURN_IF_ERROR(blobs_->Free(*id).status());
+    }
+  }
+  return true;
+}
+
 Status Table::Insert(Row row) {
   // Spill raw bytes destined for VARBINARY(MAX) columns out-of-page first.
   for (int i = 0; i < schema_.num_columns(); ++i) {
@@ -68,6 +101,21 @@ Result<Table*> Database::GetTable(const std::string& name) const {
     return Status::NotFound("no table named " + name);
   }
   return it->second.get();
+}
+
+Status Database::AdoptTable(std::unique_ptr<Table> table) {
+  if (tables_.count(table->name()) != 0) {
+    return Status::AlreadyExists("table " + table->name() + " already exists");
+  }
+  tables_[table->name()] = std::move(table);
+  return Status::OK();
+}
+
+Status Database::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound("no table named " + name);
+  }
+  return Status::OK();
 }
 
 }  // namespace sqlarray::storage

@@ -16,6 +16,10 @@
 #include "storage/btree.h"
 #include "storage/schema.h"
 
+namespace sqlarray::wal {
+class WalManager;
+}  // namespace sqlarray::wal
+
 namespace sqlarray::storage {
 
 /// A named clustered table.
@@ -23,6 +27,14 @@ class Table {
  public:
   static Result<std::unique_ptr<Table>> Create(std::string name,
                                                Schema schema,
+                                               BufferPool* pool,
+                                               BlobStore* blobs);
+
+  /// Re-opens a table whose pages already exist on disk, rebuilding the
+  /// B-tree metadata by walking from `root` — crash recovery's path back
+  /// from a logged (name, schema, root) catalog entry to a live table.
+  static Result<std::unique_ptr<Table>> Attach(std::string name,
+                                               Schema schema, PageId root,
                                                BufferPool* pool,
                                                BlobStore* blobs);
 
@@ -64,10 +76,16 @@ class Table {
   /// Point lookup by clustered key.
   Result<std::optional<Row>> Lookup(int64_t key);
 
-  /// Deletes the row with `key`; returns false when absent. (Out-of-page
-  /// blob pages referenced by the row are not reclaimed — the simulated
-  /// disk has no free-space management, as noted in DESIGN.md.)
-  Result<bool> Delete(int64_t key) { return tree_.Delete(key); }
+  /// Deletes the row with `key`; returns false when absent. Out-of-page
+  /// blob pages referenced by the row are reclaimed onto the blob store's
+  /// free-list before the row itself is removed.
+  Result<bool> Delete(int64_t key);
+
+  /// Clustered-index metadata snapshot / restore (transaction rollback).
+  BTree::Meta SnapshotIndexMeta() const { return tree_.SnapshotMeta(); }
+  void RestoreIndexMeta(BTree::Meta meta) {
+    tree_.RestoreMeta(std::move(meta));
+  }
 
   /// Opens a full clustered index scan.
   Result<BTree::Cursor> Scan() const { return tree_.ScanAll(); }
@@ -133,8 +151,27 @@ class Database {
     return names;
   }
 
+  /// Adds an already-constructed table to the catalog (crash recovery's
+  /// re-attach path); fails if the name is taken.
+  Status AdoptTable(std::unique_ptr<Table> table);
+
+  /// Removes a table from the catalog (its pages are not reclaimed —
+  /// rollback of CREATE TABLE and recovery use this).
+  Status DropTable(const std::string& name);
+
+  /// Empties the catalog without touching any pages. Crash simulation uses
+  /// this: after a "crash" only the disks survive, and recovery rebuilds
+  /// the catalog from the log.
+  void ClearCatalog() { tables_.clear(); }
+
   /// Drops all cached pages (cold-cache benchmark reset).
   void ClearCache() { pool_.ClearCache(); }
+
+  /// Wires the write-ahead-log manager to this database. The storage layer
+  /// never calls it — it is an opaque pointer the SQL layer retrieves to
+  /// drive transactions; null when the database runs without a WAL.
+  void AttachWal(wal::WalManager* wal) { wal_ = wal; }
+  wal::WalManager* wal() const { return wal_; }
 
   SimulatedDisk* disk() { return &disk_; }
   BufferPool* buffer_pool() { return &pool_; }
@@ -145,6 +182,7 @@ class Database {
   BufferPool pool_;
   BlobStore blobs_;
   std::map<std::string, std::unique_ptr<Table>> tables_;
+  wal::WalManager* wal_ = nullptr;
 };
 
 }  // namespace sqlarray::storage

@@ -1,0 +1,345 @@
+#include "wal/log.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/crc32c.h"
+
+namespace sqlarray::wal {
+
+namespace {
+
+/// Sanity cap on one record's framed payload (a checkpoint record carrying
+/// a very large catalog or free-list still fits comfortably).
+constexpr uint64_t kMaxRecordBytes = 16u << 20;
+
+constexpr storage::PageId kHeaderDiskPage = 1;
+
+}  // namespace
+
+LogDevice::LogDevice(storage::DiskConfig config) : disk_(config) {
+  // Reserve the header page so it always exists (zeroed => "no checkpoint").
+  disk_.EnsureAllocated(kHeaderDiskPage);
+}
+
+Result<LogHeader> LogDevice::ReadHeader() {
+  storage::Page page;
+  Status s = disk_.ReadPage(kHeaderDiskPage, &page);
+  // An unreadable or torn header is survivable: recovery falls back to
+  // scanning the whole log from page 0.
+  if (!s.ok()) return LogHeader{};
+  if (DecodeLE<uint32_t>(page.data()) != kLogHeaderMagic) return LogHeader{};
+  LogHeader header;
+  uint32_t ckpt_plus1 = DecodeLE<uint32_t>(page.data() + 4);
+  header.has_checkpoint = ckpt_plus1 != 0;
+  header.checkpoint_page = static_cast<int64_t>(ckpt_plus1) - 1;
+  header.checkpoint_lsn = DecodeLE<uint64_t>(page.data() + 8);
+  return header;
+}
+
+Status LogDevice::WriteHeader(const LogHeader& header) {
+  storage::Page page;
+  EncodeLE<uint32_t>(page.data(), kLogHeaderMagic);
+  EncodeLE<uint32_t>(page.data() + 4,
+                     header.has_checkpoint
+                         ? static_cast<uint32_t>(header.checkpoint_page + 1)
+                         : 0);
+  EncodeLE<uint64_t>(page.data() + 8, header.checkpoint_lsn);
+  disk_.EnsureAllocated(kHeaderDiskPage);
+  return disk_.WritePage(kHeaderDiskPage, page);
+}
+
+Result<LogDevice::LogPage> LogDevice::ReadLogPage(int64_t index) {
+  storage::PageId disk_page =
+      static_cast<storage::PageId>(index + kFirstLogDiskPage);
+  LogPage out;
+  SQLARRAY_RETURN_IF_ERROR(disk_.ReadPage(disk_page, &out.raw));
+  if (DecodeLE<uint32_t>(out.raw.data()) != kLogPageMagic) {
+    return Status::Corruption("log page " + std::to_string(index) +
+                              " has no valid header");
+  }
+  out.used = DecodeLE<uint32_t>(out.raw.data() + 4);
+  out.start_lsn = DecodeLE<uint64_t>(out.raw.data() + 8);
+  out.epoch = DecodeLE<uint32_t>(out.raw.data() + 16);
+  if (out.used == 0 || out.used > kLogPageCapacity) {
+    return Status::Corruption("log page " + std::to_string(index) +
+                              " has invalid payload length");
+  }
+  return out;
+}
+
+Status LogDevice::WriteLogPage(int64_t index, uint32_t used, Lsn start_lsn,
+                               uint32_t epoch, const uint8_t* payload) {
+  storage::Page page;
+  EncodeLE<uint32_t>(page.data(), kLogPageMagic);
+  EncodeLE<uint32_t>(page.data() + 4, used);
+  EncodeLE<uint64_t>(page.data() + 8, start_lsn);
+  EncodeLE<uint32_t>(page.data() + 16, epoch);
+  std::memcpy(page.data() + kLogPageHeaderBytes, payload, used);
+  storage::PageId disk_page =
+      static_cast<storage::PageId>(index + kFirstLogDiskPage);
+  disk_.EnsureAllocated(disk_page);
+  return disk_.WritePage(disk_page, page);
+}
+
+LogWriter::LogWriter(LogDevice* device, int64_t group_commit_window_us)
+    : device_(device),
+      window_us_(group_commit_window_us),
+      reg_records_(obs::MetricsRegistry::Global().GetCounter("wal.records")),
+      reg_bytes_(obs::MetricsRegistry::Global().GetCounter("wal.bytes")),
+      reg_flushes_(obs::MetricsRegistry::Global().GetCounter("wal.flushes")),
+      reg_batch_(obs::MetricsRegistry::Global().GetHistogram(
+          "wal.group_commit.batch")) {
+  buffer_.reserve(static_cast<size_t>(kLogPageCapacity));
+}
+
+void LogWriter::SealBufferLocked() {
+  sealed_.push_back(SealedPage{buffer_page_,
+                               static_cast<uint32_t>(buffer_.size()),
+                               buffer_start_lsn_, std::move(buffer_)});
+  buffer_.clear();
+  buffer_.reserve(static_cast<size_t>(kLogPageCapacity));
+  ++buffer_page_;
+  buffer_start_lsn_ = next_lsn_;
+}
+
+Lsn LogWriter::AppendLocked(std::span<const uint8_t> payload, Lsn* end_lsn) {
+  Lsn start = next_lsn_;
+  uint8_t frame[8];
+  EncodeLE<uint32_t>(frame, static_cast<uint32_t>(payload.size()));
+  EncodeLE<uint32_t>(frame + 4, Crc32c(payload.data(), payload.size()));
+  auto append_bytes = [this](const uint8_t* p, size_t n) {
+    while (n > 0) {
+      size_t space = static_cast<size_t>(kLogPageCapacity) - buffer_.size();
+      if (space == 0) {
+        SealBufferLocked();
+        space = static_cast<size_t>(kLogPageCapacity);
+      }
+      size_t take = std::min(space, n);
+      buffer_.insert(buffer_.end(), p, p + take);
+      next_lsn_ += take;
+      p += take;
+      n -= take;
+    }
+  };
+  append_bytes(frame, sizeof(frame));
+  append_bytes(payload.data(), payload.size());
+  if (end_lsn != nullptr) *end_lsn = next_lsn_;
+  reg_records_->Add(1);
+  reg_bytes_->Add(static_cast<int64_t>(payload.size()) + 8);
+  return start;
+}
+
+Result<Lsn> LogWriter::Append(std::span<const uint8_t> payload,
+                              Lsn* end_lsn) {
+  if (payload.size() + 8 > kMaxRecordBytes) {
+    return Status::InvalidArgument("wal record exceeds the size cap");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return AppendLocked(payload, end_lsn);
+}
+
+Status LogWriter::FlushPendingLocked() {
+  if (!buffer_.empty()) SealBufferLocked();
+  if (sealed_.empty()) return Status::OK();
+  for (const SealedPage& page : sealed_) {
+    SQLARRAY_RETURN_IF_ERROR(device_->WriteLogPage(
+        page.index, page.used, page.start_lsn, epoch_, page.payload.data()));
+  }
+  sealed_.clear();
+  durable_lsn_ = next_lsn_;
+  reg_flushes_->Add(1);
+  return Status::OK();
+}
+
+Status LogWriter::FlushTo(Lsn target, bool gather) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (durable_lsn_ >= target) return Status::OK();
+  ++waiting_committers_;
+  Status result;
+  for (;;) {
+    if (durable_lsn_ >= target) break;
+    if (!flush_in_progress_) {
+      // Leader: linger for the group-commit window so concurrent
+      // committers can pile their records into this one flush.
+      flush_in_progress_ = true;
+      if (gather && window_us_ > 0) {
+        cv_.wait_for(lock, std::chrono::microseconds(window_us_));
+      }
+      int64_t batch = waiting_committers_;
+      result = FlushPendingLocked();
+      flush_in_progress_ = false;
+      gc_stats_.flushes++;
+      gc_stats_.committers += batch;
+      gc_stats_.max_batch = std::max(gc_stats_.max_batch, batch);
+      reg_batch_->Observe(batch);
+      cv_.notify_all();
+      break;
+    }
+    cv_.wait(lock,
+             [&] { return durable_lsn_ >= target || !flush_in_progress_; });
+  }
+  --waiting_committers_;
+  if (result.ok() && durable_lsn_ < target) {
+    return Status::Internal("log flush did not reach the requested lsn");
+  }
+  return result;
+}
+
+Status LogWriter::FlushAll() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !flush_in_progress_; });
+  return FlushPendingLocked();
+}
+
+Result<LogWriter::AlignedAppend> LogWriter::AppendAligned(
+    std::span<const uint8_t> payload) {
+  if (payload.size() + 8 > kMaxRecordBytes) {
+    return Status::InvalidArgument("wal record exceeds the size cap");
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !flush_in_progress_; });
+  if (!buffer_.empty()) SealBufferLocked();
+  AlignedAppend out{buffer_page_, next_lsn_};
+  AppendLocked(payload, nullptr);
+  SQLARRAY_RETURN_IF_ERROR(FlushPendingLocked());
+  return out;
+}
+
+void LogWriter::DiscardPending() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!sealed_.empty()) buffer_page_ = sealed_.front().index;
+  sealed_.clear();
+  buffer_.clear();
+  next_lsn_ = durable_lsn_;
+  buffer_start_lsn_ = durable_lsn_;
+}
+
+void LogWriter::Reset(int64_t next_page, Lsn next_lsn, uint32_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sealed_.clear();
+  buffer_.clear();
+  buffer_page_ = next_page;
+  buffer_start_lsn_ = next_lsn;
+  next_lsn_ = next_lsn;
+  durable_lsn_ = next_lsn;
+  epoch_ = epoch;
+}
+
+Lsn LogWriter::next_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_lsn_;
+}
+
+Lsn LogWriter::durable_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return durable_lsn_;
+}
+
+uint32_t LogWriter::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+GroupCommitStats LogWriter::group_commit_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gc_stats_;
+}
+
+Result<LogScan> ScanLog(LogDevice* device, int64_t start_page) {
+  LogScan scan;
+  scan.resume_page = start_page;
+
+  // Phase 1: read the valid page chain. A page extends the chain only when
+  // it is readable, carries the log-page magic, continues the LSN stream
+  // exactly, and does not step its epoch backwards.
+  std::vector<LogDevice::LogPage> pages;
+  for (int64_t index = start_page;; ++index) {
+    Result<LogDevice::LogPage> r = device->ReadLogPage(index);
+    if (!r.ok()) break;
+    if (!pages.empty()) {
+      const LogDevice::LogPage& prev = pages.back();
+      if (r->start_lsn != prev.start_lsn + prev.used) break;
+      if (r->epoch < prev.epoch) break;
+    }
+    pages.push_back(std::move(*r));
+  }
+  if (pages.empty()) return scan;
+
+  // Phase 2: concatenate payloads and parse records, resyncing over dead
+  // regions at epoch increases.
+  struct Span {
+    size_t begin;
+    size_t end;
+    uint32_t epoch;
+  };
+  std::vector<uint8_t> stream;
+  std::vector<Span> spans;
+  uint32_t max_epoch = 1;
+  for (const LogDevice::LogPage& page : pages) {
+    spans.push_back(Span{stream.size(), stream.size() + page.used,
+                         page.epoch});
+    stream.insert(stream.end(), page.payload(), page.payload() + page.used);
+    max_epoch = std::max(max_epoch, page.epoch);
+  }
+  const Lsn base = pages.front().start_lsn;
+  scan.resume_page = start_page + static_cast<int64_t>(pages.size());
+  scan.resume_lsn = base + stream.size();
+  scan.resume_epoch = max_epoch + 1;
+
+  size_t pos = 0;
+  size_t span_idx = 0;
+  auto epoch_at = [&](size_t p) {
+    while (span_idx + 1 < spans.size() && p >= spans[span_idx].end) {
+      ++span_idx;
+    }
+    return spans[span_idx].epoch;
+  };
+  while (pos < stream.size()) {
+    bool valid = false;
+    uint64_t len = 0;
+    if (pos + 8 <= stream.size()) {
+      len = DecodeLE<uint32_t>(stream.data() + pos);
+      uint32_t crc = DecodeLE<uint32_t>(stream.data() + pos + 4);
+      if (len <= kMaxRecordBytes && pos + 8 + len <= stream.size() &&
+          Crc32c(stream.data() + pos + 8, static_cast<size_t>(len)) == crc) {
+        Result<WalRecord> rec = DecodeRecord(std::span<const uint8_t>(
+            stream.data() + pos + 8, static_cast<size_t>(len)));
+        if (rec.ok()) {
+          rec->lsn = base + pos;
+          rec->end_lsn = base + pos + 8 + len;
+          scan.records.push_back(std::move(*rec));
+          pos += 8 + static_cast<size_t>(len);
+          valid = true;
+        }
+      }
+    }
+    if (valid) continue;
+    // The frame at `pos` is torn or corrupt. If a later page carries a
+    // HIGHER epoch, `pos` starts a dead region a crashed writer stranded;
+    // the stream realigns at that page's first byte. Otherwise this is the
+    // genuine end of the log.
+    uint32_t failed_epoch = epoch_at(pos);
+    size_t resync = stream.size();
+    bool found = false;
+    for (size_t j = span_idx; j < spans.size(); ++j) {
+      if (spans[j].begin > pos && spans[j].epoch > failed_epoch) {
+        resync = spans[j].begin;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      scan.truncated = true;
+      scan.truncated_at_lsn = base + pos;
+      break;
+    }
+    scan.dead_bytes_skipped += static_cast<int64_t>(resync - pos);
+    pos = resync;
+  }
+  return scan;
+}
+
+}  // namespace sqlarray::wal

@@ -1,0 +1,206 @@
+// The append-only log device: sealed write-once pages on a SimulatedDisk.
+//
+// The log lives on its OWN simulated disk (its own cost model and fault
+// injector), separate from the data disk — crashes can tear the log tail
+// independently of data pages, exactly the failure recovery must survive.
+//
+// Layout. Disk page 1 is the log header; log page k (0-based) maps to disk
+// page k + 2. Each log page is:
+//   [0..3]  magic 'WALP'
+//   [4..7]  used payload bytes
+//   [8..15] start LSN of the first payload byte
+//   [16..19] writer epoch
+//   [20..23] reserved
+//   [24..]  payload (kLogPageCapacity bytes)
+// An LSN is a byte offset into the concatenation of all page payloads.
+// Records are framed inside the payload stream as
+//   [u32 payload_len][u32 crc32c(payload)][payload]
+// and may span pages.
+//
+// Write-once sealing. Every flush SEALS the current partial page: the page
+// is written to disk exactly once and later appends go to the next page.
+// No disk page is ever rewritten, so a torn flush can only damage records
+// that were never acknowledged — acknowledged bytes are physically immutable.
+// The cost is internal fragmentation per flush, which group commit amortizes.
+//
+// Epochs and dead regions. After a crash the writer resumes at the page
+// AFTER the last fully valid one, with epoch = (max epoch seen) + 1. Bytes
+// of a half-written record stranded at the end of the old tail stay in LSN
+// space as a dead region. The reader detects them: when record parsing fails
+// inside page q but page q+1 carries a HIGHER epoch, the stream resyncs at
+// q+1's first byte (records always realign at page starts after a reset).
+// A parse failure with no higher-epoch successor is the genuine torn tail,
+// and the log logically ends at the failed record's start.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/disk.h"
+#include "wal/record.h"
+
+namespace sqlarray::wal {
+
+using Lsn = uint64_t;
+
+inline constexpr uint32_t kLogHeaderMagic = 0x57414C48;  // 'HLAW' LE = "WALH"
+inline constexpr uint32_t kLogPageMagic = 0x57414C50;    // "WALP"
+inline constexpr int64_t kLogPageHeaderBytes = 24;
+inline constexpr int64_t kLogPageCapacity =
+    storage::kPageSize - kLogPageHeaderBytes;
+/// First disk page backing log page 0 (disk page 1 is the header).
+inline constexpr storage::PageId kFirstLogDiskPage = 2;
+
+/// The durable log header: where the last checkpoint record starts.
+struct LogHeader {
+  bool has_checkpoint = false;
+  int64_t checkpoint_page = 0;  ///< log page index of the checkpoint record
+  Lsn checkpoint_lsn = 0;
+};
+
+/// Owns the log's disk and the header page.
+class LogDevice {
+ public:
+  explicit LogDevice(storage::DiskConfig config = {});
+
+  Result<LogHeader> ReadHeader();
+  Status WriteHeader(const LogHeader& header);
+
+  /// Reads log page `index`; fails if the disk page is unreadable or does
+  /// not carry a valid log-page header.
+  struct LogPage {
+    uint32_t used = 0;
+    Lsn start_lsn = 0;
+    uint32_t epoch = 0;
+    storage::Page raw;
+    const uint8_t* payload() const { return raw.data() + kLogPageHeaderBytes; }
+  };
+  Result<LogPage> ReadLogPage(int64_t index);
+
+  /// Writes log page `index` (allocating through it as needed).
+  Status WriteLogPage(int64_t index, uint32_t used, Lsn start_lsn,
+                      uint32_t epoch, const uint8_t* payload);
+
+  storage::SimulatedDisk* disk() { return &disk_; }
+
+ private:
+  storage::SimulatedDisk disk_;
+};
+
+/// Group-commit accounting.
+struct GroupCommitStats {
+  int64_t flushes = 0;       ///< physical flushes (pages written batches)
+  int64_t committers = 0;    ///< FlushTo callers served
+  int64_t max_batch = 0;     ///< most committers served by one flush
+};
+
+/// The appender. Thread-safe; one writer object per log.
+class LogWriter {
+ public:
+  /// `group_commit_window_us` > 0 makes the flush leader linger that long
+  /// collecting followers before issuing the physical flush.
+  LogWriter(LogDevice* device, int64_t group_commit_window_us = 0);
+
+  /// Frames and buffers a record payload. Returns the record's start LSN;
+  /// `end_lsn` (if non-null) receives the LSN one past the record. Not
+  /// durable until a flush covers end_lsn.
+  Result<Lsn> Append(std::span<const uint8_t> payload, Lsn* end_lsn = nullptr);
+
+  /// Makes the log durable through at least `target`. Concurrent callers
+  /// group-commit: one leader flushes for everyone whose target is covered.
+  /// `gather` false skips the commit window — the buffer pool's
+  /// WAL-before-data fence uses it, since an eviction has no reason to
+  /// linger for company.
+  Status FlushTo(Lsn target, bool gather = true);
+
+  /// Flushes everything appended so far.
+  Status FlushAll();
+
+  /// Appends `payload` as the FIRST record of a fresh page (sealing the
+  /// current one), then flushes. Returns the record's page index and LSN —
+  /// what the header needs to point at a checkpoint.
+  struct AlignedAppend {
+    int64_t page = 0;
+    Lsn lsn = 0;
+  };
+  Result<AlignedAppend> AppendAligned(std::span<const uint8_t> payload);
+
+  /// Drops all buffered-but-unflushed bytes (crash simulation: they were
+  /// only in memory).
+  void DiscardPending();
+
+  /// Re-bases the writer after recovery: next append goes to `next_page`
+  /// at LSN `next_lsn` under `epoch`.
+  void Reset(int64_t next_page, Lsn next_lsn, uint32_t epoch);
+
+  Lsn next_lsn() const;
+  Lsn durable_lsn() const;
+  uint32_t epoch() const;
+  GroupCommitStats group_commit_stats() const;
+
+ private:
+  /// Frames and buffers a payload. Caller holds mu_.
+  Lsn AppendLocked(std::span<const uint8_t> payload, Lsn* end_lsn);
+  /// Seals the open tail page onto the sealed queue. Caller holds mu_.
+  void SealBufferLocked();
+  /// Seals the buffered page (if it holds any bytes) and writes every
+  /// sealed-but-unwritten page to the device. Caller holds mu_.
+  Status FlushPendingLocked();
+
+  LogDevice* device_;
+  int64_t window_us_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool flush_in_progress_ = false;
+  int64_t waiting_committers_ = 0;
+
+  /// Sealed pages not yet on disk (index, used, start_lsn, payload).
+  struct SealedPage {
+    int64_t index;
+    uint32_t used;
+    Lsn start_lsn;
+    std::vector<uint8_t> payload;
+  };
+  std::vector<SealedPage> sealed_;
+
+  /// The open tail page being appended into.
+  std::vector<uint8_t> buffer_;
+  int64_t buffer_page_ = 0;
+  Lsn buffer_start_lsn_ = 0;
+
+  Lsn next_lsn_ = 0;
+  Lsn durable_lsn_ = 0;
+  uint32_t epoch_ = 1;
+
+  GroupCommitStats gc_stats_;
+  obs::Counter* reg_records_;
+  obs::Counter* reg_bytes_;
+  obs::Counter* reg_flushes_;
+  obs::Histogram* reg_batch_;
+};
+
+/// Result of scanning the log from a page boundary.
+struct LogScan {
+  std::vector<WalRecord> records;  ///< valid records, in LSN order
+  /// Where a post-recovery writer must resume.
+  int64_t resume_page = 0;
+  Lsn resume_lsn = 0;
+  uint32_t resume_epoch = 1;  ///< max epoch seen + 1
+  /// True when the scan ended at a torn/invalid suffix (truncated bytes
+  /// follow `truncated_at_lsn`).
+  bool truncated = false;
+  Lsn truncated_at_lsn = 0;
+  int64_t dead_bytes_skipped = 0;  ///< bytes skipped via epoch resync
+};
+
+/// Scans the log starting at log page `start_page` (which must be a record
+/// boundary — page 0 or a checkpoint page). Stops at the first torn or
+/// invalid suffix; never fails on one.
+Result<LogScan> ScanLog(LogDevice* device, int64_t start_page);
+
+}  // namespace sqlarray::wal

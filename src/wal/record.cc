@@ -1,0 +1,239 @@
+#include "wal/record.h"
+
+#include <cstring>
+
+#include "common/bytes.h"
+
+namespace sqlarray::wal {
+
+namespace {
+
+void PutU8(std::vector<uint8_t>* out, uint8_t v) { out->push_back(v); }
+
+void PutU16(std::vector<uint8_t>* out, uint16_t v) {
+  size_t at = out->size();
+  out->resize(at + 2);
+  EncodeLE<uint16_t>(out->data() + at, v);
+}
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  size_t at = out->size();
+  out->resize(at + 4);
+  EncodeLE<uint32_t>(out->data() + at, v);
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  size_t at = out->size();
+  out->resize(at + 8);
+  EncodeLE<uint64_t>(out->data() + at, v);
+}
+
+void PutString(std::vector<uint8_t>* out, const std::string& s) {
+  PutU16(out, static_cast<uint16_t>(s.size()));
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+void PutSchema(std::vector<uint8_t>* out,
+               const std::vector<storage::ColumnDef>& columns) {
+  PutU16(out, static_cast<uint16_t>(columns.size()));
+  for (const auto& col : columns) {
+    PutString(out, col.name);
+    PutU8(out, static_cast<uint8_t>(col.type));
+    PutU32(out, static_cast<uint32_t>(col.capacity));
+  }
+}
+
+void PutFreeList(std::vector<uint8_t>* out,
+                 const std::vector<storage::PageId>& pages) {
+  PutU32(out, static_cast<uint32_t>(pages.size()));
+  for (storage::PageId id : pages) PutU32(out, id);
+}
+
+/// Bounds-checked sequential reader over a record payload.
+class Cursor {
+ public:
+  explicit Cursor(std::span<const uint8_t> data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+  uint8_t U8() { return Fixed<uint8_t>(); }
+  uint16_t U16() { return Fixed<uint16_t>(); }
+  uint32_t U32() { return Fixed<uint32_t>(); }
+  uint64_t U64() { return Fixed<uint64_t>(); }
+
+  std::string String() {
+    uint16_t len = U16();
+    if (!Need(len)) return {};
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+  void Bytes(uint8_t* dst, size_t n) {
+    if (!Need(n)) return;
+    std::memcpy(dst, data_.data() + pos_, n);
+    pos_ += n;
+  }
+
+ private:
+  template <typename T>
+  T Fixed() {
+    if (!Need(sizeof(T))) return T{};
+    T v = DecodeLE<T>(data_.data() + pos_);
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  bool Need(size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+Result<std::vector<storage::ColumnDef>> ReadSchema(Cursor* cur) {
+  uint16_t n = cur->U16();
+  std::vector<storage::ColumnDef> columns;
+  columns.reserve(n);
+  for (uint16_t i = 0; i < n && cur->ok(); ++i) {
+    storage::ColumnDef col;
+    col.name = cur->String();
+    uint8_t type = cur->U8();
+    if (type > static_cast<uint8_t>(storage::ColumnType::kVarBinaryMax)) {
+      return Status::Corruption("wal record carries unknown column type");
+    }
+    col.type = static_cast<storage::ColumnType>(type);
+    col.capacity = static_cast<int32_t>(cur->U32());
+    columns.push_back(std::move(col));
+  }
+  return columns;
+}
+
+std::vector<storage::PageId> ReadFreeList(Cursor* cur) {
+  uint32_t n = cur->U32();
+  std::vector<storage::PageId> pages;
+  if (cur->ok()) pages.reserve(n);
+  for (uint32_t i = 0; i < n && cur->ok(); ++i) pages.push_back(cur->U32());
+  return pages;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeRecord(const WalRecord& record) {
+  std::vector<uint8_t> out;
+  PutU8(&out, static_cast<uint8_t>(record.type));
+  PutU64(&out, record.txn);
+  switch (record.type) {
+    case RecordType::kBegin:
+    case RecordType::kAbort:
+      break;
+    case RecordType::kPageWrite:
+      PutU32(&out, record.page_id);
+      out.insert(out.end(), record.page_image.bytes.begin(),
+                 record.page_image.bytes.end());
+      break;
+    case RecordType::kCreateTable:
+      PutString(&out, record.catalog.at(0).name);
+      PutSchema(&out, record.catalog.at(0).columns);
+      PutU32(&out, record.catalog.at(0).root);
+      break;
+    case RecordType::kCommit:
+      PutU16(&out, static_cast<uint16_t>(record.catalog.size()));
+      for (const auto& entry : record.catalog) {
+        PutString(&out, entry.name);
+        PutU32(&out, entry.root);
+      }
+      PutU8(&out, record.has_free_list ? 1 : 0);
+      if (record.has_free_list) PutFreeList(&out, record.free_list);
+      break;
+    case RecordType::kCheckpoint:
+      PutU16(&out, static_cast<uint16_t>(record.catalog.size()));
+      for (const auto& entry : record.catalog) {
+        PutString(&out, entry.name);
+        PutSchema(&out, entry.columns);
+        PutU32(&out, entry.root);
+      }
+      PutFreeList(&out, record.free_list);
+      break;
+  }
+  return out;
+}
+
+Result<WalRecord> DecodeRecord(std::span<const uint8_t> payload) {
+  Cursor cur(payload);
+  WalRecord rec;
+  uint8_t type = cur.U8();
+  if (type < static_cast<uint8_t>(RecordType::kBegin) ||
+      type > static_cast<uint8_t>(RecordType::kCheckpoint)) {
+    return Status::Corruption("wal record has unknown type tag");
+  }
+  rec.type = static_cast<RecordType>(type);
+  rec.txn = cur.U64();
+  switch (rec.type) {
+    case RecordType::kBegin:
+    case RecordType::kAbort:
+      break;
+    case RecordType::kPageWrite:
+      rec.page_id = cur.U32();
+      cur.Bytes(rec.page_image.data(), static_cast<size_t>(storage::kPageSize));
+      break;
+    case RecordType::kCreateTable: {
+      CatalogEntry entry;
+      entry.name = cur.String();
+      SQLARRAY_ASSIGN_OR_RETURN(entry.columns, ReadSchema(&cur));
+      entry.root = cur.U32();
+      rec.catalog.push_back(std::move(entry));
+      break;
+    }
+    case RecordType::kCommit: {
+      uint16_t n = cur.U16();
+      for (uint16_t i = 0; i < n && cur.ok(); ++i) {
+        CatalogEntry entry;
+        entry.name = cur.String();
+        entry.root = cur.U32();
+        rec.catalog.push_back(std::move(entry));
+      }
+      rec.has_free_list = cur.U8() != 0;
+      if (rec.has_free_list) rec.free_list = ReadFreeList(&cur);
+      break;
+    }
+    case RecordType::kCheckpoint: {
+      uint16_t n = cur.U16();
+      for (uint16_t i = 0; i < n && cur.ok(); ++i) {
+        CatalogEntry entry;
+        entry.name = cur.String();
+        SQLARRAY_ASSIGN_OR_RETURN(entry.columns, ReadSchema(&cur));
+        entry.root = cur.U32();
+        rec.catalog.push_back(std::move(entry));
+      }
+      rec.has_free_list = true;
+      rec.free_list = ReadFreeList(&cur);
+      break;
+    }
+  }
+  if (!cur.ok() || !cur.AtEnd()) {
+    return Status::Corruption("wal record payload is malformed");
+  }
+  return rec;
+}
+
+const char* RecordTypeName(RecordType type) {
+  switch (type) {
+    case RecordType::kBegin: return "BEGIN";
+    case RecordType::kCommit: return "COMMIT";
+    case RecordType::kAbort: return "ABORT";
+    case RecordType::kPageWrite: return "PAGE_WRITE";
+    case RecordType::kCreateTable: return "CREATE_TABLE";
+    case RecordType::kCheckpoint: return "CHECKPOINT";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace sqlarray::wal

@@ -1,0 +1,88 @@
+// Write-ahead-log record types and their codec.
+//
+// The log is a stream of redo-only records in the ARIES tradition: page
+// writes are logged as full-page images (physical redo, idempotent under
+// replay), and transaction boundaries plus catalog changes are logged
+// logically. Each record's serialized payload starts with a one-byte type
+// tag and the owning transaction id; framing (length + CRC32C) is the log
+// writer's job, not the codec's.
+//
+// Record payloads (little-endian throughout):
+//   common header : [0] type u8, [1..8] txn u64
+//   kBegin/kAbort : header only
+//   kPageWrite    : u32 page_id, then the full kPageSize image
+//   kCreateTable  : catalog entry (name, schema, root page)
+//   kCommit       : u16 n x {u16 name_len, name, u32 root} — the roots the
+//                   txn's tables ended at — then u8 has_free_list and, when
+//                   set, the ABSOLUTE blob free-list (u32 n x u32 page).
+//   kCheckpoint   : u16 n x full catalog entry, then the blob free-list.
+//
+// The free-list is always logged as absolute state, never as deltas:
+// replaying "the list was exactly X" twice is idempotent, whereas replaying
+// individual free/reuse operations would not be.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page.h"
+#include "storage/schema.h"
+
+namespace sqlarray::wal {
+
+/// Transaction id 0 marks writes made outside any transaction (bulk loads
+/// and direct storage-API callers). Redo always replays them.
+inline constexpr uint64_t kSystemTxn = 0;
+
+enum class RecordType : uint8_t {
+  kBegin = 1,
+  kCommit = 2,
+  kAbort = 3,
+  kPageWrite = 4,
+  kCreateTable = 5,
+  kCheckpoint = 6,
+};
+
+/// One table's catalog state as carried in the log. kCommit entries carry
+/// only (name, root); kCreateTable and kCheckpoint entries carry the schema
+/// too, because recovery may have no other source for it.
+struct CatalogEntry {
+  std::string name;
+  std::vector<storage::ColumnDef> columns;  ///< empty in kCommit entries
+  storage::PageId root = storage::kNullPage;
+};
+
+/// A decoded log record. Encode reads only the fields its type uses.
+struct WalRecord {
+  RecordType type = RecordType::kBegin;
+  uint64_t txn = kSystemTxn;
+
+  // kPageWrite
+  storage::PageId page_id = storage::kNullPage;
+  storage::Page page_image;
+
+  // kCommit (name+root), kCreateTable (one entry), kCheckpoint (full catalog)
+  std::vector<CatalogEntry> catalog;
+
+  // kCommit (optional) and kCheckpoint (always)
+  bool has_free_list = false;
+  std::vector<storage::PageId> free_list;
+
+  // Filled by the log reader: byte positions of this record's payload frame
+  // in the log's LSN space.
+  uint64_t lsn = 0;
+  uint64_t end_lsn = 0;
+};
+
+/// Serializes a record payload (no frame).
+std::vector<uint8_t> EncodeRecord(const WalRecord& record);
+
+/// Parses a record payload. Fails with kCorruption on a malformed payload.
+Result<WalRecord> DecodeRecord(std::span<const uint8_t> payload);
+
+const char* RecordTypeName(RecordType type);
+
+}  // namespace sqlarray::wal

@@ -1,0 +1,183 @@
+// The write-ahead-log manager: transactions, checkpoints, crash recovery.
+//
+// WalManager ties the log device to a storage::Database. On construction it
+// switches the buffer pool into write-back mode and installs the WAL hooks,
+// so from then on every page write is logged as a full-page image BEFORE it
+// can reach the data disk (the WAL-before-data invariant; the pool enforces
+// it at eviction and flush).
+//
+// Transaction model — redo-only ARIES, simplified by two invariants:
+//   * single writer: Begin() takes the manager's DML lock and Commit/
+//     Rollback (from the same thread) release it, so write transactions are
+//     serialized. Readers are unaffected.
+//   * no-steal: every page a transaction touches stays PINNED (the manager
+//     holds the pin with the page's before-image), so uncommitted data can
+//     never be evicted to the data disk. Recovery therefore never needs
+//     undo — replaying committed transactions' page images is enough.
+// Rollback of a live transaction is pure in-memory undo: restore the
+// byte-exact before-images, the B-tree metadata snapshots, the blob
+// free-list snapshot, and drop tables the transaction created.
+//
+// Writes made OUTSIDE any transaction (bulk loads, direct storage calls)
+// are logged under txn id 0 and always replayed: they stay durable once
+// flushed, but a crash in the middle of a multi-page txn-0 operation can
+// leave a torn structure — the documented cost of skipping Begin.
+//
+// Checkpoints are fuzzy-free here thanks to the single-writer lock: with no
+// transaction open, flush the log, flush every dirty page (one by one, in
+// sorted order — each step is a crash site the torture tests hit), append a
+// checkpoint record carrying the full catalog and blob free-list to a fresh
+// log page, and finally point the log header at it. A crash between any two
+// steps leaves the PREVIOUS checkpoint valid; replay is just longer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+#include "wal/log.h"
+
+namespace sqlarray::wal {
+
+struct WalConfig {
+  /// Cost model for the log's own disk.
+  storage::DiskConfig log_disk;
+  /// Group-commit window: how long a flush leader lingers collecting
+  /// concurrent committers before issuing the physical flush. 0 = flush
+  /// immediately (every commit pays its own flush).
+  int64_t group_commit_window_us = 0;
+};
+
+/// What one Recover() run did.
+struct RecoveryStats {
+  int64_t records_scanned = 0;
+  int64_t pages_redone = 0;
+  int64_t txns_committed = 0;
+  /// Transactions with log records but no commit record (in-flight at the
+  /// crash, or rolled back) — their writes were NOT replayed.
+  int64_t txns_lost = 0;
+  int64_t tables_attached = 0;
+  int64_t dead_bytes_skipped = 0;
+  bool truncated_tail = false;
+  bool used_checkpoint = false;
+};
+
+class WalManager {
+ public:
+  /// Attaches to `db`: installs the pool hooks, enables write-back, and
+  /// registers itself via Database::AttachWal.
+  explicit WalManager(storage::Database* db, WalConfig config = {});
+  /// Clean shutdown: flushes the log and all dirty pages, then detaches.
+  ~WalManager();
+
+  WalManager(const WalManager&) = delete;
+  WalManager& operator=(const WalManager&) = delete;
+
+  /// Starts a transaction, taking the DML lock until Commit/Rollback (which
+  /// must run on this thread). Returns the transaction id.
+  Result<uint64_t> Begin();
+
+  /// Logs the commit record, releases the transaction's pins and the DML
+  /// lock, then forces the log (the group-commit point). The transaction is
+  /// durable when this returns OK.
+  Status Commit(uint64_t txn);
+
+  /// In-memory undo: restores before-images, index metadata, the blob
+  /// free-list, and drops created tables; releases the DML lock. Nothing
+  /// needs to be flushed — an unflushed transaction simply vanishes.
+  Status Rollback(uint64_t txn);
+
+  bool in_txn() const;
+
+  /// True while `txn` is the open transaction. Turns false at Commit/
+  /// Rollback and at SimulateCrash — sessions use it to notice that a
+  /// crash killed the transaction they thought was open.
+  bool TxnActive(uint64_t txn) const;
+
+  /// Must be called before a transaction first mutates `table`: snapshots
+  /// the index metadata for rollback. No-op outside a transaction and on
+  /// repeat calls.
+  Status NoteTableTouched(uint64_t txn, storage::Table* table);
+
+  /// Logs a CREATE TABLE (schema + root) so recovery can re-attach it.
+  /// Call right after Database::CreateTable, inside or outside a txn.
+  Status NoteTableCreated(uint64_t txn, storage::Table* table);
+
+  /// Takes a checkpoint (see file comment). Must not be called with a
+  /// transaction open on this thread (the DML lock would deadlock).
+  Status Checkpoint();
+
+  /// Crash recovery: rebuilds the database from the data disk + log.
+  /// Idempotent — running it twice yields byte-identical data pages.
+  Result<RecoveryStats> Recover();
+
+  /// Simulates the process dying: drops every volatile structure (cache,
+  /// catalog, free-list, unflushed log bytes) while both disks survive.
+  /// Call Recover() afterwards. Any open transaction must belong to the
+  /// calling thread (its DML lock is released here).
+  void SimulateCrash();
+
+  /// Arms a simulated crash inside the NEXT Checkpoint() call, which then
+  /// returns kInternal after the given step:
+  ///   1 = log flushed   2 = first dirty page flushed (mid data flush)
+  ///   3 = all dirty pages flushed   4 = checkpoint record appended,
+  ///       header not yet updated
+  /// 0 disarms. The caller then drives SimulateCrash()/Recover().
+  void set_checkpoint_crash_step(int step) { checkpoint_crash_step_ = step; }
+
+  const RecoveryStats& last_recovery() const { return last_recovery_; }
+  LogDevice* log_device() { return &device_; }
+  LogWriter* log_writer() { return &writer_; }
+  storage::Database* db() { return db_; }
+
+ private:
+  struct ActiveTxn {
+    uint64_t id = 0;
+    struct BeforeImage {
+      storage::Page image;
+      storage::BufferPool::PageState state;
+      storage::PinnedPage pin;  ///< no-steal: blocks eviction until resolve
+    };
+    std::map<storage::PageId, BeforeImage> before;
+    std::map<std::string, storage::BTree::Meta> touched;
+    std::vector<std::string> created;
+    std::vector<storage::PageId> free_list_snapshot;
+  };
+
+  /// The buffer-pool hook: captures the before-image on first touch and
+  /// appends the full-page-image record. Returns the record's end LSN.
+  Result<Lsn> LogPageWrite(storage::PageId id, const storage::Page& page);
+
+  /// Releases the current transaction's state and the DML lock.
+  void FinishTxnLocked();
+
+  storage::Database* db_;
+  storage::BufferPool* pool_;
+  LogDevice device_;
+  LogWriter writer_;
+
+  /// Serializes write transactions; held from Begin to Commit/Rollback.
+  std::mutex dml_mu_;
+  /// Guards current_txn_/active_ against the page-write hook, which can
+  /// fire from any thread doing txn-0 writes.
+  mutable std::mutex txn_mu_;
+  std::unique_ptr<ActiveTxn> active_;
+  uint64_t next_txn_id_ = 1;
+
+  int checkpoint_crash_step_ = 0;
+  RecoveryStats last_recovery_;
+
+  obs::Counter* reg_commits_;
+  obs::Counter* reg_aborts_;
+  obs::Counter* reg_checkpoints_;
+  obs::Counter* reg_recoveries_;
+  obs::Counter* reg_recovery_pages_;
+  obs::Counter* reg_recovery_records_;
+};
+
+}  // namespace sqlarray::wal
