@@ -36,6 +36,31 @@ if(NOT metrics_type STREQUAL "OBJECT")
   message(FATAL_ERROR "${JSON_OUT}: 'metrics' is ${metrics_type}, expected OBJECT")
 endif()
 
+# Benches that report multi-session results (bench_server) additionally
+# carry a top-level "server" object; -DEXPECT_SERVER=ON makes its shape
+# mandatory: both A/B configs present with numeric tail-latency members.
+if(EXPECT_SERVER)
+  string(JSON server_type ERROR_VARIABLE json_err TYPE "${json_text}" server)
+  if(json_err)
+    message(FATAL_ERROR "${JSON_OUT}: no 'server' member: ${json_err}")
+  endif()
+  if(NOT server_type STREQUAL "OBJECT")
+    message(FATAL_ERROR "${JSON_OUT}: 'server' is ${server_type}, expected OBJECT")
+  endif()
+  foreach(config admission_on admission_off)
+    foreach(member ok rejected deadline_kills p50_ms p99_ms qps)
+      string(JSON member_type ERROR_VARIABLE json_err TYPE "${json_text}"
+             server ${config} ${member})
+      if(json_err)
+        message(FATAL_ERROR "${JSON_OUT}: server.${config}.${member} missing: ${json_err}")
+      endif()
+      if(NOT member_type STREQUAL "NUMBER")
+        message(FATAL_ERROR "${JSON_OUT}: server.${config}.${member} is ${member_type}, expected NUMBER")
+      endif()
+    endforeach()
+  endforeach()
+endif()
+
 string(JSON n_records LENGTH "${json_text}" records)
 string(JSON n_metrics LENGTH "${json_text}" metrics)
 message(STATUS "${JSON_OUT}: ${n_records} records, ${n_metrics} metrics — OK")

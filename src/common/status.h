@@ -28,6 +28,8 @@ enum class StatusCode {
   kResourceExhausted,
   kUnimplemented,
   kInternal,
+  kCancelled,          ///< cooperative cancellation (user kill, shutdown)
+  kDeadlineExceeded,   ///< statement deadline / timeout expired
 };
 
 /// Returns a stable human-readable name for a StatusCode.
@@ -72,6 +74,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return rep_ == nullptr; }

@@ -4,10 +4,15 @@
 
 #include "core/kernels.h"
 #include "core/ops.h"
+#include "gov/gov.h"
 
 namespace sqlarray {
 
 namespace {
+
+/// Elements between cooperative cancellation probes in boxed loops. The
+/// probe is a thread-local load when the query is ungoverned.
+constexpr int64_t kCancelMask = 8191;
 
 struct RealAccum {
   double sum = 0;
@@ -79,7 +84,12 @@ Result<double> AggregateAllBoxed(const ArrayRef& a, AggKind kind) {
   }
   RealAccum acc;
   const int64_t n = a.num_elements();
-  for (int64_t i = 0; i < n; ++i) acc.Add(a.GetDouble(i).value());
+  for (int64_t i = 0; i < n; ++i) {
+    if ((i & kCancelMask) == 0) {
+      SQLARRAY_RETURN_IF_ERROR(gov::CheckThreadCancel());
+    }
+    acc.Add(a.GetDouble(i).value());
+  }
   return acc.Finish(kind);
 }
 
@@ -127,6 +137,9 @@ Result<std::complex<double>> AggregateAllComplex(const ArrayRef& a,
   std::complex<double> sum = 0;
   const int64_t n = a.num_elements();
   for (int64_t i = 0; i < n; ++i) {
+    if ((i & kCancelMask) == 0) {
+      SQLARRAY_RETURN_IF_ERROR(gov::CheckThreadCancel());
+    }
     SQLARRAY_ASSIGN_OR_RETURN(std::complex<double> v, a.GetComplex(i));
     sum += v;
   }
@@ -182,6 +195,7 @@ Result<OwnedArray> AggregateAxis(const ArrayRef& a, int axis, AggKind kind) {
       const uint8_t* base = a.payload().data();
       const int esize = a.elem_size();
       for (int64_t o = 0; o < out_n; ++o) {
+        SQLARRAY_RETURN_IF_ERROR(gov::CheckThreadCancel());
         kernels::ReduceStats stats;
         fn(base + o * axis_len * esize, axis_len, &stats);
         SQLARRAY_ASSIGN_OR_RETURN(double v, FinishStats(stats, kind));
@@ -194,6 +208,7 @@ Result<OwnedArray> AggregateAxis(const ArrayRef& a, int axis, AggKind kind) {
   // Enumerate the reduced index space; for each output cell walk the axis.
   Dims cursor(a.rank(), 0);
   for (int64_t o = 0; o < out_n; ++o) {
+    SQLARRAY_RETURN_IF_ERROR(gov::CheckThreadCancel());
     int64_t base = 0;
     for (int k = 0; k < a.rank(); ++k) {
       if (k != axis) base += cursor[k] * strides[k];
@@ -201,6 +216,9 @@ Result<OwnedArray> AggregateAxis(const ArrayRef& a, int axis, AggKind kind) {
     if (cpx) {
       std::complex<double> sum = 0;
       for (int64_t j = 0; j < axis_len; ++j) {
+        if ((j & kCancelMask) == 0) {
+          SQLARRAY_RETURN_IF_ERROR(gov::CheckThreadCancel());
+        }
         sum += a.GetComplex(base + j * axis_stride).value();
       }
       std::complex<double> v = sum;
@@ -213,6 +231,9 @@ Result<OwnedArray> AggregateAxis(const ArrayRef& a, int axis, AggKind kind) {
     } else {
       RealAccum acc;
       for (int64_t j = 0; j < axis_len; ++j) {
+        if ((j & kCancelMask) == 0) {
+          SQLARRAY_RETURN_IF_ERROR(gov::CheckThreadCancel());
+        }
         acc.Add(a.GetDouble(base + j * axis_stride).value());
       }
       SQLARRAY_ASSIGN_OR_RETURN(double v, acc.Finish(kind));

@@ -2,10 +2,14 @@
 
 #include "core/kernels.h"
 #include "core/ops.h"
+#include "gov/gov.h"
 
 namespace sqlarray {
 
 namespace {
+
+/// Elements between cooperative cancellation probes in boxed loops.
+constexpr int64_t kCancelMask = 8191;
 
 /// Rank of a dtype in the promotion lattice.
 int PromoRank(DType t) {
@@ -105,6 +109,9 @@ Result<OwnedArray> ElementwiseBinaryBoxed(const ArrayRef& lhs,
   const int dsize = DTypeSize(out_dtype);
   if (IsComplexDType(lhs.dtype()) || IsComplexDType(rhs.dtype())) {
     for (int64_t i = 0; i < n; ++i) {
+      if ((i & kCancelMask) == 0) {
+        SQLARRAY_RETURN_IF_ERROR(gov::CheckThreadCancel());
+      }
       SQLARRAY_ASSIGN_OR_RETURN(std::complex<double> x, lhs.GetComplex(i));
       SQLARRAY_ASSIGN_OR_RETURN(std::complex<double> y, rhs.GetComplex(i));
       SQLARRAY_ASSIGN_OR_RETURN(std::complex<double> v,
@@ -114,6 +121,9 @@ Result<OwnedArray> ElementwiseBinaryBoxed(const ArrayRef& lhs,
     }
   } else {
     for (int64_t i = 0; i < n; ++i) {
+      if ((i & kCancelMask) == 0) {
+        SQLARRAY_RETURN_IF_ERROR(gov::CheckThreadCancel());
+      }
       SQLARRAY_ASSIGN_OR_RETURN(double x, lhs.GetDouble(i));
       SQLARRAY_ASSIGN_OR_RETURN(double y, rhs.GetDouble(i));
       SQLARRAY_ASSIGN_OR_RETURN(double v, ApplyOpReal(x, y, op));
@@ -153,6 +163,9 @@ Result<OwnedArray> ElementwiseScalarBoxed(const ArrayRef& a, double scalar,
   const int dsize = DTypeSize(out_dtype);
   if (IsComplexDType(a.dtype())) {
     for (int64_t i = 0; i < n; ++i) {
+      if ((i & kCancelMask) == 0) {
+        SQLARRAY_RETURN_IF_ERROR(gov::CheckThreadCancel());
+      }
       SQLARRAY_ASSIGN_OR_RETURN(std::complex<double> x, a.GetComplex(i));
       SQLARRAY_ASSIGN_OR_RETURN(std::complex<double> v,
                                 ApplyOpComplex(x, {scalar, 0.0}, op));
@@ -161,6 +174,9 @@ Result<OwnedArray> ElementwiseScalarBoxed(const ArrayRef& a, double scalar,
     }
   } else {
     for (int64_t i = 0; i < n; ++i) {
+      if ((i & kCancelMask) == 0) {
+        SQLARRAY_RETURN_IF_ERROR(gov::CheckThreadCancel());
+      }
       SQLARRAY_ASSIGN_OR_RETURN(double x, a.GetDouble(i));
       SQLARRAY_ASSIGN_OR_RETURN(double v, ApplyOpReal(x, scalar, op));
       SQLARRAY_RETURN_IF_ERROR(
@@ -205,6 +221,9 @@ Result<std::complex<double>> DotBoxed(const ArrayRef& a, const ArrayRef& b) {
   std::complex<double> sum = 0;
   const int64_t n = a.num_elements();
   for (int64_t i = 0; i < n; ++i) {
+    if ((i & kCancelMask) == 0) {
+      SQLARRAY_RETURN_IF_ERROR(gov::CheckThreadCancel());
+    }
     SQLARRAY_ASSIGN_OR_RETURN(std::complex<double> x, a.GetComplex(i));
     SQLARRAY_ASSIGN_OR_RETURN(std::complex<double> y, b.GetComplex(i));
     sum += x * y;

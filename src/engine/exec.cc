@@ -43,7 +43,12 @@ bool SubqueryScope::active() const {
 void SubqueryScope::Release() {
   // Only uninstall if the executor still points at THIS scope's function —
   // a scope displaced by a newer install must not tear the newer one down.
-  if (active()) executor_->subquery_fn_ = nullptr;
+  // CAS so a concurrent install from another session cannot be torn down
+  // between the check and the clear.
+  if (executor_ != nullptr && fn_ != nullptr) {
+    const SubqueryFn* expected = fn_.get();
+    executor_->subquery_fn_.compare_exchange_strong(expected, nullptr);
+  }
   executor_ = nullptr;
   fn_.reset();
 }
@@ -61,6 +66,9 @@ Result<Value> Executor::EvalStandalone(const Expr& expr,
   ctx.udf.subquery = subquery_fn_;
   ctx.udf.stats = stats;
   ctx.udf.cost = &cost_;
+  // Standalone evaluation has no QueryContext; ambient thread limits (the
+  // session installs them per statement) keep UDF chains governable.
+  ctx.udf.limits = gov::ThreadLimits();
   return Eval(expr, ctx);
 }
 
@@ -111,6 +119,10 @@ Result<std::vector<std::vector<Value>>> Executor::MaterializeTvf(
   ctx.stats = stats;
   ctx.cost = &cost_;
   ctx.subquery = subquery_fn_;
+  ctx.limits = gov::ThreadLimits();
+  if (ctx.limits != nullptr) {
+    SQLARRAY_RETURN_IF_ERROR(ctx.limits->Check());
+  }
   SQLARRAY_ASSIGN_OR_RETURN(std::vector<std::vector<Value>> rows,
                             q.tvf->fn(args, ctx));
   if (stats != nullptr) {
@@ -359,6 +371,23 @@ Result<MorselPlanInfo> PlanMorselScan(const Query& q, int requested_workers,
 /// UDFs interleave blob reads on the same thread.
 constexpr int kMorselReadahead = 4;
 
+/// Probes the statement's cancellation token (no-op when ungoverned).
+inline Status GovCheck(const gov::QueryLimits* limits) {
+  return limits != nullptr ? limits->Check() : Status::OK();
+}
+
+/// Charges query-private memory growth against the statement budget.
+inline Status GovCharge(const gov::QueryLimits* limits, int64_t bytes) {
+  return limits != nullptr ? limits->Charge(bytes) : Status::OK();
+}
+
+/// Approximate heap footprint of one materialized output row or hash-table
+/// group entry (Value headers plus container overhead; blob payloads are
+/// charged where they are read).
+inline int64_t RowFootprint(size_t n_items) {
+  return static_cast<int64_t>(n_items * sizeof(Value)) + 32;
+}
+
 void MergeStats(QueryStats* into, const QueryStats& part) {
   into->rows_scanned += part.rows_scanned;
   into->rows_kept += part.rows_kept;
@@ -389,8 +418,8 @@ struct AggPartial {
 Status AggregateChunk(const Query& q, const CostModel& cost,
                       std::map<std::string, Value>* variables,
                       storage::BufferPool* pool, int batch_rows,
-                      bool udf_detail, storage::BTree::ChunkCursor cursor,
-                      AggPartial* out) {
+                      bool udf_detail, const gov::QueryLimits* limits,
+                      storage::BTree::ChunkCursor cursor, AggPartial* out) {
   const size_t n_items = q.items.size();
   out->states.resize(n_items);
   out->plain.resize(n_items);
@@ -400,6 +429,7 @@ Status AggregateChunk(const Query& q, const CostModel& cost,
   udf.pool = pool;
   udf.stats = &out->stats;
   udf.cost = &cost;
+  udf.limits = limits;
 
   if (batch_rows > 1) {
     RowBatch batch;
@@ -415,7 +445,11 @@ Status AggregateChunk(const Query& q, const CostModel& cost,
     std::vector<int32_t> sel;
     std::vector<Value> keep_col, col;
     const int64_t rsz = q.table->schema().row_size();
+    // The gather buffer is the batched path's private allocation.
+    SQLARRAY_RETURN_IF_ERROR(
+        GovCharge(limits, rsz * static_cast<int64_t>(batch_rows)));
     while (true) {
+      SQLARRAY_RETURN_IF_ERROR(GovCheck(limits));
       batch.Reset(rsz, batch_rows);
       while (!batch.full() && cursor.valid()) {
         batch.Push(cursor.row().data());
@@ -463,6 +497,7 @@ Status AggregateChunk(const Query& q, const CostModel& cost,
   ctx.variables = variables;
   ctx.udf = udf;
   while (cursor.valid()) {
+    SQLARRAY_RETURN_IF_ERROR(GovCheck(limits));
     ctx.row = cursor.row().data();
     out->stats.rows_scanned++;
     out->stats.ChargeCpuNs(cost.row_scan_ns);
@@ -508,6 +543,7 @@ Status AggregateChunk(const Query& q, const CostModel& cost,
 Status GroupByChunk(const Query& q, const CostModel& cost,
                     std::map<std::string, Value>* variables,
                     storage::BufferPool* pool,
+                    const gov::QueryLimits* limits,
                     storage::BTree::ChunkCursor cursor,
                     std::map<std::string, GroupAcc>* groups,
                     QueryStats* stats) {
@@ -518,8 +554,10 @@ Status GroupByChunk(const Query& q, const CostModel& cost,
   ctx.udf.pool = pool;
   ctx.udf.stats = stats;
   ctx.udf.cost = &cost;
+  ctx.udf.limits = limits;
 
   while (cursor.valid()) {
+    SQLARRAY_RETURN_IF_ERROR(GovCheck(limits));
     ctx.row = cursor.row().data();
     stats->rows_scanned++;
     stats->ChargeCpuNs(cost.row_scan_ns);
@@ -543,6 +581,12 @@ Status GroupByChunk(const Query& q, const CostModel& cost,
       }
       GroupAcc& group = (*groups)[key];
       if (group.aggs.empty()) {
+        // The hash table is where grouped aggregation's memory actually
+        // grows: charge each fresh group's key + accumulator footprint.
+        SQLARRAY_RETURN_IF_ERROR(GovCharge(
+            limits, static_cast<int64_t>(key.size()) +
+                        static_cast<int64_t>(n_items * sizeof(AggState)) +
+                        RowFootprint(q.group_by.size())));
         group.keys = std::move(key_vals);
         group.aggs.resize(n_items);
       }
@@ -580,6 +624,7 @@ Status GroupByChunk(const Query& q, const CostModel& cost,
 Status RowsChunk(const Query& q, const CostModel& cost,
                  std::map<std::string, Value>* variables,
                  storage::BufferPool* pool, int batch_rows,
+                 const gov::QueryLimits* limits,
                  storage::BTree::ChunkCursor cursor,
                  std::vector<std::vector<Value>>* rows, QueryStats* stats) {
   const size_t n_items = q.items.size();
@@ -587,6 +632,7 @@ Status RowsChunk(const Query& q, const CostModel& cost,
   udf.pool = pool;
   udf.stats = stats;
   udf.cost = &cost;
+  udf.limits = limits;
 
   if (q.top < 0 && batch_rows > 1) {
     RowBatch batch;
@@ -602,7 +648,10 @@ Status RowsChunk(const Query& q, const CostModel& cost,
     std::vector<int32_t> sel;
     std::vector<Value> keep_col;
     const int64_t rsz = q.table->schema().row_size();
+    SQLARRAY_RETURN_IF_ERROR(
+        GovCharge(limits, rsz * static_cast<int64_t>(batch_rows)));
     while (true) {
+      SQLARRAY_RETURN_IF_ERROR(GovCheck(limits));
       batch.Reset(rsz, batch_rows);
       while (!batch.full() && cursor.valid()) {
         batch.Push(cursor.row().data());
@@ -624,6 +673,9 @@ Status RowsChunk(const Query& q, const CostModel& cost,
         cols.push_back(guard.Borrow());
         SQLARRAY_RETURN_IF_ERROR(EvalBatch(*q.items[i].expr, bctx, cols[i]));
       }
+      SQLARRAY_RETURN_IF_ERROR(GovCharge(
+          limits,
+          static_cast<int64_t>(sel.size()) * RowFootprint(n_items)));
       for (size_t k = 0; k < sel.size(); ++k) {
         std::vector<Value> row;
         row.reserve(n_items);
@@ -641,6 +693,7 @@ Status RowsChunk(const Query& q, const CostModel& cost,
   ctx.variables = variables;
   ctx.udf = udf;
   while (cursor.valid()) {
+    SQLARRAY_RETURN_IF_ERROR(GovCheck(limits));
     if (q.top >= 0 && static_cast<int64_t>(rows->size()) >= q.top) break;
     ctx.row = cursor.row().data();
     stats->rows_scanned++;
@@ -656,6 +709,7 @@ Status RowsChunk(const Query& q, const CostModel& cost,
     }
     if (keep_row) {
       stats->rows_kept++;
+      SQLARRAY_RETURN_IF_ERROR(GovCharge(limits, RowFootprint(n_items)));
       std::vector<Value> row;
       row.reserve(n_items);
       for (const SelectItem& item : q.items) {
@@ -853,6 +907,7 @@ Result<ResultSet> Executor::ExecuteAggregate(
     rs.columns.push_back(item.label);
   }
 
+  const gov::QueryLimits* limits = qctx != nullptr ? &qctx->limits : nullptr;
   EvalContext ctx;
   ctx.schema = q.table != nullptr ? &q.table->schema() : nullptr;
   ctx.variables = variables;
@@ -860,6 +915,7 @@ Result<ResultSet> Executor::ExecuteAggregate(
   ctx.udf.subquery = subquery_fn_;
   ctx.udf.stats = &rs.stats;
   ctx.udf.cost = &cost_;
+  ctx.udf.limits = limits;
 
   std::map<std::string, GroupAcc> groups;
   // Aggregate-free GROUP BY still needs agg slots sized to items.
@@ -891,6 +947,7 @@ Result<ResultSet> Executor::ExecuteAggregate(
   };
 
   while (true) {
+    SQLARRAY_RETURN_IF_ERROR(GovCheck(limits));
     SQLARRAY_ASSIGN_OR_RETURN(bool has_row, next_row(&ctx));
     if (!has_row) break;
     rs.stats.rows_scanned++;
@@ -917,6 +974,10 @@ Result<ResultSet> Executor::ExecuteAggregate(
     }
     GroupAcc& group = groups[key];
     if (group.aggs.empty()) {
+      SQLARRAY_RETURN_IF_ERROR(GovCharge(
+          limits, static_cast<int64_t>(key.size()) +
+                      static_cast<int64_t>(n_items * sizeof(AggState)) +
+                      RowFootprint(q.group_by.size())));
       group.keys = std::move(key_vals);
       group.aggs.resize(n_items);
     }
@@ -1052,11 +1113,13 @@ Result<ResultSet> Executor::ExecuteAggregateBatched(
   for (const SelectItem& item : q.items) rs.columns.push_back(item.label);
   const size_t n_items = q.items.size();
 
+  const gov::QueryLimits* limits = qctx != nullptr ? &qctx->limits : nullptr;
   UdfContext udf;
   udf.pool = db_->buffer_pool();
   udf.subquery = subquery_fn_;
   udf.stats = &rs.stats;
   udf.cost = &cost_;
+  udf.limits = limits;
 
   std::vector<AggState> states(n_items);
   std::vector<Value> plain_items(n_items);
@@ -1081,7 +1144,10 @@ Result<ResultSet> Executor::ExecuteAggregateBatched(
   bool first_row = true;
   bool done = false;
 
+  SQLARRAY_RETURN_IF_ERROR(
+      GovCharge(limits, rsz * static_cast<int64_t>(batch_rows_)));
   while (!done) {
+    SQLARRAY_RETURN_IF_ERROR(GovCheck(limits));
     batch.Reset(rsz, batch_rows_);
     while (!batch.full()) {
       if (!first_row) SQLARRAY_RETURN_IF_ERROR(cursor.Next());
@@ -1347,6 +1413,9 @@ void Executor::RunOnWorkers(int workers, const std::function<void(int)>& fn) {
     fn(0);
     return;
   }
+  // The pool accepts one job at a time; concurrent sessions' parallel scans
+  // queue here rather than corrupting the pool's job state.
+  std::lock_guard<std::mutex> lock(pool_mu_);
   if (worker_pool_ == nullptr) worker_pool_ = std::make_unique<WorkerPool>();
   worker_pool_->Run(workers, fn);
 }
@@ -1359,10 +1428,23 @@ Status Executor::RunMorselScan(
   std::vector<Status> morsel_status(queue.morsel_count());
   std::atomic<bool> abort{false};
   obs::TraceSink* trace = qctx != nullptr ? &qctx->trace : nullptr;
+  const gov::QueryLimits* limits =
+      qctx != nullptr && qctx->limits.governed() ? &qctx->limits : nullptr;
   RunOnWorkers(workers, [&](int w) {
+    // Pool workers inherit the statement's governance for the scan so deep
+    // kernels (CheckThreadCancel) see it without parameter plumbing.
+    gov::ScopedThreadLimits thread_limits(limits);
     Morsel m;
     while (queue.Next(w, &m)) {
       if (abort.load(std::memory_order_relaxed)) break;
+      if (limits != nullptr) {
+        Status st = limits->Check();
+        if (!st.ok()) {
+          morsel_status[m.index] = std::move(st);
+          abort.store(true, std::memory_order_relaxed);
+          break;
+        }
+      }
       // Each morsel's spans land on a lane equal to its morsel index, so
       // the stitched trace is a pure function of the grid — not of which
       // worker (or how many) ran it.
@@ -1409,8 +1491,9 @@ Result<ResultSet> Executor::ExecuteAggregateMorsel(
             q.table->ScanChunk(db_->buffer_pool(), std::move(chunk),
                                kMorselReadahead));
         return AggregateChunk(q, cost_, variables, db_->buffer_pool(),
-                              batch_rows_, udf_detail, std::move(cursor),
-                              &partials[m.index]);
+                              batch_rows_, udf_detail,
+                              qctx != nullptr ? &qctx->limits : nullptr,
+                              std::move(cursor), &partials[m.index]);
       }));
 
   // Fold partials in morsel-index order — the deterministic merge that
@@ -1479,6 +1562,7 @@ Result<ResultSet> Executor::ExecuteGroupByMorsel(
             q.table->ScanChunk(db_->buffer_pool(), std::move(chunk),
                                kMorselReadahead));
         return GroupByChunk(q, cost_, variables, db_->buffer_pool(),
+                            qctx != nullptr ? &qctx->limits : nullptr,
                             std::move(cursor), &partials[m.index].groups,
                             &partials[m.index].stats);
       }));
@@ -1581,8 +1665,9 @@ Result<ResultSet> Executor::ExecuteRowsMorsel(
             q.table->ScanChunk(db_->buffer_pool(), std::move(chunk),
                                kMorselReadahead));
         Status st = RowsChunk(q, cost_, variables, db_->buffer_pool(),
-                              batch_rows_, std::move(cursor), &out.rows,
-                              &out.stats);
+                              batch_rows_,
+                              qctx != nullptr ? &qctx->limits : nullptr,
+                              std::move(cursor), &out.rows, &out.stats);
         if (st.ok()) {
           mark_done(m.index, static_cast<int64_t>(out.rows.size()));
         }
@@ -1620,6 +1705,7 @@ Result<ResultSet> Executor::ExecuteRows(const Query& q,
 
   for (const SelectItem& item : q.items) rs.columns.push_back(item.label);
 
+  const gov::QueryLimits* limits = qctx != nullptr ? &qctx->limits : nullptr;
   EvalContext ctx;
   ctx.schema = q.table != nullptr ? &q.table->schema() : nullptr;
   ctx.variables = variables;
@@ -1627,6 +1713,7 @@ Result<ResultSet> Executor::ExecuteRows(const Query& q,
   ctx.udf.subquery = subquery_fn_;
   ctx.udf.stats = &rs.stats;
   ctx.udf.cost = &cost_;
+  ctx.udf.limits = limits;
 
   std::vector<std::vector<Value>> tvf_rows;
   std::optional<storage::BTree::Cursor> cursor;
@@ -1653,6 +1740,7 @@ Result<ResultSet> Executor::ExecuteRows(const Query& q,
   };
 
   while (true) {
+    SQLARRAY_RETURN_IF_ERROR(GovCheck(limits));
     if (q.top >= 0 && static_cast<int64_t>(rs.rows.size()) >= q.top) break;
     SQLARRAY_ASSIGN_OR_RETURN(bool has_row, next_row(&ctx));
     if (!has_row) break;
@@ -1669,6 +1757,7 @@ Result<ResultSet> Executor::ExecuteRows(const Query& q,
       }
     }
     rs.stats.rows_kept++;
+    SQLARRAY_RETURN_IF_ERROR(GovCharge(limits, RowFootprint(q.items.size())));
 
     std::vector<Value> row;
     row.reserve(q.items.size());
@@ -1695,11 +1784,13 @@ Result<ResultSet> Executor::ExecuteRowsBatched(
   for (const SelectItem& item : q.items) rs.columns.push_back(item.label);
   const size_t n_items = q.items.size();
 
+  const gov::QueryLimits* limits = qctx != nullptr ? &qctx->limits : nullptr;
   UdfContext udf;
   udf.pool = db_->buffer_pool();
   udf.subquery = subquery_fn_;
   udf.stats = &rs.stats;
   udf.cost = &cost_;
+  udf.limits = limits;
 
   SQLARRAY_ASSIGN_OR_RETURN(storage::BTree::Cursor cursor, q.table->Scan());
 
@@ -1720,7 +1811,10 @@ Result<ResultSet> Executor::ExecuteRowsBatched(
   bool first_row = true;
   bool done = false;
 
+  SQLARRAY_RETURN_IF_ERROR(
+      GovCharge(limits, rsz * static_cast<int64_t>(batch_rows_)));
   while (!done) {
+    SQLARRAY_RETURN_IF_ERROR(GovCheck(limits));
     batch.Reset(rsz, batch_rows_);
     while (!batch.full()) {
       if (!first_row) SQLARRAY_RETURN_IF_ERROR(cursor.Next());
@@ -1740,6 +1834,8 @@ Result<ResultSet> Executor::ExecuteRowsBatched(
     SQLARRAY_RETURN_IF_ERROR(FilterBatch(q, &bctx, &keep_col, &sel));
     if (sel.empty()) continue;
     rs.stats.rows_kept += static_cast<int64_t>(sel.size());
+    SQLARRAY_RETURN_IF_ERROR(GovCharge(
+        limits, static_cast<int64_t>(sel.size()) * RowFootprint(n_items)));
     bctx.sel = &sel;
 
     // Evaluate every item column, then stitch output rows together.

@@ -9,8 +9,10 @@
 // count produces bit-identical results.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -249,11 +251,17 @@ class Executor {
   storage::Database* db_;
   FunctionRegistry* registry_;
   CostModel cost_;
-  const SubqueryFn* subquery_fn_ = nullptr;
+  /// Atomic because concurrent sessions sharing one executor install their
+  /// runners at construction while other sessions' queries read the pointer
+  /// (last install wins; scopes keep the functions alive).
+  std::atomic<const SubqueryFn*> subquery_fn_{nullptr};
   int scan_workers_ = 1;
   int batch_rows_ = 1024;
   ParallelMode parallel_mode_ = ParallelMode::kMorsel;
   int64_t min_pages_per_worker_ = -1;
+  /// Serializes pool creation and Run: the WorkerPool accepts one job at a
+  /// time, and the multi-session front-end can race parallel scans.
+  std::mutex pool_mu_;
   std::unique_ptr<WorkerPool> worker_pool_;
 };
 

@@ -11,6 +11,7 @@
 #pragma once
 
 #include "engine/cost.h"
+#include "gov/gov.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
 
@@ -23,6 +24,10 @@ struct QueryContext {
   /// Build the operator profile tree (EXPLAIN ANALYZE). Also switches on
   /// per-function UDF boundary attribution in the stats.
   bool collect_profile = false;
+  /// Governance bundle for the statement: cancellation token and memory
+  /// budget, both optional. The executor probes the token in every scan
+  /// loop and charges the budget where query-private memory grows.
+  gov::QueryLimits limits;
 };
 
 }  // namespace sqlarray::engine

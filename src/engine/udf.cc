@@ -92,6 +92,11 @@ bool FunctionRegistry::HasScalar(const std::string& schema,
 Result<Value> FunctionRegistry::Invoke(const ScalarFunction& fn,
                                        std::span<const Value> args,
                                        UdfContext& ctx) {
+  // UDF boundary crossings are a cancellation point: a query spending its
+  // time inside hosted calls still notices a kill between invocations.
+  if (ctx.limits != nullptr) {
+    SQLARRAY_RETURN_IF_ERROR(ctx.limits->Check());
+  }
   if (fn.boundary == Boundary::kClr && ctx.stats != nullptr &&
       ctx.cost != nullptr) {
     // Charge the CLR boundary: flat call cost, per-byte argument

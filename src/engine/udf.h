@@ -17,6 +17,7 @@
 #include "common/status.h"
 #include "engine/cost.h"
 #include "engine/value.h"
+#include "gov/gov.h"
 
 namespace sqlarray::engine {
 
@@ -40,6 +41,9 @@ struct UdfContext {
   QueryStats* stats = nullptr;          ///< may be null outside queries
   const CostModel* cost = nullptr;
   const SubqueryFn* subquery = nullptr;  ///< null outside a session
+  /// Statement governance, probed at every UDF boundary crossing so a long
+  /// chain of hosted calls stays cancellable. Null when ungoverned.
+  const gov::QueryLimits* limits = nullptr;
 };
 
 /// A scalar function implementation.

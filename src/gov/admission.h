@@ -1,0 +1,120 @@
+// Admission control: a bounded FIFO wait queue in front of a fixed number
+// of concurrent execution slots.
+//
+// The server front-end pushes every statement through Admit() before it
+// touches the engine. Up to `max_concurrent` statements run at once; up to
+// `max_queue` more wait in ticket order (strict FIFO — no query starves
+// behind later arrivals). A statement arriving with the queue full is
+// rejected immediately with kResourceExhausted carrying a retry-after
+// hint — backpressure instead of an unbounded pileup, the workload-
+// management behavior shared science servers live or die on.
+//
+// Waiting is cancellable: a waiter whose CancelSource fires (user kill,
+// watchdog deadline) leaves the queue with that status instead of
+// eventually running a statement nobody wants.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <set>
+
+#include "common/status.h"
+#include "gov/gov.h"
+
+namespace sqlarray::obs {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace sqlarray::obs
+
+namespace sqlarray::gov {
+
+struct AdmissionConfig {
+  /// Master switch (the bench's A/B flag): disabled, Admit() returns an
+  /// immediately-granted slot and only counts traffic.
+  bool enabled = true;
+  /// Statements executing concurrently.
+  int max_concurrent = 4;
+  /// Statements allowed to wait beyond that; the next arrival is rejected.
+  int max_queue = 16;
+  /// Retry hint carried in the rejection message.
+  int64_t retry_after_ms = 10;
+};
+
+class AdmissionController;
+
+/// RAII execution slot: releasing it (destruction) wakes the next waiter.
+class AdmissionSlot {
+ public:
+  AdmissionSlot() = default;
+  AdmissionSlot(AdmissionSlot&& o) noexcept { *this = std::move(o); }
+  AdmissionSlot& operator=(AdmissionSlot&& o) noexcept;
+  AdmissionSlot(const AdmissionSlot&) = delete;
+  AdmissionSlot& operator=(const AdmissionSlot&) = delete;
+  ~AdmissionSlot() { Release(); }
+
+  void Release();
+  /// How long Admit() waited in the queue for this slot.
+  double wait_seconds() const { return wait_seconds_; }
+
+ private:
+  friend class AdmissionController;
+  AdmissionSlot(AdmissionController* controller, double wait_seconds)
+      : controller_(controller), wait_seconds_(wait_seconds) {}
+
+  AdmissionController* controller_ = nullptr;
+  double wait_seconds_ = 0;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config);
+
+  const AdmissionConfig& config() const { return config_; }
+
+  /// Blocks until an execution slot is free (FIFO), the queue is full
+  /// (immediate kResourceExhausted rejection with a retry-after hint), or
+  /// `cancel` fires (its cancellation status). `cancel` may be null.
+  Result<AdmissionSlot> Admit(CancelSource* cancel);
+
+  /// Point-in-time accounting (cumulative counters live in the
+  /// MetricsRegistry under gov.*).
+  struct Stats {
+    int64_t admitted = 0;   ///< granted a slot (queued or not)
+    int64_t queued = 0;     ///< of those, how many had to wait
+    int64_t rejected = 0;   ///< turned away with queue full
+    int64_t peak_queue_depth = 0;
+    int running = 0;        ///< slots held right now
+    int queue_depth = 0;    ///< waiters right now
+  };
+  Stats stats() const;
+
+ private:
+  friend class AdmissionSlot;
+  void Release();
+  /// Skips serving_ past tickets whose waiters cancelled out of the queue.
+  void AdvanceServingLocked();
+
+  const AdmissionConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int running_ = 0;
+  int waiting_ = 0;
+  uint64_t next_ticket_ = 0;   ///< handed to each waiter on arrival
+  uint64_t serving_ = 0;       ///< lowest ticket allowed to take a slot
+  std::set<uint64_t> abandoned_;  ///< tickets of cancelled waiters
+  int64_t admitted_ = 0;
+  int64_t queued_ = 0;
+  int64_t rejected_ = 0;
+  int64_t peak_queue_ = 0;
+
+  obs::Counter* reg_admitted_;
+  obs::Counter* reg_queued_;
+  obs::Counter* reg_rejected_;
+  obs::Gauge* reg_peak_queue_;
+  obs::Histogram* reg_wait_us_;
+};
+
+}  // namespace sqlarray::gov

@@ -1,0 +1,108 @@
+// A minimal multi-session front-end over one Executor.
+//
+// This is the overload boundary of the engine: every statement from every
+// session passes through an AdmissionController before it touches the
+// executor, a per-session busy flag caps concurrency at one statement per
+// session, and a watchdog thread probes active statements' deadlines so a
+// query stuck between cooperative checks still dies within one scan
+// interval. Sessions share the executor (worker pool, buffer pool, WAL) but
+// own their variables, transactions, and governance state.
+//
+// Thread model: OpenSession/CloseSession/Execute/KillQuery are safe from
+// any thread. Execute blocks the calling thread for the statement's
+// lifetime — the server is a library front-end driven by caller threads
+// (the closed-loop bench, tests), not a socket listener.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "gov/admission.h"
+#include "gov/gov.h"
+#include "sql/session.h"
+
+namespace sqlarray::server {
+
+struct ServerConfig {
+  gov::AdmissionConfig admission;
+  /// Watchdog scan interval. The watchdog probes every active statement's
+  /// deadline, backstopping the cooperative stride checks.
+  int64_t watchdog_interval_ms = 5;
+  /// Server-side cap on statement runtime; the watchdog kills anything
+  /// older, whatever the session's own timeout says. 0 disables it.
+  int64_t slow_query_ms = 0;
+};
+
+/// The front-end: a session registry plus admission control and a
+/// slow-query watchdog over a shared Executor.
+class ArrayServer {
+ public:
+  ArrayServer(engine::Executor* executor, ServerConfig config);
+  ~ArrayServer();
+
+  ArrayServer(const ArrayServer&) = delete;
+  ArrayServer& operator=(const ArrayServer&) = delete;
+
+  /// Registers a new session and returns its id.
+  int64_t OpenSession();
+
+  /// Kills any running statement on the session, waits for it to drain,
+  /// and removes it from the registry.
+  Status CloseSession(int64_t id);
+
+  /// Runs a batch on the session: admission (bounded queue, FIFO) then
+  /// Session::Execute. On a cancelled/expired statement, rolls back any
+  /// transaction the kill left open, so the session is immediately
+  /// reusable. Rejection surfaces as kResourceExhausted with a retry-after
+  /// hint; a session already mid-statement is kInvalidArgument (the
+  /// per-session concurrency cap is one).
+  Result<std::vector<engine::ResultSet>> Execute(int64_t id,
+                                                 std::string_view sql);
+
+  /// Cancels the statement currently running (or queued) on the session.
+  Status KillQuery(int64_t id);
+
+  /// Direct session access for setup (CREATE TABLE, SET ...) from tests
+  /// and the bench — bypasses admission; do not use concurrently with
+  /// Execute on the same id. Null when the id is unknown.
+  sql::Session* session(int64_t id);
+
+  gov::AdmissionController::Stats admission_stats() const {
+    return admission_.stats();
+  }
+  int open_sessions() const;
+
+ private:
+  struct SessionEntry {
+    std::unique_ptr<sql::Session> session;
+    std::shared_ptr<gov::CancelSource> cancel;
+    std::atomic<bool> busy{false};
+    /// Steady-clock nanos when the running statement entered Execute;
+    /// written before busy flips true so the watchdog never sees a stale
+    /// start time on a busy session.
+    std::atomic<int64_t> started_ns{0};
+  };
+
+  std::shared_ptr<SessionEntry> FindEntry(int64_t id) const;
+  void WatchdogLoop();
+
+  engine::Executor* executor_;
+  const ServerConfig config_;
+  gov::AdmissionController admission_;
+
+  mutable std::mutex mu_;  ///< guards sessions_ and next_id_
+  std::map<int64_t, std::shared_ptr<SessionEntry>> sessions_;
+  int64_t next_id_ = 1;
+
+  std::atomic<bool> shutdown_{false};
+  std::thread watchdog_;
+};
+
+}  // namespace sqlarray::server

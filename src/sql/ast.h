@@ -58,6 +58,13 @@ struct SetStmt {
   engine::ExprPtr value;
 };
 
+/// SET <OPTION> = <integer>  — session options (not variables):
+/// STATEMENT_TIMEOUT_MS and MEMORY_BUDGET_KB, 0 disabling the limit.
+struct SetOptionStmt {
+  std::string option;  ///< upper-cased option name
+  int64_t value = 0;
+};
+
 /// CREATE TABLE name (col TYPE, ...)
 struct CreateTableStmt {
   struct Column {
@@ -102,6 +109,7 @@ struct Statement {
     kSelect,
     kDeclare,
     kSet,
+    kSetOption,   ///< SET STATEMENT_TIMEOUT_MS / MEMORY_BUDGET_KB = n
     kCreateTable,
     kInsert,
     kDelete,
@@ -115,6 +123,7 @@ struct Statement {
   SelectStmt select;
   DeclareStmt declare;
   SetStmt set;
+  SetOptionStmt set_option;
   CreateTableStmt create_table;
   InsertStmt insert;
   DeleteStmt del;

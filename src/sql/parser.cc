@@ -91,6 +91,14 @@ class Parser {
       return stmt;
     }
     if (AtKeyword("SET")) {
+      // Session options are bare identifiers after SET; everything else is
+      // the variable-assignment form.
+      if (Peek().IsKeyword("STATEMENT_TIMEOUT_MS") ||
+          Peek().IsKeyword("MEMORY_BUDGET_KB")) {
+        SQLARRAY_ASSIGN_OR_RETURN(stmt.set_option, ParseSetOption());
+        stmt.kind = Statement::Kind::kSetOption;
+        return stmt;
+      }
       SQLARRAY_ASSIGN_OR_RETURN(stmt.set, ParseSet());
       stmt.kind = Statement::Kind::kSet;
       return stmt;
@@ -233,6 +241,33 @@ class Parser {
     }
     SQLARRAY_RETURN_IF_ERROR(Expect(TokenType::kEq, "'='"));
     SQLARRAY_ASSIGN_OR_RETURN(s.value, ParseExpr());
+    return s;
+  }
+
+  /// SET STATEMENT_TIMEOUT_MS = <n> / SET MEMORY_BUDGET_KB = <n>. The value
+  /// must be a non-negative integer literal; 0 disables the limit.
+  Result<SetOptionStmt> ParseSetOption() {
+    SQLARRAY_RETURN_IF_ERROR(ExpectKeyword("SET"));
+    SetOptionStmt s;
+    if (Cur().IsKeyword("STATEMENT_TIMEOUT_MS")) {
+      s.option = "STATEMENT_TIMEOUT_MS";
+    } else if (Cur().IsKeyword("MEMORY_BUDGET_KB")) {
+      s.option = "MEMORY_BUDGET_KB";
+    } else {
+      return Status::InvalidArgument("unknown session option");
+    }
+    ++pos_;
+    SQLARRAY_RETURN_IF_ERROR(Expect(TokenType::kEq, "'='"));
+    if (Accept(TokenType::kMinus)) {
+      return Status::InvalidArgument("session option " + s.option +
+                                     " requires a non-negative value");
+    }
+    if (!At(TokenType::kInt)) {
+      return Status::InvalidArgument(
+          "expected an integer literal for session option " + s.option);
+    }
+    s.value = Cur().int_value;
+    ++pos_;
     return s;
   }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
+#include <cstdio>
 
 #include "obs/metrics.h"
 #include "sql/parser.h"
@@ -141,9 +143,51 @@ Result<std::vector<engine::ResultSet>> Session::ExecuteScript(
     std::string_view sqltext, bool update_session_stats) {
   SQLARRAY_ASSIGN_OR_RETURN(Script script, Parse(sqltext));
   std::vector<engine::ResultSet> results;
+  if (!update_session_stats) {
+    // Nested script (reader-style UDF subquery): runs under the outer
+    // statement's governance. It shares the ambient thread limits and must
+    // never re-arm the deadline or reset the budget mid-statement.
+    for (Statement& stmt : script) {
+      SQLARRAY_RETURN_IF_ERROR(
+          RunStatement(stmt, &results, update_session_stats));
+    }
+    return results;
+  }
   for (Statement& stmt : script) {
-    SQLARRAY_RETURN_IF_ERROR(
-        RunStatement(stmt, &results, update_session_stats));
+    // A kill delivered before the statement starts aborts it here, with
+    // zero side effects — no WAL records, no table writes, no result rows.
+    // The kill is consumed either way: one kill aborts exactly one
+    // statement, whether it struck mid-flight or between statements.
+    Status pre = cancel_source_->StatusNow();
+    if (!pre.ok()) {
+      cancel_source_->Reset();
+      return pre;
+    }
+    budget_.Reset(memory_budget_kb_ * 1024);
+    if (statement_timeout_ms_ > 0) {
+      cancel_source_->ArmDeadline(
+          std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(statement_timeout_ms_));
+    }
+    gov::QueryLimits limits;
+    limits.cancel = cancel_source_;
+    limits.budget = &budget_;
+    Status st;
+    {
+      // Ambient limits for code that cannot take a QueryLimits parameter:
+      // standalone expression evaluation (DECLARE/SET/VALUES) and the core
+      // kernels it reaches.
+      gov::ScopedThreadLimits ambient(&limits);
+      st = RunStatement(stmt, &results, update_session_stats);
+    }
+    cancel_source_->DisarmDeadline();
+    if (st.code() == StatusCode::kCancelled ||
+        st.code() == StatusCode::kDeadlineExceeded) {
+      // One kill aborts exactly one statement: consume the cancellation so
+      // the session stays usable.
+      cancel_source_->Reset();
+    }
+    SQLARRAY_RETURN_IF_ERROR(st);
   }
   return results;
 }
@@ -195,6 +239,17 @@ Status Session::RunStatement(Statement& stmt,
         return Status::NotFound("undeclared variable @" + stmt.set.name);
       }
       variables_[stmt.set.name] = std::move(v);
+      return Status::OK();
+    }
+    case Statement::Kind::kSetOption: {
+      if (stmt.set_option.option == "STATEMENT_TIMEOUT_MS") {
+        statement_timeout_ms_ = stmt.set_option.value;
+      } else if (stmt.set_option.option == "MEMORY_BUDGET_KB") {
+        memory_budget_kb_ = stmt.set_option.value;
+      } else {
+        return Status::InvalidArgument("unknown session option " +
+                                       stmt.set_option.option);
+      }
       return Status::OK();
     }
     case Statement::Kind::kSelect:
@@ -278,6 +333,19 @@ Status Session::AutoCommit(const std::function<Status()>& body) {
   Status rb = w->Rollback(txn);  // surface the original failure, not the
   (void)rb;                      // rollback's status
   return st;
+}
+
+Status Session::ForceRollback() {
+  // Autocommitted statements roll back inside AutoCommit; this covers a
+  // statement killed inside an explicit BEGIN, where the server must not
+  // leave the transaction dangling on a session it is about to reuse.
+  if (!txn_open_) return Status::OK();
+  uint64_t txn = txn_id_;
+  txn_open_ = false;
+  txn_id_ = 0;
+  wal::WalManager* w = wal_manager();
+  if (w == nullptr || !w->TxnActive(txn)) return Status::OK();
+  return w->Rollback(txn);
 }
 
 Result<engine::ResultSet> Session::ExecuteSelect(SelectStmt& sel,
@@ -402,6 +470,7 @@ Status Session::RunSelect(SelectStmt& sel,
     if (!item.assign_var.empty()) has_assignment = true;
   }
   engine::QueryContext qctx;
+  ApplyLimits(&qctx);
   SQLARRAY_ASSIGN_OR_RETURN(engine::ResultSet rs, ExecuteSelect(sel, &qctx));
   if (update_session_stats) last_stats_ = qctx.stats;
   if (!has_assignment) results->push_back(std::move(rs));
@@ -441,6 +510,7 @@ Status Session::RunExplain(ExplainStmt& stmt,
                            bool update_session_stats) {
   engine::QueryContext qctx;
   qctx.collect_profile = true;
+  ApplyLimits(&qctx);
 
   if (stmt.target == ExplainStmt::Target::kSelect) {
     SQLARRAY_RETURN_IF_ERROR(ExecuteSelect(stmt.select, &qctx).status());
@@ -454,6 +524,7 @@ Status Session::RunExplain(ExplainStmt& stmt,
     obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
     engine::QueryContext inner;
     inner.collect_profile = true;
+    ApplyLimits(&inner);
     int64_t affected = 0;
     SQLARRAY_RETURN_IF_ERROR(AutoCommit([&] {
       return is_insert ? RunInsert(stmt.insert, /*update_session_stats=*/false,
@@ -479,6 +550,16 @@ Status Session::RunExplain(ExplainStmt& stmt,
               " flushes=" +
               std::to_string(after.Delta(before, "wal.flushes")));
     }
+  }
+  if (admission_wait_seconds_ >= 0.0) {
+    // Surface the admission-queue wait as its own profile row so EXPLAIN
+    // ANALYZE shows where a statement's latency went under load. The server
+    // records the wait just before handing the statement to the session.
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "wait_ms=%.3f",
+                  admission_wait_seconds_ * 1e3);
+    qctx.profile.mutable_root()->AddChild("admission", buf);
+    admission_wait_seconds_ = -1.0;
   }
   if (update_session_stats) last_stats_ = qctx.stats;
   results->push_back(RenderProfile(qctx));
@@ -511,10 +592,12 @@ Status Session::RunDelete(DeleteStmt& del, bool update_session_stats,
   engine::QueryContext local_qctx;
   engine::QueryContext* qctx =
       inner_qctx != nullptr ? inner_qctx : &local_qctx;
+  ApplyLimits(qctx);
   SQLARRAY_ASSIGN_OR_RETURN(engine::ResultSet rs,
                             executor_->Execute(q, &variables_, qctx));
   if (update_session_stats) last_stats_ = qctx->stats;
   for (const std::vector<Value>& row : rs.rows) {
+    SQLARRAY_RETURN_IF_ERROR(cancel_source_->Check());
     SQLARRAY_ASSIGN_OR_RETURN(int64_t key, row[0].AsInt());
     SQLARRAY_ASSIGN_OR_RETURN(bool removed, table->Delete(key));
     if (!removed) {
@@ -559,6 +642,7 @@ Status Session::RunInsert(InsertStmt& ins, bool update_session_stats,
     engine::QueryContext local_qctx;
     engine::QueryContext* qctx =
         inner_qctx != nullptr ? inner_qctx : &local_qctx;
+    ApplyLimits(qctx);
     SQLARRAY_ASSIGN_OR_RETURN(engine::ResultSet rs,
                               ExecuteSelect(*ins.select, qctx));
     if (update_session_stats) last_stats_ = qctx->stats;
@@ -567,6 +651,7 @@ Status Session::RunInsert(InsertStmt& ins, bool update_session_stats,
           "INSERT ... SELECT arity does not match the table schema");
     }
     for (const std::vector<Value>& values : rs.rows) {
+      SQLARRAY_RETURN_IF_ERROR(cancel_source_->Check());
       storage::Row row;
       for (int i = 0; i < schema.num_columns(); ++i) {
         SQLARRAY_ASSIGN_OR_RETURN(storage::RowValue rv,
@@ -580,6 +665,7 @@ Status Session::RunInsert(InsertStmt& ins, bool update_session_stats,
   }
 
   for (std::vector<ExprPtr>& row_exprs : ins.rows) {
+    SQLARRAY_RETURN_IF_ERROR(cancel_source_->Check());
     if (static_cast<int>(row_exprs.size()) != schema.num_columns()) {
       return Status::InvalidArgument(
           "INSERT arity does not match the table schema");

@@ -7,11 +7,13 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "engine/exec.h"
+#include "gov/gov.h"
 #include "sql/ast.h"
 
 namespace sqlarray::wal {
@@ -23,7 +25,9 @@ namespace sqlarray::sql {
 /// An interactive session over one Executor.
 class Session {
  public:
-  explicit Session(engine::Executor* executor) : executor_(executor) {
+  explicit Session(engine::Executor* executor)
+      : executor_(executor),
+        cancel_source_(std::make_shared<gov::CancelSource>()) {
     // Wire up the subquery runner so reader-style UDFs (ConcatQuery) can
     // pull rows through this session. The RAII scope owns the runner and
     // uninstalls it when the session dies — no manual uninstall, no
@@ -74,6 +78,31 @@ class Session {
   /// True between BEGIN and COMMIT/ROLLBACK.
   bool in_transaction() const { return txn_open_; }
 
+  /// The session's kill switch: a server (or another thread) cancels the
+  /// currently running statement via this source. The shared_ptr stays
+  /// valid even if the session is torn down mid-kill.
+  const std::shared_ptr<gov::CancelSource>& cancel_source() const {
+    return cancel_source_;
+  }
+
+  /// Session limits (also settable via SET STATEMENT_TIMEOUT_MS /
+  /// SET MEMORY_BUDGET_KB). 0 disables the limit.
+  void set_statement_timeout_ms(int64_t ms) { statement_timeout_ms_ = ms; }
+  int64_t statement_timeout_ms() const { return statement_timeout_ms_; }
+  void set_memory_budget_kb(int64_t kb) { memory_budget_kb_ = kb; }
+  int64_t memory_budget_kb() const { return memory_budget_kb_; }
+
+  /// Peak query-private memory charged during the last governed statement.
+  int64_t last_peak_memory_bytes() const { return budget_.peak(); }
+
+  /// Records how long the statement waited in the admission queue; surfaces
+  /// as an "admission" row in the next EXPLAIN ANALYZE profile.
+  void set_admission_wait(double seconds) { admission_wait_seconds_ = seconds; }
+
+  /// Server kill path: rolls back any open transaction after a statement was
+  /// cancelled mid-flight, so the session is reusable and storage is clean.
+  Status ForceRollback();
+
  private:
   /// Statement loop. `update_session_stats` is false for nested scripts
   /// (reader-style UDF subqueries): they own their statistics and must not
@@ -103,6 +132,13 @@ class Session {
                    engine::QueryContext* inner_qctx = nullptr,
                    int64_t* affected = nullptr);
 
+  /// Fills a query context with this session's governance limits so the
+  /// executor observes cancellation/deadlines and charges the budget.
+  void ApplyLimits(engine::QueryContext* qctx) {
+    qctx->limits.cancel = cancel_source_;
+    qctx->limits.budget = &budget_;
+  }
+
   /// The database's WAL manager, or null when running without one.
   wal::WalManager* wal_manager() const;
   /// Wraps `body` in BEGIN/COMMIT when a WAL is attached and no explicit
@@ -118,6 +154,17 @@ class Session {
   engine::SubqueryScope subquery_scope_;
   bool txn_open_ = false;
   uint64_t txn_id_ = 0;
+
+  // Governance state. The cancel source is shared with whoever might kill
+  // this session's statements (the server's watchdog, a test thread); the
+  // budget is private and reset per top-level statement.
+  std::shared_ptr<gov::CancelSource> cancel_source_;
+  gov::MemoryBudget budget_;
+  int64_t statement_timeout_ms_ = 0;
+  int64_t memory_budget_kb_ = 0;
+  /// Negative = statement did not come through an admission controller; the
+  /// server records the actual wait (possibly 0) before each statement.
+  double admission_wait_seconds_ = -1.0;
 };
 
 }  // namespace sqlarray::sql

@@ -24,9 +24,29 @@ LogDevice::LogDevice(storage::DiskConfig config) : disk_(config) {
   disk_.EnsureAllocated(kHeaderDiskPage);
 }
 
+Status LogDevice::ReadPageWithRetry(storage::PageId id,
+                                    storage::Page* image) {
+  Status st = disk_.ReadPage(id, image);
+  int attempt = 1;
+  while (!st.ok() && st.code() != StatusCode::kInvalidArgument &&
+         attempt < max_read_attempts_) {
+    ++attempt;
+    disk_.NoteReadRetry(attempt);
+    st = disk_.ReadPage(id, image);
+    if (st.ok()) disk_.NoteFaultHealed();
+  }
+  if (!st.ok()) {
+    if (st.code() == StatusCode::kInvalidArgument) return st;
+    return Status::Corruption("log disk page " + std::to_string(id) +
+                              " unreadable after " + std::to_string(attempt) +
+                              " attempt(s): " + st.message());
+  }
+  return Status::OK();
+}
+
 Result<LogHeader> LogDevice::ReadHeader() {
   storage::Page page;
-  Status s = disk_.ReadPage(kHeaderDiskPage, &page);
+  Status s = ReadPageWithRetry(kHeaderDiskPage, &page);
   // An unreadable or torn header is survivable: recovery falls back to
   // scanning the whole log from page 0.
   if (!s.ok()) return LogHeader{};
@@ -55,7 +75,9 @@ Result<LogDevice::LogPage> LogDevice::ReadLogPage(int64_t index) {
   storage::PageId disk_page =
       static_cast<storage::PageId>(index + kFirstLogDiskPage);
   LogPage out;
-  SQLARRAY_RETURN_IF_ERROR(disk_.ReadPage(disk_page, &out.raw));
+  // Retried read: recovery walks the page chain through this call, and a
+  // transient injected fault must heal rather than truncate the chain.
+  SQLARRAY_RETURN_IF_ERROR(ReadPageWithRetry(disk_page, &out.raw));
   if (DecodeLE<uint32_t>(out.raw.data()) != kLogPageMagic) {
     return Status::Corruption("log page " + std::to_string(index) +
                               " has no valid header");

@@ -87,8 +87,23 @@ class LogDevice {
 
   storage::SimulatedDisk* disk() { return &disk_; }
 
+  /// Transient log-read failures (the disk's fault injector) are retried up
+  /// to this many attempts with modeled backoff before escalating — a
+  /// recovery scan must not mistake a transient fault for the end of the
+  /// log chain.
+  void set_max_read_attempts(int attempts) {
+    max_read_attempts_ = attempts < 1 ? 1 : attempts;
+  }
+  int max_read_attempts() const { return max_read_attempts_; }
+
  private:
+  /// ReadPage with the bounded-retry policy (mirrors the buffer pool's):
+  /// retry transient errors, never retry kInvalidArgument (structural), and
+  /// escalate an exhausted budget to kCorruption naming the page.
+  Status ReadPageWithRetry(storage::PageId id, storage::Page* image);
+
   storage::SimulatedDisk disk_;
+  int max_read_attempts_ = 3;
 };
 
 /// Group-commit accounting.

@@ -17,6 +17,7 @@
 #include "engine/exec.h"
 #include "obs/profile.h"
 #include "sql/session.h"
+#include "storage/fault.h"
 #include "storage/table.h"
 #include "storage/verify.h"
 #include "udfs/register.h"
@@ -864,6 +865,69 @@ TEST(WalProperty, RecoveredDatabaseIsIdenticalAcrossWorkerCounts) {
   uint64_t serial = RunSqlWorkloadCrashRecoverFingerprint(1);
   uint64_t parallel = RunSqlWorkloadCrashRecoverFingerprint(4);
   EXPECT_EQ(serial, parallel);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-seeded recovery: transient log-read errors
+// ---------------------------------------------------------------------------
+
+TEST(WalManager, RecoverySurvivesTransientLogReadFaults) {
+  storage::Database db;
+  WalManager w(&db);
+  CreateLoggedTable(&db, &w, "t");
+  // Enough traffic to span several log pages, so the recovery scan issues
+  // multiple reads through the faulted disk.
+  CommitInserts(&db, &w, "t", 0, 200, 1);
+  CommitInserts(&db, &w, "t", 1000, 200, 2);
+
+  w.SimulateCrash();
+
+  // Arm deterministic transient read errors against the header page and the
+  // first log pages — each burst below the retry budget. Without the bounded
+  // retry in LogDevice the chain scan would mistake the first fault for the
+  // end of the log and silently drop committed transactions.
+  storage::SimulatedDisk* disk = w.log_device()->disk();
+  storage::FaultInjector* inj = disk->EnableFaults(storage::FaultConfig{});
+  ASSERT_GE(w.log_device()->max_read_attempts(), 3);
+  inj->ArmTransientReadErrors(1, 2);  // header disk page
+  for (storage::PageId p = wal::kFirstLogDiskPage;
+       p < wal::kFirstLogDiskPage + 4; ++p) {
+    inj->ArmTransientReadErrors(p, 2);
+  }
+  storage::IoStats before = disk->stats();
+
+  wal::RecoveryStats stats = w.Recover().value();
+  EXPECT_EQ(stats.txns_committed, 2);
+  EXPECT_EQ(stats.txns_lost, 0);
+
+  storage::IoStats delta = disk->stats() - before;
+  EXPECT_GT(delta.read_errors, 0);
+  EXPECT_GT(delta.read_retries, 0);
+  EXPECT_GT(delta.transient_faults_healed, 0);
+
+  std::map<int64_t, int64_t> want;
+  for (int64_t i = 0; i < 200; ++i) want[i] = 1;
+  for (int64_t i = 1000; i < 1200; ++i) want[i] = 2;
+  ExpectTableMatches(&db, "t", want);
+  EXPECT_TRUE(storage::VerifyDatabase(&db).issues.empty());
+}
+
+TEST(WalManager, PersistentLogFaultExhaustsRetriesAndTruncates) {
+  storage::Database db;
+  WalManager w(&db);
+  CreateLoggedTable(&db, &w, "t");
+  CommitInserts(&db, &w, "t", 0, 5, 1);
+
+  w.SimulateCrash();
+  // A burst beyond the retry budget behaves like a genuinely dead page:
+  // the scan ends there and recovery proceeds with the readable prefix.
+  storage::FaultInjector* inj =
+      w.log_device()->disk()->EnableFaults(storage::FaultConfig{});
+  inj->ArmTransientReadErrors(wal::kFirstLogDiskPage,
+                              w.log_device()->max_read_attempts() + 4);
+  wal::RecoveryStats stats = w.Recover().value();
+  EXPECT_EQ(stats.txns_committed, 0);
+  EXPECT_TRUE(storage::VerifyDatabase(&db).issues.empty());
 }
 
 }  // namespace
