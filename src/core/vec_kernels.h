@@ -1,0 +1,154 @@
+// Null-aware vectorized kernels over ColumnVec payloads.
+//
+// These are the inner loops of the columnar expression pipeline
+// (engine/vec_expr.h): elementwise arithmetic, comparisons, boolean
+// combine, lane conversions, strided gathers out of row-major batches, and
+// the aggregate folds. Two implementations exist for the hot elementwise
+// family:
+//
+//   * explicit AVX2 intrinsics (x86-64, compiled via function-level target
+//     attributes so the baseline build still carries them), selected at
+//     runtime when the CPU supports AVX2;
+//   * a portable scalar loop — the fallback on other ISAs (NEON builds lean
+//     on -O3 auto-vectorization) and the reference the SIMD variants must
+//     match bit for bit. SetForceScalar(true) pins every call to this path
+//     so one binary tests both (tests/test_vec.cc does, differentially).
+//
+// Building with -DSQLARRAY_FORCE_SCALAR_KERNELS=ON compiles the SIMD
+// variants out entirely — the ctest vec_scalar_suite runs the differential
+// suite in such a tree.
+//
+// Numeric contracts (must mirror engine::EvalBinaryOp / EvalUnaryOp and
+// AccumulateNative exactly — the row path is the oracle):
+//   * int64 +,-,* wrap; int64 / and % raise InvalidArgument on a zero
+//     divisor AT A VALID LANE ("division by zero" / "modulo by zero");
+//     float64 / raises on a divisor that compares equal to 0.0.
+//   * comparisons run in the double domain (int64 operands are converted
+//     first, matching Value::AsDouble coercion) and yield int64 0/1;
+//     NaN compares unordered (only != is true).
+//   * AND/OR/NOT truthiness is int64 (float operands truncate first) and is
+//     strict, not short-circuit: both operands are always evaluated.
+//   * the aggregate folds keep the row loop's exact serial order:
+//     sum += d one element at a time, mn/mx via std::min/std::max (whose
+//     NaN- and signed-zero asymmetry is part of the contract), so results
+//     are bit-identical to row-at-a-time accumulation. Elementwise kernels
+//     may vectorize freely — per-lane IEEE ops are exact.
+//   * division/modulo kernels write 0 at invalid lanes (deterministic
+//     buffers) and skip their zero checks there: NULL operands never raise.
+//
+// Cancellation: every kernel probes gov::CheckThreadCancel() between
+// blocks of kCancelBlock elements, so a runaway vectorized query dies at
+// the same granularity as the row loops.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/column.h"
+
+namespace sqlarray::col {
+
+/// Elements per cancellation probe inside the kernel loops.
+inline constexpr int32_t kCancelBlock = 8192;
+
+/// Pins every kernel to the portable scalar path (process-wide; tests).
+void SetForceScalar(bool force);
+bool ForceScalarActive();
+/// True when the AVX2 variants are compiled in and this CPU supports them
+/// (independent of the force-scalar override).
+bool SimdAvailable();
+
+// ---------------------------------------------------------------------------
+// Gathers: strided loads out of a row-major batch into a dense lane.
+// `sel` selects batch row indices (nullptr = rows 0..n-1); `base` points at
+// row 0's column byte, `stride` is the serialized row size.
+// ---------------------------------------------------------------------------
+
+void GatherI64FromI32(const uint8_t* base, int64_t stride, const int32_t* sel,
+                      int32_t n, int64_t* out);
+void GatherI64FromI64(const uint8_t* base, int64_t stride, const int32_t* sel,
+                      int32_t n, int64_t* out);
+void GatherF64FromF32(const uint8_t* base, int64_t stride, const int32_t* sel,
+                      int32_t n, double* out);
+void GatherF64FromF64(const uint8_t* base, int64_t stride, const int32_t* sel,
+                      int32_t n, double* out);
+
+// ---------------------------------------------------------------------------
+// Elementwise kernels (dense, n lanes). `valid` masks the error checks of
+// division/modulo (nullptr = every lane valid); value lanes are computed
+// unconditionally elsewhere — invalid lanes hold deterministic garbage the
+// evaluator never reads.
+// ---------------------------------------------------------------------------
+
+Status AddI64(const int64_t* a, const int64_t* b, int32_t n, int64_t* out);
+Status SubI64(const int64_t* a, const int64_t* b, int32_t n, int64_t* out);
+Status MulI64(const int64_t* a, const int64_t* b, int32_t n, int64_t* out);
+Status DivI64(const int64_t* a, const int64_t* b, const uint64_t* valid,
+              int32_t n, int64_t* out);
+Status ModI64(const int64_t* a, const int64_t* b, const uint64_t* valid,
+              int32_t n, int64_t* out);
+
+Status AddF64(const double* a, const double* b, int32_t n, double* out);
+Status SubF64(const double* a, const double* b, int32_t n, double* out);
+Status MulF64(const double* a, const double* b, int32_t n, double* out);
+Status DivF64(const double* a, const double* b, const uint64_t* valid,
+              int32_t n, double* out);
+
+/// Comparison operators in the double domain; output is int64 0/1.
+enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+Status CmpF64(CmpOp op, const double* a, const double* b, int32_t n,
+              int64_t* out);
+
+/// Strict boolean combine over int64 truthiness: out = 0/1.
+Status AndI64(const int64_t* a, const int64_t* b, int32_t n, int64_t* out);
+Status OrI64(const int64_t* a, const int64_t* b, int32_t n, int64_t* out);
+Status NotI64(const int64_t* a, int32_t n, int64_t* out);
+
+Status NegI64(const int64_t* a, int32_t n, int64_t* out);
+Status NegF64(const double* a, int32_t n, double* out);
+
+/// Lane conversions: int64 -> double widens (static_cast), double -> int64
+/// truncates toward zero (static_cast — Value::AsInt coercion).
+Status I64ToF64(const int64_t* a, int32_t n, double* out);
+Status F64ToI64(const double* a, int32_t n, int64_t* out);
+
+/// Broadcast fills for literal/variable operands.
+void FillI64(int64_t v, int32_t n, int64_t* out);
+void FillF64(double v, int32_t n, double* out);
+
+// ---------------------------------------------------------------------------
+// Filter and aggregate consumers
+// ---------------------------------------------------------------------------
+
+/// Appends to `sel` every row index with a set validity bit and a nonzero
+/// value — SQL truthiness over an int64 keep column (NULL is false).
+void BuildSel(const int64_t* v, const uint64_t* valid, int32_t n,
+              std::vector<int32_t>* sel);
+
+/// Number of valid rows (whole-word popcount; nullptr = n).
+int64_t CountValid(const uint64_t* valid, int32_t n);
+
+/// One native aggregate accumulator, mirroring engine AggState's numeric
+/// fields. Folds CONTINUE the caller's serial chain: seed the struct from
+/// the live accumulator, fold, copy back — bit-identical to accumulating
+/// row by row.
+struct VecAggState {
+  int64_t count = 0;
+  double sum = 0;
+  double mn = 0;
+  double mx = 0;
+  bool int_only = true;
+  int64_t isum = 0;
+};
+
+/// Folds valid int64 lanes: isum += v; count++; sum += double(v);
+/// mn/mx via std::min/std::max — exactly AccumulateNative on kInt64 Values.
+Status FoldI64(const int64_t* a, const uint64_t* valid, int32_t n,
+               VecAggState* st);
+/// Folds valid float64 lanes (int_only clears per valid row) — exactly
+/// AccumulateNative on kFloat64 Values, NaN asymmetry included.
+Status FoldF64(const double* a, const uint64_t* valid, int32_t n,
+               VecAggState* st);
+
+}  // namespace sqlarray::col

@@ -100,7 +100,16 @@ class RowBatch {
   void Reset(int64_t row_size, int32_t capacity);
   bool full() const { return n_ == cap_; }
   int32_t size() const { return n_; }
+  int32_t capacity() const { return cap_; }
   void Push(const uint8_t* row);
+  /// Bulk append: writable space for the next capacity() - size() rows;
+  /// after filling the first `n` of them, CommitAppend(n) makes them part
+  /// of the batch. The cursor CopyRows fill path (one memcpy per leaf-page
+  /// run) goes through this instead of a Push per row.
+  uint8_t* AppendSlots() {
+    return data_.data() + static_cast<size_t>(n_) * row_size_;
+  }
+  void CommitAppend(int32_t n) { n_ += n; }
   const uint8_t* row(int32_t i) const {
     return data_.data() + static_cast<size_t>(i) * row_size_;
   }

@@ -11,6 +11,8 @@
 #include "common/bytes.h"
 #include "common/stopwatch.h"
 #include "engine/batch.h"
+#include "engine/vec_expr.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace sqlarray::engine {
@@ -261,6 +263,119 @@ Status FilterBatch(const Query& q, BatchContext* bctx,
   return Status::OK();
 }
 
+// ---------------------------------------------------------------------------
+// Vectorized pipeline glue: per-query compiled programs, scratch registers,
+// pipeline counters, and the columnar aggregate bridge.
+// ---------------------------------------------------------------------------
+
+// Counters are resolved once per process (GetCounter takes the registry
+// mutex); Add is a relaxed atomic, safe from morsel workers.
+obs::Counter& VecBatchesCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("vec.batches");
+  return *c;
+}
+obs::Counter& VecRowsCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Global().GetCounter("vec.rows");
+  return *c;
+}
+obs::Counter& VecFallbackRowsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("vec.fallback_rows");
+  return *c;
+}
+
+/// Per-query compiled columnar programs: one for WHERE, one per select item
+/// that the columnar domain covers. Null slots fall back to EvalBatch.
+/// Built once per statement and shared read-only across morsel workers
+/// (Run writes only the caller's scratch).
+struct VecQueryPlan {
+  bool any = false;
+  bool where_ok = false;
+  vec::VecProgram where;
+  std::vector<std::unique_ptr<vec::VecProgram>> items;
+};
+
+/// Compiles the query's expressions best-effort. In aggregate mode only
+/// native aggregate arguments compile (plain items evaluate once per query,
+/// COUNT(*) never evaluates); in rows mode every projection item does.
+VecQueryPlan BuildVecPlan(const Query& q,
+                          const std::map<std::string, Value>* variables,
+                          bool rows_mode) {
+  VecQueryPlan p;
+  if (q.table == nullptr) return p;
+  const storage::Schema& schema = q.table->schema();
+  if (q.where != nullptr) {
+    p.where_ok = vec::VecProgram::Compile(*q.where, schema, variables, &p.where);
+    p.any = p.any || p.where_ok;
+  }
+  p.items.resize(q.items.size());
+  for (size_t i = 0; i < q.items.size(); ++i) {
+    const SelectItem& item = q.items[i];
+    if (item.expr == nullptr) continue;
+    const bool wanted =
+        rows_mode ? item.agg == SelectItem::AggKind::kNone
+                  : (item.agg != SelectItem::AggKind::kNone &&
+                     item.agg != SelectItem::AggKind::kUda && !IsCountStar(item));
+    if (!wanted) continue;
+    auto prog = std::make_unique<vec::VecProgram>();
+    if (vec::VecProgram::Compile(*item.expr, schema, variables, prog.get())) {
+      p.items[i] = std::move(prog);
+      p.any = true;
+    }
+  }
+  return p;
+}
+
+/// Register-file heap footprint for budget accounting: every instruction
+/// owns one value lane plus a validity bitmap at batch width.
+int64_t VecPlanFootprint(const VecQueryPlan& p, int batch_rows) {
+  int64_t instrs = p.where_ok ? p.where.num_instrs() : 0;
+  for (const auto& prog : p.items) {
+    if (prog != nullptr) instrs += prog->num_instrs();
+  }
+  const int64_t per_reg =
+      static_cast<int64_t>(batch_rows) * 8 +
+      static_cast<int64_t>(col::ValidityWords(batch_rows)) * 8;
+  return instrs * per_reg;
+}
+
+/// Per-worker columnar scratch: the shared register file (sized to the
+/// largest program that runs in it) and the filter truncation column.
+struct VecScratch {
+  std::vector<col::ColumnVec> regs;
+  col::ColumnVec trunc;
+};
+
+/// Folds an evaluated columnar aggregate argument into the live AggState.
+/// The fold continues the accumulator's serial chain (seed, fold, copy
+/// back), so results are bit-identical to AccumulateNative row by row.
+Status VecAccumulateColumn(SelectItem::AggKind agg, const col::ColumnVec& c,
+                           AggState* st) {
+  if (agg == SelectItem::AggKind::kCount) {
+    st->count += col::CountValid(c.valid_words(), c.size());
+    return Status::OK();
+  }
+  col::VecAggState vs;
+  vs.count = st->count;
+  vs.sum = st->sum;
+  vs.mn = st->mn;
+  vs.mx = st->mx;
+  vs.int_only = st->int_only;
+  vs.isum = st->isum;
+  SQLARRAY_RETURN_IF_ERROR(
+      c.lane() == col::Lane::kI64
+          ? col::FoldI64(c.i64(), c.valid_words(), c.size(), &vs)
+          : col::FoldF64(c.f64(), c.valid_words(), c.size(), &vs));
+  st->count = vs.count;
+  st->sum = vs.sum;
+  st->mn = vs.mn;
+  st->mx = vs.mx;
+  st->int_only = vs.int_only;
+  st->isum = vs.isum;
+  return Status::OK();
+}
+
 /// Serializes a grouping key value into a byte string for hashing.
 void AppendGroupKey(const Value& v, std::string* out) {
   out->push_back(static_cast<char>(v.kind()));
@@ -404,6 +519,20 @@ void MergeStats(QueryStats* into, const QueryStats& part) {
   }
 }
 
+/// Fills `batch` from a scan cursor via CopyRows — one memcpy per
+/// leaf-page run instead of a row()/Next() round trip per row. Row bytes,
+/// row order, and page-load points are identical to the per-row loop.
+template <typename Cursor>
+Status FillBatchFromCursor(Cursor& cursor, RowBatch* batch) {
+  while (!batch->full() && cursor.valid()) {
+    SQLARRAY_ASSIGN_OR_RETURN(
+        int32_t got, cursor.CopyRows(batch->capacity() - batch->size(),
+                                     batch->AppendSlots()));
+    batch->CommitAppend(got);
+  }
+  return Status::OK();
+}
+
 /// Partial result of one morsel of an ungrouped aggregation.
 struct AggPartial {
   std::vector<AggState> states;
@@ -419,6 +548,7 @@ Status AggregateChunk(const Query& q, const CostModel& cost,
                       std::map<std::string, Value>* variables,
                       storage::BufferPool* pool, int batch_rows,
                       bool udf_detail, const gov::QueryLimits* limits,
+                      const VecQueryPlan* vplan,
                       storage::BTree::ChunkCursor cursor, AggPartial* out) {
   const size_t n_items = q.items.size();
   out->states.resize(n_items);
@@ -444,23 +574,40 @@ Status AggregateChunk(const Query& q, const CostModel& cost,
     bctx.arena = &arena;
     std::vector<int32_t> sel;
     std::vector<Value> keep_col, col;
+    VecScratch vscratch;
     const int64_t rsz = q.table->schema().row_size();
-    // The gather buffer is the batched path's private allocation.
+    // The gather buffer is the batched path's private allocation; so is the
+    // columnar register file when a vectorized plan runs.
     SQLARRAY_RETURN_IF_ERROR(
         GovCharge(limits, rsz * static_cast<int64_t>(batch_rows)));
+    if (vplan != nullptr) {
+      SQLARRAY_RETURN_IF_ERROR(
+          GovCharge(limits, VecPlanFootprint(*vplan, batch_rows)));
+    }
     while (true) {
       SQLARRAY_RETURN_IF_ERROR(GovCheck(limits));
       batch.Reset(rsz, batch_rows);
-      while (!batch.full() && cursor.valid()) {
-        batch.Push(cursor.row().data());
-        SQLARRAY_RETURN_IF_ERROR(cursor.Next());
-      }
+      SQLARRAY_RETURN_IF_ERROR(FillBatchFromCursor(cursor, &batch));
       if (batch.size() == 0) break;
       out->stats.rows_scanned += batch.size();
       for (int32_t i = 0; i < batch.size(); ++i) {
         out->stats.ChargeCpuNs(cost.row_scan_ns);
       }
-      SQLARRAY_RETURN_IF_ERROR(FilterBatch(q, &bctx, &keep_col, &sel));
+      if (vplan != nullptr) {
+        VecBatchesCounter().Add(1);
+        VecRowsCounter().Add(batch.size());
+      }
+      if (vplan != nullptr && vplan->where_ok) {
+        SQLARRAY_RETURN_IF_ERROR(vec::VecFilter(vplan->where, batch,
+                                                &vscratch.regs, &vscratch.trunc,
+                                                &sel));
+        bctx.sel = nullptr;
+      } else {
+        SQLARRAY_RETURN_IF_ERROR(FilterBatch(q, &bctx, &keep_col, &sel));
+        if (vplan != nullptr && q.where != nullptr) {
+          VecFallbackRowsCounter().Add(batch.size());
+        }
+      }
       if (sel.empty()) continue;
       out->stats.rows_kept += static_cast<int64_t>(sel.size());
       for (size_t i = 0; i < n_items; ++i) {
@@ -479,8 +626,22 @@ Status AggregateChunk(const Query& q, const CostModel& cost,
           st.count += static_cast<int64_t>(sel.size());
           continue;
         }
+        if (vplan != nullptr && vplan->items[i] != nullptr) {
+          SQLARRAY_RETURN_IF_ERROR(
+              vplan->items[i]->Run(batch, &sel, &vscratch.regs));
+          for (size_t k = 0; k < sel.size(); ++k) {
+            out->stats.agg_steps++;
+            out->stats.ChargeCpuNs(cost.native_agg_step_ns);
+          }
+          SQLARRAY_RETURN_IF_ERROR(VecAccumulateColumn(
+              item.agg, vplan->items[i]->Result(vscratch.regs), &st));
+          continue;
+        }
         bctx.sel = &sel;
         SQLARRAY_RETURN_IF_ERROR(EvalBatch(*item.expr, bctx, &col));
+        if (vplan != nullptr) {
+          VecFallbackRowsCounter().Add(static_cast<int64_t>(sel.size()));
+        }
         for (const Value& v : col) {
           out->stats.agg_steps++;
           out->stats.ChargeCpuNs(cost.native_agg_step_ns);
@@ -624,7 +785,7 @@ Status GroupByChunk(const Query& q, const CostModel& cost,
 Status RowsChunk(const Query& q, const CostModel& cost,
                  std::map<std::string, Value>* variables,
                  storage::BufferPool* pool, int batch_rows,
-                 const gov::QueryLimits* limits,
+                 const gov::QueryLimits* limits, const VecQueryPlan* vplan,
                  storage::BTree::ChunkCursor cursor,
                  std::vector<std::vector<Value>>* rows, QueryStats* stats) {
   const size_t n_items = q.items.size();
@@ -647,22 +808,38 @@ Status RowsChunk(const Query& q, const CostModel& cost,
     bctx.arena = &arena;
     std::vector<int32_t> sel;
     std::vector<Value> keep_col;
+    VecScratch vscratch;
     const int64_t rsz = q.table->schema().row_size();
     SQLARRAY_RETURN_IF_ERROR(
         GovCharge(limits, rsz * static_cast<int64_t>(batch_rows)));
+    if (vplan != nullptr) {
+      SQLARRAY_RETURN_IF_ERROR(
+          GovCharge(limits, VecPlanFootprint(*vplan, batch_rows)));
+    }
     while (true) {
       SQLARRAY_RETURN_IF_ERROR(GovCheck(limits));
       batch.Reset(rsz, batch_rows);
-      while (!batch.full() && cursor.valid()) {
-        batch.Push(cursor.row().data());
-        SQLARRAY_RETURN_IF_ERROR(cursor.Next());
-      }
+      SQLARRAY_RETURN_IF_ERROR(FillBatchFromCursor(cursor, &batch));
       if (batch.size() == 0) break;
       stats->rows_scanned += batch.size();
       for (int32_t i = 0; i < batch.size(); ++i) {
         stats->ChargeCpuNs(cost.row_scan_ns);
       }
-      SQLARRAY_RETURN_IF_ERROR(FilterBatch(q, &bctx, &keep_col, &sel));
+      if (vplan != nullptr) {
+        VecBatchesCounter().Add(1);
+        VecRowsCounter().Add(batch.size());
+      }
+      if (vplan != nullptr && vplan->where_ok) {
+        SQLARRAY_RETURN_IF_ERROR(vec::VecFilter(vplan->where, batch,
+                                                &vscratch.regs, &vscratch.trunc,
+                                                &sel));
+        bctx.sel = nullptr;
+      } else {
+        SQLARRAY_RETURN_IF_ERROR(FilterBatch(q, &bctx, &keep_col, &sel));
+        if (vplan != nullptr && q.where != nullptr) {
+          VecFallbackRowsCounter().Add(batch.size());
+        }
+      }
       if (sel.empty()) continue;
       stats->rows_kept += static_cast<int64_t>(sel.size());
       bctx.sel = &sel;
@@ -671,7 +848,16 @@ Status RowsChunk(const Query& q, const CostModel& cost,
       cols.reserve(n_items);
       for (size_t i = 0; i < n_items; ++i) {
         cols.push_back(guard.Borrow());
+        if (vplan != nullptr && vplan->items[i] != nullptr) {
+          SQLARRAY_RETURN_IF_ERROR(
+              vplan->items[i]->Run(batch, &sel, &vscratch.regs));
+          vec::ColumnToValues(vplan->items[i]->Result(vscratch.regs), cols[i]);
+          continue;
+        }
         SQLARRAY_RETURN_IF_ERROR(EvalBatch(*q.items[i].expr, bctx, cols[i]));
+        if (vplan != nullptr) {
+          VecFallbackRowsCounter().Add(static_cast<int64_t>(sel.size()));
+        }
       }
       SQLARRAY_RETURN_IF_ERROR(GovCharge(
           limits,
@@ -747,7 +933,7 @@ Result<ResultSet> Executor::Execute(const Query& q,
                             ExecuteInternal(q, variables, qctx));
   qctx->stats = rs.stats;
   if (qctx->collect_profile) {
-    BuildProfile(q, rs, pool_before, metrics_before, qctx);
+    BuildProfile(q, rs, pool_before, metrics_before, variables, qctx);
   }
   return rs;
 }
@@ -804,6 +990,7 @@ Result<ResultSet> Executor::ExecuteInternal(
 void Executor::BuildProfile(const Query& q, const ResultSet& rs,
                             const storage::BufferPool::Stats& pool_before,
                             const obs::MetricsSnapshot& metrics_before,
+                            std::map<std::string, Value>* variables,
                             QueryContext* qctx) {
   const QueryStats& stats = rs.stats;
   obs::MetricsSnapshot now = obs::MetricsRegistry::Global().Snapshot();
@@ -832,11 +1019,51 @@ void Executor::BuildProfile(const Query& q, const ResultSet& rs,
   root->counters.modeled_seconds = stats.ModeledSeconds(cost_);
   root->counters.wall_seconds = stats.wall_seconds;
 
+  // Per-operator vectorized-vs-row mode, re-derived from the dispatch rules
+  // and a compile probe — a pure function of the query shape, the bound
+  // variables, and executor settings, so the tree stays deterministic at
+  // every worker count. An operator reads "vectorized" when the batched
+  // branch runs AND its expression compiles to a columnar program.
+  bool batched_eval = vectorized_ && batch_rows_ > 1 && q.table != nullptr;
+  if (has_agg) {
+    batched_eval = batched_eval && q.group_by.empty() && CanBatchAggregate(q);
+    if (parallel_mode_ == ParallelMode::kStaticChunkLegacy) {
+      // The legacy static-chunk plan captures eligible ungrouped all-native
+      // aggregations ahead of the batched path and stays row-mode.
+      bool legacy_ok =
+          scan_workers_ > 1 && q.group_by.empty() && MorselEligible(q);
+      for (const SelectItem& item : q.items) {
+        legacy_ok = legacy_ok && item.agg != SelectItem::AggKind::kUda &&
+                    item.agg != SelectItem::AggKind::kNone;
+      }
+      batched_eval = batched_eval && !legacy_ok;
+    }
+  } else {
+    batched_eval = batched_eval && q.top < 0;
+  }
+
   obs::ProfileNode* parent = root;
   if (!from_less) {
     if (has_agg) {
+      bool vec_agg = false;
+      if (batched_eval) {
+        vec::VecProgram probe;
+        for (const SelectItem& item : q.items) {
+          if (item.agg == SelectItem::AggKind::kNone ||
+              item.agg == SelectItem::AggKind::kUda || IsCountStar(item) ||
+              item.expr == nullptr) {
+            continue;
+          }
+          if (vec::VecProgram::Compile(*item.expr, q.table->schema(),
+                                       variables, &probe)) {
+            vec_agg = true;
+            break;
+          }
+        }
+      }
       obs::ProfileNode* agg =
-          parent->AddChild(q.group_by.empty() ? "aggregate" : "group-by");
+          parent->AddChild(q.group_by.empty() ? "aggregate" : "group-by",
+                           vec_agg ? "vectorized" : "row");
       agg->counters.rows_in = stats.rows_kept;
       agg->counters.rows_out = static_cast<int64_t>(rs.rows.size());
       agg->counters.modeled_seconds = static_cast<double>(stats.agg_steps) *
@@ -846,7 +1073,14 @@ void Executor::BuildProfile(const Query& q, const ResultSet& rs,
       parent = agg;
     }
     if (q.where != nullptr) {
-      obs::ProfileNode* filter = parent->AddChild("filter");
+      bool vec_filter = false;
+      if (batched_eval) {
+        vec::VecProgram probe;
+        vec_filter = vec::VecProgram::Compile(*q.where, q.table->schema(),
+                                              variables, &probe);
+      }
+      obs::ProfileNode* filter =
+          parent->AddChild("filter", vec_filter ? "vectorized" : "row");
       filter->counters.rows_in = stats.rows_scanned;
       filter->counters.rows_out = stats.rows_kept;
       parent = filter;
@@ -874,6 +1108,21 @@ void Executor::BuildProfile(const Query& q, const ResultSet& rs,
     udf->counters.udf_calls = d.calls;
     udf->counters.udf_bytes = d.bytes;
     udf->counters.modeled_seconds = d.cpu_ns * 1e-9;
+  }
+
+  // Columnar-pipeline summary: one root child when any vectorized batches
+  // ran during this statement (registry deltas, like the dispatch
+  // counters). fallback_rows counts per-expression drops to the batched
+  // row evaluator, so it can exceed rows when several items fall back.
+  const int64_t vec_batches = now.Delta(metrics_before, "vec.batches");
+  if (vec_batches > 0) {
+    const int64_t vec_rows = now.Delta(metrics_before, "vec.rows");
+    const int64_t vec_fallback = now.Delta(metrics_before, "vec.fallback_rows");
+    obs::ProfileNode* vn = root->AddChild(
+        "vec", "batches=" + std::to_string(vec_batches) +
+                   " fallback_rows=" + std::to_string(vec_fallback));
+    vn->counters.rows_in = vec_rows;
+    vn->counters.rows_out = vec_rows;
   }
 }
 
@@ -1140,31 +1389,46 @@ Result<ResultSet> Executor::ExecuteAggregateBatched(
 
   std::vector<int32_t> sel;
   std::vector<Value> keep_col, col;
+  VecScratch vscratch;
   const int64_t rsz = q.table->schema().row_size();
-  bool first_row = true;
-  bool done = false;
+
+  VecQueryPlan vplan_store;
+  const VecQueryPlan* vplan = nullptr;
+  if (vectorized_) {
+    vplan_store = BuildVecPlan(q, variables, /*rows_mode=*/false);
+    if (vplan_store.any) vplan = &vplan_store;
+  }
 
   SQLARRAY_RETURN_IF_ERROR(
       GovCharge(limits, rsz * static_cast<int64_t>(batch_rows_)));
-  while (!done) {
+  if (vplan != nullptr) {
+    SQLARRAY_RETURN_IF_ERROR(
+        GovCharge(limits, VecPlanFootprint(*vplan, batch_rows_)));
+  }
+  while (true) {
     SQLARRAY_RETURN_IF_ERROR(GovCheck(limits));
     batch.Reset(rsz, batch_rows_);
-    while (!batch.full()) {
-      if (!first_row) SQLARRAY_RETURN_IF_ERROR(cursor.Next());
-      first_row = false;
-      if (!cursor.valid()) {
-        done = true;
-        break;
-      }
-      batch.Push(cursor.row().data());
-    }
+    SQLARRAY_RETURN_IF_ERROR(FillBatchFromCursor(cursor, &batch));
     if (batch.size() == 0) break;
     rs.stats.rows_scanned += batch.size();
     for (int32_t i = 0; i < batch.size(); ++i) {
       rs.stats.ChargeCpuNs(cost_.row_scan_ns);
     }
 
-    SQLARRAY_RETURN_IF_ERROR(FilterBatch(q, &bctx, &keep_col, &sel));
+    if (vplan != nullptr) {
+      VecBatchesCounter().Add(1);
+      VecRowsCounter().Add(batch.size());
+    }
+    if (vplan != nullptr && vplan->where_ok) {
+      SQLARRAY_RETURN_IF_ERROR(vec::VecFilter(
+          vplan->where, batch, &vscratch.regs, &vscratch.trunc, &sel));
+      bctx.sel = nullptr;
+    } else {
+      SQLARRAY_RETURN_IF_ERROR(FilterBatch(q, &bctx, &keep_col, &sel));
+      if (vplan != nullptr && q.where != nullptr) {
+        VecFallbackRowsCounter().Add(batch.size());
+      }
+    }
     if (sel.empty()) continue;
     rs.stats.rows_kept += static_cast<int64_t>(sel.size());
 
@@ -1186,8 +1450,22 @@ Result<ResultSet> Executor::ExecuteAggregateBatched(
         st.count += static_cast<int64_t>(sel.size());
         continue;
       }
+      if (vplan != nullptr && vplan->items[i] != nullptr) {
+        SQLARRAY_RETURN_IF_ERROR(
+            vplan->items[i]->Run(batch, &sel, &vscratch.regs));
+        for (size_t k = 0; k < sel.size(); ++k) {
+          rs.stats.agg_steps++;
+          rs.stats.ChargeCpuNs(cost_.native_agg_step_ns);
+        }
+        SQLARRAY_RETURN_IF_ERROR(VecAccumulateColumn(
+            item.agg, vplan->items[i]->Result(vscratch.regs), &st));
+        continue;
+      }
       bctx.sel = &sel;
       SQLARRAY_RETURN_IF_ERROR(EvalBatch(*item.expr, bctx, &col));
+      if (vplan != nullptr) {
+        VecFallbackRowsCounter().Add(static_cast<int64_t>(sel.size()));
+      }
       for (const Value& v : col) {
         rs.stats.agg_steps++;
         rs.stats.ChargeCpuNs(cost_.native_agg_step_ns);
@@ -1286,13 +1564,10 @@ Result<ResultSet> Executor::ExecuteAggregateStaticChunk(
         const int64_t rsz = q.table->schema().row_size();
         while (true) {
           batch.Reset(rsz, batch_rows_);
-          while (!batch.full() && cursor.valid()) {
-            batch.Push(cursor.row().data());
-            Status st = cursor.Next();
-            if (!st.ok()) {
-              out.status = st;
-              return;
-            }
+          Status fill = FillBatchFromCursor(cursor, &batch);
+          if (!fill.ok()) {
+            out.status = fill;
+            return;
           }
           if (batch.size() == 0) break;
           out.stats.rows_scanned += batch.size();
@@ -1481,6 +1756,15 @@ Result<ResultSet> Executor::ExecuteAggregateMorsel(
       PlanMorselScan(q, scan_workers_, min_pages_per_worker_));
   std::vector<AggPartial> partials(plan.n_morsels);
 
+  // One compiled columnar plan per statement, shared read-only by every
+  // morsel worker (each worker owns its register scratch).
+  VecQueryPlan vplan_store;
+  const VecQueryPlan* vplan = nullptr;
+  if (vectorized_ && batch_rows_ > 1) {
+    vplan_store = BuildVecPlan(q, variables, /*rows_mode=*/false);
+    if (vplan_store.any) vplan = &vplan_store;
+  }
+
   SQLARRAY_RETURN_IF_ERROR(RunMorselScan(
       plan.pages.size(), plan.morsel_pages, plan.workers, qctx,
       [&](const Morsel& m) -> Status {
@@ -1492,7 +1776,7 @@ Result<ResultSet> Executor::ExecuteAggregateMorsel(
                                kMorselReadahead));
         return AggregateChunk(q, cost_, variables, db_->buffer_pool(),
                               batch_rows_, udf_detail,
-                              qctx != nullptr ? &qctx->limits : nullptr,
+                              qctx != nullptr ? &qctx->limits : nullptr, vplan,
                               std::move(cursor), &partials[m.index]);
       }));
 
@@ -1630,6 +1914,15 @@ Result<ResultSet> Executor::ExecuteRowsMorsel(
     p.stats.track_udf_detail = rs.stats.track_udf_detail;
   }
 
+  // TOP queries stay on the early-exit row loop, so the columnar plan only
+  // builds when the batched branch of RowsChunk can actually run.
+  VecQueryPlan vplan_store;
+  const VecQueryPlan* vplan = nullptr;
+  if (vectorized_ && batch_rows_ > 1 && q.top < 0) {
+    vplan_store = BuildVecPlan(q, variables, /*rows_mode=*/true);
+    if (vplan_store.any) vplan = &vplan_store;
+  }
+
   // TOP short-circuit token: `frontier` counts consecutive completed
   // morsels from 0 and `prefix_rows` their surviving rows. A worker may
   // skip an UNSTARTED morsel m once prefix_rows >= top: the frontier
@@ -1666,7 +1959,7 @@ Result<ResultSet> Executor::ExecuteRowsMorsel(
                                kMorselReadahead));
         Status st = RowsChunk(q, cost_, variables, db_->buffer_pool(),
                               batch_rows_,
-                              qctx != nullptr ? &qctx->limits : nullptr,
+                              qctx != nullptr ? &qctx->limits : nullptr, vplan,
                               std::move(cursor), &out.rows, &out.stats);
         if (st.ok()) {
           mark_done(m.index, static_cast<int64_t>(out.rows.size()));
@@ -1807,31 +2100,46 @@ Result<ResultSet> Executor::ExecuteRowsBatched(
 
   std::vector<int32_t> sel;
   std::vector<Value> keep_col;
+  VecScratch vscratch;
   const int64_t rsz = q.table->schema().row_size();
-  bool first_row = true;
-  bool done = false;
+
+  VecQueryPlan vplan_store;
+  const VecQueryPlan* vplan = nullptr;
+  if (vectorized_) {
+    vplan_store = BuildVecPlan(q, variables, /*rows_mode=*/true);
+    if (vplan_store.any) vplan = &vplan_store;
+  }
 
   SQLARRAY_RETURN_IF_ERROR(
       GovCharge(limits, rsz * static_cast<int64_t>(batch_rows_)));
-  while (!done) {
+  if (vplan != nullptr) {
+    SQLARRAY_RETURN_IF_ERROR(
+        GovCharge(limits, VecPlanFootprint(*vplan, batch_rows_)));
+  }
+  while (true) {
     SQLARRAY_RETURN_IF_ERROR(GovCheck(limits));
     batch.Reset(rsz, batch_rows_);
-    while (!batch.full()) {
-      if (!first_row) SQLARRAY_RETURN_IF_ERROR(cursor.Next());
-      first_row = false;
-      if (!cursor.valid()) {
-        done = true;
-        break;
-      }
-      batch.Push(cursor.row().data());
-    }
+    SQLARRAY_RETURN_IF_ERROR(FillBatchFromCursor(cursor, &batch));
     if (batch.size() == 0) break;
     rs.stats.rows_scanned += batch.size();
     for (int32_t i = 0; i < batch.size(); ++i) {
       rs.stats.ChargeCpuNs(cost_.row_scan_ns);
     }
 
-    SQLARRAY_RETURN_IF_ERROR(FilterBatch(q, &bctx, &keep_col, &sel));
+    if (vplan != nullptr) {
+      VecBatchesCounter().Add(1);
+      VecRowsCounter().Add(batch.size());
+    }
+    if (vplan != nullptr && vplan->where_ok) {
+      SQLARRAY_RETURN_IF_ERROR(vec::VecFilter(
+          vplan->where, batch, &vscratch.regs, &vscratch.trunc, &sel));
+      bctx.sel = nullptr;
+    } else {
+      SQLARRAY_RETURN_IF_ERROR(FilterBatch(q, &bctx, &keep_col, &sel));
+      if (vplan != nullptr && q.where != nullptr) {
+        VecFallbackRowsCounter().Add(batch.size());
+      }
+    }
     if (sel.empty()) continue;
     rs.stats.rows_kept += static_cast<int64_t>(sel.size());
     SQLARRAY_RETURN_IF_ERROR(GovCharge(
@@ -1844,7 +2152,16 @@ Result<ResultSet> Executor::ExecuteRowsBatched(
     cols.reserve(n_items);
     for (size_t i = 0; i < n_items; ++i) {
       cols.push_back(guard.Borrow());
+      if (vplan != nullptr && vplan->items[i] != nullptr) {
+        SQLARRAY_RETURN_IF_ERROR(
+            vplan->items[i]->Run(batch, &sel, &vscratch.regs));
+        vec::ColumnToValues(vplan->items[i]->Result(vscratch.regs), cols[i]);
+        continue;
+      }
       SQLARRAY_RETURN_IF_ERROR(EvalBatch(*q.items[i].expr, bctx, cols[i]));
+      if (vplan != nullptr) {
+        VecFallbackRowsCounter().Add(static_cast<int64_t>(sel.size()));
+      }
     }
     for (size_t k = 0; k < sel.size(); ++k) {
       std::vector<Value> row;

@@ -160,6 +160,16 @@ class Executor {
   void set_batch_rows(int rows) { batch_rows_ = rows; }
   int batch_rows() const { return batch_rows_; }
 
+  /// Toggles the fused columnar pipeline (engine/vec_expr.h) inside the
+  /// batched paths. On (the default), WHERE and eligible select items
+  /// compile to column-kernel programs; expressions outside the columnar
+  /// domain fall back to the batched row evaluator per item. Off forces
+  /// every batched evaluation through EvalBatch. Results are bit-identical
+  /// either way at any batch size and worker count
+  /// (tests/test_vec.cc exercises this differentially).
+  void set_vectorized(bool on) { vectorized_ = on; }
+  bool vectorized() const { return vectorized_; }
+
   /// Evaluates a standalone (FROM-less) expression. When `stats` is given,
   /// UDF boundary costs (and any nested-subquery work merged by reader-style
   /// UDFs) are accounted there.
@@ -195,6 +205,7 @@ class Executor {
   void BuildProfile(const Query& q, const ResultSet& rs,
                     const storage::BufferPool::Stats& pool_before,
                     const obs::MetricsSnapshot& metrics_before,
+                    std::map<std::string, Value>* variables,
                     QueryContext* qctx);
   Result<ResultSet> ExecuteAggregate(const Query& q,
                                      std::map<std::string, Value>* variables,
@@ -257,6 +268,7 @@ class Executor {
   std::atomic<const SubqueryFn*> subquery_fn_{nullptr};
   int scan_workers_ = 1;
   int batch_rows_ = 1024;
+  bool vectorized_ = true;
   ParallelMode parallel_mode_ = ParallelMode::kMorsel;
   int64_t min_pages_per_worker_ = -1;
   /// Serializes pool creation and Run: the WorkerPool accepts one job at a

@@ -518,6 +518,25 @@ Status BTree::Cursor::Next() {
   return LoadLeaf(next_);
 }
 
+Result<int32_t> BTree::Cursor::CopyRows(int32_t max_rows, uint8_t* out) {
+  int32_t copied = 0;
+  while (copied < max_rows && valid_) {
+    uint32_t run = count_ - pos_;
+    if (run > static_cast<uint32_t>(max_rows - copied)) {
+      run = static_cast<uint32_t>(max_rows - copied);
+    }
+    std::memcpy(out + static_cast<size_t>(copied) * row_size_,
+                page_.data() + kBTreePageHeader + pos_ * row_size_,
+                static_cast<size_t>(run) * row_size_);
+    copied += static_cast<int32_t>(run);
+    pos_ += run;
+    // Mirror Next(): consuming a page's last row loads the next page
+    // immediately, so page I/O lands at the same points either way.
+    if (pos_ >= count_) SQLARRAY_RETURN_IF_ERROR(LoadLeaf(next_));
+  }
+  return copied;
+}
+
 Status BTree::ChunkCursor::LoadNextPage() {
   while (page_idx_ < pages_.size()) {
     if (readahead_ > 0) {
@@ -548,6 +567,23 @@ Status BTree::ChunkCursor::Next() {
   if (!valid_) return Status::OK();
   if (++pos_ < count_) return Status::OK();
   return LoadNextPage();
+}
+
+Result<int32_t> BTree::ChunkCursor::CopyRows(int32_t max_rows, uint8_t* out) {
+  int32_t copied = 0;
+  while (copied < max_rows && valid_) {
+    uint32_t run = count_ - pos_;
+    if (run > static_cast<uint32_t>(max_rows - copied)) {
+      run = static_cast<uint32_t>(max_rows - copied);
+    }
+    std::memcpy(out + static_cast<size_t>(copied) * row_size_,
+                page_.data() + kBTreePageHeader + pos_ * row_size_,
+                static_cast<size_t>(run) * row_size_);
+    copied += static_cast<int32_t>(run);
+    pos_ += run;
+    if (pos_ >= count_) SQLARRAY_RETURN_IF_ERROR(LoadNextPage());
+  }
+  return copied;
 }
 
 Result<BTree::ChunkCursor> BTree::ScanChunk(BufferPool* pool,

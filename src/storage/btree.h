@@ -134,6 +134,12 @@ class BTree {
     std::span<const uint8_t> row() const;
     /// Advances; clears valid() at the end.
     Status Next();
+    /// Copies up to `max_rows` consecutive rows into `out` (row-major,
+    /// contiguous) and advances past them — one memcpy per leaf-page run
+    /// instead of a row()/Next() pair per row, the batched scan's fill
+    /// path. Returns the number of rows copied (0 only at end of chain);
+    /// page loads happen at exactly the row positions Next() loads them.
+    Result<int32_t> CopyRows(int32_t max_rows, uint8_t* out);
 
    private:
     friend class BTree;
@@ -173,6 +179,8 @@ class BTree {
           static_cast<size_t>(row_size_));
     }
     Status Next();
+    /// Bulk fill, identical contract to Cursor::CopyRows.
+    Result<int32_t> CopyRows(int32_t max_rows, uint8_t* out);
 
    private:
     friend class BTree;

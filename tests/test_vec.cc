@@ -1,0 +1,785 @@
+// Tests for the columnar expression pipeline: kernel-level SIMD-vs-scalar
+// bit equivalence, null/NaN/selection edge cases, and differential
+// execution — the vectorized path must produce BITWISE-identical results to
+// the row path at every batch size and worker count, in both the
+// native-arch and forced-scalar builds (the ctest vec suites run this
+// binary in both trees).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/column.h"
+#include "core/vec_kernels.h"
+#include "engine/exec.h"
+#include "engine/query_context.h"
+#include "gov/gov.h"
+#include "obs/metrics.h"
+#include "udfs/register.h"
+
+namespace sqlarray::engine {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Deterministic 64-bit generator (splitmix64) so every run sees the same
+// edge-value mix.
+uint64_t Mix(uint64_t* s) {
+  uint64_t z = (*s += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel-level tests
+// ---------------------------------------------------------------------------
+
+/// Builds an edge-heavy double buffer: NaN, +/-inf, +/-0, denormals, and
+/// pseudorandom values.
+std::vector<double> EdgeDoubles(int32_t n, uint64_t seed) {
+  std::vector<double> v(n);
+  uint64_t s = seed;
+  for (int32_t i = 0; i < n; ++i) {
+    switch (i % 11) {
+      case 0: v[i] = kNaN; break;
+      case 1: v[i] = kInf; break;
+      case 2: v[i] = -kInf; break;
+      case 3: v[i] = 0.0; break;
+      case 4: v[i] = -0.0; break;
+      case 5: v[i] = std::numeric_limits<double>::denorm_min(); break;
+      default:
+        v[i] = static_cast<double>(static_cast<int64_t>(Mix(&s))) * 1e-6;
+    }
+  }
+  return v;
+}
+
+std::vector<int64_t> EdgeInts(int32_t n, uint64_t seed) {
+  std::vector<int64_t> v(n);
+  uint64_t s = seed;
+  for (int32_t i = 0; i < n; ++i) {
+    switch (i % 7) {
+      case 0: v[i] = std::numeric_limits<int64_t>::max(); break;
+      case 1: v[i] = std::numeric_limits<int64_t>::min(); break;
+      case 2: v[i] = (int64_t{1} << 53) + 1; break;
+      case 3: v[i] = 0; break;
+      default: v[i] = static_cast<int64_t>(Mix(&s));
+    }
+  }
+  return v;
+}
+
+/// Sizes straddling SIMD widths and the cancellation block.
+const int32_t kKernelSizes[] = {1, 3, 4, 5, 31, 32, 33, 127, 128, 1000, 9000};
+
+TEST(VecKernels, SimdMatchesScalarBitwiseF64) {
+  for (int32_t n : kKernelSizes) {
+    std::vector<double> a = EdgeDoubles(n, 1), b = EdgeDoubles(n, 2);
+    std::vector<double> simd(n), scalar(n);
+    std::vector<int64_t> simd_i(n), scalar_i(n);
+    using FnF = Status (*)(const double*, const double*, int32_t, double*);
+    const FnF fns[] = {col::AddF64, col::SubF64, col::MulF64};
+    for (FnF fn : fns) {
+      col::SetForceScalar(false);
+      ASSERT_TRUE(fn(a.data(), b.data(), n, simd.data()).ok());
+      col::SetForceScalar(true);
+      ASSERT_TRUE(fn(a.data(), b.data(), n, scalar.data()).ok());
+      col::SetForceScalar(false);
+      EXPECT_EQ(std::memcmp(simd.data(), scalar.data(), n * sizeof(double)), 0)
+          << "n=" << n;
+    }
+    const col::CmpOp cmps[] = {col::CmpOp::kEq, col::CmpOp::kNe,
+                               col::CmpOp::kLt, col::CmpOp::kLe,
+                               col::CmpOp::kGt, col::CmpOp::kGe};
+    for (col::CmpOp op : cmps) {
+      col::SetForceScalar(false);
+      ASSERT_TRUE(col::CmpF64(op, a.data(), b.data(), n, simd_i.data()).ok());
+      col::SetForceScalar(true);
+      ASSERT_TRUE(col::CmpF64(op, a.data(), b.data(), n, scalar_i.data()).ok());
+      col::SetForceScalar(false);
+      EXPECT_EQ(
+          std::memcmp(simd_i.data(), scalar_i.data(), n * sizeof(int64_t)), 0)
+          << "n=" << n << " op=" << static_cast<int>(op);
+    }
+    col::SetForceScalar(false);
+    ASSERT_TRUE(col::NegF64(a.data(), n, simd.data()).ok());
+    col::SetForceScalar(true);
+    ASSERT_TRUE(col::NegF64(a.data(), n, scalar.data()).ok());
+    col::SetForceScalar(false);
+    EXPECT_EQ(std::memcmp(simd.data(), scalar.data(), n * sizeof(double)), 0);
+  }
+}
+
+TEST(VecKernels, SimdMatchesScalarBitwiseI64) {
+  for (int32_t n : kKernelSizes) {
+    std::vector<int64_t> a = EdgeInts(n, 3), b = EdgeInts(n, 4);
+    std::vector<int64_t> simd(n), scalar(n);
+    using FnI = Status (*)(const int64_t*, const int64_t*, int32_t, int64_t*);
+    const FnI fns[] = {col::AddI64, col::SubI64, col::MulI64, col::AndI64,
+                       col::OrI64};
+    for (FnI fn : fns) {
+      col::SetForceScalar(false);
+      ASSERT_TRUE(fn(a.data(), b.data(), n, simd.data()).ok());
+      col::SetForceScalar(true);
+      ASSERT_TRUE(fn(a.data(), b.data(), n, scalar.data()).ok());
+      col::SetForceScalar(false);
+      EXPECT_EQ(
+          std::memcmp(simd.data(), scalar.data(), n * sizeof(int64_t)), 0)
+          << "n=" << n;
+    }
+    col::SetForceScalar(false);
+    ASSERT_TRUE(col::NegI64(a.data(), n, simd.data()).ok());
+    ASSERT_TRUE(col::NotI64(a.data(), n, scalar.data()).ok());
+    col::SetForceScalar(true);
+    std::vector<int64_t> neg2(n), not2(n);
+    ASSERT_TRUE(col::NegI64(a.data(), n, neg2.data()).ok());
+    ASSERT_TRUE(col::NotI64(a.data(), n, not2.data()).ok());
+    col::SetForceScalar(false);
+    EXPECT_EQ(std::memcmp(simd.data(), neg2.data(), n * sizeof(int64_t)), 0);
+    EXPECT_EQ(std::memcmp(scalar.data(), not2.data(), n * sizeof(int64_t)), 0);
+  }
+}
+
+TEST(VecKernels, CmpNaNSemantics) {
+  const double a[] = {kNaN, 1.0, kNaN};
+  const double b[] = {1.0, kNaN, kNaN};
+  int64_t out[3];
+  ASSERT_TRUE(col::CmpF64(col::CmpOp::kEq, a, b, 3, out).ok());
+  EXPECT_EQ(out[0], 0); EXPECT_EQ(out[1], 0); EXPECT_EQ(out[2], 0);
+  ASSERT_TRUE(col::CmpF64(col::CmpOp::kNe, a, b, 3, out).ok());
+  EXPECT_EQ(out[0], 1); EXPECT_EQ(out[1], 1); EXPECT_EQ(out[2], 1);
+  ASSERT_TRUE(col::CmpF64(col::CmpOp::kLt, a, b, 3, out).ok());
+  EXPECT_EQ(out[0], 0); EXPECT_EQ(out[1], 0); EXPECT_EQ(out[2], 0);
+  ASSERT_TRUE(col::CmpF64(col::CmpOp::kGe, a, b, 3, out).ok());
+  EXPECT_EQ(out[0], 0);
+}
+
+TEST(VecKernels, BuildSelAndCountValidBoundaries) {
+  for (int32_t n : {1, 3, 63, 64, 65, 127, 128, 1000}) {
+    col::ColumnVec c;
+    int64_t* v = c.MutableI64(n);
+    for (int32_t i = 0; i < n; ++i) v[i] = i % 3 == 0 ? 1 : 0;
+    // All valid: sel = multiples of 3.
+    std::vector<int32_t> sel;
+    col::BuildSel(c.i64(), c.valid_words(), n, &sel);
+    EXPECT_EQ(static_cast<int32_t>(sel.size()), (n + 2) / 3) << "n=" << n;
+    for (int32_t idx : sel) EXPECT_EQ(idx % 3, 0);
+    EXPECT_EQ(col::CountValid(c.valid_words(), n), n);
+
+    // Ragged validity: only even rows valid — odd truthy rows drop out.
+    uint64_t* words = c.MutableValidity();
+    for (int32_t i = 1; i < n; i += 2) {
+      words[i >> 6] &= ~(uint64_t{1} << (i & 63));
+    }
+    EXPECT_EQ(col::CountValid(c.valid_words(), n), (n + 1) / 2);
+    sel.clear();
+    col::BuildSel(c.i64(), c.valid_words(), n, &sel);
+    for (int32_t idx : sel) {
+      EXPECT_EQ(idx % 2, 0);
+      EXPECT_EQ(idx % 3, 0);
+    }
+
+    // All null: nothing selected.
+    c.SetAllNull();
+    EXPECT_EQ(col::CountValid(c.valid_words(), n), 0);
+    sel.clear();
+    col::BuildSel(c.i64(), c.valid_words(), n, &sel);
+    EXPECT_TRUE(sel.empty());
+  }
+}
+
+TEST(VecKernels, GatherStridesSelectionAndWidening) {
+  // Rows of 20 bytes: int32 at 0, int64 at 4, float at 12, padding at 16.
+  struct Row { int32_t i32; int64_t i64; float f32; };
+  const int32_t n = 57;
+  std::vector<uint8_t> rows(n * 20);
+  for (int32_t i = 0; i < n; ++i) {
+    int32_t a = i % 2 == 0 ? -i - 1 : i;  // negatives: sign extension
+    int64_t b = (int64_t{1} << 53) + i;
+    float c = 0.1f * static_cast<float>(i);
+    std::memcpy(rows.data() + i * 20 + 0, &a, 4);
+    std::memcpy(rows.data() + i * 20 + 4, &b, 8);
+    std::memcpy(rows.data() + i * 20 + 12, &c, 4);
+  }
+  std::vector<int64_t> oi(n);
+  std::vector<double> of(n);
+  // Dense (sel == nullptr).
+  col::GatherI64FromI32(rows.data() + 0, 20, nullptr, n, oi.data());
+  EXPECT_EQ(oi[2], -3);
+  EXPECT_EQ(oi[3], 3);
+  col::GatherI64FromI64(rows.data() + 4, 20, nullptr, n, oi.data());
+  EXPECT_EQ(oi[5], (int64_t{1} << 53) + 5);
+  col::GatherF64FromF32(rows.data() + 12, 20, nullptr, n, of.data());
+  EXPECT_EQ(of[7], static_cast<double>(0.1f * 7.0f));  // exact widening
+  // Selection vector, including repeats and reverse order.
+  const std::vector<int32_t> sel = {n - 1, 0, 0, 13};
+  col::GatherI64FromI32(rows.data() + 0, 20, sel.data(),
+                        static_cast<int32_t>(sel.size()), oi.data());
+  EXPECT_EQ(oi[1], -1);
+  EXPECT_EQ(oi[2], -1);
+  EXPECT_EQ(oi[3], 13);
+}
+
+TEST(VecKernels, FoldsMatchSerialAccumulation) {
+  for (bool force : {false, true}) {
+    col::SetForceScalar(force);
+    const int32_t n = 501;
+    std::vector<double> d = EdgeDoubles(n, 9);
+    // Reference: the row loop's serial chain.
+    double sum = 0, mn = std::numeric_limits<double>::infinity(),
+           mx = -std::numeric_limits<double>::infinity();
+    int64_t count = 0;
+    for (int32_t i = 0; i < n; ++i) {
+      count++;
+      sum += d[i];
+      mn = std::min(mn, d[i]);
+      mx = std::max(mx, d[i]);
+    }
+    col::VecAggState st;
+    st.mn = std::numeric_limits<double>::infinity();
+    st.mx = -std::numeric_limits<double>::infinity();
+    ASSERT_TRUE(col::FoldF64(d.data(), nullptr, n, &st).ok());
+    EXPECT_EQ(st.count, count);
+    // Bitwise comparison — NaN sums must match NaN sums.
+    EXPECT_EQ(std::memcmp(&st.sum, &sum, 8), 0);
+    EXPECT_EQ(std::memcmp(&st.mn, &mn, 8), 0);
+    EXPECT_EQ(std::memcmp(&st.mx, &mx, 8), 0);
+    EXPECT_FALSE(st.int_only);
+
+    // Int fold with a ragged validity mask.
+    std::vector<int64_t> iv = EdgeInts(n, 10);
+    col::ColumnVec c;
+    int64_t* p = c.MutableI64(n);
+    std::memcpy(p, iv.data(), n * 8);
+    uint64_t* words = c.MutableValidity();
+    for (int32_t i = 0; i < n; i += 5) {
+      words[i >> 6] &= ~(uint64_t{1} << (i & 63));
+    }
+    int64_t isum = 0, icount = 0;
+    double dsum = 0, dmn = std::numeric_limits<double>::infinity(),
+           dmx = -std::numeric_limits<double>::infinity();
+    for (int32_t i = 0; i < n; ++i) {
+      if (i % 5 == 0) continue;
+      isum = static_cast<int64_t>(static_cast<uint64_t>(isum) +
+                                  static_cast<uint64_t>(iv[i]));
+      icount++;
+      const double x = static_cast<double>(iv[i]);
+      dsum += x;
+      dmn = std::min(dmn, x);
+      dmx = std::max(dmx, x);
+    }
+    col::VecAggState ist;
+    ist.mn = std::numeric_limits<double>::infinity();
+    ist.mx = -std::numeric_limits<double>::infinity();
+    ASSERT_TRUE(col::FoldI64(c.i64(), c.valid_words(), n, &ist).ok());
+    EXPECT_EQ(ist.count, icount);
+    EXPECT_EQ(ist.isum, isum);
+    EXPECT_EQ(std::memcmp(&ist.sum, &dsum, 8), 0);
+    EXPECT_EQ(ist.mn, dmn);
+    EXPECT_EQ(ist.mx, dmx);
+    EXPECT_TRUE(ist.int_only);
+  }
+  col::SetForceScalar(false);
+}
+
+TEST(VecKernels, DivModZeroMaskingAndMessages) {
+  const int32_t n = 4;
+  const int64_t a[] = {10, 7, 9, 8};
+  const int64_t zero_at_1[] = {2, 0, 3, 4};
+  int64_t out[n];
+  // Valid zero divisor raises with the row path's exact message.
+  Status st = col::DivI64(a, zero_at_1, nullptr, n, out);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.message(), "division by zero");
+  st = col::ModI64(a, zero_at_1, nullptr, n, out);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.message(), "modulo by zero");
+  // The same zero masked invalid does not raise; invalid lanes hold 0.
+  col::ColumnVec mask;
+  mask.MutableI64(n);
+  uint64_t* words = mask.MutableValidity();
+  words[0] &= ~uint64_t{2};  // lane 1 null
+  ASSERT_TRUE(col::DivI64(a, zero_at_1, mask.valid_words(), n, out).ok());
+  EXPECT_EQ(out[0], 5);
+  EXPECT_EQ(out[1], 0);
+  EXPECT_EQ(out[2], 3);
+  ASSERT_TRUE(col::ModI64(a, zero_at_1, mask.valid_words(), n, out).ok());
+  EXPECT_EQ(out[1], 0);
+  EXPECT_EQ(out[3], 0);
+  // Float: -0.0 divisor also raises (b == 0.0 compares true).
+  const double fa[] = {1.0, 2.0};
+  const double fb[] = {1.0, -0.0};
+  double fout[2];
+  st = col::DivF64(fa, fb, nullptr, 2, fout);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.message(), "division by zero");
+}
+
+TEST(VecKernels, CancellationProbesInsideKernels) {
+  auto cancel = std::make_shared<gov::CancelSource>();
+  gov::QueryLimits limits;
+  limits.cancel = cancel;
+  gov::ScopedThreadLimits thread_limits(&limits);
+  cancel->Cancel(gov::KillReason::kUser, "test");
+  const int32_t n = col::kCancelBlock * 3;
+  std::vector<int64_t> a(n, 1), b(n, 2), out(n);
+  Status st = col::AddI64(a.data(), b.data(), n, out.data());
+  EXPECT_FALSE(st.ok());
+  std::vector<double> fa(n, 1.0), fout(n);
+  st = col::NegF64(fa.data(), n, fout.data());
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(VecKernels, ZeroCopyViewsAliasWithoutCopying) {
+  std::vector<int64_t> data = {5, -7, 11};
+  col::ColumnVec c;
+  c.ViewI64(data.data(), 3);
+  EXPECT_TRUE(c.is_view());
+  EXPECT_EQ(c.i64(), data.data());
+  EXPECT_TRUE(c.all_valid());
+  data[1] = 42;
+  EXPECT_EQ(c.i64()[1], 42);
+}
+
+// ---------------------------------------------------------------------------
+// Differential engine tests: vectorized vs row results must be bitwise
+// identical across batch sizes, worker counts, and SIMD/scalar kernels.
+// ---------------------------------------------------------------------------
+
+class VecEngineTest : public ::testing::Test {
+ protected:
+  static constexpr int64_t kRows = 1000;  // not a multiple of any batch size
+
+  VecEngineTest() : executor_(&db_, &registry_) {
+    EXPECT_TRUE(udfs::RegisterAllUdfs(&registry_).ok());
+  }
+  ~VecEngineTest() override { col::SetForceScalar(false); }
+
+  /// Full numeric dtype matrix with edge values: negative int32s, int64s
+  /// past 2^53, NaN / +/-inf / -0.0 doubles and floats.
+  storage::Table* MakeMixedTable(const std::string& name, int64_t rows) {
+    storage::Schema schema =
+        storage::Schema::Create({{"id", storage::ColumnType::kInt64, 0},
+                                 {"a", storage::ColumnType::kInt32, 0},
+                                 {"b", storage::ColumnType::kInt64, 0},
+                                 {"x", storage::ColumnType::kFloat32, 0},
+                                 {"y", storage::ColumnType::kFloat64, 0}})
+            .value();
+    storage::Table* t = db_.CreateTable(name, std::move(schema)).value();
+    uint64_t s = 0xabcdef12345ull;
+    for (int64_t i = 0; i < rows; ++i) {
+      int32_t a = static_cast<int32_t>(Mix(&s) >> 33) - (1 << 29);
+      int64_t b = static_cast<int64_t>(Mix(&s) >> 8);
+      float x = static_cast<float>(static_cast<int32_t>(Mix(&s) >> 40)) / 64;
+      double y = static_cast<double>(static_cast<int64_t>(Mix(&s))) * 1e-9;
+      if (i % 97 == 0) y = kNaN;
+      if (i % 89 == 0) y = i % 2 == 0 ? kInf : -kInf;
+      if (i % 83 == 0) y = -0.0;
+      if (i % 79 == 0) b = (int64_t{1} << 53) + i;  // lossy as double
+      if (i % 61 == 0) x = std::numeric_limits<float>::quiet_NaN();
+      EXPECT_TRUE(t->Insert({i, a, b, x, y}).ok());
+    }
+    return t;
+  }
+
+  /// Bitwise result fingerprint: kind tag + exact payload bytes per value.
+  static std::string Fingerprint(const ResultSet& rs) {
+    std::string out;
+    for (const auto& row : rs.rows) {
+      for (const Value& v : row) {
+        out.push_back(static_cast<char>(v.kind()));
+        if (v.kind() == Value::Kind::kInt64) {
+          const int64_t x = v.AsInt().value();
+          out.append(reinterpret_cast<const char*>(&x), 8);
+        } else if (v.kind() == Value::Kind::kFloat64) {
+          const double d = v.AsDouble().value();
+          out.append(reinterpret_cast<const char*>(&d), 8);
+        }
+      }
+      out.push_back('|');
+    }
+    return out;
+  }
+
+  struct Outcome {
+    bool ok = false;
+    std::string payload;  // fingerprint, or "CODE: message" on error
+    int64_t rows_scanned = 0;
+    int64_t rows_kept = 0;
+  };
+
+  Outcome Run(const Query& q, std::map<std::string, Value>* vars,
+              bool vectorized, int batch, int workers, bool force_scalar) {
+    col::SetForceScalar(force_scalar);
+    executor_.set_vectorized(vectorized);
+    executor_.set_batch_rows(batch);
+    executor_.set_scan_workers(workers);
+    Result<ResultSet> r = executor_.Execute(q, vars);
+    col::SetForceScalar(false);
+    Outcome o;
+    o.ok = r.ok();
+    if (!r.ok()) {
+      o.payload = r.status().ToString();
+      return o;
+    }
+    o.payload = Fingerprint(r.value());
+    o.rows_scanned = r.value().stats.rows_scanned;
+    o.rows_kept = r.value().stats.rows_kept;
+    return o;
+  }
+
+  /// Asserts every (batch, workers, scalar) configuration of the vectorized
+  /// path reproduces the row-at-a-time baseline exactly — results bitwise,
+  /// stats, and failure outcomes alike.
+  void ExpectAllConfigsMatchRowBaseline(const Query& q,
+                                        std::map<std::string, Value>* vars) {
+    const Outcome base = Run(q, vars, /*vectorized=*/false, /*batch=*/1,
+                             /*workers=*/1, /*force_scalar=*/true);
+    const int batches[] = {1, 3, 1024, static_cast<int>(kRows)};
+    const int workers[] = {1, 2, 8};
+    for (int b : batches) {
+      for (int w : workers) {
+        for (bool scalar : {false, true}) {
+          const Outcome got = Run(q, vars, true, b, w, scalar);
+          EXPECT_EQ(got.ok, base.ok)
+              << "batch=" << b << " workers=" << w << " scalar=" << scalar;
+          if (base.ok) {
+            EXPECT_EQ(got.payload, base.payload)
+                << "batch=" << b << " workers=" << w << " scalar=" << scalar;
+            EXPECT_EQ(got.rows_scanned, base.rows_scanned);
+            EXPECT_EQ(got.rows_kept, base.rows_kept);
+          } else {
+            // Error-row freedom: batched evaluation may surface a different
+            // row's error, but the code and message here carry no row
+            // detail, so the rendering matches exactly.
+            EXPECT_EQ(got.payload, base.payload)
+                << "batch=" << b << " workers=" << w;
+          }
+        }
+      }
+    }
+  }
+
+  static SelectItem Item(ExprPtr e, SelectItem::AggKind agg,
+                         const std::string& label) {
+    SelectItem it;
+    it.expr = std::move(e);
+    it.agg = agg;
+    it.label = label;
+    return it;
+  }
+
+  storage::Database db_;
+  FunctionRegistry registry_;
+  Executor executor_;
+};
+
+TEST_F(VecEngineTest, AggregatesAcrossDtypeMatrix) {
+  storage::Table* t = MakeMixedTable("m1", kRows);
+  Query q;
+  q.table = t;
+  q.items.push_back(Item(Col("a"), SelectItem::AggKind::kSum, "sa"));
+  q.items.push_back(Item(Col("b"), SelectItem::AggKind::kSum, "sb"));
+  q.items.push_back(Item(Col("x"), SelectItem::AggKind::kMin, "mx"));
+  q.items.push_back(Item(Col("y"), SelectItem::AggKind::kMax, "my"));
+  q.items.push_back(Item(Col("y"), SelectItem::AggKind::kAvg, "ay"));
+  q.items.push_back(Item(Col("b"), SelectItem::AggKind::kCount, "cb"));
+  q.items.push_back(Item(Star(), SelectItem::AggKind::kCount, "n"));
+  ASSERT_TRUE(executor_.Bind(&q).ok());
+  ExpectAllConfigsMatchRowBaseline(q, nullptr);
+}
+
+TEST_F(VecEngineTest, FusedPredicateAndCompoundExpressions) {
+  storage::Table* t = MakeMixedTable("m2", kRows);
+  Query q;
+  q.table = t;
+  // (y > 0.25 AND a % 3 = 1) OR b < 0 — mixed-lane fused predicate.
+  q.where = Bin(
+      BinaryOp::kOr,
+      Bin(BinaryOp::kAnd,
+          Bin(BinaryOp::kGt, Col("y"), Lit(Value::Double(0.25))),
+          Bin(BinaryOp::kEq,
+              Bin(BinaryOp::kMod, Col("a"), Lit(Value::Int(3))),
+              Lit(Value::Int(1)))),
+      Bin(BinaryOp::kLt, Col("b"), Lit(Value::Int(0))));
+  q.items.push_back(Item(
+      Bin(BinaryOp::kSub, Bin(BinaryOp::kMul, Col("y"), Col("x")), Col("a")),
+      SelectItem::AggKind::kSum, "s"));
+  q.items.push_back(Item(Un(UnaryOp::kNeg, Col("b")),
+                         SelectItem::AggKind::kMin, "nb"));
+  q.items.push_back(Item(Un(UnaryOp::kNot,
+                            Bin(BinaryOp::kGt, Col("x"), Lit(Value::Double(0)))),
+                         SelectItem::AggKind::kSum, "nn"));
+  ASSERT_TRUE(executor_.Bind(&q).ok());
+  ExpectAllConfigsMatchRowBaseline(q, nullptr);
+}
+
+TEST_F(VecEngineTest, ProjectionRowsAcrossDtypeMatrix) {
+  storage::Table* t = MakeMixedTable("m3", kRows);
+  Query q;
+  q.table = t;
+  q.where = Bin(BinaryOp::kNe,
+                Bin(BinaryOp::kMod, Col("id"), Lit(Value::Int(7))),
+                Lit(Value::Int(0)));
+  q.items.push_back(Item(Col("id"), SelectItem::AggKind::kNone, "id"));
+  q.items.push_back(Item(Bin(BinaryOp::kAdd, Col("a"), Col("b")),
+                         SelectItem::AggKind::kNone, "ab"));
+  q.items.push_back(
+      Item(Bin(BinaryOp::kDiv, Col("y"), Lit(Value::Double(3.0))),
+           SelectItem::AggKind::kNone, "y3"));
+  q.items.push_back(
+      Item(Bin(BinaryOp::kDiv, Col("b"),
+               Bin(BinaryOp::kAdd,
+                   Bin(BinaryOp::kMul, Col("id"), Lit(Value::Int(0))),
+                   Lit(Value::Int(16)))),
+           SelectItem::AggKind::kNone, "b16"));
+  q.items.push_back(Item(Bin(BinaryOp::kLe, Col("x"), Col("y")),
+                         SelectItem::AggKind::kNone, "cmp"));
+  ASSERT_TRUE(executor_.Bind(&q).ok());
+  ExpectAllConfigsMatchRowBaseline(q, nullptr);
+}
+
+TEST_F(VecEngineTest, NullLiteralsAndVariables) {
+  storage::Table* t = MakeMixedTable("m4", kRows);
+  std::map<std::string, Value> vars{{"n", Value::Null()},
+                                    {"k", Value::Int(5)},
+                                    {"f", Value::Double(0.5)}};
+  // NULL-propagating projection and aggregate arguments: y + @n is NULL for
+  // every row; SUM of it is NULL; COUNT of it is 0.
+  Query q;
+  q.table = t;
+  q.items.push_back(Item(Bin(BinaryOp::kAdd, Col("y"), Var("n")),
+                         SelectItem::AggKind::kSum, "sn"));
+  q.items.push_back(Item(Bin(BinaryOp::kAdd, Col("y"), Var("n")),
+                         SelectItem::AggKind::kCount, "cn"));
+  q.items.push_back(Item(Bin(BinaryOp::kMul, Col("b"), Var("k")),
+                         SelectItem::AggKind::kSum, "sk"));
+  ASSERT_TRUE(executor_.Bind(&q).ok());
+  ExpectAllConfigsMatchRowBaseline(q, &vars);
+
+  // NULL WHERE: NULL is false — empty result, every row still scanned.
+  Query q2;
+  q2.table = t;
+  q2.where = Bin(BinaryOp::kGt, Col("y"), Var("n"));
+  q2.items.push_back(Item(Col("id"), SelectItem::AggKind::kNone, "id"));
+  ASSERT_TRUE(executor_.Bind(&q2).ok());
+  ExpectAllConfigsMatchRowBaseline(q2, &vars);
+
+  // NULL literal arithmetic inside a projection.
+  Query q3;
+  q3.table = t;
+  q3.items.push_back(Item(Bin(BinaryOp::kMul, Lit(Value::Null()), Col("y")),
+                          SelectItem::AggKind::kNone, "ny"));
+  q3.items.push_back(Item(Un(UnaryOp::kNeg, Lit(Value::Null())),
+                          SelectItem::AggKind::kNone, "nneg"));
+  q3.items.push_back(Item(Col("id"), SelectItem::AggKind::kNone, "id"));
+  ASSERT_TRUE(executor_.Bind(&q3).ok());
+  ExpectAllConfigsMatchRowBaseline(q3, &vars);
+}
+
+TEST_F(VecEngineTest, DivisionAndModuloByZeroOutcomes) {
+  storage::Table* t = MakeMixedTable("m5", kRows);
+  // id - id = 0 at every row: both paths must fail the query.
+  Query q;
+  q.table = t;
+  q.items.push_back(
+      Item(Bin(BinaryOp::kDiv, Col("b"),
+               Bin(BinaryOp::kSub, Col("id"), Col("id"))),
+           SelectItem::AggKind::kSum, "dz"));
+  ASSERT_TRUE(executor_.Bind(&q).ok());
+  ExpectAllConfigsMatchRowBaseline(q, nullptr);
+
+  Query q2;
+  q2.table = t;
+  q2.items.push_back(
+      Item(Bin(BinaryOp::kMod, Col("b"),
+               Bin(BinaryOp::kSub, Col("id"), Col("id"))),
+           SelectItem::AggKind::kSum, "mz"));
+  ASSERT_TRUE(executor_.Bind(&q2).ok());
+  ExpectAllConfigsMatchRowBaseline(q2, nullptr);
+
+  // Float division by 0.0 (and by -0.0 via the y column's -0.0 rows).
+  Query q3;
+  q3.table = t;
+  q3.items.push_back(Item(Bin(BinaryOp::kDiv, Col("y"), Lit(Value::Double(0))),
+                          SelectItem::AggKind::kSum, "fz"));
+  ASSERT_TRUE(executor_.Bind(&q3).ok());
+  ExpectAllConfigsMatchRowBaseline(q3, nullptr);
+
+  // NULL divisor never raises: NULL lanes mask the zero check.
+  std::map<std::string, Value> vars{{"n", Value::Null()}};
+  Query q4;
+  q4.table = t;
+  q4.items.push_back(Item(Bin(BinaryOp::kDiv, Col("b"), Var("n")),
+                          SelectItem::AggKind::kSum, "dn"));
+  ASSERT_TRUE(executor_.Bind(&q4).ok());
+  ExpectAllConfigsMatchRowBaseline(q4, &vars);
+}
+
+TEST_F(VecEngineTest, SelectionVectorBoundaries) {
+  storage::Table* t = MakeMixedTable("m6", kRows);
+  // Constant-false predicate: empty selection in every batch.
+  Query none;
+  none.table = t;
+  none.where = Bin(BinaryOp::kEq, Lit(Value::Int(1)), Lit(Value::Int(0)));
+  none.items.push_back(Item(Col("y"), SelectItem::AggKind::kSum, "s"));
+  ASSERT_TRUE(executor_.Bind(&none).ok());
+  ExpectAllConfigsMatchRowBaseline(none, nullptr);
+
+  // Constant-true predicate: all rows selected.
+  Query all;
+  all.table = t;
+  all.where = Lit(Value::Int(1));
+  all.items.push_back(Item(Col("y"), SelectItem::AggKind::kSum, "s"));
+  all.items.push_back(Item(Col("id"), SelectItem::AggKind::kNone, "id"));
+  ASSERT_TRUE(executor_.Bind(&all).ok());
+  ExpectAllConfigsMatchRowBaseline(all, nullptr);
+
+  // Ragged tail: only the final row survives.
+  Query tail;
+  tail.table = t;
+  tail.where = Bin(BinaryOp::kGe, Col("id"), Lit(Value::Int(kRows - 1)));
+  tail.items.push_back(Item(Col("b"), SelectItem::AggKind::kSum, "s"));
+  ASSERT_TRUE(executor_.Bind(&tail).ok());
+  ExpectAllConfigsMatchRowBaseline(tail, nullptr);
+
+  // Single-row table: batch size far beyond the data.
+  storage::Table* one = MakeMixedTable("m6_one", 1);
+  Query single;
+  single.table = one;
+  single.items.push_back(Item(Col("y"), SelectItem::AggKind::kSum, "s"));
+  ASSERT_TRUE(executor_.Bind(&single).ok());
+  const Outcome base = Run(single, nullptr, false, 1, 1, true);
+  const Outcome vec = Run(single, nullptr, true, 1024, 8, false);
+  EXPECT_EQ(vec.payload, base.payload);
+}
+
+TEST_F(VecEngineTest, ZeroCopyEligibleSingleColumnTable) {
+  // One int64 column, row_size == 8: dense loads alias the batch bytes.
+  storage::Schema schema =
+      storage::Schema::Create({{"k", storage::ColumnType::kInt64, 0}}).value();
+  storage::Table* t = db_.CreateTable("zc", std::move(schema)).value();
+  for (int64_t i = 0; i < 777; ++i) {
+    ASSERT_TRUE(t->Insert({(int64_t{1} << 53) + i * 31}).ok());
+  }
+  Query q;
+  q.table = t;
+  q.where = Bin(BinaryOp::kNe,
+                Bin(BinaryOp::kMod, Col("k"), Lit(Value::Int(5))),
+                Lit(Value::Int(0)));
+  q.items.push_back(Item(Col("k"), SelectItem::AggKind::kSum, "s"));
+  q.items.push_back(Item(Col("k"), SelectItem::AggKind::kMax, "m"));
+  ASSERT_TRUE(executor_.Bind(&q).ok());
+  ExpectAllConfigsMatchRowBaseline(q, nullptr);
+}
+
+TEST_F(VecEngineTest, VecCountersAndProfileMode) {
+  storage::Table* t = MakeMixedTable("m7", kRows);
+  Query q;
+  q.table = t;
+  q.where = Bin(BinaryOp::kGt, Col("y"), Lit(Value::Double(0)));
+  q.items.push_back(Item(Col("y"), SelectItem::AggKind::kSum, "s"));
+  ASSERT_TRUE(executor_.Bind(&q).ok());
+
+  executor_.set_vectorized(true);
+  executor_.set_batch_rows(256);
+  executor_.set_scan_workers(2);
+  obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+  QueryContext qctx;
+  qctx.collect_profile = true;
+  ASSERT_TRUE(executor_.Execute(q, nullptr, &qctx).ok());
+  obs::MetricsSnapshot after = obs::MetricsRegistry::Global().Snapshot();
+
+  // Fully vectorizable query: every scanned row went through the columnar
+  // pipeline, none fell back.
+  EXPECT_EQ(after.Delta(before, "vec.rows"), kRows);
+  EXPECT_GT(after.Delta(before, "vec.batches"), 0);
+  EXPECT_EQ(after.Delta(before, "vec.fallback_rows"), 0);
+
+  // Profile: aggregate + filter read "vectorized"; the root carries a vec
+  // summary child (its last child) with the batch/fallback counts.
+  const obs::ProfileNode& root = qctx.profile.root();
+  ASSERT_FALSE(root.children.empty());
+  const obs::ProfileNode& agg = root.children[0];
+  EXPECT_EQ(agg.op, "aggregate");
+  EXPECT_EQ(agg.detail, "vectorized");
+  ASSERT_FALSE(agg.children.empty());
+  EXPECT_EQ(agg.children[0].op, "filter");
+  EXPECT_EQ(agg.children[0].detail, "vectorized");
+  const obs::ProfileNode& last = root.children.back();
+  EXPECT_EQ(last.op, "vec");
+  EXPECT_EQ(last.counters.rows_in, kRows);
+  EXPECT_NE(last.detail.find("batches="), std::string::npos);
+  EXPECT_NE(last.detail.find("fallback_rows=0"), std::string::npos);
+
+  // Vectorization off: operators read "row" and no vec node appears.
+  executor_.set_vectorized(false);
+  QueryContext qctx2;
+  qctx2.collect_profile = true;
+  ASSERT_TRUE(executor_.Execute(q, nullptr, &qctx2).ok());
+  const obs::ProfileNode& root2 = qctx2.profile.root();
+  EXPECT_EQ(root2.children[0].detail, "row");
+  for (const obs::ProfileNode& c : root2.children) {
+    EXPECT_NE(c.op, "vec");
+  }
+  executor_.set_vectorized(true);
+}
+
+TEST_F(VecEngineTest, GovernanceCancelAndBudgetInColumnarPath) {
+  storage::Table* t = MakeMixedTable("m8", kRows);
+  Query q;
+  q.table = t;
+  q.items.push_back(Item(Col("y"), SelectItem::AggKind::kSum, "s"));
+  ASSERT_TRUE(executor_.Bind(&q).ok());
+  executor_.set_vectorized(true);
+  executor_.set_batch_rows(128);
+  executor_.set_scan_workers(2);
+
+  // Pre-fired cancellation surfaces through the vectorized scan loop.
+  {
+    QueryContext qctx;
+    qctx.limits.cancel = std::make_shared<gov::CancelSource>();
+    qctx.limits.cancel->Cancel(gov::KillReason::kUser, "test kill");
+    Result<ResultSet> r = executor_.Execute(q, nullptr, &qctx);
+    ASSERT_FALSE(r.ok());
+  }
+  // A tiny memory budget trips on the columnar register-file charge.
+  {
+    QueryContext qctx;
+    gov::MemoryBudget budget;
+    budget.Reset(1024);  // smaller than one 128-row batch
+    qctx.limits.budget = &budget;
+    Result<ResultSet> r = executor_.Execute(q, nullptr, &qctx);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  }
+}
+
+TEST_F(VecEngineTest, ConcurrentMorselVectorizedStress) {
+  // TSan target (ctest tsan_vec_suite): 8 morsel workers share one compiled
+  // plan and the global vec counters while each owning private register
+  // scratch; repeated runs must agree with the serial row baseline.
+  storage::Table* t = MakeMixedTable("m9", kRows);
+  Query q;
+  q.table = t;
+  q.where = Bin(BinaryOp::kGt, Col("y"), Lit(Value::Double(-1.0)));
+  q.items.push_back(Item(Bin(BinaryOp::kMul, Col("y"), Col("x")),
+                         SelectItem::AggKind::kSum, "s"));
+  q.items.push_back(Item(Col("b"), SelectItem::AggKind::kMin, "m"));
+  q.items.push_back(Item(Star(), SelectItem::AggKind::kCount, "n"));
+  ASSERT_TRUE(executor_.Bind(&q).ok());
+  const Outcome base = Run(q, nullptr, false, 1, 1, true);
+  for (int rep = 0; rep < 4; ++rep) {
+    const Outcome got = Run(q, nullptr, true, 256, 8, false);
+    EXPECT_EQ(got.ok, base.ok);
+    EXPECT_EQ(got.payload, base.payload) << "rep=" << rep;
+  }
+}
+
+}  // namespace
+}  // namespace sqlarray::engine
