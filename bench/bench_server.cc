@@ -111,7 +111,7 @@ LoadResult RunLoad(bool admission_enabled, int sessions, int ops_per_session,
   // Shared read table plus one private insert target per session.
   int64_t setup = srv.OpenSession();
   Check(srv.Execute(setup, "CREATE TABLE shared (id BIGINT, v BIGINT)")
-            .status(),
+            .status,
         "create shared");
   {
     std::string values;
@@ -121,7 +121,7 @@ LoadResult RunLoad(bool admission_enabled, int sessions, int ops_per_session,
           "(" + std::to_string(i) + ", " + std::to_string(i % 17) + ")";
       if (values.size() > 200000 || i + 1 == rows) {
         Check(srv.Execute(setup, "INSERT INTO shared VALUES " + values)
-                  .status(),
+                  .status,
               "load shared");
         values.clear();
       }
@@ -134,7 +134,7 @@ LoadResult RunLoad(bool admission_enabled, int sessions, int ops_per_session,
     ids.push_back(id);
     Check(srv.Execute(id, "CREATE TABLE p" + std::to_string(s) +
                               " (id BIGINT, v BIGINT)")
-              .status(),
+              .status,
           "create private");
   }
 
@@ -185,15 +185,14 @@ LoadResult RunLoad(bool admission_enabled, int sessions, int ops_per_session,
             out.service_ms.push_back(Seconds(a0, a1) * 1e3);
             break;
           }
-          StatusCode code = r.status().code();
+          StatusCode code = r.status.code();
           if (code == StatusCode::kResourceExhausted) {
             // Admission rejection (the workload has no memory budgets).
-            // Back off exponentially from the advertised retry-after so 200
-            // rejected sessions don't resubmit in lockstep.
+            // Back off exponentially from the outcome's typed retry-after
+            // hint so 200 rejected sessions don't resubmit in lockstep.
             ++out.rejected;
             std::this_thread::sleep_for(std::chrono::milliseconds(
-                cfg.admission.retry_after_ms
-                << std::min(attempt, 4)));
+                r.retry_after_ms << std::min(attempt, 4)));
             continue;
           }
           if (code == StatusCode::kDeadlineExceeded) {
@@ -203,7 +202,7 @@ LoadResult RunLoad(bool admission_enabled, int sessions, int ops_per_session,
           } else {
             ++out.other_errors;
             std::fprintf(stderr, "unexpected: %s\n",
-                         r.status().ToString().c_str());
+                         r.status.ToString().c_str());
           }
           break;  // kills are terminal for the op; move on
         }

@@ -61,6 +61,31 @@ if(EXPECT_SERVER)
   endforeach()
 endif()
 
+# The wire-protocol bench (bench_net) carries a top-level "net" object;
+# -DEXPECT_NET=ON makes its shape mandatory: both the in-process baseline
+# and the networked path present with numeric latency/throughput members.
+if(EXPECT_NET)
+  string(JSON net_type ERROR_VARIABLE json_err TYPE "${json_text}" net)
+  if(json_err)
+    message(FATAL_ERROR "${JSON_OUT}: no 'net' member: ${json_err}")
+  endif()
+  if(NOT net_type STREQUAL "OBJECT")
+    message(FATAL_ERROR "${JSON_OUT}: 'net' is ${net_type}, expected OBJECT")
+  endif()
+  foreach(path in_process networked)
+    foreach(member ok errors p50_ms p99_ms qps wall_s)
+      string(JSON member_type ERROR_VARIABLE json_err TYPE "${json_text}"
+             net ${path} ${member})
+      if(json_err)
+        message(FATAL_ERROR "${JSON_OUT}: net.${path}.${member} missing: ${json_err}")
+      endif()
+      if(NOT member_type STREQUAL "NUMBER")
+        message(FATAL_ERROR "${JSON_OUT}: net.${path}.${member} is ${member_type}, expected NUMBER")
+      endif()
+    endforeach()
+  endforeach()
+endif()
+
 string(JSON n_records LENGTH "${json_text}" records)
 string(JSON n_metrics LENGTH "${json_text}" metrics)
 message(STATUS "${JSON_OUT}: ${n_records} records, ${n_metrics} metrics — OK")

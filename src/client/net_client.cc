@@ -1,0 +1,228 @@
+#include "client/net_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace sqlarray::client {
+
+using net::Frame;
+using net::FrameType;
+using net::PayloadReader;
+using net::PayloadWriter;
+
+Result<std::unique_ptr<NetClient>> NetClient::Connect(const std::string& host,
+                                                      uint16_t port,
+                                                      NetClientConfig config) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("net: socket failed: ") +
+                            std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("net: bad host address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::Internal(std::string("net: connect failed: ") +
+                            std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  auto client =
+      std::unique_ptr<NetClient>(new NetClient(fd, std::move(config)));
+  PayloadWriter w;
+  w.PutU32(net::kProtocolVersion);
+  w.PutString(client->config_.client_name);
+  SQLARRAY_RETURN_IF_ERROR(client->SendFrame(FrameType::kHello, w.buffer()));
+  SQLARRAY_ASSIGN_OR_RETURN(
+      Frame reply, net::ReadFrame(fd, client->config_.max_frame_payload));
+  if (reply.type == FrameType::kError) {
+    return net::DecodeError(reply.payload);
+  }
+  if (reply.type != FrameType::kHello) {
+    return Status::InvalidArgument("net: expected HELLO reply");
+  }
+  PayloadReader r(reply.payload);
+  SQLARRAY_ASSIGN_OR_RETURN(uint32_t version, r.GetU32());
+  if (version != net::kProtocolVersion) {
+    return Status::InvalidArgument("net: server speaks protocol version " +
+                                   std::to_string(version));
+  }
+  return client;
+}
+
+Status NetClient::Authenticate(const std::string& user,
+                               const std::string& password) {
+  if (fd_ < 0) return Status::InvalidArgument("net: not connected");
+  PayloadWriter w;
+  w.PutString(user);
+  w.PutString(password);
+  SQLARRAY_RETURN_IF_ERROR(SendFrame(FrameType::kAuth, w.buffer()));
+  SQLARRAY_ASSIGN_OR_RETURN(Frame reply,
+                            net::ReadFrame(fd_, config_.max_frame_payload));
+  if (reply.type == FrameType::kError) {
+    return net::DecodeError(reply.payload);
+  }
+  if (reply.type != FrameType::kAuth) {
+    return Status::InvalidArgument("net: expected AUTH reply");
+  }
+  PayloadReader r(reply.payload);
+  SQLARRAY_ASSIGN_OR_RETURN(uint64_t id, r.GetU64());
+  session_id_ = static_cast<int64_t>(id);
+  return Status::OK();
+}
+
+server::StatementOutcome NetClient::Execute(std::string_view sql) {
+  if (fd_ < 0) {
+    return server::StatementOutcome::FromStatus(
+        Status::InvalidArgument("net: not connected"));
+  }
+  if (session_id_ < 0) {
+    return server::StatementOutcome::FromStatus(
+        Status::PermissionDenied("net: authenticate first"));
+  }
+  PayloadWriter w;
+  w.PutString(sql);
+  if (Status st = SendFrame(FrameType::kQuery, w.buffer()); !st.ok()) {
+    return server::StatementOutcome::FromStatus(std::move(st));
+  }
+  server::StatementOutcome outcome;
+  bool done = false;
+  while (!done) {
+    Result<Frame> frame = net::ReadFrame(fd_, config_.max_frame_payload);
+    if (!frame.ok()) {
+      return server::StatementOutcome::FromStatus(frame.status());
+    }
+    switch (frame->type) {
+      case FrameType::kRows: {
+        Status st = ApplyRowsChunk(*frame, &outcome, &done);
+        if (!st.ok()) return server::StatementOutcome::FromStatus(st);
+        break;
+      }
+      case FrameType::kError:
+        return server::StatementOutcome::FromStatus(
+            net::DecodeError(frame->payload));
+      case FrameType::kPing:
+        // A stray echo from a concurrent Ping crossing this statement;
+        // harmless, keep reading the ROWS stream.
+        break;
+      default:
+        return server::StatementOutcome::FromStatus(Status::InvalidArgument(
+            "net: unexpected frame in statement stream"));
+    }
+  }
+  return outcome;
+}
+
+Status NetClient::ApplyRowsChunk(const Frame& frame,
+                                 server::StatementOutcome* outcome,
+                                 bool* done) {
+  PayloadReader r(frame.payload);
+  SQLARRAY_ASSIGN_OR_RETURN(uint32_t flags, r.GetU32());
+  SQLARRAY_ASSIGN_OR_RETURN(uint32_t result_index, r.GetU32());
+  if (result_index != net::kNoResultSet) {
+    if (flags & net::kRowsFirstChunk) {
+      if (result_index != outcome->result_sets.size()) {
+        return Status::InvalidArgument("net: result sets out of order");
+      }
+      engine::ResultSet rs;
+      SQLARRAY_ASSIGN_OR_RETURN(uint32_t ncols, r.GetU32());
+      for (uint32_t c = 0; c < ncols; ++c) {
+        SQLARRAY_ASSIGN_OR_RETURN(std::string name, r.GetString());
+        rs.columns.push_back(std::move(name));
+      }
+      outcome->result_sets.push_back(std::move(rs));
+    }
+    if (outcome->result_sets.size() != result_index + 1) {
+      return Status::InvalidArgument("net: chunk for unknown result set");
+    }
+  }
+  SQLARRAY_ASSIGN_OR_RETURN(uint32_t nrows, r.GetU32());
+  SQLARRAY_ASSIGN_OR_RETURN(std::vector<uint8_t> row_bytes, r.GetBytes());
+  if (nrows > 0) {
+    if (result_index == net::kNoResultSet) {
+      return Status::InvalidArgument("net: rows without a result set");
+    }
+    engine::ResultSet& rs = outcome->result_sets.back();
+    PayloadReader rows(row_bytes);
+    for (uint32_t i = 0; i < nrows; ++i) {
+      std::vector<engine::Value> row;
+      row.reserve(rs.columns.size());
+      for (size_t c = 0; c < rs.columns.size(); ++c) {
+        SQLARRAY_ASSIGN_OR_RETURN(engine::Value v, net::ReadValue(&rows));
+        row.push_back(std::move(v));
+      }
+      rs.rows.push_back(std::move(row));
+    }
+    if (!rows.exhausted()) {
+      return Status::InvalidArgument("net: trailing bytes in row chunk");
+    }
+  }
+  if (flags & net::kRowsStatementDone) {
+    SQLARRAY_ASSIGN_OR_RETURN(uint32_t count, r.GetU32());
+    if (count != outcome->result_sets.size()) {
+      return Status::InvalidArgument("net: result-set count mismatch");
+    }
+    SQLARRAY_RETURN_IF_ERROR(net::ReadStatsTrailer(&r, &outcome->stats));
+    *done = true;
+  }
+  return Status::OK();
+}
+
+Status NetClient::Cancel() {
+  if (fd_ < 0) return Status::InvalidArgument("net: not connected");
+  return SendFrame(FrameType::kCancel, {});
+}
+
+Status NetClient::Ping() {
+  if (fd_ < 0) return Status::InvalidArgument("net: not connected");
+  SQLARRAY_RETURN_IF_ERROR(SendFrame(FrameType::kPing, {}));
+  SQLARRAY_ASSIGN_OR_RETURN(Frame reply,
+                            net::ReadFrame(fd_, config_.max_frame_payload));
+  if (reply.type == FrameType::kError) {
+    return net::DecodeError(reply.payload);
+  }
+  if (reply.type != FrameType::kPing) {
+    return Status::InvalidArgument("net: expected PING echo");
+  }
+  return Status::OK();
+}
+
+void NetClient::Close() {
+  if (fd_ < 0) return;
+  // Best-effort clean close: GOODBYE, wait briefly for the ack so the
+  // server tears the session down before we vanish, then close.
+  if (SendFrame(FrameType::kGoodbye, {}).ok()) {
+    timeval tv{};
+    tv.tv_sec = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    for (;;) {
+      Result<Frame> frame = net::ReadFrame(fd_, config_.max_frame_payload);
+      if (!frame.ok() || frame->type == FrameType::kGoodbye) break;
+    }
+  }
+  ::close(fd_);
+  fd_ = -1;
+  session_id_ = -1;
+}
+
+Status NetClient::SendFrame(FrameType type,
+                            std::span<const uint8_t> payload) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  if (fd_ < 0) return Status::InvalidArgument("net: not connected");
+  return net::WriteFrame(fd_, type, payload);
+}
+
+}  // namespace sqlarray::client

@@ -1,0 +1,86 @@
+// Blocking C++ client for the wire protocol (net/wire.h).
+//
+// The remote twin of driving server::ArrayServer in-process: Connect runs
+// the HELLO handshake, Authenticate presents credentials, and Execute ships
+// one SQL batch and reassembles the streamed ROWS chunks into the same
+// server::StatementOutcome the in-process path returns — tests and benches
+// consume both paths with identical code.
+//
+//   auto client = client::NetClient::Connect("127.0.0.1", port);
+//   SQLARRAY_RETURN_IF_ERROR(client->Authenticate("alice", "s3cret"));
+//   server::StatementOutcome out = client->Execute("SELECT SUM(v) FROM t");
+//   if (!out.ok()) { /* out.status, out.error_code, out.retry_after_ms */ }
+//
+// Thread model: one thread drives Execute/Ping/Close; Cancel is the one
+// call that is safe from another thread while Execute blocks — it only
+// writes a CANCEL frame (the kill then surfaces as the Execute stream's
+// ERROR). Mirrors KillQuery against an in-process ArrayServer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "net/wire.h"
+#include "server/server.h"
+
+namespace sqlarray::client {
+
+struct NetClientConfig {
+  std::string client_name = "netclient";
+  uint32_t max_frame_payload = net::kMaxFramePayload;
+};
+
+class NetClient {
+ public:
+  /// Connects and completes the HELLO exchange.
+  static Result<std::unique_ptr<NetClient>> Connect(
+      const std::string& host, uint16_t port, NetClientConfig config = {});
+
+  ~NetClient() { Close(); }
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  /// Presents credentials; on success the server opened a session for this
+  /// connection. Auth failures carry the server's typed status (stable
+  /// code, lockout retry-after).
+  Status Authenticate(const std::string& user, const std::string& password);
+
+  /// Runs one SQL batch and blocks until the statement outcome is
+  /// complete. Never throws; transport failures surface in .status.
+  server::StatementOutcome Execute(std::string_view sql);
+
+  /// Fire-and-forget kill of the statement in flight (safe from another
+  /// thread during Execute).
+  Status Cancel();
+
+  /// Round-trips a PING frame.
+  Status Ping();
+
+  /// Sends GOODBYE (best-effort) and closes the socket. Idempotent.
+  void Close();
+
+  /// The server-side session id (-1 before Authenticate).
+  int64_t session_id() const { return session_id_; }
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  NetClient(int fd, NetClientConfig config)
+      : config_(std::move(config)), fd_(fd) {}
+
+  Status SendFrame(net::FrameType type, std::span<const uint8_t> payload);
+  /// Applies one ROWS chunk to the outcome under assembly. Sets *done when
+  /// the statement trailer arrived.
+  Status ApplyRowsChunk(const net::Frame& frame,
+                        server::StatementOutcome* outcome, bool* done);
+
+  const NetClientConfig config_;
+  std::mutex write_mu_;  ///< serializes Cancel against Execute's writes
+  int fd_ = -1;
+  int64_t session_id_ = -1;
+};
+
+}  // namespace sqlarray::client

@@ -28,8 +28,18 @@ const char* StatusCodeName(StatusCode code) {
       return "CANCELLED";
     case StatusCode::kDeadlineExceeded:
       return "DEADLINE_EXCEEDED";
+    case StatusCode::kPermissionDenied:
+      return "PERMISSION_DENIED";
   }
   return "UNKNOWN";
+}
+
+StatusCode StatusCodeFromWire(int32_t wire) {
+  if (wire >= StatusCodeToWire(StatusCode::kOk) &&
+      wire <= StatusCodeToWire(StatusCode::kPermissionDenied)) {
+    return static_cast<StatusCode>(wire);
+  }
+  return StatusCode::kInternal;
 }
 
 std::string Status::ToString() const {

@@ -17,23 +17,39 @@ namespace sqlarray {
 /// Broad classification of an error. Mirrors the failure classes a database
 /// extension has to distinguish: caller bugs (InvalidArgument), data
 /// corruption (Corruption), resource exhaustion, and unsupported requests.
-enum class StatusCode {
+///
+/// The numeric values are the wire-stable error codes serialized into the
+/// network protocol's ERROR frames (net/wire.h) and surfaced in
+/// server::StatementOutcome, so remote clients branch on the same numbers
+/// as in-process callers. They are FROZEN: never renumber or reorder —
+/// append new codes at the end (DESIGN.md §14 documents the table).
+enum class StatusCode : int32_t {
   kOk = 0,
-  kInvalidArgument,
-  kOutOfRange,
-  kTypeMismatch,
-  kCorruption,
-  kNotFound,
-  kAlreadyExists,
-  kResourceExhausted,
-  kUnimplemented,
-  kInternal,
-  kCancelled,          ///< cooperative cancellation (user kill, shutdown)
-  kDeadlineExceeded,   ///< statement deadline / timeout expired
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kTypeMismatch = 3,
+  kCorruption = 4,
+  kNotFound = 5,
+  kAlreadyExists = 6,
+  kResourceExhausted = 7,
+  kUnimplemented = 8,
+  kInternal = 9,
+  kCancelled = 10,          ///< cooperative cancellation (user kill, shutdown)
+  kDeadlineExceeded = 11,   ///< statement deadline / timeout expired
+  kPermissionDenied = 12,   ///< authentication / authorization failure
 };
 
 /// Returns a stable human-readable name for a StatusCode.
 const char* StatusCodeName(StatusCode code);
+
+/// The frozen numeric value serialized into ERROR frames.
+constexpr int32_t StatusCodeToWire(StatusCode code) {
+  return static_cast<int32_t>(code);
+}
+
+/// Maps a wire code back to a StatusCode. Codes minted by a newer peer (or
+/// garbage) decode as kInternal rather than aliasing a known class.
+StatusCode StatusCodeFromWire(int32_t wire);
 
 /// A cheap, copyable success-or-error value. The OK status carries no
 /// allocation; error statuses carry a code and a message.
@@ -43,9 +59,16 @@ class Status {
   Status() = default;
 
   Status(StatusCode code, std::string message)
+      : Status(code, std::move(message), /*retry_after_ms=*/0) {}
+
+  /// An error status carrying a typed retry-after hint (admission-control
+  /// rejections): the caller should back off this many milliseconds before
+  /// resubmitting. The hint survives serialization through ERROR frames.
+  Status(StatusCode code, std::string message, int64_t retry_after_ms)
       : rep_(code == StatusCode::kOk
                  ? nullptr
-                 : std::make_shared<Rep>(Rep{code, std::move(message)})) {}
+                 : std::make_shared<Rep>(
+                       Rep{code, std::move(message), retry_after_ms})) {}
 
   static Status OK() { return Status(); }
   static Status InvalidArgument(std::string msg) {
@@ -69,6 +92,13 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg, int64_t retry_after_ms) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg),
+                  retry_after_ms);
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
@@ -89,17 +119,22 @@ class Status {
     static const std::string kEmpty;
     return rep_ ? rep_->message : kEmpty;
   }
+  /// Typed backoff hint in milliseconds; 0 when the status carries none.
+  /// Non-zero only on admission-control rejections (kResourceExhausted).
+  int64_t retry_after_ms() const { return rep_ ? rep_->retry_after_ms : 0; }
   /// "CODE: message" rendering for logs and test failure output.
   std::string ToString() const;
 
   bool operator==(const Status& other) const {
-    return code() == other.code() && message() == other.message();
+    return code() == other.code() && message() == other.message() &&
+           retry_after_ms() == other.retry_after_ms();
   }
 
  private:
   struct Rep {
     StatusCode code;
     std::string message;
+    int64_t retry_after_ms = 0;
   };
   std::shared_ptr<const Rep> rep_;  // null == OK
 };

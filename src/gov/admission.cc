@@ -58,7 +58,8 @@ Result<AdmissionSlot> AdmissionController::Admit(CancelSource* cancel) {
     return Status::ResourceExhausted(
         "admission queue full (" + std::to_string(waiting_) +
         " waiting); retry after " + std::to_string(config_.retry_after_ms) +
-        "ms");
+        "ms",
+        config_.retry_after_ms);
   }
   const uint64_t ticket = next_ticket_++;
   ++waiting_;

@@ -1,0 +1,241 @@
+#include "net/auth.h"
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace sqlarray::net {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// SHA-256 (FIPS 180-4), self-contained: the image carries no crypto
+// library, and the WAL's CRC32C is an integrity check, not a one-way
+// function. Performance is irrelevant here — hashing happens once per
+// authentication attempt, not on a query path.
+// ---------------------------------------------------------------------------
+
+constexpr uint32_t kSha256K[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+uint32_t Rotr(uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
+
+std::array<uint8_t, 32> Sha256(const uint8_t* data, size_t len) {
+  uint32_t h[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                   0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+  // Message with padding: data || 0x80 || zeros || 64-bit bit length.
+  std::vector<uint8_t> msg(data, data + len);
+  msg.push_back(0x80);
+  while (msg.size() % 64 != 56) msg.push_back(0);
+  uint64_t bits = static_cast<uint64_t>(len) * 8;
+  for (int i = 7; i >= 0; --i) {
+    msg.push_back(static_cast<uint8_t>(bits >> (8 * i)));
+  }
+  for (size_t off = 0; off < msg.size(); off += 64) {
+    uint32_t w[64];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (static_cast<uint32_t>(msg[off + 4 * i]) << 24) |
+             (static_cast<uint32_t>(msg[off + 4 * i + 1]) << 16) |
+             (static_cast<uint32_t>(msg[off + 4 * i + 2]) << 8) |
+             static_cast<uint32_t>(msg[off + 4 * i + 3]);
+    }
+    for (int i = 16; i < 64; ++i) {
+      uint32_t s0 = Rotr(w[i - 15], 7) ^ Rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      uint32_t s1 = Rotr(w[i - 2], 17) ^ Rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+    uint32_t a = h[0], b = h[1], c = h[2], d = h[3];
+    uint32_t e = h[4], f = h[5], g = h[6], hh = h[7];
+    for (int i = 0; i < 64; ++i) {
+      uint32_t s1 = Rotr(e, 6) ^ Rotr(e, 11) ^ Rotr(e, 25);
+      uint32_t ch = (e & f) ^ (~e & g);
+      uint32_t t1 = hh + s1 + ch + kSha256K[i] + w[i];
+      uint32_t s0 = Rotr(a, 2) ^ Rotr(a, 13) ^ Rotr(a, 22);
+      uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      uint32_t t2 = s0 + maj;
+      hh = g;
+      g = f;
+      f = e;
+      e = d + t1;
+      d = c;
+      c = b;
+      b = a;
+      a = t1 + t2;
+    }
+    h[0] += a; h[1] += b; h[2] += c; h[3] += d;
+    h[4] += e; h[5] += f; h[6] += g; h[7] += hh;
+  }
+  std::array<uint8_t, 32> out;
+  for (int i = 0; i < 8; ++i) {
+    out[4 * i] = static_cast<uint8_t>(h[i] >> 24);
+    out[4 * i + 1] = static_cast<uint8_t>(h[i] >> 16);
+    out[4 * i + 2] = static_cast<uint8_t>(h[i] >> 8);
+    out[4 * i + 3] = static_cast<uint8_t>(h[i]);
+  }
+  return out;
+}
+
+constexpr int kStretchRounds = 1024;
+
+std::array<uint8_t, 32> HashPassword(const std::array<uint8_t, 16>& salt,
+                                     const std::string& password) {
+  std::vector<uint8_t> buf(salt.begin(), salt.end());
+  buf.insert(buf.end(), password.begin(), password.end());
+  std::array<uint8_t, 32> digest = Sha256(buf.data(), buf.size());
+  // Simple stretching: re-hash salt||digest so each verification costs
+  // kStretchRounds compressions, slowing offline guessing.
+  for (int i = 1; i < kStretchRounds; ++i) {
+    std::vector<uint8_t> round(salt.begin(), salt.end());
+    round.insert(round.end(), digest.begin(), digest.end());
+    digest = Sha256(round.data(), round.size());
+  }
+  return digest;
+}
+
+/// Constant-time digest comparison: no early exit for an attacker to time.
+bool DigestEquals(const std::array<uint8_t, 32>& a,
+                  const std::array<uint8_t, 32>& b) {
+  uint8_t diff = 0;
+  for (size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace
+
+AuthManager::AuthManager(AuthConfig config)
+    : config_(config),
+      auth_success_(
+          obs::MetricsRegistry::Global().GetCounter("net.auth_success")),
+      auth_failures_(
+          obs::MetricsRegistry::Global().GetCounter("net.auth_failures")),
+      auth_lockouts_(
+          obs::MetricsRegistry::Global().GetCounter("net.auth_lockouts")),
+      session_limit_rejects_(obs::MetricsRegistry::Global().GetCounter(
+          "net.session_limit_rejects")) {}
+
+Status AuthManager::AddUser(const std::string& user,
+                            const std::string& password) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (users_.count(user) != 0) {
+    return Status::AlreadyExists("user '" + user + "' already exists");
+  }
+  UserEntry entry;
+  // Salts need uniqueness, not secrecy: hardware entropy mixed with a
+  // monotonic sequence so two users with the same password never share a
+  // hash, even if random_device is weak on this platform.
+  std::random_device rd;
+  uint64_t seq = ++salt_seq_;
+  for (size_t i = 0; i < entry.salt.size(); i += 4) {
+    uint32_t word = rd() ^ static_cast<uint32_t>(seq >> (i % 2 ? 32 : 0));
+    std::memcpy(entry.salt.data() + i, &word, 4);
+  }
+  entry.hash = HashPassword(entry.salt, password);
+  users_.emplace(user, entry);
+  return Status::OK();
+}
+
+Status AuthManager::SetPassword(const std::string& user,
+                                const std::string& password) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = users_.find(user);
+  if (it == users_.end()) {
+    return Status::NotFound("no user '" + user + "'");
+  }
+  it->second.hash = HashPassword(it->second.salt, password);
+  it->second.consecutive_failures = 0;
+  it->second.locked_until = {};
+  return Status::OK();
+}
+
+Status AuthManager::RemoveUser(const std::string& user) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (users_.erase(user) == 0) {
+    return Status::NotFound("no user '" + user + "'");
+  }
+  return Status::OK();
+}
+
+Status AuthManager::Authenticate(const std::string& user,
+                                 const std::string& password) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = users_.find(user);
+  if (it == users_.end()) {
+    // Indistinguishable from a wrong password, so the wire leaks no user
+    // directory.
+    auth_failures_->Add(1);
+    return Status::PermissionDenied("authentication failed");
+  }
+  UserEntry& entry = it->second;
+  auto now = std::chrono::steady_clock::now();
+  if (entry.locked_until > now) {
+    auth_failures_->Add(1);
+    int64_t remaining_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                               entry.locked_until - now)
+                               .count();
+    return Status(StatusCode::kPermissionDenied,
+                  "account locked after repeated failures",
+                  /*retry_after_ms=*/remaining_ms + 1);
+  }
+  if (!DigestEquals(HashPassword(entry.salt, password), entry.hash)) {
+    auth_failures_->Add(1);
+    if (++entry.consecutive_failures >= config_.max_failures) {
+      entry.locked_until =
+          now + std::chrono::milliseconds(config_.lockout_ms);
+      entry.consecutive_failures = 0;
+      auth_lockouts_->Add(1);
+      return Status(StatusCode::kPermissionDenied,
+                    "authentication failed; account locked",
+                    /*retry_after_ms=*/config_.lockout_ms);
+    }
+    return Status::PermissionDenied("authentication failed");
+  }
+  entry.consecutive_failures = 0;
+  auth_success_->Add(1);
+  return Status::OK();
+}
+
+Status AuthManager::AcquireSession(const std::string& user) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = users_.find(user);
+  if (it == users_.end()) {
+    return Status::PermissionDenied("authentication failed");
+  }
+  if (config_.max_sessions_per_user > 0 &&
+      it->second.active_sessions >= config_.max_sessions_per_user) {
+    session_limit_rejects_->Add(1);
+    return Status::ResourceExhausted(
+        "user '" + user + "' is at its session limit (" +
+            std::to_string(config_.max_sessions_per_user) + ")",
+        /*retry_after_ms=*/10);
+  }
+  ++it->second.active_sessions;
+  return Status::OK();
+}
+
+void AuthManager::ReleaseSession(const std::string& user) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = users_.find(user);
+  if (it != users_.end() && it->second.active_sessions > 0) {
+    --it->second.active_sessions;
+  }
+}
+
+int AuthManager::active_sessions(const std::string& user) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = users_.find(user);
+  return it == users_.end() ? 0 : it->second.active_sessions;
+}
+
+}  // namespace sqlarray::net

@@ -1,0 +1,83 @@
+// Per-user authentication for the networked front-end.
+//
+// The credential store keeps no plaintext: each user gets a random 16-byte
+// salt and an iterated SHA-256 of salt||password (1024 stretching rounds),
+// compared in constant time. Brute-force over the wire is throttled by a
+// consecutive-failure lockout per user, and each user carries a concurrent-
+// session cap checked before ArrayServer::OpenSession — a runaway script
+// cannot monopolize the admission queue by opening hundreds of sessions.
+//
+// All operations are thread-safe; the NetServer calls Authenticate and
+// Acquire/ReleaseSession from its per-connection handler threads.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace sqlarray::obs {
+class Counter;
+}  // namespace sqlarray::obs
+
+namespace sqlarray::net {
+
+struct AuthConfig {
+  /// Consecutive failed attempts before the account locks.
+  int max_failures = 3;
+  /// How long a locked account refuses even correct passwords.
+  int64_t lockout_ms = 250;
+  /// Concurrent sessions one user may hold; 0 disables the cap.
+  int max_sessions_per_user = 8;
+};
+
+class AuthManager {
+ public:
+  explicit AuthManager(AuthConfig config = {});
+
+  /// Registers a user. kAlreadyExists if the name is taken.
+  Status AddUser(const std::string& user, const std::string& password);
+  /// Replaces a user's password (and clears any lockout).
+  Status SetPassword(const std::string& user, const std::string& password);
+  Status RemoveUser(const std::string& user);
+
+  /// Verifies credentials. Failures are kPermissionDenied; a locked-out
+  /// account is kPermissionDenied with a retry-after hint and rejects even
+  /// the correct password until the lockout lapses. Success clears the
+  /// failure streak.
+  Status Authenticate(const std::string& user, const std::string& password);
+
+  /// Reserves a session slot for the user (kResourceExhausted over the
+  /// cap). Pair with ReleaseSession on connection teardown.
+  Status AcquireSession(const std::string& user);
+  void ReleaseSession(const std::string& user);
+
+  /// Sessions currently held by the user (0 for unknown users).
+  int active_sessions(const std::string& user) const;
+
+ private:
+  struct UserEntry {
+    std::array<uint8_t, 16> salt;
+    std::array<uint8_t, 32> hash;
+    int consecutive_failures = 0;
+    std::chrono::steady_clock::time_point locked_until{};
+    int active_sessions = 0;
+  };
+
+  const AuthConfig config_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, UserEntry> users_;
+  uint64_t salt_seq_ = 0;  ///< mixed into each new salt
+
+  obs::Counter* auth_success_;
+  obs::Counter* auth_failures_;
+  obs::Counter* auth_lockouts_;
+  obs::Counter* session_limit_rejects_;
+};
+
+}  // namespace sqlarray::net

@@ -63,9 +63,9 @@ Status ArrayServer::CloseSession(int64_t id) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = sessions_.find(id);
-    if (it == sessions_.end()) {
-      return Status::NotFound("no session " + std::to_string(id));
-    }
+    // Idempotent: the connection teardown path can race a client GOODBYE
+    // against a socket disconnect, so a second close must be a no-op.
+    if (it == sessions_.end()) return Status::OK();
     entry = it->second;
     sessions_.erase(it);
   }
@@ -78,18 +78,19 @@ Status ArrayServer::CloseSession(int64_t id) {
   return Status::OK();
 }
 
-Result<std::vector<engine::ResultSet>> ArrayServer::Execute(
-    int64_t id, std::string_view sql) {
+StatementOutcome ArrayServer::Execute(int64_t id, std::string_view sql) {
   std::shared_ptr<SessionEntry> entry = FindEntry(id);
   if (entry == nullptr) {
-    return Status::NotFound("no session " + std::to_string(id));
+    return StatementOutcome::FromStatus(
+        Status::NotFound("no session " + std::to_string(id)));
   }
   bool expected = false;
   entry->started_ns.store(NowNs(), std::memory_order_relaxed);
   if (!entry->busy.compare_exchange_strong(expected, true,
                                            std::memory_order_acq_rel)) {
-    return Status::InvalidArgument("session " + std::to_string(id) +
-                                   " already has a statement in flight");
+    return StatementOutcome::FromStatus(Status::InvalidArgument(
+        "session " + std::to_string(id) +
+        " already has a statement in flight"));
   }
   Result<gov::AdmissionSlot> slot = admission_.Admit(entry->cancel.get());
   if (!slot.ok()) {
@@ -98,7 +99,7 @@ Result<std::vector<engine::ResultSet>> ArrayServer::Execute(
     // consumed kill is reset so the next attempt runs normally.
     if (entry->cancel->cancelled()) entry->cancel->Reset();
     entry->busy.store(false, std::memory_order_release);
-    return slot.status();
+    return StatementOutcome::FromStatus(slot.status());
   }
   entry->session->set_admission_wait(slot.value().wait_seconds());
   Result<std::vector<engine::ResultSet>> result = [&] {
@@ -107,13 +108,20 @@ Result<std::vector<engine::ResultSet>> ArrayServer::Execute(
     gov::AdmissionSlot held = std::move(slot).value();
     return entry->session->Execute(sql);
   }();
-  if (!result.ok() && IsKillStatus(result.status())) {
-    // The kill may have struck inside an explicit transaction; roll it
-    // back so the session's next statement starts clean.
-    (void)entry->session->ForceRollback();
+  StatementOutcome outcome;
+  if (result.ok()) {
+    outcome.result_sets = std::move(result).value();
+    outcome.stats = entry->session->last_stats();
+  } else {
+    outcome = StatementOutcome::FromStatus(result.status());
+    if (IsKillStatus(result.status())) {
+      // The kill may have struck inside an explicit transaction; roll it
+      // back so the session's next statement starts clean.
+      (void)entry->session->ForceRollback();
+    }
   }
   entry->busy.store(false, std::memory_order_release);
-  return result;
+  return outcome;
 }
 
 Status ArrayServer::KillQuery(int64_t id) {

@@ -10,8 +10,10 @@
 //
 // Thread model: OpenSession/CloseSession/Execute/KillQuery are safe from
 // any thread. Execute blocks the calling thread for the statement's
-// lifetime — the server is a library front-end driven by caller threads
-// (the closed-loop bench, tests), not a socket listener.
+// lifetime. Callers are either in-process threads (the closed-loop bench,
+// tests) or the per-connection handler threads of net::NetServer, which
+// fronts this class with the length-prefixed wire protocol — admission,
+// deadlines, KillQuery, and the watchdog apply identically on both paths.
 #pragma once
 
 #include <atomic>
@@ -40,6 +42,38 @@ struct ServerConfig {
   int64_t slow_query_ms = 0;
 };
 
+/// The uniform result of one statement batch, consumed identically by the
+/// in-process path, net::NetServer (which serializes it into ROWS/ERROR
+/// frames), and client::NetClient (which reassembles it on the other side
+/// of the wire). Replaces the old Result<vector<ResultSet>> return whose
+/// consumers had to pattern-match on status message strings: the stable
+/// numeric error code and the retry-after hint are first-class fields here.
+struct StatementOutcome {
+  /// Overall statement status; result_sets is complete only when ok().
+  Status status;
+  /// Frozen wire code of `status` (StatusCodeToWire); 0 == OK. This is the
+  /// value an ERROR frame carries, kept alongside the Status so callers on
+  /// either side of the wire branch on the same numbers.
+  int32_t error_code = 0;
+  /// Typed backoff hint for admission rejections; 0 when absent.
+  int64_t retry_after_ms = 0;
+  /// One entry per client-visible SELECT in the batch.
+  std::vector<engine::ResultSet> result_sets;
+  /// Profile handle: execution statistics of the batch's last statement
+  /// (rows scanned/kept, UDF boundary traffic, modeled CPU, wall time).
+  engine::QueryStats stats;
+
+  bool ok() const { return status.ok(); }
+
+  static StatementOutcome FromStatus(Status st) {
+    StatementOutcome out;
+    out.error_code = StatusCodeToWire(st.code());
+    out.retry_after_ms = st.retry_after_ms();
+    out.status = std::move(st);
+    return out;
+  }
+};
+
 /// The front-end: a session registry plus admission control and a
 /// slow-query watchdog over a shared Executor.
 class ArrayServer {
@@ -54,17 +88,19 @@ class ArrayServer {
   int64_t OpenSession();
 
   /// Kills any running statement on the session, waits for it to drain,
-  /// and removes it from the registry.
+  /// and removes it from the registry. Idempotent: closing an id that is
+  /// already closed (or never existed) is OK — the network teardown path
+  /// may race a GOODBYE against a disconnect and close twice.
   Status CloseSession(int64_t id);
 
   /// Runs a batch on the session: admission (bounded queue, FIFO) then
   /// Session::Execute. On a cancelled/expired statement, rolls back any
   /// transaction the kill left open, so the session is immediately
-  /// reusable. Rejection surfaces as kResourceExhausted with a retry-after
-  /// hint; a session already mid-statement is kInvalidArgument (the
-  /// per-session concurrency cap is one).
-  Result<std::vector<engine::ResultSet>> Execute(int64_t id,
-                                                 std::string_view sql);
+  /// reusable. Rejection surfaces as kResourceExhausted with a typed
+  /// retry-after hint; a session already mid-statement is kInvalidArgument
+  /// (the per-session concurrency cap is one). Never throws: every failure
+  /// mode is an outcome with a stable numeric error code.
+  StatementOutcome Execute(int64_t id, std::string_view sql);
 
   /// Cancels the statement currently running (or queued) on the session.
   Status KillQuery(int64_t id);

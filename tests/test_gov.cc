@@ -495,7 +495,7 @@ TEST_F(ServerTest, SessionsExecuteThroughAdmission) {
   ASSERT_TRUE(srv.Execute(a, "INSERT INTO s VALUES (1, 10), (2, 20)").ok());
   auto rs = srv.Execute(b, "SELECT SUM(v) FROM s");
   ASSERT_TRUE(rs.ok());
-  EXPECT_EQ(rs->at(0).rows.at(0).at(0).AsInt().value(), 30);
+  EXPECT_EQ(rs.result_sets.at(0).rows.at(0).at(0).AsInt().value(), 30);
   EXPECT_GE(srv.admission_stats().admitted, 3);
 
   EXPECT_TRUE(srv.CloseSession(a).ok());
@@ -530,9 +530,13 @@ TEST_F(ServerTest, OverloadRejectsWithRetryAfter) {
           id, "SELECT SUM(Test.Slow(v)) FROM o");
       if (r.ok()) {
         ++succeeded;
-      } else if (r.status().code() == StatusCode::kResourceExhausted) {
+      } else if (r.status.code() == StatusCode::kResourceExhausted) {
         ++rejected;
-        EXPECT_NE(r.status().message().find("retry"), std::string::npos);
+        // The rejection carries a typed retry-after hint and the frozen
+        // numeric code, not just message text.
+        EXPECT_GT(r.retry_after_ms, 0);
+        EXPECT_EQ(r.error_code,
+                  StatusCodeToWire(StatusCode::kResourceExhausted));
       }
     });
   }
@@ -557,7 +561,7 @@ TEST_F(ServerTest, KillQueryCancelsInFlightStatement) {
   std::atomic<int> code{-1};
   std::thread runner([&] {
     auto r = srv.Execute(id, "SELECT SUM(Test.Slow(v)) FROM k");
-    code.store(r.ok() ? 0 : static_cast<int>(r.status().code()));
+    code.store(r.ok() ? 0 : static_cast<int>(r.status.code()));
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(30));
   EXPECT_TRUE(srv.KillQuery(id).ok());
@@ -567,7 +571,7 @@ TEST_F(ServerTest, KillQueryCancelsInFlightStatement) {
   // The session is immediately reusable.
   auto rs = srv.Execute(id, "SELECT COUNT(id) FROM k");
   ASSERT_TRUE(rs.ok());
-  EXPECT_EQ(rs->at(0).rows.at(0).at(0).AsInt().value(), 2000);
+  EXPECT_EQ(rs.result_sets.at(0).rows.at(0).at(0).AsInt().value(), 2000);
   EXPECT_TRUE(srv.CloseSession(id).ok());
 }
 
@@ -593,7 +597,7 @@ TEST_F(ServerTest, SlowQueryWatchdogKillsRunaways) {
   int64_t id = srv.OpenSession();
   auto r = srv.Execute(id, "SELECT SUM(Test.Slow(v)) FROM w");
   ASSERT_FALSE(r.ok());
-  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
   EXPECT_TRUE(srv.CloseSession(id).ok());
 }
 
@@ -657,14 +661,14 @@ TEST_F(ServerTest, ConcurrentSubmitCancelKillRaces) {
         }
         auto r = srv.Execute(id, sql);
         if (!r.ok()) {
-          StatusCode c = r.status().code();
+          StatusCode c = r.status.code();
           if (c == StatusCode::kCancelled ||
               c == StatusCode::kDeadlineExceeded ||
               c == StatusCode::kResourceExhausted ||
               c == StatusCode::kInvalidArgument) {
             ++governance_failures;
           } else {
-            ADD_FAILURE() << "unexpected failure: " << r.status().ToString();
+            ADD_FAILURE() << "unexpected failure: " << r.status.ToString();
             ++other_failures;
           }
         }
@@ -679,7 +683,7 @@ TEST_F(ServerTest, ConcurrentSubmitCancelKillRaces) {
   // The store is intact and the table untouched by the read-only barrage.
   auto rs = srv.Execute(setup, "SELECT COUNT(id) FROM race");
   ASSERT_TRUE(rs.ok());
-  EXPECT_EQ(rs->at(0).rows.at(0).at(0).AsInt().value(), 400);
+  EXPECT_EQ(rs.result_sets.at(0).rows.at(0).at(0).AsInt().value(), 400);
   EXPECT_TRUE(storage::VerifyDatabase(&db_).issues.empty());
 }
 
