@@ -27,6 +27,7 @@
 
 #include "bench/bench_util.h"
 #include "gov/gov.h"
+#include "mvcc/mvcc.h"
 #include "server/server.h"
 #include "wal/wal.h"
 
@@ -75,6 +76,7 @@ struct LoadResult {
   int64_t deadline_kills = 0;
   int64_t cancelled = 0;
   int64_t budget_kills = 0;
+  int64_t write_conflicts = 0;
   int64_t other_errors = 0;
   double wall_s = 0;
   int64_t peak_queue_depth = 0;
@@ -96,6 +98,10 @@ LoadResult RunLoad(bool admission_enabled, int sessions, int ops_per_session,
                    int64_t rows) {
   storage::Database db;
   wal::WalManager wal(&db);
+  // MVCC front and center: every session's DML runs as a snapshot-isolated
+  // transaction, and the hot-row op class below contends on claims so the
+  // closed loop exercises the kWriteConflict backoff path.
+  mvcc::MvccManager mvcc(&db, &wal);
   engine::FunctionRegistry registry;
   engine::Executor executor(&db, &registry);
   Check(udfs::RegisterAllUdfs(&registry), "udf registration");
@@ -128,6 +134,16 @@ LoadResult RunLoad(bool admission_enabled, int sessions, int ops_per_session,
     }
   }
 
+  // A tiny hot table: every 4th op rewrites one of 4 rows inside an
+  // explicit transaction, so concurrent sessions collide on the same
+  // clustered keys and the first-updater-wins path fires under load.
+  Check(srv.Execute(setup, "CREATE TABLE hot (id BIGINT, v BIGINT)").status,
+        "create hot");
+  Check(srv.Execute(setup,
+                    "INSERT INTO hot VALUES (0, 0), (1, 0), (2, 0), (3, 0)")
+            .status,
+        "load hot");
+
   std::vector<int64_t> ids;
   for (int s = 0; s < sessions; ++s) {
     int64_t id = srv.OpenSession();
@@ -156,7 +172,7 @@ LoadResult RunLoad(bool admission_enabled, int sessions, int ops_per_session,
           sql = "SELECT SUM(Gov.Spin(v)) FROM shared WHERE id < " +
                 std::to_string(spin_rows);
         } else {
-          switch ((s + op) % 3) {
+          switch ((s + op) % 4) {
             case 0:
               sql = "SELECT COUNT(id) FROM shared WHERE id < " +
                     std::to_string((op + 1) * 1000);
@@ -164,10 +180,20 @@ LoadResult RunLoad(bool admission_enabled, int sessions, int ops_per_session,
             case 1:
               sql = "SELECT v, SUM(id) FROM shared GROUP BY v";
               break;
-            default:
+            case 2:
               sql = "INSERT INTO p" + std::to_string(s) + " VALUES (" +
                     std::to_string(op) + ", " + std::to_string(s) + ")";
               break;
+            default: {
+              // Hot-row rewrite: the engine has no UPDATE, so rewrite is a
+              // delete+insert of the same clustered key inside one
+              // transaction — the claim on the key is what conflicts.
+              std::string k = std::to_string((s + op) % 4);
+              sql = "BEGIN TRANSACTION; DELETE FROM hot WHERE id = " + k +
+                    "; INSERT INTO hot VALUES (" + k + ", " +
+                    std::to_string(s) + "); COMMIT";
+              break;
+            }
           }
         }
         // Closed loop with retry-after: a rejected statement backs off for
@@ -186,6 +212,17 @@ LoadResult RunLoad(bool admission_enabled, int sessions, int ops_per_session,
             break;
           }
           StatusCode code = r.status.code();
+          if (code == StatusCode::kWriteConflict) {
+            // First-updater-wins loser: roll the open transaction back
+            // (best-effort — autocommitted losers already rolled back),
+            // honor the typed retry-after hint, and resubmit the batch.
+            ++out.write_conflicts;
+            (void)srv.Execute(id, "ROLLBACK");
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                std::max<int64_t>(r.retry_after_ms, 1)
+                << std::min(attempt, 4)));
+            continue;
+          }
           if (code == StatusCode::kResourceExhausted) {
             // Admission rejection (the workload has no memory budgets).
             // Back off exponentially from the outcome's typed retry-after
@@ -204,6 +241,9 @@ LoadResult RunLoad(bool admission_enabled, int sessions, int ops_per_session,
             std::fprintf(stderr, "unexpected: %s\n",
                          r.status.ToString().c_str());
           }
+          // A kill mid-hot-batch can strand the explicit transaction;
+          // clear it so the session's next BEGIN succeeds.
+          if (sql.rfind("BEGIN", 0) == 0) (void)srv.Execute(id, "ROLLBACK");
           break;  // kills are terminal for the op; move on
         }
       }
@@ -220,6 +260,7 @@ LoadResult RunLoad(bool admission_enabled, int sessions, int ops_per_session,
     total.deadline_kills += p.deadline_kills;
     total.cancelled += p.cancelled;
     total.budget_kills += p.budget_kills;
+    total.write_conflicts += p.write_conflicts;
     total.other_errors += p.other_errors;
     total.latencies_ms.insert(total.latencies_ms.end(),
                               p.latencies_ms.begin(), p.latencies_ms.end());
@@ -233,12 +274,13 @@ LoadResult RunLoad(bool admission_enabled, int sessions, int ops_per_session,
 void PrintResult(const char* label, const LoadResult& r, int sessions) {
   std::printf(
       "%-14s sessions=%d ok=%lld rej=%lld dl_kills=%lld cancel=%lld "
-      "other=%lld  service p50=%.2fms p99=%.2fms | e2e p50=%.2fms "
-      "p99=%.2fms | qps=%.0f wall=%.2fs peakq=%lld\n",
+      "conflicts=%lld other=%lld  service p50=%.2fms p99=%.2fms | e2e "
+      "p50=%.2fms p99=%.2fms | qps=%.0f wall=%.2fs peakq=%lld\n",
       label, sessions, static_cast<long long>(r.ok),
       static_cast<long long>(r.rejected),
       static_cast<long long>(r.deadline_kills),
       static_cast<long long>(r.cancelled),
+      static_cast<long long>(r.write_conflicts),
       static_cast<long long>(r.other_errors), r.ServicePercentile(0.5),
       r.ServicePercentile(0.99), r.Percentile(0.5), r.Percentile(0.99),
       r.Qps(), r.wall_s, static_cast<long long>(r.peak_queue_depth));
@@ -249,6 +291,7 @@ void AppendServerJson(std::FILE* f, const char* key, const LoadResult& r,
   std::fprintf(f,
                "    \"%s\": {\"ok\": %lld, \"rejected\": %lld, "
                "\"deadline_kills\": %lld, \"cancelled\": %lld, "
+               "\"write_conflicts\": %lld, "
                "\"other_errors\": %lld, \"p50_ms\": %.4f, \"p99_ms\": %.4f, "
                "\"p50_e2e_ms\": %.4f, \"p99_e2e_ms\": %.4f, "
                "\"qps\": %.2f, \"wall_s\": %.4f, \"peak_queue_depth\": "
@@ -257,6 +300,7 @@ void AppendServerJson(std::FILE* f, const char* key, const LoadResult& r,
                static_cast<long long>(r.rejected),
                static_cast<long long>(r.deadline_kills),
                static_cast<long long>(r.cancelled),
+               static_cast<long long>(r.write_conflicts),
                static_cast<long long>(r.other_errors),
                r.ServicePercentile(0.5), r.ServicePercentile(0.99),
                r.Percentile(0.5), r.Percentile(0.99), r.Qps(), r.wall_s,

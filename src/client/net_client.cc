@@ -6,8 +6,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 namespace sqlarray::client {
@@ -85,6 +88,23 @@ Status NetClient::Authenticate(const std::string& user,
 }
 
 server::StatementOutcome NetClient::Execute(std::string_view sql) {
+  server::StatementOutcome outcome = ExecuteOnce(sql);
+  for (int attempt = 0;
+       attempt < config_.conflict_retries &&
+       outcome.status.code() == StatusCode::kWriteConflict;
+       ++attempt) {
+    // Honor the server's typed backoff hint, doubling per attempt so a hot
+    // row under heavy contention spreads the retry storm out.
+    int64_t wait_ms = outcome.retry_after_ms > 0 ? outcome.retry_after_ms : 1;
+    wait_ms <<= std::min(attempt, 6);
+    std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
+    ++conflict_retries_performed_;
+    outcome = ExecuteOnce(sql);
+  }
+  return outcome;
+}
+
+server::StatementOutcome NetClient::ExecuteOnce(std::string_view sql) {
   if (fd_ < 0) {
     return server::StatementOutcome::FromStatus(
         Status::InvalidArgument("net: not connected"));

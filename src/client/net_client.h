@@ -32,6 +32,11 @@ namespace sqlarray::client {
 struct NetClientConfig {
   std::string client_name = "netclient";
   uint32_t max_frame_payload = net::kMaxFramePayload;
+  /// When > 0, Execute transparently re-submits a batch that fails with
+  /// the WRITE_CONFLICT wire code (MVCC first-updater-wins loser), sleeping
+  /// the server's typed retry_after_ms hint (doubled per attempt) between
+  /// tries. 0 = conflicts surface to the caller unchanged.
+  int conflict_retries = 0;
 };
 
 class NetClient {
@@ -51,7 +56,14 @@ class NetClient {
 
   /// Runs one SQL batch and blocks until the statement outcome is
   /// complete. Never throws; transport failures surface in .status.
+  /// With config.conflict_retries > 0, write conflicts are retried with
+  /// backoff before the losing outcome is returned.
   server::StatementOutcome Execute(std::string_view sql);
+
+  /// Write-conflict retries performed across this client's lifetime.
+  int64_t conflict_retries_performed() const {
+    return conflict_retries_performed_;
+  }
 
   /// Fire-and-forget kill of the statement in flight (safe from another
   /// thread during Execute).
@@ -71,6 +83,8 @@ class NetClient {
   NetClient(int fd, NetClientConfig config)
       : config_(std::move(config)), fd_(fd) {}
 
+  /// One submission attempt (no conflict retry).
+  server::StatementOutcome ExecuteOnce(std::string_view sql);
   Status SendFrame(net::FrameType type, std::span<const uint8_t> payload);
   /// Applies one ROWS chunk to the outcome under assembly. Sets *done when
   /// the statement trailer arrived.
@@ -81,6 +95,7 @@ class NetClient {
   std::mutex write_mu_;  ///< serializes Cancel against Execute's writes
   int fd_ = -1;
   int64_t session_id_ = -1;
+  int64_t conflict_retries_performed_ = 0;
 };
 
 }  // namespace sqlarray::client

@@ -30,13 +30,15 @@ const char* StatusCodeName(StatusCode code) {
       return "DEADLINE_EXCEEDED";
     case StatusCode::kPermissionDenied:
       return "PERMISSION_DENIED";
+    case StatusCode::kWriteConflict:
+      return "WRITE_CONFLICT";
   }
   return "UNKNOWN";
 }
 
 StatusCode StatusCodeFromWire(int32_t wire) {
   if (wire >= StatusCodeToWire(StatusCode::kOk) &&
-      wire <= StatusCodeToWire(StatusCode::kPermissionDenied)) {
+      wire <= StatusCodeToWire(StatusCode::kWriteConflict)) {
     return static_cast<StatusCode>(wire);
   }
   return StatusCode::kInternal;

@@ -37,6 +37,7 @@ enum class StatusCode : int32_t {
   kCancelled = 10,          ///< cooperative cancellation (user kill, shutdown)
   kDeadlineExceeded = 11,   ///< statement deadline / timeout expired
   kPermissionDenied = 12,   ///< authentication / authorization failure
+  kWriteConflict = 13,      ///< first-updater-wins MVCC conflict; retry
 };
 
 /// Returns a stable human-readable name for a StatusCode.
@@ -111,6 +112,12 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status WriteConflict(std::string msg) {
+    return Status(StatusCode::kWriteConflict, std::move(msg));
+  }
+  static Status WriteConflict(std::string msg, int64_t retry_after_ms) {
+    return Status(StatusCode::kWriteConflict, std::move(msg), retry_after_ms);
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -120,7 +127,8 @@ class Status {
     return rep_ ? rep_->message : kEmpty;
   }
   /// Typed backoff hint in milliseconds; 0 when the status carries none.
-  /// Non-zero only on admission-control rejections (kResourceExhausted).
+  /// Non-zero on admission-control rejections (kResourceExhausted) and
+  /// MVCC first-updater-wins losses (kWriteConflict).
   int64_t retry_after_ms() const { return rep_ ? rep_->retry_after_ms : 0; }
   /// "CODE: message" rendering for logs and test failure output.
   std::string ToString() const;

@@ -460,10 +460,16 @@ struct MorselPlanInfo {
   int workers = 1;
 };
 
+/// The statement's snapshot, when one is installed (MVCC / AS OF reads).
+inline storage::PageSource* SnapOf(QueryContext* qctx) {
+  return qctx != nullptr ? qctx->snapshot.get() : nullptr;
+}
+
 Result<MorselPlanInfo> PlanMorselScan(const Query& q, int requested_workers,
-                                      int64_t min_pages_override) {
+                                      int64_t min_pages_override,
+                                      storage::PageSource* snap) {
   MorselPlanInfo plan;
-  SQLARRAY_ASSIGN_OR_RETURN(plan.pages, q.table->CollectLeafPages());
+  SQLARRAY_ASSIGN_OR_RETURN(plan.pages, q.table->CollectLeafPages(snap));
   const int64_t n_pages = static_cast<int64_t>(plan.pages.size());
   plan.morsel_pages = static_cast<size_t>(MorselPages(n_pages));
   plan.n_morsels =
@@ -962,8 +968,11 @@ Result<ResultSet> Executor::ExecuteInternal(
   if (HasAggregates(q) || !q.group_by.empty()) {
     if (parallel_mode_ == ParallelMode::kStaticChunkLegacy) {
       // The pre-morsel plan shape: ungrouped all-native aggregates only.
+      // Snapshot reads bypass it (its private per-worker pools would read
+      // the live disk, not the versioned view) and fall through to the
+      // serial path, which honors the snapshot.
       bool parallel_ok = scan_workers_ > 1 && q.group_by.empty() &&
-                         MorselEligible(q);
+                         MorselEligible(q) && SnapOf(qctx) == nullptr;
       for (const SelectItem& item : q.items) {
         parallel_ok = parallel_ok && item.agg != SelectItem::AggKind::kUda &&
                       item.agg != SelectItem::AggKind::kNone;
@@ -1179,7 +1188,8 @@ Result<ResultSet> Executor::ExecuteAggregate(
     SQLARRAY_ASSIGN_OR_RETURN(tvf_rows,
                               MaterializeTvf(q, variables, &rs.stats));
   } else {
-    SQLARRAY_ASSIGN_OR_RETURN(storage::BTree::Cursor c, q.table->Scan());
+    SQLARRAY_ASSIGN_OR_RETURN(storage::BTree::Cursor c,
+                              q.table->Scan(SnapOf(qctx)));
     cursor = std::move(c);
   }
   auto next_row = [&](EvalContext* c) -> Result<bool> {
@@ -1374,7 +1384,8 @@ Result<ResultSet> Executor::ExecuteAggregateBatched(
   std::vector<Value> plain_items(n_items);
   bool plain_filled = false;
 
-  SQLARRAY_ASSIGN_OR_RETURN(storage::BTree::Cursor cursor, q.table->Scan());
+  SQLARRAY_ASSIGN_OR_RETURN(storage::BTree::Cursor cursor,
+                            q.table->Scan(SnapOf(qctx)));
 
   RowBatch batch;
   ByteBufferPool byte_pool;
@@ -1753,7 +1764,7 @@ Result<ResultSet> Executor::ExecuteAggregateMorsel(
 
   SQLARRAY_ASSIGN_OR_RETURN(
       MorselPlanInfo plan,
-      PlanMorselScan(q, scan_workers_, min_pages_per_worker_));
+      PlanMorselScan(q, scan_workers_, min_pages_per_worker_, SnapOf(qctx)));
   std::vector<AggPartial> partials(plan.n_morsels);
 
   // One compiled columnar plan per statement, shared read-only by every
@@ -1772,8 +1783,10 @@ Result<ResultSet> Executor::ExecuteAggregateMorsel(
                                            plan.pages.begin() + m.page_end);
         SQLARRAY_ASSIGN_OR_RETURN(
             storage::BTree::ChunkCursor cursor,
-            q.table->ScanChunk(db_->buffer_pool(), std::move(chunk),
-                               kMorselReadahead));
+            SnapOf(qctx) != nullptr
+                ? q.table->ScanChunk(SnapOf(qctx), std::move(chunk))
+                : q.table->ScanChunk(db_->buffer_pool(), std::move(chunk),
+                                     kMorselReadahead));
         return AggregateChunk(q, cost_, variables, db_->buffer_pool(),
                               batch_rows_, udf_detail,
                               qctx != nullptr ? &qctx->limits : nullptr, vplan,
@@ -1826,7 +1839,7 @@ Result<ResultSet> Executor::ExecuteGroupByMorsel(
 
   SQLARRAY_ASSIGN_OR_RETURN(
       MorselPlanInfo plan,
-      PlanMorselScan(q, scan_workers_, min_pages_per_worker_));
+      PlanMorselScan(q, scan_workers_, min_pages_per_worker_, SnapOf(qctx)));
   struct GroupPartial {
     std::map<std::string, GroupAcc> groups;
     QueryStats stats;
@@ -1843,8 +1856,10 @@ Result<ResultSet> Executor::ExecuteGroupByMorsel(
                                            plan.pages.begin() + m.page_end);
         SQLARRAY_ASSIGN_OR_RETURN(
             storage::BTree::ChunkCursor cursor,
-            q.table->ScanChunk(db_->buffer_pool(), std::move(chunk),
-                               kMorselReadahead));
+            SnapOf(qctx) != nullptr
+                ? q.table->ScanChunk(SnapOf(qctx), std::move(chunk))
+                : q.table->ScanChunk(db_->buffer_pool(), std::move(chunk),
+                                     kMorselReadahead));
         return GroupByChunk(q, cost_, variables, db_->buffer_pool(),
                             qctx != nullptr ? &qctx->limits : nullptr,
                             std::move(cursor), &partials[m.index].groups,
@@ -1904,7 +1919,7 @@ Result<ResultSet> Executor::ExecuteRowsMorsel(
 
   SQLARRAY_ASSIGN_OR_RETURN(
       MorselPlanInfo plan,
-      PlanMorselScan(q, scan_workers_, min_pages_per_worker_));
+      PlanMorselScan(q, scan_workers_, min_pages_per_worker_, SnapOf(qctx)));
   struct RowsPartial {
     std::vector<std::vector<Value>> rows;
     QueryStats stats;
@@ -1955,8 +1970,10 @@ Result<ResultSet> Executor::ExecuteRowsMorsel(
                                            plan.pages.begin() + m.page_end);
         SQLARRAY_ASSIGN_OR_RETURN(
             storage::BTree::ChunkCursor cursor,
-            q.table->ScanChunk(db_->buffer_pool(), std::move(chunk),
-                               kMorselReadahead));
+            SnapOf(qctx) != nullptr
+                ? q.table->ScanChunk(SnapOf(qctx), std::move(chunk))
+                : q.table->ScanChunk(db_->buffer_pool(), std::move(chunk),
+                                     kMorselReadahead));
         Status st = RowsChunk(q, cost_, variables, db_->buffer_pool(),
                               batch_rows_,
                               qctx != nullptr ? &qctx->limits : nullptr, vplan,
@@ -2016,7 +2033,8 @@ Result<ResultSet> Executor::ExecuteRows(const Query& q,
     SQLARRAY_ASSIGN_OR_RETURN(tvf_rows,
                               MaterializeTvf(q, variables, &rs.stats));
   } else {
-    SQLARRAY_ASSIGN_OR_RETURN(storage::BTree::Cursor c, q.table->Scan());
+    SQLARRAY_ASSIGN_OR_RETURN(storage::BTree::Cursor c,
+                              q.table->Scan(SnapOf(qctx)));
     cursor = std::move(c);
   }
   auto next_row = [&](EvalContext* c) -> Result<bool> {
@@ -2085,7 +2103,8 @@ Result<ResultSet> Executor::ExecuteRowsBatched(
   udf.cost = &cost_;
   udf.limits = limits;
 
-  SQLARRAY_ASSIGN_OR_RETURN(storage::BTree::Cursor cursor, q.table->Scan());
+  SQLARRAY_ASSIGN_OR_RETURN(storage::BTree::Cursor cursor,
+                            q.table->Scan(SnapOf(qctx)));
 
   RowBatch batch;
   ByteBufferPool byte_pool;

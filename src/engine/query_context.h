@@ -10,10 +10,13 @@
 // one explicitly by the caller, never by mutating shared session state.
 #pragma once
 
+#include <memory>
+
 #include "engine/cost.h"
 #include "gov/gov.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
+#include "storage/snapshot.h"
 
 namespace sqlarray::engine {
 
@@ -28,6 +31,11 @@ struct QueryContext {
   /// budget, both optional. The executor probes the token in every scan
   /// loop and charges the budget where query-private memory grows.
   gov::QueryLimits limits;
+  /// When set, every table scan in the statement reads through this
+  /// consistent snapshot (MVCC / AS OF) instead of the live tree — serial,
+  /// morsel-parallel, and vectorized paths alike, so one statement sees
+  /// exactly one version of the world. Null = live reads (legacy).
+  std::shared_ptr<storage::PageSource> snapshot;
 };
 
 }  // namespace sqlarray::engine

@@ -33,6 +33,11 @@ struct SelectStmt {
   std::string from_schema;  ///< TVF schema (from_table holds the name)
   std::vector<engine::ExprPtr> from_args;
   bool nolock = false;
+  /// Time-travel: FROM t AS OF <lsn-expr> | AS OF CHECKPOINT reads the
+  /// table as it stood at that commit LSN (requires an attached MVCC
+  /// manager). Both unset = current data.
+  engine::ExprPtr as_of;
+  bool as_of_checkpoint = false;
   engine::ExprPtr where;
   std::vector<engine::ExprPtr> group_by;
   /// ORDER BY keys: 1-based select-list ordinals or output labels.

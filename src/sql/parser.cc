@@ -324,6 +324,16 @@ class Parser {
         }
         // Otherwise 'first' was a schema prefix like dbo.; ignore it.
       }
+      // Time travel: FROM t AS OF <lsn-expr> | AS OF CHECKPOINT. (Table
+      // aliases don't exist in this grammar, so AS here is unambiguous.)
+      if (AcceptKeyword("AS")) {
+        SQLARRAY_RETURN_IF_ERROR(ExpectKeyword("OF"));
+        if (AcceptKeyword("CHECKPOINT")) {
+          sel.as_of_checkpoint = true;
+        } else {
+          SQLARRAY_ASSIGN_OR_RETURN(sel.as_of, ParseExpr());
+        }
+      }
       if (AcceptKeyword("WITH")) {
         SQLARRAY_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
         SQLARRAY_RETURN_IF_ERROR(ExpectKeyword("NOLOCK"));

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "mvcc/mvcc.h"
 #include "obs/metrics.h"
 #include "sql/parser.h"
 #include "wal/wal.h"
@@ -208,8 +209,11 @@ Status Session::RunStatement(Statement& stmt,
   // instead of silently writing outside any transaction, BEGIN works again,
   // and COMMIT/ROLLBACK report "no open transaction".
   if (txn_open_) {
+    mvcc::MvccManager* m = mvcc_manager();
     wal::WalManager* w = wal_manager();
-    if (w == nullptr || !w->TxnActive(txn_id_)) {
+    bool alive = m != nullptr ? m->TxnActive(txn_id_)
+                              : (w != nullptr && w->TxnActive(txn_id_));
+    if (!alive) {
       txn_open_ = false;
       txn_id_ = 0;
     }
@@ -255,6 +259,11 @@ Status Session::RunStatement(Statement& stmt,
     case Statement::Kind::kSelect:
       return RunSelect(stmt.select, results, update_session_stats);
     case Statement::Kind::kCreateTable:
+      if (mvcc::MvccManager* m = mvcc_manager(); m != nullptr) {
+        // DDL is non-transactional under MVCC: it runs serialized under the
+        // DML lock and becomes visible to snapshots taken afterwards.
+        return m->RunDdl([&] { return RunCreateTable(stmt.create_table); });
+      }
       return AutoCommit([&] { return RunCreateTable(stmt.create_table); });
     case Statement::Kind::kInsert:
       return AutoCommit(
@@ -275,7 +284,12 @@ Status Session::RunStatement(Statement& stmt,
         return Status::InvalidArgument(
             "transaction already open (nested BEGIN is not supported)");
       }
-      SQLARRAY_ASSIGN_OR_RETURN(uint64_t txn, w->Begin());
+      uint64_t txn = 0;
+      if (mvcc::MvccManager* m = mvcc_manager(); m != nullptr) {
+        SQLARRAY_ASSIGN_OR_RETURN(txn, m->Begin());
+      } else {
+        SQLARRAY_ASSIGN_OR_RETURN(txn, w->Begin());
+      }
       txn_open_ = true;
       txn_id_ = txn;
       return Status::OK();
@@ -287,6 +301,9 @@ Status Session::RunStatement(Statement& stmt,
       uint64_t txn = txn_id_;
       txn_open_ = false;
       txn_id_ = 0;
+      if (mvcc::MvccManager* m = mvcc_manager(); m != nullptr) {
+        return m->Commit(txn);
+      }
       return wal_manager()->Commit(txn);
     }
     case Statement::Kind::kRollback: {
@@ -296,6 +313,9 @@ Status Session::RunStatement(Statement& stmt,
       uint64_t txn = txn_id_;
       txn_open_ = false;
       txn_id_ = 0;
+      if (mvcc::MvccManager* m = mvcc_manager(); m != nullptr) {
+        return m->Rollback(txn);
+      }
       return wal_manager()->Rollback(txn);
     }
     case Statement::Kind::kCheckpoint: {
@@ -320,18 +340,31 @@ wal::WalManager* Session::wal_manager() const {
   return db == nullptr ? nullptr : db->wal();
 }
 
+mvcc::MvccManager* Session::mvcc_manager() const {
+  storage::Database* db = executor_->db();
+  return db == nullptr ? nullptr : db->mvcc();
+}
+
 Status Session::AutoCommit(const std::function<Status()>& body) {
+  if (txn_open_) return body();
+  mvcc::MvccManager* m = mvcc_manager();
   wal::WalManager* w = wal_manager();
-  if (w == nullptr || txn_open_) return body();
-  SQLARRAY_ASSIGN_OR_RETURN(uint64_t txn, w->Begin());
+  if (m == nullptr && w == nullptr) return body();
+  uint64_t txn = 0;
+  if (m != nullptr) {
+    SQLARRAY_ASSIGN_OR_RETURN(txn, m->Begin());
+  } else {
+    SQLARRAY_ASSIGN_OR_RETURN(txn, w->Begin());
+  }
   txn_open_ = true;
   txn_id_ = txn;
   Status st = body();
   txn_open_ = false;
   txn_id_ = 0;
-  if (st.ok()) return w->Commit(txn);
-  Status rb = w->Rollback(txn);  // surface the original failure, not the
-  (void)rb;                      // rollback's status
+  if (st.ok()) return m != nullptr ? m->Commit(txn) : w->Commit(txn);
+  // Surface the original failure, not the rollback's status.
+  Status rb = m != nullptr ? m->Rollback(txn) : w->Rollback(txn);
+  (void)rb;
   return st;
 }
 
@@ -343,6 +376,10 @@ Status Session::ForceRollback() {
   uint64_t txn = txn_id_;
   txn_open_ = false;
   txn_id_ = 0;
+  if (mvcc::MvccManager* m = mvcc_manager(); m != nullptr) {
+    if (!m->TxnActive(txn)) return Status::OK();
+    return m->Rollback(txn);
+  }
   wal::WalManager* w = wal_manager();
   if (w == nullptr || !w->TxnActive(txn)) return Status::OK();
   return w->Rollback(txn);
@@ -412,6 +449,39 @@ Result<engine::ResultSet> Session::ExecuteSelect(SelectStmt& sel,
   }
   q.where = std::move(sel.where);
   q.group_by = std::move(sel.group_by);
+
+  // Resolve the statement's read snapshot. AS OF pins an explicit commit
+  // LSN (time travel); otherwise, with an MVCC manager attached, a plain
+  // SELECT reads the latest committed snapshot and an in-transaction SELECT
+  // reads through the transaction's own shadow view.
+  if (sel.as_of != nullptr || sel.as_of_checkpoint) {
+    mvcc::MvccManager* m = mvcc_manager();
+    if (m == nullptr) {
+      return Status::InvalidArgument(
+          "AS OF requires an MVCC manager attached to this database");
+    }
+    if (qctx->snapshot == nullptr) {
+      if (sel.as_of_checkpoint) {
+        SQLARRAY_ASSIGN_OR_RETURN(qctx->snapshot, m->OpenAsOfCheckpoint());
+      } else {
+        SQLARRAY_RETURN_IF_ERROR(engine::BindExpr(sel.as_of.get(), nullptr,
+                                                  executor_->registry()));
+        SQLARRAY_ASSIGN_OR_RETURN(
+            Value v, executor_->EvalStandalone(*sel.as_of, &variables_));
+        SQLARRAY_ASSIGN_OR_RETURN(int64_t lsn, v.AsInt());
+        SQLARRAY_ASSIGN_OR_RETURN(
+            qctx->snapshot, m->OpenAsOf(static_cast<storage::Lsn>(lsn)));
+      }
+    }
+  } else if (q.table != nullptr && qctx->snapshot == nullptr) {
+    if (mvcc::MvccManager* m = mvcc_manager(); m != nullptr) {
+      if (txn_open_) {
+        SQLARRAY_ASSIGN_OR_RETURN(qctx->snapshot, m->TxnView(txn_id_));
+      } else {
+        SQLARRAY_ASSIGN_OR_RETURN(qctx->snapshot, m->AcquireSnapshot());
+      }
+    }
+  }
 
   SQLARRAY_RETURN_IF_ERROR(executor_->Bind(&q));
   SQLARRAY_ASSIGN_OR_RETURN(engine::ResultSet rs,
@@ -514,6 +584,12 @@ Status Session::RunExplain(ExplainStmt& stmt,
 
   if (stmt.target == ExplainStmt::Target::kSelect) {
     SQLARRAY_RETURN_IF_ERROR(ExecuteSelect(stmt.select, &qctx).status());
+    if (qctx.snapshot != nullptr) {
+      // Surface the statement's snapshot LSN so a profile pins down exactly
+      // which version of the data the plan read.
+      qctx.profile.mutable_root()->AddChild(
+          "snapshot", "lsn=" + std::to_string(qctx.snapshot->lsn()));
+    }
   } else {
     // DML: execute under autocommit, attributing the statement's log
     // traffic (including the commit flush) via metric deltas. The embedded
@@ -550,6 +626,10 @@ Status Session::RunExplain(ExplainStmt& stmt,
               " flushes=" +
               std::to_string(after.Delta(before, "wal.flushes")));
     }
+    if (inner.snapshot != nullptr) {
+      root->AddChild("snapshot",
+                     "lsn=" + std::to_string(inner.snapshot->lsn()));
+    }
   }
   if (admission_wait_seconds_ >= 0.0) {
     // Surface the admission-queue wait as its own profile row so EXPLAIN
@@ -571,7 +651,10 @@ Status Session::RunDelete(DeleteStmt& del, bool update_session_stats,
                           int64_t* affected) {
   SQLARRAY_ASSIGN_OR_RETURN(storage::Table * table,
                             executor_->db()->GetTable(del.table));
-  if (wal::WalManager* w = wal_manager(); w != nullptr && txn_open_) {
+  mvcc::MvccManager* m = mvcc_manager();
+  // Under MVCC the commit-time replay notes touched tables itself.
+  if (wal::WalManager* w = wal_manager();
+      w != nullptr && txn_open_ && m == nullptr) {
     SQLARRAY_RETURN_IF_ERROR(w->NoteTableTouched(txn_id_, table));
   }
   // Collect matching clustered keys with a scan, then delete them — the
@@ -593,13 +676,23 @@ Status Session::RunDelete(DeleteStmt& del, bool update_session_stats,
   engine::QueryContext* qctx =
       inner_qctx != nullptr ? inner_qctx : &local_qctx;
   ApplyLimits(qctx);
+  if (m != nullptr) {
+    // The key scan reads the transaction's own view: earlier writes in the
+    // same transaction are visible, concurrent committers are not.
+    SQLARRAY_ASSIGN_OR_RETURN(qctx->snapshot, m->TxnView(txn_id_));
+  }
   SQLARRAY_ASSIGN_OR_RETURN(engine::ResultSet rs,
                             executor_->Execute(q, &variables_, qctx));
   if (update_session_stats) last_stats_ = qctx->stats;
   for (const std::vector<Value>& row : rs.rows) {
     SQLARRAY_RETURN_IF_ERROR(cancel_source_->Check());
     SQLARRAY_ASSIGN_OR_RETURN(int64_t key, row[0].AsInt());
-    SQLARRAY_ASSIGN_OR_RETURN(bool removed, table->Delete(key));
+    bool removed = false;
+    if (m != nullptr) {
+      SQLARRAY_ASSIGN_OR_RETURN(removed, m->ApplyDelete(txn_id_, table, key));
+    } else {
+      SQLARRAY_ASSIGN_OR_RETURN(removed, table->Delete(key));
+    }
     if (!removed) {
       return Status::Internal("row vanished between scan and delete");
     }
@@ -632,9 +725,16 @@ Status Session::RunInsert(InsertStmt& ins, bool update_session_stats,
   SQLARRAY_ASSIGN_OR_RETURN(storage::Table * table,
                             executor_->db()->GetTable(ins.table));
   const storage::Schema& schema = table->schema();
-  if (wal::WalManager* w = wal_manager(); w != nullptr && txn_open_) {
+  mvcc::MvccManager* m = mvcc_manager();
+  // Under MVCC the commit-time replay notes touched tables itself.
+  if (wal::WalManager* w = wal_manager();
+      w != nullptr && txn_open_ && m == nullptr) {
     SQLARRAY_RETURN_IF_ERROR(w->NoteTableTouched(txn_id_, table));
   }
+  auto insert_row = [&](storage::Row row) -> Status {
+    if (m != nullptr) return m->ApplyInsert(txn_id_, table, std::move(row));
+    return table->Insert(std::move(row));
+  };
 
   if (ins.select != nullptr) {
     // INSERT INTO ... SELECT: materialize the query, convert each output
@@ -658,7 +758,7 @@ Status Session::RunInsert(InsertStmt& ins, bool update_session_stats,
                                   ToRowValue(values[i], schema.column(i)));
         row.push_back(std::move(rv));
       }
-      SQLARRAY_RETURN_IF_ERROR(table->Insert(std::move(row)));
+      SQLARRAY_RETURN_IF_ERROR(insert_row(std::move(row)));
     }
     if (affected != nullptr) *affected = static_cast<int64_t>(rs.rows.size());
     return Status::OK();
@@ -680,7 +780,7 @@ Status Session::RunInsert(InsertStmt& ins, bool update_session_stats,
                                 ToRowValue(v, schema.column(i)));
       row.push_back(std::move(rv));
     }
-    SQLARRAY_RETURN_IF_ERROR(table->Insert(std::move(row)));
+    SQLARRAY_RETURN_IF_ERROR(insert_row(std::move(row)));
   }
   if (affected != nullptr) *affected = static_cast<int64_t>(ins.rows.size());
   return Status::OK();

@@ -20,6 +20,10 @@ namespace sqlarray::wal {
 class WalManager;
 }  // namespace sqlarray::wal
 
+namespace sqlarray::mvcc {
+class MvccManager;
+}  // namespace sqlarray::mvcc
+
 namespace sqlarray::sql {
 
 /// An interactive session over one Executor.
@@ -141,6 +145,11 @@ class Session {
 
   /// The database's WAL manager, or null when running without one.
   wal::WalManager* wal_manager() const;
+  /// The database's MVCC manager, or null in legacy single-version mode.
+  /// When attached, transactions run as MVCC transactions (snapshot reads,
+  /// shadow writes, first-updater-wins conflicts) and every SELECT reads
+  /// through a consistent snapshot.
+  mvcc::MvccManager* mvcc_manager() const;
   /// Wraps `body` in BEGIN/COMMIT when a WAL is attached and no explicit
   /// transaction is open (statement-level atomicity: a failing statement
   /// rolls back cleanly). Otherwise runs `body` directly.

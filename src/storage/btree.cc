@@ -178,7 +178,7 @@ Result<BTree> BTree::Attach(BufferPool* pool, int64_t row_size, PageId root) {
 Result<BTree::SplitResult> BTree::InsertRecurse(PageId node, int level,
                                                 std::span<const uint8_t> row,
                                                 int64_t key) {
-  SQLARRAY_ASSIGN_OR_RETURN(PinnedPage loaded, pool_->GetPage(node));
+  SQLARRAY_ASSIGN_OR_RETURN(PinnedPage loaded, GetP(node));
   Page page = *loaded;
 
   if (level == 0) {
@@ -206,7 +206,7 @@ Result<BTree::SplitResult> BTree::InsertRecurse(PageId node, int level,
                    (n - slot) * row_size_);
       std::memcpy(base + slot * row_size_, row.data(), row_size_);
       SetPageCount(&page, n + 1);
-      SQLARRAY_RETURN_IF_ERROR(pool_->WritePage(node, page));
+      SQLARRAY_RETURN_IF_ERROR(WriteP(node, page));
       return SplitResult{};
     }
 
@@ -214,7 +214,7 @@ Result<BTree::SplitResult> BTree::InsertRecurse(PageId node, int level,
     // the new row starts, so ascending bulk loads fill pages densely.
     Page right;
     InitLeaf(&right);
-    PageId right_id = pool_->AllocatePage();
+    PageId right_id = AllocP();
     ++leaf_pages_;
     // Maintain the allocation map: the new leaf follows `node` in the chain.
     auto it = std::find(leaf_ids_.begin(), leaf_ids_.end(), node);
@@ -243,8 +243,8 @@ Result<BTree::SplitResult> BTree::InsertRecurse(PageId node, int level,
     std::memcpy(tbase + tslot * row_size_, row.data(), row_size_);
     SetPageCount(target, tn + 1);
 
-    SQLARRAY_RETURN_IF_ERROR(pool_->WritePage(node, page));
-    SQLARRAY_RETURN_IF_ERROR(pool_->WritePage(right_id, right));
+    SQLARRAY_RETURN_IF_ERROR(WriteP(node, page));
+    SQLARRAY_RETURN_IF_ERROR(WriteP(right_id, right));
     return SplitResult{true, LeafKeyAt(right, row_size_, 0), right_id};
   }
 
@@ -267,14 +267,14 @@ Result<BTree::SplitResult> BTree::InsertRecurse(PageId node, int level,
     SetInternalEntry(&page, slot, child_split.new_first_key,
                      child_split.new_page);
     SetPageCount(&page, n + 1);
-    SQLARRAY_RETURN_IF_ERROR(pool_->WritePage(node, page));
+    SQLARRAY_RETURN_IF_ERROR(WriteP(node, page));
     return SplitResult{};
   }
 
   // Split the internal node (append-friendly like the leaf split).
   Page right;
   InitInternal(&right);
-  PageId right_id = pool_->AllocatePage();
+  PageId right_id = AllocP();
   ++internal_pages_;
   uint32_t keep = (slot == n) ? n : n / 2;
   uint32_t moved = n - keep;
@@ -294,8 +294,8 @@ Result<BTree::SplitResult> BTree::InsertRecurse(PageId node, int level,
                    child_split.new_page);
   SetPageCount(target, tn + 1);
 
-  SQLARRAY_RETURN_IF_ERROR(pool_->WritePage(node, page));
-  SQLARRAY_RETURN_IF_ERROR(pool_->WritePage(right_id, right));
+  SQLARRAY_RETURN_IF_ERROR(WriteP(node, page));
+  SQLARRAY_RETURN_IF_ERROR(WriteP(right_id, right));
   return SplitResult{true, InternalKeyAt(right, 0), right_id};
 }
 
@@ -310,13 +310,13 @@ Status BTree::Insert(std::span<const uint8_t> row) {
     // Grow a new root.
     Page new_root;
     InitInternal(&new_root);
-    PageId new_root_id = pool_->AllocatePage();
+    PageId new_root_id = AllocP();
     ++internal_pages_;
     SetInternalEntry(&new_root, 0, std::numeric_limits<int64_t>::min(),
                      root_);
     SetInternalEntry(&new_root, 1, split.new_first_key, split.new_page);
     SetPageCount(&new_root, 2);
-    SQLARRAY_RETURN_IF_ERROR(pool_->WritePage(new_root_id, new_root));
+    SQLARRAY_RETURN_IF_ERROR(WriteP(new_root_id, new_root));
     root_ = new_root_id;
     ++height_;
   }
@@ -327,10 +327,10 @@ Status BTree::Insert(std::span<const uint8_t> row) {
 Result<bool> BTree::Lookup(int64_t key, std::vector<uint8_t>* row_out) {
   PageId node = root_;
   for (int level = height_ - 1; level > 0; --level) {
-    SQLARRAY_ASSIGN_OR_RETURN(PinnedPage page, pool_->GetPage(node));
+    SQLARRAY_ASSIGN_OR_RETURN(PinnedPage page, GetP(node));
     node = InternalChildAt(*page, ChildIndexFor(*page, key));
   }
-  SQLARRAY_ASSIGN_OR_RETURN(PinnedPage leaf, pool_->GetPage(node));
+  SQLARRAY_ASSIGN_OR_RETURN(PinnedPage leaf, GetP(node));
   uint32_t n = PageCount(*leaf);
   uint32_t lo = 0, hi = n;
   while (lo < hi) {
@@ -463,10 +463,10 @@ Status BTree::BulkLoader::Finish() {
 Result<bool> BTree::Delete(int64_t key) {
   PageId node = root_;
   for (int level = height_ - 1; level > 0; --level) {
-    SQLARRAY_ASSIGN_OR_RETURN(PinnedPage page, pool_->GetPage(node));
+    SQLARRAY_ASSIGN_OR_RETURN(PinnedPage page, GetP(node));
     node = InternalChildAt(*page, ChildIndexFor(*page, key));
   }
-  SQLARRAY_ASSIGN_OR_RETURN(PinnedPage loaded, pool_->GetPage(node));
+  SQLARRAY_ASSIGN_OR_RETURN(PinnedPage loaded, GetP(node));
   Page leaf = *loaded;
   uint32_t n = PageCount(leaf);
   uint32_t lo = 0, hi = n;
@@ -484,14 +484,15 @@ Result<bool> BTree::Delete(int64_t key) {
   std::memmove(base + lo * row_size_, base + (lo + 1) * row_size_,
                (n - lo - 1) * row_size_);
   SetPageCount(&leaf, n - 1);
-  SQLARRAY_RETURN_IF_ERROR(pool_->WritePage(node, leaf));
+  SQLARRAY_RETURN_IF_ERROR(WriteP(node, leaf));
   --row_count_;
   return true;
 }
 
 Status BTree::Cursor::LoadLeaf(PageId id) {
   while (id != kNullPage) {
-    SQLARRAY_ASSIGN_OR_RETURN(PinnedPage page, pool_->GetPage(id));
+    SQLARRAY_ASSIGN_OR_RETURN(PinnedPage page,
+                              fetch_ ? fetch_(id) : pool_->GetPage(id));
     page_ = *page;
     count_ = PageCount(page_);
     next_ = LeafNext(page_);
@@ -539,6 +540,17 @@ Result<int32_t> BTree::Cursor::CopyRows(int32_t max_rows, uint8_t* out) {
 
 Status BTree::ChunkCursor::LoadNextPage() {
   while (page_idx_ < pages_.size()) {
+    if (fetch_) {
+      SQLARRAY_ASSIGN_OR_RETURN(PinnedPage page, fetch_(pages_[page_idx_++]));
+      page_ = *page;
+      count_ = PageCount(page_);
+      pos_ = 0;
+      if (count_ > 0) {
+        valid_ = true;
+        return Status::OK();
+      }
+      continue;
+    }
     if (readahead_ > 0) {
       // Best-effort readahead: issue the upcoming reads contiguously. The
       // authoritative (error-checked, retried) read is the GetPage below.
@@ -601,8 +613,73 @@ Result<BTree::ChunkCursor> BTree::ScanChunk(BufferPool* pool,
 Result<BTree::Cursor> BTree::ScanAll() const {
   Cursor c;
   c.pool_ = pool_;
+  if (io_ != nullptr) c.fetch_ = io_->fetch;
   c.row_size_ = row_size_;
   SQLARRAY_RETURN_IF_ERROR(c.LoadLeaf(first_leaf_));
+  return c;
+}
+
+namespace {
+
+/// Leftmost descent from `root` through `fetch`: the first leaf of the tree
+/// as the snapshot sees it.
+Result<PageId> FirstLeafVia(const PageFetcher& fetch, PageId root) {
+  PageId node = root;
+  for (int depth = 0; depth < 64; ++depth) {
+    SQLARRAY_ASSIGN_OR_RETURN(PinnedPage page, fetch(node));
+    if (IsLeaf(*page)) return node;
+    if (page->data()[0] != static_cast<uint8_t>(PageType::kBTreeInternal)) {
+      return Status::Corruption("snapshot walk: page " + std::to_string(node) +
+                                " is neither leaf nor internal");
+    }
+    if (PageCount(*page) == 0) {
+      return Status::Corruption("snapshot walk: empty internal page " +
+                                std::to_string(node));
+    }
+    node = InternalChildAt(*page, 0);
+  }
+  return Status::Corruption("snapshot walk: tree height exceeds sanity bound");
+}
+
+}  // namespace
+
+Result<BTree::Cursor> BTree::ScanAllVia(PageFetcher fetch, PageId root,
+                                        int64_t row_size) {
+  SQLARRAY_ASSIGN_OR_RETURN(PageId first_leaf, FirstLeafVia(fetch, root));
+  Cursor c;
+  c.fetch_ = std::move(fetch);
+  c.row_size_ = row_size;
+  SQLARRAY_RETURN_IF_ERROR(c.LoadLeaf(first_leaf));
+  return c;
+}
+
+Result<std::vector<PageId>> BTree::CollectLeafPagesVia(
+    const PageFetcher& fetch, PageId root) {
+  SQLARRAY_ASSIGN_OR_RETURN(PageId leaf, FirstLeafVia(fetch, root));
+  std::vector<PageId> out;
+  while (leaf != kNullPage) {
+    SQLARRAY_ASSIGN_OR_RETURN(PinnedPage page, fetch(leaf));
+    if (!IsLeaf(*page)) {
+      return Status::Corruption("snapshot walk: non-leaf page " +
+                                std::to_string(leaf) + " in the leaf chain");
+    }
+    out.push_back(leaf);
+    if (out.size() > (static_cast<size_t>(1) << 32)) {
+      return Status::Corruption("snapshot walk: leaf chain does not terminate");
+    }
+    leaf = LeafNext(*page);
+  }
+  return out;
+}
+
+Result<BTree::ChunkCursor> BTree::ScanChunkVia(PageFetcher fetch,
+                                               std::vector<PageId> pages,
+                                               int64_t row_size) {
+  ChunkCursor c;
+  c.fetch_ = std::move(fetch);
+  c.row_size_ = row_size;
+  c.pages_ = std::move(pages);
+  SQLARRAY_RETURN_IF_ERROR(c.LoadNextPage());
   return c;
 }
 

@@ -13,13 +13,32 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "storage/buffer_pool.h"
 
 namespace sqlarray::storage {
+
+/// A pluggable page fetch: resolves a page id to a pinned image. Snapshot
+/// scans and transaction shadow trees substitute their own (version chain,
+/// overlay map, log-replay map) for the buffer pool's GetPage.
+using PageFetcher = std::function<Result<PinnedPage>(PageId)>;
+
+/// Redirectable page IO for transaction-private shadow trees: fetch may
+/// consult an overlay map before the shared state, writes land in the
+/// overlay instead of the shared pool, and alloc draws fresh page ids from
+/// the shared allocator. The struct is owned by the caller and must outlive
+/// every tree it is installed into (trees hold a raw pointer so copies stay
+/// cheap and self-consistent).
+struct PageIO {
+  PageFetcher fetch;
+  std::function<Status(PageId, const Page&)> write;
+  std::function<PageId()> alloc;
+};
 
 /// Offset where payload begins on both page kinds.
 inline constexpr int64_t kBTreePageHeader = 16;
@@ -43,6 +62,12 @@ class BTree {
   /// walking the on-disk structure. This is how crash recovery re-opens
   /// tables: none of the metadata is persisted, only the pages are.
   static Result<BTree> Attach(BufferPool* pool, int64_t row_size, PageId root);
+
+  /// Installs (or clears, with nullptr) redirected page IO. A transaction's
+  /// shadow tree is a plain copy of the shared tree with an overlay-backed
+  /// PageIO installed; the shared tree itself keeps io_ == nullptr and goes
+  /// straight to the buffer pool.
+  void SetIO(const PageIO* io) { io_ = io; }
 
   /// The in-memory metadata a transaction snapshots before mutating the
   /// tree, so rollback can restore it byte-exactly alongside the page
@@ -144,6 +169,9 @@ class BTree {
    private:
     friend class BTree;
     BufferPool* pool_ = nullptr;
+    /// When set, pages come from here instead of pool_ (snapshot / shadow
+    /// scans); prefetch is skipped since the fetcher owns its images.
+    PageFetcher fetch_;
     int64_t row_size_ = 0;
     Page page_;
     uint32_t count_ = 0;
@@ -154,8 +182,22 @@ class BTree {
     Status LoadLeaf(PageId id);
   };
 
-  /// Opens a scan cursor at the first row.
+  /// Opens a scan cursor at the first row. A tree with redirected IO scans
+  /// through its fetcher (read-your-writes for shadow trees).
   Result<Cursor> ScanAll() const;
+
+  /// Opens a full-chain cursor over the tree rooted at `root` as seen
+  /// through `fetch` — the snapshot scan: the same structure walk as
+  /// ScanAll but against an arbitrary consistent page view.
+  static Result<Cursor> ScanAllVia(PageFetcher fetch, PageId root,
+                                   int64_t row_size);
+
+  /// Collects the leaf chain of the tree rooted at `root` as seen through
+  /// `fetch`: leftmost descent, then the sibling chain. The snapshot
+  /// equivalent of CollectLeafPages() — a pure function of the page view,
+  /// so morsel planning is deterministic at any worker count.
+  static Result<std::vector<PageId>> CollectLeafPagesVia(
+      const PageFetcher& fetch, PageId root);
 
   /// Returns the leaf page ids in chain order from the in-memory
   /// allocation map — the work-division step of a parallel scan. (A real
@@ -187,6 +229,8 @@ class BTree {
     Status LoadNextPage();
 
     BufferPool* pool_ = nullptr;
+    /// Snapshot fetch; when set, pool_ and readahead are unused.
+    PageFetcher fetch_;
     int64_t row_size_ = 0;
     std::vector<PageId> pages_;
     size_t page_idx_ = 0;
@@ -207,9 +251,27 @@ class BTree {
   Result<ChunkCursor> ScanChunk(BufferPool* pool, std::vector<PageId> pages,
                                 int readahead_pages = 0) const;
 
+  /// Opens a cursor over `pages` reading every page through `fetch` — the
+  /// morsel-worker path of a snapshot scan. No readahead: the fetcher owns
+  /// its images (chain entries, overlays, log-replay maps).
+  static Result<ChunkCursor> ScanChunkVia(PageFetcher fetch,
+                                          std::vector<PageId> pages,
+                                          int64_t row_size);
+
  private:
   BTree(BufferPool* pool, int64_t row_size)
       : pool_(pool), row_size_(row_size) {}
+
+  /// Page IO dispatch: through io_ when redirected, else the pool.
+  Result<PinnedPage> GetP(PageId id) const {
+    return io_ != nullptr ? io_->fetch(id) : pool_->GetPage(id);
+  }
+  Status WriteP(PageId id, const Page& page) {
+    return io_ != nullptr ? io_->write(id, page) : pool_->WritePage(id, page);
+  }
+  PageId AllocP() {
+    return io_ != nullptr ? io_->alloc() : pool_->AllocatePage();
+  }
 
   struct SplitResult {
     bool split = false;
@@ -222,6 +284,8 @@ class BTree {
                                     int64_t key);
 
   BufferPool* pool_;
+  /// Redirected page IO (shadow trees); null for the shared tree.
+  const PageIO* io_ = nullptr;
   int64_t row_size_;
   int64_t leaf_capacity_ = 0;
   int64_t internal_capacity_ = 0;

@@ -34,7 +34,7 @@ void PinnedPage::Release() {
   }
   pool_ = nullptr;
   id_ = kNullPage;
-  page_ = nullptr;
+  owner_.reset();
 }
 
 void BufferPool::Unpin(PageId id) {
@@ -59,7 +59,7 @@ Status BufferPool::FlushEntryLocked(PageId id, Entry* entry) {
   if (wal_hook_.flush_log_to) {
     SQLARRAY_RETURN_IF_ERROR(wal_hook_.flush_log_to(entry->last_lsn));
   }
-  SQLARRAY_RETURN_IF_ERROR(disk_->WritePage(id, entry->page));
+  SQLARRAY_RETURN_IF_ERROR(disk_->WritePage(id, *entry->page));
   entry->dirty = false;
   entry->rec_lsn = 0;
   entry->last_lsn = 0;
@@ -124,7 +124,7 @@ Result<PinnedPage> BufferPool::GetPage(PageId id) {
     if (it->second.pins++ == 0) {
       pinned_pages_.fetch_add(1, std::memory_order_relaxed);
     }
-    return PinnedPage(this, id, &it->second.page);
+    return PinnedPage(this, id, it->second.page);
   }
 
   misses_.fetch_add(1, std::memory_order_relaxed);
@@ -133,8 +133,8 @@ Result<PinnedPage> BufferPool::GetPage(PageId id) {
   // and retries must not expose a half-written one. The shard lock is held
   // across the read so concurrent misses on one page fault it in exactly
   // once (misses on other shards proceed in parallel).
-  Page image;
-  SQLARRAY_RETURN_IF_ERROR(ReadWithRetry(id, &image));
+  auto image = std::make_shared<Page>();
+  SQLARRAY_RETURN_IF_ERROR(ReadWithRetry(id, image.get()));
 
   // Make room for the incoming entry (which is born pinned).
   EvictDownTo(&shard, shard_capacity_ - 1);
@@ -143,10 +143,9 @@ Result<PinnedPage> BufferPool::GetPage(PageId id) {
   entry.page = image;
   entry.lru_it = shard.lru.begin();
   entry.pins = 1;
-  auto [ins, ok] = shard.cache.emplace(id, std::move(entry));
-  (void)ok;
+  shard.cache.emplace(id, std::move(entry));
   pinned_pages_.fetch_add(1, std::memory_order_relaxed);
-  return PinnedPage(this, id, &ins->second.page);
+  return PinnedPage(this, id, std::move(image));
 }
 
 Status BufferPool::Prefetch(PageId id) {
@@ -157,13 +156,13 @@ Status BufferPool::Prefetch(PageId id) {
   misses_.fetch_add(1, std::memory_order_relaxed);
   reg_misses_->Add(1);
   prefetches_.fetch_add(1, std::memory_order_relaxed);
-  Page image;
-  SQLARRAY_RETURN_IF_ERROR(ReadWithRetry(id, &image));
+  auto image = std::make_shared<Page>();
+  SQLARRAY_RETURN_IF_ERROR(ReadWithRetry(id, image.get()));
 
   EvictDownTo(&shard, shard_capacity_ - 1);
   shard.lru.push_front(id);
   Entry entry;
-  entry.page = image;
+  entry.page = std::move(image);
   entry.lru_it = shard.lru.begin();
   entry.pins = 0;
   shard.cache.emplace(id, std::move(entry));
@@ -177,7 +176,7 @@ Status BufferPool::WritePage(PageId id, const Page& page) {
       std::lock_guard<std::mutex> lock(shard.mu);
       auto it = shard.cache.find(id);
       if (it != shard.cache.end()) {
-        it->second.page = page;
+        it->second.page = std::make_shared<Page>(page);
       }
     }
     return disk_->WritePage(id, page);
@@ -190,14 +189,25 @@ Status BufferPool::WritePage(PageId id, const Page& page) {
   if (wal_hook_.log_page_write) {
     SQLARRAY_ASSIGN_OR_RETURN(lsn, wal_hook_.log_page_write(id, page));
   }
+  auto image = std::make_shared<Page>(page);
   Shard& shard = ShardFor(id);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.cache.find(id);
   if (it == shard.cache.end()) {
+    if (version_sink_ != nullptr) {
+      // The superseded content may have been evicted to disk but can still
+      // be needed by an active snapshot: recover it before it is shadowed.
+      // A freshly allocated page reads back zeroed — a harmless chain entry
+      // no snapshot-consistent tree walk can ever reach.
+      std::shared_ptr<const Page> old_image;
+      auto prior = std::make_shared<Page>();
+      if (ReadWithRetry(id, prior.get()).ok()) old_image = std::move(prior);
+      version_sink_->OnPageWrite(id, std::move(old_image), lsn);
+    }
     EvictDownTo(&shard, shard_capacity_ - 1);
     shard.lru.push_front(id);
     Entry entry;
-    entry.page = page;
+    entry.page = std::move(image);
     entry.lru_it = shard.lru.begin();
     entry.dirty = true;
     entry.rec_lsn = lsn;
@@ -205,7 +215,10 @@ Status BufferPool::WritePage(PageId id, const Page& page) {
     shard.cache.emplace(id, std::move(entry));
     dirty_pages_.fetch_add(1, std::memory_order_relaxed);
   } else {
-    it->second.page = page;
+    if (version_sink_ != nullptr) {
+      version_sink_->OnPageWrite(id, it->second.page, lsn);
+    }
+    it->second.page = std::move(image);
     if (!it->second.dirty) {
       it->second.dirty = true;
       it->second.rec_lsn = lsn;
@@ -240,12 +253,15 @@ void BufferPool::RestorePage(PageId id, const Page& image,
   if (it == shard.cache.end()) {
     shard.lru.push_front(id);
     Entry entry;
-    entry.page = image;
+    entry.page = std::make_shared<Page>(image);
     entry.lru_it = shard.lru.begin();
     shard.cache.emplace(id, std::move(entry));
     it = shard.cache.find(id);
   } else {
-    it->second.page = image;
+    // Rollback restore: no version-sink call. The chain (if any) already
+    // holds this exact pre-transaction image, and the page's version clock
+    // never went backwards for readers — they only ever saw committed LSNs.
+    it->second.page = std::make_shared<Page>(image);
   }
   if (it->second.dirty != state.dirty) {
     dirty_pages_.fetch_add(state.dirty ? 1 : -1, std::memory_order_relaxed);

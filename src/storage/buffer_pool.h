@@ -61,8 +61,12 @@ struct WalPageHook {
   std::function<Status(Lsn)> flush_log_to;
 };
 
-/// Move-only RAII pin over one cached page. The pointed-to page stays
-/// resident (and the pointer valid) until the guard is destroyed.
+/// Move-only RAII pin over one page image. For pool-backed pins the entry
+/// stays resident (and un-evictable) until the guard dies; every pin also
+/// shares ownership of the image itself, so a concurrent copy-on-write
+/// replacement of the cached page can never invalidate a reader's view.
+/// Ownership-only pins (no pool) carry images that live outside the cache:
+/// version-chain entries, transaction overlay pages, log-replay images.
 class PinnedPage {
  public:
   PinnedPage() = default;
@@ -71,30 +75,48 @@ class PinnedPage {
     Release();
     pool_ = std::exchange(o.pool_, nullptr);
     id_ = std::exchange(o.id_, kNullPage);
-    page_ = std::exchange(o.page_, nullptr);
+    owner_ = std::move(o.owner_);
+    o.owner_.reset();
     return *this;
   }
   PinnedPage(const PinnedPage&) = delete;
   PinnedPage& operator=(const PinnedPage&) = delete;
   ~PinnedPage() { Release(); }
 
-  const Page* get() const { return page_; }
-  const Page& operator*() const { return *page_; }
-  const Page* operator->() const { return page_; }
-  explicit operator bool() const { return page_ != nullptr; }
+  const Page* get() const { return owner_.get(); }
+  const Page& operator*() const { return *owner_; }
+  const Page* operator->() const { return owner_.get(); }
+  explicit operator bool() const { return owner_ != nullptr; }
   PageId id() const { return id_; }
+
+  /// Wraps an image that lives outside any pool (version chains, overlays).
+  static PinnedPage FromImage(PageId id, std::shared_ptr<const Page> image) {
+    return PinnedPage(nullptr, id, std::move(image));
+  }
 
   /// Drops the pin early.
   void Release();
 
  private:
   friend class BufferPool;
-  PinnedPage(BufferPool* pool, PageId id, const Page* page)
-      : pool_(pool), id_(id), page_(page) {}
+  PinnedPage(BufferPool* pool, PageId id, std::shared_ptr<const Page> page)
+      : pool_(pool), id_(id), owner_(std::move(page)) {}
 
   BufferPool* pool_ = nullptr;
   PageId id_ = kNullPage;
-  const Page* page_ = nullptr;
+  std::shared_ptr<const Page> owner_;
+};
+
+/// Observes copy-on-write page replacements so an MVCC layer can chain the
+/// superseded images. Called UNDER the owning shard's lock, immediately
+/// before the new image is installed; implementations must not re-enter the
+/// pool. `old_image` is null when the page had no prior cached image AND no
+/// readable disk content (a freshly allocated page).
+class VersionSink {
+ public:
+  virtual ~VersionSink() = default;
+  virtual void OnPageWrite(PageId id, std::shared_ptr<const Page> old_image,
+                           Lsn new_lsn) = 0;
 };
 
 /// A read-through / write-through sharded LRU page cache with pinning.
@@ -138,6 +160,12 @@ class BufferPool {
 
   /// Installs / clears the WAL ordering callbacks (write-back mode only).
   void SetWalHook(WalPageHook hook) { wal_hook_ = std::move(hook); }
+
+  /// Installs / clears the MVCC version sink (write-back mode only). While
+  /// set, every logged page write hands the superseded image to the sink
+  /// before the replacement becomes visible, so snapshot readers can keep
+  /// serving the old version. Null clears.
+  void SetVersionSink(VersionSink* sink) { version_sink_ = sink; }
 
   /// Dirty-state snapshot of one cached page (rollback bookkeeping).
   struct PageState {
@@ -221,7 +249,10 @@ class BufferPool {
   static constexpr int kMaxShards = 16;
 
   struct Entry {
-    Page page;
+    /// Copy-on-write: writers install a fresh image; readers holding pins
+    /// share ownership of the image they fetched, so replacement never
+    /// tears a view.
+    std::shared_ptr<const Page> page;
     std::list<PageId>::iterator lru_it;
     int pins = 0;
     bool dirty = false;
@@ -256,6 +287,7 @@ class BufferPool {
   std::vector<std::unique_ptr<Shard>> shards_;
   bool write_back_ = false;
   WalPageHook wal_hook_;
+  VersionSink* version_sink_ = nullptr;
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};
   std::atomic<int64_t> evictions_{0};

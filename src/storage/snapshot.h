@@ -1,0 +1,43 @@
+// PageSource: the read surface a consistent snapshot exposes to scans.
+//
+// Lives in src/storage (not src/mvcc) so the engine can run snapshot-aware
+// scans without linking the MVCC library: the executor only ever sees this
+// interface through engine::QueryContext. Concrete implementations live in
+// src/mvcc/mvcc.cc:
+//   * LiveSnapshotView — the committed state as of a recent commit LSN,
+//     served from the buffer pool's current images plus the in-memory
+//     version chains for pages that have moved past the snapshot.
+//   * LogSnapshotView  — an arbitrary historical LSN (AS OF), rebuilt from
+//     the WAL's full-page-image records; survives restart and GC.
+//   * TxnSnapshotView  — an open transaction's private view: its shadow
+//     writes overlaid on the shared state (read-your-writes).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+
+namespace sqlarray::storage {
+
+/// A consistent, immutable view of the database at one LSN. Fetch must be
+/// safe to call concurrently from many scan workers; returned pins keep the
+/// backing image alive (they may be ownership-only pins that never touch
+/// the buffer pool).
+class PageSource {
+ public:
+  virtual ~PageSource() = default;
+
+  /// The snapshot's LSN (for EXPLAIN ANALYZE and diagnostics).
+  virtual Lsn lsn() const = 0;
+
+  /// Fetches page `id` as of the snapshot.
+  virtual Result<PinnedPage> Fetch(PageId id) = 0;
+
+  /// The clustered-index root of `table` as of the snapshot. Fails with
+  /// kNotFound if the table did not exist at the snapshot LSN.
+  virtual Result<PageId> TableRoot(const std::string& table) = 0;
+};
+
+}  // namespace sqlarray::storage

@@ -57,6 +57,40 @@ Status Table::Insert(Row row) {
   return tree_.Insert(encoded);
 }
 
+Result<BTree::Cursor> Table::Scan(PageSource* snap) const {
+  if (snap == nullptr) return Scan();
+  SQLARRAY_ASSIGN_OR_RETURN(PageId root, snap->TableRoot(name_));
+  return BTree::ScanAllVia([snap](PageId id) { return snap->Fetch(id); },
+                           root, schema_.row_size());
+}
+
+Result<std::vector<PageId>> Table::CollectLeafPages(PageSource* snap) const {
+  if (snap == nullptr) return CollectLeafPages();
+  SQLARRAY_ASSIGN_OR_RETURN(PageId root, snap->TableRoot(name_));
+  return BTree::CollectLeafPagesVia(
+      [snap](PageId id) { return snap->Fetch(id); }, root);
+}
+
+Result<BTree::ChunkCursor> Table::ScanChunk(PageSource* snap,
+                                            std::vector<PageId> pages) const {
+  return BTree::ScanChunkVia([snap](PageId id) { return snap->Fetch(id); },
+                             std::move(pages), schema_.row_size());
+}
+
+Result<std::vector<uint8_t>> Table::EncodeRowShadow(const Row& row) const {
+  Row adjusted = row;
+  for (int i = 0; i < schema_.num_columns(); ++i) {
+    if (schema_.column(i).type != ColumnType::kVarBinaryMax) continue;
+    if (auto* bytes = std::get_if<std::vector<uint8_t>>(&adjusted[i])) {
+      adjusted[i] =
+          BlobId{kNullPage, static_cast<int64_t>(bytes->size())};
+    }
+  }
+  std::vector<uint8_t> encoded(static_cast<size_t>(schema_.row_size()));
+  SQLARRAY_RETURN_IF_ERROR(schema_.EncodeRow(adjusted, encoded.data()));
+  return encoded;
+}
+
 Result<Table::BulkInserter> Table::StartBulkLoad() {
   SQLARRAY_ASSIGN_OR_RETURN(BTree::BulkLoader loader, tree_.StartBulkLoad());
   return BulkInserter(this, std::move(loader));

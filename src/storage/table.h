@@ -15,10 +15,15 @@
 #include "storage/blob.h"
 #include "storage/btree.h"
 #include "storage/schema.h"
+#include "storage/snapshot.h"
 
 namespace sqlarray::wal {
 class WalManager;
 }  // namespace sqlarray::wal
+
+namespace sqlarray::mvcc {
+class MvccManager;
+}  // namespace sqlarray::mvcc
 
 namespace sqlarray::storage {
 
@@ -90,10 +95,21 @@ class Table {
   /// Opens a full clustered index scan.
   Result<BTree::Cursor> Scan() const { return tree_.ScanAll(); }
 
+  /// Opens a full scan through a snapshot: the root is resolved by the
+  /// snapshot (not the live tree) and every page comes from its Fetch, so
+  /// the walk sees one consistent historical version. A null snapshot falls
+  /// back to Scan().
+  Result<BTree::Cursor> Scan(PageSource* snap) const;
+
   /// Leaf pages in chain order (work division for parallel scans).
   Result<std::vector<PageId>> CollectLeafPages() const {
     return tree_.CollectLeafPages();
   }
+
+  /// Leaf pages in chain order as of `snap` — a pure function of the
+  /// snapshot's page view, so morsel planning is deterministic at any
+  /// worker count. Null falls back to the live allocation map.
+  Result<std::vector<PageId>> CollectLeafPages(PageSource* snap) const;
 
   /// Opens a cursor over a slice of the leaf pages through `pool` — one
   /// morsel of a parallel scan, usually against the shared pool with a
@@ -103,6 +119,19 @@ class Table {
                                        int readahead_pages = 0) const {
     return tree_.ScanChunk(pool, std::move(pages), readahead_pages);
   }
+
+  /// Opens a morsel cursor whose pages come from `snap` (no readahead; the
+  /// snapshot owns its images). `snap` must not be null and must outlive
+  /// the cursor.
+  Result<BTree::ChunkCursor> ScanChunk(PageSource* snap,
+                                       std::vector<PageId> pages) const;
+
+  /// Encodes `row` for the clustered index WITHOUT spilling blob bytes:
+  /// raw bytes bound for a VARBINARY(MAX) column are replaced by a
+  /// placeholder BlobId {kNullPage, length}. Transaction shadow inserts use
+  /// this so no shared blob pages are written before commit; the real spill
+  /// happens when the operation replays at commit.
+  Result<std::vector<uint8_t>> EncodeRowShadow(const Row& row) const;
 
   /// Opens a stream over an out-of-page blob value.
   Result<BlobStream> OpenBlob(const BlobId& id) const {
@@ -173,6 +202,12 @@ class Database {
   void AttachWal(wal::WalManager* wal) { wal_ = wal; }
   wal::WalManager* wal() const { return wal_; }
 
+  /// Wires the MVCC manager, same opaque-pointer pattern as AttachWal.
+  /// When null (the default) the database runs in legacy single-version
+  /// mode and nothing in the storage layer behaves differently.
+  void AttachMvcc(mvcc::MvccManager* mvcc) { mvcc_ = mvcc; }
+  mvcc::MvccManager* mvcc() const { return mvcc_; }
+
   SimulatedDisk* disk() { return &disk_; }
   BufferPool* buffer_pool() { return &pool_; }
   BlobStore* blob_store() { return &blobs_; }
@@ -183,6 +218,7 @@ class Database {
   BlobStore blobs_;
   std::map<std::string, std::unique_ptr<Table>> tables_;
   wal::WalManager* wal_ = nullptr;
+  mvcc::MvccManager* mvcc_ = nullptr;
 };
 
 }  // namespace sqlarray::storage

@@ -76,7 +76,12 @@ Result<Lsn> WalManager::LogPageWrite(storage::PageId id,
 Result<uint64_t> WalManager::Begin() {
   dml_mu_.lock();
   auto txn = std::make_unique<ActiveTxn>();
-  txn->id = next_txn_id_++;
+  {
+    // txn_mu_ also guards id allocation: BeginDeferred hands out ids from
+    // any thread without the DML lock.
+    std::lock_guard<std::mutex> lock(txn_mu_);
+    txn->id = next_txn_id_++;
+  }
   txn->free_list_snapshot = db_->blob_store()->free_pages();
   WalRecord rec;
   rec.type = RecordType::kBegin;
@@ -92,6 +97,44 @@ Result<uint64_t> WalManager::Begin() {
     active_ = std::move(txn);
   }
   return id;
+}
+
+Result<uint64_t> WalManager::BeginDeferred() {
+  uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(txn_mu_);
+    id = next_txn_id_++;
+  }
+  // The kBegin is logged eagerly, same as Begin(): a crash before commit
+  // leaves records under an uncommitted id and recovery counts one lost
+  // transaction. The log writer serializes concurrent appends itself.
+  WalRecord rec;
+  rec.type = RecordType::kBegin;
+  rec.txn = id;
+  SQLARRAY_RETURN_IF_ERROR(writer_.Append(EncodeRecord(rec)).status());
+  return id;
+}
+
+Status WalManager::AcquireApply(uint64_t txn) {
+  dml_mu_.lock();
+  auto t = std::make_unique<ActiveTxn>();
+  t->id = txn;
+  t->free_list_snapshot = db_->blob_store()->free_pages();
+  {
+    std::lock_guard<std::mutex> lock(txn_mu_);
+    active_ = std::move(t);
+  }
+  return Status::OK();
+}
+
+Result<Lsn> WalManager::QuiescentLsn() {
+  std::lock_guard<std::mutex> dml(dml_mu_);
+  return writer_.next_lsn();
+}
+
+Status WalManager::WithDmlLock(const std::function<Status()>& fn) {
+  std::lock_guard<std::mutex> dml(dml_mu_);
+  return fn();
 }
 
 bool WalManager::in_txn() const {
@@ -112,12 +155,19 @@ void WalManager::FinishTxnLocked() {
   dml_mu_.unlock();
 }
 
-Status WalManager::Commit(uint64_t txn) {
+Status WalManager::Commit(uint64_t txn, Lsn* commit_lsn) {
   {
     std::lock_guard<std::mutex> lock(txn_mu_);
     if (active_ == nullptr || active_->id != txn) {
       return Status::InvalidArgument("no such open transaction");
     }
+  }
+  int crash_step = commit_crash_step_;
+  commit_crash_step_ = 0;
+  if (crash_step == 1) {
+    // The transaction stays open (pins held, DML lock held) so the caller
+    // can SimulateCrash() from this thread — nothing of it is durable.
+    return Status::Internal("simulated crash: before commit record");
   }
   WalRecord rec;
   rec.type = RecordType::kCommit;
@@ -139,9 +189,16 @@ Status WalManager::Commit(uint64_t txn) {
   }
   Lsn end = 0;
   Result<Lsn> appended = writer_.Append(EncodeRecord(rec), &end);
+  if (crash_step == 2) {
+    // Commit record appended but not force-flushed: whether it survives the
+    // crash depends on page-boundary spills, and recovery resolves either
+    // way to a consistent state (fully applied or fully absent).
+    return Status::Internal("simulated crash: commit record unflushed");
+  }
   FinishTxnLocked();
   SQLARRAY_RETURN_IF_ERROR(appended.status());
   SQLARRAY_RETURN_IF_ERROR(writer_.FlushTo(end));
+  if (commit_lsn != nullptr) *commit_lsn = end;
   reg_commits_->Add(1);
   return Status::OK();
 }
@@ -282,6 +339,7 @@ void WalManager::SimulateCrash() {
   db_->ClearCatalog();
   db_->blob_store()->RestoreFreeList({});
   writer_.DiscardPending();
+  if (observer_.on_crash) observer_.on_crash();
 }
 
 Result<RecoveryStats> WalManager::Recover() {
@@ -385,7 +443,11 @@ Result<RecoveryStats> WalManager::Recover() {
   // Future appends resume past the valid log, in a fresh epoch, so the
   // reader can tell live records from any dead bytes we just skipped over.
   writer_.Reset(scan.resume_page, scan.resume_lsn, scan.resume_epoch);
-  next_txn_id_ = max_txn + 1;
+  {
+    std::lock_guard<std::mutex> lock(txn_mu_);
+    next_txn_id_ = max_txn + 1;
+  }
+  if (observer_.on_recovered) observer_.on_recovered(scan.resume_lsn);
 
   reg_recoveries_->Add(1);
   reg_recovery_pages_->Add(stats.pages_redone);

@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -51,6 +52,15 @@ struct WalConfig {
   /// concurrent committers before issuing the physical flush. 0 = flush
   /// immediately (every commit pays its own flush).
   int64_t group_commit_window_us = 0;
+};
+
+/// Callbacks an upper layer (MVCC) installs to track crash simulation and
+/// recovery. The dependency points upward — wal never links mvcc — so the
+/// observer is how version state learns it must be discarded (crash) or
+/// re-seeded (recovery, with the log's resume LSN).
+struct WalObserver {
+  std::function<void()> on_crash;
+  std::function<void(Lsn resume_lsn)> on_recovered;
 };
 
 /// What one Recover() run did.
@@ -82,10 +92,28 @@ class WalManager {
   /// must run on this thread). Returns the transaction id.
   Result<uint64_t> Begin();
 
+  /// Allocates a transaction id and logs its kBegin WITHOUT taking the DML
+  /// lock or making it the active transaction. MVCC transactions use this:
+  /// their writes live in private shadow state while other transactions
+  /// commit freely; at commit, AcquireApply() turns the id into the active
+  /// (applying) transaction. A deferred id that never reaches AcquireApply
+  /// simply counts as one lost transaction at recovery, exactly like a
+  /// Begin() with no Commit.
+  Result<uint64_t> BeginDeferred();
+
+  /// Takes the DML lock and installs `txn` (allocated by BeginDeferred) as
+  /// the active transaction — no kBegin is appended (it already was). From
+  /// here the transaction is indistinguishable from one opened by Begin():
+  /// page writes are captured/pinned under its id and Commit/Rollback on
+  /// this thread resolve it.
+  Status AcquireApply(uint64_t txn);
+
   /// Logs the commit record, releases the transaction's pins and the DML
   /// lock, then forces the log (the group-commit point). The transaction is
-  /// durable when this returns OK.
-  Status Commit(uint64_t txn);
+  /// durable when this returns OK. `commit_lsn`, when non-null, receives
+  /// the commit record's end LSN — the point in log order at which the
+  /// transaction's effects become visible (MVCC stamps versions with it).
+  Status Commit(uint64_t txn, Lsn* commit_lsn = nullptr);
 
   /// In-memory undo: restores before-images, index metadata, the blob
   /// free-list, and drops created tables; releases the DML lock. Nothing
@@ -130,6 +158,28 @@ class WalManager {
   /// 0 disarms. The caller then drives SimulateCrash()/Recover().
   void set_checkpoint_crash_step(int step) { checkpoint_crash_step_ = step; }
 
+  /// Arms a simulated crash inside the NEXT Commit() call:
+  ///   1 = before the commit record is appended
+  ///   2 = commit record appended, log not yet force-flushed
+  /// The failed Commit returns kInternal and leaves the transaction OPEN
+  /// (before-images pinned, DML lock held) so the caller can drive
+  /// SimulateCrash()/Recover() from the same thread. 0 disarms.
+  void set_commit_crash_step(int step) { commit_crash_step_ = step; }
+
+  /// Runs `fn` holding the DML lock with NO transaction active: its page
+  /// writes are logged under txn 0 (always replayed) and cannot interleave
+  /// with a transaction's apply. MVCC DDL and bulk maintenance use this.
+  Status WithDmlLock(const std::function<Status()>& fn);
+
+  /// A barrier LSN: briefly takes the DML lock and returns the writer's
+  /// next LSN. Every transaction that committed before the call sits
+  /// strictly below it — MVCC advances its visibility horizon to this
+  /// after non-transactional work (DDL, bulk loads).
+  Result<Lsn> QuiescentLsn();
+
+  /// Installs (or clears, with `{}`) the crash/recovery observer.
+  void SetObserver(WalObserver obs) { observer_ = std::move(obs); }
+
   const RecoveryStats& last_recovery() const { return last_recovery_; }
   LogDevice* log_device() { return &device_; }
   LogWriter* log_writer() { return &writer_; }
@@ -170,7 +220,9 @@ class WalManager {
   uint64_t next_txn_id_ = 1;
 
   int checkpoint_crash_step_ = 0;
+  int commit_crash_step_ = 0;
   RecoveryStats last_recovery_;
+  WalObserver observer_;
 
   obs::Counter* reg_commits_;
   obs::Counter* reg_aborts_;
