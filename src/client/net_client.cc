@@ -20,6 +20,41 @@ using net::FrameType;
 using net::PayloadReader;
 using net::PayloadWriter;
 
+namespace {
+
+/// True when `sql` holds at most one statement: no ';' separator (outside
+/// single-quoted literals) with more SQL after it. Conflict retries are
+/// restricted to such batches — statements run under per-statement
+/// autocommit server-side, so re-submitting a multi-statement batch after
+/// a later statement conflicts would re-execute the earlier, already
+/// committed statements.
+bool IsSingleStatement(std::string_view sql) {
+  bool in_string = false;
+  for (size_t i = 0; i < sql.size(); ++i) {
+    char c = sql[i];
+    if (in_string) {
+      if (c == '\'') {
+        if (i + 1 < sql.size() && sql[i + 1] == '\'') {
+          ++i;  // escaped quote inside the literal
+          continue;
+        }
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '\'') {
+      in_string = true;
+    } else if (c == ';' &&
+               sql.find_first_not_of(" \t\r\n", i + 1) !=
+                   std::string_view::npos) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 Result<std::unique_ptr<NetClient>> NetClient::Connect(const std::string& host,
                                                       uint16_t port,
                                                       NetClientConfig config) {
@@ -89,6 +124,12 @@ Status NetClient::Authenticate(const std::string& user,
 
 server::StatementOutcome NetClient::Execute(std::string_view sql) {
   server::StatementOutcome outcome = ExecuteOnce(sql);
+  if (outcome.status.code() == StatusCode::kWriteConflict &&
+      config_.conflict_retries > 0 && !IsSingleStatement(sql)) {
+    // Never auto-retry a multi-statement batch: earlier statements may
+    // already have committed, and re-running them would double-apply.
+    return outcome;
+  }
   for (int attempt = 0;
        attempt < config_.conflict_retries &&
        outcome.status.code() == StatusCode::kWriteConflict;

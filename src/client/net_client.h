@@ -32,10 +32,13 @@ namespace sqlarray::client {
 struct NetClientConfig {
   std::string client_name = "netclient";
   uint32_t max_frame_payload = net::kMaxFramePayload;
-  /// When > 0, Execute transparently re-submits a batch that fails with
-  /// the WRITE_CONFLICT wire code (MVCC first-updater-wins loser), sleeping
-  /// the server's typed retry_after_ms hint (doubled per attempt) between
-  /// tries. 0 = conflicts surface to the caller unchanged.
+  /// When > 0, Execute transparently re-submits a SINGLE-STATEMENT batch
+  /// that fails with the WRITE_CONFLICT wire code (MVCC first-updater-wins
+  /// loser), sleeping the server's typed retry_after_ms hint (doubled per
+  /// attempt) between tries. Multi-statement batches are never auto-
+  /// retried — statements run under per-statement autocommit server-side,
+  /// so re-submitting one could double-apply statements that committed
+  /// before the conflicting one. 0 = conflicts surface unchanged.
   int conflict_retries = 0;
 };
 

@@ -56,16 +56,20 @@ class LiveSnapshotView : public storage::PageSource {
 };
 
 /// An open transaction's read-your-writes view: overlay pages first, the
-/// shared state second. Scans of tables the transaction has NOT shadowed go
-/// through chain visibility at the view's LSN (a consistent committed
-/// snapshot); shadowed tables walk from the shadow root, whose unmodified
-/// subtrees read the CURRENT shared pages — consistent unless another
-/// transaction commits into the same table mid-statement (the documented
-/// read-committed-style anomaly of in-transaction scans).
+/// shared state second. All non-overlay pages resolve through chain
+/// visibility at the view's LSN (the view registers as an active snapshot,
+/// pinning that history), so scans of tables the transaction has NOT
+/// shadowed see a consistent committed snapshot even when a concurrent
+/// commit restructures the tree mid-statement. Shadowed tables walk from
+/// the shadow root copied at the transaction's first write to that table;
+/// a foreign commit into the same table between that copy and this view's
+/// creation can still mix tree structure from copy time with pages at the
+/// view's LSN (the documented residual anomaly of in-transaction scans).
 class TxnSnapshotView : public storage::PageSource {
  public:
   TxnSnapshotView(MvccManager* mgr, MvccManager::TxnState* txn, Lsn lsn)
       : mgr_(mgr), txn_(txn), lsn_(lsn) {}
+  ~TxnSnapshotView() override { mgr_->ReleaseSnapshot(lsn_); }
 
   Lsn lsn() const override { return lsn_; }
 
@@ -76,7 +80,7 @@ class TxnSnapshotView : public storage::PageSource {
     if (it != txn_->overlay.end()) {
       return PinnedPage::FromImage(id, it->second);
     }
-    return mgr_->pool_->GetPage(id);
+    return mgr_->FetchAt(id, lsn_);
   }
 
   Result<PageId> TableRoot(const std::string& table) override {
@@ -290,7 +294,6 @@ Result<uint64_t> MvccManager::Begin() {
   auto txn = std::make_unique<TxnState>();
   TxnState* t = txn.get();
   t->id = id;
-  t->begin_lsn = visible_.load(std::memory_order_acquire);
   storage::BufferPool* pool = pool_;
   t->io.fetch = [t, pool](PageId pid) -> Result<PinnedPage> {
     auto it = t->overlay.find(pid);
@@ -303,6 +306,12 @@ Result<uint64_t> MvccManager::Begin() {
   };
   t->io.alloc = [pool]() -> PageId { return pool->AllocatePage(); };
   std::lock_guard<std::mutex> lock(mu_);
+  // begin_lsn is sampled and the txn registered under ONE critical
+  // section. Sampling outside it would open a window where a concurrent
+  // Commit/Rollback's PruneClaimsLocked sees no open transactions and
+  // erases a committed claim this txn must still conflict with — a lost
+  // update past first-updater-wins.
+  t->begin_lsn = visible_.load(std::memory_order_acquire);
   txns_[id] = std::move(txn);
   return id;
 }
@@ -427,7 +436,11 @@ Status MvccManager::Commit(uint64_t txn, Lsn* commit_lsn_out) {
     Result<storage::Table*> table = db_->GetTable(op.table);
     if (!table.ok()) {
       (void)wal_->Rollback(txn);
-      return Status::Internal("mvcc commit: table " + op.table + " vanished");
+      // Build the message BEFORE AbandonTxn frees the op list `op` lives in.
+      Status st =
+          Status::Internal("mvcc commit: table " + op.table + " vanished");
+      AbandonTxn(txn);
+      return st;
     }
     if (touched.insert(op.table).second) {
       SQLARRAY_RETURN_IF_ERROR(wal_->NoteTableTouched(txn, *table));
@@ -447,14 +460,7 @@ Status MvccManager::Commit(uint64_t txn, Lsn* commit_lsn_out) {
       // The claim protocol makes this unreachable short of corruption;
       // legacy rollback restores every touched page byte-exactly.
       (void)wal_->Rollback(txn);
-      std::lock_guard<std::mutex> lock(mu_);
-      for (const auto& [tname, key] : t->claims) {
-        auto it = claims_.find({tname, key});
-        if (it != claims_.end() && it->second.owner == t->id) {
-          it->second.owner = 0;
-        }
-      }
-      txns_.erase(txn);
+      AbandonTxn(txn);
       return applied;
     }
     if (first_op && crash_step == 2) {
@@ -467,7 +473,18 @@ Status MvccManager::Commit(uint64_t txn, Lsn* commit_lsn_out) {
   }
 
   Lsn commit_lsn = 0;
-  SQLARRAY_RETURN_IF_ERROR(wal_->Commit(txn, &commit_lsn));
+  if (Status st = wal_->Commit(txn, &commit_lsn); !st.ok()) {
+    // A failed WAL commit (log append/flush error, or an armed WAL-level
+    // crash step) must not leave the txn's claims owned forever: nothing
+    // will ever Rollback this txn once Commit has been called, and owned
+    // claims are never pruned — every future write to those keys would be
+    // a permanent WRITE_CONFLICT. The WAL side has already closed the
+    // transaction (or, for a simulated crash, the harness's
+    // SimulateCrash/Recover wipes all MVCC state anyway), so releasing
+    // the claims and dropping the TxnState is all that is left.
+    AbandonTxn(txn);
+    return st;
+  }
 
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -508,6 +525,18 @@ Status MvccManager::Rollback(uint64_t txn) {
   // Nothing shared was touched: releasing the claims and dropping the
   // shadow state IS the rollback. (The overlay's allocated page ids are a
   // bounded leak, like blob frees outside a transaction.)
+  AbandonTxnLocked(it);
+  return Status::OK();
+}
+
+void MvccManager::AbandonTxn(uint64_t txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = txns_.find(txn);
+  if (it != txns_.end()) AbandonTxnLocked(it);
+}
+
+void MvccManager::AbandonTxnLocked(
+    std::map<uint64_t, std::unique_ptr<TxnState>>::iterator it) {
   for (const auto& [tname, key] : it->second->claims) {
     auto cit = claims_.find({tname, key});
     if (cit != claims_.end() && cit->second.owner == it->second->id) {
@@ -517,7 +546,6 @@ Status MvccManager::Rollback(uint64_t txn) {
   txns_.erase(it);
   PruneClaimsLocked();
   RunGcLocked();
-  return Status::OK();
 }
 
 void MvccManager::PruneClaimsLocked() {
@@ -548,11 +576,16 @@ Result<std::shared_ptr<storage::PageSource>> MvccManager::AcquireSnapshot() {
             " bytes) exceeds the snapshot budget",
         config_.conflict_retry_ms);
   }
+  Lsn s = RegisterSnapshotLocked();
+  return std::shared_ptr<storage::PageSource>(new LiveSnapshotView(this, s));
+}
+
+storage::Lsn MvccManager::RegisterSnapshotLocked() {
   Lsn s = visible_.load(std::memory_order_acquire);
   snapshots_.insert(s);
   reg_snapshots_active_->Set(static_cast<int64_t>(snapshots_.size()));
   reg_oldest_snapshot_->Set(static_cast<int64_t>(*snapshots_.begin()));
-  return std::shared_ptr<storage::PageSource>(new LiveSnapshotView(this, s));
+  return s;
 }
 
 void MvccManager::ReleaseSnapshot(Lsn lsn) {
@@ -568,8 +601,14 @@ void MvccManager::ReleaseSnapshot(Lsn lsn) {
 Result<std::shared_ptr<storage::PageSource>> MvccManager::TxnView(
     uint64_t txn) {
   SQLARRAY_ASSIGN_OR_RETURN(TxnState * t, FindTxn(txn));
-  return std::shared_ptr<storage::PageSource>(
-      new TxnSnapshotView(this, t, visible_.load(std::memory_order_acquire)));
+  // The view reads non-overlay pages through chain visibility at its LSN,
+  // so it must pin that history like any other snapshot. No budget check:
+  // a statement inside an already-open transaction must not start failing
+  // on snapshot backpressure (the txn can always roll back), and the view
+  // lives only for the one statement.
+  std::lock_guard<std::mutex> lock(mu_);
+  Lsn s = RegisterSnapshotLocked();
+  return std::shared_ptr<storage::PageSource>(new TxnSnapshotView(this, t, s));
 }
 
 void MvccManager::RunGcLocked() {
@@ -657,6 +696,20 @@ Result<std::shared_ptr<storage::PageSource>> MvccManager::OpenAsOf(Lsn lsn) {
   // like recovery but stopping the world at the horizon.
   std::unordered_map<PageId, std::shared_ptr<const Page>> pages;
   std::map<std::string, PageId> roots;
+  {
+    // Tables created before the WAL attached have no kCreateTable record;
+    // seed their roots from the in-memory root history at the horizon —
+    // the catalog analogue of Fetch's pre-WAL disk fallback. Logged
+    // catalog records at or below the horizon override these below (a
+    // checkpoint legitimately replaces the whole set: its catalog is
+    // complete, pre-WAL tables included).
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, hist] : root_history_) {
+      if (Result<PageId> r = RootAtLocked(name, lsn); r.ok()) {
+        roots[name] = *r;
+      }
+    }
+  }
   for (const wal::WalRecord& rec : scan.records) {
     switch (rec.type) {
       case wal::RecordType::kPageWrite:
@@ -670,8 +723,9 @@ Result<std::shared_ptr<storage::PageSource>> MvccManager::OpenAsOf(Lsn lsn) {
       case wal::RecordType::kCommit:
         if (rec.end_lsn > lsn) break;
         for (const wal::CatalogEntry& entry : rec.catalog) {
-          auto it = roots.find(entry.name);
-          if (it != roots.end()) it->second = entry.root;
+          // Unconditional insert: a pre-WAL table's first logged root
+          // arrives via a commit's catalog, never a kCreateTable record.
+          roots[entry.name] = entry.root;
         }
         break;
       case wal::RecordType::kCheckpoint:

@@ -121,15 +121,17 @@ class MvccManager : public storage::VersionSink {
   /// A historical view AS OF `lsn`, rebuilt from the log's full-page
   /// images — independent of the version chains, so it works across
   /// restart/recovery and after GC. Pages never logged (written before the
-  /// WAL attached) fall back to the data disk.
+  /// WAL attached) fall back to the data disk, and roots of tables with no
+  /// logged catalog entry fall back to the in-memory root history.
   Result<std::shared_ptr<storage::PageSource>> OpenAsOf(storage::Lsn lsn);
 
   /// AS OF CHECKPOINT: resolves the last durable checkpoint's LSN.
   Result<std::shared_ptr<storage::PageSource>> OpenAsOfCheckpoint();
 
   /// An open transaction's private view: overlay pages first (its shadow
-  /// writes), shared state second. Statements inside the transaction scan
-  /// through this (read-your-writes).
+  /// writes), then chain visibility at the view's LSN. Statements inside
+  /// the transaction scan through this (read-your-writes). Registers as an
+  /// active snapshot (pinning history) until destroyed.
   Result<std::shared_ptr<storage::PageSource>> TxnView(uint64_t txn);
 
   // --- DDL / maintenance --------------------------------------------------
@@ -223,6 +225,17 @@ class MvccManager : public storage::VersionSink {
   /// Removes committed claim entries no possible claimant can conflict
   /// with (mu_ held).
   void PruneClaimsLocked();
+
+  /// Registers visible_ as an active snapshot (pinning history) and
+  /// returns it (mu_ held).
+  storage::Lsn RegisterSnapshotLocked();
+
+  /// Releases a dead transaction's key claims and erases its state; used
+  /// by Rollback and by Commit's failure paths, where leaking an owned
+  /// claim would wedge its keys in WRITE_CONFLICT forever.
+  void AbandonTxn(uint64_t txn);
+  void AbandonTxnLocked(
+      std::map<uint64_t, std::unique_ptr<TxnState>>::iterator it);
 
   void ReleaseSnapshot(storage::Lsn lsn);
 
